@@ -1,0 +1,22 @@
+//! Frequency-series debugging probe (development aid).
+use uncharted_analysis::dataset::Dataset;
+use uncharted_analysis::dpi::{self, PhysicalKind};
+use uncharted_scadasim::scenario::{Scenario, Year};
+use uncharted_scadasim::sim::Simulation;
+
+fn main() {
+    let set = Simulation::new(Scenario::small(Year::Y1, 42, 300.0)).run();
+    let ds = Dataset::from_captures(set.captures.iter());
+    let series = dpi::extract_series(&ds);
+    for s in &series {
+        if s.from_server { continue; }
+        if s.mean() > 55.0 && s.mean() < 65.0 {
+            print!("[{:?}] ", s.infer_kind());
+            let t0 = s.samples.first().unwrap().0;
+            let t1 = s.samples.last().unwrap().0;
+            println!("{} ioa {} n={} mean={:.4} std={:.4} t=[{:.0},{:.0}] types={:?}",
+                uncharted_nettap::ipv4::fmt_addr(s.station_ip), s.ioa, s.samples.len(),
+                s.mean(), s.variance().sqrt(), t0, t1, s.type_ids);
+        }
+    }
+}

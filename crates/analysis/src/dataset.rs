@@ -1,0 +1,470 @@
+//! Capture ingestion: parse a capture once and expose every view the rest
+//! of the pipeline needs — flows, per-outstation dialects, a per-device-pair
+//! APDU timeline, and the compliance census of §6.1.
+//!
+//! Conventions follow the paper's network (Fig. 5): outstations listen on
+//! TCP port 2404; anything dialling *to* 2404 is a control server.
+
+use std::collections::{BTreeMap, BTreeSet};
+use uncharted_iec104::apdu::{StreamDecoder, StreamItem};
+use uncharted_iec104::asdu::Asdu;
+use uncharted_iec104::dialect::Dialect;
+use uncharted_iec104::parser::{detect_dialect, DialectScore};
+use uncharted_iec104::tokens::Token;
+use uncharted_nettap::flow::FlowTable;
+use uncharted_nettap::pcap::{Capture, ParsedPacket};
+
+/// The IEC 104 well-known port (what identifies the outstation side).
+pub const IEC104_PORT: u16 = 2404;
+
+/// One APDU observed on the wire between a device pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApduEvent {
+    /// Packet timestamp.
+    pub t: f64,
+    /// True when the control server sent it (server → outstation).
+    pub from_server: bool,
+    /// The Table 4 token.
+    pub token: Token,
+    /// The decoded payload for I-frames.
+    pub asdu: Option<Asdu>,
+}
+
+/// The merged, time-ordered APDU history of one (server, outstation) pair.
+///
+/// This is the paper's unit of Markov analysis ("an end-to-end communication
+/// between every pair of devices"); TCP retransmissions are deliberately
+/// *kept* — the paper traced repeated keep-alive tokens to them.
+#[derive(Debug, Clone)]
+pub struct PairTimeline {
+    /// The server's IP.
+    pub server_ip: u32,
+    /// The outstation's IP.
+    pub outstation_ip: u32,
+    /// Events in time order.
+    pub events: Vec<ApduEvent>,
+}
+
+impl PairTimeline {
+    /// Just the token sequence (both directions merged).
+    pub fn tokens(&self) -> Vec<Token> {
+        self.events.iter().map(|e| e.token).collect()
+    }
+
+    /// Tokens of one direction.
+    pub fn tokens_from(&self, server_side: bool) -> Vec<Token> {
+        self.events
+            .iter()
+            .filter(|e| e.from_server == server_side)
+            .map(|e| e.token)
+            .collect()
+    }
+}
+
+/// §6.1 compliance census entry for one outstation.
+#[derive(Debug, Clone)]
+pub struct ComplianceEntry {
+    /// The outstation's IP.
+    pub outstation_ip: u32,
+    /// I-frames observed from this outstation.
+    pub i_frames: usize,
+    /// I-frames a standard-only parser rejects.
+    pub strict_malformed: usize,
+    /// I-frames the tolerant parser rejects after dialect detection.
+    pub tolerant_malformed: usize,
+    /// The detected dialect.
+    pub dialect: Dialect,
+    /// The full candidate scoring (diagnostic).
+    pub scores: Vec<DialectScore>,
+}
+
+impl ComplianceEntry {
+    /// Fraction of this outstation's I-frames flagged by the strict parser.
+    pub fn strict_malformed_fraction(&self) -> f64 {
+        if self.i_frames == 0 {
+            0.0
+        } else {
+            self.strict_malformed as f64 / self.i_frames as f64
+        }
+    }
+}
+
+/// A parsed capture with all derived views.
+#[derive(Debug)]
+pub struct Dataset {
+    /// Every parseable packet, in time order.
+    pub packets: Vec<ParsedPacket>,
+    /// Reconstructed TCP connections.
+    pub flows: FlowTable,
+    /// Detected dialect per outstation IP.
+    pub dialects: BTreeMap<u32, Dialect>,
+    /// Compliance census per outstation IP.
+    pub compliance: BTreeMap<u32, ComplianceEntry>,
+    /// Per-pair APDU timelines, sorted by (server, outstation).
+    pub timelines: Vec<PairTimeline>,
+}
+
+impl Dataset {
+    /// Ingest one capture.
+    pub fn from_capture(capture: &Capture) -> Dataset {
+        Dataset::from_packets(capture.parsed())
+    }
+
+    /// Ingest several captures as one dataset (e.g. a whole year).
+    pub fn from_captures<'a, I: IntoIterator<Item = &'a Capture>>(captures: I) -> Dataset {
+        let mut packets: Vec<ParsedPacket> = Vec::new();
+        for c in captures {
+            packets.extend(c.parsed());
+        }
+        packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        Dataset::from_packets(packets)
+    }
+
+    /// Ingest from already-parsed packets (must be in time order).
+    pub fn from_packets(packets: Vec<ParsedPacket>) -> Dataset {
+        let flows = FlowTable::from_parsed(&packets);
+
+        // Pass 1: collect, per outstation, the raw I-frames it sent, for
+        // dialect detection.
+        let mut frames_by_out: BTreeMap<u32, Vec<Vec<u8>>> = BTreeMap::new();
+        for pkt in &packets {
+            if pkt.tcp.src_port == IEC104_PORT && !pkt.payload.is_empty() {
+                let frames = frames_by_out.entry(pkt.ip.src).or_default();
+                if frames.len() < 64 {
+                    frames.extend(delimit_frames(&pkt.payload));
+                }
+            }
+        }
+        // Commands from the server are also dialect-bound, so include them
+        // when the outstation itself sent nothing (pure backups).
+        for pkt in &packets {
+            if pkt.tcp.dst_port == IEC104_PORT && !pkt.payload.is_empty() {
+                let frames = frames_by_out.entry(pkt.ip.dst).or_default();
+                if frames.len() < 8 {
+                    frames.extend(delimit_frames(&pkt.payload));
+                }
+            }
+        }
+
+        let mut dialects = BTreeMap::new();
+        let mut compliance = BTreeMap::new();
+        for (&ip, frames) in &frames_by_out {
+            let scores = detect_dialect(frames);
+            let dialect = scores
+                .first()
+                .filter(|s| s.parsed > 0)
+                .map(|s| s.dialect)
+                .unwrap_or(Dialect::STANDARD);
+            dialects.insert(ip, dialect);
+            compliance.insert(
+                ip,
+                ComplianceEntry {
+                    outstation_ip: ip,
+                    i_frames: 0,
+                    strict_malformed: 0,
+                    tolerant_malformed: 0,
+                    dialect,
+                    scores,
+                },
+            );
+        }
+
+        // Pass 2: decode per-packet APDUs into pair timelines, and count
+        // compliance under both parsers. Packets are decoded per (pair,
+        // direction) with a streaming decoder so APDUs split across
+        // segments still parse.
+        let mut timelines: BTreeMap<(u32, u32), PairTimeline> = BTreeMap::new();
+        let mut decoders: BTreeMap<(u32, u32, bool), StreamDecoder> = BTreeMap::new();
+        let mut strict_decoders: BTreeMap<(u32, u32, bool), StreamDecoder> = BTreeMap::new();
+        // Deduplicate TCP retransmissions *for decoding only* (a duplicated
+        // segment would desynchronise the stream decoder); the duplicate
+        // still contributes a repeated token, as in the paper.
+        let mut last_seq: BTreeMap<(u32, u16, u32, u16), u32> = BTreeMap::new();
+
+        for pkt in &packets {
+            if pkt.payload.is_empty() {
+                continue;
+            }
+            let (server_ip, out_ip, from_server) = if pkt.tcp.dst_port == IEC104_PORT {
+                (pkt.ip.src, pkt.ip.dst, true)
+            } else if pkt.tcp.src_port == IEC104_PORT {
+                (pkt.ip.dst, pkt.ip.src, false)
+            } else {
+                continue;
+            };
+            let dialect = dialects.get(&out_ip).copied().unwrap_or(Dialect::STANDARD);
+            let key = (server_ip, out_ip, from_server);
+            let timeline = timelines
+                .entry((server_ip, out_ip))
+                .or_insert_with(|| PairTimeline {
+                    server_ip,
+                    outstation_ip: out_ip,
+                    events: Vec::new(),
+                });
+
+            let flow_key = (pkt.ip.src, pkt.tcp.src_port, pkt.ip.dst, pkt.tcp.dst_port);
+            let dup = last_seq.insert(flow_key, pkt.tcp.seq) == Some(pkt.tcp.seq);
+
+            // Strict compliance accounting (I-frames from the outstation).
+            if !from_server && !dup {
+                let strict = strict_decoders
+                    .entry(key)
+                    .or_insert_with(|| StreamDecoder::new(Dialect::STANDARD));
+                for item in strict.feed(&pkt.payload) {
+                    let entry = compliance.get_mut(&out_ip).expect("pass 1 covered");
+                    match item {
+                        StreamItem::Apdu(a) if a.apci.is_i() => entry.i_frames += 1,
+                        StreamItem::Apdu(_) => {}
+                        StreamItem::Malformed(frame, _) => {
+                            if is_i_frame(&frame) {
+                                entry.i_frames += 1;
+                                entry.strict_malformed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            let items: Vec<StreamItem> = if dup {
+                // Re-decode the duplicate standalone so the repeated token
+                // appears without corrupting the stream decoder.
+                let mut d = StreamDecoder::new(dialect);
+                d.feed(&pkt.payload)
+            } else {
+                decoders
+                    .entry(key)
+                    .or_insert_with(|| StreamDecoder::new(dialect))
+                    .feed(&pkt.payload)
+            };
+            for item in items {
+                match item {
+                    StreamItem::Apdu(apdu) => {
+                        timeline.events.push(ApduEvent {
+                            t: pkt.timestamp,
+                            from_server,
+                            token: Token::of(&apdu),
+                            asdu: apdu.asdu.clone(),
+                        });
+                        let _ = &apdu;
+                    }
+                    StreamItem::Malformed(frame, _) => {
+                        if !from_server && !dup && is_i_frame(&frame) {
+                            if let Some(entry) = compliance.get_mut(&out_ip) {
+                                entry.tolerant_malformed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let timelines: Vec<PairTimeline> = timelines.into_values().collect();
+        Dataset {
+            packets,
+            flows,
+            dialects,
+            compliance,
+            timelines,
+        }
+    }
+
+    /// All distinct outstation IPs seen.
+    pub fn outstation_ips(&self) -> BTreeSet<u32> {
+        let mut set = BTreeSet::new();
+        for pkt in &self.packets {
+            if pkt.tcp.src_port == IEC104_PORT {
+                set.insert(pkt.ip.src);
+            }
+            if pkt.tcp.dst_port == IEC104_PORT {
+                set.insert(pkt.ip.dst);
+            }
+        }
+        set
+    }
+
+    /// All distinct server IPs seen.
+    pub fn server_ips(&self) -> BTreeSet<u32> {
+        let mut set = BTreeSet::new();
+        for pkt in &self.packets {
+            if pkt.tcp.dst_port == IEC104_PORT {
+                set.insert(pkt.ip.src);
+            }
+            if pkt.tcp.src_port == IEC104_PORT {
+                set.insert(pkt.ip.dst);
+            }
+        }
+        set
+    }
+
+    /// Outstations whose traffic a strict parser rejects entirely (the
+    /// paper's O37/O53/O58/O28 finding).
+    pub fn fully_malformed_outstations(&self) -> Vec<u32> {
+        self.compliance
+            .values()
+            .filter(|e| e.i_frames > 0 && e.strict_malformed == e.i_frames)
+            .map(|e| e.outstation_ip)
+            .collect()
+    }
+
+    /// The timeline for one pair, if present.
+    pub fn timeline(&self, server_ip: u32, outstation_ip: u32) -> Option<&PairTimeline> {
+        self.timelines
+            .iter()
+            .find(|t| t.server_ip == server_ip && t.outstation_ip == outstation_ip)
+    }
+}
+
+/// Split a TCP payload into delimited IEC 104 frames (no decoding).
+fn delimit_frames(payload: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    let mut off = 0;
+    while off + 2 <= payload.len() {
+        if payload[off] != 0x68 {
+            break;
+        }
+        let total = 2 + payload[off + 1] as usize;
+        if off + total > payload.len() {
+            break;
+        }
+        frames.push(payload[off..off + total].to_vec());
+        off += total;
+    }
+    frames
+}
+
+/// Control-field peek: is the delimited frame I-format?
+fn is_i_frame(frame: &[u8]) -> bool {
+    frame.len() >= 3 && frame[0] == 0x68 && frame[2] & 0x01 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncharted_iec104::apdu::Apdu as IecApdu;
+    use uncharted_iec104::asdu::{InfoObject, IoValue};
+    use uncharted_iec104::cot::{Cause, Cot};
+    use uncharted_iec104::elements::Qds;
+    use uncharted_iec104::types::TypeId;
+    use uncharted_nettap::ethernet::MacAddr;
+    use uncharted_nettap::ipv4::addr;
+    use uncharted_nettap::pcap::CapturedPacket;
+    use uncharted_nettap::tcp::{TcpFlags, TcpHeader};
+
+    fn data_packet(t: f64, src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16, seq: u32, payload: &[u8]) -> ParsedPacket {
+        CapturedPacket::build(
+            t,
+            MacAddr::from_device_id(src_ip),
+            MacAddr::from_device_id(dst_ip),
+            src_ip,
+            dst_ip,
+            TcpHeader {
+                src_port,
+                dst_port,
+                seq,
+                ack: 1,
+                flags: TcpFlags::ACK.with(TcpFlags::PSH),
+                window: 8192,
+            },
+            payload,
+            0,
+        )
+        .parse()
+        .unwrap()
+    }
+
+    fn float_apdu(seq: u16, value: f32, dialect: Dialect) -> Vec<u8> {
+        let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 7).with_object(
+            InfoObject::new(720, IoValue::FloatMeasurement {
+                value,
+                qds: Qds::GOOD,
+            }),
+        );
+        IecApdu::i_frame(seq, 0, asdu).encode(dialect).unwrap()
+    }
+
+    fn build_dataset(dialect: Dialect) -> Dataset {
+        let server = addr(10, 0, 0, 1);
+        let rtu = addr(10, 1, 5, 9);
+        let mut packets = Vec::new();
+        let mut seq = 1u32;
+        for i in 0..12u16 {
+            let payload = float_apdu(i, 130.0 + i as f32, dialect);
+            packets.push(data_packet(
+                i as f64, rtu, IEC104_PORT, server, 40001, seq, &payload,
+            ));
+            seq += payload.len() as u32;
+        }
+        Dataset::from_packets(packets)
+    }
+
+    #[test]
+    fn standard_traffic_fully_compliant() {
+        let ds = build_dataset(Dialect::STANDARD);
+        let rtu = addr(10, 1, 5, 9);
+        let entry = &ds.compliance[&rtu];
+        assert_eq!(entry.i_frames, 12);
+        assert_eq!(entry.strict_malformed, 0);
+        assert_eq!(entry.tolerant_malformed, 0);
+        assert_eq!(ds.dialects[&rtu], Dialect::STANDARD);
+        assert!(ds.fully_malformed_outstations().is_empty());
+    }
+
+    #[test]
+    fn legacy_traffic_flagged_by_strict_recovered_by_tolerant() {
+        for legacy in [Dialect::LEGACY_COT, Dialect::LEGACY_IOA] {
+            let ds = build_dataset(legacy);
+            let rtu = addr(10, 1, 5, 9);
+            let entry = &ds.compliance[&rtu];
+            assert_eq!(entry.strict_malformed, entry.i_frames, "{legacy}");
+            assert_eq!(entry.strict_malformed_fraction(), 1.0);
+            assert_eq!(entry.tolerant_malformed, 0, "{legacy}");
+            assert_eq!(ds.dialects[&rtu], legacy);
+            assert_eq!(ds.fully_malformed_outstations(), vec![rtu]);
+        }
+    }
+
+    #[test]
+    fn timeline_merges_directions_in_time_order() {
+        let server = addr(10, 0, 0, 1);
+        let rtu = addr(10, 1, 5, 9);
+        let i_frame = float_apdu(0, 1.0, Dialect::STANDARD);
+        let s_frame = IecApdu::s_frame(1).encode(Dialect::STANDARD).unwrap();
+        let packets = vec![
+            data_packet(1.0, rtu, IEC104_PORT, server, 40001, 1, &i_frame),
+            data_packet(1.5, server, 40001, rtu, IEC104_PORT, 1, &s_frame),
+            data_packet(2.0, rtu, IEC104_PORT, server, 40001, 1 + i_frame.len() as u32, &float_apdu(1, 2.0, Dialect::STANDARD)),
+        ];
+        let ds = Dataset::from_packets(packets);
+        assert_eq!(ds.timelines.len(), 1);
+        let tl = &ds.timelines[0];
+        let tokens: Vec<String> = tl.tokens().iter().map(|t| t.name()).collect();
+        assert_eq!(tokens, vec!["I13", "S", "I13"]);
+        assert_eq!(tl.events[1].from_server, true);
+    }
+
+    #[test]
+    fn retransmission_produces_repeated_token() {
+        let server = addr(10, 0, 0, 1);
+        let rtu = addr(10, 1, 5, 9);
+        let u16_frame = IecApdu::u_frame(uncharted_iec104::apci::UFunction::TestFrAct)
+            .encode(Dialect::STANDARD)
+            .unwrap();
+        let packets = vec![
+            data_packet(1.0, server, 40001, rtu, IEC104_PORT, 77, &u16_frame),
+            // Same seq: a TCP retransmission.
+            data_packet(1.2, server, 40001, rtu, IEC104_PORT, 77, &u16_frame),
+        ];
+        let ds = Dataset::from_packets(packets);
+        let tokens = ds.timelines[0].tokens();
+        assert_eq!(tokens, vec![Token::U16, Token::U16]);
+    }
+
+    #[test]
+    fn endpoint_sets() {
+        let ds = build_dataset(Dialect::STANDARD);
+        assert_eq!(ds.outstation_ips().len(), 1);
+        assert_eq!(ds.server_ips().len(), 1);
+        assert!(ds.timeline(addr(10, 0, 0, 1), addr(10, 1, 5, 9)).is_some());
+        assert!(ds.timeline(addr(10, 0, 0, 2), addr(10, 1, 5, 9)).is_none());
+    }
+}

@@ -1,0 +1,481 @@
+//! Whitelist intrusion detection — the paper's stated future work
+//! (conclusions: "create white lists that correlate cyber (e.g., Markov
+//! networks) and physical (time-series analysis) network measurements to
+//! identify suspicious activities").
+//!
+//! [`Whitelist::learn`] profiles a clean capture:
+//!
+//! * **cyber** — the set of known hosts and device pairs, each pair's
+//!   Markov transition set and token alphabet, and which pairs ever carry
+//!   commands;
+//! * **physical** — per (station, IOA) value envelopes, and the breaker /
+//!   power consistency rule behind the Fig. 21 signature.
+//!
+//! [`Whitelist::inspect`] then raises typed [`Alert`]s on a test capture.
+//! An Industroyer-style intrusion trips several independent tripwires: a
+//! never-seen host, never-seen pairs, an interrogation on a pair that never
+//! interrogates, command types outside the pair's alphabet, set points
+//! outside the learned envelope, and physically impossible follow-on state.
+
+use crate::dataset::Dataset;
+use crate::dpi::{self, TimeSeries};
+use crate::markov::TokenChain;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use uncharted_iec104::tokens::Token;
+use uncharted_iec104::types::TypeClass;
+
+/// Alert severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Unusual but plausible (novel transition between known tokens).
+    Low,
+    /// Protocol behaviour outside the learned profile.
+    Medium,
+    /// Command activity or physical effects outside the profile.
+    High,
+}
+
+/// What tripped.
+#[allow(missing_docs)] // variant fields name the subjects directly
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum AlertKind {
+    /// A host never seen during training participated in IEC 104 traffic.
+    UnknownHost { ip: u32 },
+    /// A (server, outstation) pair never seen during training.
+    UnknownPair { server_ip: u32, outstation_ip: u32 },
+    /// A token the pair never used in training (e.g. a first-ever `I100`).
+    NovelToken { server_ip: u32, outstation_ip: u32, token: Token },
+    /// A bigram the pair's Markov chain lacks.
+    NovelTransition {
+        server_ip: u32,
+        outstation_ip: u32,
+        from: Token,
+        to: Token,
+    },
+    /// A control-direction command on a pair that never carried commands of
+    /// that type.
+    UnexpectedCommand {
+        server_ip: u32,
+        outstation_ip: u32,
+        type_id: u8,
+    },
+    /// A measured or commanded value outside the learned envelope.
+    ValueOutOfRange {
+        station_ip: u32,
+        ioa: u32,
+        value: f64,
+        lo: f64,
+        hi: f64,
+    },
+    /// Active power observed while the breaker was not closed.
+    PhysicsViolation { station_ip: u32, detail: String },
+}
+
+/// One alert.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Alert {
+    /// Severity class.
+    pub severity: Severity,
+    /// What tripped.
+    pub kind: AlertKind,
+}
+
+/// Learned cyber profile of one pair.
+#[derive(Debug, Clone, Serialize)]
+struct PairProfile {
+    tokens: BTreeSet<Token>,
+    transitions: BTreeSet<(Token, Token)>,
+    command_types: BTreeSet<u8>,
+}
+
+/// Learned physical envelope of one point.
+#[derive(Debug, Clone, Copy, Serialize)]
+struct Envelope {
+    lo: f64,
+    hi: f64,
+}
+
+/// The combined cyber + physical whitelist.
+#[derive(Debug, Clone, Serialize)]
+pub struct Whitelist {
+    hosts: BTreeSet<u32>,
+    pairs: BTreeMap<(u32, u32), PairProfile>,
+    envelopes: BTreeMap<(u32, u32), Envelope>,
+    /// Margin multiplier applied to learned value ranges.
+    pub envelope_margin: f64,
+}
+
+impl Whitelist {
+    /// Learn from a clean dataset.
+    pub fn learn(ds: &Dataset) -> Whitelist {
+        let mut hosts = BTreeSet::new();
+        let mut pairs = BTreeMap::new();
+        for tl in &ds.timelines {
+            hosts.insert(tl.server_ip);
+            hosts.insert(tl.outstation_ip);
+            let tokens = tl.tokens();
+            let chain = TokenChain::from_tokens(&tokens);
+            let mut transitions = BTreeSet::new();
+            for (a, b, _) in chain.transitions() {
+                transitions.insert((a, b));
+            }
+            let mut command_types = BTreeSet::new();
+            for ev in &tl.events {
+                if let Some(asdu) = &ev.asdu {
+                    if ev.from_server
+                        && matches!(
+                            asdu.type_id.class(),
+                            TypeClass::Control | TypeClass::SystemControl | TypeClass::Parameter
+                        )
+                    {
+                        command_types.insert(asdu.type_id.code());
+                    }
+                }
+            }
+            pairs.insert(
+                (tl.server_ip, tl.outstation_ip),
+                PairProfile {
+                    tokens: chain.nodes.clone(),
+                    transitions,
+                    command_types,
+                },
+            );
+        }
+        let mut envelopes = BTreeMap::new();
+        for s in dpi::extract_series(ds) {
+            let lo = s.samples.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
+            let hi = s.samples.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+            envelopes.insert((s.station_ip, s.ioa), Envelope { lo, hi });
+        }
+        Whitelist {
+            hosts,
+            pairs,
+            envelopes,
+            envelope_margin: 0.25,
+        }
+    }
+
+    /// Number of learned pairs (diagnostic).
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Inspect a test dataset and return alerts, most severe first,
+    /// deduplicated.
+    pub fn inspect(&self, ds: &Dataset) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+
+        // --- cyber ---------------------------------------------------
+        for tl in &ds.timelines {
+            let key = (tl.server_ip, tl.outstation_ip);
+            for ip in [tl.server_ip, tl.outstation_ip] {
+                if !self.hosts.contains(&ip) {
+                    alerts.push(Alert {
+                        severity: Severity::High,
+                        kind: AlertKind::UnknownHost { ip },
+                    });
+                }
+            }
+            let Some(profile) = self.pairs.get(&key) else {
+                alerts.push(Alert {
+                    severity: Severity::Medium,
+                    kind: AlertKind::UnknownPair {
+                        server_ip: tl.server_ip,
+                        outstation_ip: tl.outstation_ip,
+                    },
+                });
+                continue;
+            };
+            let tokens = tl.tokens();
+            for &t in tokens.iter().collect::<BTreeSet<_>>() {
+                if !profile.tokens.contains(&t) {
+                    alerts.push(Alert {
+                        severity: Severity::Medium,
+                        kind: AlertKind::NovelToken {
+                            server_ip: tl.server_ip,
+                            outstation_ip: tl.outstation_ip,
+                            token: t,
+                        },
+                    });
+                }
+            }
+            let mut seen: BTreeSet<(Token, Token)> = BTreeSet::new();
+            for w in tokens.windows(2) {
+                let bigram = (w[0], w[1]);
+                if !profile.transitions.contains(&bigram) && seen.insert(bigram) {
+                    // Only flag transitions between *known* tokens at Low —
+                    // novel tokens are already alerted above.
+                    if profile.tokens.contains(&w[0]) && profile.tokens.contains(&w[1]) {
+                        alerts.push(Alert {
+                            severity: Severity::Low,
+                            kind: AlertKind::NovelTransition {
+                                server_ip: tl.server_ip,
+                                outstation_ip: tl.outstation_ip,
+                                from: w[0],
+                                to: w[1],
+                            },
+                        });
+                    }
+                }
+            }
+            for ev in &tl.events {
+                if let Some(asdu) = &ev.asdu {
+                    // Only process-control and parameter commands count as
+                    // High-severity surprises; system commands (clock sync,
+                    // interrogation) are routine on reconnects and already
+                    // surface as Medium NovelToken alerts when unusual.
+                    if ev.from_server
+                        && matches!(
+                            asdu.type_id.class(),
+                            TypeClass::Control | TypeClass::Parameter
+                        )
+                        && !profile.command_types.contains(&asdu.type_id.code())
+                    {
+                        alerts.push(Alert {
+                            severity: Severity::High,
+                            kind: AlertKind::UnexpectedCommand {
+                                server_ip: tl.server_ip,
+                                outstation_ip: tl.outstation_ip,
+                                type_id: asdu.type_id.code(),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- physical ------------------------------------------------
+        let series = dpi::extract_series(ds);
+        for s in &series {
+            let Some(env) = self.envelopes.get(&(s.station_ip, s.ioa)) else {
+                continue;
+            };
+            let span = env.hi - env.lo;
+            let mid = (env.hi + env.lo) / 2.0;
+            // Status points (small integral codes) flap legitimately and are
+            // covered by the physics rule below, not by envelopes.
+            let discrete = env.lo.fract() == 0.0
+                && env.hi.fract() == 0.0
+                && (0.0..=3.0).contains(&env.lo)
+                && (0.0..=3.0).contains(&env.hi);
+            if discrete {
+                continue;
+            }
+            // Noise-band series need generous padding: half the observed
+            // span, or a few percent of the operating point, whichever is
+            // larger — a different capture day samples different noise
+            // extremes.
+            let pad = (span * 1.0_f64.max(self.envelope_margin))
+                .max(mid.abs() * 0.12)
+                .max(3.0);
+            let (lo, hi) = (env.lo - pad, env.hi + pad);
+            if let Some(&(_, v)) = s
+                .samples
+                .iter()
+                .find(|(_, v)| *v < lo || *v > hi)
+            {
+                alerts.push(Alert {
+                    severity: Severity::High,
+                    kind: AlertKind::ValueOutOfRange {
+                        station_ip: s.station_ip,
+                        ioa: s.ioa,
+                        value: v,
+                        lo,
+                        hi,
+                    },
+                });
+            }
+        }
+        // Power with an open breaker (per station, where both points exist).
+        let mut by_station: BTreeMap<u32, (Option<&TimeSeries>, Option<&TimeSeries>)> =
+            BTreeMap::new();
+        for s in &series {
+            if s.from_server {
+                continue;
+            }
+            let entry = by_station.entry(s.station_ip).or_default();
+            if s.ioa == 800 {
+                entry.0 = Some(s);
+            }
+            // The periodic active-power point used by the Fig. 20 analysis.
+            if s.ioa == 705 {
+                entry.1 = Some(s);
+            }
+        }
+        for (station_ip, (breaker, power)) in by_station {
+            let (Some(b), Some(p)) = (breaker, power) else { continue };
+            let rows = dpi::align_series_defaults(&[b, p], 2.0, &[2.0, 0.0]);
+            let violation = rows
+                .iter()
+                .any(|(_, v)| v[0] != 2.0 && v[1].abs() > 25.0);
+            if violation {
+                alerts.push(Alert {
+                    severity: Severity::High,
+                    kind: AlertKind::PhysicsViolation {
+                        station_ip,
+                        detail: "active power while breaker not closed".to_string(),
+                    },
+                });
+            }
+        }
+
+        alerts.sort_by(|a, b| b.severity.cmp(&a.severity));
+        alerts.dedup();
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::IEC104_PORT;
+    use uncharted_iec104::apdu::Apdu;
+    use uncharted_iec104::asdu::{Asdu, InfoObject, IoValue};
+    use uncharted_iec104::cot::{Cause, Cot};
+    use uncharted_iec104::dialect::Dialect;
+    use uncharted_iec104::elements::Qds;
+    use uncharted_nettap::ethernet::MacAddr;
+    use uncharted_nettap::ipv4::addr;
+    use uncharted_nettap::pcap::{CapturedPacket, ParsedPacket};
+    use uncharted_nettap::tcp::{TcpFlags, TcpHeader};
+
+    fn pkt(t: f64, src: (u32, u16), dst: (u32, u16), seq: u32, payload: &[u8]) -> ParsedPacket {
+        CapturedPacket::build(
+            t,
+            MacAddr::from_device_id(src.0),
+            MacAddr::from_device_id(dst.0),
+            src.0,
+            dst.0,
+            TcpHeader {
+                src_port: src.1,
+                dst_port: dst.1,
+                seq,
+                ack: 1,
+                flags: TcpFlags::ACK.with(TcpFlags::PSH),
+                window: 8192,
+            },
+            payload,
+            0,
+        )
+        .parse()
+        .unwrap()
+    }
+
+    fn i13(seq: u16, ioa: u32, v: f32) -> Vec<u8> {
+        let asdu = Asdu::new(
+            uncharted_iec104::types::TypeId::M_ME_NC_1,
+            Cot::new(Cause::Spontaneous),
+            1,
+        )
+        .with_object(InfoObject::new(ioa, IoValue::FloatMeasurement {
+            value: v,
+            qds: Qds::GOOD,
+        }));
+        Apdu::i_frame(seq, 0, asdu).encode(Dialect::STANDARD).unwrap()
+    }
+
+    fn clean_dataset() -> Dataset {
+        let server = (addr(10, 0, 0, 1), 40001);
+        let rtu = (addr(10, 1, 3, 3), IEC104_PORT);
+        let mut packets = Vec::new();
+        let mut seq = 1;
+        for i in 0..20u16 {
+            let payload = i13(i, 700, 130.0 + (i as f32) * 0.05);
+            packets.push(pkt(i as f64, rtu, server, seq, &payload));
+            seq += payload.len() as u32;
+        }
+        Dataset::from_packets(packets)
+    }
+
+    #[test]
+    fn clean_replay_raises_nothing() {
+        let ds = clean_dataset();
+        let wl = Whitelist::learn(&ds);
+        assert_eq!(wl.pair_count(), 1);
+        let alerts = wl.inspect(&ds);
+        assert!(alerts.is_empty(), "self-inspection must be silent: {alerts:?}");
+    }
+
+    #[test]
+    fn unknown_host_flagged_high() {
+        let wl = Whitelist::learn(&clean_dataset());
+        let evil = (addr(10, 66, 6, 6), 50001);
+        let rtu = (addr(10, 1, 3, 3), IEC104_PORT);
+        let payload = Apdu::u_frame(uncharted_iec104::apci::UFunction::StartDtAct)
+            .encode(Dialect::STANDARD)
+            .unwrap();
+        let ds = Dataset::from_packets(vec![pkt(1.0, evil, rtu, 9, &payload)]);
+        let alerts = wl.inspect(&ds);
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a.kind, AlertKind::UnknownHost { ip } if ip == evil.0)));
+        assert_eq!(alerts[0].severity, Severity::High);
+    }
+
+    #[test]
+    fn novel_interrogation_flagged_as_novel_token() {
+        let wl = Whitelist::learn(&clean_dataset());
+        let server = (addr(10, 0, 0, 1), 40001);
+        let rtu = (addr(10, 1, 3, 3), IEC104_PORT);
+        let asdu = Asdu::new(
+            uncharted_iec104::types::TypeId::C_IC_NA_1,
+            Cot::new(Cause::Activation),
+            1,
+        )
+        .with_object(InfoObject::new(0, IoValue::Interrogation {
+            qoi: uncharted_iec104::elements::Qoi::STATION,
+        }));
+        let payload = Apdu::i_frame(0, 0, asdu).encode(Dialect::STANDARD).unwrap();
+        let ds = Dataset::from_packets(vec![pkt(1.0, server, rtu, 9, &payload)]);
+        let alerts = wl.inspect(&ds);
+        assert!(alerts.iter().any(|a| matches!(
+            a.kind,
+            AlertKind::NovelToken { token: Token::I(100), .. }
+        )));
+        // System commands are routine on reconnects and must not raise the
+        // High-severity command alert on their own.
+        assert!(!alerts
+            .iter()
+            .any(|a| matches!(a.kind, AlertKind::UnexpectedCommand { .. })));
+    }
+
+    #[test]
+    fn breaker_command_flagged_high() {
+        let wl = Whitelist::learn(&clean_dataset());
+        let server = (addr(10, 0, 0, 1), 40001);
+        let rtu = (addr(10, 1, 3, 3), IEC104_PORT);
+        let asdu = Asdu::new(
+            uncharted_iec104::types::TypeId::C_SC_NA_1,
+            Cot::new(Cause::Activation),
+            1,
+        )
+        .with_object(InfoObject::new(800, IoValue::SingleCommand { sco: 0 }));
+        let payload = Apdu::i_frame(0, 0, asdu).encode(Dialect::STANDARD).unwrap();
+        let ds = Dataset::from_packets(vec![pkt(1.0, server, rtu, 9, &payload)]);
+        let alerts = wl.inspect(&ds);
+        assert!(alerts.iter().any(|a| a.severity == Severity::High
+            && matches!(a.kind, AlertKind::UnexpectedCommand { type_id: 45, .. })));
+    }
+
+    #[test]
+    fn out_of_envelope_value_flagged() {
+        let wl = Whitelist::learn(&clean_dataset());
+        let server = (addr(10, 0, 0, 1), 40001);
+        let rtu = (addr(10, 1, 3, 3), IEC104_PORT);
+        // Same point, wildly different value.
+        let payload = i13(0, 700, 99_999.0);
+        let ds = Dataset::from_packets(vec![pkt(1.0, rtu, server, 9, &payload)]);
+        let alerts = wl.inspect(&ds);
+        assert!(alerts.iter().any(|a| matches!(
+            a.kind,
+            AlertKind::ValueOutOfRange { ioa: 700, .. }
+        )));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::High > Severity::Medium);
+        assert!(Severity::Medium > Severity::Low);
+    }
+}

@@ -1,0 +1,344 @@
+//! K-means++ clustering with the model-selection diagnostics the paper used
+//! (§6.3): the elbow method on the sum of squared errors, silhouette scores,
+//! and explained variance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Result of one K-means run.
+#[derive(Debug, Clone, Serialize)]
+pub struct KMeansResult {
+    /// Cluster index per input row.
+    pub assignments: Vec<usize>,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub sse: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Rows in each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Indices of the rows in cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+/// K-means++ seeding followed by Lloyd iterations.
+///
+/// Deterministic for a given `(data, k, seed)`.
+pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> KMeansResult {
+    assert!(k >= 1, "k must be positive");
+    let n = data.len();
+    if n == 0 {
+        return KMeansResult {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            sse: 0.0,
+            iterations: 0,
+        };
+    }
+    let k = k.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ initialisation.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data[rng.random_range(0..n)].clone());
+    let mut d2: Vec<f64> = data.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(data[next].clone());
+        for (i, p) in data.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, centroids.last().unwrap()));
+        }
+    }
+
+    // Lloyd.
+    let dims = data[0].len();
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for (i, p) in data.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centroids[a])
+                        .partial_cmp(&sq_dist(p, &centroids[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; dims]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in data.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                *c = sum.iter().map(|s| s / count as f64).collect();
+            }
+        }
+        if !changed || iterations >= 100 {
+            break;
+        }
+    }
+    let sse = data
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeansResult {
+        assignments,
+        centroids,
+        sse,
+        iterations,
+    }
+}
+
+/// Mean silhouette score over all points, in [-1, 1]. Single-member or
+/// single-cluster configurations score 0.
+pub fn silhouette(data: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
+    let n = data.len();
+    if n < 2 || k < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        let mut dist_sum = vec![0.0f64; k];
+        let mut count = vec![0usize; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = sq_dist(&data[i], &data[j]).sqrt();
+            dist_sum[assignments[j]] += d;
+            count[assignments[j]] += 1;
+        }
+        if count[own] == 0 {
+            continue; // lone member: silhouette 0 contribution
+        }
+        let a = dist_sum[own] / count[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && count[c] > 0)
+            .map(|c| dist_sum[c] / count[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(1e-12);
+        }
+    }
+    total / n as f64
+}
+
+/// Explained variance: between-cluster sum of squares over total sum of
+/// squares, in [0, 1].
+pub fn explained_variance(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
+    let n = data.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let dims = data[0].len();
+    let mut mean = vec![0.0; dims];
+    for p in data {
+        for (m, v) in mean.iter_mut().zip(p) {
+            *m += v / n as f64;
+        }
+    }
+    let total: f64 = data.iter().map(|p| sq_dist(p, &mean)).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let sizes = result.cluster_sizes();
+    let between: f64 = result
+        .centroids
+        .iter()
+        .zip(&sizes)
+        .map(|(c, &s)| s as f64 * sq_dist(c, &mean))
+        .sum();
+    (between / total).clamp(0.0, 1.0)
+}
+
+/// One row of the model-selection sweep.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ModelSelection {
+    /// Number of clusters.
+    pub k: usize,
+    /// Sum of squared errors (elbow criterion).
+    pub sse: f64,
+    /// Mean silhouette score.
+    pub silhouette: f64,
+    /// Explained variance.
+    pub explained: f64,
+}
+
+/// Sweep K over a range, producing the elbow/silhouette/explained table the
+/// paper used to pick K = 5.
+pub fn select_k(data: &[Vec<f64>], ks: std::ops::RangeInclusive<usize>, seed: u64) -> Vec<ModelSelection> {
+    ks.map(|k| {
+        let result = kmeans(data, k, seed);
+        ModelSelection {
+            k,
+            sse: result.sse,
+            silhouette: silhouette(data, &result.assignments, k),
+            explained: explained_variance(data, &result),
+        }
+    })
+    .collect()
+}
+
+/// The elbow heuristic: the K whose SSE drop-off flattens (maximum second
+/// difference of the SSE curve).
+pub fn elbow_k(selection: &[ModelSelection]) -> Option<usize> {
+    if selection.len() < 3 {
+        return selection.first().map(|m| m.k);
+    }
+    let mut best = None;
+    let mut best_curv = f64::NEG_INFINITY;
+    for w in selection.windows(3) {
+        let curv = w[0].sse - 2.0 * w[1].sse + w[2].sse;
+        if curv > best_curv {
+            best_curv = curv;
+            best = Some(w[1].k);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for center in [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]] {
+            for _ in 0..30 {
+                data.push(vec![
+                    center[0] + rng.random::<f64>() * 0.5,
+                    center[1] + rng.random::<f64>() * 0.5,
+                ]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let data = blobs();
+        let result = kmeans(&data, 3, 1);
+        assert_eq!(result.cluster_sizes(), vec![30, 30, 30]);
+        // Every blob is pure.
+        for c in 0..3 {
+            let members = result.members(c);
+            let first_block = members[0] / 30;
+            assert!(members.iter().all(|&m| m / 30 == first_block));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blobs();
+        let a = kmeans(&data, 3, 5);
+        let b = kmeans(&data, 3, 5);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.sse, b.sse);
+    }
+
+    #[test]
+    fn sse_decreases_with_k() {
+        let data = blobs();
+        let sweep = select_k(&data, 1..=6, 2);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].sse <= w[0].sse + 1e-9,
+                "SSE must not increase with k: {} -> {}",
+                w[0].sse,
+                w[1].sse
+            );
+        }
+    }
+
+    #[test]
+    fn silhouette_peaks_at_true_k() {
+        let data = blobs();
+        let sweep = select_k(&data, 2..=6, 3);
+        let best = sweep
+            .iter()
+            .max_by(|a, b| a.silhouette.partial_cmp(&b.silhouette).unwrap())
+            .unwrap();
+        assert_eq!(best.k, 3);
+        assert!(best.silhouette > 0.8, "clean blobs: {}", best.silhouette);
+    }
+
+    #[test]
+    fn elbow_finds_true_k() {
+        let data = blobs();
+        let sweep = select_k(&data, 1..=7, 4);
+        assert_eq!(elbow_k(&sweep), Some(3));
+    }
+
+    #[test]
+    fn explained_variance_high_for_separated_blobs() {
+        let data = blobs();
+        let result = kmeans(&data, 3, 1);
+        let ev = explained_variance(&data, &result);
+        assert!(ev > 0.95, "explained {ev}");
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let data = vec![vec![1.0], vec![2.0]];
+        let result = kmeans(&data, 10, 0);
+        assert!(result.centroids.len() <= 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let result = kmeans(&[], 3, 0);
+        assert!(result.assignments.is_empty());
+        assert_eq!(silhouette(&[], &[], 3), 0.0);
+    }
+}

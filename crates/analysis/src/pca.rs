@@ -1,0 +1,228 @@
+//! Principal component analysis via Jacobi eigendecomposition of the
+//! covariance matrix — used to project the 5-D session features onto the
+//! 2-D plane of the paper's Fig. 10.
+
+use serde::Serialize;
+
+/// A fitted PCA model.
+#[derive(Debug, Clone, Serialize)]
+pub struct Pca {
+    /// Column means removed before projection.
+    pub means: Vec<f64>,
+    /// Principal axes (rows, one per component, sorted by eigenvalue).
+    pub components: Vec<Vec<f64>>,
+    /// Eigenvalues, sorted descending.
+    pub eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit on rows of equal dimensionality.
+    pub fn fit(rows: &[Vec<f64>]) -> Pca {
+        assert!(!rows.is_empty(), "PCA needs data");
+        let dims = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dims];
+        for row in rows {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v / n;
+            }
+        }
+        // Covariance matrix.
+        let mut cov = vec![vec![0.0; dims]; dims];
+        for row in rows {
+            for i in 0..dims {
+                for j in i..dims {
+                    let c = (row[i] - means[i]) * (row[j] - means[j]) / n;
+                    cov[i][j] += c;
+                }
+            }
+        }
+        for i in 0..dims {
+            for j in 0..i {
+                cov[i][j] = cov[j][i];
+            }
+        }
+        let (eigenvalues, vectors) = jacobi_eigen(cov);
+        // Sort descending by eigenvalue.
+        let mut order: Vec<usize> = (0..dims).collect();
+        order.sort_by(|&a, &b| eigenvalues[b].partial_cmp(&eigenvalues[a]).unwrap());
+        let components: Vec<Vec<f64>> = order
+            .iter()
+            .map(|&k| (0..dims).map(|i| vectors[i][k]).collect())
+            .collect();
+        let eigenvalues: Vec<f64> = order.iter().map(|&k| eigenvalues[k]).collect();
+        Pca {
+            means,
+            components,
+            eigenvalues,
+        }
+    }
+
+    /// Project one row onto the first `k` components.
+    pub fn project(&self, row: &[f64], k: usize) -> Vec<f64> {
+        self.components
+            .iter()
+            .take(k)
+            .map(|axis| {
+                axis.iter()
+                    .zip(row.iter().zip(&self.means))
+                    .map(|(a, (v, m))| a * (v - m))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Project all rows onto the first `k` components.
+    pub fn transform(&self, rows: &[Vec<f64>], k: usize) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.project(r, k)).collect()
+    }
+
+    /// Fraction of total variance captured by the first `k` components.
+    pub fn explained_ratio(&self, k: usize) -> f64 {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.eigenvalues.iter().take(k).sum::<f64>() / total
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
+/// `(eigenvalues, eigenvector matrix)` with eigenvectors in columns.
+fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-22 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-18 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eigenvalues = (0..n).map(|i| a[i][i]).collect();
+    (eigenvalues, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Data stretched along the (1, 1) diagonal: PC1 must align with it.
+    fn diagonal_data() -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..200)
+            .map(|_| {
+                let main: f64 = rng.random::<f64>() * 10.0 - 5.0;
+                let noise: f64 = rng.random::<f64>() * 0.2 - 0.1;
+                vec![main + noise, main - noise]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pc1_aligns_with_dominant_direction() {
+        let pca = Pca::fit(&diagonal_data());
+        let pc1 = &pca.components[0];
+        let dot = (pc1[0] + pc1[1]).abs() / 2f64.sqrt();
+        assert!(dot > 0.99, "PC1 alignment: {dot}");
+        assert!(pca.explained_ratio(1) > 0.99);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|_| (0..5).map(|_| rng.random::<f64>()).collect())
+            .collect();
+        let pca = Pca::fit(&rows);
+        for i in 0..5 {
+            for j in 0..5 {
+                let dot: f64 = pca.components[i]
+                    .iter()
+                    .zip(&pca.components[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-8, "({i},{j}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending_and_nonnegative() {
+        let pca = Pca::fit(&diagonal_data());
+        for w in pca.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &e in &pca.eigenvalues {
+            assert!(e > -1e-9, "covariance eigenvalues are non-negative: {e}");
+        }
+    }
+
+    #[test]
+    fn projection_preserves_variance() {
+        let rows = diagonal_data();
+        let pca = Pca::fit(&rows);
+        let projected = pca.transform(&rows, 2);
+        let total_orig: f64 = {
+            let n = rows.len() as f64;
+            let mean0: f64 = rows.iter().map(|r| r[0]).sum::<f64>() / n;
+            let mean1: f64 = rows.iter().map(|r| r[1]).sum::<f64>() / n;
+            rows.iter()
+                .map(|r| (r[0] - mean0).powi(2) + (r[1] - mean1).powi(2))
+                .sum::<f64>()
+                / n
+        };
+        let total_proj: f64 = projected
+            .iter()
+            .map(|r| r.iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            / rows.len() as f64;
+        assert!((total_orig - total_proj).abs() < 1e-8);
+    }
+
+    #[test]
+    fn explained_ratio_monotone() {
+        let pca = Pca::fit(&diagonal_data());
+        assert!(pca.explained_ratio(1) <= pca.explained_ratio(2) + 1e-12);
+        assert!((pca.explained_ratio(2) - 1.0).abs() < 1e-9);
+    }
+}

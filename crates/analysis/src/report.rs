@@ -1,0 +1,190 @@
+//! Plain-text table rendering shared by the bench harness and examples.
+
+/// A simple fixed-width ASCII table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (cells are stringified by the caller).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column alignment and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("| {cell:<w$} "));
+            }
+            line.push('|');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let rule: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as `"12.3%"`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Format a fraction with more precision (Table 7 needs four decimals).
+pub fn pct4(fraction: f64) -> String {
+    format!("{:.4}%", fraction * 100.0)
+}
+
+/// Render an IPv4 address.
+pub fn ip(addr: u32) -> String {
+    uncharted_nettap::ipv4::fmt_addr(addr)
+}
+
+/// A terminal sparkline over `(t, value)` samples: one glyph per time
+/// bucket, intensity by value (for Fig. 18–20-style series output).
+pub fn sparkline(samples: &[(f64, f64)], buckets: usize) -> String {
+    if samples.is_empty() {
+        return "(empty)".into();
+    }
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    let t0 = samples.first().unwrap().0;
+    let t1 = samples.last().unwrap().0.max(t0 + 1e-9);
+    let lo = samples.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
+    let hi = samples.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let mut cells = vec![f64::NAN; buckets];
+    for &(t, v) in samples {
+        let idx = (((t - t0) / (t1 - t0)) * (buckets - 1) as f64) as usize;
+        cells[idx] = v;
+    }
+    let mut line = String::new();
+    let mut last = lo;
+    for c in cells {
+        let v = if c.is_nan() { last } else { c };
+        last = v;
+        let g = (((v - lo) / span) * (glyphs.len() - 1) as f64).round() as usize;
+        line.push(glyphs[g]);
+    }
+    format!("{line}  [{lo:.2} .. {hi:.2}]")
+}
+
+/// A quick ASCII scatter plot (for Fig. 10/13-style outputs in terminals).
+pub fn ascii_scatter(points: &[(f64, f64, char)], width: usize, height: usize) -> String {
+    if points.is_empty() {
+        return String::from("(no points)\n");
+    }
+    let (mut min_x, mut max_x) = (f64::MAX, f64::MIN);
+    let (mut min_y, mut max_y) = (f64::MAX, f64::MIN);
+    for &(x, y, _) in points {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y, c) in points {
+        let col = (((x - min_x) / span_x) * (width - 1) as f64).round() as usize;
+        let row = (((y - min_y) / span_y) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - row;
+        grid[row][col] = c;
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "x: [{min_x:.2}, {max_x:.2}]  y: [{min_y:.2}, {max_y:.2}]\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["Year", "Count"]);
+        t.row(["Y1", "31677"]);
+        t.row(["Y2", "8486"]);
+        let s = t.render();
+        assert!(s.contains("| Year"));
+        assert!(s.contains("| 31677"));
+        assert_eq!(s.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.744), "74.4%");
+        assert_eq!(pct4(0.651322), "65.1322%");
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)], 12);
+        assert!(s.contains("[1.00 .. 3.00]"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn sparkline_empty_safe() {
+        assert_eq!(sparkline(&[], 10), "(empty)");
+    }
+
+    #[test]
+    fn scatter_contains_markers() {
+        let s = ascii_scatter(&[(0.0, 0.0, 'a'), (1.0, 1.0, 'b')], 10, 5);
+        assert!(s.contains('a'));
+        assert!(s.contains('b'));
+    }
+
+    #[test]
+    fn scatter_empty_safe() {
+        assert_eq!(ascii_scatter(&[], 10, 5), "(no points)\n");
+    }
+}

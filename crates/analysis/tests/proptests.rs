@@ -1,0 +1,152 @@
+//! Property-based tests for the analysis pipeline's mathematical cores:
+//! K-means optimality, standardisation, PCA geometry and Markov chain
+//! invariants.
+
+use proptest::prelude::*;
+use uncharted_analysis::kmeans::{self, explained_variance, silhouette};
+use uncharted_analysis::markov::TokenChain;
+use uncharted_analysis::pca::Pca;
+use uncharted_analysis::session::standardize;
+use uncharted_iec104::tokens::Token;
+
+fn arb_rows(dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, dims..=dims),
+        4..60,
+    )
+}
+
+fn arb_tokens() -> impl Strategy<Value = Vec<Token>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Token::S),
+            Just(Token::U16),
+            Just(Token::U32),
+            Just(Token::U1),
+            Just(Token::I(13)),
+            Just(Token::I(36)),
+            Just(Token::I(100)),
+        ],
+        1..200,
+    )
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Lloyd's algorithm terminates with every point assigned to its
+    /// nearest centroid, and the reported SSE is exactly the sum of those
+    /// distances.
+    #[test]
+    fn kmeans_assignments_are_locally_optimal(rows in arb_rows(3), k in 1usize..6, seed in any::<u64>()) {
+        let result = kmeans::kmeans(&rows, k, seed);
+        prop_assert_eq!(result.assignments.len(), rows.len());
+        let mut sse = 0.0;
+        for (p, &a) in rows.iter().zip(&result.assignments) {
+            let assigned = sq_dist(p, &result.centroids[a]);
+            sse += assigned;
+            for c in &result.centroids {
+                prop_assert!(assigned <= sq_dist(p, c) + 1e-9, "nearest-centroid property");
+            }
+        }
+        prop_assert!((sse - result.sse).abs() < 1e-6 * (1.0 + sse));
+    }
+
+    #[test]
+    fn kmeans_deterministic(rows in arb_rows(2), k in 1usize..5, seed in any::<u64>()) {
+        let a = kmeans::kmeans(&rows, k, seed);
+        let b = kmeans::kmeans(&rows, k, seed);
+        prop_assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn silhouette_and_ev_in_range(rows in arb_rows(2), k in 2usize..5, seed in any::<u64>()) {
+        let result = kmeans::kmeans(&rows, k, seed);
+        let s = silhouette(&rows, &result.assignments, result.centroids.len());
+        prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s}");
+        let ev = explained_variance(&rows, &result);
+        prop_assert!((0.0..=1.0).contains(&ev), "ev {ev}");
+    }
+
+    #[test]
+    fn standardize_is_zero_mean_unit_variance(rows in arb_rows(4)) {
+        let z = standardize(&rows);
+        let n = z.len() as f64;
+        for d in 0..4 {
+            let mean: f64 = z.iter().map(|r| r[d]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-9, "mean {mean}");
+            let var: f64 = z.iter().map(|r| r[d].powi(2)).sum::<f64>() / n;
+            // Constant columns standardise to zeros; others to unit variance.
+            prop_assert!(var < 1e-9 || (var - 1.0).abs() < 1e-6, "var {var}");
+        }
+    }
+
+    /// PCA projection is an isometry onto the component subspace: projected
+    /// total variance never exceeds the original, and with all components
+    /// kept it matches.
+    #[test]
+    fn pca_projection_preserves_total_variance(rows in arb_rows(3)) {
+        let pca = Pca::fit(&rows);
+        let n = rows.len() as f64;
+        let mut means = [0.0; 3];
+        for r in &rows {
+            for (m, v) in means.iter_mut().zip(r) {
+                *m += v / n;
+            }
+        }
+        let total: f64 = rows
+            .iter()
+            .map(|r| r.iter().zip(&means).map(|(v, m)| (v - m).powi(2)).sum::<f64>())
+            .sum::<f64>();
+        let proj2: f64 = pca
+            .transform(&rows, 2)
+            .iter()
+            .map(|r| r.iter().map(|v| v * v).sum::<f64>())
+            .sum();
+        let proj3: f64 = pca
+            .transform(&rows, 3)
+            .iter()
+            .map(|r| r.iter().map(|v| v * v).sum::<f64>())
+            .sum();
+        prop_assert!(proj2 <= total * (1.0 + 1e-9) + 1e-6);
+        prop_assert!((proj3 - total).abs() < 1e-6 * (1.0 + total));
+        // Explained ratios are monotone and bounded.
+        prop_assert!(pca.explained_ratio(1) <= pca.explained_ratio(2) + 1e-12);
+        prop_assert!(pca.explained_ratio(3) <= 1.0 + 1e-12);
+    }
+
+    /// Markov chains: transition rows are stochastic, edge/node counts are
+    /// consistent, and the training sequence itself always has non-zero
+    /// probability.
+    #[test]
+    fn token_chain_invariants(tokens in arb_tokens()) {
+        let chain = TokenChain::from_tokens(&tokens);
+        let nodes = chain.node_count();
+        let edges = chain.edge_count();
+        prop_assert!(nodes >= 1);
+        prop_assert!(edges <= nodes * nodes, "edges {edges} nodes {nodes}");
+        for (&from, row) in &chain.counts {
+            let total: f64 = row.keys().map(|&to| chain.transition(from, to)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "row of {from} sums to {total}");
+        }
+        let logp = chain.sequence_log_prob(&tokens);
+        prop_assert!(logp.is_some(), "training sequence is representable");
+        prop_assert!(logp.unwrap() <= 1e-12);
+    }
+
+    /// A sequence containing a transition absent from training scores None.
+    #[test]
+    fn unseen_transition_scores_none(n in 2usize..50) {
+        let tokens: Vec<Token> = std::iter::repeat([Token::U16, Token::U32])
+            .flatten()
+            .take(n * 2)
+            .collect();
+        let chain = TokenChain::from_tokens(&tokens);
+        prop_assert!(chain.sequence_log_prob(&[Token::U16, Token::U16]).is_none());
+        prop_assert!(chain.sequence_log_prob(&[Token::U16, Token::U32]).is_some());
+    }
+}

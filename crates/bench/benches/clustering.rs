@@ -1,0 +1,57 @@
+//! §6.3 pipeline stages: session feature extraction, standardisation,
+//! K-means++ (single run and the model-selection sweep), silhouette and PCA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uncharted::analysis::dataset::Dataset;
+use uncharted::analysis::kmeans::{self, silhouette};
+use uncharted::analysis::pca::Pca;
+use uncharted::analysis::session::{extract_sessions, standardize};
+use uncharted::{Scenario, Simulation, Year};
+
+fn features() -> (Dataset, Vec<Vec<f64>>) {
+    let set = Simulation::new(Scenario::small(Year::Y1, 11, 120.0)).run();
+    let ds = Dataset::from_captures(set.captures.iter());
+    let sessions = extract_sessions(&ds);
+    let raw: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().selected()).collect();
+    let z = standardize(&raw);
+    (ds, z)
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let (ds, z) = features();
+    let mut group = c.benchmark_group("clustering");
+
+    group.bench_function("extract_sessions", |b| {
+        b.iter(|| black_box(extract_sessions(black_box(&ds))))
+    });
+    group.bench_function("standardize", |b| {
+        let raw: Vec<Vec<f64>> = extract_sessions(&ds)
+            .iter()
+            .map(|s| s.features().selected())
+            .collect();
+        b.iter(|| black_box(standardize(black_box(&raw))))
+    });
+    for k in [3usize, 5, 8] {
+        group.bench_with_input(BenchmarkId::new("kmeans", k), &k, |b, &k| {
+            b.iter(|| black_box(kmeans::kmeans(black_box(&z), k, 7)))
+        });
+    }
+    group.bench_function("silhouette_k5", |b| {
+        let result = kmeans::kmeans(&z, 5, 7);
+        b.iter(|| black_box(silhouette(&z, &result.assignments, 5)))
+    });
+    group.bench_function("select_k_sweep_2_8", |b| {
+        b.iter(|| black_box(kmeans::select_k(black_box(&z), 2..=8, 7)))
+    });
+    group.bench_function("pca_fit_project", |b| {
+        b.iter(|| {
+            let pca = Pca::fit(black_box(&z));
+            black_box(pca.transform(&z, 2))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! End-to-end experiment regeneration timing: one Criterion measurement per
+//! table/figure routine (over a shared pre-simulated study), plus the study
+//! construction itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uncharted_bench::{all_experiments, run_experiment, Study};
+
+fn bench_experiments(c: &mut Criterion) {
+    let study = Study::run(42, 20.0);
+    let mut group = c.benchmark_group("experiments");
+    // Some routines run whole clustering sweeps; keep sampling modest.
+    group.sample_size(10);
+    for (id, _title) in all_experiments() {
+        group.bench_with_input(BenchmarkId::from_parameter(id), id, |b, id| {
+            b.iter(|| black_box(run_experiment(&study, id).unwrap().json))
+        });
+    }
+    group.finish();
+}
+
+fn bench_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study");
+    group.sample_size(10);
+    group.bench_function("run_scale_10", |b| {
+        b.iter(|| black_box(Study::run(42, 10.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_study);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §6.3.1 pipeline stages: chain construction, the census, classification
+//! and sequence scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use uncharted::analysis::dataset::Dataset;
+use uncharted::analysis::markov::{classify_outstations, ChainCensus, TokenChain};
+use uncharted::iec104::tokens::Token;
+use uncharted::{Scenario, Simulation, Year};
+
+fn dataset() -> Dataset {
+    let set = Simulation::new(Scenario::small(Year::Y1, 11, 120.0)).run();
+    Dataset::from_captures(set.captures.iter())
+}
+
+fn bench_markov(c: &mut Criterion) {
+    let ds = dataset();
+    let tokens: Vec<Token> = ds
+        .timelines
+        .iter()
+        .max_by_key(|tl| tl.events.len())
+        .map(|tl| tl.tokens())
+        .unwrap_or_default();
+    let mut group = c.benchmark_group("markov");
+
+    group.throughput(Throughput::Elements(tokens.len() as u64));
+    group.bench_function("chain_from_tokens", |b| {
+        b.iter(|| black_box(TokenChain::from_tokens(black_box(&tokens))))
+    });
+    let chain = TokenChain::from_tokens(&tokens);
+    group.bench_function("sequence_log_prob", |b| {
+        b.iter(|| black_box(chain.sequence_log_prob(black_box(&tokens))))
+    });
+    group.bench_function("chain_census", |b| {
+        b.iter(|| black_box(ChainCensus::from_dataset(black_box(&ds))))
+    });
+    let census = ChainCensus::from_dataset(&ds);
+    group.bench_function("classify_outstations", |b| {
+        b.iter(|| black_box(classify_outstations(black_box(&census))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_markov);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Parser throughput: APDU encode/decode, stream parsing (strict vs
+//! tolerant) and dialect detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uncharted::iec104::apdu::Apdu;
+use uncharted::iec104::asdu::{Asdu, InfoObject, IoValue};
+use uncharted::iec104::cot::{Cause, Cot};
+use uncharted::iec104::dialect::Dialect;
+use uncharted::iec104::elements::{Cp56Time2a, Qds};
+use uncharted::iec104::parser::{detect_dialect, StrictParser, TolerantParser};
+use uncharted::iec104::types::TypeId;
+
+fn sample_asdu(i: u16) -> Asdu {
+    Asdu::new(TypeId::M_ME_TF_1, Cot::new(Cause::Spontaneous), 7).with_object(
+        InfoObject::new(700 + (i as u32 % 16), IoValue::FloatMeasurement {
+            value: 130.0 + i as f32 * 0.01,
+            qds: Qds::GOOD,
+        })
+        .with_time(Cp56Time2a::from_epoch_millis(i as u64 * 1000)),
+    )
+}
+
+fn stream(dialect: Dialect, frames: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..frames {
+        out.extend(
+            Apdu::i_frame(i as u16 % 32768, 0, sample_asdu(i as u16))
+                .encode(dialect)
+                .unwrap(),
+        );
+    }
+    out
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apdu");
+    let apdu = Apdu::i_frame(5, 2, sample_asdu(3));
+    let bytes = apdu.encode(Dialect::STANDARD).unwrap();
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(&apdu).encode(Dialect::STANDARD).unwrap())
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| Apdu::decode(black_box(&bytes), Dialect::STANDARD).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_stream_parsing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_parse");
+    for frames in [100usize, 1000] {
+        let std_stream = stream(Dialect::STANDARD, frames);
+        let legacy_stream = stream(Dialect::LEGACY_COT, frames);
+        group.throughput(Throughput::Bytes(std_stream.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("strict_standard", frames),
+            &std_stream,
+            |b, s| {
+                b.iter(|| {
+                    let mut p = StrictParser::new();
+                    black_box(p.feed(s))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tolerant_standard", frames),
+            &std_stream,
+            |b, s| {
+                b.iter(|| {
+                    let mut p = TolerantParser::new();
+                    let mut items = p.feed(s);
+                    items.extend(p.flush());
+                    black_box(items)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tolerant_legacy", frames),
+            &legacy_stream,
+            |b, s| {
+                b.iter(|| {
+                    let mut p = TolerantParser::new();
+                    let mut items = p.feed(s);
+                    items.extend(p.flush());
+                    black_box(items)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dialect_detection(c: &mut Criterion) {
+    let mut frames = Vec::new();
+    let raw = stream(Dialect::LEGACY_IOA, 16);
+    let mut off = 0;
+    while off < raw.len() {
+        let len = 2 + raw[off + 1] as usize;
+        frames.push(raw[off..off + len].to_vec());
+        off += len;
+    }
+    c.bench_function("dialect_detection_16_frames", |b| {
+        b.iter(|| black_box(detect_dialect(black_box(&frames))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode_decode,
+    bench_stream_parsing,
+    bench_dialect_detection
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! `repro` — regenerate every table and figure of *Uncharted Networks*.
+//!
+//! ```sh
+//! # everything, at the default scale (~6 minutes of simulated capture):
+//! cargo run --release -p uncharted-bench --bin repro -- all
+//!
+//! # one experiment:
+//! cargo run --release -p uncharted-bench --bin repro -- table3
+//!
+//! # full paper-proportional scale (~80 minutes of simulated capture) and a
+//! # JSON dump for EXPERIMENTS.md:
+//! cargo run --release -p uncharted-bench --bin repro -- all --scale 450 --json results.json
+//! ```
+
+use uncharted_bench::{all_experiments, run_experiment, Study};
+
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment|all|list> [--scale <secs-per-paper-hour>] [--seed <n>] [--json <path>] [--csv <dir>]");
+    eprintln!("experiments:");
+    for (id, title) in all_experiments() {
+        eprintln!("  {id:<12} {title}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut target = None;
+    let mut scale = 60.0;
+    let mut seed = 42u64;
+    let mut json_path: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "list" => {
+                for (id, title) in all_experiments() {
+                    println!("{id:<12} {title}");
+                }
+                return;
+            }
+            other if target.is_none() => target = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let target = target.unwrap_or_else(|| usage());
+
+    eprintln!("simulating both capture years (seed {seed}, scale {scale} s/paper-hour)...");
+    let t0 = std::time::Instant::now();
+    let study = Study::run(seed, scale);
+    eprintln!(
+        "simulated {} + {} packets in {:.1?}\n",
+        study.y1_set.total_packets(),
+        study.y2_set.total_packets(),
+        t0.elapsed()
+    );
+
+    let ids: Vec<&'static str> = if target == "all" {
+        all_experiments().iter().map(|(id, _)| *id).collect()
+    } else {
+        match all_experiments().iter().find(|(id, _)| *id == target) {
+            Some((id, _)) => vec![*id],
+            None => usage(),
+        }
+    };
+
+    let mut records = serde_json::Map::new();
+    for id in ids {
+        let output = run_experiment(&study, id).expect("known id");
+        println!("==== {} — {} ====", output.id, output.title);
+        println!("{}", output.text);
+        records.insert(output.id.to_string(), output.json);
+        if let Some(dir) = &csv_dir {
+            let files = uncharted_bench::experiments::export_csv(
+                &study,
+                id,
+                std::path::Path::new(dir),
+            )
+            .expect("write csv");
+            for f in files {
+                eprintln!("wrote {}", f.display());
+            }
+        }
+    }
+    if let Some(path) = json_path {
+        let doc = serde_json::json!({
+            "seed": seed,
+            "scale_secs_per_paper_hour": scale,
+            "experiments": records,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! # uncharted-bench
+//!
+//! The experiment harness: one regeneration routine per table and figure of
+//! the paper. The `repro` binary prints the same rows/series the paper
+//! reports; Criterion benches time the pipeline stages.
+//!
+//! Absolute numbers come from the simulator, not the authors' testbed; the
+//! *shapes* — who dominates, by what factor, where the outliers sit — are
+//! the reproduction targets (see `EXPERIMENTS.md`).
+
+pub mod experiments;
+pub mod study;
+
+pub use experiments::{all_experiments, run_experiment, ExperimentOutput};
+pub use study::Study;

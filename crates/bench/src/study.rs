@@ -1,0 +1,105 @@
+//! The shared study context: both capture years simulated once and ingested
+//! once, with the ground-truth topology alongside for labelling.
+
+use uncharted::scadasim::topology::Topology;
+use uncharted::{CaptureSet, Pipeline, Scenario, Simulation};
+
+/// Both capture campaigns plus their pipelines.
+pub struct Study {
+    /// Seed used for Y1 (Y2 uses `seed + 1`).
+    pub seed: u64,
+    /// Capture-seconds per paper-hour (450 ≈ the default full run; tests
+    /// and CI use smaller values).
+    pub scale: f64,
+    /// The Year-1 captures.
+    pub y1_set: CaptureSet,
+    /// The Year-2 captures.
+    pub y2_set: CaptureSet,
+    /// Year-1 pipeline (all five windows ingested together).
+    pub y1: Pipeline,
+    /// Year-2 pipeline.
+    pub y2: Pipeline,
+    /// Ground truth for labelling outputs (Ox/Sx/Cx names).
+    pub topology: Topology,
+}
+
+impl Study {
+    /// Simulate and ingest both years.
+    pub fn run(seed: u64, scale: f64) -> Study {
+        let y1_set = Simulation::new(Scenario::y1_scaled(seed, scale)).run();
+        let y2_set = Simulation::new(Scenario::y2_scaled(seed + 1, scale)).run();
+        let y1 = Pipeline::from_capture_set(&y1_set);
+        let y2 = Pipeline::from_capture_set(&y2_set);
+        Study {
+            seed,
+            scale,
+            y1_set,
+            y2_set,
+            y1,
+            y2,
+            topology: Topology::paper_network(),
+        }
+    }
+
+    /// A small, fast study for tests and Criterion.
+    pub fn small(seed: u64) -> Study {
+        Study::run(seed, 30.0)
+    }
+
+    /// Label an outstation IP with its paper name (`"O37"`), falling back to
+    /// the dotted quad.
+    pub fn outstation_name(&self, ip: u32) -> String {
+        self.topology
+            .outstations
+            .iter()
+            .find(|o| o.ip() == ip)
+            .map(|o| o.label())
+            .unwrap_or_else(|| uncharted::nettap::ipv4::fmt_addr(ip))
+    }
+
+    /// Label a server IP with its paper name (`"C2"`).
+    pub fn server_name(&self, ip: u32) -> String {
+        use uncharted::scadasim::topology::ServerId;
+        ServerId::ALL
+            .iter()
+            .find(|s| s.ip() == ip)
+            .map(|s| s.label().to_string())
+            .unwrap_or_else(|| uncharted::nettap::ipv4::fmt_addr(ip))
+    }
+
+    /// Label a (server, outstation) pair, paper style: `"C2-O30"`.
+    pub fn pair_name(&self, server_ip: u32, outstation_ip: u32) -> String {
+        format!(
+            "{}-{}",
+            self.server_name(server_ip),
+            self.outstation_name(outstation_ip)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_builds_and_labels() {
+        let study = Study::run(5, 8.0);
+        assert_eq!(study.y1_set.captures.len(), 5);
+        assert_eq!(study.y2_set.captures.len(), 3);
+        assert!(study.y1.dataset.packets.len() > 100);
+        let o37 = study
+            .topology
+            .outstation(37)
+            .unwrap()
+            .ip();
+        assert_eq!(study.outstation_name(o37), "O37");
+        assert_eq!(
+            study.server_name(uncharted::scadasim::topology::ServerId::C2.ip()),
+            "C2"
+        );
+        assert_eq!(
+            study.pair_name(uncharted::scadasim::topology::ServerId::C2.ip(), o37),
+            "C2-O37"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+#![warn(missing_docs)]
+//! # uncharted
+//!
+//! End-to-end reproduction of *Uncharted Networks: A First Measurement
+//! Study of the Bulk Power System* (IMC 2020): generate bulk-power SCADA
+//! captures with the federated-network simulator, then run the paper's
+//! measurement pipeline over them.
+//!
+//! The crate is a thin facade. The heavy lifting lives in:
+//!
+//! * [`iec104`] — the dialect-aware IEC 60870-5-104 stack,
+//! * [`nettap`] — wire formats, pcap, TCP endpoints, flow reconstruction,
+//! * [`powergrid`] — the grid + AGC substrate,
+//! * [`scadasim`] — the Fig. 6 network simulator,
+//! * [`analysis`] — flows, clustering, Markov profiling, physical DPI.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uncharted::{Pipeline, Scenario, Simulation, Year};
+//!
+//! // Simulate a small Year-1 capture (seeded: fully reproducible)...
+//! let captures = Simulation::new(Scenario::small(Year::Y1, 7, 60.0)).run();
+//! // ...and run the paper's pipeline over it.
+//! let pipeline = Pipeline::from_capture_set(&captures);
+//! let flows = pipeline.flow_stats();
+//! assert!(flows.total() > 0);
+//! let census = pipeline.type_census();
+//! assert!(census.total() > 0);
+//! ```
+
+pub use uncharted_analysis as analysis;
+pub use uncharted_iec104 as iec104;
+pub use uncharted_nettap as nettap;
+pub use uncharted_powergrid as powergrid;
+pub use uncharted_scadasim as scadasim;
+
+pub use uncharted_analysis::dataset::Dataset;
+pub use uncharted_analysis::flowstats::FlowStats;
+pub use uncharted_nettap::pcap::Capture;
+pub use uncharted_scadasim::scenario::{CaptureSet, Scenario, Year};
+pub use uncharted_scadasim::sim::Simulation;
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use uncharted_analysis::dpi::{self, TypeCensus};
+use uncharted_analysis::kmeans::{self, KMeansResult, ModelSelection};
+use uncharted_analysis::markov::{self, ChainCensus, OutstationClass};
+use uncharted_analysis::pca::Pca;
+use uncharted_analysis::session::{extract_sessions, standardize, Session};
+
+/// The full measurement pipeline over one dataset (one capture, one year's
+/// captures, or anything else assembled from packets).
+#[derive(Debug)]
+pub struct Pipeline {
+    /// The ingested dataset.
+    pub dataset: Dataset,
+}
+
+/// Summary of a K-means clustering run over the session features.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterReport {
+    /// The model-selection sweep (paper's elbow/silhouette/EV table).
+    pub selection: Vec<ModelSelection>,
+    /// The K suggested by the elbow heuristic.
+    pub elbow_k: Option<usize>,
+    /// The clustering at the paper's K = 5.
+    pub k5: KMeansResult,
+    /// 2-D PCA projection of every session (Fig. 10 coordinates).
+    pub projected: Vec<Vec<f64>>,
+    /// Variance captured by the two plotted components.
+    pub pca_explained: f64,
+    /// Mean raw feature vector per cluster (Δt̄, packets, %I, %S, %U).
+    pub cluster_means: Vec<Vec<f64>>,
+}
+
+impl Pipeline {
+    /// Ingest one capture.
+    pub fn from_capture(capture: &Capture) -> Pipeline {
+        Pipeline {
+            dataset: Dataset::from_capture(capture),
+        }
+    }
+
+    /// Ingest a whole capture campaign (flows spanning windows stay split,
+    /// exactly as the paper's multi-day captures did).
+    pub fn from_capture_set(set: &CaptureSet) -> Pipeline {
+        Pipeline {
+            dataset: Dataset::from_captures(set.captures.iter()),
+        }
+    }
+
+    /// Ingest a classic libpcap file.
+    pub fn from_pcap_file(path: &std::path::Path) -> std::io::Result<Pipeline> {
+        let file = std::fs::File::open(path)?;
+        let capture = Capture::read_pcap(std::io::BufReader::new(file))
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        Ok(Pipeline::from_capture(&capture))
+    }
+
+    /// Table 3 flow statistics.
+    pub fn flow_stats(&self) -> FlowStats {
+        FlowStats::from_flows(&self.dataset.flows)
+    }
+
+    /// The unidirectional sessions.
+    pub fn sessions(&self) -> Vec<Session> {
+        extract_sessions(&self.dataset)
+    }
+
+    /// The §6.3 clustering study: feature extraction, standardisation,
+    /// model-selection sweep, K=5 clustering, PCA projection.
+    pub fn cluster_sessions(&self, seed: u64) -> ClusterReport {
+        let sessions = self.sessions();
+        let raw: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().selected()).collect();
+        let z = standardize(&raw);
+        let selection = kmeans::select_k(&z, 2..=8, seed);
+        let k5 = kmeans::kmeans(&z, 5, seed);
+        let pca = Pca::fit(&z);
+        let projected = pca.transform(&z, 2);
+        let mut cluster_means = vec![vec![0.0; 5]; k5.centroids.len()];
+        let sizes = k5.cluster_sizes();
+        for (row, &c) in raw.iter().zip(&k5.assignments) {
+            for (m, v) in cluster_means[c].iter_mut().zip(row) {
+                *m += v / sizes[c].max(1) as f64;
+            }
+        }
+        ClusterReport {
+            elbow_k: kmeans::elbow_k(&selection),
+            selection,
+            k5,
+            pca_explained: pca.explained_ratio(2),
+            projected,
+            cluster_means,
+        }
+    }
+
+    /// The Markov chain census (Fig. 13).
+    pub fn chain_census(&self) -> ChainCensus {
+        ChainCensus::from_dataset(&self.dataset)
+    }
+
+    /// The Table 6 / Fig. 17 outstation taxonomy.
+    pub fn classify_outstations(&self) -> BTreeMap<u32, OutstationClass> {
+        markov::classify_outstations(&self.chain_census())
+    }
+
+    /// Table 7: the ASDU typeID census.
+    pub fn type_census(&self) -> TypeCensus {
+        TypeCensus::from_dataset(&self.dataset)
+    }
+
+    /// Table 8: typeID → transmitting stations and inferred physics.
+    pub fn table8(&self) -> Vec<dpi::Table8Row> {
+        dpi::table8(&self.dataset)
+    }
+
+    /// All extracted physical time series.
+    pub fn physical_series(&self) -> Vec<dpi::TimeSeries> {
+        dpi::extract_series(&self.dataset)
+    }
+
+    /// Physical series flagged by the normalised-variance screen.
+    pub fn interesting_series(&self, window_s: f64, threshold: f64) -> Vec<dpi::TimeSeries> {
+        self.physical_series()
+            .into_iter()
+            .filter(|s| !dpi::variance_events(s, window_s, threshold).is_empty())
+            .collect()
+    }
+}
+
+/// Run both capture years at the given scale and return their pipelines —
+/// the year-over-year comparison setup of the paper.
+pub fn run_study(seed: u64, secs_per_paper_hour: f64) -> (Pipeline, Pipeline) {
+    let (y1, y2) = uncharted_scadasim::sim::run_both_years(seed, secs_per_paper_hour);
+    (
+        Pipeline::from_capture_set(&y1),
+        Pipeline::from_capture_set(&y2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_over_small_capture() {
+        let set = Simulation::new(Scenario::small(Year::Y1, 3, 45.0)).run();
+        let p = Pipeline::from_capture_set(&set);
+        assert!(p.flow_stats().total() > 10);
+        assert!(p.type_census().total() > 50);
+        assert!(!p.sessions().is_empty());
+        assert!(!p.chain_census().rows.is_empty());
+        assert!(!p.classify_outstations().is_empty());
+    }
+
+    #[test]
+    fn pcap_round_trip_through_pipeline() {
+        let set = Simulation::new(Scenario::small(Year::Y1, 4, 30.0)).run();
+        let dir = std::env::temp_dir().join("uncharted_test_pcap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("y1_small.pcap");
+        let mut buf = Vec::new();
+        set.captures[0].write_pcap(&mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let p = Pipeline::from_pcap_file(&path).unwrap();
+        let direct = Pipeline::from_capture(&set.captures[0]);
+        assert_eq!(p.dataset.packets.len(), direct.dataset.packets.len());
+        assert_eq!(p.type_census().counts, direct.type_census().counts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cluster_report_shapes() {
+        let set = Simulation::new(Scenario::small(Year::Y1, 5, 60.0)).run();
+        let p = Pipeline::from_capture_set(&set);
+        let report = p.cluster_sessions(11);
+        assert_eq!(report.selection.len(), 7); // k = 2..=8
+        assert_eq!(report.k5.centroids.len(), 5);
+        assert_eq!(report.projected.len(), p.sessions().len());
+        assert!(report.pca_explained > 0.5);
+        assert_eq!(report.cluster_means.len(), 5);
+    }
+}

@@ -1,0 +1,299 @@
+//! Application Protocol Control Information — the fixed 6-octet header of
+//! every IEC 104 APDU: start byte `0x68`, a length octet, and four control
+//! octets whose low bits select one of three frame formats.
+//!
+//! * **I-format** carries an ASDU plus 15-bit send/receive sequence numbers.
+//! * **S-format** is a pure acknowledgement carrying only a receive sequence.
+//! * **U-format** carries one of six unnumbered control functions
+//!   (STARTDT/STOPDT/TESTFR, each with an *act* and a *con* flavour).
+
+use crate::{Error, Result};
+
+/// The IEC 104 start octet that opens every APDU.
+pub const START_BYTE: u8 = 0x68;
+
+/// Maximum value of the APDU length octet (control fields + ASDU).
+pub const MAX_APDU_LENGTH: usize = 253;
+
+/// Number of octets in the control field.
+pub const CONTROL_LEN: usize = 4;
+
+/// Sequence numbers are 15 bits wide and wrap at this modulus.
+pub const SEQ_MODULO: u16 = 1 << 15;
+
+/// The six unnumbered (U-format) control functions.
+///
+/// The bit positions follow the standard: octet 1 carries one function bit
+/// plus the constant `0b11` format discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UFunction {
+    /// Ask the peer to start transferring I-format APDUs.
+    StartDtAct,
+    /// Confirm a STARTDT request.
+    StartDtCon,
+    /// Ask the peer to stop transferring I-format APDUs.
+    StopDtAct,
+    /// Confirm a STOPDT request.
+    StopDtCon,
+    /// Keep-alive: test that the connection is still up.
+    TestFrAct,
+    /// Confirm a TESTFR keep-alive.
+    TestFrCon,
+}
+
+impl UFunction {
+    /// The first control octet encoding this function.
+    pub fn control_octet(self) -> u8 {
+        match self {
+            UFunction::StartDtAct => 0x07,
+            UFunction::StartDtCon => 0x0B,
+            UFunction::StopDtAct => 0x13,
+            UFunction::StopDtCon => 0x23,
+            UFunction::TestFrAct => 0x43,
+            UFunction::TestFrCon => 0x83,
+        }
+    }
+
+    /// Decode the first control octet of a U-format frame.
+    pub fn from_control_octet(octet: u8) -> Result<Self> {
+        match octet {
+            0x07 => Ok(UFunction::StartDtAct),
+            0x0B => Ok(UFunction::StartDtCon),
+            0x13 => Ok(UFunction::StopDtAct),
+            0x23 => Ok(UFunction::StopDtCon),
+            0x43 => Ok(UFunction::TestFrAct),
+            0x83 => Ok(UFunction::TestFrCon),
+            other => Err(Error::BadUFunction(other)),
+        }
+    }
+
+    /// The confirmation paired with an activation (`act → con`), or `None`
+    /// for functions that are already confirmations.
+    pub fn confirmation(self) -> Option<UFunction> {
+        match self {
+            UFunction::StartDtAct => Some(UFunction::StartDtCon),
+            UFunction::StopDtAct => Some(UFunction::StopDtCon),
+            UFunction::TestFrAct => Some(UFunction::TestFrCon),
+            _ => None,
+        }
+    }
+
+    /// True for the *act* flavours.
+    pub fn is_activation(self) -> bool {
+        matches!(
+            self,
+            UFunction::StartDtAct | UFunction::StopDtAct | UFunction::TestFrAct
+        )
+    }
+
+    /// Token name used in the paper's Table 4 (`U1`, `U2`, `U4`, `U8`,
+    /// `U16`, `U32`).
+    pub fn token_name(self) -> &'static str {
+        match self {
+            UFunction::StartDtAct => "U1",
+            UFunction::StartDtCon => "U2",
+            UFunction::StopDtAct => "U4",
+            UFunction::StopDtCon => "U8",
+            UFunction::TestFrAct => "U16",
+            UFunction::TestFrCon => "U32",
+        }
+    }
+}
+
+/// The decoded control field of an APDU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Apci {
+    /// Information transfer: numbered frame carrying an ASDU.
+    I {
+        /// Send sequence number N(S), 0..32768.
+        send_seq: u16,
+        /// Receive sequence number N(R), 0..32768.
+        recv_seq: u16,
+    },
+    /// Supervisory: acknowledges I-frames up to (not including) `recv_seq`.
+    S {
+        /// Receive sequence number N(R).
+        recv_seq: u16,
+    },
+    /// Unnumbered control function.
+    U(UFunction),
+}
+
+impl Apci {
+    /// Encode the four control octets.
+    pub fn encode(&self) -> [u8; 4] {
+        match *self {
+            Apci::I { send_seq, recv_seq } => {
+                let s = send_seq % SEQ_MODULO;
+                let r = recv_seq % SEQ_MODULO;
+                [
+                    ((s << 1) & 0xFF) as u8,
+                    (s >> 7) as u8,
+                    ((r << 1) & 0xFF) as u8,
+                    (r >> 7) as u8,
+                ]
+            }
+            Apci::S { recv_seq } => {
+                let r = recv_seq % SEQ_MODULO;
+                [0x01, 0x00, ((r << 1) & 0xFF) as u8, (r >> 7) as u8]
+            }
+            Apci::U(func) => [func.control_octet(), 0x00, 0x00, 0x00],
+        }
+    }
+
+    /// Decode four control octets.
+    pub fn decode(ctrl: [u8; 4]) -> Result<Self> {
+        if ctrl[0] & 0x01 == 0 {
+            // I-format: bit 0 of octet 1 is zero.
+            let send_seq = ((ctrl[0] as u16) >> 1) | ((ctrl[1] as u16) << 7);
+            let recv_seq = ((ctrl[2] as u16) >> 1) | ((ctrl[3] as u16) << 7);
+            Ok(Apci::I { send_seq, recv_seq })
+        } else if ctrl[0] & 0x03 == 0x01 {
+            // S-format: bits 0..2 of octet 1 are 0b01.
+            if ctrl[0] != 0x01 || ctrl[1] != 0x00 {
+                return Err(Error::BadControlField(ctrl));
+            }
+            let recv_seq = ((ctrl[2] as u16) >> 1) | ((ctrl[3] as u16) << 7);
+            Ok(Apci::S { recv_seq })
+        } else {
+            // U-format: bits 0..2 of octet 1 are 0b11.
+            if ctrl[1] != 0 || ctrl[2] != 0 || ctrl[3] != 0 {
+                return Err(Error::BadControlField(ctrl));
+            }
+            Ok(Apci::U(UFunction::from_control_octet(ctrl[0])?))
+        }
+    }
+
+    /// True for I-format frames.
+    pub fn is_i(&self) -> bool {
+        matches!(self, Apci::I { .. })
+    }
+
+    /// True for S-format frames.
+    pub fn is_s(&self) -> bool {
+        matches!(self, Apci::S { .. })
+    }
+
+    /// True for U-format frames.
+    pub fn is_u(&self) -> bool {
+        matches!(self, Apci::U(_))
+    }
+}
+
+/// Increment a 15-bit sequence number with wraparound.
+pub fn seq_add(seq: u16, n: u16) -> u16 {
+    (seq.wrapping_add(n)) % SEQ_MODULO
+}
+
+/// Distance from `from` to `to` in modulo-32768 sequence space.
+///
+/// Used by the connection state machine to count unacknowledged frames.
+pub fn seq_distance(from: u16, to: u16) -> u16 {
+    (to + SEQ_MODULO - (from % SEQ_MODULO)) % SEQ_MODULO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i_frame_round_trip() {
+        for &(s, r) in &[(0u16, 0u16), (1, 2), (127, 128), (32767, 16384), (255, 256)] {
+            let apci = Apci::I {
+                send_seq: s,
+                recv_seq: r,
+            };
+            let bytes = apci.encode();
+            assert_eq!(bytes[0] & 0x01, 0, "I-frame discriminator");
+            assert_eq!(Apci::decode(bytes).unwrap(), apci);
+        }
+    }
+
+    #[test]
+    fn s_frame_round_trip() {
+        for &r in &[0u16, 1, 8, 32767] {
+            let apci = Apci::S { recv_seq: r };
+            let bytes = apci.encode();
+            assert_eq!(bytes[0], 0x01);
+            assert_eq!(Apci::decode(bytes).unwrap(), apci);
+        }
+    }
+
+    #[test]
+    fn u_frame_round_trip_all_functions() {
+        for func in [
+            UFunction::StartDtAct,
+            UFunction::StartDtCon,
+            UFunction::StopDtAct,
+            UFunction::StopDtCon,
+            UFunction::TestFrAct,
+            UFunction::TestFrCon,
+        ] {
+            let apci = Apci::U(func);
+            let bytes = apci.encode();
+            assert_eq!(bytes[0] & 0x03, 0x03, "U-frame discriminator");
+            assert_eq!(Apci::decode(bytes).unwrap(), apci);
+        }
+    }
+
+    #[test]
+    fn known_control_octets_match_standard() {
+        assert_eq!(UFunction::StartDtAct.control_octet(), 0x07);
+        assert_eq!(UFunction::StartDtCon.control_octet(), 0x0B);
+        assert_eq!(UFunction::StopDtAct.control_octet(), 0x13);
+        assert_eq!(UFunction::StopDtCon.control_octet(), 0x23);
+        assert_eq!(UFunction::TestFrAct.control_octet(), 0x43);
+        assert_eq!(UFunction::TestFrCon.control_octet(), 0x83);
+    }
+
+    #[test]
+    fn bad_u_function_rejected() {
+        assert!(matches!(
+            Apci::decode([0x0F, 0, 0, 0]),
+            Err(Error::BadUFunction(0x0F))
+        ));
+    }
+
+    #[test]
+    fn u_frame_with_nonzero_tail_rejected() {
+        assert!(matches!(
+            Apci::decode([0x43, 0, 1, 0]),
+            Err(Error::BadControlField(_))
+        ));
+    }
+
+    #[test]
+    fn s_frame_with_nonzero_second_octet_rejected() {
+        assert!(Apci::decode([0x01, 0x02, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn confirmation_pairing() {
+        assert_eq!(
+            UFunction::TestFrAct.confirmation(),
+            Some(UFunction::TestFrCon)
+        );
+        assert_eq!(UFunction::TestFrCon.confirmation(), None);
+        assert!(UFunction::StartDtAct.is_activation());
+        assert!(!UFunction::StopDtCon.is_activation());
+    }
+
+    #[test]
+    fn sequence_arithmetic_wraps() {
+        assert_eq!(seq_add(32767, 1), 0);
+        assert_eq!(seq_add(0, 5), 5);
+        assert_eq!(seq_distance(32760, 4), 12);
+        assert_eq!(seq_distance(4, 4), 0);
+        assert_eq!(seq_distance(0, 32767), 32767);
+    }
+
+    #[test]
+    fn token_names_match_table4() {
+        assert_eq!(UFunction::StartDtAct.token_name(), "U1");
+        assert_eq!(UFunction::StartDtCon.token_name(), "U2");
+        assert_eq!(UFunction::StopDtAct.token_name(), "U4");
+        assert_eq!(UFunction::StopDtCon.token_name(), "U8");
+        assert_eq!(UFunction::TestFrAct.token_name(), "U16");
+        assert_eq!(UFunction::TestFrCon.token_name(), "U32");
+    }
+}

@@ -1,0 +1,348 @@
+//! Whole Application Protocol Data Units and the streaming decoder.
+//!
+//! An APDU is the APCI control information plus, for I-format frames, an
+//! ASDU. Several APDUs are commonly packed into one TCP segment, so decoding
+//! is exposed both one-at-a-time ([`Apdu::decode_prefix`]) and as a
+//! [`StreamDecoder`] that buffers across segment boundaries.
+
+use crate::apci::{Apci, UFunction, CONTROL_LEN, MAX_APDU_LENGTH, START_BYTE};
+use crate::asdu::Asdu;
+use crate::dialect::Dialect;
+use crate::{Error, Result};
+
+/// A decoded APDU: control information plus optional ASDU payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Apdu {
+    /// The control field.
+    pub apci: Apci,
+    /// The payload (present iff `apci` is I-format).
+    pub asdu: Option<Asdu>,
+}
+
+impl Apdu {
+    /// Build an I-format APDU.
+    pub fn i_frame(send_seq: u16, recv_seq: u16, asdu: Asdu) -> Apdu {
+        Apdu {
+            apci: Apci::I { send_seq, recv_seq },
+            asdu: Some(asdu),
+        }
+    }
+
+    /// Build an S-format (supervisory acknowledgement) APDU.
+    pub fn s_frame(recv_seq: u16) -> Apdu {
+        Apdu {
+            apci: Apci::S { recv_seq },
+            asdu: None,
+        }
+    }
+
+    /// Build a U-format APDU.
+    pub fn u_frame(func: UFunction) -> Apdu {
+        Apdu {
+            apci: Apci::U(func),
+            asdu: None,
+        }
+    }
+
+    /// Encode to wire bytes under `dialect`.
+    pub fn encode(&self, dialect: Dialect) -> Result<Vec<u8>> {
+        let body = match (&self.apci, &self.asdu) {
+            (Apci::I { .. }, Some(asdu)) => asdu.encode(dialect)?,
+            (Apci::I { .. }, None) => return Err(Error::UnexpectedPayload),
+            (_, Some(_)) => return Err(Error::UnexpectedPayload),
+            (_, None) => Vec::new(),
+        };
+        let length = CONTROL_LEN + body.len();
+        if length > MAX_APDU_LENGTH {
+            return Err(Error::OversizedApdu(length));
+        }
+        let mut out = Vec::with_capacity(2 + length);
+        out.push(START_BYTE);
+        out.push(length as u8);
+        out.extend_from_slice(&self.apci.encode());
+        out.extend_from_slice(&body);
+        Ok(out)
+    }
+
+    /// Decode exactly one APDU that must span the whole buffer.
+    pub fn decode(b: &[u8], dialect: Dialect) -> Result<Apdu> {
+        let (apdu, used) = Apdu::decode_prefix(b, dialect)?;
+        if used != b.len() {
+            return Err(Error::TrailingBytes(b.len() - used));
+        }
+        Ok(apdu)
+    }
+
+    /// Decode one APDU from the front of `b`, returning it and the number of
+    /// bytes consumed.
+    pub fn decode_prefix(b: &[u8], dialect: Dialect) -> Result<(Apdu, usize)> {
+        if b.len() < 2 {
+            return Err(Error::Truncated {
+                needed: 2,
+                got: b.len(),
+            });
+        }
+        if b[0] != START_BYTE {
+            return Err(Error::BadStartByte(b[0]));
+        }
+        let length = b[1] as usize;
+        if length < CONTROL_LEN {
+            return Err(Error::UndersizedApdu(length));
+        }
+        let total = 2 + length;
+        if b.len() < total {
+            return Err(Error::Truncated {
+                needed: total,
+                got: b.len(),
+            });
+        }
+        let apci = Apci::decode([b[2], b[3], b[4], b[5]])?;
+        let body = &b[6..total];
+        let asdu = match apci {
+            Apci::I { .. } => Some(Asdu::decode(body, dialect)?),
+            _ => {
+                if !body.is_empty() {
+                    return Err(Error::UnexpectedPayload);
+                }
+                None
+            }
+        };
+        Ok((Apdu { apci, asdu }, total))
+    }
+
+    /// How many bytes the frame at the front of `b` spans, if the header is
+    /// readable. Lets callers skip over undecodable frames (the compliance
+    /// census needs to count malformed frames without losing sync).
+    pub fn frame_len(b: &[u8]) -> Option<usize> {
+        if b.len() >= 2 && b[0] == START_BYTE {
+            Some(2 + b[1] as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The paper's Table 4 token for this APDU (`"S"`, `"U16"`, `"I36"`, …).
+    pub fn token(&self) -> String {
+        match (&self.apci, &self.asdu) {
+            (Apci::S { .. }, _) => "S".to_string(),
+            (Apci::U(func), _) => func.token_name().to_string(),
+            (Apci::I { .. }, Some(asdu)) => asdu.type_id.token_name(),
+            (Apci::I { .. }, None) => "I?".to_string(),
+        }
+    }
+}
+
+/// Incremental decoder over a TCP byte stream.
+///
+/// TCP gives no message framing: one segment may carry many APDUs, or an
+/// APDU may straddle two segments. The decoder buffers input and yields
+/// complete frames; undecodable-but-well-framed input is surfaced as an
+/// error *per frame* so a single bad frame does not poison the stream.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buffer: Vec<u8>,
+    dialect: Dialect,
+}
+
+/// One item produced by the stream decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// A fully decoded APDU.
+    Apdu(Apdu),
+    /// A frame that was delimited (start byte + length) but failed to decode.
+    /// Carries the raw frame bytes and the decode error.
+    Malformed(Vec<u8>, Error),
+}
+
+impl StreamDecoder {
+    /// A decoder for the given dialect.
+    pub fn new(dialect: Dialect) -> Self {
+        StreamDecoder {
+            buffer: Vec::new(),
+            dialect,
+        }
+    }
+
+    /// Switch dialect mid-stream (used once the detector has converged).
+    pub fn set_dialect(&mut self, dialect: Dialect) {
+        self.dialect = dialect;
+    }
+
+    /// The currently configured dialect.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Feed segment bytes; returns every complete frame now available.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<StreamItem> {
+        self.buffer.extend_from_slice(bytes);
+        let mut items = Vec::new();
+        loop {
+            if self.buffer.len() < 2 {
+                break;
+            }
+            if self.buffer[0] != START_BYTE {
+                // Resynchronise: skip to the next plausible start byte.
+                let skip = self
+                    .buffer
+                    .iter()
+                    .position(|&b| b == START_BYTE)
+                    .unwrap_or(self.buffer.len());
+                let junk: Vec<u8> = self.buffer.drain(..skip).collect();
+                items.push(StreamItem::Malformed(
+                    junk.clone(),
+                    Error::BadStartByte(junk.first().copied().unwrap_or(0)),
+                ));
+                continue;
+            }
+            let total = 2 + self.buffer[1] as usize;
+            if self.buffer.len() < total {
+                break;
+            }
+            let frame: Vec<u8> = self.buffer.drain(..total).collect();
+            match Apdu::decode(&frame, self.dialect) {
+                Ok(apdu) => items.push(StreamItem::Apdu(apdu)),
+                Err(e) => items.push(StreamItem::Malformed(frame, e)),
+            }
+        }
+        items
+    }
+
+    /// Bytes buffered but not yet framed (diagnostic).
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asdu::{InfoObject, IoValue};
+    use crate::cot::{Cause, Cot};
+    use crate::elements::Qds;
+    use crate::types::TypeId;
+
+    fn sample_asdu() -> Asdu {
+        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 4).with_object(
+            InfoObject::new(1001, IoValue::FloatMeasurement {
+                value: 117.3,
+                qds: Qds::GOOD,
+            }),
+        )
+    }
+
+    #[test]
+    fn i_frame_round_trip() {
+        let apdu = Apdu::i_frame(5, 9, sample_asdu());
+        let bytes = apdu.encode(Dialect::STANDARD).unwrap();
+        assert_eq!(bytes[0], 0x68);
+        assert_eq!(bytes[1] as usize, bytes.len() - 2);
+        assert_eq!(Apdu::decode(&bytes, Dialect::STANDARD).unwrap(), apdu);
+    }
+
+    #[test]
+    fn s_and_u_frames_are_six_bytes() {
+        let s = Apdu::s_frame(42).encode(Dialect::STANDARD).unwrap();
+        assert_eq!(s.len(), 6);
+        let u = Apdu::u_frame(UFunction::TestFrAct)
+            .encode(Dialect::STANDARD)
+            .unwrap();
+        assert_eq!(u.len(), 6);
+        assert_eq!(Apdu::decode(&u, Dialect::STANDARD).unwrap().token(), "U16");
+    }
+
+    #[test]
+    fn tokens_match_table4() {
+        assert_eq!(Apdu::s_frame(0).token(), "S");
+        assert_eq!(Apdu::u_frame(UFunction::TestFrCon).token(), "U32");
+        assert_eq!(Apdu::i_frame(0, 0, sample_asdu()).token(), "I13");
+    }
+
+    #[test]
+    fn stream_decoder_multiple_apdus_per_segment() {
+        let mut dec = StreamDecoder::new(Dialect::STANDARD);
+        let mut segment = Vec::new();
+        for i in 0..5 {
+            segment.extend(Apdu::i_frame(i, 0, sample_asdu()).encode(Dialect::STANDARD).unwrap());
+        }
+        let items = dec.feed(&segment);
+        assert_eq!(items.len(), 5);
+        assert!(items.iter().all(|i| matches!(i, StreamItem::Apdu(_))));
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn stream_decoder_split_across_segments() {
+        let mut dec = StreamDecoder::new(Dialect::STANDARD);
+        let bytes = Apdu::i_frame(3, 1, sample_asdu())
+            .encode(Dialect::STANDARD)
+            .unwrap();
+        let (a, b) = bytes.split_at(7);
+        assert!(dec.feed(a).is_empty());
+        let items = dec.feed(b);
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn stream_decoder_surfaces_malformed_frames_without_losing_sync() {
+        let mut dec = StreamDecoder::new(Dialect::STANDARD);
+        // A legacy-dialect frame followed by a standard frame.
+        let legacy = Apdu::i_frame(0, 0, sample_asdu())
+            .encode(Dialect::LEGACY_COT)
+            .unwrap();
+        let good = Apdu::s_frame(1).encode(Dialect::STANDARD).unwrap();
+        let mut stream = legacy.clone();
+        stream.extend_from_slice(&good);
+        let items = dec.feed(&stream);
+        assert_eq!(items.len(), 2);
+        assert!(matches!(&items[0], StreamItem::Malformed(f, _) if *f == legacy));
+        assert!(matches!(&items[1], StreamItem::Apdu(a) if a.apci.is_s()));
+    }
+
+    #[test]
+    fn stream_decoder_resynchronises_after_junk() {
+        let mut dec = StreamDecoder::new(Dialect::STANDARD);
+        let mut stream = vec![0xDE, 0xAD];
+        stream.extend(Apdu::s_frame(7).encode(Dialect::STANDARD).unwrap());
+        let items = dec.feed(&stream);
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[0], StreamItem::Malformed(_, Error::BadStartByte(0xDE))));
+        assert!(matches!(&items[1], StreamItem::Apdu(a) if a.apci.is_s()));
+    }
+
+    #[test]
+    fn frame_len_reads_header() {
+        let bytes = Apdu::s_frame(0).encode(Dialect::STANDARD).unwrap();
+        assert_eq!(Apdu::frame_len(&bytes), Some(6));
+        assert_eq!(Apdu::frame_len(&[0x00, 0x04]), None);
+    }
+
+    #[test]
+    fn s_frame_with_payload_rejected() {
+        let apdu = Apdu {
+            apci: Apci::S { recv_seq: 0 },
+            asdu: Some(sample_asdu()),
+        };
+        assert!(matches!(
+            apdu.encode(Dialect::STANDARD),
+            Err(Error::UnexpectedPayload)
+        ));
+    }
+
+    #[test]
+    fn oversized_apdu_rejected() {
+        // 31 float objects with 8-byte overhead each exceed 253 octets.
+        let mut asdu = sample_asdu();
+        for i in 0..31 {
+            asdu.objects.push(InfoObject::new(2000 + i, IoValue::FloatMeasurement {
+                value: 0.0,
+                qds: Qds::GOOD,
+            }));
+        }
+        let apdu = Apdu::i_frame(0, 0, asdu);
+        assert!(matches!(
+            apdu.encode(Dialect::STANDARD),
+            Err(Error::OversizedApdu(_))
+        ));
+    }
+}

@@ -1,0 +1,1013 @@
+//! Application Service Data Units: the data unit identifier (type, variable
+//! structure qualifier, cause of transmission, common address) followed by
+//! one or more typed information objects.
+//!
+//! Encoding and decoding are parameterised by a [`Dialect`] so the same code
+//! path serves standard IEC 104 and the legacy IEC 101 field widths the
+//! paper's outstations used.
+
+use crate::cot::Cot;
+use crate::dialect::Dialect;
+use crate::elements::{Bcr, Cp56Time2a, Diq, Nva, Qds, Qoi, Siq, Vti};
+use crate::types::TypeId;
+use crate::{Error, Result};
+
+/// Maximum object (or element) count representable in the VSQ.
+pub const MAX_VSQ_COUNT: usize = 127;
+
+/// The typed payload of one information object.
+///
+/// Each variant corresponds to one wire *shape*; a shape may serve several
+/// type IDs (the time-tagged variant of a type shares its shape, with the
+/// tag stored in [`InfoObject::time_tag`]).
+///
+/// Variant fields use the standard's own element acronyms (SIQ, NVA, QOS,
+/// NOF, …); see [`crate::elements`] for their encodings.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum IoValue {
+    /// Types 1, 30: single-point information.
+    SinglePoint { siq: Siq },
+    /// Types 3, 31: double-point information.
+    DoublePoint { diq: Diq },
+    /// Types 5, 32: step position.
+    StepPosition { vti: Vti, qds: Qds },
+    /// Types 7, 33: 32-bit bitstring.
+    Bitstring { bits: u32, qds: Qds },
+    /// Types 9, 34: normalized measured value.
+    NormalizedMeasurement { nva: Nva, qds: Qds },
+    /// Types 11, 35: scaled measured value.
+    ScaledMeasurement { value: i16, qds: Qds },
+    /// Types 13, 36: short floating point measured value.
+    FloatMeasurement { value: f32, qds: Qds },
+    /// Types 15, 37: integrated totals (counter).
+    IntegratedTotals { bcr: Bcr },
+    /// Type 20: packed single-point with change detection.
+    PackedSinglePoint { scd: u32, qds: Qds },
+    /// Type 21: normalized value without quality.
+    NormalizedNoQuality { nva: Nva },
+    /// Type 38: protection equipment event.
+    ProtectionEvent { sep: u8, elapsed_ms: u16 },
+    /// Type 39: packed protection start events.
+    ProtectionStartEvents { spe: u8, qdp: u8, duration_ms: u16 },
+    /// Type 40: packed protection output circuit information.
+    ProtectionOutputCircuit { oci: u8, qdp: u8, op_ms: u16 },
+    /// Types 45, 58: single command.
+    SingleCommand { sco: u8 },
+    /// Types 46, 59: double command.
+    DoubleCommand { dco: u8 },
+    /// Types 47, 60: regulating step command.
+    RegulatingStep { rco: u8 },
+    /// Types 48, 61: normalized set point.
+    NormalizedSetpoint { nva: Nva, qos: u8 },
+    /// Types 49, 62: scaled set point.
+    ScaledSetpoint { value: i16, qos: u8 },
+    /// Types 50, 63: short floating point set point (AGC set points in the
+    /// paper's network are `I50`).
+    FloatSetpoint { value: f32, qos: u8 },
+    /// Types 51, 64: bitstring command.
+    BitstringCommand { bits: u32 },
+    /// Type 70: end of initialization.
+    EndOfInit { coi: u8 },
+    /// Type 100: (general) interrogation command — the paper's `I100`.
+    Interrogation { qoi: Qoi },
+    /// Type 101: counter interrogation command.
+    CounterInterrogation { qcc: u8 },
+    /// Type 102: read command (no payload).
+    Read,
+    /// Type 103: clock synchronisation command.
+    ClockSync { time: Cp56Time2a },
+    /// Type 105: reset process command.
+    ResetProcess { qrp: u8 },
+    /// Type 107: test command (plus mandatory time tag).
+    TestCommand { tsc: u16 },
+    /// Type 110: parameter, normalized value.
+    ParamNormalized { nva: Nva, qpm: u8 },
+    /// Type 111: parameter, scaled value.
+    ParamScaled { value: i16, qpm: u8 },
+    /// Type 112: parameter, short float.
+    ParamFloat { value: f32, qpm: u8 },
+    /// Type 113: parameter activation.
+    ParamActivation { qpa: u8 },
+    /// Type 120: file ready.
+    FileReady { nof: u16, lof: u32, frq: u8 },
+    /// Type 121: section ready.
+    SectionReady { nof: u16, nos: u8, lof: u32, srq: u8 },
+    /// Type 122: call directory / select file / call file / call section.
+    CallFile { nof: u16, nos: u8, scq: u8 },
+    /// Type 123: last section / last segment.
+    LastSection { nof: u16, nos: u8, lsq: u8, chs: u8 },
+    /// Type 124: ack file / ack section.
+    AckFile { nof: u16, nos: u8, afq: u8 },
+    /// Type 125: segment (variable length).
+    Segment { nof: u16, nos: u8, data: Vec<u8> },
+    /// Type 126: directory.
+    Directory { nof: u16, lof: u32, sof: u8, time: Cp56Time2a },
+    /// Type 127: query log / request archive file.
+    QueryLog { nof: u16, start: Cp56Time2a, stop: Cp56Time2a },
+}
+
+impl IoValue {
+    /// Whether this value shape is legal for `type_id`.
+    pub fn matches(&self, type_id: TypeId) -> bool {
+        use TypeId::*;
+        matches!(
+            (self, type_id),
+            (IoValue::SinglePoint { .. }, M_SP_NA_1 | M_SP_TB_1)
+                | (IoValue::DoublePoint { .. }, M_DP_NA_1 | M_DP_TB_1)
+                | (IoValue::StepPosition { .. }, M_ST_NA_1 | M_ST_TB_1)
+                | (IoValue::Bitstring { .. }, M_BO_NA_1 | M_BO_TB_1)
+                | (IoValue::NormalizedMeasurement { .. }, M_ME_NA_1 | M_ME_TD_1)
+                | (IoValue::ScaledMeasurement { .. }, M_ME_NB_1 | M_ME_TE_1)
+                | (IoValue::FloatMeasurement { .. }, M_ME_NC_1 | M_ME_TF_1)
+                | (IoValue::IntegratedTotals { .. }, M_IT_NA_1 | M_IT_TB_1)
+                | (IoValue::PackedSinglePoint { .. }, M_PS_NA_1)
+                | (IoValue::NormalizedNoQuality { .. }, M_ME_ND_1)
+                | (IoValue::ProtectionEvent { .. }, M_EP_TD_1)
+                | (IoValue::ProtectionStartEvents { .. }, M_EP_TE_1)
+                | (IoValue::ProtectionOutputCircuit { .. }, M_EP_TF_1)
+                | (IoValue::SingleCommand { .. }, C_SC_NA_1 | C_SC_TA_1)
+                | (IoValue::DoubleCommand { .. }, C_DC_NA_1 | C_DC_TA_1)
+                | (IoValue::RegulatingStep { .. }, C_RC_NA_1 | C_RC_TA_1)
+                | (IoValue::NormalizedSetpoint { .. }, C_SE_NA_1 | C_SE_TA_1)
+                | (IoValue::ScaledSetpoint { .. }, C_SE_NB_1 | C_SE_TB_1)
+                | (IoValue::FloatSetpoint { .. }, C_SE_NC_1 | C_SE_TC_1)
+                | (IoValue::BitstringCommand { .. }, C_BO_NA_1 | C_BO_TA_1)
+                | (IoValue::EndOfInit { .. }, M_EI_NA_1)
+                | (IoValue::Interrogation { .. }, C_IC_NA_1)
+                | (IoValue::CounterInterrogation { .. }, C_CI_NA_1)
+                | (IoValue::Read, C_RD_NA_1)
+                | (IoValue::ClockSync { .. }, C_CS_NA_1)
+                | (IoValue::ResetProcess { .. }, C_RP_NA_1)
+                | (IoValue::TestCommand { .. }, C_TS_TA_1)
+                | (IoValue::ParamNormalized { .. }, P_ME_NA_1)
+                | (IoValue::ParamScaled { .. }, P_ME_NB_1)
+                | (IoValue::ParamFloat { .. }, P_ME_NC_1)
+                | (IoValue::ParamActivation { .. }, P_AC_NA_1)
+                | (IoValue::FileReady { .. }, F_FR_NA_1)
+                | (IoValue::SectionReady { .. }, F_SR_NA_1)
+                | (IoValue::CallFile { .. }, F_SC_NA_1)
+                | (IoValue::LastSection { .. }, F_LS_NA_1)
+                | (IoValue::AckFile { .. }, F_AF_NA_1)
+                | (IoValue::Segment { .. }, F_SG_NA_1)
+                | (IoValue::Directory { .. }, F_DR_TA_1)
+                | (IoValue::QueryLog { .. }, F_SC_NB_1)
+        )
+    }
+
+    /// Encode the element body (no IOA, no time tag) into `out`.
+    fn encode_element(&self, out: &mut Vec<u8>) {
+        match self {
+            IoValue::SinglePoint { siq } => out.push(siq.0),
+            IoValue::DoublePoint { diq } => out.push(diq.0),
+            IoValue::StepPosition { vti, qds } => out.extend_from_slice(&[vti.0, qds.0]),
+            IoValue::Bitstring { bits, qds } => {
+                out.extend_from_slice(&bits.to_le_bytes());
+                out.push(qds.0);
+            }
+            IoValue::NormalizedMeasurement { nva, qds } => {
+                out.extend_from_slice(&nva.0.to_le_bytes());
+                out.push(qds.0);
+            }
+            IoValue::ScaledMeasurement { value, qds } => {
+                out.extend_from_slice(&value.to_le_bytes());
+                out.push(qds.0);
+            }
+            IoValue::FloatMeasurement { value, qds } => {
+                out.extend_from_slice(&value.to_le_bytes());
+                out.push(qds.0);
+            }
+            IoValue::IntegratedTotals { bcr } => out.extend_from_slice(&bcr.encode()),
+            IoValue::PackedSinglePoint { scd, qds } => {
+                out.extend_from_slice(&scd.to_le_bytes());
+                out.push(qds.0);
+            }
+            IoValue::NormalizedNoQuality { nva } => out.extend_from_slice(&nva.0.to_le_bytes()),
+            IoValue::ProtectionEvent { sep, elapsed_ms } => {
+                out.push(*sep);
+                out.extend_from_slice(&elapsed_ms.to_le_bytes());
+            }
+            IoValue::ProtectionStartEvents {
+                spe,
+                qdp,
+                duration_ms,
+            } => {
+                out.extend_from_slice(&[*spe, *qdp]);
+                out.extend_from_slice(&duration_ms.to_le_bytes());
+            }
+            IoValue::ProtectionOutputCircuit { oci, qdp, op_ms } => {
+                out.extend_from_slice(&[*oci, *qdp]);
+                out.extend_from_slice(&op_ms.to_le_bytes());
+            }
+            IoValue::SingleCommand { sco } => out.push(*sco),
+            IoValue::DoubleCommand { dco } => out.push(*dco),
+            IoValue::RegulatingStep { rco } => out.push(*rco),
+            IoValue::NormalizedSetpoint { nva, qos } => {
+                out.extend_from_slice(&nva.0.to_le_bytes());
+                out.push(*qos);
+            }
+            IoValue::ScaledSetpoint { value, qos } => {
+                out.extend_from_slice(&value.to_le_bytes());
+                out.push(*qos);
+            }
+            IoValue::FloatSetpoint { value, qos } => {
+                out.extend_from_slice(&value.to_le_bytes());
+                out.push(*qos);
+            }
+            IoValue::BitstringCommand { bits } => out.extend_from_slice(&bits.to_le_bytes()),
+            IoValue::EndOfInit { coi } => out.push(*coi),
+            IoValue::Interrogation { qoi } => out.push(qoi.0),
+            IoValue::CounterInterrogation { qcc } => out.push(*qcc),
+            IoValue::Read => {}
+            IoValue::ClockSync { time } => out.extend_from_slice(&time.encode()),
+            IoValue::ResetProcess { qrp } => out.push(*qrp),
+            IoValue::TestCommand { tsc } => out.extend_from_slice(&tsc.to_le_bytes()),
+            IoValue::ParamNormalized { nva, qpm } => {
+                out.extend_from_slice(&nva.0.to_le_bytes());
+                out.push(*qpm);
+            }
+            IoValue::ParamScaled { value, qpm } => {
+                out.extend_from_slice(&value.to_le_bytes());
+                out.push(*qpm);
+            }
+            IoValue::ParamFloat { value, qpm } => {
+                out.extend_from_slice(&value.to_le_bytes());
+                out.push(*qpm);
+            }
+            IoValue::ParamActivation { qpa } => out.push(*qpa),
+            IoValue::FileReady { nof, lof, frq } => {
+                out.extend_from_slice(&nof.to_le_bytes());
+                out.extend_from_slice(&lof.to_le_bytes()[..3]);
+                out.push(*frq);
+            }
+            IoValue::SectionReady { nof, nos, lof, srq } => {
+                out.extend_from_slice(&nof.to_le_bytes());
+                out.push(*nos);
+                out.extend_from_slice(&lof.to_le_bytes()[..3]);
+                out.push(*srq);
+            }
+            IoValue::CallFile { nof, nos, scq } => {
+                out.extend_from_slice(&nof.to_le_bytes());
+                out.extend_from_slice(&[*nos, *scq]);
+            }
+            IoValue::LastSection { nof, nos, lsq, chs } => {
+                out.extend_from_slice(&nof.to_le_bytes());
+                out.extend_from_slice(&[*nos, *lsq, *chs]);
+            }
+            IoValue::AckFile { nof, nos, afq } => {
+                out.extend_from_slice(&nof.to_le_bytes());
+                out.extend_from_slice(&[*nos, *afq]);
+            }
+            IoValue::Segment { nof, nos, data } => {
+                out.extend_from_slice(&nof.to_le_bytes());
+                out.push(*nos);
+                out.push(data.len().min(240) as u8);
+                out.extend_from_slice(&data[..data.len().min(240)]);
+            }
+            IoValue::Directory {
+                nof,
+                lof,
+                sof,
+                time,
+            } => {
+                out.extend_from_slice(&nof.to_le_bytes());
+                out.extend_from_slice(&lof.to_le_bytes()[..3]);
+                out.push(*sof);
+                out.extend_from_slice(&time.encode());
+            }
+            IoValue::QueryLog { nof, start, stop } => {
+                out.extend_from_slice(&nof.to_le_bytes());
+                out.extend_from_slice(&start.encode());
+                out.extend_from_slice(&stop.encode());
+            }
+        }
+    }
+
+    /// Decode an element body for `type_id` from the front of `b`, returning
+    /// the value and the number of octets consumed (no IOA, no time tag).
+    fn decode_element(type_id: TypeId, b: &[u8]) -> Result<(IoValue, usize)> {
+        use TypeId::*;
+        let need = |n: usize| -> Result<()> {
+            if b.len() < n {
+                Err(Error::Truncated {
+                    needed: n,
+                    got: b.len(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let fixed = type_id.fixed_element_len();
+        if let Some(n) = fixed {
+            need(n)?;
+        }
+        let le16 = |o: usize| u16::from_le_bytes([b[o], b[o + 1]]);
+        let le_i16 = |o: usize| i16::from_le_bytes([b[o], b[o + 1]]);
+        let le32 = |o: usize| u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
+        let le24 = |o: usize| u32::from_le_bytes([b[o], b[o + 1], b[o + 2], 0]);
+        let f32le = |o: usize| f32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
+        let cp56 = |o: usize| {
+            Cp56Time2a::decode([b[o], b[o + 1], b[o + 2], b[o + 3], b[o + 4], b[o + 5], b[o + 6]])
+        };
+        let value = match type_id {
+            M_SP_NA_1 | M_SP_TB_1 => IoValue::SinglePoint { siq: Siq(b[0]) },
+            M_DP_NA_1 | M_DP_TB_1 => IoValue::DoublePoint { diq: Diq(b[0]) },
+            M_ST_NA_1 | M_ST_TB_1 => IoValue::StepPosition {
+                vti: Vti(b[0]),
+                qds: Qds(b[1]),
+            },
+            M_BO_NA_1 | M_BO_TB_1 => IoValue::Bitstring {
+                bits: le32(0),
+                qds: Qds(b[4]),
+            },
+            M_ME_NA_1 | M_ME_TD_1 => IoValue::NormalizedMeasurement {
+                nva: Nva(le_i16(0)),
+                qds: Qds(b[2]),
+            },
+            M_ME_NB_1 | M_ME_TE_1 => IoValue::ScaledMeasurement {
+                value: le_i16(0),
+                qds: Qds(b[2]),
+            },
+            M_ME_NC_1 | M_ME_TF_1 => IoValue::FloatMeasurement {
+                value: f32le(0),
+                qds: Qds(b[4]),
+            },
+            M_IT_NA_1 | M_IT_TB_1 => IoValue::IntegratedTotals {
+                bcr: Bcr::decode([b[0], b[1], b[2], b[3], b[4]]),
+            },
+            M_PS_NA_1 => IoValue::PackedSinglePoint {
+                scd: le32(0),
+                qds: Qds(b[4]),
+            },
+            M_ME_ND_1 => IoValue::NormalizedNoQuality { nva: Nva(le_i16(0)) },
+            M_EP_TD_1 => IoValue::ProtectionEvent {
+                sep: b[0],
+                elapsed_ms: le16(1),
+            },
+            M_EP_TE_1 => IoValue::ProtectionStartEvents {
+                spe: b[0],
+                qdp: b[1],
+                duration_ms: le16(2),
+            },
+            M_EP_TF_1 => IoValue::ProtectionOutputCircuit {
+                oci: b[0],
+                qdp: b[1],
+                op_ms: le16(2),
+            },
+            C_SC_NA_1 | C_SC_TA_1 => IoValue::SingleCommand { sco: b[0] },
+            C_DC_NA_1 | C_DC_TA_1 => IoValue::DoubleCommand { dco: b[0] },
+            C_RC_NA_1 | C_RC_TA_1 => IoValue::RegulatingStep { rco: b[0] },
+            C_SE_NA_1 | C_SE_TA_1 => IoValue::NormalizedSetpoint {
+                nva: Nva(le_i16(0)),
+                qos: b[2],
+            },
+            C_SE_NB_1 | C_SE_TB_1 => IoValue::ScaledSetpoint {
+                value: le_i16(0),
+                qos: b[2],
+            },
+            C_SE_NC_1 | C_SE_TC_1 => IoValue::FloatSetpoint {
+                value: f32le(0),
+                qos: b[4],
+            },
+            C_BO_NA_1 | C_BO_TA_1 => IoValue::BitstringCommand { bits: le32(0) },
+            M_EI_NA_1 => IoValue::EndOfInit { coi: b[0] },
+            C_IC_NA_1 => IoValue::Interrogation { qoi: Qoi(b[0]) },
+            C_CI_NA_1 => IoValue::CounterInterrogation { qcc: b[0] },
+            C_RD_NA_1 => IoValue::Read,
+            C_CS_NA_1 => IoValue::ClockSync { time: cp56(0) },
+            C_RP_NA_1 => IoValue::ResetProcess { qrp: b[0] },
+            C_TS_TA_1 => IoValue::TestCommand { tsc: le16(0) },
+            P_ME_NA_1 => IoValue::ParamNormalized {
+                nva: Nva(le_i16(0)),
+                qpm: b[2],
+            },
+            P_ME_NB_1 => IoValue::ParamScaled {
+                value: le_i16(0),
+                qpm: b[2],
+            },
+            P_ME_NC_1 => IoValue::ParamFloat {
+                value: f32le(0),
+                qpm: b[4],
+            },
+            P_AC_NA_1 => IoValue::ParamActivation { qpa: b[0] },
+            F_FR_NA_1 => IoValue::FileReady {
+                nof: le16(0),
+                lof: le24(2),
+                frq: b[5],
+            },
+            F_SR_NA_1 => IoValue::SectionReady {
+                nof: le16(0),
+                nos: b[2],
+                lof: le24(3),
+                srq: b[6],
+            },
+            F_SC_NA_1 => IoValue::CallFile {
+                nof: le16(0),
+                nos: b[2],
+                scq: b[3],
+            },
+            F_LS_NA_1 => IoValue::LastSection {
+                nof: le16(0),
+                nos: b[2],
+                lsq: b[3],
+                chs: b[4],
+            },
+            F_AF_NA_1 => IoValue::AckFile {
+                nof: le16(0),
+                nos: b[2],
+                afq: b[3],
+            },
+            F_SG_NA_1 => {
+                need(4)?;
+                let los = b[3] as usize;
+                need(4 + los)?;
+                let v = IoValue::Segment {
+                    nof: le16(0),
+                    nos: b[2],
+                    data: b[4..4 + los].to_vec(),
+                };
+                return Ok((v, 4 + los));
+            }
+            F_DR_TA_1 => IoValue::Directory {
+                nof: le16(0),
+                lof: le24(2),
+                sof: b[5],
+                time: cp56(6),
+            },
+            F_SC_NB_1 => IoValue::QueryLog {
+                nof: le16(0),
+                start: cp56(2),
+                stop: cp56(9),
+            },
+        };
+        Ok((value, fixed.expect("non-segment types have fixed length")))
+    }
+
+    /// Extract a plain numeric reading where one exists (used by the DPI
+    /// pipeline to build physical time series).
+    pub fn numeric(&self) -> Option<f64> {
+        match self {
+            IoValue::SinglePoint { siq } => Some(siq.state() as u8 as f64),
+            IoValue::DoublePoint { diq } => Some(diq.point().code() as f64),
+            IoValue::StepPosition { vti, .. } => Some(vti.value() as f64),
+            IoValue::NormalizedMeasurement { nva, .. } => Some(nva.to_f64()),
+            IoValue::ScaledMeasurement { value, .. } => Some(*value as f64),
+            IoValue::FloatMeasurement { value, .. } => Some(*value as f64),
+            IoValue::IntegratedTotals { bcr } => Some(bcr.count as f64),
+            IoValue::NormalizedNoQuality { nva } => Some(nva.to_f64()),
+            IoValue::NormalizedSetpoint { nva, .. } => Some(nva.to_f64()),
+            IoValue::ScaledSetpoint { value, .. } => Some(*value as f64),
+            IoValue::FloatSetpoint { value, .. } => Some(*value as f64),
+            _ => None,
+        }
+    }
+}
+
+/// One information object: address, value, optional time tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoObject {
+    /// Information object address.
+    pub ioa: u32,
+    /// The typed payload.
+    pub value: IoValue,
+    /// CP56Time2a tag (present iff the ASDU type carries one).
+    pub time_tag: Option<Cp56Time2a>,
+}
+
+impl InfoObject {
+    /// A new object with no time tag.
+    pub fn new(ioa: u32, value: IoValue) -> Self {
+        InfoObject {
+            ioa,
+            value,
+            time_tag: None,
+        }
+    }
+
+    /// Attach a CP56Time2a time tag (builder style).
+    pub fn with_time(mut self, time: Cp56Time2a) -> Self {
+        self.time_tag = Some(time);
+        self
+    }
+}
+
+/// A full ASDU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Asdu {
+    /// Type identification.
+    pub type_id: TypeId,
+    /// SQ flag: `true` encodes objects as a contiguous sequence sharing a
+    /// base IOA (the addresses must be consecutive).
+    pub sequence: bool,
+    /// Cause of transmission.
+    pub cot: Cot,
+    /// Common address of ASDU (the station address).
+    pub common_address: u16,
+    /// The information objects.
+    pub objects: Vec<InfoObject>,
+}
+
+impl Asdu {
+    /// A new, empty ASDU (add objects with [`Self::with_object`]).
+    pub fn new(type_id: TypeId, cot: Cot, common_address: u16) -> Self {
+        Asdu {
+            type_id,
+            sequence: false,
+            cot,
+            common_address,
+            objects: Vec::new(),
+        }
+    }
+
+    /// Append an information object (builder style).
+    pub fn with_object(mut self, obj: InfoObject) -> Self {
+        self.objects.push(obj);
+        self
+    }
+
+    /// Mark as an SQ=1 sequence (builder style). Object IOAs must be
+    /// consecutive from the first object's address.
+    pub fn as_sequence(mut self) -> Self {
+        self.sequence = true;
+        self
+    }
+
+    /// Encode under `dialect`. Enforces shape/type consistency, IOA range,
+    /// VSQ limits and sequence legality.
+    pub fn encode(&self, dialect: Dialect) -> Result<Vec<u8>> {
+        if self.objects.is_empty() || self.objects.len() > MAX_VSQ_COUNT {
+            return Err(Error::EmptyVsq);
+        }
+        if self.sequence {
+            if !self.type_id.allows_sequence() {
+                return Err(Error::SequenceForbidden {
+                    type_id: self.type_id.code(),
+                });
+            }
+            let base = self.objects[0].ioa;
+            for (i, obj) in self.objects.iter().enumerate() {
+                if obj.ioa != base + i as u32 {
+                    return Err(Error::ShapeMismatch {
+                        type_id: self.type_id.code(),
+                    });
+                }
+            }
+        }
+        let wants_time = self.type_id.has_time_tag();
+        for obj in &self.objects {
+            if !obj.value.matches(self.type_id) || obj.time_tag.is_some() != wants_time {
+                return Err(Error::ShapeMismatch {
+                    type_id: self.type_id.code(),
+                });
+            }
+            if obj.ioa > dialect.max_ioa() {
+                return Err(Error::IoaOverflow {
+                    ioa: obj.ioa,
+                    octets: dialect.ioa_octets,
+                });
+            }
+        }
+        if dialect.cot_octets == 1 && self.cot.originator != 0 {
+            return Err(Error::OriginatorUnrepresentable);
+        }
+
+        let mut out = Vec::with_capacity(16 + self.objects.len() * 8);
+        out.push(self.type_id.code());
+        out.push((self.objects.len() as u8) | ((self.sequence as u8) << 7));
+        out.push(self.cot.cause_octet());
+        if dialect.cot_octets == 2 {
+            out.push(self.cot.originator);
+        }
+        let ca = self.common_address.to_le_bytes();
+        out.push(ca[0]);
+        if dialect.ca_octets == 2 {
+            out.push(ca[1]);
+        }
+        let push_ioa = |out: &mut Vec<u8>, ioa: u32| {
+            let bytes = ioa.to_le_bytes();
+            out.extend_from_slice(&bytes[..dialect.ioa_octets as usize]);
+        };
+        for (i, obj) in self.objects.iter().enumerate() {
+            if !self.sequence || i == 0 {
+                push_ioa(&mut out, obj.ioa);
+            }
+            obj.value.encode_element(&mut out);
+            if let Some(tag) = obj.time_tag {
+                out.extend_from_slice(&tag.encode());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode under `dialect`, consuming the entire buffer.
+    ///
+    /// The `BodyLengthMismatch` error this produces when the dialect is wrong
+    /// is the core signal the tolerant parser's dialect detector uses.
+    pub fn decode(b: &[u8], dialect: Dialect) -> Result<Asdu> {
+        let head = 2 + dialect.cot_octets as usize + dialect.ca_octets as usize;
+        if b.len() < head {
+            return Err(Error::Truncated {
+                needed: head,
+                got: b.len(),
+            });
+        }
+        let type_id = TypeId::from_code(b[0])?;
+        let sequence = b[1] & 0x80 != 0;
+        let count = (b[1] & 0x7F) as usize;
+        if count == 0 {
+            return Err(Error::EmptyVsq);
+        }
+        let originator = if dialect.cot_octets == 2 { b[3] } else { 0 };
+        let cot = Cot::from_octets(b[2], originator)?;
+        let ca_off = 2 + dialect.cot_octets as usize;
+        let common_address = if dialect.ca_octets == 2 {
+            u16::from_le_bytes([b[ca_off], b[ca_off + 1]])
+        } else {
+            b[ca_off] as u16
+        };
+        let body = &b[head..];
+        let ioa_len = dialect.ioa_octets as usize;
+        let tt_len = type_id.time_tag_len();
+
+        // Length pre-check for fixed-size types: the decisive dialect signal.
+        if let Some(elem) = type_id.element_len() {
+            let expected = if sequence {
+                ioa_len + count * elem
+            } else {
+                count * (ioa_len + elem)
+            };
+            if body.len() != expected {
+                return Err(Error::BodyLengthMismatch {
+                    type_id: type_id.code(),
+                    declared_objects: count as u8,
+                    expected,
+                    got: body.len(),
+                });
+            }
+        }
+
+        let read_ioa = |off: usize| -> u32 {
+            let mut bytes = [0u8; 4];
+            bytes[..ioa_len].copy_from_slice(&body[off..off + ioa_len]);
+            u32::from_le_bytes(bytes)
+        };
+
+        let mut objects = Vec::with_capacity(count);
+        let mut off = 0usize;
+        let mut base_ioa = 0u32;
+        for i in 0..count {
+            let ioa = if sequence {
+                if i == 0 {
+                    if body.len() < ioa_len {
+                        return Err(Error::Truncated {
+                            needed: ioa_len,
+                            got: body.len(),
+                        });
+                    }
+                    base_ioa = read_ioa(0);
+                    off = ioa_len;
+                }
+                base_ioa + i as u32
+            } else {
+                if body.len() < off + ioa_len {
+                    return Err(Error::Truncated {
+                        needed: off + ioa_len,
+                        got: body.len(),
+                    });
+                }
+                let ioa = read_ioa(off);
+                off += ioa_len;
+                ioa
+            };
+            let (value, consumed) = IoValue::decode_element(type_id, &body[off..])?;
+            off += consumed;
+            let time_tag = if tt_len > 0 {
+                if body.len() < off + 7 {
+                    return Err(Error::Truncated {
+                        needed: off + 7,
+                        got: body.len(),
+                    });
+                }
+                let mut t = [0u8; 7];
+                t.copy_from_slice(&body[off..off + 7]);
+                off += 7;
+                Some(Cp56Time2a::decode(t))
+            } else {
+                None
+            };
+            objects.push(InfoObject {
+                ioa,
+                value,
+                time_tag,
+            });
+        }
+        if off != body.len() {
+            return Err(Error::TrailingBytes(body.len() - off));
+        }
+        Ok(Asdu {
+            type_id,
+            sequence,
+            cot,
+            common_address,
+            objects,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cot::Cause;
+
+    fn float_asdu(ioa: u32, v: f32) -> Asdu {
+        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 1)
+            .with_object(InfoObject::new(ioa, IoValue::FloatMeasurement {
+                value: v,
+                qds: Qds::GOOD,
+            }))
+    }
+
+    #[test]
+    fn float_measurement_round_trip_standard() {
+        let asdu = float_asdu(0x010203, 49.97);
+        let bytes = asdu.encode(Dialect::STANDARD).unwrap();
+        // type, vsq, cot(2), ca(2), ioa(3), float(4), qds(1)
+        assert_eq!(bytes.len(), 1 + 1 + 2 + 2 + 3 + 5);
+        assert_eq!(Asdu::decode(&bytes, Dialect::STANDARD).unwrap(), asdu);
+    }
+
+    #[test]
+    fn legacy_dialect_round_trips() {
+        for dialect in Dialect::CANDIDATES {
+            let asdu = float_asdu(100, -3.5);
+            let bytes = asdu.encode(*dialect).unwrap();
+            assert_eq!(Asdu::decode(&bytes, *dialect).unwrap(), asdu, "{dialect}");
+        }
+    }
+
+    #[test]
+    fn dialect_mismatch_detected_as_length_error() {
+        // Encode with legacy 1-octet COT, decode as standard: the body is one
+        // octet short of what standard expects -> BodyLengthMismatch (or COT
+        // garbage). This is exactly the Wireshark-malformed symptom.
+        let asdu = float_asdu(100, 1.25);
+        let bytes = asdu.encode(Dialect::LEGACY_COT).unwrap();
+        let err = Asdu::decode(&bytes, Dialect::STANDARD);
+        assert!(err.is_err(), "legacy frame must not parse as standard");
+    }
+
+    #[test]
+    fn sequence_encoding_round_trip() {
+        let mut asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Periodic), 5).as_sequence();
+        for i in 0..10u32 {
+            asdu.objects.push(InfoObject::new(700 + i, IoValue::FloatMeasurement {
+                value: i as f32 * 1.5,
+                qds: Qds::GOOD,
+            }));
+        }
+        let bytes = asdu.encode(Dialect::STANDARD).unwrap();
+        // SQ saves (count-1) * ioa_len octets.
+        let non_seq = {
+            let mut a = asdu.clone();
+            a.sequence = false;
+            a.encode(Dialect::STANDARD).unwrap()
+        };
+        assert_eq!(non_seq.len() - bytes.len(), 9 * 3);
+        assert_eq!(Asdu::decode(&bytes, Dialect::STANDARD).unwrap(), asdu);
+    }
+
+    #[test]
+    fn sequence_requires_consecutive_ioas() {
+        let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Periodic), 5)
+            .with_object(InfoObject::new(700, IoValue::FloatMeasurement {
+                value: 1.0,
+                qds: Qds::GOOD,
+            }))
+            .with_object(InfoObject::new(705, IoValue::FloatMeasurement {
+                value: 2.0,
+                qds: Qds::GOOD,
+            }))
+            .as_sequence();
+        assert!(asdu.encode(Dialect::STANDARD).is_err());
+    }
+
+    #[test]
+    fn sequence_forbidden_for_commands() {
+        let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 1)
+            .with_object(InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }))
+            .as_sequence();
+        assert!(matches!(
+            asdu.encode(Dialect::STANDARD),
+            Err(Error::SequenceForbidden { type_id: 100 })
+        ));
+    }
+
+    #[test]
+    fn time_tagged_round_trip() {
+        let tag = Cp56Time2a::from_epoch_millis(3_725_123);
+        let asdu = Asdu::new(TypeId::M_ME_TF_1, Cot::new(Cause::Spontaneous), 9).with_object(
+            InfoObject::new(42, IoValue::FloatMeasurement {
+                value: 132.7,
+                qds: Qds::GOOD,
+            })
+            .with_time(tag),
+        );
+        let bytes = asdu.encode(Dialect::STANDARD).unwrap();
+        let back = Asdu::decode(&bytes, Dialect::STANDARD).unwrap();
+        assert_eq!(back, asdu);
+        assert_eq!(back.objects[0].time_tag.unwrap().to_epoch_millis(), 3_725_123);
+    }
+
+    #[test]
+    fn time_tag_required_for_tagged_types() {
+        let asdu = Asdu::new(TypeId::M_ME_TF_1, Cot::new(Cause::Spontaneous), 9).with_object(
+            InfoObject::new(42, IoValue::FloatMeasurement {
+                value: 1.0,
+                qds: Qds::GOOD,
+            }),
+        );
+        assert!(matches!(
+            asdu.encode(Dialect::STANDARD),
+            Err(Error::ShapeMismatch { type_id: 36 })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let asdu = Asdu::new(TypeId::M_SP_NA_1, Cot::new(Cause::Spontaneous), 1).with_object(
+            InfoObject::new(1, IoValue::FloatMeasurement {
+                value: 1.0,
+                qds: Qds::GOOD,
+            }),
+        );
+        assert!(asdu.encode(Dialect::STANDARD).is_err());
+    }
+
+    #[test]
+    fn ioa_overflow_under_legacy_dialect() {
+        let asdu = float_asdu(0x1_0000, 1.0);
+        assert!(asdu.encode(Dialect::STANDARD).is_ok());
+        assert!(matches!(
+            asdu.encode(Dialect::LEGACY_IOA),
+            Err(Error::IoaOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn originator_unrepresentable_in_one_octet_cot() {
+        let mut asdu = float_asdu(10, 1.0);
+        asdu.cot = asdu.cot.with_originator(7);
+        assert!(matches!(
+            asdu.encode(Dialect::LEGACY_COT),
+            Err(Error::OriginatorUnrepresentable)
+        ));
+    }
+
+    #[test]
+    fn interrogation_command_round_trip() {
+        let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 3)
+            .with_object(InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }));
+        let bytes = asdu.encode(Dialect::STANDARD).unwrap();
+        let back = Asdu::decode(&bytes, Dialect::STANDARD).unwrap();
+        assert_eq!(back, asdu);
+    }
+
+    #[test]
+    fn segment_variable_length_round_trip() {
+        let asdu = Asdu::new(TypeId::F_SG_NA_1, Cot::new(Cause::File), 3).with_object(
+            InfoObject::new(0, IoValue::Segment {
+                nof: 7,
+                nos: 2,
+                data: vec![1, 2, 3, 4, 5],
+            }),
+        );
+        let bytes = asdu.encode(Dialect::STANDARD).unwrap();
+        assert_eq!(Asdu::decode(&bytes, Dialect::STANDARD).unwrap(), asdu);
+    }
+
+    #[test]
+    fn all_fixed_types_round_trip_with_synthetic_values() {
+        // One synthetic object per type, exercising every encoder/decoder arm.
+        for &ty in TypeId::ALL {
+            let value = synthetic_value(ty);
+            let mut obj = InfoObject::new(if ty.class() == crate::types::TypeClass::SystemControl { 0 } else { 33 }, value);
+            if ty.has_time_tag() {
+                obj = obj.with_time(Cp56Time2a::from_epoch_millis(123_456));
+            }
+            let asdu = Asdu::new(ty, Cot::new(Cause::Activation), 2).with_object(obj);
+            let bytes = asdu.encode(Dialect::STANDARD).unwrap_or_else(|e| panic!("{ty}: {e}"));
+            let back = Asdu::decode(&bytes, Dialect::STANDARD).unwrap_or_else(|e| panic!("{ty}: {e}"));
+            assert_eq!(back, asdu, "{ty}");
+        }
+    }
+
+    /// A representative value for each type, used by the exhaustive test.
+    pub(crate) fn synthetic_value(ty: TypeId) -> IoValue {
+        use TypeId::*;
+        match ty {
+            M_SP_NA_1 | M_SP_TB_1 => IoValue::SinglePoint { siq: Siq::from_state(true) },
+            M_DP_NA_1 | M_DP_TB_1 => IoValue::DoublePoint {
+                diq: Diq::from_point(crate::elements::DoublePoint::On),
+            },
+            M_ST_NA_1 | M_ST_TB_1 => IoValue::StepPosition {
+                vti: Vti::new(-5, false),
+                qds: Qds::GOOD,
+            },
+            M_BO_NA_1 | M_BO_TB_1 => IoValue::Bitstring { bits: 0xDEADBEEF, qds: Qds::GOOD },
+            M_ME_NA_1 | M_ME_TD_1 => IoValue::NormalizedMeasurement {
+                nva: Nva::from_f64(0.75),
+                qds: Qds::GOOD,
+            },
+            M_ME_NB_1 | M_ME_TE_1 => IoValue::ScaledMeasurement { value: -1234, qds: Qds::GOOD },
+            M_ME_NC_1 | M_ME_TF_1 => IoValue::FloatMeasurement { value: 50.02, qds: Qds::GOOD },
+            M_IT_NA_1 | M_IT_TB_1 => IoValue::IntegratedTotals {
+                bcr: Bcr { count: 987654, seq: 3 },
+            },
+            M_PS_NA_1 => IoValue::PackedSinglePoint { scd: 0x00FF00FF, qds: Qds::GOOD },
+            M_ME_ND_1 => IoValue::NormalizedNoQuality { nva: Nva::from_f64(-0.25) },
+            M_EP_TD_1 => IoValue::ProtectionEvent { sep: 1, elapsed_ms: 250 },
+            M_EP_TE_1 => IoValue::ProtectionStartEvents { spe: 0x11, qdp: 0, duration_ms: 40 },
+            M_EP_TF_1 => IoValue::ProtectionOutputCircuit { oci: 0x01, qdp: 0, op_ms: 60 },
+            C_SC_NA_1 | C_SC_TA_1 => IoValue::SingleCommand { sco: 1 },
+            C_DC_NA_1 | C_DC_TA_1 => IoValue::DoubleCommand { dco: 2 },
+            C_RC_NA_1 | C_RC_TA_1 => IoValue::RegulatingStep { rco: 1 },
+            C_SE_NA_1 | C_SE_TA_1 => IoValue::NormalizedSetpoint {
+                nva: Nva::from_f64(0.5),
+                qos: 0,
+            },
+            C_SE_NB_1 | C_SE_TB_1 => IoValue::ScaledSetpoint { value: 777, qos: 0 },
+            C_SE_NC_1 | C_SE_TC_1 => IoValue::FloatSetpoint { value: 410.0, qos: 0 },
+            C_BO_NA_1 | C_BO_TA_1 => IoValue::BitstringCommand { bits: 0x12345678 },
+            M_EI_NA_1 => IoValue::EndOfInit { coi: 0 },
+            C_IC_NA_1 => IoValue::Interrogation { qoi: Qoi::STATION },
+            C_CI_NA_1 => IoValue::CounterInterrogation { qcc: 5 },
+            C_RD_NA_1 => IoValue::Read,
+            C_CS_NA_1 => IoValue::ClockSync {
+                time: Cp56Time2a::from_epoch_millis(42_000),
+            },
+            C_RP_NA_1 => IoValue::ResetProcess { qrp: 1 },
+            C_TS_TA_1 => IoValue::TestCommand { tsc: 0xAA55 },
+            P_ME_NA_1 => IoValue::ParamNormalized { nva: Nva::from_f64(0.1), qpm: 1 },
+            P_ME_NB_1 => IoValue::ParamScaled { value: 10, qpm: 1 },
+            P_ME_NC_1 => IoValue::ParamFloat { value: 0.05, qpm: 1 },
+            P_AC_NA_1 => IoValue::ParamActivation { qpa: 1 },
+            F_FR_NA_1 => IoValue::FileReady { nof: 1, lof: 1024, frq: 0 },
+            F_SR_NA_1 => IoValue::SectionReady { nof: 1, nos: 1, lof: 512, srq: 0 },
+            F_SC_NA_1 => IoValue::CallFile { nof: 1, nos: 1, scq: 1 },
+            F_LS_NA_1 => IoValue::LastSection { nof: 1, nos: 1, lsq: 1, chs: 0x5A },
+            F_AF_NA_1 => IoValue::AckFile { nof: 1, nos: 1, afq: 1 },
+            F_SG_NA_1 => IoValue::Segment { nof: 1, nos: 1, data: vec![9, 8, 7] },
+            F_DR_TA_1 => IoValue::Directory {
+                nof: 1,
+                lof: 2048,
+                sof: 0,
+                time: Cp56Time2a::from_epoch_millis(1_000),
+            },
+            F_SC_NB_1 => IoValue::QueryLog {
+                nof: 1,
+                start: Cp56Time2a::from_epoch_millis(0),
+                stop: Cp56Time2a::from_epoch_millis(60_000),
+            },
+        }
+    }
+
+    #[test]
+    fn numeric_extraction() {
+        assert_eq!(
+            IoValue::FloatMeasurement { value: 2.5, qds: Qds::GOOD }.numeric(),
+            Some(2.5)
+        );
+        assert_eq!(
+            IoValue::DoublePoint {
+                diq: Diq::from_point(crate::elements::DoublePoint::On)
+            }
+            .numeric(),
+            Some(2.0)
+        );
+        assert_eq!(IoValue::Read.numeric(), None);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let asdu = float_asdu(10, 1.0);
+        let mut bytes = asdu.encode(Dialect::STANDARD).unwrap();
+        bytes.push(0xFF);
+        // One extra byte: fixed-length pre-check fires.
+        assert!(matches!(
+            Asdu::decode(&bytes, Dialect::STANDARD),
+            Err(Error::BodyLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_vsq_rejected() {
+        let asdu = Asdu::new(TypeId::M_SP_NA_1, Cot::new(Cause::Spontaneous), 1);
+        assert!(matches!(asdu.encode(Dialect::STANDARD), Err(Error::EmptyVsq)));
+        // And on decode.
+        let bytes = [1u8, 0, 3, 0, 1, 0];
+        assert!(matches!(
+            Asdu::decode(&bytes, Dialect::STANDARD),
+            Err(Error::EmptyVsq)
+        ));
+    }
+}

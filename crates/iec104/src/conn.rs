@@ -1,0 +1,591 @@
+//! The IEC 104 connection state machine.
+//!
+//! Models the per-connection behaviour the standard specifies on top of TCP:
+//! the STOPDT/STARTDT data-transfer gate, the T0–T3 timers, the k/w
+//! acknowledgement windows and the 15-bit sequence numbers. The simulator's
+//! control servers and outstations both run one `Connection` per TCP
+//! connection; the paper's timing observations (30 s keep-alive cadence on
+//! secondary connections, the O30 outlier with T3 = 430 s, S-frame cadence)
+//! all fall out of these rules.
+//!
+//! Time is an `f64` of seconds supplied by the caller — the state machine
+//! never reads a clock, which keeps the simulation deterministic.
+
+use crate::apci::{seq_add, seq_distance, Apci, UFunction};
+use crate::apdu::Apdu;
+use crate::asdu::Asdu;
+
+/// Default protocol timer values (seconds) per the standard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnConfig {
+    /// T0: connection establishment timeout.
+    pub t0: f64,
+    /// T1: timeout awaiting acknowledgement of a sent I-frame or U-act.
+    pub t1: f64,
+    /// T2: maximum delay before acknowledging received I-frames (T2 < T1).
+    pub t2: f64,
+    /// T3: idle time before sending a TESTFR keep-alive.
+    pub t3: f64,
+    /// k: maximum unacknowledged I-frames in flight.
+    pub k: u16,
+    /// w: acknowledge after this many received I-frames.
+    pub w: u16,
+}
+
+impl Default for ConnConfig {
+    fn default() -> Self {
+        // The standard's default parameter set.
+        ConnConfig {
+            t0: 30.0,
+            t1: 15.0,
+            t2: 10.0,
+            t3: 20.0,
+            k: 12,
+            w: 8,
+        }
+    }
+}
+
+impl ConnConfig {
+    /// The O30 misconfiguration from the paper: a T3 an order of magnitude
+    /// above everyone else's, producing 430 s between keep-alives.
+    pub fn misconfigured_t3(t3: f64) -> Self {
+        ConnConfig {
+            t3,
+            ..Default::default()
+        }
+    }
+}
+
+/// Which side of the connection this endpoint is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The controlling station (SCADA server): sends STARTDT, commands.
+    Controlling,
+    /// The controlled station (outstation/RTU): answers, reports data.
+    Controlled,
+}
+
+/// Data-transfer gate state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DtState {
+    /// Initial state: only U (and S) frames may flow.
+    Stopped,
+    /// STARTDT sent, awaiting confirmation (controlling side only).
+    Starting,
+    /// I-frames may flow.
+    Started,
+    /// STOPDT sent, awaiting confirmation.
+    Stopping,
+}
+
+/// Actions the state machine asks its host to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit this APDU on the TCP connection.
+    Transmit(Apdu),
+    /// Deliver this received ASDU to the application.
+    Deliver(Asdu),
+    /// Close the connection (T1 expiry, protocol error).
+    Close(CloseReason),
+}
+
+/// Why the state machine closed the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// T1 expired with an unacknowledged I-frame outstanding.
+    T1DataAck,
+    /// T1 expired awaiting a TESTFR con.
+    T1TestFr,
+    /// T1 expired awaiting a STARTDT/STOPDT con.
+    T1UConfirm,
+    /// The peer violated sequence rules.
+    ProtocolError,
+}
+
+/// The per-connection state machine.
+#[derive(Debug)]
+pub struct Connection {
+    cfg: ConnConfig,
+    role: Role,
+    dt: DtState,
+    /// V(S): sequence number of the next I-frame we send.
+    vs: u16,
+    /// V(R): sequence number expected in the next received I-frame.
+    vr: u16,
+    /// Highest N(S) of ours the peer has acknowledged.
+    peer_acked: u16,
+    /// V(R) value we last conveyed to the peer (via I or S frame).
+    acked_to_peer: u16,
+    /// Time the oldest unacknowledged sent I-frame went out.
+    oldest_unacked_tx: Option<f64>,
+    /// Time the oldest unacknowledged received I-frame came in.
+    oldest_unacked_rx: Option<f64>,
+    /// Outstanding TESTFR act we sent, by send time.
+    testfr_sent: Option<f64>,
+    /// Outstanding STARTDT/STOPDT act we sent, by send time.
+    u_confirm_pending: Option<f64>,
+    /// Last frame activity (any direction), for T3.
+    last_activity: f64,
+    /// Queued ASDUs awaiting window space or STARTDT.
+    queue: std::collections::VecDeque<Asdu>,
+    closed: bool,
+}
+
+impl Connection {
+    /// A new connection, opened at `now`.
+    pub fn new(role: Role, cfg: ConnConfig, now: f64) -> Self {
+        Connection {
+            cfg,
+            role,
+            dt: DtState::Stopped,
+            vs: 0,
+            vr: 0,
+            peer_acked: 0,
+            acked_to_peer: 0,
+            oldest_unacked_tx: None,
+            oldest_unacked_rx: None,
+            testfr_sent: None,
+            u_confirm_pending: None,
+            last_activity: now,
+            queue: std::collections::VecDeque::new(),
+            closed: false,
+        }
+    }
+
+    /// Current data-transfer state.
+    pub fn dt_state(&self) -> DtState {
+        self.dt
+    }
+
+    /// True once the state machine has decided to close.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Number of sent-but-unacknowledged I-frames.
+    pub fn in_flight(&self) -> u16 {
+        seq_distance(self.peer_acked, self.vs)
+    }
+
+    /// ASDUs queued but not yet transmitted.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn note_activity(&mut self, now: f64) {
+        self.last_activity = now;
+        // Any traffic proves liveness; a pending TESTFR is implicitly moot
+        // only when its con arrives, so keep that gate separate.
+    }
+
+    fn transmit(&mut self, apdu: Apdu, now: f64, out: &mut Vec<Action>) {
+        self.note_activity(now);
+        out.push(Action::Transmit(apdu));
+    }
+
+    /// Ask to start data transfer (controlling side).
+    pub fn start_dt(&mut self, now: f64) -> Vec<Action> {
+        let mut out = Vec::new();
+        if self.closed || self.role != Role::Controlling || self.dt != DtState::Stopped {
+            return out;
+        }
+        self.dt = DtState::Starting;
+        self.u_confirm_pending = Some(now);
+        self.transmit(Apdu::u_frame(UFunction::StartDtAct), now, &mut out);
+        out
+    }
+
+    /// Ask to stop data transfer (controlling side).
+    pub fn stop_dt(&mut self, now: f64) -> Vec<Action> {
+        let mut out = Vec::new();
+        if self.closed || self.role != Role::Controlling || self.dt != DtState::Started {
+            return out;
+        }
+        self.dt = DtState::Stopping;
+        self.u_confirm_pending = Some(now);
+        self.transmit(Apdu::u_frame(UFunction::StopDtAct), now, &mut out);
+        out
+    }
+
+    /// Queue an ASDU for transmission; it is sent immediately if the DT gate
+    /// is open and the k-window has room.
+    pub fn send(&mut self, asdu: Asdu, now: f64) -> Vec<Action> {
+        self.queue.push_back(asdu);
+        let mut out = Vec::new();
+        self.pump(now, &mut out);
+        out
+    }
+
+    fn pump(&mut self, now: f64, out: &mut Vec<Action>) {
+        while self.dt == DtState::Started
+            && !self.closed
+            && self.in_flight() < self.cfg.k
+        {
+            let Some(asdu) = self.queue.pop_front() else { break };
+            let apdu = Apdu::i_frame(self.vs, self.vr, asdu);
+            if self.oldest_unacked_tx.is_none() {
+                self.oldest_unacked_tx = Some(now);
+            }
+            self.vs = seq_add(self.vs, 1);
+            // Sending an I-frame also conveys our V(R).
+            self.acked_to_peer = self.vr;
+            self.oldest_unacked_rx = None;
+            self.transmit(apdu, now, out);
+        }
+    }
+
+    /// Process a received APDU.
+    pub fn on_apdu(&mut self, apdu: &Apdu, now: f64) -> Vec<Action> {
+        let mut out = Vec::new();
+        if self.closed {
+            return out;
+        }
+        self.note_activity(now);
+        match apdu.apci {
+            Apci::I { send_seq, recv_seq } => {
+                if send_seq != self.vr {
+                    // Out-of-sequence I-frame: protocol error per standard.
+                    self.closed = true;
+                    out.push(Action::Close(CloseReason::ProtocolError));
+                    return out;
+                }
+                self.vr = seq_add(self.vr, 1);
+                if self.oldest_unacked_rx.is_none() {
+                    self.oldest_unacked_rx = Some(now);
+                }
+                self.apply_peer_ack(recv_seq, now);
+                if let Some(asdu) = &apdu.asdu {
+                    out.push(Action::Deliver(asdu.clone()));
+                }
+                // w-window: acknowledge promptly after w unacked frames.
+                if seq_distance(self.acked_to_peer, self.vr) >= self.cfg.w {
+                    self.send_s_frame(now, &mut out);
+                }
+                self.pump(now, &mut out);
+            }
+            Apci::S { recv_seq } => {
+                self.apply_peer_ack(recv_seq, now);
+                self.pump(now, &mut out);
+            }
+            Apci::U(func) => self.on_u(func, now, &mut out),
+        }
+        out
+    }
+
+    fn apply_peer_ack(&mut self, recv_seq: u16, now: f64) {
+        // recv_seq acknowledges all frames with N(S) < recv_seq.
+        if seq_distance(self.peer_acked, recv_seq) <= seq_distance(self.peer_acked, self.vs) {
+            let progressed = recv_seq != self.peer_acked;
+            self.peer_acked = recv_seq;
+            if self.peer_acked == self.vs {
+                self.oldest_unacked_tx = None;
+            } else if progressed {
+                // T1 restarts when the peer makes acknowledgement progress:
+                // under continuous traffic there is almost always *some*
+                // frame in flight, and timing the whole busy stretch instead
+                // of the oldest outstanding frame would tear the connection
+                // down spuriously.
+                self.oldest_unacked_tx = Some(now);
+            }
+        }
+    }
+
+    fn send_s_frame(&mut self, now: f64, out: &mut Vec<Action>) {
+        self.acked_to_peer = self.vr;
+        self.oldest_unacked_rx = None;
+        self.transmit(Apdu::s_frame(self.vr), now, out);
+    }
+
+    fn on_u(&mut self, func: UFunction, now: f64, out: &mut Vec<Action>) {
+        match func {
+            UFunction::StartDtAct => {
+                if self.role == Role::Controlled {
+                    self.dt = DtState::Started;
+                    self.transmit(Apdu::u_frame(UFunction::StartDtCon), now, out);
+                    self.pump(now, out);
+                }
+            }
+            UFunction::StartDtCon => {
+                if self.dt == DtState::Starting {
+                    self.dt = DtState::Started;
+                    self.u_confirm_pending = None;
+                    self.pump(now, out);
+                }
+            }
+            UFunction::StopDtAct => {
+                if self.role == Role::Controlled {
+                    self.dt = DtState::Stopped;
+                    self.transmit(Apdu::u_frame(UFunction::StopDtCon), now, out);
+                }
+            }
+            UFunction::StopDtCon => {
+                if self.dt == DtState::Stopping {
+                    self.dt = DtState::Stopped;
+                    self.u_confirm_pending = None;
+                }
+            }
+            UFunction::TestFrAct => {
+                self.transmit(Apdu::u_frame(UFunction::TestFrCon), now, out);
+            }
+            UFunction::TestFrCon => {
+                self.testfr_sent = None;
+            }
+        }
+    }
+
+    /// Send an immediate TESTFR act (used by controlling stations to probe
+    /// a freshly opened — typically secondary — connection without waiting
+    /// for T3). The T1 confirmation timeout applies as usual.
+    pub fn send_testfr(&mut self, now: f64) -> Vec<Action> {
+        let mut out = Vec::new();
+        if self.closed || self.testfr_sent.is_some() {
+            return out;
+        }
+        self.testfr_sent = Some(now);
+        self.transmit(Apdu::u_frame(UFunction::TestFrAct), now, &mut out);
+        out
+    }
+
+    /// Advance timers to `now`. Call periodically (the simulator calls it on
+    /// every scheduling tick for the endpoint).
+    pub fn poll(&mut self, now: f64) -> Vec<Action> {
+        let mut out = Vec::new();
+        if self.closed {
+            return out;
+        }
+        // T1: unacknowledged I-frame.
+        if let Some(t) = self.oldest_unacked_tx {
+            if now - t >= self.cfg.t1 {
+                self.closed = true;
+                out.push(Action::Close(CloseReason::T1DataAck));
+                return out;
+            }
+        }
+        // T1: unconfirmed TESTFR.
+        if let Some(t) = self.testfr_sent {
+            if now - t >= self.cfg.t1 {
+                self.closed = true;
+                out.push(Action::Close(CloseReason::T1TestFr));
+                return out;
+            }
+        }
+        // T1: unconfirmed STARTDT/STOPDT.
+        if let Some(t) = self.u_confirm_pending {
+            if now - t >= self.cfg.t1 {
+                self.closed = true;
+                out.push(Action::Close(CloseReason::T1UConfirm));
+                return out;
+            }
+        }
+        // T2: acknowledge received I-frames even below the w threshold.
+        if let Some(t) = self.oldest_unacked_rx {
+            if now - t >= self.cfg.t2 {
+                self.send_s_frame(now, &mut out);
+            }
+        }
+        // T3: idle keep-alive.
+        if self.testfr_sent.is_none() && now - self.last_activity >= self.cfg.t3 {
+            self.testfr_sent = Some(now);
+            self.transmit(Apdu::u_frame(UFunction::TestFrAct), now, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asdu::{InfoObject, IoValue};
+    use crate::cot::{Cause, Cot};
+    use crate::elements::Qds;
+    use crate::types::TypeId;
+
+    fn asdu() -> Asdu {
+        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 1).with_object(
+            InfoObject::new(100, IoValue::FloatMeasurement {
+                value: 1.0,
+                qds: Qds::GOOD,
+            }),
+        )
+    }
+
+    /// Wire a controlling and a controlled endpoint back-to-back and pump
+    /// actions until quiescent.
+    fn exchange(server: &mut Connection, rtu: &mut Connection, actions: Vec<Action>, to_rtu: bool, now: f64) -> Vec<Asdu> {
+        let mut delivered = Vec::new();
+        let mut pending: Vec<(bool, Action)> = actions.into_iter().map(|a| (to_rtu, a)).collect();
+        while let Some((towards_rtu, action)) = pending.pop() {
+            match action {
+                Action::Transmit(apdu) => {
+                    let dest = if towards_rtu { &mut *rtu } else { &mut *server };
+                    let replies = dest.on_apdu(&apdu, now);
+                    pending.extend(replies.into_iter().map(|a| (!towards_rtu, a)));
+                }
+                Action::Deliver(asdu) => delivered.push(asdu),
+                Action::Close(_) => {}
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn startdt_handshake() {
+        let mut server = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        let mut rtu = Connection::new(Role::Controlled, ConnConfig::default(), 0.0);
+        assert_eq!(server.dt_state(), DtState::Stopped);
+        let actions = server.start_dt(0.0);
+        assert_eq!(actions.len(), 1);
+        exchange(&mut server, &mut rtu, actions, true, 0.0);
+        assert_eq!(server.dt_state(), DtState::Started);
+        assert_eq!(rtu.dt_state(), DtState::Started);
+    }
+
+    #[test]
+    fn i_frames_blocked_until_startdt() {
+        let mut rtu = Connection::new(Role::Controlled, ConnConfig::default(), 0.0);
+        let actions = rtu.send(asdu(), 0.0);
+        assert!(actions.is_empty(), "STOPDT state must gate I-frames");
+        assert_eq!(rtu.queued(), 1);
+    }
+
+    #[test]
+    fn data_flows_after_startdt_and_is_delivered() {
+        let mut server = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        let mut rtu = Connection::new(Role::Controlled, ConnConfig::default(), 0.0);
+        let a = server.start_dt(0.0);
+        exchange(&mut server, &mut rtu, a, true, 0.0);
+        let a = rtu.send(asdu(), 1.0);
+        assert_eq!(a.len(), 1, "queued frame flushes once started");
+        let delivered = exchange(&mut server, &mut rtu, a, false, 1.0);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].type_id, TypeId::M_ME_NC_1);
+    }
+
+    #[test]
+    fn k_window_throttles() {
+        let cfg = ConnConfig { k: 3, ..Default::default() };
+        let mut server = Connection::new(Role::Controlling, cfg, 0.0);
+        let mut rtu = Connection::new(Role::Controlled, cfg, 0.0);
+        let a = server.start_dt(0.0);
+        exchange(&mut server, &mut rtu, a, true, 0.0);
+        // Queue 5 without letting the peer ack.
+        let mut sent = 0;
+        for _ in 0..5 {
+            sent += rtu
+                .send(asdu(), 1.0)
+                .iter()
+                .filter(|a| matches!(a, Action::Transmit(_)))
+                .count();
+        }
+        assert_eq!(sent, 3, "k=3 caps the in-flight window");
+        assert_eq!(rtu.in_flight(), 3);
+        assert_eq!(rtu.queued(), 2);
+        // An S-frame acking everything opens the window again.
+        let more = rtu.on_apdu(&Apdu::s_frame(3), 2.0);
+        let resumed = more.iter().filter(|a| matches!(a, Action::Transmit(_))).count();
+        assert_eq!(resumed, 2);
+    }
+
+    #[test]
+    fn w_window_triggers_s_frame() {
+        let cfg = ConnConfig { w: 2, ..Default::default() };
+        let mut server = Connection::new(Role::Controlling, cfg, 0.0);
+        let mut rtu = Connection::new(Role::Controlled, cfg, 0.0);
+        let a = server.start_dt(0.0);
+        exchange(&mut server, &mut rtu, a, true, 0.0);
+        // Two I-frames from the RTU: the server must emit an S-frame.
+        let mut s_frames = 0;
+        for i in 0..2u16 {
+            let apdu = Apdu::i_frame(i, 0, asdu());
+            for act in server.on_apdu(&apdu, 1.0) {
+                if let Action::Transmit(a) = act {
+                    if a.apci.is_s() {
+                        s_frames += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(s_frames, 1);
+    }
+
+    #[test]
+    fn t2_acknowledges_lone_frame() {
+        let mut server = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        let mut rtu = Connection::new(Role::Controlled, ConnConfig::default(), 0.0);
+        let a = server.start_dt(0.0);
+        exchange(&mut server, &mut rtu, a, true, 0.0);
+        server.on_apdu(&Apdu::i_frame(0, 0, asdu()), 5.0);
+        // Before T2: nothing.
+        assert!(server.poll(10.0).is_empty());
+        // After T2 (10 s): an S-frame.
+        let acts = server.poll(15.1);
+        assert!(acts.iter().any(|a| matches!(a, Action::Transmit(x) if x.apci.is_s())));
+    }
+
+    #[test]
+    fn t3_sends_testfr_and_t1_closes_without_con() {
+        let mut conn = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        // Idle past T3 = 20 s.
+        let acts = conn.poll(20.5);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Transmit(x) if x.token() == "U16"
+        )));
+        // No TESTFR con within T1 = 15 s: close.
+        let acts = conn.poll(36.0);
+        assert!(acts.contains(&Action::Close(CloseReason::T1TestFr)));
+        assert!(conn.is_closed());
+    }
+
+    #[test]
+    fn testfr_con_clears_pending() {
+        let mut conn = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        conn.poll(21.0); // sends TESTFR act
+        conn.on_apdu(&Apdu::u_frame(UFunction::TestFrCon), 22.0);
+        assert!(conn.poll(36.0).is_empty());
+        assert!(!conn.is_closed());
+    }
+
+    #[test]
+    fn misconfigured_t3_produces_long_keepalive_interval() {
+        // The O30 outlier: T3 = 430 s.
+        let mut conn = Connection::new(Role::Controlling, ConnConfig::misconfigured_t3(430.0), 0.0);
+        assert!(conn.poll(100.0).is_empty());
+        assert!(conn.poll(429.0).is_empty());
+        let acts = conn.poll(430.5);
+        assert!(acts.iter().any(|a| matches!(a, Action::Transmit(x) if x.token() == "U16")));
+    }
+
+    #[test]
+    fn out_of_sequence_i_frame_closes() {
+        let mut server = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        let acts = server.on_apdu(&Apdu::i_frame(5, 0, asdu()), 1.0);
+        assert!(acts.contains(&Action::Close(CloseReason::ProtocolError)));
+    }
+
+    #[test]
+    fn t1_closes_unacked_i_frame() {
+        let mut server = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        let mut rtu = Connection::new(Role::Controlled, ConnConfig::default(), 0.0);
+        let a = server.start_dt(0.0);
+        exchange(&mut server, &mut rtu, a, true, 0.0);
+        rtu.send(asdu(), 1.0); // transmitted but never acked
+        assert!(rtu.poll(10.0).is_empty());
+        let acts = rtu.poll(16.1);
+        assert!(acts.contains(&Action::Close(CloseReason::T1DataAck)));
+    }
+
+    #[test]
+    fn stopdt_gates_traffic_again() {
+        let mut server = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        let mut rtu = Connection::new(Role::Controlled, ConnConfig::default(), 0.0);
+        let a = server.start_dt(0.0);
+        exchange(&mut server, &mut rtu, a, true, 0.0);
+        let a = server.stop_dt(1.0);
+        exchange(&mut server, &mut rtu, a, true, 1.0);
+        assert_eq!(server.dt_state(), DtState::Stopped);
+        assert_eq!(rtu.dt_state(), DtState::Stopped);
+        assert!(rtu.send(asdu(), 2.0).is_empty());
+    }
+}

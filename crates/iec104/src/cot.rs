@@ -1,0 +1,246 @@
+//! Cause of Transmission.
+//!
+//! The COT field says *why* an ASDU was sent: periodically, spontaneously
+//! (a threshold was crossed), in response to an interrogation, as a command
+//! activation/confirmation, and so on. In standard IEC 104 the field is two
+//! octets — a cause octet (6-bit cause + negative-confirm + test bits) and an
+//! originator address. The paper's malformed outstations instead used the
+//! one-octet IEC 101 form; see [`crate::dialect`].
+
+use crate::{Error, Result};
+
+macro_rules! causes {
+    ($( ($variant:ident, $code:expr, $desc:expr) ),+ $(,)?) => {
+        /// The 6-bit cause-of-transmission codes used in IEC 104.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(u8)]
+        pub enum Cause {
+            $(
+                #[doc = $desc]
+                $variant = $code,
+            )+
+        }
+
+        impl Cause {
+            /// Every defined cause, ascending by code.
+            pub const ALL: &'static [Cause] = &[ $(Cause::$variant),+ ];
+
+            /// Decode a 6-bit cause code.
+            pub fn from_code(code: u8) -> Result<Cause> {
+                match code {
+                    $( $code => Ok(Cause::$variant), )+
+                    other => Err(Error::UnknownCause(other)),
+                }
+            }
+
+            /// The numeric code.
+            pub fn code(self) -> u8 {
+                self as u8
+            }
+
+            /// Short human-readable description.
+            pub fn description(self) -> &'static str {
+                match self {
+                    $( Cause::$variant => $desc, )+
+                }
+            }
+        }
+    };
+}
+
+causes![
+    (Periodic, 1, "periodic, cyclic"),
+    (Background, 2, "background scan"),
+    (Spontaneous, 3, "spontaneous"),
+    (Initialized, 4, "initialized"),
+    (Request, 5, "request or requested"),
+    (Activation, 6, "activation"),
+    (ActivationCon, 7, "activation confirmation"),
+    (Deactivation, 8, "deactivation"),
+    (DeactivationCon, 9, "deactivation confirmation"),
+    (ActivationTermination, 10, "activation termination"),
+    (ReturnRemote, 11, "return information caused by a remote command"),
+    (ReturnLocal, 12, "return information caused by a local command"),
+    (File, 13, "file transfer"),
+    (InterrogatedByStation, 20, "interrogated by general interrogation"),
+    (InterrogatedByGroup1, 21, "interrogated by group 1 interrogation"),
+    (InterrogatedByGroup2, 22, "interrogated by group 2 interrogation"),
+    (InterrogatedByGroup3, 23, "interrogated by group 3 interrogation"),
+    (InterrogatedByGroup4, 24, "interrogated by group 4 interrogation"),
+    (InterrogatedByGroup5, 25, "interrogated by group 5 interrogation"),
+    (InterrogatedByGroup6, 26, "interrogated by group 6 interrogation"),
+    (InterrogatedByGroup7, 27, "interrogated by group 7 interrogation"),
+    (InterrogatedByGroup8, 28, "interrogated by group 8 interrogation"),
+    (InterrogatedByGroup9, 29, "interrogated by group 9 interrogation"),
+    (InterrogatedByGroup10, 30, "interrogated by group 10 interrogation"),
+    (InterrogatedByGroup11, 31, "interrogated by group 11 interrogation"),
+    (InterrogatedByGroup12, 32, "interrogated by group 12 interrogation"),
+    (InterrogatedByGroup13, 33, "interrogated by group 13 interrogation"),
+    (InterrogatedByGroup14, 34, "interrogated by group 14 interrogation"),
+    (InterrogatedByGroup15, 35, "interrogated by group 15 interrogation"),
+    (InterrogatedByGroup16, 36, "interrogated by group 16 interrogation"),
+    (CounterInterrogation, 37, "requested by general counter request"),
+    (CounterGroup1, 38, "requested by group 1 counter request"),
+    (CounterGroup2, 39, "requested by group 2 counter request"),
+    (CounterGroup3, 40, "requested by group 3 counter request"),
+    (CounterGroup4, 41, "requested by group 4 counter request"),
+    (UnknownType, 44, "unknown type identification"),
+    (UnknownCause, 45, "unknown cause of transmission"),
+    (UnknownCommonAddress, 46, "unknown common address of ASDU"),
+    (UnknownIoa, 47, "unknown information object address"),
+];
+
+/// A full cause-of-transmission value: cause code plus the P/N
+/// (negative-confirm) and T (test) flag bits, and the originator address
+/// carried by the standard two-octet form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cot {
+    /// The 6-bit cause code.
+    pub cause: Cause,
+    /// P/N bit: `true` marks a negative confirmation.
+    pub negative: bool,
+    /// T bit: `true` marks test traffic.
+    pub test: bool,
+    /// Originator address (second octet in the standard dialect; must be 0
+    /// to be representable in the legacy one-octet dialect).
+    pub originator: u8,
+}
+
+impl Cot {
+    /// A plain positive, non-test COT with originator 0.
+    pub fn new(cause: Cause) -> Self {
+        Cot {
+            cause,
+            negative: false,
+            test: false,
+            originator: 0,
+        }
+    }
+
+    /// Same cause, flagged as a negative confirmation.
+    pub fn negative(cause: Cause) -> Self {
+        Cot {
+            negative: true,
+            ..Cot::new(cause)
+        }
+    }
+
+    /// Set the originator address (builder style).
+    pub fn with_originator(mut self, orig: u8) -> Self {
+        self.originator = orig;
+        self
+    }
+
+    /// Encode the first (cause) octet.
+    pub fn cause_octet(&self) -> u8 {
+        self.cause.code() | ((self.negative as u8) << 6) | ((self.test as u8) << 7)
+    }
+
+    /// Decode from the cause octet (and originator, for the 2-octet form).
+    pub fn from_octets(cause_octet: u8, originator: u8) -> Result<Self> {
+        Ok(Cot {
+            cause: Cause::from_code(cause_octet & 0x3F)?,
+            negative: cause_octet & 0x40 != 0,
+            test: cause_octet & 0x80 != 0,
+            originator,
+        })
+    }
+
+    /// Token suffix used in human-readable dumps, e.g. `"Spont"`, `"Per"`.
+    pub fn short_label(&self) -> &'static str {
+        match self.cause {
+            Cause::Periodic => "Per",
+            Cause::Spontaneous => "Spont",
+            Cause::InterrogatedByStation => "Inrogen",
+            Cause::Activation => "Act",
+            Cause::ActivationCon => "ActCon",
+            Cause::ActivationTermination => "ActTerm",
+            Cause::Request => "Req",
+            Cause::Background => "Back",
+            Cause::Initialized => "Init",
+            _ => "Other",
+        }
+    }
+}
+
+impl std::fmt::Display for Cot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.cause.description())?;
+        if self.negative {
+            write!(f, " [neg]")?;
+        }
+        if self.test {
+            write!(f, " [test]")?;
+        }
+        if self.originator != 0 {
+            write!(f, " orig={}", self.originator)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_codes_round_trip() {
+        for &c in Cause::ALL {
+            assert_eq!(Cause::from_code(c.code()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn undefined_codes_rejected() {
+        for code in [0u8, 14, 15, 16, 17, 18, 19, 42, 43, 48, 63] {
+            assert!(Cause::from_code(code).is_err(), "code {code}");
+        }
+    }
+
+    #[test]
+    fn flag_bits_round_trip() {
+        let cot = Cot {
+            cause: Cause::ActivationCon,
+            negative: true,
+            test: true,
+            originator: 3,
+        };
+        let octet = cot.cause_octet();
+        assert_eq!(octet & 0x3F, 7);
+        assert_ne!(octet & 0x40, 0);
+        assert_ne!(octet & 0x80, 0);
+        assert_eq!(Cot::from_octets(octet, 3).unwrap(), cot);
+    }
+
+    #[test]
+    fn plain_constructor_defaults() {
+        let cot = Cot::new(Cause::Spontaneous);
+        assert!(!cot.negative);
+        assert!(!cot.test);
+        assert_eq!(cot.originator, 0);
+        assert_eq!(cot.cause_octet(), 3);
+    }
+
+    #[test]
+    fn negative_constructor_sets_pn_bit() {
+        let cot = Cot::negative(Cause::ActivationCon);
+        assert!(cot.negative);
+        assert_eq!(cot.cause_octet() & 0x40, 0x40);
+    }
+
+    #[test]
+    fn short_labels() {
+        assert_eq!(Cot::new(Cause::Spontaneous).short_label(), "Spont");
+        assert_eq!(Cot::new(Cause::Periodic).short_label(), "Per");
+        assert_eq!(Cot::new(Cause::InterrogatedByStation).short_label(), "Inrogen");
+    }
+
+    #[test]
+    fn display_format() {
+        let cot = Cot::negative(Cause::Activation).with_originator(9);
+        let s = format!("{cot}");
+        assert!(s.contains("activation"));
+        assert!(s.contains("[neg]"));
+        assert!(s.contains("orig=9"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Wire dialects: standard IEC 104 field widths versus the legacy IEC 101
+//! widths the paper found in operational traffic.
+//!
+//! §6.1 of the paper: outstation O37 used **2-octet IOAs** (standard: 3) and
+//! outstations O53/O58/O28 used a **1-octet cause of transmission**
+//! (standard: 2). The explanation is that IEC 101 permits those widths and
+//! the substations kept their serial-era configuration when they were
+//! upgraded to IEC 104. A strict parser sees 100 % malformed packets from
+//! these endpoints; a dialect-parameterised parser recovers them.
+
+use serde::{Deserialize, Serialize};
+
+/// The field-width parameters that differ between standard IEC 104 and the
+/// legacy IEC 101 configurations observed in the wild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dialect {
+    /// Octets in the cause-of-transmission field (standard: 2; legacy: 1).
+    pub cot_octets: u8,
+    /// Octets in each information object address (standard: 3; legacy: 2).
+    pub ioa_octets: u8,
+    /// Octets in the common address of ASDU (standard: 2; IEC 101 allows 1).
+    pub ca_octets: u8,
+}
+
+impl Dialect {
+    /// Standard IEC 104: 2-octet COT, 3-octet IOA, 2-octet common address.
+    pub const STANDARD: Dialect = Dialect {
+        cot_octets: 2,
+        ioa_octets: 3,
+        ca_octets: 2,
+    };
+
+    /// The O37 dialect: standard COT but 2-octet IOAs (paper Fig. 7c).
+    pub const LEGACY_IOA: Dialect = Dialect {
+        cot_octets: 2,
+        ioa_octets: 2,
+        ca_octets: 2,
+    };
+
+    /// The O53/O58/O28 dialect: 1-octet COT, standard IOAs (paper Fig. 7a).
+    pub const LEGACY_COT: Dialect = Dialect {
+        cot_octets: 1,
+        ioa_octets: 3,
+        ca_octets: 2,
+    };
+
+    /// Fully serial-era widths: 1-octet COT *and* 2-octet IOA.
+    pub const LEGACY_FULL: Dialect = Dialect {
+        cot_octets: 1,
+        ioa_octets: 2,
+        ca_octets: 2,
+    };
+
+    /// The candidate set the tolerant parser searches, most standard first.
+    pub const CANDIDATES: &'static [Dialect] = &[
+        Dialect::STANDARD,
+        Dialect::LEGACY_COT,
+        Dialect::LEGACY_IOA,
+        Dialect::LEGACY_FULL,
+    ];
+
+    /// True for the standard dialect.
+    pub fn is_standard(&self) -> bool {
+        *self == Dialect::STANDARD
+    }
+
+    /// Maximum IOA representable under this dialect.
+    pub fn max_ioa(&self) -> u32 {
+        match self.ioa_octets {
+            1 => 0xFF,
+            2 => 0xFFFF,
+            _ => 0xFF_FFFF,
+        }
+    }
+
+    /// Short label for reports, e.g. `"std"`, `"cot1"`, `"ioa2"`.
+    pub fn label(&self) -> String {
+        if self.is_standard() {
+            "std".to_string()
+        } else {
+            let mut parts = Vec::new();
+            if self.cot_octets != 2 {
+                parts.push(format!("cot{}", self.cot_octets));
+            }
+            if self.ioa_octets != 3 {
+                parts.push(format!("ioa{}", self.ioa_octets));
+            }
+            if self.ca_octets != 2 {
+                parts.push(format!("ca{}", self.ca_octets));
+            }
+            parts.join("+")
+        }
+    }
+}
+
+impl Default for Dialect {
+    fn default() -> Self {
+        Dialect::STANDARD
+    }
+}
+
+impl std::fmt::Display for Dialect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cot={} ioa={} ca={}",
+            self.cot_octets, self.ioa_octets, self.ca_octets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_widths() {
+        let d = Dialect::STANDARD;
+        assert_eq!((d.cot_octets, d.ioa_octets, d.ca_octets), (2, 3, 2));
+        assert!(d.is_standard());
+        assert_eq!(d.max_ioa(), 0xFF_FFFF);
+    }
+
+    #[test]
+    fn legacy_widths_match_paper() {
+        // O37: two-octet IOA.
+        assert_eq!(Dialect::LEGACY_IOA.ioa_octets, 2);
+        assert_eq!(Dialect::LEGACY_IOA.cot_octets, 2);
+        // O53/O58/O28: one-octet COT.
+        assert_eq!(Dialect::LEGACY_COT.cot_octets, 1);
+        assert_eq!(Dialect::LEGACY_COT.ioa_octets, 3);
+    }
+
+    #[test]
+    fn candidate_order_prefers_standard() {
+        assert_eq!(Dialect::CANDIDATES[0], Dialect::STANDARD);
+        assert_eq!(Dialect::CANDIDATES.len(), 4);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Dialect::STANDARD.label(), "std");
+        assert_eq!(Dialect::LEGACY_COT.label(), "cot1");
+        assert_eq!(Dialect::LEGACY_IOA.label(), "ioa2");
+        assert_eq!(Dialect::LEGACY_FULL.label(), "cot1+ioa2");
+    }
+
+    #[test]
+    fn max_ioa_per_width() {
+        assert_eq!(Dialect::LEGACY_IOA.max_ioa(), 0xFFFF);
+        assert_eq!(Dialect::LEGACY_FULL.max_ioa(), 0xFFFF);
+    }
+}

@@ -1,0 +1,509 @@
+//! Information-element wire encodings.
+//!
+//! These are the low-level building blocks that information objects are made
+//! of: quality descriptors, point statuses, the various numeric encodings
+//! (normalized, scaled, IEEE 754 short float), binary counter readings and
+//! the CP56Time2a / CP24Time2a / CP16Time2a time tags.
+
+/// Quality descriptor (QDS) attached to most monitor-direction values.
+///
+/// Bit 0 overflow (OV), bit 4 blocked (BL), bit 5 substituted (SB),
+/// bit 6 not-topical (NT), bit 7 invalid (IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Qds(pub u8);
+
+impl Qds {
+    /// All-clear quality: the value is valid, topical and in range.
+    pub const GOOD: Qds = Qds(0);
+
+    /// Overflow flag.
+    pub fn overflow(self) -> bool {
+        self.0 & 0x01 != 0
+    }
+    /// Blocked flag.
+    pub fn blocked(self) -> bool {
+        self.0 & 0x10 != 0
+    }
+    /// Substituted flag.
+    pub fn substituted(self) -> bool {
+        self.0 & 0x20 != 0
+    }
+    /// Not-topical flag.
+    pub fn not_topical(self) -> bool {
+        self.0 & 0x40 != 0
+    }
+    /// Invalid flag.
+    pub fn invalid(self) -> bool {
+        self.0 & 0x80 != 0
+    }
+    /// True when no quality problem is flagged.
+    pub fn is_good(self) -> bool {
+        self.0 & 0xF1 == 0
+    }
+}
+
+/// Single-point information with quality (SIQ).
+///
+/// Bit 0 is the point value, bits 4..7 the quality flags (as in [`Qds`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Siq(pub u8);
+
+impl Siq {
+    /// Build from a boolean state with good quality.
+    pub fn from_state(on: bool) -> Siq {
+        Siq(on as u8)
+    }
+    /// The point state.
+    pub fn state(self) -> bool {
+        self.0 & 0x01 != 0
+    }
+    /// The invalid-quality flag.
+    pub fn invalid(self) -> bool {
+        self.0 & 0x80 != 0
+    }
+}
+
+/// Double-point information with quality (DIQ).
+///
+/// Bits 0..2 carry the state: 0 indeterminate/intermediate, 1 OFF, 2 ON,
+/// 3 indeterminate. The paper's Fig. 20 breaker trace uses exactly these
+/// states (status change 0 → 2 when the breaker closes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Diq(pub u8);
+
+/// The four double-point states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DoublePoint {
+    /// Intermediate / indeterminate (wire code 0).
+    Intermediate,
+    /// Determined OFF (wire code 1).
+    Off,
+    /// Determined ON (wire code 2).
+    On,
+    /// Indeterminate (wire code 3).
+    Indeterminate,
+}
+
+impl DoublePoint {
+    /// The 2-bit wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            DoublePoint::Intermediate => 0,
+            DoublePoint::Off => 1,
+            DoublePoint::On => 2,
+            DoublePoint::Indeterminate => 3,
+        }
+    }
+    /// Decode from the 2-bit wire code.
+    pub fn from_code(code: u8) -> DoublePoint {
+        match code & 0x03 {
+            0 => DoublePoint::Intermediate,
+            1 => DoublePoint::Off,
+            2 => DoublePoint::On,
+            _ => DoublePoint::Indeterminate,
+        }
+    }
+}
+
+impl Diq {
+    /// Build from a state with good quality.
+    pub fn from_point(p: DoublePoint) -> Diq {
+        Diq(p.code())
+    }
+    /// The double-point state.
+    pub fn point(self) -> DoublePoint {
+        DoublePoint::from_code(self.0)
+    }
+    /// The invalid-quality flag.
+    pub fn invalid(self) -> bool {
+        self.0 & 0x80 != 0
+    }
+}
+
+/// Value with transient-state indication (VTI) for step positions.
+///
+/// Bits 0..6 carry a 7-bit two's-complement value (-64..=63), bit 7 the
+/// transient flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Vti(pub u8);
+
+impl Vti {
+    /// Build from a step position (clamped to -64..=63) and transient flag.
+    pub fn new(value: i8, transient: bool) -> Vti {
+        let clamped = value.clamp(-64, 63);
+        Vti(((clamped as u8) & 0x7F) | ((transient as u8) << 7))
+    }
+    /// The step position value, sign-extended from 7 bits.
+    pub fn value(self) -> i8 {
+        let raw = self.0 & 0x7F;
+        if raw & 0x40 != 0 {
+            (raw | 0x80) as i8
+        } else {
+            raw as i8
+        }
+    }
+    /// The transient flag.
+    pub fn transient(self) -> bool {
+        self.0 & 0x80 != 0
+    }
+}
+
+/// Normalized value (NVA): 16-bit fixed point in [-1, 1).
+///
+/// `value = raw / 32768`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Nva(pub i16);
+
+impl Nva {
+    /// Build from an engineering fraction, saturating to the legal range.
+    pub fn from_f64(v: f64) -> Nva {
+        let raw = (v * 32768.0).round().clamp(i16::MIN as f64, i16::MAX as f64);
+        Nva(raw as i16)
+    }
+    /// The fraction in [-1, 1).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / 32768.0
+    }
+}
+
+/// Binary counter reading (BCR): 5 octets — 32-bit count plus a sequence
+/// octet with carry/adjusted/invalid flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bcr {
+    /// The counter reading.
+    pub count: i32,
+    /// Sequence number (bits 0..4) plus CY/CA/IV flags (bits 5..7).
+    pub seq: u8,
+}
+
+impl Bcr {
+    /// Encode to 5 octets (little-endian count, then sequence octet).
+    pub fn encode(self) -> [u8; 5] {
+        let c = self.count.to_le_bytes();
+        [c[0], c[1], c[2], c[3], self.seq]
+    }
+    /// Decode from 5 octets.
+    pub fn decode(b: [u8; 5]) -> Bcr {
+        Bcr {
+            count: i32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+            seq: b[4],
+        }
+    }
+}
+
+/// CP56Time2a: the 7-octet absolute time tag used by all `-TB`/`-TD`/…
+/// time-tagged types. Encodes milliseconds within the minute, minute, hour,
+/// day-of-month (+ day-of-week), month and a 2000-based year.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cp56Time2a {
+    /// Milliseconds within the minute (0..=59999).
+    pub millis: u16,
+    /// Minute (0..=59). Bit IV is carried separately in [`Self::invalid`].
+    pub minute: u8,
+    /// Invalid-time flag.
+    pub invalid: bool,
+    /// Hour (0..=23).
+    pub hour: u8,
+    /// Summer-time flag.
+    pub summer_time: bool,
+    /// Day of month (1..=31).
+    pub day: u8,
+    /// Day of week (1=Monday..7=Sunday, 0 = unused).
+    pub day_of_week: u8,
+    /// Month (1..=12).
+    pub month: u8,
+    /// Year offset from 2000 (0..=99).
+    pub year: u8,
+}
+
+impl Default for Cp56Time2a {
+    fn default() -> Self {
+        Cp56Time2a {
+            millis: 0,
+            minute: 0,
+            invalid: false,
+            hour: 0,
+            summer_time: false,
+            day: 1,
+            day_of_week: 0,
+            month: 1,
+            year: 0,
+        }
+    }
+}
+
+impl Cp56Time2a {
+    /// Build a time tag from whole milliseconds since a year-2000 epoch
+    /// midnight, using a flat 30-day month calendar.
+    ///
+    /// The simulator does not need real calendar arithmetic — captures span
+    /// hours — but round-tripping must be exact within a month.
+    pub fn from_epoch_millis(ms: u64) -> Cp56Time2a {
+        let millis = (ms % 60_000) as u16;
+        let total_minutes = ms / 60_000;
+        let minute = (total_minutes % 60) as u8;
+        let total_hours = total_minutes / 60;
+        let hour = (total_hours % 24) as u8;
+        let total_days = total_hours / 24;
+        let day = (total_days % 30 + 1) as u8;
+        let total_months = total_days / 30;
+        let month = (total_months % 12 + 1) as u8;
+        let year = (total_months / 12 % 100) as u8;
+        Cp56Time2a {
+            millis,
+            minute,
+            hour,
+            day,
+            month,
+            year,
+            ..Default::default()
+        }
+    }
+
+    /// Inverse of [`Self::from_epoch_millis`] under the same flat calendar.
+    pub fn to_epoch_millis(self) -> u64 {
+        let months = self.year as u64 * 12 + (self.month.max(1) as u64 - 1);
+        let days = months * 30 + (self.day.max(1) as u64 - 1);
+        let hours = days * 24 + self.hour as u64;
+        let minutes = hours * 60 + self.minute as u64;
+        minutes * 60_000 + self.millis as u64
+    }
+
+    /// Encode to the 7-octet wire form.
+    pub fn encode(self) -> [u8; 7] {
+        let ms = self.millis.to_le_bytes();
+        [
+            ms[0],
+            ms[1],
+            (self.minute & 0x3F) | ((self.invalid as u8) << 7),
+            (self.hour & 0x1F) | ((self.summer_time as u8) << 7),
+            (self.day & 0x1F) | ((self.day_of_week & 0x07) << 5),
+            self.month & 0x0F,
+            self.year & 0x7F,
+        ]
+    }
+
+    /// Decode from the 7-octet wire form.
+    pub fn decode(b: [u8; 7]) -> Cp56Time2a {
+        Cp56Time2a {
+            millis: u16::from_le_bytes([b[0], b[1]]),
+            minute: b[2] & 0x3F,
+            invalid: b[2] & 0x80 != 0,
+            hour: b[3] & 0x1F,
+            summer_time: b[3] & 0x80 != 0,
+            day: b[4] & 0x1F,
+            day_of_week: (b[4] >> 5) & 0x07,
+            month: b[5] & 0x0F,
+            year: b[6] & 0x7F,
+        }
+    }
+}
+
+/// CP24Time2a: the 3-octet relative time tag of IEC 101's `-TA` types
+/// (milliseconds within the minute plus the minute). IEC 104 replaced the
+/// `-TA` types with CP56-tagged ones, but the element remains part of the
+/// companion standard and appears when bridging serial outstations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cp24Time2a {
+    /// Milliseconds within the minute (0..=59999).
+    pub millis: u16,
+    /// Minute (0..=59).
+    pub minute: u8,
+    /// Invalid-time flag.
+    pub invalid: bool,
+}
+
+impl Cp24Time2a {
+    /// Encode to the 3-octet wire form.
+    pub fn encode(self) -> [u8; 3] {
+        let ms = self.millis.to_le_bytes();
+        [ms[0], ms[1], (self.minute & 0x3F) | ((self.invalid as u8) << 7)]
+    }
+
+    /// Decode from the 3-octet wire form.
+    pub fn decode(b: [u8; 3]) -> Cp24Time2a {
+        Cp24Time2a {
+            millis: u16::from_le_bytes([b[0], b[1]]),
+            minute: b[2] & 0x3F,
+            invalid: b[2] & 0x80 != 0,
+        }
+    }
+
+    /// Milliseconds into the hour this tag denotes.
+    pub fn millis_into_hour(self) -> u32 {
+        self.minute as u32 * 60_000 + self.millis as u32
+    }
+}
+
+/// CP16Time2a: a bare 2-octet millisecond count (0..=59999), used for the
+/// elapsed/relay times inside protection-event types 38–40.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cp16Time2a(pub u16);
+
+impl Cp16Time2a {
+    /// Encode to the 2-octet wire form.
+    pub fn encode(self) -> [u8; 2] {
+        self.0.to_le_bytes()
+    }
+
+    /// Decode from the 2-octet wire form.
+    pub fn decode(b: [u8; 2]) -> Cp16Time2a {
+        Cp16Time2a(u16::from_le_bytes(b))
+    }
+
+    /// Clamp into the standard's valid range.
+    pub fn clamped(self) -> Cp16Time2a {
+        Cp16Time2a(self.0.min(59_999))
+    }
+}
+
+/// Qualifier of interrogation (QOI). 20 = station (global) interrogation —
+/// the value behind the paper's `I100` analysis and the Industroyer
+/// reconnaissance discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Qoi(pub u8);
+
+impl Qoi {
+    /// Station (global) interrogation.
+    pub const STATION: Qoi = Qoi(20);
+    /// Group interrogation (1..=16).
+    pub fn group(n: u8) -> Qoi {
+        Qoi(20 + n.clamp(1, 16))
+    }
+}
+
+/// Qualifier of command (QOC) bits shared by command types: select/execute
+/// bit plus a qualifier-of-command code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Qoc(pub u8);
+
+impl Qoc {
+    /// Execute (as opposed to select-before-operate).
+    pub const EXECUTE: Qoc = Qoc(0);
+    /// The select bit.
+    pub fn is_select(self) -> bool {
+        self.0 & 0x80 != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qds_flags() {
+        assert!(Qds::GOOD.is_good());
+        assert!(Qds(0x80).invalid());
+        assert!(Qds(0x40).not_topical());
+        assert!(Qds(0x20).substituted());
+        assert!(Qds(0x10).blocked());
+        assert!(Qds(0x01).overflow());
+        assert!(!Qds(0x80).is_good());
+    }
+
+    #[test]
+    fn siq_state() {
+        assert!(Siq::from_state(true).state());
+        assert!(!Siq::from_state(false).state());
+        assert!(Siq(0x81).invalid());
+    }
+
+    #[test]
+    fn double_point_codes() {
+        for p in [
+            DoublePoint::Intermediate,
+            DoublePoint::Off,
+            DoublePoint::On,
+            DoublePoint::Indeterminate,
+        ] {
+            assert_eq!(DoublePoint::from_code(p.code()), p);
+        }
+        // The paper's Fig. 20 breaker close is a 0 -> 2 transition.
+        assert_eq!(DoublePoint::Intermediate.code(), 0);
+        assert_eq!(DoublePoint::On.code(), 2);
+    }
+
+    #[test]
+    fn vti_sign_extension() {
+        for v in [-64i8, -1, 0, 1, 63] {
+            let vti = Vti::new(v, false);
+            assert_eq!(vti.value(), v, "value {v}");
+        }
+        assert!(Vti::new(5, true).transient());
+        // Clamping.
+        assert_eq!(Vti::new(100, false).value(), 63);
+        assert_eq!(Vti::new(-100, false).value(), -64);
+    }
+
+    #[test]
+    fn nva_round_trip_precision() {
+        for v in [-1.0, -0.5, 0.0, 0.25, 0.999] {
+            let nva = Nva::from_f64(v);
+            assert!((nva.to_f64() - v).abs() < 1.0 / 32768.0 + 1e-12, "value {v}");
+        }
+        // Saturation at +1.0.
+        assert_eq!(Nva::from_f64(2.0).0, i16::MAX);
+        assert_eq!(Nva::from_f64(-2.0).0, i16::MIN);
+    }
+
+    #[test]
+    fn bcr_round_trip() {
+        let bcr = Bcr {
+            count: -123456,
+            seq: 0x25,
+        };
+        assert_eq!(Bcr::decode(bcr.encode()), bcr);
+    }
+
+    #[test]
+    fn cp56_wire_round_trip() {
+        let t = Cp56Time2a {
+            millis: 59_999,
+            minute: 59,
+            invalid: true,
+            hour: 23,
+            summer_time: true,
+            day: 31,
+            day_of_week: 7,
+            month: 12,
+            year: 99,
+        };
+        assert_eq!(Cp56Time2a::decode(t.encode()), t);
+    }
+
+    #[test]
+    fn cp56_epoch_round_trip() {
+        for ms in [0u64, 1, 59_999, 60_000, 3_600_000, 86_400_000, 123_456_789] {
+            let t = Cp56Time2a::from_epoch_millis(ms);
+            assert_eq!(t.to_epoch_millis(), ms, "epoch {ms}");
+        }
+    }
+
+    #[test]
+    fn cp24_round_trip() {
+        let t = Cp24Time2a {
+            millis: 59_999,
+            minute: 59,
+            invalid: true,
+        };
+        assert_eq!(Cp24Time2a::decode(t.encode()), t);
+        assert_eq!(t.millis_into_hour(), 59 * 60_000 + 59_999);
+        let zero = Cp24Time2a::default();
+        assert_eq!(Cp24Time2a::decode(zero.encode()), zero);
+    }
+
+    #[test]
+    fn cp16_round_trip_and_clamp() {
+        let t = Cp16Time2a(12345);
+        assert_eq!(Cp16Time2a::decode(t.encode()), t);
+        assert_eq!(Cp16Time2a(60_001).clamped().0, 59_999);
+        assert_eq!(Cp16Time2a(100).clamped().0, 100);
+    }
+
+    #[test]
+    fn qoi_station_is_20() {
+        assert_eq!(Qoi::STATION.0, 20);
+        assert_eq!(Qoi::group(1).0, 21);
+        assert_eq!(Qoi::group(16).0, 36);
+    }
+}

@@ -1,0 +1,189 @@
+//! APDU tokenisation for sequence modelling (the paper's Table 4).
+//!
+//! Every APDU maps to one token: `S` for supervisory frames, `U1`–`U32` for
+//! the six unnumbered functions, and `I{code}` for information frames, keyed
+//! by ASDU type identification. Token streams feed the n-gram / Markov
+//! analysis in `uncharted-analysis`.
+
+use crate::apci::{Apci, UFunction};
+use crate::apdu::Apdu;
+use crate::types::TypeId;
+use serde::{Deserialize, Serialize};
+
+/// A tokenised APDU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Token {
+    /// Supervisory acknowledgement.
+    S,
+    /// STARTDT act.
+    U1,
+    /// STARTDT con.
+    U2,
+    /// STOPDT act.
+    U4,
+    /// STOPDT con.
+    U8,
+    /// TESTFR act (keep-alive).
+    U16,
+    /// TESTFR con (keep-alive ack).
+    U32,
+    /// I-format APDU with this type identification code.
+    I(u8),
+}
+
+impl Token {
+    /// Tokenise an APDU.
+    pub fn of(apdu: &Apdu) -> Token {
+        match &apdu.apci {
+            Apci::S { .. } => Token::S,
+            Apci::U(func) => Token::from_u(*func),
+            Apci::I { .. } => Token::I(
+                apdu.asdu
+                    .as_ref()
+                    .map(|a| a.type_id.code())
+                    .unwrap_or(0),
+            ),
+        }
+    }
+
+    /// Tokenise a U function.
+    pub fn from_u(func: UFunction) -> Token {
+        match func {
+            UFunction::StartDtAct => Token::U1,
+            UFunction::StartDtCon => Token::U2,
+            UFunction::StopDtAct => Token::U4,
+            UFunction::StopDtCon => Token::U8,
+            UFunction::TestFrAct => Token::U16,
+            UFunction::TestFrCon => Token::U32,
+        }
+    }
+
+    /// True for I-format tokens.
+    pub fn is_i(self) -> bool {
+        matches!(self, Token::I(_))
+    }
+
+    /// True for the interrogation command token `I100` — the discriminator
+    /// of the paper's Fig. 13 "ellipse" cluster.
+    pub fn is_interrogation(self) -> bool {
+        self == Token::I(TypeId::C_IC_NA_1.code())
+    }
+
+    /// The paper's spelling of the token.
+    pub fn name(self) -> String {
+        match self {
+            Token::S => "S".to_string(),
+            Token::U1 => "U1".to_string(),
+            Token::U2 => "U2".to_string(),
+            Token::U4 => "U4".to_string(),
+            Token::U8 => "U8".to_string(),
+            Token::U16 => "U16".to_string(),
+            Token::U32 => "U32".to_string(),
+            Token::I(code) => format!("I{code}"),
+        }
+    }
+
+    /// The Table 4 description of the token.
+    pub fn description(self) -> String {
+        match self {
+            Token::S => "Ack of I APDUs".to_string(),
+            Token::U1 => "Start sending I APDUs".to_string(),
+            Token::U2 => "Ack of STARTDT".to_string(),
+            Token::U4 => "Stop sending I APDUs".to_string(),
+            Token::U8 => "Ack of STOPDT".to_string(),
+            Token::U16 => "Test status of connection".to_string(),
+            Token::U32 => "Ack of TESTFR".to_string(),
+            Token::I(code) => TypeId::from_code(code)
+                .map(|t| t.description().to_string())
+                .unwrap_or_else(|_| "Sensor and Control Values".to_string()),
+        }
+    }
+
+    /// The rows of the paper's Table 4 (with `I` as one generic row).
+    pub fn table4() -> Vec<(String, String, String)> {
+        vec![
+            ("S".into(), "S".into(), "Ack of I APDUs".into()),
+            ("U1".into(), "STARTDT act".into(), "Start sending I APDUs".into()),
+            ("U2".into(), "STARTDT con".into(), "Ack of STARTDT".into()),
+            ("U4".into(), "STOPDT act".into(), "Stop sending I APDUs".into()),
+            ("U8".into(), "STOPDT con".into(), "Ack of STOPDT".into()),
+            ("U16".into(), "TESTFR act".into(), "Test status of connection".into()),
+            ("U32".into(), "TESTFR con".into(), "Ack of TESTFR".into()),
+            (
+                "I_code (code={1,3,5,...,127})".into(),
+                "Variable type".into(),
+                "Sensor and Control Values".into(),
+            ),
+        ]
+    }
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asdu::{Asdu, InfoObject, IoValue};
+    use crate::cot::{Cause, Cot};
+    use crate::elements::{Qds, Qoi};
+
+    #[test]
+    fn tokenises_all_formats() {
+        assert_eq!(Token::of(&Apdu::s_frame(0)), Token::S);
+        assert_eq!(Token::of(&Apdu::u_frame(UFunction::TestFrAct)), Token::U16);
+        let asdu = Asdu::new(TypeId::M_ME_TF_1, Cot::new(Cause::Spontaneous), 1).with_object(
+            InfoObject::new(1, IoValue::FloatMeasurement {
+                value: 1.0,
+                qds: Qds::GOOD,
+            })
+            .with_time(Default::default()),
+        );
+        assert_eq!(Token::of(&Apdu::i_frame(0, 0, asdu)), Token::I(36));
+    }
+
+    #[test]
+    fn interrogation_discriminator() {
+        let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 1)
+            .with_object(InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }));
+        let token = Token::of(&Apdu::i_frame(0, 0, asdu));
+        assert!(token.is_interrogation());
+        assert!(token.is_i());
+        assert!(!Token::S.is_interrogation());
+    }
+
+    #[test]
+    fn names_match_paper_spelling() {
+        assert_eq!(Token::I(36).name(), "I36");
+        assert_eq!(Token::I(13).name(), "I13");
+        assert_eq!(Token::U16.name(), "U16");
+        assert_eq!(Token::S.name(), "S");
+    }
+
+    #[test]
+    fn table4_has_eight_rows() {
+        let rows = Token::table4();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[5].0, "U16");
+        assert_eq!(rows[5].2, "Test status of connection");
+    }
+
+    #[test]
+    fn description_falls_back_for_unknown_codes() {
+        assert_eq!(Token::I(2).description(), "Sensor and Control Values");
+        assert_eq!(
+            Token::I(36).description(),
+            "Measured value, short floating point number with time tag CP56Time2a"
+        );
+    }
+
+    #[test]
+    fn ordering_is_stable_for_markov_node_sorting() {
+        let mut toks = vec![Token::I(36), Token::S, Token::U16, Token::I(13)];
+        toks.sort();
+        assert_eq!(toks, vec![Token::S, Token::U16, Token::I(13), Token::I(36)]);
+    }
+}

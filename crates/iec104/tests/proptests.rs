@@ -1,0 +1,235 @@
+//! Property-based tests for the IEC 104 wire formats.
+//!
+//! Invariants: encode∘decode is the identity for every dialect; the stream
+//! decoder is insensitive to TCP segmentation; sequence-number arithmetic
+//! stays within the 15-bit space; and arbitrary junk never panics a parser.
+
+use proptest::prelude::*;
+use uncharted_iec104::apci::{seq_add, seq_distance, Apci, UFunction, SEQ_MODULO};
+use uncharted_iec104::apdu::{Apdu, StreamDecoder, StreamItem};
+use uncharted_iec104::asdu::{Asdu, InfoObject, IoValue};
+use uncharted_iec104::cot::{Cause, Cot};
+use uncharted_iec104::dialect::Dialect;
+use uncharted_iec104::elements::{Cp56Time2a, Nva, Qds, Siq};
+use uncharted_iec104::parser::{StrictParser, TolerantParser};
+use uncharted_iec104::types::TypeId;
+
+fn arb_seq() -> impl Strategy<Value = u16> {
+    0u16..SEQ_MODULO
+}
+
+fn arb_dialect() -> impl Strategy<Value = Dialect> {
+    prop::sample::select(Dialect::CANDIDATES.to_vec())
+}
+
+fn arb_cause() -> impl Strategy<Value = Cause> {
+    prop::sample::select(Cause::ALL.to_vec())
+}
+
+/// Monitor-measurement values covering the shapes the simulator emits.
+fn arb_measurement() -> impl Strategy<Value = (TypeId, IoValue, bool)> {
+    prop_oneof![
+        (any::<f32>().prop_filter("finite", |f| f.is_finite()), any::<u8>()).prop_map(
+            |(value, q)| {
+                (
+                    TypeId::M_ME_NC_1,
+                    IoValue::FloatMeasurement {
+                        value,
+                        qds: Qds(q),
+                    },
+                    false,
+                )
+            }
+        ),
+        (any::<f32>().prop_filter("finite", |f| f.is_finite()), any::<u8>()).prop_map(
+            |(value, q)| {
+                (
+                    TypeId::M_ME_TF_1,
+                    IoValue::FloatMeasurement {
+                        value,
+                        qds: Qds(q),
+                    },
+                    true,
+                )
+            }
+        ),
+        (any::<i16>(), any::<u8>()).prop_map(|(v, q)| (
+            TypeId::M_ME_NB_1,
+            IoValue::ScaledMeasurement {
+                value: v,
+                qds: Qds(q)
+            },
+            false
+        )),
+        (any::<i16>(), any::<u8>()).prop_map(|(v, q)| (
+            TypeId::M_ME_NA_1,
+            IoValue::NormalizedMeasurement {
+                nva: Nva(v),
+                qds: Qds(q)
+            },
+            false
+        )),
+        any::<u8>().prop_map(|s| (TypeId::M_SP_NA_1, IoValue::SinglePoint { siq: Siq(s) }, false)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn apci_round_trip(apci in prop_oneof![
+        (arb_seq(), arb_seq()).prop_map(|(s, r)| Apci::I { send_seq: s, recv_seq: r }),
+        arb_seq().prop_map(|r| Apci::S { recv_seq: r }),
+        prop::sample::select(vec![
+            UFunction::StartDtAct, UFunction::StartDtCon, UFunction::StopDtAct,
+            UFunction::StopDtCon, UFunction::TestFrAct, UFunction::TestFrCon,
+        ]).prop_map(Apci::U),
+    ]) {
+        prop_assert_eq!(Apci::decode(apci.encode()).unwrap(), apci);
+    }
+
+    #[test]
+    fn seq_arithmetic_stays_in_range(a in arb_seq(), b in arb_seq(), n in 0u16..1000) {
+        prop_assert!(seq_add(a, n) < SEQ_MODULO);
+        prop_assert!(seq_distance(a, b) < SEQ_MODULO);
+        // Adding the measured distance gets you from a to b.
+        prop_assert_eq!(seq_add(a, seq_distance(a, b)), b % SEQ_MODULO);
+    }
+
+    #[test]
+    fn asdu_round_trips_every_dialect(
+        dialect in arb_dialect(),
+        cause in arb_cause(),
+        ca in 1u16..=255,
+        base_ioa in 1u32..=60_000,
+        count in 1usize..=8,
+        (type_id, value, tagged) in arb_measurement(),
+        epoch in 0u64..100_000_000,
+    ) {
+        let mut asdu = Asdu::new(type_id, Cot::new(cause), ca);
+        for i in 0..count {
+            let mut obj = InfoObject::new(base_ioa + i as u32, value.clone());
+            if tagged {
+                obj = obj.with_time(Cp56Time2a::from_epoch_millis(epoch));
+            }
+            asdu.objects.push(obj);
+        }
+        let bytes = asdu.encode(dialect).unwrap();
+        prop_assert_eq!(Asdu::decode(&bytes, dialect).unwrap(), asdu);
+    }
+
+    #[test]
+    fn sequence_mode_round_trips(
+        dialect in arb_dialect(),
+        base_ioa in 1u32..=60_000,
+        count in 1usize..=16,
+        v in any::<f32>().prop_filter("finite", |f| f.is_finite()),
+    ) {
+        let mut asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Periodic), 3).as_sequence();
+        for i in 0..count {
+            asdu.objects.push(InfoObject::new(base_ioa + i as u32, IoValue::FloatMeasurement {
+                value: v,
+                qds: Qds::GOOD,
+            }));
+        }
+        let bytes = asdu.encode(dialect).unwrap();
+        prop_assert_eq!(Asdu::decode(&bytes, dialect).unwrap(), asdu);
+    }
+
+    #[test]
+    fn stream_decoder_segmentation_invariant(
+        seed_frames in prop::collection::vec((arb_seq(), any::<f32>().prop_filter("finite", |f| f.is_finite())), 1..20),
+        cut_points in prop::collection::vec(1usize..200, 0..10),
+    ) {
+        // Build a byte stream of frames, then feed it in arbitrary slices:
+        // the decoded sequence must not depend on segmentation.
+        let mut stream = Vec::new();
+        for (seq, v) in &seed_frames {
+            let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 1)
+                .with_object(InfoObject::new(500, IoValue::FloatMeasurement {
+                    value: *v,
+                    qds: Qds::GOOD,
+                }));
+            stream.extend(Apdu::i_frame(*seq, 0, asdu).encode(Dialect::STANDARD).unwrap());
+        }
+        let whole: Vec<StreamItem> = StreamDecoder::new(Dialect::STANDARD).feed(&stream);
+
+        let mut cuts: Vec<usize> = cut_points.into_iter().map(|c| c % stream.len().max(1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut pieces = Vec::new();
+        let mut prev = 0;
+        for c in cuts {
+            pieces.push(&stream[prev..c]);
+            prev = c;
+        }
+        pieces.push(&stream[prev..]);
+
+        let mut dec = StreamDecoder::new(Dialect::STANDARD);
+        let mut chunked = Vec::new();
+        for p in pieces {
+            chunked.extend(dec.feed(p));
+        }
+        prop_assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_junk(junk in prop::collection::vec(any::<u8>(), 0..600)) {
+        let mut strict = StrictParser::new();
+        strict.feed(&junk);
+        let mut tolerant = TolerantParser::new();
+        tolerant.feed(&junk);
+        tolerant.flush();
+    }
+
+    #[test]
+    fn corrupted_frames_never_panic(
+        v in any::<f32>().prop_filter("finite", |f| f.is_finite()),
+        flip_at in 0usize..19,
+        flip_bits in 1u8..=255,
+    ) {
+        let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 1)
+            .with_object(InfoObject::new(500, IoValue::FloatMeasurement {
+                value: v,
+                qds: Qds::GOOD,
+            }));
+        let mut bytes = Apdu::i_frame(0, 0, asdu).encode(Dialect::STANDARD).unwrap();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= flip_bits;
+        // Whatever happens, no panic; decode either succeeds or errors.
+        let _ = Apdu::decode(&bytes, Dialect::STANDARD);
+        let mut p = StrictParser::new();
+        p.feed(&bytes);
+    }
+
+    #[test]
+    fn cp56_epoch_round_trip(ms in 0u64..3_000_000_000) {
+        let t = Cp56Time2a::from_epoch_millis(ms);
+        prop_assert_eq!(t.to_epoch_millis(), ms);
+        // And the wire form is stable too.
+        prop_assert_eq!(Cp56Time2a::decode(t.encode()), t);
+    }
+
+    #[test]
+    fn tolerant_parser_detects_dialect_of_clean_streams(
+        dialect in arb_dialect(),
+        n in 9usize..30,
+        ca in 1u16..=200,
+    ) {
+        let mut stream = Vec::new();
+        for i in 0..n {
+            let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), ca)
+                .with_object(InfoObject::new(1000 + (i as u32 % 50), IoValue::FloatMeasurement {
+                    value: 100.0 + i as f32,
+                    qds: Qds::GOOD,
+                }));
+            stream.extend(Apdu::i_frame(i as u16, 0, asdu).encode(dialect).unwrap());
+        }
+        let mut p = TolerantParser::new();
+        let mut items = p.feed(&stream);
+        items.extend(p.flush());
+        prop_assert_eq!(p.detected(), Some(dialect));
+        prop_assert_eq!(items.len(), n);
+        prop_assert!(items.iter().all(|i| matches!(i, StreamItem::Apdu(_))));
+    }
+}

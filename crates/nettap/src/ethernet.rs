@@ -1,0 +1,117 @@
+//! Ethernet II framing.
+
+use crate::{Error, Result};
+
+/// Ethertype for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// A MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// A locally administered address derived from a small device id —
+    /// the simulator gives every host a stable MAC this way.
+    pub fn from_device_id(id: u32) -> MacAddr {
+        let b = id.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// A parsed Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Ethertype (only IPv4 is used here).
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Encode into 14 bytes.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..6].copy_from_slice(&self.dst.0);
+        out[6..12].copy_from_slice(&self.src.0);
+        out[12..14].copy_from_slice(&self.ethertype.to_be_bytes());
+        out
+    }
+
+    /// Parse from the front of `b`; returns the header and payload offset.
+    pub fn parse(b: &[u8]) -> Result<(EthernetHeader, usize)> {
+        if b.len() < HEADER_LEN {
+            return Err(Error::Truncated {
+                layer: "ethernet",
+                needed: HEADER_LEN,
+                got: b.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&b[0..6]);
+        src.copy_from_slice(&b[6..12]);
+        Ok((
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype: u16::from_be_bytes([b[12], b[13]]),
+            },
+            HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let hdr = EthernetHeader {
+            dst: MacAddr([1, 2, 3, 4, 5, 6]),
+            src: MacAddr([7, 8, 9, 10, 11, 12]),
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let bytes = hdr.encode();
+        let (parsed, off) = EthernetHeader::parse(&bytes).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(off, HEADER_LEN);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(EthernetHeader::parse(&[0u8; 13]).is_err());
+    }
+
+    #[test]
+    fn device_macs_are_stable_and_local() {
+        let a = MacAddr::from_device_id(42);
+        assert_eq!(a, MacAddr::from_device_id(42));
+        assert_ne!(a, MacAddr::from_device_id(43));
+        assert_eq!(a.0[0] & 0x02, 0x02, "locally administered bit");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            format!("{}", MacAddr([0x02, 0, 0, 0, 0, 0x2a])),
+            "02:00:00:00:00:2a"
+        );
+    }
+}

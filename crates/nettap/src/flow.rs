@@ -1,0 +1,511 @@
+//! TCP flow reconstruction from captures.
+//!
+//! The paper (§6.2) keys flows by the 4-tuple `<srcIP, srcPort, dstIP,
+//! dstPort>` and splits them into **short-lived** flows — those with a
+//! matching SYN and FIN/RST inside the capture — and **long-lived** flows —
+//! those that started before or ended after the capture window. This module
+//! rebuilds connections, their per-direction packet timelines, and the
+//! reassembled (duplicate-free, in-order) payload streams the IEC 104
+//! parsers consume.
+
+use crate::pcap::{Capture, ParsedPacket};
+use crate::stack::SocketAddr;
+use std::collections::BTreeMap;
+
+/// Canonically ordered endpoint pair identifying a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// The smaller endpoint under `(ip, port)` ordering.
+    pub a: SocketAddr,
+    /// The larger endpoint.
+    pub b: SocketAddr,
+}
+
+impl FlowKey {
+    /// Canonicalise an endpoint pair.
+    pub fn new(x: SocketAddr, y: SocketAddr) -> FlowKey {
+        if x <= y {
+            FlowKey { a: x, b: y }
+        } else {
+            FlowKey { a: y, b: x }
+        }
+    }
+}
+
+impl std::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} <-> {}", self.a, self.b)
+    }
+}
+
+/// Direction within a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// From `key.a` to `key.b`.
+    AtoB,
+    /// From `key.b` to `key.a`.
+    BtoA,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::AtoB => Direction::BtoA,
+            Direction::BtoA => Direction::AtoB,
+        }
+    }
+}
+
+/// Per-direction accounting and reassembly state.
+#[derive(Debug, Clone, Default)]
+pub struct DirectionStats {
+    /// Packet count (all segments, including bare ACKs).
+    pub packets: usize,
+    /// Total frame bytes.
+    pub bytes: usize,
+    /// Payload bytes after deduplication.
+    pub payload_bytes: usize,
+    /// Timestamps of every segment in this direction.
+    pub times: Vec<f64>,
+    /// The reassembled application byte stream.
+    pub stream: Vec<u8>,
+    /// Next expected sequence number (reassembly cursor).
+    next_seq: Option<u32>,
+    /// Out-of-order segments awaiting the gap to fill.
+    pending: BTreeMap<u32, Vec<u8>>,
+    /// Count of duplicate (retransmitted) payload segments seen.
+    pub retransmissions: usize,
+}
+
+impl DirectionStats {
+    fn absorb(&mut self, pkt: &ParsedPacket) {
+        self.packets += 1;
+        self.bytes += pkt.payload.len() + 54; // frame = 14 + 20 + 20 + payload
+        self.times.push(pkt.timestamp);
+        if pkt.tcp.flags.syn() {
+            self.next_seq = Some(pkt.tcp.seq.wrapping_add(1));
+        }
+        if pkt.payload.is_empty() {
+            return;
+        }
+        let seq = pkt.tcp.seq;
+        let next = *self.next_seq.get_or_insert(seq);
+        // Sequence comparison modulo 2^32, window of half the space.
+        let delta = seq.wrapping_sub(next) as i32;
+        if delta < 0 {
+            // Entirely in the past: retransmission.
+            self.retransmissions += 1;
+            return;
+        }
+        self.pending.insert(seq, pkt.payload.clone());
+        self.flush();
+    }
+
+    fn flush(&mut self) {
+        while let Some(next) = self.next_seq {
+            let Some((&seq, _)) = self.pending.iter().next() else { break };
+            if seq != next {
+                // Gap (or duplicate buffered ahead): wait.
+                if (seq.wrapping_sub(next) as i32) < 0 {
+                    self.pending.remove(&seq);
+                    self.retransmissions += 1;
+                    continue;
+                }
+                break;
+            }
+            let (_, data) = self.pending.remove_entry(&seq).expect("present");
+            self.next_seq = Some(next.wrapping_add(data.len() as u32));
+            self.payload_bytes += data.len();
+            self.stream.extend_from_slice(&data);
+        }
+    }
+
+    /// Mean inter-arrival time between consecutive segments, if ≥ 2 packets.
+    pub fn mean_interarrival(&self) -> Option<f64> {
+        if self.times.len() < 2 {
+            return None;
+        }
+        let span = self.times.last().unwrap() - self.times.first().unwrap();
+        Some(span / (self.times.len() - 1) as f64)
+    }
+}
+
+/// A reconstructed TCP connection.
+#[derive(Debug, Clone)]
+pub struct TcpConnection {
+    /// The canonical endpoint pair.
+    pub key: FlowKey,
+    /// Who sent the SYN, when the handshake is inside the capture.
+    pub originator: Option<SocketAddr>,
+    /// First packet timestamp.
+    pub first_ts: f64,
+    /// Last packet timestamp.
+    pub last_ts: f64,
+    /// Saw a SYN (without ACK) in the capture.
+    pub saw_syn: bool,
+    /// Saw a SYN-ACK.
+    pub saw_synack: bool,
+    /// Saw a FIN.
+    pub saw_fin: bool,
+    /// Saw an RST.
+    pub saw_rst: bool,
+    /// a→b direction state.
+    pub ab: DirectionStats,
+    /// b→a direction state.
+    pub ba: DirectionStats,
+}
+
+impl TcpConnection {
+    fn new(key: FlowKey, ts: f64) -> TcpConnection {
+        TcpConnection {
+            key,
+            originator: None,
+            first_ts: ts,
+            last_ts: ts,
+            saw_syn: false,
+            saw_synack: false,
+            saw_fin: false,
+            saw_rst: false,
+            ab: DirectionStats::default(),
+            ba: DirectionStats::default(),
+        }
+    }
+
+    /// Duration between first and last captured packet.
+    pub fn duration(&self) -> f64 {
+        self.last_ts - self.first_ts
+    }
+
+    /// The paper's short-lived definition: a matching SYN and FIN/RST pair
+    /// inside the capture.
+    pub fn is_short_lived(&self) -> bool {
+        self.saw_syn && (self.saw_fin || self.saw_rst)
+    }
+
+    /// Long-lived: truncated at either capture boundary.
+    pub fn is_long_lived(&self) -> bool {
+        !self.is_short_lived()
+    }
+
+    /// Whether the connection was refused or torn down by RST.
+    pub fn was_reset(&self) -> bool {
+        self.saw_rst
+    }
+
+    /// Total packets both directions.
+    pub fn total_packets(&self) -> usize {
+        self.ab.packets + self.ba.packets
+    }
+
+    /// Direction of a packet from `src`.
+    pub fn direction_from(&self, src: SocketAddr) -> Direction {
+        if src == self.key.a {
+            Direction::AtoB
+        } else {
+            Direction::BtoA
+        }
+    }
+
+    /// Stats for one direction.
+    pub fn dir(&self, d: Direction) -> &DirectionStats {
+        match d {
+            Direction::AtoB => &self.ab,
+            Direction::BtoA => &self.ba,
+        }
+    }
+
+    /// The endpoint on the IEC 104 well-known port (2404), i.e. the
+    /// outstation side, if either endpoint uses it.
+    pub fn endpoint_on_port(&self, port: u16) -> Option<SocketAddr> {
+        if self.key.a.port == port {
+            Some(self.key.a)
+        } else if self.key.b.port == port {
+            Some(self.key.b)
+        } else {
+            None
+        }
+    }
+
+    fn absorb(&mut self, pkt: &ParsedPacket) {
+        self.last_ts = self.last_ts.max(pkt.timestamp);
+        self.first_ts = self.first_ts.min(pkt.timestamp);
+        let src = SocketAddr::new(pkt.ip.src, pkt.tcp.src_port);
+        let flags = pkt.tcp.flags;
+        if flags.syn() && !flags.ack() {
+            self.saw_syn = true;
+            self.originator = Some(src);
+        }
+        if flags.syn() && flags.ack() {
+            self.saw_synack = true;
+        }
+        if flags.fin() {
+            self.saw_fin = true;
+        }
+        if flags.rst() {
+            self.saw_rst = true;
+        }
+        match self.direction_from(src) {
+            Direction::AtoB => self.ab.absorb(pkt),
+            Direction::BtoA => self.ba.absorb(pkt),
+        }
+    }
+
+    /// True once this record saw an orderly or abortive end.
+    fn seems_over(&self) -> bool {
+        self.saw_rst || self.saw_fin
+    }
+}
+
+/// All connections reconstructed from a capture.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    /// Finished + in-progress connection records, in first-seen order.
+    pub connections: Vec<TcpConnection>,
+    /// Index of the live record per key.
+    live: std::collections::HashMap<FlowKey, usize>,
+}
+
+impl FlowTable {
+    /// Reconstruct from an in-memory capture.
+    pub fn from_capture(capture: &Capture) -> FlowTable {
+        Self::from_parsed(&capture.parsed())
+    }
+
+    /// Reconstruct from already parsed packets (must be in time order).
+    pub fn from_parsed(packets: &[ParsedPacket]) -> FlowTable {
+        let mut table = FlowTable::default();
+        for pkt in packets {
+            table.push(pkt);
+        }
+        table
+    }
+
+    /// Feed one packet.
+    pub fn push(&mut self, pkt: &ParsedPacket) {
+        let src = SocketAddr::new(pkt.ip.src, pkt.tcp.src_port);
+        let dst = SocketAddr::new(pkt.ip.dst, pkt.tcp.dst_port);
+        let key = FlowKey::new(src, dst);
+        let flags = pkt.tcp.flags;
+        let idx = match self.live.get(&key) {
+            Some(&idx) => {
+                // A fresh SYN on a finished record opens a new connection
+                // (4-tuple reuse across reconnect attempts).
+                let fresh_syn = flags.syn() && !flags.ack();
+                if fresh_syn && self.connections[idx].seems_over() {
+                    let idx = self.connections.len();
+                    self.connections.push(TcpConnection::new(key, pkt.timestamp));
+                    self.live.insert(key, idx);
+                    idx
+                } else {
+                    idx
+                }
+            }
+            None => {
+                let idx = self.connections.len();
+                self.connections.push(TcpConnection::new(key, pkt.timestamp));
+                self.live.insert(key, idx);
+                idx
+            }
+        };
+        self.connections[idx].absorb(pkt);
+    }
+
+    /// Number of reconstructed connections.
+    pub fn len(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// True when no connections were reconstructed.
+    pub fn is_empty(&self) -> bool {
+        self.connections.is_empty()
+    }
+
+    /// Short-lived connections (paper Table 3 numerator).
+    pub fn short_lived(&self) -> impl Iterator<Item = &TcpConnection> {
+        self.connections.iter().filter(|c| c.is_short_lived())
+    }
+
+    /// Long-lived connections.
+    pub fn long_lived(&self) -> impl Iterator<Item = &TcpConnection> {
+        self.connections.iter().filter(|c| c.is_long_lived())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::MacAddr;
+    use crate::ipv4::addr;
+    use crate::pcap::CapturedPacket;
+    use crate::tcp::{TcpFlags, TcpHeader};
+
+    fn pkt(
+        ts: f64,
+        src: SocketAddr,
+        dst: SocketAddr,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) -> ParsedPacket {
+        CapturedPacket::build(
+            ts,
+            MacAddr::from_device_id(1),
+            MacAddr::from_device_id(2),
+            src.ip,
+            dst.ip,
+            TcpHeader {
+                src_port: src.port,
+                dst_port: dst.port,
+                seq,
+                ack,
+                flags,
+                window: 8192,
+            },
+            payload,
+            0,
+        )
+        .parse()
+        .unwrap()
+    }
+
+    fn server() -> SocketAddr {
+        SocketAddr::new(addr(10, 0, 0, 1), 34567)
+    }
+    fn rtu() -> SocketAddr {
+        SocketAddr::new(addr(10, 0, 7, 9), 2404)
+    }
+
+    /// SYN → RST: the Fig. 9 refused backup connection.
+    #[test]
+    fn refused_connection_is_short_lived() {
+        let packets = vec![
+            pkt(10.0, server(), rtu(), 100, 0, TcpFlags::SYN, b""),
+            pkt(10.001, rtu(), server(), 0, 101, TcpFlags::RST.with(TcpFlags::ACK), b""),
+        ];
+        let table = FlowTable::from_parsed(&packets);
+        assert_eq!(table.len(), 1);
+        let c = &table.connections[0];
+        assert!(c.is_short_lived());
+        assert!(c.was_reset());
+        assert!(c.duration() < 1.0);
+        assert_eq!(c.originator, Some(server()));
+    }
+
+    #[test]
+    fn full_connection_with_data_and_fin() {
+        let s = server();
+        let r = rtu();
+        let packets = vec![
+            pkt(0.0, s, r, 100, 0, TcpFlags::SYN, b""),
+            pkt(0.01, r, s, 500, 101, TcpFlags::SYN.with(TcpFlags::ACK), b""),
+            pkt(0.02, s, r, 101, 501, TcpFlags::ACK, b""),
+            pkt(1.0, s, r, 101, 501, TcpFlags::ACK.with(TcpFlags::PSH), b"\x68\x04\x07\x00\x00\x00"),
+            pkt(1.01, r, s, 501, 107, TcpFlags::ACK, b""),
+            pkt(2.0, s, r, 107, 501, TcpFlags::FIN.with(TcpFlags::ACK), b""),
+            pkt(2.01, r, s, 501, 108, TcpFlags::FIN.with(TcpFlags::ACK), b""),
+            pkt(2.02, s, r, 108, 502, TcpFlags::ACK, b""),
+        ];
+        let table = FlowTable::from_parsed(&packets);
+        assert_eq!(table.len(), 1);
+        let c = &table.connections[0];
+        assert!(c.is_short_lived());
+        assert!(!c.was_reset());
+        assert!((c.duration() - 2.02).abs() < 1e-9);
+        // Payload reassembly: the server→rtu stream holds the APDU.
+        let dir = c.direction_from(s);
+        assert_eq!(c.dir(dir).stream, b"\x68\x04\x07\x00\x00\x00");
+        assert_eq!(c.dir(dir).packets, 5);
+        assert_eq!(c.dir(dir.flip()).packets, 3);
+    }
+
+    #[test]
+    fn flow_without_syn_is_long_lived() {
+        // Capture begins mid-connection: only data packets.
+        let s = server();
+        let r = rtu();
+        let packets = vec![
+            pkt(5.0, r, s, 900, 100, TcpFlags::ACK.with(TcpFlags::PSH), b"abc"),
+            pkt(6.0, r, s, 903, 100, TcpFlags::ACK.with(TcpFlags::PSH), b"def"),
+        ];
+        let table = FlowTable::from_parsed(&packets);
+        let c = &table.connections[0];
+        assert!(c.is_long_lived());
+        assert_eq!(c.dir(c.direction_from(r)).stream, b"abcdef");
+    }
+
+    #[test]
+    fn retransmission_deduplicated() {
+        let s = server();
+        let r = rtu();
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let packets = vec![
+            pkt(1.0, r, s, 900, 100, data, b"abc"),
+            pkt(1.2, r, s, 900, 100, data, b"abc"), // retransmission
+            pkt(1.4, r, s, 903, 100, data, b"def"),
+        ];
+        let table = FlowTable::from_parsed(&packets);
+        let c = &table.connections[0];
+        let d = c.dir(c.direction_from(r));
+        assert_eq!(d.stream, b"abcdef");
+        assert_eq!(d.retransmissions, 1);
+        assert_eq!(d.packets, 3, "packets still counted");
+    }
+
+    #[test]
+    fn out_of_order_segments_reassembled() {
+        let s = server();
+        let r = rtu();
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let packets = vec![
+            pkt(1.0, r, s, 900, 100, data, b"abc"),
+            pkt(1.1, r, s, 906, 100, data, b"ghi"), // arrives early
+            pkt(1.2, r, s, 903, 100, data, b"def"),
+        ];
+        let table = FlowTable::from_parsed(&packets);
+        let c = &table.connections[0];
+        assert_eq!(c.dir(c.direction_from(r)).stream, b"abcdefghi");
+    }
+
+    #[test]
+    fn four_tuple_reuse_after_rst_starts_new_record() {
+        let s = server();
+        let r = rtu();
+        let packets = vec![
+            pkt(1.0, s, r, 100, 0, TcpFlags::SYN, b""),
+            pkt(1.001, r, s, 0, 101, TcpFlags::RST.with(TcpFlags::ACK), b""),
+            // Same 4-tuple, new attempt two seconds later.
+            pkt(3.0, s, r, 7000, 0, TcpFlags::SYN, b""),
+            pkt(3.001, r, s, 0, 7001, TcpFlags::RST.with(TcpFlags::ACK), b""),
+        ];
+        let table = FlowTable::from_parsed(&packets);
+        assert_eq!(table.len(), 2);
+        assert!(table.connections.iter().all(|c| c.is_short_lived()));
+    }
+
+    #[test]
+    fn mean_interarrival() {
+        let s = server();
+        let r = rtu();
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let packets = vec![
+            pkt(0.0, r, s, 1, 1, data, b"a"),
+            pkt(2.0, r, s, 2, 1, data, b"b"),
+            pkt(4.0, r, s, 3, 1, data, b"c"),
+        ];
+        let table = FlowTable::from_parsed(&packets);
+        let c = &table.connections[0];
+        let d = c.dir(c.direction_from(r));
+        assert_eq!(d.mean_interarrival(), Some(2.0));
+        assert_eq!(c.dir(c.direction_from(s)).mean_interarrival(), None);
+    }
+
+    #[test]
+    fn endpoint_on_port_finds_outstation_side() {
+        let packets = vec![pkt(0.0, server(), rtu(), 1, 0, TcpFlags::SYN, b"")];
+        let table = FlowTable::from_parsed(&packets);
+        assert_eq!(table.connections[0].endpoint_on_port(2404), Some(rtu()));
+        assert_eq!(table.connections[0].endpoint_on_port(9999), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! IPv4 header encoding and parsing (no options, no fragmentation — the
+//! SCADA traffic this substrate carries is far below any MTU).
+
+use crate::{fold_checksum, ones_complement_sum, Error, Result};
+
+/// IPv4 header length without options.
+pub const HEADER_LEN: usize = 20;
+
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+
+/// A parsed IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Protocol (always TCP here).
+    pub protocol: u8,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field.
+    pub ident: u16,
+    /// Total length (header + payload).
+    pub total_len: u16,
+}
+
+impl Ipv4Header {
+    /// Build a TCP-carrying header for a payload of `payload_len` bytes.
+    pub fn tcp(src: u32, dst: u32, payload_len: usize, ident: u16) -> Ipv4Header {
+        Ipv4Header {
+            src,
+            dst,
+            protocol: PROTO_TCP,
+            ttl: 64,
+            ident,
+            total_len: (HEADER_LEN + payload_len) as u16,
+        }
+    }
+
+    /// Encode into 20 bytes with a correct header checksum.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0] = 0x45; // version 4, IHL 5
+        out[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        out[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        out[6] = 0x40; // don't fragment
+        out[8] = self.ttl;
+        out[9] = self.protocol;
+        out[12..16].copy_from_slice(&self.src.to_be_bytes());
+        out[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = fold_checksum(ones_complement_sum(0, &out));
+        out[10..12].copy_from_slice(&csum.to_be_bytes());
+        out
+    }
+
+    /// Parse and verify from the front of `b`; returns header and payload
+    /// offset.
+    pub fn parse(b: &[u8]) -> Result<(Ipv4Header, usize)> {
+        if b.len() < HEADER_LEN {
+            return Err(Error::Truncated {
+                layer: "ipv4",
+                needed: HEADER_LEN,
+                got: b.len(),
+            });
+        }
+        if b[0] >> 4 != 4 {
+            return Err(Error::Unsupported {
+                layer: "ipv4",
+                what: "version",
+            });
+        }
+        let ihl = ((b[0] & 0x0F) as usize) * 4;
+        if ihl < HEADER_LEN || b.len() < ihl {
+            return Err(Error::Unsupported {
+                layer: "ipv4",
+                what: "header length",
+            });
+        }
+        if fold_checksum(ones_complement_sum(0, &b[..ihl])) != 0 {
+            return Err(Error::BadChecksum { layer: "ipv4" });
+        }
+        Ok((
+            Ipv4Header {
+                src: u32::from_be_bytes([b[12], b[13], b[14], b[15]]),
+                dst: u32::from_be_bytes([b[16], b[17], b[18], b[19]]),
+                protocol: b[9],
+                ttl: b[8],
+                ident: u16::from_be_bytes([b[4], b[5]]),
+                total_len: u16::from_be_bytes([b[2], b[3]]),
+            },
+            ihl,
+        ))
+    }
+}
+
+/// Render an address as dotted-quad for reports.
+pub fn fmt_addr(addr: u32) -> String {
+    let b = addr.to_be_bytes();
+    format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+}
+
+/// Build an address from dotted-quad octets.
+pub fn addr(a: u8, b: u8, c: u8, d: u8) -> u32 {
+    u32::from_be_bytes([a, b, c, d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_with_checksum() {
+        let hdr = Ipv4Header::tcp(addr(10, 0, 0, 1), addr(10, 0, 7, 33), 40, 777);
+        let bytes = hdr.encode();
+        let (parsed, off) = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(off, HEADER_LEN);
+    }
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let mut bytes = Ipv4Header::tcp(addr(10, 0, 0, 1), addr(10, 0, 0, 2), 0, 1).encode();
+        bytes[15] ^= 0xFF;
+        assert!(matches!(
+            Ipv4Header::parse(&bytes),
+            Err(Error::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn non_v4_rejected() {
+        let mut bytes = Ipv4Header::tcp(addr(1, 1, 1, 1), addr(2, 2, 2, 2), 0, 1).encode();
+        bytes[0] = 0x65;
+        assert!(Ipv4Header::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn addr_formatting() {
+        assert_eq!(fmt_addr(addr(192, 168, 69, 100)), "192.168.69.100");
+    }
+}

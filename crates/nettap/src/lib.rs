@@ -1,0 +1,119 @@
+#![warn(missing_docs)]
+//! # uncharted-nettap
+//!
+//! The capture substrate for the bulk-power-system reproduction: Ethernet,
+//! IPv4 and TCP wire formats with real checksums, a classic libpcap
+//! reader/writer, a small deterministic TCP endpoint state machine for the
+//! simulator, and TCP flow reconstruction for the analysis pipeline
+//! (paper §6.2).
+//!
+//! Everything operates on plain byte slices and caller-supplied timestamps;
+//! nothing here touches a real network interface or clock, which keeps
+//! simulation runs exactly reproducible.
+
+pub mod ethernet;
+pub mod flow;
+pub mod ipv4;
+pub mod pcap;
+pub mod stack;
+pub mod tcp;
+
+pub use ethernet::{EthernetHeader, MacAddr, ETHERTYPE_IPV4};
+pub use flow::{FlowKey, FlowTable, TcpConnection};
+pub use ipv4::Ipv4Header;
+pub use pcap::{Capture, CapturedPacket};
+pub use stack::{SocketAddr, TcpEndpoint, TcpState};
+pub use tcp::{TcpFlags, TcpHeader};
+
+/// Errors from packet parsing and pcap I/O.
+#[allow(missing_docs)] // variant fields are self-describing diagnostics
+#[derive(Debug)]
+pub enum Error {
+    /// Fewer bytes than the header requires.
+    Truncated {
+        layer: &'static str,
+        needed: usize,
+        got: usize,
+    },
+    /// A field held an unsupported value (e.g. non-IPv4 ethertype).
+    Unsupported {
+        layer: &'static str,
+        what: &'static str,
+    },
+    /// Header checksum mismatch.
+    BadChecksum { layer: &'static str },
+    /// The pcap magic number was not recognised.
+    BadPcapMagic(u32),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Truncated { layer, needed, got } => {
+                write!(f, "{layer}: truncated, needed {needed} bytes, got {got}")
+            }
+            Error::Unsupported { layer, what } => write!(f, "{layer}: unsupported {what}"),
+            Error::BadChecksum { layer } => write!(f, "{layer}: checksum mismatch"),
+            Error::BadPcapMagic(m) => write!(f, "bad pcap magic {m:#010x}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// RFC 1071 ones'-complement accumulation over `data` on top of `acc`.
+pub(crate) fn ones_complement_sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        acc += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    acc
+}
+
+/// Finalise a ones'-complement accumulator into a checksum field value.
+pub(crate) fn fold_checksum(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_of_zeroes_is_ffff() {
+        assert_eq!(fold_checksum(ones_complement_sum(0, &[0, 0, 0, 0])), 0xFFFF);
+    }
+
+    #[test]
+    fn checksum_odd_length_pads_with_zero() {
+        let even = fold_checksum(ones_complement_sum(0, &[0x12, 0x34, 0x56, 0x00]));
+        let odd = fold_checksum(ones_complement_sum(0, &[0x12, 0x34, 0x56]));
+        assert_eq!(even, odd);
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Classic RFC 1071 example data.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = ones_complement_sum(0, &data);
+        assert_eq!(fold_checksum(sum), !0xddf2u16);
+    }
+}

@@ -1,0 +1,319 @@
+//! Classic libpcap capture files and the in-memory capture used by the
+//! simulator's network tap.
+//!
+//! The format is the original `0xa1b2c3d4` little-endian libpcap format with
+//! LINKTYPE_ETHERNET, so captures written here open in Wireshark/tcpdump —
+//! useful for eyeballing the simulated traffic the way the paper's authors
+//! eyeballed theirs.
+
+use crate::ethernet::{EthernetHeader, MacAddr, ETHERTYPE_IPV4};
+use crate::ipv4::Ipv4Header;
+use crate::tcp::{TcpFlags, TcpHeader};
+use crate::{Error, Result};
+use std::io::{Read, Write};
+
+/// Little-endian libpcap magic.
+pub const PCAP_MAGIC: u32 = 0xa1b2_c3d4;
+
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// One captured frame: a timestamp (seconds since capture epoch) and the raw
+/// Ethernet bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedPacket {
+    /// Capture timestamp in seconds (sub-microsecond precision is dropped on
+    /// pcap round-trip, as in real pcap).
+    pub timestamp: f64,
+    /// The full Ethernet frame.
+    pub frame: Vec<u8>,
+}
+
+/// The layers of a fully parsed frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedPacket {
+    /// Capture timestamp.
+    pub timestamp: f64,
+    /// Link layer.
+    pub eth: EthernetHeader,
+    /// Network layer.
+    pub ip: Ipv4Header,
+    /// Transport layer.
+    pub tcp: TcpHeader,
+    /// TCP payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl CapturedPacket {
+    /// Build a full Ethernet/IPv4/TCP frame.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        timestamp: f64,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: u32,
+        dst_ip: u32,
+        tcp: TcpHeader,
+        payload: &[u8],
+        ip_ident: u16,
+    ) -> CapturedPacket {
+        let tcp_bytes = tcp.encode(src_ip, dst_ip, payload);
+        let ip = Ipv4Header::tcp(src_ip, dst_ip, tcp_bytes.len(), ip_ident);
+        let eth = EthernetHeader {
+            dst: dst_mac,
+            src: src_mac,
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let mut frame = Vec::with_capacity(14 + 20 + tcp_bytes.len());
+        frame.extend_from_slice(&eth.encode());
+        frame.extend_from_slice(&ip.encode());
+        frame.extend_from_slice(&tcp_bytes);
+        CapturedPacket { timestamp, frame }
+    }
+
+    /// Parse all three layers; errors on anything that is not IPv4/TCP.
+    pub fn parse(&self) -> Result<ParsedPacket> {
+        let (eth, off) = EthernetHeader::parse(&self.frame)?;
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return Err(Error::Unsupported {
+                layer: "ethernet",
+                what: "ethertype",
+            });
+        }
+        let (ip, ip_len) = Ipv4Header::parse(&self.frame[off..])?;
+        let tcp_start = off + ip_len;
+        let ip_payload_end = off + ip.total_len as usize;
+        if self.frame.len() < ip_payload_end {
+            return Err(Error::Truncated {
+                layer: "ipv4",
+                needed: ip_payload_end,
+                got: self.frame.len(),
+            });
+        }
+        let (tcp, tcp_len) = TcpHeader::parse(&self.frame[tcp_start..ip_payload_end], ip.src, ip.dst)?;
+        Ok(ParsedPacket {
+            timestamp: self.timestamp,
+            eth,
+            ip,
+            tcp,
+            payload: self.frame[tcp_start + tcp_len..ip_payload_end].to_vec(),
+        })
+    }
+}
+
+impl ParsedPacket {
+    /// True if the segment carries no payload (pure control segment).
+    pub fn is_bare(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Convenience accessor: `(src_ip, src_port, dst_ip, dst_port)`.
+    pub fn four_tuple(&self) -> (u32, u16, u32, u16) {
+        (self.ip.src, self.tcp.src_port, self.ip.dst, self.tcp.dst_port)
+    }
+
+    /// Flag shorthand.
+    pub fn flags(&self) -> TcpFlags {
+        self.tcp.flags
+    }
+}
+
+/// An in-memory capture: what the network tap of Fig. 5 records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Capture {
+    /// The packets, in capture order.
+    pub packets: Vec<CapturedPacket>,
+}
+
+impl Capture {
+    /// An empty capture.
+    pub fn new() -> Capture {
+        Capture::default()
+    }
+
+    /// Append a packet (the tap sees packets in timestamp order).
+    pub fn record(&mut self, packet: CapturedPacket) {
+        self.packets.push(packet);
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when no packets were captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Merge another capture, keeping timestamp order.
+    pub fn merge(&mut self, other: Capture) {
+        self.packets.extend(other.packets);
+        self.packets
+            .sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+    }
+
+    /// Total bytes across all frames.
+    pub fn total_bytes(&self) -> usize {
+        self.packets.iter().map(|p| p.frame.len()).sum()
+    }
+
+    /// Time span `(first, last)` of the capture, if non-empty.
+    pub fn time_span(&self) -> Option<(f64, f64)> {
+        let first = self.packets.first()?.timestamp;
+        let last = self.packets.last()?.timestamp;
+        Some((first, last))
+    }
+
+    /// Parse every packet, silently skipping undecodable frames (real taps
+    /// see noise too); returns parsed packets in order.
+    pub fn parsed(&self) -> Vec<ParsedPacket> {
+        self.packets.iter().filter_map(|p| p.parse().ok()).collect()
+    }
+
+    /// Write as a classic libpcap file.
+    pub fn write_pcap<W: Write>(&self, mut w: W) -> Result<()> {
+        w.write_all(&PCAP_MAGIC.to_le_bytes())?;
+        w.write_all(&2u16.to_le_bytes())?; // major
+        w.write_all(&4u16.to_le_bytes())?; // minor
+        w.write_all(&0i32.to_le_bytes())?; // thiszone
+        w.write_all(&0u32.to_le_bytes())?; // sigfigs
+        w.write_all(&65535u32.to_le_bytes())?; // snaplen
+        w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        for p in &self.packets {
+            let ts_sec = p.timestamp.floor() as u32;
+            let ts_usec = ((p.timestamp - ts_sec as f64) * 1e6).round() as u32;
+            w.write_all(&ts_sec.to_le_bytes())?;
+            w.write_all(&ts_usec.min(999_999).to_le_bytes())?;
+            w.write_all(&(p.frame.len() as u32).to_le_bytes())?;
+            w.write_all(&(p.frame.len() as u32).to_le_bytes())?;
+            w.write_all(&p.frame)?;
+        }
+        Ok(())
+    }
+
+    /// Read a classic little-endian libpcap file.
+    pub fn read_pcap<R: Read>(mut r: R) -> Result<Capture> {
+        let mut header = [0u8; 24];
+        r.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        if magic != PCAP_MAGIC {
+            return Err(Error::BadPcapMagic(magic));
+        }
+        let mut packets = Vec::new();
+        loop {
+            let mut rec = [0u8; 16];
+            match r.read_exact(&mut rec) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.into()),
+            }
+            let ts_sec = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+            let ts_usec = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
+            let incl = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
+            let mut frame = vec![0u8; incl];
+            r.read_exact(&mut frame)?;
+            packets.push(CapturedPacket {
+                timestamp: ts_sec as f64 + ts_usec as f64 * 1e-6,
+                frame,
+            });
+        }
+        Ok(Capture { packets })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::addr;
+
+    fn sample(ts: f64, payload: &[u8]) -> CapturedPacket {
+        CapturedPacket::build(
+            ts,
+            MacAddr::from_device_id(1),
+            MacAddr::from_device_id(2),
+            addr(10, 0, 0, 1),
+            addr(10, 0, 7, 5),
+            TcpHeader {
+                src_port: 40000,
+                dst_port: 2404,
+                seq: 100,
+                ack: 200,
+                flags: TcpFlags::ACK.with(TcpFlags::PSH),
+                window: 4096,
+            },
+            payload,
+            7,
+        )
+    }
+
+    #[test]
+    fn build_and_parse_round_trip() {
+        let p = sample(1.5, b"\x68\x04\x43\x00\x00\x00");
+        let parsed = p.parse().unwrap();
+        assert_eq!(parsed.payload, b"\x68\x04\x43\x00\x00\x00");
+        assert_eq!(parsed.tcp.dst_port, 2404);
+        assert_eq!(parsed.ip.src, addr(10, 0, 0, 1));
+        assert_eq!(parsed.four_tuple(), (addr(10, 0, 0, 1), 40000, addr(10, 0, 7, 5), 2404));
+    }
+
+    #[test]
+    fn pcap_file_round_trip() {
+        let mut cap = Capture::new();
+        for i in 0..10 {
+            cap.record(sample(i as f64 * 0.25, format!("payload{i}").as_bytes()));
+        }
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+        let back = Capture::read_pcap(&buf[..]).unwrap();
+        assert_eq!(back.len(), 10);
+        for (a, b) in cap.packets.iter().zip(&back.packets) {
+            assert_eq!(a.frame, b.frame);
+            assert!((a.timestamp - b.timestamp).abs() < 1e-5, "timestamp precision");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; 24];
+        assert!(matches!(
+            Capture::read_pcap(&buf[..]),
+            Err(Error::BadPcapMagic(0))
+        ));
+    }
+
+    #[test]
+    fn merge_keeps_time_order() {
+        let mut a = Capture::new();
+        a.record(sample(1.0, b"a"));
+        a.record(sample(3.0, b"c"));
+        let mut b = Capture::new();
+        b.record(sample(2.0, b"b"));
+        a.merge(b);
+        let ts: Vec<f64> = a.packets.iter().map(|p| p.timestamp).collect();
+        assert_eq!(ts, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn parsed_skips_garbage_frames() {
+        let mut cap = Capture::new();
+        cap.record(sample(0.0, b"ok"));
+        cap.record(CapturedPacket {
+            timestamp: 0.5,
+            frame: vec![0xFF; 30],
+        });
+        assert_eq!(cap.parsed().len(), 1);
+        assert_eq!(cap.len(), 2);
+    }
+
+    #[test]
+    fn capture_accounting() {
+        let mut cap = Capture::new();
+        assert!(cap.is_empty());
+        assert_eq!(cap.time_span(), None);
+        cap.record(sample(2.0, b"xy"));
+        cap.record(sample(9.0, b"z"));
+        assert_eq!(cap.time_span(), Some((2.0, 9.0)));
+        assert!(cap.total_bytes() > 100);
+    }
+}

@@ -1,0 +1,522 @@
+//! A small deterministic TCP endpoint state machine.
+//!
+//! This is *not* a general-purpose stack: the simulator's network delivers
+//! segments reliably and in order, so there is no retransmission timer, no
+//! congestion control and no window management. What it does model — because
+//! the paper's observations depend on them — is:
+//!
+//! * the three-way handshake and orderly FIN teardown (flow lifetimes,
+//!   Table 3),
+//! * **RST-on-SYN and FIN-after-accept rejection** (the misbehaving backup
+//!   connections of Fig. 9),
+//! * RST aborts of established connections,
+//! * correct sequence/acknowledgement numbers so captures survive Wireshark
+//!   scrutiny, and duplicate-segment tolerance (the simulator injects
+//!   duplicates to reproduce the paper's TCP-retransmission artefact in the
+//!   Markov chains).
+
+use crate::tcp::{TcpFlags, TcpHeader};
+
+/// An IPv4 socket address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SocketAddr {
+    /// IPv4 address.
+    pub ip: u32,
+    /// TCP port.
+    pub port: u16,
+}
+
+impl SocketAddr {
+    /// Construct from address and port.
+    pub fn new(ip: u32, port: u16) -> SocketAddr {
+        SocketAddr { ip, port }
+    }
+}
+
+impl std::fmt::Display for SocketAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", crate::ipv4::fmt_addr(self.ip), self.port)
+    }
+}
+
+/// A TCP segment as the simulator's network carries it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Source endpoint.
+    pub src: SocketAddr,
+    /// Destination endpoint.
+    pub dst: SocketAddr,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Segment {
+    /// The header form of this segment (for frame building).
+    pub fn header(&self) -> TcpHeader {
+        TcpHeader {
+            src_port: self.src.port,
+            dst_port: self.dst.port,
+            seq: self.seq,
+            ack: self.ack,
+            flags: self.flags,
+            window: 8192,
+        }
+    }
+
+    /// Sequence space this segment occupies (payload + SYN/FIN flags).
+    pub fn seq_len(&self) -> u32 {
+        self.payload.len() as u32
+            + self.flags.syn() as u32
+            + self.flags.fin() as u32
+    }
+}
+
+/// TCP connection states (the subset the simulator reaches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Passive open.
+    Listen,
+    /// Active open, SYN sent.
+    SynSent,
+    /// Passive open, SYN received and SYN-ACK sent.
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// We sent FIN, awaiting its ACK.
+    FinWait1,
+    /// Our FIN acknowledged, awaiting peer's FIN.
+    FinWait2,
+    /// Peer sent FIN; we ACKed and may still send.
+    CloseWait,
+    /// We sent FIN after CloseWait.
+    LastAck,
+    /// Both FINs crossed.
+    Closing,
+    /// Waiting out the quiet time (terminal for the simulator).
+    TimeWait,
+}
+
+/// How a passive endpoint treats an incoming SYN.
+///
+/// `RejectRst` and `AcceptThenFin` are the two observed misbehaviours behind
+/// the paper's short-lived-flow storm (§6.2, Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptPolicy {
+    /// Normal: complete the handshake.
+    Accept,
+    /// Refuse with an immediate RST.
+    RejectRst,
+    /// Complete the handshake, then immediately close with FIN.
+    AcceptThenFin,
+}
+
+/// One endpoint of a TCP connection.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    local: SocketAddr,
+    remote: Option<SocketAddr>,
+    state: TcpState,
+    /// Next sequence number we will send.
+    snd_nxt: u32,
+    /// Next sequence number we expect from the peer.
+    rcv_nxt: u32,
+    policy: AcceptPolicy,
+    /// Set when `AcceptThenFin` still owes the post-handshake FIN.
+    owes_fin: bool,
+}
+
+impl TcpEndpoint {
+    /// Passive open on `local` with the given accept policy.
+    pub fn listen(local: SocketAddr, policy: AcceptPolicy) -> TcpEndpoint {
+        TcpEndpoint {
+            local,
+            remote: None,
+            state: TcpState::Listen,
+            snd_nxt: 0,
+            rcv_nxt: 0,
+            policy,
+            owes_fin: false,
+        }
+    }
+
+    /// Active open towards `remote`; returns the endpoint and its SYN.
+    pub fn connect(local: SocketAddr, remote: SocketAddr, isn: u32) -> (TcpEndpoint, Segment) {
+        let ep = TcpEndpoint {
+            local,
+            remote: Some(remote),
+            state: TcpState::SynSent,
+            snd_nxt: isn.wrapping_add(1),
+            rcv_nxt: 0,
+            policy: AcceptPolicy::Accept,
+            owes_fin: false,
+        };
+        let syn = Segment {
+            src: local,
+            dst: remote,
+            seq: isn,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            payload: Vec::new(),
+        };
+        (ep, syn)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Local address.
+    pub fn local(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Peer address once known.
+    pub fn remote(&self) -> Option<SocketAddr> {
+        self.remote
+    }
+
+    /// True when application data may flow.
+    pub fn is_established(&self) -> bool {
+        self.state == TcpState::Established
+    }
+
+    /// True once the connection has fully terminated.
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, TcpState::Closed | TcpState::TimeWait)
+    }
+
+    fn seg_to(&self, flags: TcpFlags, seq: u32, payload: Vec<u8>) -> Segment {
+        Segment {
+            src: self.local,
+            dst: self.remote.expect("peer known"),
+            seq,
+            ack: self.rcv_nxt,
+            flags,
+            payload,
+        }
+    }
+
+    /// Send application data; only valid in `Established` or `CloseWait`.
+    pub fn send(&mut self, payload: Vec<u8>) -> Option<Segment> {
+        if !matches!(self.state, TcpState::Established | TcpState::CloseWait) || payload.is_empty()
+        {
+            return None;
+        }
+        let seg = self.seg_to(
+            TcpFlags::ACK.with(TcpFlags::PSH),
+            self.snd_nxt,
+            payload,
+        );
+        self.snd_nxt = self.snd_nxt.wrapping_add(seg.payload.len() as u32);
+        Some(seg)
+    }
+
+    /// Orderly close: send FIN if the state allows.
+    pub fn close(&mut self) -> Option<Segment> {
+        match self.state {
+            TcpState::Established => {
+                self.state = TcpState::FinWait1;
+            }
+            TcpState::CloseWait => {
+                self.state = TcpState::LastAck;
+            }
+            _ => return None,
+        }
+        let seg = self.seg_to(TcpFlags::FIN.with(TcpFlags::ACK), self.snd_nxt, Vec::new());
+        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+        Some(seg)
+    }
+
+    /// Abortive close: RST and drop to Closed.
+    pub fn abort(&mut self) -> Option<Segment> {
+        if self.remote.is_none() || self.is_closed() || self.state == TcpState::Listen {
+            self.state = TcpState::Closed;
+            return None;
+        }
+        let seg = self.seg_to(TcpFlags::RST.with(TcpFlags::ACK), self.snd_nxt, Vec::new());
+        self.state = TcpState::Closed;
+        Some(seg)
+    }
+
+    /// Process an incoming segment. Returns `(replies, delivered_payload)`.
+    pub fn on_segment(&mut self, seg: &Segment, isn: u32) -> (Vec<Segment>, Vec<u8>) {
+        let mut replies = Vec::new();
+        let mut delivered = Vec::new();
+
+        if seg.flags.rst() {
+            // Peer abort: tear down silently.
+            if self.state != TcpState::Listen {
+                self.state = TcpState::Closed;
+            }
+            return (replies, delivered);
+        }
+
+        match self.state {
+            TcpState::Listen => {
+                if seg.flags.syn() && !seg.flags.ack() {
+                    self.remote = Some(seg.src);
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    match self.policy {
+                        AcceptPolicy::RejectRst => {
+                            // Refuse: RST with ack of the SYN.
+                            replies.push(self.seg_to(
+                                TcpFlags::RST.with(TcpFlags::ACK),
+                                0,
+                                Vec::new(),
+                            ));
+                            self.remote = None;
+                            self.rcv_nxt = 0;
+                        }
+                        AcceptPolicy::Accept | AcceptPolicy::AcceptThenFin => {
+                            self.snd_nxt = isn.wrapping_add(1);
+                            replies.push(Segment {
+                                src: self.local,
+                                dst: seg.src,
+                                seq: isn,
+                                ack: self.rcv_nxt,
+                                flags: TcpFlags::SYN.with(TcpFlags::ACK),
+                                payload: Vec::new(),
+                            });
+                            self.state = TcpState::SynReceived;
+                            self.owes_fin = self.policy == AcceptPolicy::AcceptThenFin;
+                        }
+                    }
+                }
+            }
+            TcpState::SynSent => {
+                if seg.flags.syn() && seg.flags.ack() && seg.ack == self.snd_nxt {
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.state = TcpState::Established;
+                    replies.push(self.seg_to(TcpFlags::ACK, self.snd_nxt, Vec::new()));
+                }
+            }
+            TcpState::SynReceived => {
+                if seg.flags.ack() && seg.ack == self.snd_nxt {
+                    self.state = TcpState::Established;
+                    if self.owes_fin {
+                        // The AcceptThenFin misbehaviour: close right away.
+                        self.owes_fin = false;
+                        if let Some(fin) = self.close() {
+                            replies.push(fin);
+                        }
+                    }
+                }
+            }
+            TcpState::Established
+            | TcpState::FinWait1
+            | TcpState::FinWait2
+            | TcpState::CloseWait
+            | TcpState::Closing
+            | TcpState::LastAck => {
+                // Duplicate data (retransmission): re-ACK, deliver nothing.
+                if !seg.payload.is_empty() {
+                    if seg.seq == self.rcv_nxt {
+                        self.rcv_nxt = self.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                        delivered.extend_from_slice(&seg.payload);
+                        replies.push(self.seg_to(TcpFlags::ACK, self.snd_nxt, Vec::new()));
+                    } else {
+                        replies.push(self.seg_to(TcpFlags::ACK, self.snd_nxt, Vec::new()));
+                    }
+                }
+                // FIN processing.
+                if seg.flags.fin() && seg.seq.wrapping_add(seg.payload.len() as u32) == self.rcv_nxt
+                    || seg.flags.fin() && seg.seq == self.rcv_nxt
+                {
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                    match self.state {
+                        TcpState::Established => self.state = TcpState::CloseWait,
+                        TcpState::FinWait1 => {
+                            self.state = if seg.flags.ack() && seg.ack == self.snd_nxt {
+                                TcpState::TimeWait
+                            } else {
+                                TcpState::Closing
+                            };
+                        }
+                        TcpState::FinWait2 => self.state = TcpState::TimeWait,
+                        _ => {}
+                    }
+                    replies.push(self.seg_to(TcpFlags::ACK, self.snd_nxt, Vec::new()));
+                }
+                // Pure-ACK advancement of our FIN.
+                if seg.flags.ack() && !seg.flags.fin() {
+                    match self.state {
+                        TcpState::FinWait1 if seg.ack == self.snd_nxt => {
+                            self.state = TcpState::FinWait2;
+                        }
+                        TcpState::LastAck if seg.ack == self.snd_nxt => {
+                            self.state = TcpState::Closed;
+                        }
+                        TcpState::Closing if seg.ack == self.snd_nxt => {
+                            self.state = TcpState::TimeWait;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            TcpState::Closed | TcpState::TimeWait => {}
+        }
+        (replies, delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::addr;
+
+    fn server_addr() -> SocketAddr {
+        SocketAddr::new(addr(10, 0, 7, 1), 2404)
+    }
+    fn client_addr() -> SocketAddr {
+        SocketAddr::new(addr(10, 0, 0, 5), 40001)
+    }
+
+    /// Pump segments between two endpoints until quiescent; returns all
+    /// segments exchanged (for flow assertions) and delivered payloads.
+    fn pump(a: &mut TcpEndpoint, b: &mut TcpEndpoint, first: Segment) -> (Vec<Segment>, Vec<u8>, Vec<u8>) {
+        let mut wire = vec![first.clone()];
+        let mut log = vec![first];
+        let mut to_a = Vec::new();
+        let mut to_b = Vec::new();
+        while let Some(seg) = wire.pop() {
+            let replies = if seg.dst == a.local() {
+                let (r, d) = a.on_segment(&seg, 5000);
+                to_a.extend(d);
+                r
+            } else {
+                let (r, d) = b.on_segment(&seg, 5000);
+                to_b.extend(d);
+                r
+            };
+            for r in replies {
+                log.push(r.clone());
+                wire.push(r);
+            }
+        }
+        (log, to_a, to_b)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let mut server = TcpEndpoint::listen(server_addr(), AcceptPolicy::Accept);
+        let (mut client, syn) = TcpEndpoint::connect(client_addr(), server_addr(), 1000);
+        let (log, _, _) = pump(&mut client, &mut server, syn);
+        assert!(client.is_established());
+        assert!(server.is_established());
+        // SYN, SYN-ACK, ACK.
+        assert_eq!(log.len(), 3);
+        assert!(log[0].flags.syn() && !log[0].flags.ack());
+        assert!(log[1].flags.syn() && log[1].flags.ack());
+        assert!(!log[2].flags.syn() && log[2].flags.ack());
+    }
+
+    #[test]
+    fn data_transfer_with_acks() {
+        let mut server = TcpEndpoint::listen(server_addr(), AcceptPolicy::Accept);
+        let (mut client, syn) = TcpEndpoint::connect(client_addr(), server_addr(), 1000);
+        pump(&mut client, &mut server, syn);
+        let data = client.send(b"\x68\x04\x07\x00\x00\x00".to_vec()).unwrap();
+        let (_, _, to_server) = pump(&mut client, &mut server, data);
+        assert_eq!(to_server, b"\x68\x04\x07\x00\x00\x00");
+    }
+
+    #[test]
+    fn duplicate_segment_not_delivered_twice() {
+        let mut server = TcpEndpoint::listen(server_addr(), AcceptPolicy::Accept);
+        let (mut client, syn) = TcpEndpoint::connect(client_addr(), server_addr(), 1000);
+        pump(&mut client, &mut server, syn);
+        let data = client.send(b"hello".to_vec()).unwrap();
+        let (_r1, d1) = server.on_segment(&data, 0);
+        let (r2, d2) = server.on_segment(&data, 0); // retransmission
+        assert_eq!(d1, b"hello");
+        assert!(d2.is_empty(), "duplicate must not deliver");
+        assert!(r2.iter().any(|s| s.flags.ack()), "but must re-ACK");
+    }
+
+    #[test]
+    fn orderly_close_reaches_terminal_states() {
+        let mut server = TcpEndpoint::listen(server_addr(), AcceptPolicy::Accept);
+        let (mut client, syn) = TcpEndpoint::connect(client_addr(), server_addr(), 1000);
+        pump(&mut client, &mut server, syn);
+        let fin = client.close().unwrap();
+        assert!(fin.flags.fin());
+        pump(&mut client, &mut server, fin);
+        assert_eq!(server.state(), TcpState::CloseWait);
+        let fin2 = server.close().unwrap();
+        pump(&mut client, &mut server, fin2);
+        assert!(client.is_closed());
+        assert!(server.is_closed());
+    }
+
+    #[test]
+    fn reject_rst_policy_refuses_syn() {
+        // The paper's Fig. 9 misbehaviour: the outstation resets the backup
+        // connection attempt.
+        let mut rtu = TcpEndpoint::listen(server_addr(), AcceptPolicy::RejectRst);
+        let (mut server, syn) = TcpEndpoint::connect(client_addr(), server_addr(), 42);
+        let (replies, _) = rtu.on_segment(&syn, 9);
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].flags.rst());
+        let (r2, _) = server.on_segment(&replies[0], 0);
+        assert!(r2.is_empty());
+        assert!(server.is_closed());
+        // The RTU is back to listening for the next attempt.
+        assert_eq!(rtu.state(), TcpState::Listen);
+    }
+
+    #[test]
+    fn accept_then_fin_policy() {
+        let mut rtu = TcpEndpoint::listen(server_addr(), AcceptPolicy::AcceptThenFin);
+        let (mut server, syn) = TcpEndpoint::connect(client_addr(), server_addr(), 42);
+        let (log, _, _) = pump(&mut server, &mut rtu, syn);
+        // Handshake completes, then the RTU FINs.
+        assert!(log.iter().any(|s| s.flags.fin() && s.src == server_addr()));
+        assert_eq!(server.state(), TcpState::CloseWait);
+    }
+
+    #[test]
+    fn abort_sends_rst_and_peer_tears_down() {
+        let mut server = TcpEndpoint::listen(server_addr(), AcceptPolicy::Accept);
+        let (mut client, syn) = TcpEndpoint::connect(client_addr(), server_addr(), 1000);
+        pump(&mut client, &mut server, syn);
+        let rst = client.abort().unwrap();
+        assert!(rst.flags.rst());
+        server.on_segment(&rst, 0);
+        assert!(server.is_closed());
+        assert!(client.is_closed());
+    }
+
+    #[test]
+    fn seq_len_counts_flags() {
+        let seg = Segment {
+            src: client_addr(),
+            dst: server_addr(),
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            payload: Vec::new(),
+        };
+        assert_eq!(seg.seq_len(), 1);
+        let seg = Segment {
+            flags: TcpFlags::ACK,
+            payload: vec![1, 2, 3],
+            ..seg
+        };
+        assert_eq!(seg.seq_len(), 3);
+    }
+
+    #[test]
+    fn send_refused_before_establishment() {
+        let (mut client, _) = TcpEndpoint::connect(client_addr(), server_addr(), 1);
+        assert!(client.send(b"x".to_vec()).is_none());
+    }
+}

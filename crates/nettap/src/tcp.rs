@@ -1,0 +1,225 @@
+//! TCP header encoding and parsing, with pseudo-header checksums.
+
+use crate::{fold_checksum, ones_complement_sum, Error, Result};
+
+/// TCP header length without options.
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+
+    /// Union of two flag sets.
+    pub fn with(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+    /// True if every bit of `other` is set.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+    /// SYN set?
+    pub fn syn(self) -> bool {
+        self.contains(TcpFlags::SYN)
+    }
+    /// FIN set?
+    pub fn fin(self) -> bool {
+        self.contains(TcpFlags::FIN)
+    }
+    /// RST set?
+    pub fn rst(self) -> bool {
+        self.contains(TcpFlags::RST)
+    }
+    /// ACK set?
+    pub fn ack(self) -> bool {
+        self.contains(TcpFlags::ACK)
+    }
+}
+
+impl std::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if self.syn() {
+            parts.push("SYN");
+        }
+        if self.ack() {
+            parts.push("ACK");
+        }
+        if self.fin() {
+            parts.push("FIN");
+        }
+        if self.rst() {
+            parts.push("RST");
+        }
+        if self.contains(TcpFlags::PSH) {
+            parts.push("PSH");
+        }
+        write!(f, "{}", parts.join("|"))
+    }
+}
+
+/// A parsed TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number (meaningful when ACK is set).
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Encode header + payload with a correct checksum over the IPv4
+    /// pseudo-header.
+    pub fn encode(&self, src_ip: u32, dst_ip: u32, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push((HEADER_LEN as u8 / 4) << 4);
+        out.push(self.flags.0);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&[0, 0]); // urgent pointer
+        out.extend_from_slice(payload);
+        let csum = Self::checksum(src_ip, dst_ip, &out);
+        out[16..18].copy_from_slice(&csum.to_be_bytes());
+        out
+    }
+
+    /// Parse and verify from the front of `b` (the TCP segment); returns the
+    /// header and payload offset.
+    pub fn parse(b: &[u8], src_ip: u32, dst_ip: u32) -> Result<(TcpHeader, usize)> {
+        if b.len() < HEADER_LEN {
+            return Err(Error::Truncated {
+                layer: "tcp",
+                needed: HEADER_LEN,
+                got: b.len(),
+            });
+        }
+        let data_off = ((b[12] >> 4) as usize) * 4;
+        if data_off < HEADER_LEN || b.len() < data_off {
+            return Err(Error::Unsupported {
+                layer: "tcp",
+                what: "data offset",
+            });
+        }
+        if Self::checksum(src_ip, dst_ip, b) != 0 {
+            return Err(Error::BadChecksum { layer: "tcp" });
+        }
+        Ok((
+            TcpHeader {
+                src_port: u16::from_be_bytes([b[0], b[1]]),
+                dst_port: u16::from_be_bytes([b[2], b[3]]),
+                seq: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+                ack: u32::from_be_bytes([b[8], b[9], b[10], b[11]]),
+                flags: TcpFlags(b[13]),
+                window: u16::from_be_bytes([b[14], b[15]]),
+            },
+            data_off,
+        ))
+    }
+
+    /// Checksum over pseudo-header + segment. Returns 0 for a valid segment
+    /// whose checksum field is already filled in.
+    fn checksum(src_ip: u32, dst_ip: u32, segment: &[u8]) -> u16 {
+        let mut pseudo = [0u8; 12];
+        pseudo[0..4].copy_from_slice(&src_ip.to_be_bytes());
+        pseudo[4..8].copy_from_slice(&dst_ip.to_be_bytes());
+        pseudo[9] = crate::ipv4::PROTO_TCP;
+        pseudo[10..12].copy_from_slice(&(segment.len() as u16).to_be_bytes());
+        let acc = ones_complement_sum(0, &pseudo);
+        let acc = ones_complement_sum(acc, segment);
+        fold_checksum(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::addr;
+
+    fn hdr() -> TcpHeader {
+        TcpHeader {
+            src_port: 34567,
+            dst_port: 2404,
+            seq: 0xDEADBEEF,
+            ack: 0x12345678,
+            flags: TcpFlags::ACK.with(TcpFlags::PSH),
+            window: 8192,
+        }
+    }
+
+    #[test]
+    fn round_trip_with_payload() {
+        let payload = b"\x68\x04\x43\x00\x00\x00"; // a TESTFR act APDU
+        let src = addr(10, 0, 0, 5);
+        let dst = addr(10, 0, 7, 1);
+        let seg = hdr().encode(src, dst, payload);
+        let (parsed, off) = TcpHeader::parse(&seg, src, dst).unwrap();
+        assert_eq!(parsed, hdr());
+        assert_eq!(&seg[off..], payload);
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let src = addr(1, 1, 1, 1);
+        let dst = addr(2, 2, 2, 2);
+        let mut seg = hdr().encode(src, dst, b"hello");
+        let last = seg.len() - 1;
+        seg[last] ^= 0x01;
+        assert!(matches!(
+            TcpHeader::parse(&seg, src, dst),
+            Err(Error::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        // The same segment re-parsed under different IPs must fail: the
+        // pseudo-header covers the address pair.
+        let seg = hdr().encode(addr(1, 1, 1, 1), addr(2, 2, 2, 2), b"x");
+        assert!(TcpHeader::parse(&seg, addr(1, 1, 1, 1), addr(9, 9, 9, 9)).is_err());
+    }
+
+    #[test]
+    fn flag_predicates() {
+        let f = TcpFlags::SYN.with(TcpFlags::ACK);
+        assert!(f.syn() && f.ack() && !f.fin() && !f.rst());
+        assert_eq!(format!("{f}"), "SYN|ACK");
+    }
+
+    #[test]
+    fn empty_segment_round_trip() {
+        let src = addr(3, 3, 3, 3);
+        let dst = addr(4, 4, 4, 4);
+        let h = TcpHeader {
+            flags: TcpFlags::SYN,
+            ..hdr()
+        };
+        let seg = h.encode(src, dst, &[]);
+        assert_eq!(seg.len(), HEADER_LEN);
+        let (parsed, off) = TcpHeader::parse(&seg, src, dst).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(off, HEADER_LEN);
+    }
+}

@@ -1,0 +1,212 @@
+//! Automatic Generation Control.
+//!
+//! Every AGC cycle (typically 2–4 s) the balancing authority computes the
+//! Area Control Error
+//!
+//! ```text
+//! ACE = (P_tie_actual − P_tie_scheduled) − 10·B·(f − f0)      (B < 0)
+//! ```
+//!
+//! and dispatches regulation to participating generators in proportion to
+//! their participation factors, through a PI controller. In the paper's
+//! network these dispatches travel as IEC 104 set point commands (`I50`,
+//! C_SE_NC_1) from the control servers to generator outstations.
+
+use crate::dynamics::PowerGrid;
+use crate::model::GeneratorId;
+
+/// AGC controller state.
+#[derive(Debug, Clone)]
+pub struct AgcController {
+    /// Proportional gain on ACE.
+    pub kp: f64,
+    /// Integral gain on accumulated ACE.
+    pub ki: f64,
+    /// Dispatch cycle period \[s\].
+    pub cycle_s: f64,
+    /// Integral accumulator.
+    integral: f64,
+    /// Time of last dispatch.
+    last_dispatch: f64,
+}
+
+impl Default for AgcController {
+    fn default() -> Self {
+        AgcController {
+            kp: 0.5,
+            ki: 0.05,
+            cycle_s: 4.0,
+            integral: 0.0,
+            last_dispatch: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// One set point command produced by a dispatch cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetpointCommand {
+    /// Target generator.
+    pub generator: GeneratorId,
+    /// New set point \[MW\].
+    pub setpoint_mw: f64,
+}
+
+impl AgcController {
+    /// A controller with a non-default dispatch period.
+    pub fn with_cycle(cycle_s: f64) -> AgcController {
+        AgcController {
+            cycle_s,
+            ..Default::default()
+        }
+    }
+
+    /// Compute the current Area Control Error \[MW\].
+    pub fn ace(&self, grid: &PowerGrid) -> f64 {
+        let tie_error = grid.tie_actual_mw - grid.model.tie_schedule_mw;
+        // NERC sign convention: B is negative, so over-frequency makes the
+        // term (and the ACE) positive, calling for less generation.
+        let freq_term = -10.0 * grid.model.bias_mw_per_tenth_hz * grid.freq_deviation();
+        tie_error + freq_term
+    }
+
+    /// Run one controller evaluation at time `now`. Returns the set point
+    /// commands to send (empty between cycles). The commands are *not*
+    /// applied to the grid here — in the real system they traverse the
+    /// SCADA network first, and the simulator models that path.
+    pub fn dispatch(&mut self, grid: &PowerGrid, now: f64) -> Vec<SetpointCommand> {
+        if now - self.last_dispatch < self.cycle_s {
+            return Vec::new();
+        }
+        self.last_dispatch = now;
+        let ace = self.ace(grid);
+        self.integral += ace * self.cycle_s;
+        // Anti-windup clamp.
+        let max_i = grid.model.total_generation().max(1000.0);
+        self.integral = self.integral.clamp(-max_i * 20.0, max_i * 20.0);
+        // Positive ACE = over-generation/over-export: lower set points.
+        let correction = -(self.kp * ace + self.ki * self.integral);
+        grid.model
+            .generators
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.agc_participant && g.is_connected())
+            .map(|(i, g)| SetpointCommand {
+                generator: GeneratorId(i),
+                setpoint_mw: (g.setpoint_mw + correction * g.participation)
+                    .clamp(0.0, g.capacity_mw),
+            })
+            .collect()
+    }
+
+    /// Reset the integral accumulator (e.g. after a schedule change).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GridModel, LoadId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Run a closed AGC loop: grid steps at 1 s, AGC dispatches on cycle and
+    /// set points apply instantly (zero network latency). Returns the peak
+    /// absolute frequency deviation seen during the run.
+    fn run_closed_loop(grid: &mut PowerGrid, agc: &mut AgcController, rng: &mut StdRng, secs: usize) -> f64 {
+        let mut peak = 0.0f64;
+        for _ in 0..secs {
+            grid.step(1.0, rng);
+            peak = peak.max(grid.freq_deviation().abs());
+            for cmd in agc.dispatch(grid, grid.time) {
+                grid.apply_setpoint(cmd.generator, cmd.setpoint_mw);
+            }
+        }
+        peak
+    }
+
+    #[test]
+    fn ace_sign_convention() {
+        let mut grid = PowerGrid::new(GridModel::bulk_example());
+        let agc = AgcController::default();
+        grid.frequency_hz = grid.model.nominal_hz + 0.1; // over-frequency
+        grid.tie_actual_mw = 50.0;
+        let ace = agc.ace(&grid);
+        // tie_error 50, freq term −10·(−240)·0.1 = +240 ⇒ ACE = +290:
+        // over-frequency and over-export both call for ramping down.
+        assert!((ace - 290.0).abs() < 1e-9, "{ace}");
+    }
+
+    #[test]
+    fn agc_restores_frequency_after_load_loss() {
+        let mut grid = PowerGrid::new(GridModel::bulk_example());
+        let mut agc = AgcController::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let quiet_peak = run_closed_loop(&mut grid, &mut agc, &mut rng, 120);
+        let baseline_gen = grid.model.total_generation();
+        // Lose ~10 % of load: the Fig. 18 "unmet load" event.
+        grid.disconnect_load(LoadId(2));
+        let event_peak = run_closed_loop(&mut grid, &mut agc, &mut rng, 60);
+        assert!(
+            event_peak > quiet_peak * 2.0,
+            "over-frequency while load is lost: {event_peak} vs {quiet_peak}"
+        );
+        // AGC ramps generation down over the next few minutes.
+        run_closed_loop(&mut grid, &mut agc, &mut rng, 600);
+        assert!(
+            grid.freq_deviation().abs() < event_peak,
+            "AGC pulled frequency back: {} vs peak {}",
+            grid.freq_deviation(),
+            event_peak
+        );
+        assert!(
+            grid.model.total_generation() < baseline_gen,
+            "generation reduced to match the lost load"
+        );
+        // Load returns; AGC ramps generation back up.
+        grid.reconnect_load(LoadId(2));
+        run_closed_loop(&mut grid, &mut agc, &mut rng, 600);
+        assert!(
+            (grid.model.total_generation() - baseline_gen).abs() < baseline_gen * 0.1,
+            "generation recovered near baseline"
+        );
+        assert!(grid.freq_deviation().abs() < 0.25);
+    }
+
+    #[test]
+    fn dispatch_respects_cycle_period() {
+        let mut grid = PowerGrid::new(GridModel::bulk_example());
+        let mut agc = AgcController::default();
+        grid.frequency_hz += 0.2;
+        let first = agc.dispatch(&grid, 100.0);
+        assert!(!first.is_empty());
+        assert!(agc.dispatch(&grid, 101.0).is_empty(), "within cycle");
+        assert!(!agc.dispatch(&grid, 104.5).is_empty(), "next cycle");
+    }
+
+    #[test]
+    fn only_connected_participants_receive_commands() {
+        let mut grid = PowerGrid::new(GridModel::bulk_example());
+        let mut agc = AgcController::default();
+        grid.frequency_hz += 0.2;
+        let cmds = agc.dispatch(&grid, 0.0);
+        assert_eq!(cmds.len(), 4, "gas-2 is offline");
+        assert!(cmds.iter().all(|c| c.generator != GeneratorId(4)));
+    }
+
+    #[test]
+    fn setpoints_clamped_to_capacity() {
+        let mut grid = PowerGrid::new(GridModel::bulk_example());
+        let mut agc = AgcController {
+            kp: 1e6, // absurd gain to force saturation
+            ..Default::default()
+        };
+        grid.frequency_hz -= 0.5; // severe under-frequency: raise output
+        let cmds = agc.dispatch(&grid, 0.0);
+        for c in cmds {
+            let cap = grid.model.generators[c.generator.0].capacity_mw;
+            assert!(c.setpoint_mw >= 0.0 && c.setpoint_mw <= cap);
+        }
+    }
+}

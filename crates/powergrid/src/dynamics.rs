@@ -1,0 +1,278 @@
+//! Time-domain grid dynamics: an aggregate swing model plus per-generator
+//! ramping, synchronisation and voltage behaviour.
+
+use crate::model::{BreakerState, GeneratorId, GridModel, LoadId};
+use rand::Rng;
+
+/// Duration of a synchronisation voltage ramp \[s\] (paper Fig. 20 shows the
+/// generator bus rising to nominal over tens of seconds).
+pub const SYNC_RAMP_S: f64 = 60.0;
+
+/// Gaussian sample via Box–Muller, so we stay within the plain `rand` crate.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The stepping grid simulator.
+#[derive(Debug, Clone)]
+pub struct PowerGrid {
+    /// The (mutating) model.
+    pub model: GridModel,
+    /// Current system frequency \[Hz\].
+    pub frequency_hz: f64,
+    /// Current net tie-line interchange \[MW\].
+    pub tie_actual_mw: f64,
+    /// Simulation time \[s\].
+    pub time: f64,
+    /// Duration of a synchronisation voltage ramp \[s\]; defaults to
+    /// [`SYNC_RAMP_S`], scenarios with short capture windows shrink it.
+    pub sync_ramp_s: f64,
+    /// Slow random-walk multiplier on demand.
+    demand_factor: f64,
+}
+
+impl PowerGrid {
+    /// Wrap a model at its nominal operating point.
+    pub fn new(model: GridModel) -> PowerGrid {
+        let f0 = model.nominal_hz;
+        PowerGrid {
+            model,
+            frequency_hz: f0,
+            tie_actual_mw: 0.0,
+            time: 0.0,
+            sync_ramp_s: SYNC_RAMP_S,
+            demand_factor: 1.0,
+        }
+    }
+
+    /// Advance the grid by `dt` seconds.
+    pub fn step<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) {
+        self.time += dt;
+
+        // Demand wanders slowly (mean-reverting random walk, ±2 %).
+        self.demand_factor += gaussian(rng, 0.0, 0.0005) * dt.sqrt()
+            - (self.demand_factor - 1.0) * 0.01 * dt;
+        self.demand_factor = self.demand_factor.clamp(0.95, 1.05);
+
+        // Generators ramp toward set points; synchronising units raise their
+        // bus voltage toward nominal.
+        let sync_ramp = self.sync_ramp_s.max(1.0);
+        for g in &mut self.model.generators {
+            if g.synchronising {
+                g.bus_kv += g.nominal_kv / sync_ramp * dt;
+                if g.bus_kv >= g.nominal_kv {
+                    g.bus_kv = g.nominal_kv;
+                    g.synchronising = false;
+                }
+            }
+            match g.breaker {
+                BreakerState::Closed => {
+                    let err = g.setpoint_mw - g.output_mw;
+                    let step = err.clamp(-g.ramp_mw_per_s * dt, g.ramp_mw_per_s * dt);
+                    g.output_mw = (g.output_mw + step).clamp(0.0, g.capacity_mw);
+                    // Reactive power follows voltage needs with noise.
+                    let target_q = g.output_mw * 0.15 * if g.grid_kv > g.nominal_kv { -0.5 } else { 1.0 };
+                    g.reactive_mvar += (target_q - g.reactive_mvar) * (0.05 * dt).min(1.0)
+                        + gaussian(rng, 0.0, 0.2) * dt.sqrt();
+                    // Online buses hold near nominal with small noise.
+                    g.bus_kv = g.nominal_kv + gaussian(rng, 0.0, 0.15);
+                    g.grid_kv = g.nominal_kv * 1.015 + gaussian(rng, 0.0, 0.15);
+                }
+                BreakerState::Open | BreakerState::Intermediate => {
+                    if !g.synchronising && g.bus_kv > 0.0 && g.bus_kv >= g.nominal_kv {
+                        // Synchronised but not yet connected: hold nominal.
+                        g.bus_kv = g.nominal_kv + gaussian(rng, 0.0, 0.1);
+                    }
+                    g.output_mw = 0.0;
+                    g.reactive_mvar = 0.0;
+                }
+            }
+        }
+
+        // Aggregate swing: frequency responds to the generation/load balance.
+        let gen = self.model.total_generation();
+        let load = self.model.total_load() * self.demand_factor;
+        let imbalance = gen - load - (self.tie_actual_mw - 0.0);
+        let df = imbalance / self.model.inertia
+            - self.model.damping / self.model.inertia * (self.frequency_hz - self.model.nominal_hz);
+        self.frequency_hz += df * dt + gaussian(rng, 0.0, 0.0003) * dt.sqrt();
+
+        // Tie flow absorbs part of the imbalance (the neighbouring areas
+        // lean on us, and vice versa).
+        self.tie_actual_mw += (imbalance * 0.3 - self.tie_actual_mw) * (0.1 * dt).min(1.0);
+    }
+
+    /// Frequency deviation from nominal \[Hz\].
+    pub fn freq_deviation(&self) -> f64 {
+        self.frequency_hz - self.model.nominal_hz
+    }
+
+    /// Begin synchronising an offline generator: its bus voltage starts
+    /// ramping from 0 toward nominal (paper Fig. 20 top plot).
+    pub fn begin_sync(&mut self, id: GeneratorId) {
+        if let Some(g) = self.model.generators.get_mut(id.0) {
+            if !g.is_connected() && g.bus_kv < g.nominal_kv {
+                g.synchronising = true;
+            }
+        }
+    }
+
+    /// Close a generator breaker (0 → 2 in double-point terms); output then
+    /// ramps toward the set point.
+    pub fn close_breaker(&mut self, id: GeneratorId, setpoint_mw: f64) {
+        if let Some(g) = self.model.generators.get_mut(id.0) {
+            g.breaker = BreakerState::Closed;
+            g.setpoint_mw = setpoint_mw.clamp(0.0, g.capacity_mw);
+            g.grid_kv = g.nominal_kv * 1.015;
+        }
+    }
+
+    /// Open a generator breaker. The generator bus de-energises (the
+    /// Fig. 20 signature starts from a dark bus); the grid-side voltage is
+    /// unaffected — the network keeps that side alive.
+    pub fn open_breaker(&mut self, id: GeneratorId) {
+        if let Some(g) = self.model.generators.get_mut(id.0) {
+            g.breaker = BreakerState::Open;
+            g.output_mw = 0.0;
+            g.bus_kv = 0.0;
+        }
+    }
+
+    /// Disconnect a load (the "unmet load" failure of Fig. 18).
+    pub fn disconnect_load(&mut self, id: LoadId) {
+        if let Some(l) = self.model.loads.get_mut(id.0) {
+            l.connected = false;
+        }
+    }
+
+    /// Reconnect a load.
+    pub fn reconnect_load(&mut self, id: LoadId) {
+        if let Some(l) = self.model.loads.get_mut(id.0) {
+            l.connected = true;
+        }
+    }
+
+    /// Apply an AGC set point to one generator (what an `I50` command does
+    /// when it reaches the outstation).
+    pub fn apply_setpoint(&mut self, id: GeneratorId, mw: f64) {
+        if let Some(g) = self.model.generators.get_mut(id.0) {
+            if g.is_connected() {
+                g.setpoint_mw = mw.clamp(0.0, g.capacity_mw);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GridModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid() -> (PowerGrid, StdRng) {
+        (PowerGrid::new(GridModel::bulk_example()), StdRng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn balanced_grid_holds_frequency() {
+        let (mut grid, mut rng) = grid();
+        for _ in 0..600 {
+            grid.step(1.0, &mut rng);
+        }
+        assert!(
+            grid.freq_deviation().abs() < 0.1,
+            "frequency stayed near nominal, got {}",
+            grid.frequency_hz
+        );
+    }
+
+    #[test]
+    fn load_loss_raises_frequency() {
+        let (mut grid, mut rng) = grid();
+        for _ in 0..60 {
+            grid.step(1.0, &mut rng);
+        }
+        let before = grid.frequency_hz;
+        grid.disconnect_load(LoadId(2)); // ~10 % of demand gone
+        for _ in 0..30 {
+            grid.step(1.0, &mut rng);
+        }
+        assert!(
+            grid.frequency_hz > before + 0.02,
+            "over-generation must raise frequency: {before} -> {}",
+            grid.frequency_hz
+        );
+    }
+
+    #[test]
+    fn generator_ramps_toward_setpoint_at_limited_rate() {
+        let (mut grid, mut rng) = grid();
+        let id = GeneratorId(0);
+        let ramp = grid.model.generators[0].ramp_mw_per_s;
+        let start = grid.model.generators[0].output_mw;
+        grid.apply_setpoint(id, start + 100.0);
+        grid.step(1.0, &mut rng);
+        let moved = grid.model.generators[0].output_mw - start;
+        assert!(moved > 0.0 && moved <= ramp + 1e-9, "ramp-limited: {moved} vs {ramp}");
+    }
+
+    #[test]
+    fn synchronisation_ramps_voltage_then_power() {
+        let (mut grid, mut rng) = grid();
+        let id = GeneratorId(4); // offline gas-2
+        assert_eq!(grid.model.generators[4].bus_kv, 0.0);
+        grid.begin_sync(id);
+        for _ in 0..30 {
+            grid.step(1.0, &mut rng);
+        }
+        let mid = grid.model.generators[4].bus_kv;
+        assert!(mid > 20.0 && mid < 130.0, "ramping: {mid}");
+        assert_eq!(grid.model.generators[4].output_mw, 0.0, "no power before close");
+        for _ in 0..40 {
+            grid.step(1.0, &mut rng);
+        }
+        assert!(grid.model.generators[4].bus_kv >= 125.0, "reached nominal");
+        grid.close_breaker(id, 150.0);
+        for _ in 0..120 {
+            grid.step(1.0, &mut rng);
+        }
+        assert!(
+            grid.model.generators[4].output_mw > 50.0,
+            "power flows after breaker close: {}",
+            grid.model.generators[4].output_mw
+        );
+    }
+
+    #[test]
+    fn setpoint_ignored_when_disconnected() {
+        let (mut grid, _) = grid();
+        grid.apply_setpoint(GeneratorId(4), 200.0);
+        assert_eq!(grid.model.generators[4].setpoint_mw, 0.0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut g1, mut r1) = grid();
+        let (mut g2, mut r2) = grid();
+        for _ in 0..100 {
+            g1.step(1.0, &mut r1);
+            g2.step(1.0, &mut r2);
+        }
+        assert_eq!(g1.frequency_hz, g2.frequency_hz);
+        assert_eq!(g1.model.generators[0].output_mw, g2.model.generators[0].output_mw);
+    }
+}

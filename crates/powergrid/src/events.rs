@@ -1,0 +1,169 @@
+//! Scripted physical events.
+//!
+//! The paper's §6.4 findings hinge on two real incidents visible in the
+//! captures: an **unmet load** (load lost, frequency rises, AGC ramps
+//! generation down, load returns) and a **generator coming online**
+//! (synchronisation, breaker close, power delivery). Scenarios script these
+//! against the grid with an event timeline.
+
+use crate::dynamics::PowerGrid;
+use crate::model::{GeneratorId, LoadId};
+use serde::{Deserialize, Serialize};
+
+/// What happens.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A load disconnects (the Fig. 18 failure).
+    LoadLoss(LoadId),
+    /// The lost load reconnects.
+    LoadRestore(LoadId),
+    /// A generator begins synchronising: bus voltage ramps 0 → nominal.
+    BeginSync(GeneratorId),
+    /// The generator's breaker closes and it starts delivering toward the
+    /// given set point (the Fig. 20 sequence's middle step).
+    CloseBreaker(GeneratorId, f64),
+    /// A generator trips offline.
+    OpenBreaker(GeneratorId),
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScriptedEvent {
+    /// Simulation time \[s\] at which the event fires.
+    pub at: f64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+impl ScriptedEvent {
+    /// Construct.
+    pub fn new(at: f64, kind: EventKind) -> ScriptedEvent {
+        ScriptedEvent { at, kind }
+    }
+}
+
+/// An ordered event timeline with a replay cursor.
+#[derive(Debug, Clone, Default)]
+pub struct EventTimeline {
+    events: Vec<ScriptedEvent>,
+    cursor: usize,
+}
+
+impl EventTimeline {
+    /// Build from events (sorted internally by time).
+    pub fn new(mut events: Vec<ScriptedEvent>) -> EventTimeline {
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap());
+        EventTimeline { events, cursor: 0 }
+    }
+
+    /// The classic unmet-load scenario: `load` drops at `t0` and returns
+    /// `outage_s` later.
+    pub fn unmet_load(load: LoadId, t0: f64, outage_s: f64) -> EventTimeline {
+        EventTimeline::new(vec![
+            ScriptedEvent::new(t0, EventKind::LoadLoss(load)),
+            ScriptedEvent::new(t0 + outage_s, EventKind::LoadRestore(load)),
+        ])
+    }
+
+    /// The generator-online scenario of Fig. 20: synchronisation starting at
+    /// `t0`, breaker close once the voltage ramp (60 s) plus an operator
+    /// delay has elapsed.
+    pub fn generator_online(gen: GeneratorId, t0: f64, setpoint_mw: f64) -> EventTimeline {
+        EventTimeline::new(vec![
+            ScriptedEvent::new(t0, EventKind::BeginSync(gen)),
+            ScriptedEvent::new(
+                t0 + crate::dynamics::SYNC_RAMP_S + 30.0,
+                EventKind::CloseBreaker(gen, setpoint_mw),
+            ),
+        ])
+    }
+
+    /// Merge another timeline into this one.
+    pub fn merge(&mut self, other: EventTimeline) {
+        self.events.extend(other.events);
+        self.events.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap());
+        self.cursor = 0;
+    }
+
+    /// All events (for inspection).
+    pub fn events(&self) -> &[ScriptedEvent] {
+        &self.events
+    }
+
+    /// Apply every event due at or before `now`; returns those fired.
+    pub fn apply_due(&mut self, grid: &mut PowerGrid, now: f64) -> Vec<ScriptedEvent> {
+        let mut fired = Vec::new();
+        while self.cursor < self.events.len() && self.events[self.cursor].at <= now {
+            let ev = self.events[self.cursor];
+            self.cursor += 1;
+            match ev.kind {
+                EventKind::LoadLoss(id) => grid.disconnect_load(id),
+                EventKind::LoadRestore(id) => grid.reconnect_load(id),
+                EventKind::BeginSync(id) => grid.begin_sync(id),
+                EventKind::CloseBreaker(id, mw) => grid.close_breaker(id, mw),
+                EventKind::OpenBreaker(id) => grid.open_breaker(id),
+            }
+            fired.push(ev);
+        }
+        fired
+    }
+
+    /// True when every event has fired.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BreakerState, GridModel};
+
+    #[test]
+    fn events_fire_in_time_order_once() {
+        let mut grid = PowerGrid::new(GridModel::bulk_example());
+        let mut tl = EventTimeline::new(vec![
+            ScriptedEvent::new(20.0, EventKind::LoadRestore(LoadId(2))),
+            ScriptedEvent::new(10.0, EventKind::LoadLoss(LoadId(2))),
+        ]);
+        assert!(tl.apply_due(&mut grid, 5.0).is_empty());
+        let fired = tl.apply_due(&mut grid, 10.0);
+        assert_eq!(fired.len(), 1);
+        assert!(!grid.model.loads[2].connected);
+        let fired = tl.apply_due(&mut grid, 30.0);
+        assert_eq!(fired.len(), 1);
+        assert!(grid.model.loads[2].connected);
+        assert!(tl.exhausted());
+        assert!(tl.apply_due(&mut grid, 100.0).is_empty());
+    }
+
+    #[test]
+    fn unmet_load_timeline_shape() {
+        let tl = EventTimeline::unmet_load(LoadId(1), 100.0, 300.0);
+        assert_eq!(tl.events().len(), 2);
+        assert_eq!(tl.events()[0].at, 100.0);
+        assert_eq!(tl.events()[1].at, 400.0);
+    }
+
+    #[test]
+    fn generator_online_sequence() {
+        let mut grid = PowerGrid::new(GridModel::bulk_example());
+        let mut tl = EventTimeline::generator_online(GeneratorId(4), 50.0, 200.0);
+        tl.apply_due(&mut grid, 50.0);
+        assert!(grid.model.generators[4].synchronising);
+        assert_eq!(grid.model.generators[4].breaker, BreakerState::Open);
+        tl.apply_due(&mut grid, 150.0);
+        assert_eq!(grid.model.generators[4].breaker, BreakerState::Closed);
+        assert_eq!(grid.model.generators[4].setpoint_mw, 200.0);
+    }
+
+    #[test]
+    fn merge_re_sorts() {
+        let mut a = EventTimeline::unmet_load(LoadId(0), 500.0, 100.0);
+        a.merge(EventTimeline::generator_online(GeneratorId(4), 10.0, 50.0));
+        let times: Vec<f64> = a.events().iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(times, sorted);
+    }
+}

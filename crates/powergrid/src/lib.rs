@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # uncharted-powergrid
+//!
+//! The physical substrate behind the simulated SCADA traffic: a bulk power
+//! system with aggregate frequency dynamics, generators with ramp limits,
+//! circuit breakers, tie lines and an Automatic Generation Control (AGC)
+//! loop — the algorithm the paper's balancing authority runs over IEC 104.
+//!
+//! The model is deliberately coarse (one synchronous area, a first-order
+//! swing aggregate) because the paper's physical analysis (§6.4) depends on
+//! the *shape* of the time series seen through deep packet inspection, not
+//! on power-flow accuracy:
+//!
+//! * frequency excursions when load is lost, corrected by AGC ramping
+//!   generators down and back up (Figs. 18–19),
+//! * the generator-synchronisation signature — bus voltage rising 0 → nominal,
+//!   a breaker double-point status stepping 0 → 2, then active power ramping
+//!   in (Figs. 20–21),
+//! * steady voltages and demand-following power everywhere else.
+//!
+//! All randomness comes from a caller-seeded RNG; stepping is fixed-Δt.
+
+pub mod agc;
+pub mod dynamics;
+pub mod events;
+pub mod model;
+pub mod sensors;
+
+pub use agc::AgcController;
+pub use dynamics::PowerGrid;
+pub use events::{EventKind, ScriptedEvent};
+pub use model::{BreakerState, Generator, GeneratorId, GridModel, Load, LoadId};
+pub use sensors::{PhysicalQuantity, SensorReading};

@@ -1,0 +1,270 @@
+//! Static grid model: generators, loads, tie lines and their parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a generator within the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GeneratorId(pub usize);
+
+/// Identifier of a load within the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LoadId(pub usize);
+
+/// Circuit breaker state as a double-point status — the exact encoding the
+/// paper reads out of `I3`/`I31` ASDUs (0 intermediate, 1 open, 2 closed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Indeterminate / travelling (double-point code 0).
+    Intermediate,
+    /// Open (code 1).
+    Open,
+    /// Closed (code 2).
+    Closed,
+}
+
+impl BreakerState {
+    /// The IEC 104 double-point wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            BreakerState::Intermediate => 0,
+            BreakerState::Open => 1,
+            BreakerState::Closed => 2,
+        }
+    }
+}
+
+/// A dispatchable generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Generator {
+    /// Human-readable name.
+    pub name: String,
+    /// Nameplate capacity \[MW\].
+    pub capacity_mw: f64,
+    /// Ramp rate limit \[MW/s\].
+    pub ramp_mw_per_s: f64,
+    /// Nominal bus voltage \[kV\] (transmission level, > 110 kV per Table 1).
+    pub nominal_kv: f64,
+    /// Whether the unit participates in AGC.
+    pub agc_participant: bool,
+    /// AGC participation factor (fraction of area regulation assigned).
+    pub participation: f64,
+    // --- dynamic state ---
+    /// Current AGC set point \[MW\].
+    pub setpoint_mw: f64,
+    /// Current electrical output \[MW\] (ramps toward the set point when the
+    /// breaker is closed).
+    pub output_mw: f64,
+    /// Reactive power exchange \[MVAr\]; sign follows system voltage needs.
+    pub reactive_mvar: f64,
+    /// Generator-side bus voltage \[kV\]: 0 when offline, ramping during
+    /// synchronisation, near nominal when online.
+    pub bus_kv: f64,
+    /// Step-up transformer grid-side voltage \[kV\].
+    pub grid_kv: f64,
+    /// The breaker connecting the unit to the grid.
+    pub breaker: BreakerState,
+    /// Synchronisation in progress: voltage ramping toward nominal.
+    pub synchronising: bool,
+}
+
+impl Generator {
+    /// A unit that is online and serving `output` MW.
+    pub fn online(name: &str, capacity_mw: f64, output_mw: f64) -> Generator {
+        Generator {
+            name: name.to_string(),
+            capacity_mw,
+            ramp_mw_per_s: (capacity_mw * 0.01).max(0.5),
+            nominal_kv: 130.0,
+            agc_participant: true,
+            participation: 0.0, // normalised by the model builder
+            setpoint_mw: output_mw,
+            output_mw,
+            reactive_mvar: output_mw * 0.15,
+            bus_kv: 130.0,
+            grid_kv: 132.0,
+            breaker: BreakerState::Closed,
+            synchronising: false,
+        }
+    }
+
+    /// A unit that is offline (dark bus, breaker open).
+    pub fn offline(name: &str, capacity_mw: f64) -> Generator {
+        Generator {
+            setpoint_mw: 0.0,
+            output_mw: 0.0,
+            reactive_mvar: 0.0,
+            bus_kv: 0.0,
+            grid_kv: 0.0,
+            breaker: BreakerState::Open,
+            synchronising: false,
+            ..Generator::online(name, capacity_mw, 0.0)
+        }
+    }
+
+    /// True when the breaker connects the unit to the grid.
+    pub fn is_connected(&self) -> bool {
+        self.breaker == BreakerState::Closed
+    }
+}
+
+/// An aggregate load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Load {
+    /// Human-readable name.
+    pub name: String,
+    /// Demand when connected \[MW\].
+    pub base_mw: f64,
+    /// Whether the load is currently served.
+    pub connected: bool,
+}
+
+/// The full grid model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridModel {
+    /// Nominal system frequency \[Hz\].
+    pub nominal_hz: f64,
+    /// Aggregate inertia constant \[MW·s/Hz\]: MW imbalance per Hz/s.
+    pub inertia: f64,
+    /// Load damping \[MW/Hz\].
+    pub damping: f64,
+    /// Frequency bias for ACE \[MW/0.1 Hz\], negative per convention.
+    pub bias_mw_per_tenth_hz: f64,
+    /// Scheduled net tie-line interchange \[MW\] (positive = export).
+    pub tie_schedule_mw: f64,
+    /// Generators.
+    pub generators: Vec<Generator>,
+    /// Loads.
+    pub loads: Vec<Load>,
+}
+
+impl GridModel {
+    /// A balanced model: total generation covers total load, participation
+    /// factors normalised over AGC participants.
+    pub fn new(nominal_hz: f64, generators: Vec<Generator>, loads: Vec<Load>) -> GridModel {
+        let mut model = GridModel {
+            nominal_hz,
+            inertia: 4000.0,
+            // Aggregate frequency response ~4 % of load per Hz: keeps
+            // excursions in the sub-half-Hz band real interconnections see.
+            damping: 2400.0,
+            bias_mw_per_tenth_hz: -240.0,
+            tie_schedule_mw: 0.0,
+            generators,
+            loads,
+        };
+        model.normalise_participation();
+        model
+    }
+
+    /// Recompute participation factors proportional to capacity.
+    pub fn normalise_participation(&mut self) {
+        let total: f64 = self
+            .generators
+            .iter()
+            .filter(|g| g.agc_participant)
+            .map(|g| g.capacity_mw)
+            .sum();
+        if total <= 0.0 {
+            return;
+        }
+        for g in &mut self.generators {
+            g.participation = if g.agc_participant {
+                g.capacity_mw / total
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Total connected generation \[MW\].
+    pub fn total_generation(&self) -> f64 {
+        self.generators
+            .iter()
+            .filter(|g| g.is_connected())
+            .map(|g| g.output_mw)
+            .sum()
+    }
+
+    /// Total connected load \[MW\].
+    pub fn total_load(&self) -> f64 {
+        self.loads
+            .iter()
+            .filter(|l| l.connected)
+            .map(|l| l.base_mw)
+            .sum()
+    }
+
+    /// A small paper-scale system: a handful of units sized like the
+    /// balancing area the paper studies (GW scale, Table 1).
+    pub fn bulk_example() -> GridModel {
+        let generators = vec![
+            Generator::online("hydro-1", 800.0, 520.0),
+            Generator::online("thermal-1", 1200.0, 900.0),
+            Generator::online("thermal-2", 1000.0, 740.0),
+            Generator::online("gas-1", 600.0, 380.0),
+            Generator::offline("gas-2", 400.0),
+        ];
+        let total: f64 = generators.iter().map(|g| g.output_mw).sum();
+        let loads = vec![
+            Load {
+                name: "metro".into(),
+                base_mw: total * 0.6,
+                connected: true,
+            },
+            Load {
+                name: "industrial".into(),
+                base_mw: total * 0.3,
+                connected: true,
+            },
+            Load {
+                name: "rural".into(),
+                base_mw: total * 0.1,
+                connected: true,
+            },
+        ];
+        GridModel::new(60.0, generators, loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_codes_match_iec_double_point() {
+        assert_eq!(BreakerState::Intermediate.code(), 0);
+        assert_eq!(BreakerState::Open.code(), 1);
+        assert_eq!(BreakerState::Closed.code(), 2);
+    }
+
+    #[test]
+    fn online_and_offline_constructors() {
+        let on = Generator::online("g", 100.0, 60.0);
+        assert!(on.is_connected());
+        assert_eq!(on.output_mw, 60.0);
+        assert!(on.bus_kv > 100.0);
+        let off = Generator::offline("g", 100.0);
+        assert!(!off.is_connected());
+        assert_eq!(off.bus_kv, 0.0);
+        assert_eq!(off.output_mw, 0.0);
+    }
+
+    #[test]
+    fn bulk_example_is_balanced() {
+        let m = GridModel::bulk_example();
+        assert!((m.total_generation() - m.total_load()).abs() < 1e-6);
+        assert!(m.total_generation() > 1000.0, "GW-scale system");
+    }
+
+    #[test]
+    fn participation_normalised_over_participants() {
+        let m = GridModel::bulk_example();
+        let sum: f64 = m
+            .generators
+            .iter()
+            .filter(|g| g.agc_participant)
+            .map(|g| g.participation)
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

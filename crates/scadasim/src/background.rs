@@ -1,0 +1,270 @@
+//! Background industrial traffic.
+//!
+//! The paper's tap did not only see IEC 104: "our capture included other
+//! industrial protocols over TCP/IP such as ICCP (communications between
+//! SCADA servers of different companies) and C37.118 (phasor measurement
+//! units reporting data to the SCADA server). We leave the analysis of
+//! these other protocols for future studies." (§5)
+//!
+//! This module synthesises that co-tenant traffic so the measurement
+//! pipeline has something realistic to *correctly ignore*: ICCP-style
+//! TPKT/COTP exchanges between the control centre and peer-company SCADA
+//! servers (TCP 102), and C37.118 data frames streaming from PMUs (TCP
+//! 4712). The flows are long-lived (established before the capture starts)
+//! and purely tap-level: nothing in the simulation consumes them.
+
+use uncharted_nettap::ethernet::MacAddr;
+use uncharted_nettap::pcap::CapturedPacket;
+use uncharted_nettap::tcp::{TcpFlags, TcpHeader};
+
+/// ISO transport over TCP (ICCP rides on this).
+pub const TPKT_PORT: u16 = 102;
+/// IEEE C37.118 synchrophasor data port.
+pub const C37_PORT: u16 = 4712;
+
+/// CRC-CCITT (0xFFFF seed) as used by IEEE C37.118 frames.
+pub fn crc_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Build one C37.118 data frame for `idcode` at time `soc.fracsec`.
+pub fn c37_data_frame(idcode: u16, soc: u32, fracsec: u32, phasors: &[(i16, i16)]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(16 + phasors.len() * 4 + 2);
+    frame.extend_from_slice(&[0xAA, 0x01]); // SYNC: data frame, version 1
+    frame.extend_from_slice(&[0, 0]); // FRAMESIZE placeholder
+    frame.extend_from_slice(&idcode.to_be_bytes());
+    frame.extend_from_slice(&soc.to_be_bytes());
+    frame.extend_from_slice(&(fracsec & 0x00FF_FFFF).to_be_bytes());
+    frame.extend_from_slice(&[0, 0]); // STAT
+    for &(re, im) in phasors {
+        frame.extend_from_slice(&re.to_be_bytes());
+        frame.extend_from_slice(&im.to_be_bytes());
+    }
+    let total = frame.len() + 2;
+    frame[2..4].copy_from_slice(&(total as u16).to_be_bytes());
+    let chk = crc_ccitt(&frame);
+    frame.extend_from_slice(&chk.to_be_bytes());
+    frame
+}
+
+/// Build one TPKT-framed blob (the ISO transport ICCP/MMS rides on).
+pub fn tpkt_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.push(0x03); // TPKT version
+    frame.push(0x00);
+    frame.extend_from_slice(&((payload.len() + 4) as u16).to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// One synthetic long-lived background flow.
+#[derive(Debug)]
+struct Flow {
+    client_ip: u32,
+    client_port: u16,
+    server_ip: u32,
+    server_port: u16,
+    /// True when the *server* streams (PMU style); false for request/reply.
+    server_streams: bool,
+    seq_client: u32,
+    seq_server: u32,
+    period_s: f64,
+    next_at: f64,
+    idcode: u16,
+}
+
+/// The background traffic generator.
+#[derive(Debug, Default)]
+pub struct BackgroundTraffic {
+    flows: Vec<Flow>,
+    ident: u16,
+}
+
+impl BackgroundTraffic {
+    /// The paper-shaped mix: `iccp_peers` peer-company SCADA links into the
+    /// control centre and `pmus` synchrophasor streams.
+    pub fn paper_mix(control_centre_ip: u32, iccp_peers: usize, pmus: usize) -> BackgroundTraffic {
+        let mut flows = Vec::new();
+        for k in 0..iccp_peers {
+            flows.push(Flow {
+                client_ip: uncharted_nettap::ipv4::addr(10, 2, 0, 10 + k as u8),
+                client_port: 38_000 + k as u16,
+                server_ip: control_centre_ip,
+                server_port: TPKT_PORT,
+                server_streams: false,
+                seq_client: 52_000 + k as u32 * 97,
+                seq_server: 91_000 + k as u32 * 131,
+                period_s: 2.0 + (k as f64) * 0.7,
+                next_at: 0.0,
+                idcode: 0,
+            });
+        }
+        for k in 0..pmus {
+            flows.push(Flow {
+                client_ip: uncharted_nettap::ipv4::addr(10, 3, 1, 20 + k as u8),
+                client_port: 47_000 + k as u16,
+                server_ip: control_centre_ip,
+                server_port: C37_PORT,
+                // PMUs stream *to* the server: data flows client -> server
+                // continuously (a "stream" in the client direction).
+                server_streams: false,
+                seq_client: 7_000 + k as u32 * 53,
+                seq_server: 3_000 + k as u32 * 71,
+                period_s: 0.2, // 5 frames/s (scaled down from 30-60 fps)
+                next_at: 0.0,
+                idcode: 100 + k as u16,
+            });
+        }
+        BackgroundTraffic { flows, ident: 0 }
+    }
+
+    /// Emit the packets due by `now`, ready for the tap.
+    pub fn emit(&mut self, now: f64) -> Vec<CapturedPacket> {
+        let mut out = Vec::new();
+        for f in &mut self.flows {
+            while f.next_at <= now {
+                let t = f.next_at;
+                f.next_at += f.period_s;
+                let payload = if f.server_port == C37_PORT {
+                    let soc = t as u32;
+                    let fracsec = ((t.fract()) * 1_000_000.0) as u32;
+                    c37_data_frame(f.idcode, soc, fracsec, &[(1200, -340), (1180, -355)])
+                } else {
+                    // An opaque MMS-ish information report inside TPKT.
+                    tpkt_frame(&[0x02, 0xF0, 0x80, 0x01, 0x00, 0xA1, 0x09, 0xA0, 0x07])
+                };
+                // Data segment client -> server.
+                self.ident = self.ident.wrapping_add(1);
+                out.push(CapturedPacket::build(
+                    t,
+                    MacAddr::from_device_id(f.client_ip),
+                    MacAddr::from_device_id(f.server_ip),
+                    f.client_ip,
+                    f.server_ip,
+                    TcpHeader {
+                        src_port: f.client_port,
+                        dst_port: f.server_port,
+                        seq: f.seq_client,
+                        ack: f.seq_server,
+                        flags: TcpFlags::ACK.with(TcpFlags::PSH),
+                        window: 8192,
+                    },
+                    &payload,
+                    self.ident,
+                ));
+                f.seq_client = f.seq_client.wrapping_add(payload.len() as u32);
+                // Acknowledgement (with a small reply for request/reply
+                // protocols) server -> client.
+                let reply: Vec<u8> = if f.server_streams || f.server_port == C37_PORT {
+                    Vec::new()
+                } else {
+                    tpkt_frame(&[0x02, 0xF0, 0x80, 0x01, 0x01])
+                };
+                self.ident = self.ident.wrapping_add(1);
+                out.push(CapturedPacket::build(
+                    t + 0.004,
+                    MacAddr::from_device_id(f.server_ip),
+                    MacAddr::from_device_id(f.client_ip),
+                    f.server_ip,
+                    f.client_ip,
+                    TcpHeader {
+                        src_port: f.server_port,
+                        dst_port: f.client_port,
+                        seq: f.seq_server,
+                        ack: f.seq_client,
+                        flags: TcpFlags::ACK.with(if reply.is_empty() {
+                            TcpFlags(0)
+                        } else {
+                            TcpFlags::PSH
+                        }),
+                        window: 8192,
+                    },
+                    &reply,
+                    self.ident,
+                ));
+                f.seq_server = f.seq_server.wrapping_add(reply.len() as u32);
+            }
+        }
+        out
+    }
+
+    /// Number of configured flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_ccitt_known_vector() {
+        // CRC-CCITT(0xFFFF) of "123456789" is 0x29B1.
+        assert_eq!(crc_ccitt(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn c37_frame_shape() {
+        let frame = c37_data_frame(101, 1_600_000_000, 123, &[(1, 2), (3, 4)]);
+        assert_eq!(frame[0], 0xAA);
+        assert_eq!(frame[1], 0x01);
+        let size = u16::from_be_bytes([frame[2], frame[3]]) as usize;
+        assert_eq!(size, frame.len());
+        // Checksum covers everything but itself.
+        let chk = u16::from_be_bytes([frame[size - 2], frame[size - 1]]);
+        assert_eq!(chk, crc_ccitt(&frame[..size - 2]));
+    }
+
+    #[test]
+    fn tpkt_frame_shape() {
+        let f = tpkt_frame(&[1, 2, 3]);
+        assert_eq!(f[0], 0x03);
+        assert_eq!(u16::from_be_bytes([f[2], f[3]]) as usize, f.len());
+    }
+
+    #[test]
+    fn emits_parseable_tcp_in_both_directions() {
+        let cc = uncharted_nettap::ipv4::addr(10, 0, 0, 1);
+        let mut bg = BackgroundTraffic::paper_mix(cc, 2, 1);
+        assert_eq!(bg.flow_count(), 3);
+        let packets = bg.emit(1.0);
+        assert!(packets.len() >= 6);
+        for p in &packets {
+            let parsed = p.parse().expect("valid TCP frame");
+            assert!(parsed.tcp.dst_port == TPKT_PORT
+                || parsed.tcp.src_port == TPKT_PORT
+                || parsed.tcp.dst_port == C37_PORT
+                || parsed.tcp.src_port == C37_PORT);
+            assert_ne!(parsed.tcp.dst_port, 2404, "never IEC 104");
+        }
+    }
+
+    #[test]
+    fn stream_sequences_are_continuous() {
+        let cc = uncharted_nettap::ipv4::addr(10, 0, 0, 1);
+        let mut bg = BackgroundTraffic::paper_mix(cc, 0, 1);
+        let a = bg.emit(0.3); // two frames (t=0.0, 0.2)
+        let b = bg.emit(0.5); // one more (t=0.4)
+        let data_a: Vec<_> = a.iter().map(|p| p.parse().unwrap()).filter(|p| !p.payload.is_empty()).collect();
+        let data_b: Vec<_> = b.iter().map(|p| p.parse().unwrap()).filter(|p| !p.payload.is_empty()).collect();
+        let last = &data_a[data_a.len() - 1];
+        let next = &data_b[0];
+        assert_eq!(
+            last.tcp.seq.wrapping_add(last.payload.len() as u32),
+            next.tcp.seq,
+            "byte stream is gapless"
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Glue between a TCP endpoint and an IEC 104 connection state machine:
+//! one `Iec104Link` per live TCP connection, on either side.
+
+use uncharted_iec104::apdu::{StreamDecoder, StreamItem};
+use uncharted_iec104::asdu::Asdu;
+use uncharted_iec104::conn::{Action, ConnConfig, Connection, Role};
+use uncharted_iec104::dialect::Dialect;
+use uncharted_nettap::stack::{Segment, TcpEndpoint, TcpState};
+
+/// Why a link wants to die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Keep going.
+    Alive,
+    /// The IEC 104 layer requested an orderly close (T1 expiry etc.).
+    CloseRequested,
+    /// The TCP layer is already closed (peer FIN/RST completed).
+    TcpClosed,
+}
+
+/// A TCP connection carrying IEC 104.
+#[derive(Debug)]
+pub struct Iec104Link {
+    /// The TCP endpoint.
+    pub tcp: TcpEndpoint,
+    /// The IEC 104 connection state machine.
+    pub iec: Connection,
+    /// Stream decoder configured for the peer's dialect.
+    pub decoder: StreamDecoder,
+    /// Dialect used to encode our own APDUs.
+    pub dialect: Dialect,
+    close_pending: bool,
+}
+
+impl Iec104Link {
+    /// Wrap an established-or-connecting TCP endpoint.
+    pub fn new(tcp: TcpEndpoint, role: Role, cfg: ConnConfig, dialect: Dialect, now: f64) -> Self {
+        Iec104Link {
+            tcp,
+            iec: Connection::new(role, cfg, now),
+            decoder: StreamDecoder::new(dialect),
+            dialect,
+            close_pending: false,
+        }
+    }
+
+    /// Whether application traffic can flow.
+    pub fn established(&self) -> bool {
+        self.tcp.is_established()
+    }
+
+    /// The link's fate after the last operation.
+    pub fn fate(&self) -> LinkFate {
+        if self.tcp.is_closed() {
+            LinkFate::TcpClosed
+        } else if self.close_pending {
+            LinkFate::CloseRequested
+        } else {
+            LinkFate::Alive
+        }
+    }
+
+    fn run_actions(&mut self, actions: Vec<Action>, out: &mut Vec<Segment>, delivered: &mut Vec<Asdu>) {
+        for action in actions {
+            match action {
+                Action::Transmit(apdu) => {
+                    if let Ok(bytes) = apdu.encode(self.dialect) {
+                        if let Some(seg) = self.tcp.send(bytes) {
+                            out.push(seg);
+                        }
+                    }
+                }
+                Action::Deliver(asdu) => delivered.push(asdu),
+                Action::Close(_) => {
+                    self.close_pending = true;
+                    if let Some(fin) = self.tcp.close() {
+                        out.push(fin);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handle an incoming TCP segment. Returns segments to transmit and
+    /// ASDUs delivered to the application.
+    pub fn on_segment(&mut self, seg: &Segment, isn: u32, now: f64) -> (Vec<Segment>, Vec<Asdu>) {
+        let mut out = Vec::new();
+        let mut delivered = Vec::new();
+        let (replies, payload) = self.tcp.on_segment(seg, isn);
+        out.extend(replies);
+        if !payload.is_empty() {
+            let items = self.decoder.feed(&payload);
+            for item in items {
+                if let StreamItem::Apdu(apdu) = item {
+                    let actions = self.iec.on_apdu(&apdu, now);
+                    self.run_actions(actions, &mut out, &mut delivered);
+                }
+                // Malformed frames are silently skipped here: the *tap*
+                // records the raw bytes, and compliance is judged offline.
+            }
+        }
+        // The peer started an orderly close: finish our half immediately so
+        // the server notices the teardown and can re-dial.
+        if self.tcp.state() == TcpState::CloseWait {
+            if let Some(fin) = self.tcp.close() {
+                out.push(fin);
+            }
+        }
+        (out, delivered)
+    }
+
+    /// Queue an ASDU for transmission.
+    pub fn send_asdu(&mut self, asdu: Asdu, now: f64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let mut delivered = Vec::new();
+        let actions = self.iec.send(asdu, now);
+        self.run_actions(actions, &mut out, &mut delivered);
+        out
+    }
+
+    /// Ask the IEC layer to start data transfer (controlling side).
+    pub fn start_dt(&mut self, now: f64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let mut delivered = Vec::new();
+        let actions = self.iec.start_dt(now);
+        self.run_actions(actions, &mut out, &mut delivered);
+        out
+    }
+
+    /// Probe the link with an immediate TESTFR act.
+    pub fn send_testfr(&mut self, now: f64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let mut delivered = Vec::new();
+        let actions = self.iec.send_testfr(now);
+        self.run_actions(actions, &mut out, &mut delivered);
+        out
+    }
+
+    /// Advance IEC timers.
+    pub fn poll(&mut self, now: f64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let mut delivered = Vec::new();
+        let actions = self.iec.poll(now);
+        self.run_actions(actions, &mut out, &mut delivered);
+        out
+    }
+
+    /// Abort at the TCP level (RST).
+    pub fn abort(&mut self) -> Option<Segment> {
+        self.tcp.abort()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncharted_iec104::asdu::{InfoObject, IoValue};
+    use uncharted_iec104::cot::{Cause, Cot};
+    use uncharted_iec104::elements::Qds;
+    use uncharted_iec104::types::TypeId;
+    use uncharted_nettap::ipv4::addr;
+    use uncharted_nettap::stack::{AcceptPolicy, SocketAddr};
+
+    fn pump_pair(server: &mut Iec104Link, rtu: &mut Iec104Link, first: Vec<Segment>, now: f64) -> Vec<Asdu> {
+        let mut delivered = Vec::new();
+        let mut wire = first;
+        while let Some(seg) = wire.pop() {
+            let (replies, asdus) = if seg.dst == server.tcp.local() {
+                server.on_segment(&seg, 777, now)
+            } else {
+                rtu.on_segment(&seg, 888, now)
+            };
+            wire.extend(replies);
+            delivered.extend(asdus);
+        }
+        delivered
+    }
+
+    #[test]
+    fn end_to_end_data_delivery() {
+        let s_addr = SocketAddr::new(addr(10, 0, 0, 1), 40000);
+        let r_addr = SocketAddr::new(addr(10, 1, 3, 3), 2404);
+        let (tcp_c, syn) = TcpEndpoint::connect(s_addr, r_addr, 100);
+        let mut server = Iec104Link::new(
+            tcp_c,
+            Role::Controlling,
+            ConnConfig::default(),
+            Dialect::STANDARD,
+            0.0,
+        );
+        let mut rtu = Iec104Link::new(
+            TcpEndpoint::listen(r_addr, AcceptPolicy::Accept),
+            Role::Controlled,
+            ConnConfig::default(),
+            Dialect::STANDARD,
+            0.0,
+        );
+        pump_pair(&mut server, &mut rtu, vec![syn], 0.0);
+        assert!(server.established() && rtu.established());
+
+        // STARTDT handshake.
+        let out = server.start_dt(0.1);
+        pump_pair(&mut server, &mut rtu, out, 0.1);
+
+        // RTU reports a measurement; the server should receive it.
+        let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 3).with_object(
+            InfoObject::new(700, IoValue::FloatMeasurement {
+                value: 130.1,
+                qds: Qds::GOOD,
+            }),
+        );
+        let out = rtu.send_asdu(asdu.clone(), 0.2);
+        assert!(!out.is_empty());
+        let delivered = pump_pair(&mut server, &mut rtu, out, 0.2);
+        assert_eq!(delivered, vec![asdu]);
+    }
+
+    #[test]
+    fn legacy_dialect_end_to_end() {
+        let s_addr = SocketAddr::new(addr(10, 0, 0, 2), 40001);
+        let r_addr = SocketAddr::new(addr(10, 1, 9, 28), 2404);
+        let (tcp_c, syn) = TcpEndpoint::connect(s_addr, r_addr, 5);
+        // Both sides configured for the legacy 1-octet-COT dialect (the
+        // vendor option the paper mentions).
+        let mut server = Iec104Link::new(
+            tcp_c,
+            Role::Controlling,
+            ConnConfig::default(),
+            Dialect::LEGACY_COT,
+            0.0,
+        );
+        let mut rtu = Iec104Link::new(
+            TcpEndpoint::listen(r_addr, AcceptPolicy::Accept),
+            Role::Controlled,
+            ConnConfig::default(),
+            Dialect::LEGACY_COT,
+            0.0,
+        );
+        pump_pair(&mut server, &mut rtu, vec![syn], 0.0);
+        let out = server.start_dt(0.1);
+        pump_pair(&mut server, &mut rtu, out, 0.1);
+        let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Periodic), 28).with_object(
+            InfoObject::new(700, IoValue::FloatMeasurement {
+                value: 48.8,
+                qds: Qds::GOOD,
+            }),
+        );
+        let report = rtu.send_asdu(asdu.clone(), 0.2);
+        let delivered = pump_pair(&mut server, &mut rtu, report, 0.2);
+        assert_eq!(delivered, vec![asdu]);
+    }
+
+    #[test]
+    fn poll_emits_keepalive_after_t3() {
+        let s_addr = SocketAddr::new(addr(10, 0, 0, 1), 40002);
+        let r_addr = SocketAddr::new(addr(10, 1, 3, 4), 2404);
+        let (tcp_c, syn) = TcpEndpoint::connect(s_addr, r_addr, 100);
+        let mut server = Iec104Link::new(
+            tcp_c,
+            Role::Controlling,
+            ConnConfig::default(),
+            Dialect::STANDARD,
+            0.0,
+        );
+        let mut rtu = Iec104Link::new(
+            TcpEndpoint::listen(r_addr, AcceptPolicy::Accept),
+            Role::Controlled,
+            ConnConfig::default(),
+            Dialect::STANDARD,
+            0.0,
+        );
+        pump_pair(&mut server, &mut rtu, vec![syn], 0.0);
+        let out = server.poll(25.0);
+        assert_eq!(out.len(), 1, "TESTFR after T3 idle");
+        // Unanswered: after T1 the link asks to close (FIN).
+        let out = server.poll(41.0);
+        assert!(out.iter().any(|s| s.flags.fin()));
+        assert_eq!(server.fate(), LinkFate::CloseRequested);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # uncharted-scadasim
+//!
+//! A deterministic simulator of the federated SCADA network the paper
+//! measured: four control servers (C1–C4), 27 substations (S1–S27) and 58
+//! outstations (O1–O58) speaking IEC 60870-5-104 over a private TCP/IP
+//! network, taped exactly like the paper's Fig. 5.
+//!
+//! The simulator exists because the paper's dataset — captures from a real
+//! balancing authority — is closed. Instead of the data we reproduce the
+//! *mechanisms* that generated it, so the measurement pipeline has something
+//! faithful to rediscover:
+//!
+//! * the Y1/Y2 topology delta of Table 2 (new substations, 101→104
+//!   upgrades, backup RTUs, maintenance, removals),
+//! * the legacy dialects of §6.1 (O37's 2-octet IOAs; O53/O58/O28's 1-octet
+//!   COT),
+//! * the eight behavioural profiles of Table 6/Fig. 17, including backup
+//!   connections refused by RST, ignored keep-alives, the O30 T3=430 s
+//!   outlier, spontaneous-only reporting with oversized thresholds, and
+//!   primary/secondary switchovers,
+//! * AGC set point traffic driven by a real closed control loop over the
+//!   simulated power grid.
+//!
+//! Everything is seeded; the same scenario always yields byte-identical
+//! captures.
+
+pub mod attacker;
+pub mod background;
+pub mod endpoint;
+pub mod outstation;
+pub mod profiles;
+pub mod scenario;
+pub mod server;
+pub mod sim;
+pub mod topology;
+
+pub use attacker::AttackSpec;
+pub use profiles::{BackupBehavior, ProfileType};
+pub use scenario::{CaptureSet, Scenario, Year};
+pub use sim::Simulation;
+pub use topology::{OutstationSpec, PointSpec, ReportKind, ServerId, Topology};

@@ -1,0 +1,734 @@
+//! Outstation (RTU) behaviour: accepting or misbehaving on incoming
+//! connections, periodic and spontaneous reporting, interrogation
+//! responses, and applying AGC set points to the grid.
+
+use crate::endpoint::Iec104Link;
+use crate::profiles::BackupBehavior;
+use crate::scenario::Year;
+use crate::topology::{OutstationSpec, PointSpec, ReportKind, IEC104_PORT};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use std::collections::{BTreeMap, HashMap};
+use uncharted_iec104::asdu::{Asdu, InfoObject, IoValue};
+use uncharted_iec104::conn::{ConnConfig, DtState, Role};
+use uncharted_iec104::cot::{Cause, Cot};
+use uncharted_iec104::elements::{Cp56Time2a, Diq, DoublePoint, Nva, Qds, Siq, Vti};
+use uncharted_iec104::types::TypeId;
+use uncharted_nettap::stack::{AcceptPolicy, Segment, SocketAddr, TcpEndpoint};
+use uncharted_powergrid::dynamics::{gaussian, PowerGrid};
+use uncharted_powergrid::model::GeneratorId;
+use uncharted_powergrid::sensors::{PhysicalQuantity, SensorBinding};
+
+/// Maximum information objects batched into one reporting ASDU.
+const MAX_BATCH: usize = 16;
+
+/// Side effects an outstation raises toward the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Effect {
+    /// An AGC set point (`I50`) was accepted: apply it to the generator.
+    ApplySetpoint(GeneratorId, f64),
+    /// A single command (`I45`) operated the breaker: `true` = close.
+    OperateBreaker(GeneratorId, bool),
+}
+
+/// One live inbound connection.
+#[derive(Debug)]
+enum InboundLink {
+    /// Full IEC 104 processing.
+    Iec(Box<Iec104Link>, bool /* was started (for on-start reports) */),
+    /// Accept TCP, reset on the first APDU (the RejectApdu misbehaviour).
+    RejectOnApdu(TcpEndpoint),
+    /// Accept TCP, swallow everything silently (IgnoreTestFr).
+    Deaf(TcpEndpoint),
+    /// TCP-level accept-then-FIN (the policy does the work).
+    FinAfterAccept(TcpEndpoint),
+}
+
+/// A simulated outstation.
+#[derive(Debug)]
+pub struct OutstationSim {
+    /// The static description.
+    pub spec: OutstationSpec,
+    points: Vec<PointSpec>,
+    addr: SocketAddr,
+    links: BTreeMap<SocketAddr, InboundLink>,
+    /// Last periodic report time per IOA.
+    last_periodic: HashMap<u32, f64>,
+    /// Last transmitted value per spontaneous IOA.
+    last_sent: HashMap<u32, f64>,
+    /// Last transmitted status code per status IOA.
+    last_status: HashMap<u32, u8>,
+    next_sample: f64,
+    isn: u32,
+}
+
+impl OutstationSim {
+    /// Instantiate for a capture year.
+    pub fn new(spec: &OutstationSpec, year: Year) -> OutstationSim {
+        let points = spec.points_in_year(year);
+        OutstationSim {
+            addr: SocketAddr::new(spec.ip(), IEC104_PORT),
+            points,
+            links: BTreeMap::new(),
+            last_periodic: HashMap::new(),
+            last_sent: HashMap::new(),
+            last_status: HashMap::new(),
+            next_sample: 0.0,
+            isn: 10_000 + spec.id as u32 * 977,
+            spec: spec.clone(),
+        }
+    }
+
+    /// The listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of field points this year.
+    pub fn point_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True while any IEC link is in STARTDT state (a primary is active).
+    pub fn has_started_link(&self) -> bool {
+        self.links.iter().any(|(_, l)| {
+            matches!(l, InboundLink::Iec(link, _) if link.iec.dt_state() == DtState::Started)
+        })
+    }
+
+    fn next_isn(&mut self) -> u32 {
+        self.isn = self.isn.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+        self.isn
+    }
+
+    /// Handle one incoming TCP segment.
+    pub fn on_segment(
+        &mut self,
+        seg: &Segment,
+        now: f64,
+        grid: &PowerGrid,
+        rng: &mut StdRng,
+    ) -> (Vec<Segment>, Vec<Effect>) {
+        let mut out = Vec::new();
+        let mut effects = Vec::new();
+        let from = seg.src;
+
+        if !self.links.contains_key(&from) {
+            if !(seg.flags.syn() && !seg.flags.ack()) {
+                // Stray segment for a connection we no longer track.
+                return (out, effects);
+            }
+            // New connection: choose the treatment. The misconfigured RTUs
+            // only reject *backup* channels: while a STARTDT'd data channel
+            // is up, any further connection is a backup. When the main
+            // connection is down they "readily accept the backup connection"
+            // (paper §6.2), so the gate is on started links, not established
+            // ones.
+            let misbehave = !self.spec.profile.has_primary() || self.has_started_link();
+            let link = match (self.spec.backup, misbehave) {
+                (BackupBehavior::RejectApdu, true) => {
+                    InboundLink::RejectOnApdu(TcpEndpoint::listen(self.addr, AcceptPolicy::Accept))
+                }
+                (BackupBehavior::AcceptThenFin, true) => InboundLink::FinAfterAccept(
+                    TcpEndpoint::listen(self.addr, AcceptPolicy::AcceptThenFin),
+                ),
+                (BackupBehavior::IgnoreTestFr, true) => {
+                    InboundLink::Deaf(TcpEndpoint::listen(self.addr, AcceptPolicy::Accept))
+                }
+                _ => {
+                    // Idle-link keep-alives: the server probes secondaries
+                    // every 30 s; the RTU's own T3 sits just above so the
+                    // server drives the cadence (the paper's 30 s average).
+                    // Type 5 keeps the standard 20 s default — that is what
+                    // makes its sparse spontaneous stream sprout keep-alives.
+                    let t3 = if self.spec.profile == crate::profiles::ProfileType::SpontaneousStale
+                    {
+                        20.0
+                    } else {
+                        35.0
+                    };
+                    InboundLink::Iec(
+                        Box::new(Iec104Link::new(
+                            TcpEndpoint::listen(self.addr, AcceptPolicy::Accept),
+                            Role::Controlled,
+                            ConnConfig { t3, ..Default::default() },
+                            self.spec.dialect,
+                            now,
+                        )),
+                        false,
+                    )
+                }
+            };
+            self.links.insert(from, link);
+        }
+
+        let isn = self.next_isn();
+        let mut drop_link = false;
+        if let Some(link) = self.links.get_mut(&from) {
+            match link {
+                InboundLink::Iec(iec_link, _) => {
+                    let (replies, delivered) = iec_link.on_segment(seg, isn, now);
+                    out.extend(replies);
+                    for asdu in delivered {
+                        let (mut replies, mut eff) = handle_asdu(
+                            iec_link,
+                            &self.points,
+                            &self.spec,
+                            &asdu,
+                            now,
+                            grid,
+                            rng,
+                        );
+                        out.append(&mut replies);
+                        effects.append(&mut eff);
+                    }
+                    if iec_link.tcp.is_closed() {
+                        drop_link = true;
+                    }
+                }
+                InboundLink::RejectOnApdu(tcp) => {
+                    let (replies, payload) = tcp.on_segment(seg, isn);
+                    out.extend(replies);
+                    if !payload.is_empty() {
+                        // The server spoke IEC 104: slam the door.
+                        if let Some(rst) = tcp.abort() {
+                            out.push(rst);
+                        }
+                        drop_link = true;
+                    }
+                    if tcp.is_closed() {
+                        drop_link = true;
+                    }
+                }
+                InboundLink::Deaf(tcp) | InboundLink::FinAfterAccept(tcp) => {
+                    let (replies, _payload) = tcp.on_segment(seg, isn);
+                    out.extend(replies);
+                    if tcp.state() == uncharted_nettap::stack::TcpState::CloseWait {
+                        if let Some(fin) = tcp.close() {
+                            out.push(fin);
+                        }
+                    }
+                    if tcp.is_closed() {
+                        drop_link = true;
+                    }
+                }
+            }
+        }
+        if drop_link {
+            self.links.remove(&from);
+        }
+        (out, effects)
+    }
+
+    /// Periodic work: timers, reporting, housekeeping.
+    pub fn poll(&mut self, now: f64, grid: &PowerGrid, rng: &mut StdRng) -> Vec<Segment> {
+        let mut out = Vec::new();
+        // Advance IEC timers; collect newly started links.
+        let mut newly_started: Vec<SocketAddr> = Vec::new();
+        let mut dead: Vec<SocketAddr> = Vec::new();
+        for (addr, link) in self.links.iter_mut() {
+            if let InboundLink::Iec(iec_link, was_started) = link {
+                out.extend(iec_link.poll(now));
+                let started = iec_link.iec.dt_state() == DtState::Started;
+                if started && !*was_started {
+                    newly_started.push(*addr);
+                }
+                *was_started = started;
+                if iec_link.tcp.is_closed() {
+                    dead.push(*addr);
+                }
+            }
+        }
+        for addr in dead {
+            self.links.remove(&addr);
+        }
+
+        // STARTDT just completed: emit the on-start reports (I70, I7).
+        for addr in newly_started {
+            let mut asdus = Vec::new();
+            if self.spec.id % 13 == 3
+                || self.spec.profile == crate::profiles::ProfileType::SwitchoverObserved
+            {
+                asdus.push(
+                    Asdu::new(TypeId::M_EI_NA_1, Cot::new(Cause::Initialized), self.spec.common_address)
+                        .with_object(InfoObject::new(0, IoValue::EndOfInit { coi: 0 })),
+                );
+            }
+            for p in &self.points {
+                if matches!(p.report, ReportKind::BitstringOnStart) {
+                    asdus.push(
+                        Asdu::new(TypeId::M_BO_NA_1, Cot::new(Cause::Spontaneous), self.spec.common_address)
+                            .with_object(InfoObject::new(p.ioa, IoValue::Bitstring {
+                                bits: 0x0001_0305,
+                                qds: Qds::GOOD,
+                            })),
+                    );
+                }
+            }
+            if let Some(InboundLink::Iec(link, _)) = self.links.get_mut(&addr) {
+                for asdu in asdus {
+                    out.extend(link.send_asdu(asdu, now));
+                }
+            }
+        }
+
+        // Reporting only flows on a started link.
+        let Some(report_addr) = self.report_link_addr() else {
+            return out;
+        };
+
+        let mut asdus: Vec<Asdu> = Vec::new();
+        // Periodic cyclic reports.
+        let mut due_floats: Vec<(u32, f64)> = Vec::new();
+        let mut due_normalized: Vec<(u32, f64)> = Vec::new();
+        let mut due_steps: Vec<(u32, f64)> = Vec::new();
+        for p in &self.points {
+            let period = match p.report {
+                ReportKind::PeriodicFloat { period_s } => Some(period_s),
+                ReportKind::PeriodicNormalized { period_s } => Some(period_s),
+                ReportKind::PeriodicStep { period_s } => Some(period_s),
+                _ => None,
+            };
+            let Some(period) = period else { continue };
+            let last = self.last_periodic.get(&p.ioa).copied().unwrap_or(f64::NEG_INFINITY);
+            if now - last < period {
+                continue;
+            }
+            self.last_periodic.insert(p.ioa, now);
+            let v = read_point(&self.spec, p, grid, rng);
+            match p.report {
+                ReportKind::PeriodicFloat { .. } => due_floats.push((p.ioa, v)),
+                ReportKind::PeriodicNormalized { .. } => due_normalized.push((p.ioa, v)),
+                ReportKind::PeriodicStep { .. } => due_steps.push((p.ioa, v)),
+                _ => unreachable!(),
+            }
+        }
+        for chunk in due_floats.chunks(MAX_BATCH) {
+            let mut asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Periodic), self.spec.common_address);
+            for &(ioa, v) in chunk {
+                asdu.objects.push(InfoObject::new(ioa, IoValue::FloatMeasurement {
+                    value: v as f32,
+                    qds: Qds::GOOD,
+                }));
+            }
+            asdus.push(asdu);
+        }
+        for chunk in due_normalized.chunks(MAX_BATCH) {
+            let mut asdu = Asdu::new(TypeId::M_ME_NA_1, Cot::new(Cause::Periodic), self.spec.common_address);
+            for &(ioa, v) in chunk {
+                asdu.objects.push(InfoObject::new(ioa, IoValue::NormalizedMeasurement {
+                    nva: Nva::from_f64((v / 400.0).clamp(-0.999, 0.999)),
+                    qds: Qds::GOOD,
+                }));
+            }
+            asdus.push(asdu);
+        }
+        for chunk in due_steps.chunks(MAX_BATCH) {
+            let mut asdu = Asdu::new(TypeId::M_ST_NA_1, Cot::new(Cause::Periodic), self.spec.common_address);
+            for &(ioa, v) in chunk {
+                asdu.objects.push(InfoObject::new(ioa, IoValue::StepPosition {
+                    vti: Vti::new((v % 32.0) as i8, false),
+                    qds: Qds::GOOD,
+                }));
+            }
+            asdus.push(asdu);
+        }
+
+        // Spontaneous checks on the sampling cadence.
+        if now >= self.next_sample {
+            self.next_sample = now + 2.0;
+            let tag = Cp56Time2a::from_epoch_millis((now * 1000.0) as u64);
+            let mut due_spont: Vec<(u32, f64)> = Vec::new();
+            for p in &self.points {
+                match p.report {
+                    ReportKind::SpontaneousFloat { threshold } => {
+                        let v = read_point(&self.spec, p, grid, rng);
+                        let thr = threshold * quantity_scale(p.quantity);
+                        let last = self.last_sent.get(&p.ioa).copied();
+                        if last.map(|l| (v - l).abs() > thr).unwrap_or(true) {
+                            self.last_sent.insert(p.ioa, v);
+                            due_spont.push((p.ioa, v));
+                        }
+                    }
+                    ReportKind::SpontaneousDoublePoint
+                    | ReportKind::SpontaneousSinglePoint
+                    | ReportKind::SpontaneousPlainSinglePoint => {
+                        let mut v = read_point(&self.spec, p, grid, rng) as u8;
+                        // Field alarms occasionally chatter: a brief flip on
+                        // single-point alarm inputs (keeps the rare I1/I30
+                        // types present in captures, as in the paper's
+                        // Table 7 tail).
+                        if !matches!(p.report, ReportKind::SpontaneousDoublePoint)
+                            && rng.random::<f64>() < 0.004
+                        {
+                            v = if v == 2 { 1 } else { 2 };
+                        }
+                        let last = self.last_status.get(&p.ioa).copied();
+                        if last != Some(v) {
+                            self.last_status.insert(p.ioa, v);
+                            // First observation primes state without traffic.
+                            if last.is_none() {
+                                continue;
+                            }
+                            let asdu = match p.report {
+                                ReportKind::SpontaneousDoublePoint => Asdu::new(
+                                    TypeId::M_DP_TB_1,
+                                    Cot::new(Cause::Spontaneous),
+                                    self.spec.common_address,
+                                )
+                                .with_object(
+                                    InfoObject::new(p.ioa, IoValue::DoublePoint {
+                                        diq: Diq::from_point(DoublePoint::from_code(v)),
+                                    })
+                                    .with_time(tag),
+                                ),
+                                ReportKind::SpontaneousSinglePoint => Asdu::new(
+                                    TypeId::M_SP_TB_1,
+                                    Cot::new(Cause::Spontaneous),
+                                    self.spec.common_address,
+                                )
+                                .with_object(
+                                    InfoObject::new(p.ioa, IoValue::SinglePoint {
+                                        siq: Siq::from_state(v == 2),
+                                    })
+                                    .with_time(tag),
+                                ),
+                                _ => Asdu::new(
+                                    TypeId::M_SP_NA_1,
+                                    Cot::new(Cause::Spontaneous),
+                                    self.spec.common_address,
+                                )
+                                .with_object(InfoObject::new(p.ioa, IoValue::SinglePoint {
+                                    siq: Siq::from_state(v == 2),
+                                })),
+                            };
+                            asdus.push(asdu);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for chunk in due_spont.chunks(MAX_BATCH) {
+                let mut asdu = Asdu::new(
+                    TypeId::M_ME_TF_1,
+                    Cot::new(Cause::Spontaneous),
+                    self.spec.common_address,
+                );
+                for &(ioa, v) in chunk {
+                    asdu.objects.push(
+                        InfoObject::new(ioa, IoValue::FloatMeasurement {
+                            value: v as f32,
+                            qds: Qds::GOOD,
+                        })
+                        .with_time(tag),
+                    );
+                }
+                asdus.push(asdu);
+            }
+        }
+
+        if let Some(InboundLink::Iec(link, _)) = self.links.get_mut(&report_addr) {
+            for asdu in asdus {
+                out.extend(link.send_asdu(asdu, now));
+            }
+        }
+        out
+    }
+
+    fn report_link_addr(&self) -> Option<SocketAddr> {
+        // Started *and* still established: a link draining its close
+        // handshake must not swallow reports.
+        self.links.iter().find_map(|(addr, l)| match l {
+            InboundLink::Iec(link, _)
+                if link.iec.dt_state() == DtState::Started && link.established() =>
+            {
+                Some(*addr)
+            }
+            _ => None,
+        })
+    }
+}
+
+/// Per-quantity threshold scaling: thresholds in `ReportKind` are expressed
+/// in "voltage-like" units and scaled to each quantity's magnitude.
+fn quantity_scale(q: PhysicalQuantity) -> f64 {
+    match q {
+        PhysicalQuantity::Current => 12.0,
+        PhysicalQuantity::ActivePower => 3.0,
+        PhysicalQuantity::ReactivePower => 2.0,
+        PhysicalQuantity::Voltage | PhysicalQuantity::GridVoltage => 1.0,
+        PhysicalQuantity::Frequency => 0.01,
+        PhysicalQuantity::BreakerStatus => 1.0,
+        PhysicalQuantity::AgcSetpoint => 3.0,
+    }
+}
+
+/// Read the current value of a point, from the bound generator when there
+/// is one, or from plausible transmission-line figures for auxiliary
+/// (non-generation) substations.
+fn read_point(spec: &OutstationSpec, p: &PointSpec, grid: &PowerGrid, rng: &mut StdRng) -> f64 {
+    if p.quantity == PhysicalQuantity::Frequency {
+        return grid.frequency_hz + gaussian(rng, 0.0, 0.0015);
+    }
+    if let Some(link) = spec.generator {
+        let binding = SensorBinding::on_generator(link.generator, p.quantity);
+        return binding.read(grid, rng).value;
+    }
+    // Auxiliary substations: line measurements.
+    match p.quantity {
+        PhysicalQuantity::Voltage | PhysicalQuantity::GridVoltage => {
+            345.0 + gaussian(rng, 0.0, 0.25)
+        }
+        PhysicalQuantity::Current => 420.0 + gaussian(rng, 0.0, 3.0),
+        PhysicalQuantity::ActivePower => {
+            150.0 + 20.0 * (grid.time / 900.0).sin() + gaussian(rng, 0.0, 1.0)
+        }
+        PhysicalQuantity::ReactivePower => 30.0 + gaussian(rng, 0.0, 0.8),
+        PhysicalQuantity::BreakerStatus => 2.0,
+        PhysicalQuantity::AgcSetpoint | PhysicalQuantity::Frequency => 0.0,
+    }
+}
+
+/// Handle an application ASDU arriving on a started link.
+fn handle_asdu(
+    link: &mut Iec104Link,
+    points: &[PointSpec],
+    spec: &OutstationSpec,
+    asdu: &Asdu,
+    now: f64,
+    grid: &PowerGrid,
+    rng: &mut StdRng,
+) -> (Vec<Segment>, Vec<Effect>) {
+    let mut out = Vec::new();
+    let mut effects = Vec::new();
+    let ca = spec.common_address;
+    match (asdu.type_id, asdu.cot.cause) {
+        // General interrogation: confirm, dump everything, terminate.
+        (TypeId::C_IC_NA_1, Cause::Activation) => {
+            let mut con = asdu.clone();
+            con.cot = Cot::new(Cause::ActivationCon);
+            out.extend(link.send_asdu(con, now));
+
+            // Analog points as I13 (COT=interrogated).
+            let analogs: Vec<&PointSpec> = points
+                .iter()
+                .filter(|p| p.quantity != PhysicalQuantity::BreakerStatus)
+                .collect();
+            for chunk in analogs.chunks(MAX_BATCH) {
+                let mut dump =
+                    Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::InterrogatedByStation), ca);
+                for p in chunk {
+                    let v = read_point(spec, p, grid, rng);
+                    dump.objects.push(InfoObject::new(p.ioa, IoValue::FloatMeasurement {
+                        value: v as f32,
+                        qds: Qds::GOOD,
+                    }));
+                }
+                out.extend(link.send_asdu(dump, now));
+            }
+            // Status points: double points as I3, single-point alarms as I1
+            // (the value encodings must stay consistent with the points'
+            // spontaneous reports).
+            let doubles: Vec<&PointSpec> = points
+                .iter()
+                .filter(|p| {
+                    p.quantity == PhysicalQuantity::BreakerStatus
+                        && !matches!(
+                            p.report,
+                            ReportKind::SpontaneousSinglePoint
+                                | ReportKind::SpontaneousPlainSinglePoint
+                        )
+                })
+                .collect();
+            for chunk in doubles.chunks(MAX_BATCH) {
+                let mut dump =
+                    Asdu::new(TypeId::M_DP_NA_1, Cot::new(Cause::InterrogatedByStation), ca);
+                for p in chunk {
+                    let v = read_point(spec, p, grid, rng) as u8;
+                    dump.objects.push(InfoObject::new(p.ioa, IoValue::DoublePoint {
+                        diq: Diq::from_point(DoublePoint::from_code(v)),
+                    }));
+                }
+                out.extend(link.send_asdu(dump, now));
+            }
+            let singles: Vec<&PointSpec> = points
+                .iter()
+                .filter(|p| {
+                    matches!(
+                        p.report,
+                        ReportKind::SpontaneousSinglePoint
+                            | ReportKind::SpontaneousPlainSinglePoint
+                    )
+                })
+                .collect();
+            for chunk in singles.chunks(MAX_BATCH) {
+                let mut dump =
+                    Asdu::new(TypeId::M_SP_NA_1, Cot::new(Cause::InterrogatedByStation), ca);
+                for p in chunk {
+                    let v = read_point(spec, p, grid, rng) as u8;
+                    dump.objects.push(InfoObject::new(p.ioa, IoValue::SinglePoint {
+                        siq: Siq::from_state(v == 2),
+                    }));
+                }
+                out.extend(link.send_asdu(dump, now));
+            }
+            let mut term = asdu.clone();
+            term.cot = Cot::new(Cause::ActivationTermination);
+            out.extend(link.send_asdu(term, now));
+        }
+        // AGC set point: confirm and apply.
+        (TypeId::C_SE_NC_1, Cause::Activation) => {
+            let mut con = asdu.clone();
+            con.cot = Cot::new(Cause::ActivationCon);
+            out.extend(link.send_asdu(con, now));
+            if let Some(glink) = spec.generator {
+                for obj in &asdu.objects {
+                    if let IoValue::FloatSetpoint { value, .. } = obj.value {
+                        effects.push(Effect::ApplySetpoint(glink.generator, value as f64));
+                    }
+                }
+            }
+        }
+        // Single command against the breaker point: confirm and operate.
+        // (Legitimate operators rarely use this in our scenarios; the
+        // Industroyer-style attacker does.)
+        (TypeId::C_SC_NA_1, Cause::Activation) => {
+            let mut con = asdu.clone();
+            con.cot = Cot::new(Cause::ActivationCon);
+            out.extend(link.send_asdu(con, now));
+            if let Some(glink) = spec.generator {
+                for obj in &asdu.objects {
+                    if let IoValue::SingleCommand { sco } = obj.value {
+                        effects.push(Effect::OperateBreaker(glink.generator, sco & 0x01 == 1));
+                    }
+                }
+            }
+        }
+        // Clock sync: confirm.
+        (TypeId::C_CS_NA_1, Cause::Activation) => {
+            let mut con = asdu.clone();
+            con.cot = Cot::new(Cause::ActivationCon);
+            out.extend(link.send_asdu(con, now));
+        }
+        _ => {}
+    }
+    (out, effects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use rand::SeedableRng;
+    use uncharted_nettap::ipv4::addr;
+
+    fn setup(o: usize) -> (OutstationSim, PowerGrid, StdRng) {
+        let topo = Topology::paper_network();
+        let spec = topo.outstation(o).unwrap().clone();
+        let grid = PowerGrid::new(topo.grid.clone());
+        (OutstationSim::new(&spec, Year::Y1), grid, StdRng::seed_from_u64(5))
+    }
+
+    fn server_addr() -> SocketAddr {
+        SocketAddr::new(addr(10, 0, 0, 1), 40100)
+    }
+
+    fn syn_to(o: &OutstationSim) -> Segment {
+        Segment {
+            src: server_addr(),
+            dst: o.addr(),
+            seq: 999,
+            ack: 0,
+            flags: uncharted_nettap::tcp::TcpFlags::SYN,
+            payload: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn normal_outstation_completes_handshake() {
+        let (mut o, grid, mut rng) = setup(3);
+        let (replies, _) = o.on_segment(&syn_to(&o), 0.0, &grid, &mut rng);
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].flags.syn() && replies[0].flags.ack());
+    }
+
+    #[test]
+    fn reject_apdu_outstation_rsts_on_first_apdu() {
+        let (mut o, grid, mut rng) = setup(7); // O7: resetting backup
+        let (synack, _) = o.on_segment(&syn_to(&o), 0.0, &grid, &mut rng);
+        assert!(synack[0].flags.syn() && synack[0].flags.ack());
+        // Complete handshake.
+        let ack = Segment {
+            src: server_addr(),
+            dst: o.addr(),
+            seq: 1000,
+            ack: synack[0].seq.wrapping_add(1),
+            flags: uncharted_nettap::tcp::TcpFlags::ACK,
+            payload: Vec::new(),
+        };
+        o.on_segment(&ack, 0.1, &grid, &mut rng);
+        // Server's U16 probe triggers the RST.
+        let probe = Segment {
+            src: server_addr(),
+            dst: o.addr(),
+            seq: 1000,
+            ack: synack[0].seq.wrapping_add(1),
+            flags: uncharted_nettap::tcp::TcpFlags::ACK.with(uncharted_nettap::tcp::TcpFlags::PSH),
+            payload: vec![0x68, 0x04, 0x43, 0x00, 0x00, 0x00],
+        };
+        let (replies, _) = o.on_segment(&probe, 0.2, &grid, &mut rng);
+        assert!(replies.iter().any(|s| s.flags.rst()), "must RST on the APDU");
+    }
+
+    #[test]
+    fn started_outstation_reports_measurements() {
+        let (mut o, grid, mut rng) = setup(3);
+        // Handshake + STARTDT through a real link pair.
+        let (mut server_tcp, syn) =
+            uncharted_nettap::stack::TcpEndpoint::connect(server_addr(), o.addr(), 50);
+        let (synack, _) = o.on_segment(&syn, 0.0, &grid, &mut rng);
+        let (acks, _) = server_tcp.on_segment(&synack[0], 0);
+        o.on_segment(&acks[0], 0.0, &grid, &mut rng);
+        // STARTDT act.
+        let startdt = server_tcp
+            .send(vec![0x68, 0x04, 0x07, 0x00, 0x00, 0x00])
+            .unwrap();
+        let (replies, _) = o.on_segment(&startdt, 0.1, &grid, &mut rng);
+        // The RTU confirms with STARTDT con.
+        assert!(replies.iter().any(|s| s.payload.windows(1).any(|_| true)));
+        assert!(o.has_started_link());
+        // Now reporting fires on poll.
+        let mut got_data = false;
+        for t in 1..40 {
+            let segs = o.poll(t as f64, &grid, &mut rng);
+            if segs.iter().any(|s| !s.payload.is_empty()) {
+                got_data = true;
+                break;
+            }
+        }
+        assert!(got_data, "started outstation must report");
+    }
+
+    #[test]
+    fn backup_rtu_never_reports() {
+        let (mut o, grid, mut rng) = setup(11); // O11: backup RTU
+        // No connection, no reports; and even with one, no STARTDT ever
+        // happens, so poll produces no data segments.
+        for t in 0..30 {
+            let segs = o.poll(t as f64, &grid, &mut rng);
+            assert!(segs.iter().all(|s| s.payload.is_empty()));
+        }
+    }
+
+    #[test]
+    fn legacy_outstation_uses_its_dialect() {
+        let topo = Topology::paper_network();
+        assert_eq!(
+            OutstationSim::new(topo.outstation(28).unwrap(), Year::Y1)
+                .spec
+                .dialect,
+            uncharted_iec104::dialect::Dialect::LEGACY_COT
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The eight outstation behaviour profiles of the paper's Table 6 /
+//! Fig. 17, plus the backup-connection misbehaviours behind them.
+
+use serde::{Deserialize, Serialize};
+
+/// How an outstation treats the *backup* (secondary) connection attempt
+/// from the inactive control server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackupBehavior {
+    /// Standard: accept it and answer keep-alives (`U16`/`U32` pairs).
+    Normal,
+    /// No secondary connection is offered at all (the backup server never
+    /// dials this outstation).
+    None,
+    /// Accept TCP, then reset the connection the moment the server speaks
+    /// IEC 104 (its post-connect `U16` probe) — the Fig. 9 storm of
+    /// sub-second flows whose Markov sessions contain only `U16`.
+    RejectApdu,
+    /// Accept the TCP handshake, then immediately FIN (the other observed
+    /// rejection flavour).
+    AcceptThenFin,
+    /// Accept TCP but never answer IEC 104 keep-alives: the server sends
+    /// `U16` into the void until its T1 expires — the Fig. 14 Markov chain
+    /// with a single `U16` self-loop.
+    IgnoreTestFr,
+}
+
+/// The paper's outstation taxonomy (Table 6, with the two extra classes
+/// defined in the Fig. 13 discussion as types 7 and 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProfileType {
+    /// 1 — primary connection only, I-format only; no secondary.
+    PrimaryOnly,
+    /// 2 — ideal: primary I-format plus secondary with `U16`/`U32`.
+    Ideal,
+    /// 3 — U-format only: a redundant backup RTU that never goes primary.
+    BackupRtu,
+    /// 4 — I-format only, but to *both* servers across captures (switched
+    /// between datasets).
+    SwitchedBetweenCaptures,
+    /// 5 — single server, both I and U formats: spontaneous-only reporting
+    /// with oversized thresholds forces T3 keep-alives mid-stream (and the
+    /// stale-data complaint the operator confirmed).
+    SpontaneousStale,
+    /// 6 — primary I-format plus a secondary that shows `U16` only (the
+    /// outstation never confirms keep-alives).
+    HalfDeafBackup,
+    /// 7 — backup RTU whose every connection attempt collapses: the point
+    /// (1,1) in Fig. 13.
+    ResettingBackup,
+    /// 8 — a server switchover observed *during* the capture (Fig. 16).
+    SwitchoverObserved,
+}
+
+impl ProfileType {
+    /// The paper's numeric label.
+    pub fn number(self) -> u8 {
+        match self {
+            ProfileType::PrimaryOnly => 1,
+            ProfileType::Ideal => 2,
+            ProfileType::BackupRtu => 3,
+            ProfileType::SwitchedBetweenCaptures => 4,
+            ProfileType::SpontaneousStale => 5,
+            ProfileType::HalfDeafBackup => 6,
+            ProfileType::ResettingBackup => 7,
+            ProfileType::SwitchoverObserved => 8,
+        }
+    }
+
+    /// Table 6 wording.
+    pub fn description(self) -> &'static str {
+        match self {
+            ProfileType::PrimaryOnly => "No secondary connection and I-format only",
+            ProfileType::Ideal => "With secondary connection and U16&U32",
+            ProfileType::BackupRtu => "U-format only",
+            ProfileType::SwitchedBetweenCaptures => "I-format only to both servers",
+            ProfileType::SpontaneousStale => "Single server with both I and U formats",
+            ProfileType::HalfDeafBackup => "With secondary connection I-format and U16 only",
+            ProfileType::ResettingBackup => "Backup RTU resetting every connection attempt",
+            ProfileType::SwitchoverObserved => "Switchover from secondary to primary observed",
+        }
+    }
+
+    /// The backup behaviour this profile implies.
+    pub fn backup_behavior(self) -> BackupBehavior {
+        match self {
+            ProfileType::PrimaryOnly => BackupBehavior::None,
+            ProfileType::Ideal => BackupBehavior::Normal,
+            ProfileType::BackupRtu => BackupBehavior::Normal,
+            ProfileType::SwitchedBetweenCaptures => BackupBehavior::None,
+            ProfileType::SpontaneousStale => BackupBehavior::None,
+            ProfileType::HalfDeafBackup => BackupBehavior::RejectApdu,
+            ProfileType::ResettingBackup => BackupBehavior::RejectApdu,
+            ProfileType::SwitchoverObserved => BackupBehavior::Normal,
+        }
+    }
+
+    /// Whether any server holds a *primary* (I-format) connection to this
+    /// outstation. Backup RTUs only ever see keep-alives.
+    pub fn has_primary(self) -> bool {
+        !matches!(self, ProfileType::BackupRtu | ProfileType::ResettingBackup)
+    }
+
+    /// Whether the inactive server of the pair maintains (or attempts) a
+    /// secondary connection.
+    pub fn has_secondary_attempts(self) -> bool {
+        !matches!(
+            self,
+            ProfileType::PrimaryOnly
+                | ProfileType::SwitchedBetweenCaptures
+                | ProfileType::SpontaneousStale
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_one_to_eight() {
+        let all = [
+            ProfileType::PrimaryOnly,
+            ProfileType::Ideal,
+            ProfileType::BackupRtu,
+            ProfileType::SwitchedBetweenCaptures,
+            ProfileType::SpontaneousStale,
+            ProfileType::HalfDeafBackup,
+            ProfileType::ResettingBackup,
+            ProfileType::SwitchoverObserved,
+        ];
+        let nums: Vec<u8> = all.iter().map(|p| p.number()).collect();
+        assert_eq!(nums, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn pathological_profiles_map_to_misbehaviours() {
+        assert_eq!(
+            ProfileType::ResettingBackup.backup_behavior(),
+            BackupBehavior::RejectApdu
+        );
+        assert_eq!(
+            ProfileType::HalfDeafBackup.backup_behavior(),
+            BackupBehavior::RejectApdu
+        );
+        assert_eq!(ProfileType::Ideal.backup_behavior(), BackupBehavior::Normal);
+    }
+
+    #[test]
+    fn primary_and_secondary_structure() {
+        assert!(ProfileType::Ideal.has_primary());
+        assert!(!ProfileType::BackupRtu.has_primary());
+        assert!(!ProfileType::ResettingBackup.has_primary());
+        assert!(!ProfileType::PrimaryOnly.has_secondary_attempts());
+        assert!(ProfileType::ResettingBackup.has_secondary_attempts());
+        assert!(ProfileType::SwitchoverObserved.has_secondary_attempts());
+    }
+}

@@ -1,0 +1,226 @@
+//! Capture campaign descriptions and their results.
+//!
+//! The paper collected 5 captures (~8 h total) in year 1 and 3 captures
+//! (~3 h) in year 2. Simulating 11 hours of traffic is cheap but bulky, so
+//! scenarios carry a `scale` knob: at scale 1.0 every capture lasts its
+//! paper-proportional duration scaled down to a default of minutes; the
+//! bench harness raises it for longer runs.
+
+use crate::attacker::AttackSpec;
+use serde::{Deserialize, Serialize};
+use uncharted_nettap::pcap::Capture;
+
+/// Which capture year.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Year {
+    /// First capture year (49 outstations, 5 captures, ~8 h).
+    Y1,
+    /// Second capture year, one year later (51 outstations, 3 captures, ~3 h).
+    Y2,
+}
+
+impl Year {
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Year::Y1 => "Y1",
+            Year::Y2 => "Y2",
+        }
+    }
+}
+
+/// One tap window: the tap records `[start, start + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaptureWindow {
+    /// Window start, seconds of simulation time.
+    pub start: f64,
+    /// Window length, seconds.
+    pub duration: f64,
+}
+
+/// A full campaign description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Which year's topology is active.
+    pub year: Year,
+    /// RNG seed — equal seeds give byte-identical captures.
+    pub seed: u64,
+    /// Simulation time before the first window (lets long-lived connections
+    /// predate the capture, as in the real network).
+    pub warmup_s: f64,
+    /// Gap between consecutive capture windows (captures were taken on
+    /// different days; the simulation keeps running in between).
+    pub gap_s: f64,
+    /// The tap windows.
+    pub windows: Vec<CaptureWindow>,
+    /// Script the §6.4 physical events (unmet load, generator online).
+    pub physical_events: bool,
+    /// Optional Industroyer-style attack campaign (for the IDS extension).
+    pub attack: Option<AttackSpec>,
+    /// Include the co-tenant industrial traffic the paper's tap saw (ICCP
+    /// between SCADA centres, C37.118 from PMUs). The IEC 104 pipeline must
+    /// ignore it; the TCP flow census sees it.
+    pub background_traffic: bool,
+}
+
+impl Scenario {
+    /// The Year-1 campaign: five windows, paper-proportional durations.
+    /// `scale` = seconds of capture per paper-hour (default 450 → ~1 h of
+    /// simulated capture in total).
+    pub fn y1(seed: u64) -> Scenario {
+        Scenario::y1_scaled(seed, 450.0)
+    }
+
+    /// Year-1 campaign with an explicit scale.
+    pub fn y1_scaled(seed: u64, secs_per_paper_hour: f64) -> Scenario {
+        // 5 captures totalling ~8 paper-hours: 1.6 h each.
+        let dur = 1.6 * secs_per_paper_hour;
+        let warmup = 120.0;
+        let gap = 60.0;
+        let windows = (0..5)
+            .map(|i| CaptureWindow {
+                start: warmup + i as f64 * (dur + gap),
+                duration: dur,
+            })
+            .collect();
+        Scenario {
+            year: Year::Y1,
+            seed,
+            warmup_s: warmup,
+            gap_s: gap,
+            windows,
+            physical_events: true,
+            attack: None,
+            background_traffic: true,
+        }
+    }
+
+    /// The Year-2 campaign: three windows totalling ~3 paper-hours.
+    pub fn y2(seed: u64) -> Scenario {
+        Scenario::y2_scaled(seed, 450.0)
+    }
+
+    /// Year-2 campaign with an explicit scale.
+    pub fn y2_scaled(seed: u64, secs_per_paper_hour: f64) -> Scenario {
+        let dur = 1.0 * secs_per_paper_hour;
+        let warmup = 120.0;
+        let gap = 60.0;
+        let windows = (0..3)
+            .map(|i| CaptureWindow {
+                start: warmup + i as f64 * (dur + gap),
+                duration: dur,
+            })
+            .collect();
+        Scenario {
+            year: Year::Y2,
+            seed,
+            warmup_s: warmup,
+            gap_s: gap,
+            windows,
+            physical_events: true,
+            attack: None,
+            background_traffic: true,
+        }
+    }
+
+    /// A small single-window scenario for tests and examples.
+    pub fn small(year: Year, seed: u64, duration: f64) -> Scenario {
+        Scenario {
+            year,
+            seed,
+            warmup_s: 60.0,
+            gap_s: 0.0,
+            windows: vec![CaptureWindow {
+                start: 60.0,
+                duration,
+            }],
+            physical_events: true,
+            attack: None,
+            background_traffic: true,
+        }
+    }
+
+    /// Add an Industroyer-style attack campaign starting at the given
+    /// fraction of the first capture window (builder style).
+    pub fn with_attack(mut self, window_fraction: f64, targets: usize) -> Scenario {
+        let at = self
+            .windows
+            .first()
+            .map(|w| w.start + w.duration * window_fraction.clamp(0.0, 1.0))
+            .unwrap_or(0.0);
+        self.attack = Some(AttackSpec::new(at, targets));
+        self
+    }
+
+    /// Total simulated time (warmup + windows + gaps).
+    pub fn total_time(&self) -> f64 {
+        self.windows
+            .last()
+            .map(|w| w.start + w.duration)
+            .unwrap_or(self.warmup_s)
+    }
+}
+
+/// The result of running a scenario: one pcap-equivalent capture per window.
+#[derive(Debug, Clone)]
+pub struct CaptureSet {
+    /// The year simulated.
+    pub year: Year,
+    /// The seed used.
+    pub seed: u64,
+    /// One capture per window, in order.
+    pub captures: Vec<Capture>,
+}
+
+impl CaptureSet {
+    /// All captures merged into one (keeps per-window boundaries out of
+    /// flow analysis when that is what an experiment needs).
+    pub fn merged(&self) -> Capture {
+        let mut all = Capture::new();
+        for c in &self.captures {
+            all.merge(c.clone());
+        }
+        all
+    }
+
+    /// Total packets across windows.
+    pub fn total_packets(&self) -> usize {
+        self.captures.iter().map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn y1_has_five_windows_y2_three() {
+        assert_eq!(Scenario::y1(1).windows.len(), 5);
+        assert_eq!(Scenario::y2(1).windows.len(), 3);
+    }
+
+    #[test]
+    fn paper_proportions() {
+        let y1 = Scenario::y1(1);
+        let y2 = Scenario::y2(1);
+        let y1_total: f64 = y1.windows.iter().map(|w| w.duration).sum();
+        let y2_total: f64 = y2.windows.iter().map(|w| w.duration).sum();
+        // 8 h vs 3 h in the paper.
+        assert!((y1_total / y2_total - 8.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn windows_do_not_overlap() {
+        for scenario in [Scenario::y1(1), Scenario::y2(1)] {
+            for pair in scenario.windows.windows(2) {
+                assert!(pair[0].start + pair[0].duration <= pair[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn total_time_covers_last_window() {
+        let s = Scenario::small(Year::Y1, 1, 120.0);
+        assert_eq!(s.total_time(), 180.0);
+    }
+}

@@ -1,0 +1,462 @@
+//! Control server behaviour: connection management for primary and
+//! secondary channels, interrogation on STARTDT, keep-alive probing,
+//! reconnect-with-backoff, clock synchronisation and AGC set point
+//! delivery.
+
+use crate::endpoint::{Iec104Link, LinkFate};
+use crate::topology::{ServerId, IEC104_PORT};
+use rand::rngs::StdRng;
+use rand::Rng;
+use uncharted_iec104::asdu::{Asdu, InfoObject, IoValue};
+use uncharted_iec104::conn::{ConnConfig, DtState, Role};
+use uncharted_iec104::cot::{Cause, Cot};
+use uncharted_iec104::dialect::Dialect;
+use uncharted_iec104::elements::{Cp56Time2a, Qoi};
+use uncharted_iec104::types::TypeId;
+use uncharted_nettap::stack::{Segment, SocketAddr, TcpEndpoint};
+
+/// Which channel a connection is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnRole {
+    /// Carries I-format data (STARTDT + interrogation on connect).
+    Primary,
+    /// Keep-alive-only redundant channel.
+    Secondary,
+    /// Parked: no connection is attempted (the inactive server of a
+    /// between-capture swap).
+    Idle,
+}
+
+/// A server's relationship to one outstation.
+#[derive(Debug)]
+pub struct Assignment {
+    /// The outstation number (`O{id}`).
+    pub outstation_id: usize,
+    /// The outstation's listening address.
+    pub remote: SocketAddr,
+    /// Primary or secondary channel.
+    pub role: ConnRole,
+    /// Wire dialect (the vendor configuration for this RTU).
+    pub dialect: Dialect,
+    /// Keep-alive interval override (the O30 misconfiguration / the O22
+    /// testing cadence).
+    pub t3_override: Option<f64>,
+    /// Earliest time to dial.
+    pub next_attempt: f64,
+    /// Base reconnect delay after a failure \[s\].
+    pub retry_delay: f64,
+    link: Option<Iec104Link>,
+    established_seen: bool,
+    interrogated: bool,
+    /// Last AGC set point sent \[MW\] (suppresses no-op commands).
+    pub last_setpoint: Option<f64>,
+    clock_sync_due: f64,
+}
+
+impl Assignment {
+    /// Whether a usable primary data channel is up.
+    pub fn primary_started(&self) -> bool {
+        self.role == ConnRole::Primary
+            && self
+                .link
+                .as_ref()
+                .map(|l| l.iec.dt_state() == DtState::Started)
+                .unwrap_or(false)
+    }
+
+    /// True while any TCP connection exists.
+    pub fn connected(&self) -> bool {
+        self.link.is_some()
+    }
+}
+
+/// A simulated control server.
+#[derive(Debug)]
+pub struct ServerSim {
+    /// Identity (C1–C4).
+    pub id: ServerId,
+    ip: u32,
+    next_port: u16,
+    isn: u32,
+    /// All outstation relationships.
+    pub assignments: Vec<Assignment>,
+    /// Demoted connections finishing their FIN handshake. Without this the
+    /// peer would hang in LAST-ACK forever (and its IEC state machine would
+    /// keep believing the data channel is up).
+    draining: Vec<Iec104Link>,
+    /// Whether this server issues clock-sync commands (C1 and C3 do, which
+    /// keeps the `I103`-transmitting station count small, as in Table 8).
+    pub clock_sync_master: bool,
+}
+
+impl ServerSim {
+    /// A new server with no assignments.
+    pub fn new(id: ServerId) -> ServerSim {
+        let base_port = 40_000
+            + match id {
+                ServerId::C1 => 0,
+                ServerId::C2 => 5_000,
+                ServerId::C3 => 10_000,
+                ServerId::C4 => 15_000,
+            };
+        ServerSim {
+            id,
+            ip: id.ip(),
+            next_port: base_port,
+            isn: 7_000 + base_port as u32,
+            assignments: Vec::new(),
+            draining: Vec::new(),
+            clock_sync_master: matches!(id, ServerId::C1 | ServerId::C3),
+        }
+    }
+
+    /// Register a channel to an outstation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assign(
+        &mut self,
+        outstation_id: usize,
+        remote_ip: u32,
+        role: ConnRole,
+        dialect: Dialect,
+        t3_override: Option<f64>,
+        first_attempt: f64,
+        retry_delay: f64,
+    ) {
+        self.assignments.push(Assignment {
+            outstation_id,
+            remote: SocketAddr::new(remote_ip, IEC104_PORT),
+            role,
+            dialect,
+            t3_override,
+            next_attempt: first_attempt,
+            retry_delay,
+            link: None,
+            established_seen: false,
+            interrogated: false,
+            last_setpoint: None,
+            clock_sync_due: first_attempt + 300.0,
+        });
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = if self.next_port >= 64_000 {
+            40_000 + (p % 1000)
+        } else {
+            self.next_port + 1
+        };
+        p
+    }
+
+    fn alloc_isn(&mut self) -> u32 {
+        self.isn = self.isn.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        self.isn
+    }
+
+    /// Look up the assignment serving a local port.
+    fn assignment_by_port_mut(&mut self, port: u16) -> Option<&mut Assignment> {
+        self.assignments.iter_mut().find(|a| {
+            a.link
+                .as_ref()
+                .map(|l| l.tcp.local().port == port)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Promote / demote channels (switchovers, between-capture swaps).
+    /// Returns segments to transmit (STARTDT on promotion, FIN on demotion).
+    pub fn set_role(&mut self, outstation_id: usize, role: ConnRole, now: f64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let mut self_draining: Vec<Iec104Link> = Vec::new();
+        for a in self
+            .assignments
+            .iter_mut()
+            .filter(|a| a.outstation_id == outstation_id)
+        {
+            if a.role == role {
+                continue;
+            }
+            a.role = role;
+            a.interrogated = false;
+            match role {
+                ConnRole::Primary => {
+                    match a.link.as_mut() {
+                        Some(link) if link.established() => out.extend(link.start_dt(now)),
+                        Some(_) => {}
+                        None => a.next_attempt = a.next_attempt.min(now + 1.0),
+                    }
+                }
+                ConnRole::Secondary | ConnRole::Idle => {
+                    // Demotion: close the data channel (and keep the link
+                    // around until the FIN handshake completes); re-dial as
+                    // a backup unless parked.
+                    if let Some(mut link) = a.link.take() {
+                        if let Some(fin) = link.tcp.close() {
+                            out.push(fin);
+                        }
+                        if !link.tcp.is_closed() {
+                            self_draining.push(link);
+                        }
+                    }
+                    a.established_seen = false;
+                    a.next_attempt = if role == ConnRole::Idle {
+                        f64::INFINITY
+                    } else {
+                        now + a.retry_delay
+                    };
+                }
+            }
+        }
+        self.draining.extend(self_draining);
+        out
+    }
+
+    /// Dial pending connections, drive timers, interrogate fresh primaries.
+    pub fn poll(&mut self, now: f64, rng: &mut StdRng) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let mut dials: Vec<usize> = Vec::new();
+        for (i, a) in self.assignments.iter().enumerate() {
+            if a.link.is_none() && a.role != ConnRole::Idle && now >= a.next_attempt {
+                dials.push(i);
+            }
+        }
+        for i in dials {
+            let port = self.alloc_port();
+            let isn = self.alloc_isn();
+            let a = &mut self.assignments[i];
+            let local = SocketAddr::new(self.ip, port);
+            let (tcp, syn) = TcpEndpoint::connect(local, a.remote, isn);
+            let mut cfg = ConnConfig {
+                t3: 30.0,
+                ..Default::default()
+            };
+            if let Some(t3) = a.t3_override {
+                cfg.t3 = t3;
+            }
+            a.link = Some(Iec104Link::new(tcp, Role::Controlling, cfg, a.dialect, now));
+            a.established_seen = false;
+            a.interrogated = false;
+            out.push(syn);
+        }
+
+        for a in &mut self.assignments {
+            let Some(link) = a.link.as_mut() else { continue };
+            // Establishment edge: STARTDT primaries, probe secondaries.
+            if link.established() && !a.established_seen {
+                a.established_seen = true;
+                match a.role {
+                    ConnRole::Primary => out.extend(link.start_dt(now)),
+                    // Secondaries probe the fresh link immediately — except
+                    // where a T3 override models a misconfigured cadence
+                    // (O30's 430 s gap, O22's near-silent test connection).
+                    ConnRole::Secondary if a.t3_override.is_none() => {
+                        out.extend(link.send_testfr(now))
+                    }
+                    ConnRole::Secondary | ConnRole::Idle => {}
+                }
+            }
+            // Fresh primary in STARTDT state: general interrogation.
+            if a.role == ConnRole::Primary
+                && !a.interrogated
+                && link.iec.dt_state() == DtState::Started
+            {
+                a.interrogated = true;
+                let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 0)
+                    .with_object(InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }));
+                out.extend(link.send_asdu(asdu, now));
+            }
+            // Clock sync on primaries, from the designated masters.
+            if self.clock_sync_master
+                && a.role == ConnRole::Primary
+                && link.iec.dt_state() == DtState::Started
+                && now >= a.clock_sync_due
+            {
+                a.clock_sync_due = now + 1_200.0;
+                let asdu = Asdu::new(TypeId::C_CS_NA_1, Cot::new(Cause::Activation), 0)
+                    .with_object(InfoObject::new(0, IoValue::ClockSync {
+                        time: Cp56Time2a::from_epoch_millis((now * 1000.0) as u64),
+                    }));
+                out.extend(link.send_asdu(asdu, now));
+            }
+            out.extend(link.poll(now));
+            if link.fate() == LinkFate::TcpClosed {
+                a.link = None;
+                a.next_attempt = now + a.retry_delay * (0.75 + 0.5 * rng.random::<f64>());
+            }
+        }
+        out
+    }
+
+    /// Handle a segment addressed to one of our ephemeral ports.
+    pub fn on_segment(&mut self, seg: &Segment, now: f64, rng: &mut StdRng) -> Vec<Segment> {
+        let isn = self.alloc_isn();
+        let mut out = Vec::new();
+        if let Some(a) = self.assignment_by_port_mut(seg.dst.port) {
+            if let Some(link) = a.link.as_mut() {
+                let (replies, _delivered) = link.on_segment(seg, isn, now);
+                out.extend(replies);
+                // Interrogation responses and measurement data land in the
+                // SCADA database; the simulation does not need to store them.
+                if link.fate() == LinkFate::TcpClosed {
+                    a.link = None;
+                    a.established_seen = false;
+                    a.next_attempt = now + a.retry_delay * (0.75 + 0.5 * rng.random::<f64>());
+                }
+            }
+            return out;
+        }
+        // A demoted connection finishing its close handshake.
+        for link in &mut self.draining {
+            if link.tcp.local().port == seg.dst.port {
+                let (replies, _delivered) = link.on_segment(seg, isn, now);
+                out.extend(replies);
+                break;
+            }
+        }
+        self.draining.retain(|l| !l.tcp.is_closed());
+        out
+    }
+
+    /// Send an AGC set point (`I50`) to an outstation if we hold its primary
+    /// channel and the command is materially different from the last one.
+    pub fn send_setpoint(&mut self, outstation_id: usize, mw: f64, now: f64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        for a in self
+            .assignments
+            .iter_mut()
+            .filter(|a| a.outstation_id == outstation_id && a.role == ConnRole::Primary)
+        {
+            if let Some(prev) = a.last_setpoint {
+                // Dispatch only material changes; AGC chatter below the
+                // deadband stays inside the control centre.
+                if (prev - mw).abs() < 4.0 {
+                    continue;
+                }
+            }
+            let Some(link) = a.link.as_mut() else { continue };
+            if link.iec.dt_state() != DtState::Started {
+                continue;
+            }
+            a.last_setpoint = Some(mw);
+            let asdu = Asdu::new(TypeId::C_SE_NC_1, Cot::new(Cause::Activation), 0)
+                .with_object(InfoObject::new(900, IoValue::FloatSetpoint {
+                    value: mw as f32,
+                    qos: 0,
+                }));
+            out.extend(link.send_asdu(asdu, now));
+        }
+        out
+    }
+
+    /// Indices of assignments with an established primary channel (flap
+    /// candidates).
+    pub fn established_primaries(&self) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.primary_started())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Simulate a transient comms failure: abort the assignment's TCP
+    /// connection (RST) and schedule a re-dial. The fresh connection will
+    /// re-interrogate, which is what populates the paper's Fig. 13 "ellipse"
+    /// with `I100`-bearing chains mid-capture.
+    pub fn flap(&mut self, assignment_idx: usize, now: f64, rng: &mut StdRng) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let Some(a) = self.assignments.get_mut(assignment_idx) else {
+            return out;
+        };
+        if let Some(mut link) = a.link.take() {
+            if let Some(rst) = link.abort() {
+                out.push(rst);
+            }
+        }
+        a.established_seen = false;
+        a.interrogated = false;
+        a.last_setpoint = None;
+        a.next_attempt = now + a.retry_delay * (0.75 + 0.5 * rng.random::<f64>());
+        out
+    }
+
+    /// Whether this server currently holds a started primary channel to the
+    /// given outstation.
+    pub fn is_primary_for(&self, outstation_id: usize) -> bool {
+        self.assignments
+            .iter()
+            .any(|a| a.outstation_id == outstation_id && a.primary_started())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use uncharted_nettap::ipv4::addr;
+
+    fn rtu_ip() -> u32 {
+        addr(10, 1, 3, 3)
+    }
+
+    #[test]
+    fn server_dials_at_first_attempt_time() {
+        let mut s = ServerSim::new(ServerId::C1);
+        s.assign(3, rtu_ip(), ConnRole::Primary, Dialect::STANDARD, None, 10.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(s.poll(5.0, &mut rng).is_empty(), "before first_attempt");
+        let out = s.poll(10.0, &mut rng);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.syn());
+        assert_eq!(out[0].dst, SocketAddr::new(rtu_ip(), IEC104_PORT));
+    }
+
+    #[test]
+    fn ports_are_unique_per_attempt() {
+        let mut s = ServerSim::new(ServerId::C2);
+        let mut ports = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            ports.insert(s.alloc_port());
+        }
+        assert_eq!(ports.len(), 100);
+    }
+
+    #[test]
+    fn secondary_probes_with_testfr_after_establishment() {
+        let mut s = ServerSim::new(ServerId::C2);
+        s.assign(7, rtu_ip(), ConnRole::Secondary, Dialect::STANDARD, None, 0.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let syn = s.poll(0.0, &mut rng).remove(0);
+        // Fake the RTU side with a bare endpoint.
+        let mut rtu = TcpEndpoint::listen(SocketAddr::new(rtu_ip(), IEC104_PORT), uncharted_nettap::stack::AcceptPolicy::Accept);
+        let (synack, _) = rtu.on_segment(&syn, 42);
+        let _ack = s.on_segment(&synack[0], 0.1, &mut rng);
+        // On the next poll the server notices establishment and probes.
+        let out = s.poll(0.2, &mut rng);
+        let probe = out.iter().find(|seg| !seg.payload.is_empty()).expect("probe");
+        assert_eq!(probe.payload, vec![0x68, 0x04, 0x43, 0x00, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn setpoint_suppressed_without_primary() {
+        let mut s = ServerSim::new(ServerId::C1);
+        s.assign(3, rtu_ip(), ConnRole::Secondary, Dialect::STANDARD, None, 0.0, 5.0);
+        assert!(s.send_setpoint(3, 123.0, 1.0).is_empty());
+        assert!(!s.is_primary_for(3));
+    }
+
+    #[test]
+    fn demotion_closes_link() {
+        let mut s = ServerSim::new(ServerId::C1);
+        s.assign(3, rtu_ip(), ConnRole::Primary, Dialect::STANDARD, None, 0.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let syn = s.poll(0.0, &mut rng).remove(0);
+        let mut rtu = TcpEndpoint::listen(SocketAddr::new(rtu_ip(), IEC104_PORT), uncharted_nettap::stack::AcceptPolicy::Accept);
+        let (synack, _) = rtu.on_segment(&syn, 42);
+        s.on_segment(&synack[0], 0.1, &mut rng);
+        s.poll(0.2, &mut rng);
+        let out = s.set_role(3, ConnRole::Secondary, 1.0);
+        assert!(out.iter().any(|seg| seg.flags.fin()), "demotion FINs");
+        assert!(!s.assignments[0].connected());
+    }
+}

@@ -1,0 +1,667 @@
+//! The top-level simulation: grid + AGC + servers + outstations + network
+//! + tap, stepped on a fixed 100 ms tick.
+//!
+//! Segments travel with a small randomised latency; every segment is
+//! recorded by the tap (Fig. 5) at delivery time, and payload segments are
+//! occasionally delivered twice to reproduce the TCP-retransmission
+//! artefact the paper traced in its Markov chains (repeated `U16`/`U32`
+//! tokens).
+
+use crate::attacker::AttackerSim;
+use crate::background::BackgroundTraffic;
+use crate::outstation::{Effect, OutstationSim};
+use crate::profiles::ProfileType;
+use crate::scenario::{CaptureSet, Scenario};
+use crate::server::{ConnRole, ServerSim};
+use crate::topology::{ServerId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use uncharted_nettap::ethernet::MacAddr;
+use uncharted_nettap::pcap::{Capture, CapturedPacket};
+use uncharted_nettap::stack::Segment;
+use uncharted_powergrid::agc::AgcController;
+use uncharted_powergrid::dynamics::PowerGrid;
+use uncharted_powergrid::events::{EventKind, EventTimeline, ScriptedEvent};
+use uncharted_powergrid::model::GeneratorId;
+
+/// Simulation tick length \[s\].
+pub const TICK: f64 = 0.1;
+
+/// Probability that a payload-bearing segment is delivered (and captured)
+/// twice — the TCP retransmission artefact.
+const DUP_PROB: f64 = 0.002;
+
+/// A scheduled role change (switchovers, between-capture swaps).
+#[derive(Debug, Clone, Copy)]
+struct RoleAction {
+    at: f64,
+    server: ServerId,
+    outstation_id: usize,
+    role: ConnRole,
+}
+
+/// An in-flight segment.
+#[derive(Debug)]
+struct InFlight {
+    deliver_at: f64,
+    seq: u64,
+    segment: Segment,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deliver_at
+            .partial_cmp(&other.deliver_at)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The running simulation.
+pub struct Simulation {
+    scenario: Scenario,
+    topology: Topology,
+    now: f64,
+    rng: StdRng,
+    grid: PowerGrid,
+    agc: AgcController,
+    timeline: EventTimeline,
+    servers: Vec<ServerSim>,
+    outstations: Vec<OutstationSim>,
+    out_by_ip: HashMap<u32, usize>,
+    gen_to_out: HashMap<GeneratorId, usize>,
+    wire: BinaryHeap<Reverse<InFlight>>,
+    wire_seq: u64,
+    tap: Vec<CapturedPacket>,
+    ip_ident: u16,
+    role_schedule: Vec<RoleAction>,
+    /// Optional Industroyer-style attacker.
+    attacker: Option<AttackerSim>,
+    /// Co-tenant industrial traffic (ICCP, C37.118), tap-level only.
+    background: Option<BackgroundTraffic>,
+    /// Next transient-failure injection time.
+    next_flap: f64,
+    /// Last scheduled arrival per (src, dst): enforces FIFO delivery within
+    /// a flow (the simulated network does not reorder; the minimal TCP
+    /// endpoints rely on that).
+    last_arrival: HashMap<(u32, u16, u32, u16), f64>,
+}
+
+impl Simulation {
+    /// Build a simulation for a scenario over the paper topology.
+    pub fn new(scenario: Scenario) -> Simulation {
+        Simulation::with_topology(scenario, Topology::paper_network())
+    }
+
+    /// Build with an explicit topology (tests use reduced ones).
+    pub fn with_topology(scenario: Scenario, topology: Topology) -> Simulation {
+        let rng = StdRng::seed_from_u64(scenario.seed);
+        let grid = PowerGrid::new(topology.grid.clone());
+        let mut sim = Simulation {
+            now: 0.0,
+            rng,
+            grid,
+            agc: AgcController::with_cycle(8.0),
+            timeline: EventTimeline::default(),
+            servers: ServerId::ALL.iter().map(|&id| ServerSim::new(id)).collect(),
+            outstations: Vec::new(),
+            out_by_ip: HashMap::new(),
+            gen_to_out: HashMap::new(),
+            wire: BinaryHeap::new(),
+            wire_seq: 0,
+            tap: Vec::new(),
+            ip_ident: 0,
+            role_schedule: Vec::new(),
+            attacker: None,
+            background: None,
+            next_flap: 90.0,
+            last_arrival: HashMap::new(),
+            topology,
+            scenario,
+        };
+        sim.build_endpoints();
+        sim.build_schedules();
+        if sim.scenario.background_traffic {
+            sim.background = Some(BackgroundTraffic::paper_mix(ServerId::C1.ip(), 5, 3));
+        }
+        if let Some(spec) = sim.scenario.attack {
+            // Go after generator RTUs: the targets with physical impact.
+            let targets: Vec<u32> = sim
+                .outstations
+                .iter()
+                .filter(|o| {
+                    o.spec.generator.map(|g| g.agc_controlled).unwrap_or(false)
+                        && o.spec.profile.has_primary()
+                })
+                .map(|o| o.spec.ip())
+                .collect();
+            sim.attacker = Some(AttackerSim::new(spec, &targets));
+        }
+        sim
+    }
+
+    fn server_mut(&mut self, id: ServerId) -> &mut ServerSim {
+        let idx = ServerId::ALL.iter().position(|&s| s == id).unwrap();
+        &mut self.servers[idx]
+    }
+
+    /// Which server of the pair attempts the *secondary* channel for an
+    /// outstation (parity rule, with the two paper exceptions O6/O8 on C1).
+    fn secondary_server(spec: &crate::topology::OutstationSpec) -> ServerId {
+        if spec.id % 2 == 1 || spec.id == 6 || spec.id == 8 {
+            spec.pair.0
+        } else {
+            spec.pair.1
+        }
+    }
+
+    fn build_endpoints(&mut self) {
+        let year = self.scenario.year;
+        let specs: Vec<crate::topology::OutstationSpec> = self
+            .topology
+            .in_year(year)
+            .into_iter()
+            .cloned()
+            .collect();
+        for spec in specs {
+            let out = OutstationSim::new(&spec, year);
+            self.out_by_ip.insert(spec.ip(), self.outstations.len());
+            if let Some(link) = spec.generator {
+                if link.agc_controlled {
+                    self.gen_to_out.insert(link.generator, self.outstations.len());
+                }
+            }
+            self.outstations.push(out);
+
+            let secondary = Self::secondary_server(&spec);
+            let primary = if secondary == spec.pair.0 {
+                spec.pair.1
+            } else {
+                spec.pair.0
+            };
+            // Stagger dial times so the capture does not open with a storm.
+            let jitter = (spec.id as f64 * 0.37) % 5.0;
+
+            if spec.testing_only {
+                // C4–O22: one late secondary connection, huge keep-alive gap.
+                let start = self.scenario.windows.first().map(|w| w.start).unwrap_or(0.0);
+                self.server_mut(ServerId::C4).assign(
+                    spec.id,
+                    spec.ip(),
+                    ConnRole::Secondary,
+                    spec.dialect,
+                    Some(3_600.0),
+                    start + 20.0 + jitter,
+                    30.0,
+                );
+                continue;
+            }
+
+            if spec.profile == ProfileType::SwitchedBetweenCaptures {
+                // Type 4: both servers hold an assignment; the schedule
+                // swaps which one is primary in the gaps between windows.
+                self.server_mut(spec.pair.0).assign(
+                    spec.id,
+                    spec.ip(),
+                    ConnRole::Primary,
+                    spec.dialect,
+                    None,
+                    1.0 + jitter,
+                    3.0,
+                );
+                self.server_mut(spec.pair.1).assign(
+                    spec.id,
+                    spec.ip(),
+                    ConnRole::Idle,
+                    spec.dialect,
+                    None,
+                    f64::INFINITY,
+                    3.0,
+                );
+                continue;
+            }
+            if spec.profile.has_primary() {
+                self.server_mut(primary).assign(
+                    spec.id,
+                    spec.ip(),
+                    ConnRole::Primary,
+                    spec.dialect,
+                    None,
+                    1.0 + jitter,
+                    3.0,
+                );
+            }
+            if spec.profile.has_secondary_attempts() {
+                self.server_mut(secondary).assign(
+                    spec.id,
+                    spec.ip(),
+                    ConnRole::Secondary,
+                    spec.dialect,
+                    spec.secondary_t3_override,
+                    2.5 + jitter,
+                    6.0,
+                );
+            }
+        }
+    }
+
+    fn build_schedules(&mut self) {
+        let windows = self.scenario.windows.clone();
+        let year = self.scenario.year;
+        // Type 4: swap the (sole) primary between servers in the gaps
+        // between windows — observed as "I-format to both servers" with no
+        // visible transition.
+        let specs: Vec<crate::topology::OutstationSpec> = self
+            .topology
+            .in_year(year)
+            .into_iter()
+            .cloned()
+            .collect();
+        for spec in &specs {
+            if spec.profile == ProfileType::SwitchedBetweenCaptures {
+                for (i, w) in windows.iter().enumerate() {
+                    let (new_primary, other) = if i % 2 == 0 {
+                        (spec.pair.0, spec.pair.1)
+                    } else {
+                        (spec.pair.1, spec.pair.0)
+                    };
+                    let at = (w.start - 20.0).max(1.0);
+                    self.role_schedule.push(RoleAction {
+                        at,
+                        server: other,
+                        outstation_id: spec.id,
+                        role: ConnRole::Idle,
+                    });
+                    self.role_schedule.push(RoleAction {
+                        at: at + 2.0,
+                        server: new_primary,
+                        outstation_id: spec.id,
+                        role: ConnRole::Primary,
+                    });
+                }
+                // Initially: handled by the first window's action; make the
+                // static assignment idle until then.
+            }
+            if spec.profile == ProfileType::SwitchoverObserved {
+                // Mid-first-window switchover: the secondary is promoted two
+                // seconds after the primary is demoted (Fig. 16).
+                if let Some(w) = windows.first() {
+                    // Stagger switchovers by a few percent of the window so
+                    // they never slip past its end.
+                    let at = w.start + w.duration * (0.45 + 0.02 * (spec.id % 5) as f64);
+                    let secondary = Self::secondary_server(spec);
+                    let primary = if secondary == spec.pair.0 {
+                        spec.pair.1
+                    } else {
+                        spec.pair.0
+                    };
+                    self.role_schedule.push(RoleAction {
+                        at,
+                        server: primary,
+                        outstation_id: spec.id,
+                        role: ConnRole::Secondary,
+                    });
+                    self.role_schedule.push(RoleAction {
+                        at: at + 2.0,
+                        server: secondary,
+                        outstation_id: spec.id,
+                        role: ConnRole::Primary,
+                    });
+                }
+            }
+        }
+        self.role_schedule
+            .sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap());
+
+        // Physical events (§6.4): a generator-online sequence and an unmet
+        // load event in the first capture window.
+        if self.scenario.physical_events {
+            if let Some(w) = self.scenario.windows.first() {
+                // Use the S16 generator (observed through O40 on C1/C2).
+                if let Some(spec) = specs.iter().find(|s| s.substation == 16) {
+                    if let Some(link) = spec.generator {
+                        let gen = link.generator;
+                        let sync_at = w.start + w.duration * 0.15;
+                        // The voltage ramp must fit the window with room for
+                        // the operator delay and the power ramp after it.
+                        let ramp = 60.0_f64.min(w.duration * 0.12).max(5.0);
+                        self.grid.sync_ramp_s = ramp;
+                        let mut tl = EventTimeline::new(vec![
+                            ScriptedEvent::new(2.0, EventKind::OpenBreaker(gen)),
+                            ScriptedEvent::new(sync_at, EventKind::BeginSync(gen)),
+                            ScriptedEvent::new(
+                                sync_at + ramp + (ramp * 0.4).max(6.0),
+                                EventKind::CloseBreaker(gen, 180.0),
+                            ),
+                        ]);
+                        std::mem::swap(&mut self.timeline, &mut tl);
+                        self.timeline.merge(tl);
+                    }
+                }
+                // Unmet load late in the window.
+                let loss_at = w.start + w.duration * 0.55;
+                let restore_at = w.start + w.duration * 0.85;
+                self.timeline.merge(EventTimeline::new(vec![
+                    ScriptedEvent::new(
+                        loss_at,
+                        EventKind::LoadLoss(uncharted_powergrid::model::LoadId(2)),
+                    ),
+                    ScriptedEvent::new(
+                        restore_at,
+                        EventKind::LoadRestore(uncharted_powergrid::model::LoadId(2)),
+                    ),
+                ]));
+            }
+        }
+    }
+
+    /// Run to completion and split the tap into per-window captures.
+    pub fn run(mut self) -> CaptureSet {
+        let total = self.scenario.total_time() + 1.0;
+        let steps = (total / TICK).ceil() as usize;
+        for _ in 0..steps {
+            self.tick();
+        }
+        self.finish()
+    }
+
+    fn tick(&mut self) {
+        self.now += TICK;
+        let now = self.now;
+        self.grid.step(TICK, &mut self.rng);
+        self.timeline.apply_due(&mut self.grid, now);
+
+        // Scheduled role changes.
+        while let Some(action) = self.role_schedule.first().copied() {
+            if action.at > now {
+                break;
+            }
+            self.role_schedule.remove(0);
+            let segs = self
+                .server_mut(action.server)
+                .set_role(action.outstation_id, action.role, now);
+            for seg in segs {
+                self.transmit(seg, now);
+            }
+        }
+
+        // Transient comms failures: roughly once a minute, one random
+        // established primary connection drops and is re-dialled. The
+        // re-connections produce in-capture STARTDT + interrogation
+        // sequences (Fig. 13's ellipse) and truncated long-lived flows.
+        if now >= self.next_flap {
+            self.next_flap = now + 40.0 + 50.0 * self.rng.random::<f64>();
+            let candidates: Vec<(usize, usize)> = self
+                .servers
+                .iter()
+                .enumerate()
+                .flat_map(|(si, s)| {
+                    s.established_primaries().into_iter().map(move |ai| (si, ai))
+                })
+                .collect();
+            if !candidates.is_empty() {
+                let (si, ai) = candidates[self.rng.random_range(0..candidates.len())];
+                let segs = self.servers[si].flap(ai, now, &mut self.rng);
+                for seg in segs {
+                    self.transmit(seg, now);
+                }
+            }
+        }
+
+        // AGC dispatch through the SCADA network.
+        let commands = self.agc.dispatch(&self.grid, now);
+        for cmd in commands {
+            if let Some(&out_idx) = self.gen_to_out.get(&cmd.generator) {
+                let oid = self.outstations[out_idx].spec.id;
+                for s in 0..self.servers.len() {
+                    let segs = self.servers[s].send_setpoint(oid, cmd.setpoint_mw, now);
+                    for seg in segs {
+                        self.transmit(seg, now);
+                    }
+                }
+            }
+        }
+
+        // Co-tenant traffic goes straight to the tap.
+        if let Some(bg) = self.background.as_mut() {
+            let packets = bg.emit(now);
+            self.tap.extend(packets);
+        }
+
+        // The attacker, if the scenario scripts one.
+        if let Some(attacker) = self.attacker.as_mut() {
+            let segs = attacker.poll(now);
+            for seg in segs {
+                self.transmit(seg, now);
+            }
+        }
+
+        // Server housekeeping.
+        for s in 0..self.servers.len() {
+            let segs = self.servers[s].poll(now, &mut self.rng);
+            for seg in segs {
+                self.transmit(seg, now);
+            }
+        }
+        // Outstation reporting.
+        for o in 0..self.outstations.len() {
+            let segs = self.outstations[o].poll(now, &self.grid, &mut self.rng);
+            for seg in segs {
+                self.transmit(seg, now);
+            }
+        }
+
+        // Deliver everything due this tick.
+        loop {
+            match self.wire.peek() {
+                Some(Reverse(f)) if f.deliver_at <= now => {}
+                _ => break,
+            }
+            let Reverse(inflight) = self.wire.pop().unwrap();
+            self.deliver(inflight);
+        }
+    }
+
+    /// Queue a segment: record it at the tap and schedule delivery.
+    fn transmit(&mut self, seg: Segment, now: f64) {
+        let latency = 0.02 + 0.03 * self.rng.random::<f64>();
+        let key = (seg.src.ip, seg.src.port, seg.dst.ip, seg.dst.port);
+        let floor = self.last_arrival.get(&key).copied().unwrap_or(0.0);
+        let deliver_at = (now + latency).max(floor + 1e-6);
+        self.last_arrival.insert(key, deliver_at);
+        self.record(&seg, deliver_at);
+        self.wire_seq += 1;
+        self.wire.push(Reverse(InFlight {
+            deliver_at,
+            seq: self.wire_seq,
+            segment: seg.clone(),
+        }));
+        // Occasional TCP retransmission: same bytes, slightly later.
+        if !seg.payload.is_empty() && self.rng.random::<f64>() < DUP_PROB {
+            let dup_at = (deliver_at + 0.15).max(self.last_arrival[&key] + 1e-6);
+            self.last_arrival.insert(key, dup_at);
+            self.record(&seg, dup_at);
+            self.wire_seq += 1;
+            self.wire.push(Reverse(InFlight {
+                deliver_at: dup_at,
+                seq: self.wire_seq,
+                segment: seg,
+            }));
+        }
+    }
+
+    fn record(&mut self, seg: &Segment, timestamp: f64) {
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        let pkt = CapturedPacket::build(
+            timestamp,
+            MacAddr::from_device_id(seg.src.ip),
+            MacAddr::from_device_id(seg.dst.ip),
+            seg.src.ip,
+            seg.dst.ip,
+            seg.header(),
+            &seg.payload,
+            self.ip_ident,
+        );
+        self.tap.push(pkt);
+    }
+
+    fn deliver(&mut self, inflight: InFlight) {
+        let now = inflight.deliver_at;
+        let seg = inflight.segment;
+        let dst_ip = seg.dst.ip;
+        if self.attacker.as_ref().map(|a| a.ip()) == Some(dst_ip) {
+            let replies = self.attacker.as_mut().unwrap().on_segment(&seg, now);
+            for r in replies {
+                self.transmit(r, now);
+            }
+        } else if let Some(idx) = ServerId::ALL.iter().position(|s| s.ip() == dst_ip) {
+            let replies = self.servers[idx].on_segment(&seg, now, &mut self.rng);
+            for r in replies {
+                self.transmit(r, now);
+            }
+        } else if let Some(&idx) = self.out_by_ip.get(&dst_ip) {
+            let (replies, effects) =
+                self.outstations[idx].on_segment(&seg, now, &self.grid, &mut self.rng);
+            for r in replies {
+                self.transmit(r, now);
+            }
+            for eff in effects {
+                match eff {
+                    Effect::ApplySetpoint(gen, mw) => self.grid.apply_setpoint(gen, mw),
+                    Effect::OperateBreaker(gen, close) => {
+                        if close {
+                            let sp = self
+                                .grid
+                                .model
+                                .generators
+                                .get(gen.0)
+                                .map(|g| g.setpoint_mw)
+                                .unwrap_or(0.0);
+                            self.grid.close_breaker(gen, sp);
+                        } else {
+                            self.grid.open_breaker(gen);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> CaptureSet {
+        self.tap
+            .sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        let mut captures = Vec::new();
+        for w in &self.scenario.windows {
+            let mut cap = Capture::new();
+            for pkt in &self.tap {
+                if pkt.timestamp >= w.start && pkt.timestamp < w.start + w.duration {
+                    cap.record(pkt.clone());
+                }
+            }
+            captures.push(cap);
+        }
+        CaptureSet {
+            year: self.scenario.year,
+            seed: self.scenario.seed,
+            captures,
+        }
+    }
+}
+
+/// Convenience: run a scenario on the paper topology.
+pub fn run_scenario(scenario: Scenario) -> CaptureSet {
+    Simulation::new(scenario).run()
+}
+
+/// Convenience: the default scaled Y1 + Y2 campaign pair.
+pub fn run_both_years(seed: u64, secs_per_paper_hour: f64) -> (CaptureSet, CaptureSet) {
+    let y1 = Simulation::new(Scenario::y1_scaled(seed, secs_per_paper_hour)).run();
+    let y2 = Simulation::new(Scenario::y2_scaled(seed + 1, secs_per_paper_hour)).run();
+    (y1, y2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Year;
+
+    fn small_run(seed: u64) -> CaptureSet {
+        Simulation::new(Scenario::small(Year::Y1, seed, 90.0)).run()
+    }
+
+    #[test]
+    fn produces_traffic() {
+        let set = small_run(42);
+        assert_eq!(set.captures.len(), 1);
+        assert!(
+            set.captures[0].len() > 500,
+            "expected substantial traffic, got {}",
+            set.captures[0].len()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_run(7);
+        let b = small_run(7);
+        assert_eq!(a.captures[0].packets.len(), b.captures[0].packets.len());
+        for (x, y) in a.captures[0].packets.iter().zip(&b.captures[0].packets) {
+            assert_eq!(x.frame, y.frame);
+            assert_eq!(x.timestamp, y.timestamp);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_run(1);
+        let b = small_run(2);
+        let same = a.captures[0].packets.len() == b.captures[0].packets.len()
+            && a.captures[0]
+                .packets
+                .iter()
+                .zip(&b.captures[0].packets)
+                .all(|(x, y)| x.frame == y.frame);
+        assert!(!same);
+    }
+
+    #[test]
+    fn capture_contains_misbehaving_resets() {
+        let set = small_run(3);
+        let parsed = set.captures[0].parsed();
+        let rsts = parsed.iter().filter(|p| p.tcp.flags.rst()).count();
+        assert!(rsts > 5, "reject storm produces RSTs, got {rsts}");
+    }
+
+    #[test]
+    fn capture_contains_iec104_data() {
+        let set = small_run(4);
+        let parsed = set.captures[0].parsed();
+        let data = parsed
+            .iter()
+            .filter(|p| !p.payload.is_empty() && p.payload[0] == 0x68)
+            .count();
+        assert!(data > 200, "IEC 104 payloads expected, got {data}");
+    }
+
+    #[test]
+    fn all_packets_inside_window() {
+        let set = small_run(5);
+        let w = &Scenario::small(Year::Y1, 5, 90.0).windows[0];
+        for p in &set.captures[0].packets {
+            assert!(p.timestamp >= w.start && p.timestamp < w.start + w.duration);
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! The Fig. 6 network: control servers C1–C4, substations S1–S27,
+//! outstations O1–O58, and every Table 2 change between the two capture
+//! years.
+//!
+//! The identities the paper names explicitly are honoured exactly:
+//!
+//! * **Legacy dialects** (§6.1): O37 uses 2-octet IOAs; O53, O58 and O28 use
+//!   a 1-octet cause of transmission.
+//! * **Table 2**: O50/S24 and O53/S27 are new substations in Y2; O52/S23 and
+//!   O55/S26 are 101→104 upgrades; O51/O56/O57/O58 are backup RTUs first
+//!   captured in Y2; O54/S25 was under maintenance in Y1;
+//!   O15/O20/O22/O28/O33/O38 are redundant RTUs that no longer appear in
+//!   Y2; O2/S2 lost its connection to the operator.
+//! * **Misbehaviours**: the (1,1) Markov cluster connections (backups of
+//!   O5–O9, O15, O24, O28, O35), the C2→O30 secondary with its T3 = 430 s
+//!   outlier, and the C4→O22 testing connection that exchanged only a
+//!   handful of packets.
+//!
+//! Everything else (IOA inventories, report cadences, which substations
+//! host generators) is generated deterministically from the outstation id.
+
+use crate::profiles::{BackupBehavior, ProfileType};
+use serde::{Deserialize, Serialize};
+use uncharted_iec104::dialect::Dialect;
+use uncharted_powergrid::model::{Generator, GeneratorId, GridModel, Load};
+use uncharted_powergrid::sensors::PhysicalQuantity;
+
+/// The IEC 104 well-known port.
+pub const IEC104_PORT: u16 = 2404;
+
+/// A control server identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServerId {
+    /// Control server C1 (paired with C2).
+    C1,
+    /// Control server C2.
+    C2,
+    /// Control server C3 (paired with C4).
+    C3,
+    /// Control server C4.
+    C4,
+}
+
+impl ServerId {
+    /// All four servers.
+    pub const ALL: [ServerId; 4] = [ServerId::C1, ServerId::C2, ServerId::C3, ServerId::C4];
+
+    /// The paper's label (`"C1"`…).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerId::C1 => "C1",
+            ServerId::C2 => "C2",
+            ServerId::C3 => "C3",
+            ServerId::C4 => "C4",
+        }
+    }
+
+    /// The server's IPv4 address in the simulated control-centre subnet.
+    pub fn ip(self) -> u32 {
+        let n = match self {
+            ServerId::C1 => 1,
+            ServerId::C2 => 2,
+            ServerId::C3 => 3,
+            ServerId::C4 => 4,
+        };
+        uncharted_nettap::ipv4::addr(10, 0, 0, n)
+    }
+
+    /// The redundant partner in the pair.
+    pub fn partner(self) -> ServerId {
+        match self {
+            ServerId::C1 => ServerId::C2,
+            ServerId::C2 => ServerId::C1,
+            ServerId::C3 => ServerId::C4,
+            ServerId::C4 => ServerId::C3,
+        }
+    }
+}
+
+/// How a point reports.
+#[allow(missing_docs)] // fields: `period_s` cadence / `threshold` deadband
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReportKind {
+    /// Cyclic reporting (COT=periodic) as `M_ME_NC_1` (I13), every
+    /// `period_s` seconds.
+    PeriodicFloat { period_s: f64 },
+    /// Cyclic normalized reporting as `M_ME_NA_1` (I9).
+    PeriodicNormalized { period_s: f64 },
+    /// Cyclic step position as `M_ST_NA_1` (I5) — transformer taps.
+    PeriodicStep { period_s: f64 },
+    /// Threshold-triggered time-tagged float, `M_ME_TF_1` (I36). The value
+    /// is re-checked every sampling interval; a report fires when it moved
+    /// more than `threshold` from the last transmitted value.
+    SpontaneousFloat { threshold: f64 },
+    /// Spontaneous time-tagged double point, `M_DP_TB_1` (I31) — breaker
+    /// status changes.
+    SpontaneousDoublePoint,
+    /// Spontaneous time-tagged single point, `M_SP_TB_1` (I30).
+    SpontaneousSinglePoint,
+    /// Spontaneous plain single point, `M_SP_NA_1` (I1) — alarms.
+    SpontaneousPlainSinglePoint,
+    /// Bitstring status word, `M_BO_NA_1` (I7), sent once after STARTDT.
+    BitstringOnStart,
+    /// Reported only when interrogated.
+    InterrogationOnly,
+}
+
+/// One field point: an IOA bound to a physical quantity with a report rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointSpec {
+    /// Information object address.
+    pub ioa: u32,
+    /// The physical quantity measured.
+    pub quantity: PhysicalQuantity,
+    /// How it is reported.
+    pub report: ReportKind,
+}
+
+/// Which generator (if any) a point set observes, plus an AGC flag.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorLink {
+    /// Generator in the grid model.
+    pub generator: GeneratorId,
+    /// Whether this outstation receives AGC set points (`I50`).
+    pub agc_controlled: bool,
+}
+
+/// Complete description of one outstation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutstationSpec {
+    /// Outstation number (`O{id}`).
+    pub id: usize,
+    /// Substation number (`S{substation}`).
+    pub substation: usize,
+    /// The server pair responsible ((primary-preferring, backup)).
+    pub pair: (ServerId, ServerId),
+    /// Behavioural profile.
+    pub profile: ProfileType,
+    /// Backup-connection behaviour (usually derived from the profile, but
+    /// overridable per outstation).
+    pub backup: BackupBehavior,
+    /// Wire dialect (standard, or a legacy variant).
+    pub dialect: Dialect,
+    /// IEC 104 common address.
+    pub common_address: u16,
+    /// The field points.
+    pub points: Vec<PointSpec>,
+    /// Link to a generator for AGC, if this is a generation substation RTU.
+    pub generator: Option<GeneratorLink>,
+    /// Present in the Year-1 captures.
+    pub in_y1: bool,
+    /// Present in the Year-2 captures.
+    pub in_y2: bool,
+    /// Override the keep-alive (T3) interval the *server* uses on its
+    /// secondary connection to this outstation (the O30 misconfiguration).
+    pub secondary_t3_override: Option<f64>,
+    /// Marks the C4–O22 "being tested, not operational" RTU.
+    pub testing_only: bool,
+    /// How many IOAs this outstation reports in Y2 relative to Y1
+    /// (Fig. 6's up/down arrows). Positive = more points in Y2.
+    pub y2_point_delta: i32,
+}
+
+impl OutstationSpec {
+    /// The outstation's IPv4 address: `10.1.<substation>.<id>`.
+    pub fn ip(&self) -> u32 {
+        uncharted_nettap::ipv4::addr(10, 1, self.substation as u8, self.id as u8)
+    }
+
+    /// The paper's label (`"O7"`…).
+    pub fn label(&self) -> String {
+        format!("O{}", self.id)
+    }
+
+    /// The point set active in the given year (applies `y2_point_delta`).
+    pub fn points_in_year(&self, year: crate::scenario::Year) -> Vec<PointSpec> {
+        match year {
+            crate::scenario::Year::Y1 => self.points.clone(),
+            crate::scenario::Year::Y2 => {
+                let mut pts = self.points.clone();
+                if self.y2_point_delta >= 0 {
+                    let base = pts.len() as u32;
+                    for k in 0..self.y2_point_delta as u32 {
+                        pts.push(PointSpec {
+                            ioa: 700 + base + k,
+                            quantity: PhysicalQuantity::Voltage,
+                            report: ReportKind::SpontaneousFloat { threshold: 0.4 },
+                        });
+                    }
+                } else {
+                    let keep = pts.len().saturating_sub((-self.y2_point_delta) as usize);
+                    pts.truncate(keep.max(1));
+                }
+                pts
+            }
+        }
+    }
+}
+
+/// The whole network description.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Every outstation ever observed (both years).
+    pub outstations: Vec<OutstationSpec>,
+    /// The power grid model behind the SCADA network.
+    pub grid: GridModel,
+}
+
+/// Substations that carry no generator (auxiliary network measurements) —
+/// S2 is named by the paper as a non-generation substation.
+const AUX_SUBSTATIONS: [usize; 3] = [2, 8, 18];
+
+/// Outstation → substation assignment. `S10` hosts 14 RTUs (the paper's
+/// "newer substation" example with redundant RTU pairs).
+fn substation_of(o: usize) -> usize {
+    match o {
+        1 => 1,
+        2 => 2,
+        3 | 4 => 3,
+        5 | 6 => 4,
+        7 | 8 => 5,
+        9 | 15 => 6,
+        12 | 13 => 7,
+        14 => 8,
+        28 | 29 => 9,
+        10 | 11 | 16..=23 | 25..=27 | 48 => 10, // the 14-RTU substation
+        30 | 31 => 11,
+        32 | 33 => 12,
+        24 | 34 | 35 => 13,
+        36 | 37 => 14,
+        38 | 39 => 15,
+        40 => 16,
+        41 | 42 => 17,
+        43 => 18,
+        44 => 19,
+        45 => 20,
+        46 => 21,
+        47 | 49 => 22,
+        52 => 23,
+        50 => 24,
+        54 => 25,
+        55 => 26,
+        53 => 27,
+        51 => 9,  // Y2 backup RTU replacing O28
+        56 => 12, // Y2 backup replacing O33
+        57 => 15, // Y2 backup replacing O38
+        58 => 10, // Y2 backup replacing O20/O22
+        _ => unreachable!("outstation {o} out of range"),
+    }
+}
+
+/// Which server pair serves a substation: S10 and S14–S18 run on C3/C4, the
+/// rest on C1/C2 (matches the paper's pairings: O10/O20 on C3/C4;
+/// O5–O9, O24, O28–O30, O35 on C1/C2).
+fn pair_of(substation: usize) -> (ServerId, ServerId) {
+    if substation == 10 || (14..=18).contains(&substation) {
+        (ServerId::C3, ServerId::C4)
+    } else {
+        (ServerId::C1, ServerId::C2)
+    }
+}
+
+/// Outstations the paper saw only in Y1.
+const REMOVED_IN_Y2: [usize; 7] = [2, 15, 20, 22, 28, 33, 38];
+/// Outstations the paper saw only in Y2.
+const ADDED_IN_Y2: [usize; 9] = [50, 51, 52, 53, 54, 55, 56, 57, 58];
+
+/// Backup RTUs whose misbehaving connections form the (1,1) Markov cluster.
+/// (O28 and O35 also belong to the cluster but keep primary connections or a
+/// FIN-flavoured reject; they are special-cased below.)
+const RESETTING_BACKUPS: [usize; 5] = [6, 7, 9, 15, 24];
+
+/// Pure backup RTUs (Table 6 type 3): the redundant units of S10 and the
+/// second units of two-RTU substations. O58 is a Y2 backup per Table 2 but
+/// must emit (legacy-dialect) I-frames for the §6.1 compliance census, so it
+/// keeps a primary connection here.
+const BACKUP_RTUS: [usize; 16] = [4, 11, 13, 17, 19, 21, 23, 25, 27, 31, 39, 42, 48, 51, 56, 57];
+
+/// Outstations that switched servers between captures (type 4).
+const SWITCHED_BETWEEN: [usize; 5] = [16, 29, 41, 47, 49];
+
+/// Outstations with an observable in-capture switchover (type 8). O36 is
+/// included so its bitstring status word (`I7`, sent on STARTDT) lands
+/// inside a capture window deterministically.
+const SWITCHOVER_OBSERVED: [usize; 3] = [20, 26, 36];
+
+/// Primary-only outstations (type 1).
+const PRIMARY_ONLY: [usize; 5] = [1, 2, 14, 40, 43];
+
+impl Topology {
+    /// Build the full paper network.
+    pub fn paper_network() -> Topology {
+        let mut outstations = Vec::new();
+        let mut generators = Vec::new();
+        let mut gen_of_substation = std::collections::HashMap::new();
+
+        // One generator per generation substation, sized deterministically.
+        for s in 1..=27 {
+            if AUX_SUBSTATIONS.contains(&s) {
+                continue;
+            }
+            let capacity = 200.0 + (s as f64 * 37.0) % 600.0;
+            let output = capacity * 0.65;
+            let gen = if s == 25 {
+                // S25 was under maintenance in Y1: start offline.
+                Generator::offline(&format!("S{s}-gen"), capacity)
+            } else {
+                Generator::online(&format!("S{s}-gen"), capacity, output)
+            };
+            gen_of_substation.insert(s, GeneratorId(generators.len()));
+            generators.push(gen);
+        }
+        let total: f64 = generators.iter().map(|g| g.output_mw).sum();
+        let loads = vec![
+            Load { name: "area-north".into(), base_mw: total * 0.45, connected: true },
+            Load { name: "area-south".into(), base_mw: total * 0.45, connected: true },
+            Load { name: "area-industrial".into(), base_mw: total * 0.10, connected: true },
+        ];
+        let grid = GridModel::new(60.0, generators, loads);
+
+        for o in 1..=58usize {
+            let substation = substation_of(o);
+            let pair = pair_of(substation);
+            let in_y2 = !REMOVED_IN_Y2.contains(&o);
+            let in_y1 = !ADDED_IN_Y2.contains(&o);
+
+            let profile = if RESETTING_BACKUPS.contains(&o) {
+                ProfileType::ResettingBackup
+            } else if o == 5 || o == 8 {
+                ProfileType::HalfDeafBackup
+            } else if o == 45 {
+                ProfileType::SpontaneousStale
+            } else if SWITCHOVER_OBSERVED.contains(&o) {
+                ProfileType::SwitchoverObserved
+            } else if SWITCHED_BETWEEN.contains(&o) {
+                ProfileType::SwitchedBetweenCaptures
+            } else if BACKUP_RTUS.contains(&o) || o == 22 {
+                ProfileType::BackupRtu
+            } else if PRIMARY_ONLY.contains(&o) {
+                ProfileType::PrimaryOnly
+            } else {
+                ProfileType::Ideal
+            };
+
+            // Dialect quirks the paper found (§6.1).
+            let dialect = match o {
+                37 => Dialect::LEGACY_IOA,
+                28 | 53 | 58 => Dialect::LEGACY_COT,
+                _ => Dialect::STANDARD,
+            };
+
+            // A couple of the misbehaving backups use the FIN flavour the
+            // paper also observed; the rest RST.
+            let backup = if o == 35 {
+                BackupBehavior::AcceptThenFin
+            } else if o == 30 {
+                BackupBehavior::IgnoreTestFr
+            } else if o == 28 {
+                // O28 keeps a (legacy-COT) primary but resets the backup:
+                // C2-O28 sits in the paper's (1,1) cluster.
+                BackupBehavior::RejectApdu
+            } else {
+                profile.backup_behavior()
+            };
+            // O35 is a resetting backup via FIN (not in RESETTING_BACKUPS to
+            // keep its own profile row honest).
+            let profile = if o == 35 { ProfileType::ResettingBackup } else { profile };
+
+            let generator = gen_of_substation.get(&substation).map(|&g| GeneratorLink {
+                generator: g,
+                // AGC regulation is carried by a subset of the fleet (the
+                // units on regulation duty), through the substation's
+                // primary-capable RTU.
+                agc_controlled: profile.has_primary()
+                    && !matches!(profile, ProfileType::BackupRtu)
+                    && substation % 5 == 1,
+            });
+
+            let points = build_points(o, profile, generator);
+            // Fig. 6 arrows: ~1 in 4 outstations keeps the same IOA count.
+            let y2_point_delta = match o % 4 {
+                0 => 0,
+                1 => 2 + (o as i32 % 3),
+                2 => -(1 + (o as i32 % 2)),
+                _ => 1,
+            };
+
+            outstations.push(OutstationSpec {
+                id: o,
+                substation,
+                pair,
+                profile,
+                backup,
+                dialect,
+                common_address: o as u16,
+                points,
+                generator,
+                in_y1,
+                in_y2,
+                secondary_t3_override: if o == 30 { Some(430.0) } else { None },
+                testing_only: o == 22,
+                y2_point_delta,
+            });
+        }
+
+        Topology { outstations, grid }
+    }
+
+    /// Outstations present in a given year.
+    pub fn in_year(&self, year: crate::scenario::Year) -> Vec<&OutstationSpec> {
+        self.outstations
+            .iter()
+            .filter(|o| match year {
+                crate::scenario::Year::Y1 => o.in_y1,
+                crate::scenario::Year::Y2 => o.in_y2,
+            })
+            .collect()
+    }
+
+    /// Look up a spec by outstation number.
+    pub fn outstation(&self, id: usize) -> Option<&OutstationSpec> {
+        self.outstations.iter().find(|o| o.id == id)
+    }
+
+    /// The Table 2 rows: `(labels, added?, reason)`.
+    pub fn table2() -> Vec<(&'static str, &'static str, &'static str)> {
+        vec![
+            ("O50, O53", "Added", "New substations"),
+            ("O52, O55", "Added", "Updated from 101 to 104"),
+            ("O51, O56, O57, O58", "Added", "Backup RTU"),
+            ("O54", "Added", "Under Maintenance in year 1"),
+            ("O15, O20, O22, O28, O33, O38", "Removed", "Redundant RTU in operation"),
+            ("O2", "Removed", "Substation without supervision"),
+        ]
+    }
+}
+
+/// Deterministic point inventory for an outstation.
+fn build_points(o: usize, profile: ProfileType, generator: Option<GeneratorLink>) -> Vec<PointSpec> {
+    let mut points = Vec::new();
+    if matches!(profile, ProfileType::BackupRtu | ProfileType::ResettingBackup) {
+        // Pure backups hold the same points but never report them (they send
+        // no I-frames); keep a couple for interrogation completeness.
+        points.push(PointSpec {
+            ioa: 700,
+            quantity: PhysicalQuantity::Voltage,
+            report: ReportKind::InterrogationOnly,
+        });
+        points.push(PointSpec {
+            ioa: 701,
+            quantity: PhysicalQuantity::BreakerStatus,
+            report: ReportKind::InterrogationOnly,
+        });
+        return points;
+    }
+
+    let n_analog = 4 + (o * 7) % 12; // 4..15 analog points
+    let spontaneous_threshold = if profile == ProfileType::SpontaneousStale {
+        // Type 5: oversized thresholds -> sparse data (>20 s gaps force T3
+        // keep-alives mid-stream) and the stale values the operator
+        // complained about.
+        12.0
+    } else {
+        0.35
+    };
+    for k in 0..n_analog {
+        let ioa = 700 + k as u32;
+        let quantity = match k % 5 {
+            0 => PhysicalQuantity::ActivePower,
+            1 => PhysicalQuantity::ReactivePower,
+            2 => PhysicalQuantity::Voltage,
+            3 => PhysicalQuantity::Current,
+            _ => PhysicalQuantity::Frequency,
+        };
+        // Spontaneous I36 dominates (matching Table 7's 65 %), periodic I13
+        // second (32 %); the cadences are per-outstation deterministic.
+        let report = if profile == ProfileType::SpontaneousStale {
+            ReportKind::SpontaneousFloat {
+                threshold: spontaneous_threshold,
+            }
+        } else if k % 3 == 2 {
+            ReportKind::PeriodicFloat {
+                period_s: 4.0 + (o % 5) as f64,
+            }
+        } else {
+            ReportKind::SpontaneousFloat {
+                threshold: spontaneous_threshold,
+            }
+        };
+        points.push(PointSpec { ioa, quantity, report });
+    }
+
+    // Status points: breaker double point, plus an alarm single point.
+    points.push(PointSpec {
+        ioa: 800,
+        quantity: PhysicalQuantity::BreakerStatus,
+        report: ReportKind::SpontaneousDoublePoint,
+    });
+    if o % 6 == 1 {
+        points.push(PointSpec {
+            ioa: 801,
+            quantity: PhysicalQuantity::BreakerStatus,
+            report: ReportKind::SpontaneousPlainSinglePoint,
+        });
+    }
+    if o % 9 == 2 {
+        points.push(PointSpec {
+            ioa: 802,
+            quantity: PhysicalQuantity::BreakerStatus,
+            report: ReportKind::SpontaneousSinglePoint,
+        });
+    }
+    // One station reports normalized values (I9), one step positions (I5),
+    // one a bitstring status word (I7).
+    if o == 12 {
+        points.push(PointSpec {
+            ioa: 810,
+            quantity: PhysicalQuantity::Voltage,
+            report: ReportKind::PeriodicNormalized { period_s: 3.0 },
+        });
+    }
+    if o == 34 {
+        points.push(PointSpec {
+            ioa: 811,
+            quantity: PhysicalQuantity::Voltage,
+            report: ReportKind::PeriodicStep { period_s: 8.0 },
+        });
+    }
+    if o == 36 {
+        points.push(PointSpec {
+            ioa: 812,
+            quantity: PhysicalQuantity::BreakerStatus,
+            report: ReportKind::BitstringOnStart,
+        });
+    }
+    // AGC-controlled generators expose a set point feedback IOA.
+    if let Some(link) = generator {
+        if link.agc_controlled {
+            points.push(PointSpec {
+                ioa: 900,
+                quantity: PhysicalQuantity::AgcSetpoint,
+                report: ReportKind::InterrogationOnly,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Year;
+
+    #[test]
+    fn network_has_58_outstations_and_27_substations() {
+        let t = Topology::paper_network();
+        assert_eq!(t.outstations.len(), 58);
+        let subs: std::collections::BTreeSet<usize> =
+            t.outstations.iter().map(|o| o.substation).collect();
+        assert_eq!(subs.len(), 27);
+        assert_eq!(*subs.iter().max().unwrap(), 27);
+    }
+
+    #[test]
+    fn year_membership_matches_table2() {
+        let t = Topology::paper_network();
+        let y1: Vec<usize> = t.in_year(Year::Y1).iter().map(|o| o.id).collect();
+        let y2: Vec<usize> = t.in_year(Year::Y2).iter().map(|o| o.id).collect();
+        assert_eq!(y1.len(), 49);
+        assert_eq!(y2.len(), 51);
+        for o in REMOVED_IN_Y2 {
+            assert!(y1.contains(&o) && !y2.contains(&o), "O{o} removed in Y2");
+        }
+        for o in ADDED_IN_Y2 {
+            assert!(!y1.contains(&o) && y2.contains(&o), "O{o} added in Y2");
+        }
+    }
+
+    #[test]
+    fn paper_named_dialects() {
+        let t = Topology::paper_network();
+        assert_eq!(t.outstation(37).unwrap().dialect, Dialect::LEGACY_IOA);
+        for o in [28, 53, 58] {
+            assert_eq!(t.outstation(o).unwrap().dialect, Dialect::LEGACY_COT, "O{o}");
+        }
+        assert_eq!(t.outstation(36).unwrap().dialect, Dialect::STANDARD);
+    }
+
+    #[test]
+    fn o30_t3_outlier_and_o22_testing() {
+        let t = Topology::paper_network();
+        assert_eq!(t.outstation(30).unwrap().secondary_t3_override, Some(430.0));
+        assert!(t.outstation(22).unwrap().testing_only);
+        assert_eq!(t.outstation(30).unwrap().backup, BackupBehavior::IgnoreTestFr);
+    }
+
+    #[test]
+    fn s10_hosts_fourteen_rtus() {
+        let t = Topology::paper_network();
+        let count = t.outstations.iter().filter(|o| o.substation == 10).count();
+        assert_eq!(count, 15, "14 original RTUs plus the Y2 backup O58");
+        let y1_count = t
+            .outstations
+            .iter()
+            .filter(|o| o.substation == 10 && o.in_y1)
+            .count();
+        assert_eq!(y1_count, 14);
+    }
+
+    #[test]
+    fn server_pairs_match_paper_examples() {
+        let t = Topology::paper_network();
+        // O10 and O20 talk to C3/C4; O29/O30 to C1/C2.
+        assert_eq!(t.outstation(10).unwrap().pair, (ServerId::C3, ServerId::C4));
+        assert_eq!(t.outstation(20).unwrap().pair, (ServerId::C3, ServerId::C4));
+        assert_eq!(t.outstation(29).unwrap().pair, (ServerId::C1, ServerId::C2));
+        assert_eq!(t.outstation(30).unwrap().pair, (ServerId::C1, ServerId::C2));
+    }
+
+    #[test]
+    fn misbehaving_backups_assigned() {
+        let t = Topology::paper_network();
+        for o in RESETTING_BACKUPS {
+            assert_eq!(
+                t.outstation(o).unwrap().backup,
+                BackupBehavior::RejectApdu,
+                "O{o}"
+            );
+        }
+        // O28 resets its backup while keeping a legacy-dialect primary.
+        assert_eq!(t.outstation(28).unwrap().backup, BackupBehavior::RejectApdu);
+        assert!(t.outstation(28).unwrap().profile.has_primary());
+        assert!(t.outstation(58).unwrap().profile.has_primary());
+        assert_eq!(t.outstation(35).unwrap().backup, BackupBehavior::AcceptThenFin);
+        for o in [5, 8] {
+            assert_eq!(t.outstation(o).unwrap().profile, ProfileType::HalfDeafBackup);
+        }
+    }
+
+    #[test]
+    fn type5_has_oversized_thresholds() {
+        let t = Topology::paper_network();
+        let o45 = t.outstation(45).unwrap();
+        assert_eq!(o45.profile, ProfileType::SpontaneousStale);
+        let big = o45.points.iter().any(|p| {
+            matches!(p.report, ReportKind::SpontaneousFloat { threshold } if threshold > 10.0)
+        });
+        assert!(big);
+    }
+
+    #[test]
+    fn generation_substations_have_agc_links() {
+        let t = Topology::paper_network();
+        let agc_count = t
+            .outstations
+            .iter()
+            .filter(|o| o.generator.map(|g| g.agc_controlled).unwrap_or(false))
+            .count();
+        // The regulation fleet is a subset of the generation fleet (the
+        // paper's Table 8 shows only four stations receiving I50 in Y1).
+        assert!((3..=8).contains(&agc_count), "regulation fleet size: {agc_count}");
+        // S2 is auxiliary: no generator.
+        assert!(t.outstation(2).unwrap().generator.is_none());
+    }
+
+    #[test]
+    fn y2_point_deltas_keep_a_quarter_stable() {
+        let t = Topology::paper_network();
+        let stable = t
+            .outstations
+            .iter()
+            .filter(|o| o.in_y1 && o.in_y2 && o.y2_point_delta == 0)
+            .count();
+        let both: usize = t.outstations.iter().filter(|o| o.in_y1 && o.in_y2).count();
+        let frac = stable as f64 / both as f64;
+        assert!((0.15..=0.40).contains(&frac), "fraction stable {frac}");
+    }
+
+    #[test]
+    fn point_years_apply_delta() {
+        let t = Topology::paper_network();
+        let o = t.outstation(1).unwrap(); // delta = 2 + 1%3 = 3
+        let y1 = o.points_in_year(Year::Y1).len();
+        let y2 = o.points_in_year(Year::Y2).len();
+        assert_eq!(y2 as i32 - y1 as i32, o.y2_point_delta);
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let t = Topology::paper_network();
+        let mut ips: Vec<u32> = t.outstations.iter().map(|o| o.ip()).collect();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), 58);
+    }
+}

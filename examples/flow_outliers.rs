@@ -1,0 +1,101 @@
+//! The §6.2 surprise: a SCADA network where most TCP flows live for less
+//! than a second, because misconfigured RTUs reset every backup-connection
+//! attempt (Fig. 9) — plus the session clustering of Figs. 10–11 that
+//! isolates the C2→O30 outlier.
+//!
+//! ```sh
+//! cargo run --release --example flow_outliers
+//! ```
+
+use uncharted::analysis::flowstats::{duration_histogram, reject_census};
+use uncharted::analysis::report::{ip, pct, Table};
+use uncharted::{Pipeline, Scenario, Simulation, Year};
+
+fn main() {
+    // A longer window so the O30 secondary (430 s keep-alive gap) shows up.
+    let set = Simulation::new(Scenario::small(Year::Y1, 42, 900.0)).run();
+    let p = Pipeline::from_capture_set(&set);
+
+    // --- Table 3 ---------------------------------------------------------
+    let stats = p.flow_stats();
+    let mut t = Table::new(["Metric", "Value", "Proportion"]);
+    t.row([
+        "Less-than-one-second short-lived flows".into(),
+        stats.short_sub_second.to_string(),
+        pct(stats.sub_second_fraction()),
+    ]);
+    t.row([
+        "Longer-than-one-second short-lived flows".into(),
+        stats.short_longer.to_string(),
+        pct(1.0 - stats.sub_second_fraction()),
+    ]);
+    t.row([
+        "Short-lived flows".to_string(),
+        stats.short_lived().to_string(),
+        pct(stats.short_fraction()),
+    ]);
+    t.row([
+        "Long-lived flows".to_string(),
+        stats.long_lived.to_string(),
+        pct(1.0 - stats.short_fraction()),
+    ]);
+    println!("TCP flow lifetimes (paper Table 3):\n{}", t.render());
+
+    // --- Fig. 8: duration histogram --------------------------------------
+    println!("short-lived flow durations (log10 buckets, Fig. 8):");
+    for (bucket, count) in duration_histogram(&p.dataset.flows) {
+        let label = if bucket == i32::MIN {
+            "     0s".to_string()
+        } else {
+            format!("10^{bucket:>3}s")
+        };
+        println!("  {label}  {}", "#".repeat((count as f64).log2().max(1.0) as usize * 2));
+    }
+
+    // --- Fig. 9: who resets? ---------------------------------------------
+    println!("\nconnections repeatedly reset by the outstation (Fig. 9):");
+    let mut t = Table::new(["Pair", "Reset connections"]);
+    for (key, count) in reject_census(&p.dataset.flows).into_iter().take(8) {
+        t.row([key.to_string(), count.to_string()]);
+    }
+    println!("{}", t.render());
+
+    // --- Fig. 10/11: session clusters -------------------------------------
+    let report = p.cluster_sessions(7);
+    println!("session clustering at the paper's K=5 (Fig. 11):");
+    let mut t = Table::new(["Cluster", "Sessions", "mean dt [s]", "%I", "%S", "%U"]);
+    for (c, mean) in report.cluster_means.iter().enumerate() {
+        t.row([
+            c.to_string(),
+            report.k5.cluster_sizes()[c].to_string(),
+            format!("{:.1}", mean[0]),
+            pct(mean[2]),
+            pct(mean[3]),
+            pct(mean[4]),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The outlier: the largest mean inter-arrival cluster and O30's place.
+    let sessions = p.sessions();
+    let slowest = (0..report.cluster_means.len())
+        .max_by(|&a, &b| {
+            report.cluster_means[a][0]
+                .partial_cmp(&report.cluster_means[b][0])
+                .unwrap()
+        })
+        .unwrap();
+    println!("slowest cluster ({slowest}) members — the paper's cluster 0 outliers:");
+    for &i in &report.k5.members(slowest) {
+        let s = &sessions[i];
+        let f = s.features();
+        println!(
+            "  {} -> {}  (mean dt {:.0}s over {} packets)",
+            ip(s.src),
+            ip(s.dst),
+            f.mean_interarrival,
+            s.times.len()
+        );
+    }
+    println!("(10.1.11.30 is O30 — its T3 is misconfigured to 430 s, an order of\n magnitude above the 30 s the other secondaries use)");
+}

@@ -1,0 +1,96 @@
+//! The §6.1 story: outstations upgraded from serial IEC 101 that still
+//! speak with legacy field widths. A strict parser flags 100 % of their
+//! data frames; the dialect detector recovers them — and this example shows
+//! the octet-level difference the paper's Fig. 7 illustrates.
+//!
+//! ```sh
+//! cargo run --release --example legacy_dialects
+//! ```
+
+use uncharted::iec104::apdu::Apdu;
+use uncharted::iec104::asdu::{Asdu, InfoObject, IoValue};
+use uncharted::iec104::cot::{Cause, Cot};
+use uncharted::iec104::dialect::Dialect;
+use uncharted::iec104::elements::Qds;
+use uncharted::iec104::parser::{StrictParser, TolerantParser};
+use uncharted::iec104::types::TypeId;
+use uncharted::analysis::report::{ip, Table};
+use uncharted::{Pipeline, Scenario, Simulation, Year};
+
+fn hexdump(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    // --- Fig. 7: the same ASDU under three dialects -------------------
+    let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 7).with_object(
+        InfoObject::new(0x0301, IoValue::FloatMeasurement {
+            value: 49.98,
+            qds: Qds::GOOD,
+        }),
+    );
+    println!("one 'measured value, short float' APDU, three wire dialects:\n");
+    for (label, dialect) in [
+        ("correct IEC 104 (Fig. 7b)", Dialect::STANDARD),
+        ("1-octet COT, as O53/O58/O28 (Fig. 7a)", Dialect::LEGACY_COT),
+        ("2-octet IOA, as O37 (Fig. 7c)", Dialect::LEGACY_IOA),
+    ] {
+        let bytes = Apdu::i_frame(0, 0, asdu.clone()).encode(dialect).unwrap();
+        println!("  {label:<40} {}", hexdump(&bytes));
+    }
+
+    // --- A strict parser vs the tolerant parser on a legacy stream ----
+    let mut stream = Vec::new();
+    for i in 0..12u16 {
+        let a = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 28).with_object(
+            InfoObject::new(700 + (i as u32 % 4), IoValue::FloatMeasurement {
+                value: 131.0 + i as f32 * 0.01,
+                qds: Qds::GOOD,
+            }),
+        );
+        stream.extend(Apdu::i_frame(i, 0, a).encode(Dialect::LEGACY_COT).unwrap());
+    }
+    let mut strict = StrictParser::new();
+    strict.feed(&stream);
+    let mut tolerant = TolerantParser::new();
+    tolerant.feed(&stream);
+    tolerant.flush();
+    println!(
+        "\nlegacy stream of 12 I-frames: strict parser flags {} ({}), \
+         tolerant parser flags {} and detects dialect '{}'",
+        strict.stats().malformed,
+        "100%",
+        tolerant.stats().malformed,
+        tolerant.detected().unwrap().label()
+    );
+
+    // --- The same finding at network scale ----------------------------
+    println!("\nrunning the compliance census over a simulated Y1 capture...");
+    let set = Simulation::new(Scenario::small(Year::Y1, 7, 120.0)).run();
+    let p = Pipeline::from_capture_set(&set);
+    let mut t = Table::new(["Outstation", "I-frames", "Strict malformed", "Tolerant malformed", "Dialect"]);
+    let mut rows: Vec<_> = p.dataset.compliance.values().collect();
+    rows.sort_by(|a, b| {
+        b.strict_malformed_fraction()
+            .partial_cmp(&a.strict_malformed_fraction())
+            .unwrap()
+    });
+    for entry in rows.iter().take(6) {
+        t.row([
+            ip(entry.outstation_ip),
+            entry.i_frames.to_string(),
+            format!("{:.0}%", entry.strict_malformed_fraction() * 100.0),
+            entry.tolerant_malformed.to_string(),
+            entry.dialect.label(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(10.1.14.37 is the paper's O37; 10.1.9.28 is O28 — exactly the \
+         outstations §6.1 found 100% malformed)"
+    );
+}

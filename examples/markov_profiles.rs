@@ -1,0 +1,115 @@
+//! The §6.3.1 Markov profiling story: tokenise every device pair's APDU
+//! stream, build the chains of Figs. 12/14/15, the chain-size census of
+//! Fig. 13, and the Table 6 / Fig. 17 taxonomy.
+//!
+//! ```sh
+//! cargo run --release --example markov_profiles
+//! ```
+
+use uncharted::analysis::markov::{self, Fig13Cluster, TokenChain};
+use uncharted::analysis::report::{ascii_scatter, ip, Table};
+use uncharted::{Pipeline, Scenario, Simulation, Year};
+
+fn print_chain(title: &str, chain: &TokenChain) {
+    println!("{title}");
+    for (a, b, p) in chain.transitions() {
+        println!("    {a:>5} -> {b:<5}  p={p:.3}");
+    }
+}
+
+fn main() {
+    let set = Simulation::new(Scenario::small(Year::Y1, 42, 300.0)).run();
+    let p = Pipeline::from_capture_set(&set);
+    let census = p.chain_census();
+
+    // --- Fig. 12: the two simplest expected patterns -------------------
+    // A primary connection: I-frames acknowledged by S-frames.
+    let primary = p
+        .dataset
+        .timelines
+        .iter()
+        .filter(|tl| tl.tokens().iter().any(|t| t.is_i()))
+        .max_by_key(|tl| tl.events.len())
+        .expect("a primary pair");
+    let chain = TokenChain::from_tokens(&primary.tokens());
+    print_chain(
+        &format!(
+            "busiest primary connection {} <-> {} (Fig. 12 left has the idealised version):",
+            ip(primary.server_ip),
+            ip(primary.outstation_ip)
+        ),
+        &TokenChain::from_tokens(
+            &primary
+                .tokens()
+                .into_iter()
+                .filter(|t| t.is_i() || matches!(t, uncharted::iec104::tokens::Token::S))
+                .take(200)
+                .collect::<Vec<_>>(),
+        ),
+    );
+    drop(chain);
+
+    // A healthy secondary: U16/U32 forever.
+    let secondary = census
+        .rows
+        .iter()
+        .find(|r| !r.has_i && r.answers_testfr)
+        .expect("a healthy secondary");
+    let tl = p.dataset.timeline(secondary.server_ip, secondary.outstation_ip).unwrap();
+    print_chain(
+        &format!(
+            "\nhealthy secondary {} <-> {} (Fig. 12 right):",
+            ip(secondary.server_ip),
+            ip(secondary.outstation_ip)
+        ),
+        &TokenChain::from_tokens(&tl.tokens()),
+    );
+
+    // The abnormal (1,1) chain: U16 with no U32 (Fig. 14).
+    if let Some(dead) = census.rows.iter().find(|r| census.cluster(r) == Fig13Cluster::Point11) {
+        let tl = p.dataset.timeline(dead.server_ip, dead.outstation_ip).unwrap();
+        print_chain(
+            &format!(
+                "\ndead backup {} <-> {} (Fig. 14 — keep-alives never answered):",
+                ip(dead.server_ip),
+                ip(dead.outstation_ip)
+            ),
+            &TokenChain::from_tokens(&tl.tokens()),
+        );
+    }
+
+    // --- Fig. 13: chain sizes, three clusters ---------------------------
+    let points: Vec<(f64, f64, char)> = census
+        .rows
+        .iter()
+        .map(|r| {
+            let marker = match census.cluster(r) {
+                Fig13Cluster::Point11 => 'x',
+                Fig13Cluster::Square => 'o',
+                Fig13Cluster::Ellipse => 'E',
+            };
+            (r.nodes as f64, r.edges as f64, marker)
+        })
+        .collect();
+    println!("\nFig. 13 — Markov chain sizes (x = dead backups at (1,1), o = ordinary, E = with I100):");
+    print!("{}", ascii_scatter(&points, 60, 14));
+    println!(
+        "clusters: point(1,1)={}, square={}, ellipse={}",
+        census.in_cluster(Fig13Cluster::Point11).len(),
+        census.in_cluster(Fig13Cluster::Square).len(),
+        census.in_cluster(Fig13Cluster::Ellipse).len()
+    );
+
+    // --- Table 6 / Fig. 17: the taxonomy --------------------------------
+    let classes = p.classify_outstations();
+    let mut t = Table::new(["Type", "Description", "Count", "Share"]);
+    for (class, n, frac) in markov::class_distribution(&classes) {
+        t.row([
+            class.number().to_string(),
+            format!("{class:?}"),
+            n.to_string(),
+            format!("{:.1}%", frac * 100.0),
+        ]);
+    }
+    println!("\noutstation taxonomy (Table 6 / Fig. 17):\n{}", t.render());
+}

@@ -1,0 +1,76 @@
+//! Hypothesis 1 — year-over-year change (§6, Table 2, Fig. 6): run both
+//! capture years and diff what the tap sees.
+//!
+//! ```sh
+//! cargo run --release --example year_comparison
+//! ```
+
+use std::collections::BTreeSet;
+use uncharted::analysis::report::{ip, Table};
+use uncharted::scadasim::topology::Topology;
+use uncharted::{run_study, Pipeline};
+
+fn outstation_label(topology: &Topology, addr: u32) -> String {
+    topology
+        .outstations
+        .iter()
+        .find(|o| o.ip() == addr)
+        .map(|o| format!("{} (S{})", o.label(), o.substation))
+        .unwrap_or_else(|| ip(addr))
+}
+
+fn main() {
+    println!("simulating both capture campaigns (Y1: 5 windows, Y2: 3 windows)...");
+    let (y1, y2): (Pipeline, Pipeline) = run_study(42, 60.0);
+    let topology = Topology::paper_network();
+
+    let ips_y1 = y1.dataset.outstation_ips();
+    let ips_y2 = y2.dataset.outstation_ips();
+    let removed: BTreeSet<_> = ips_y1.difference(&ips_y2).collect();
+    let added: BTreeSet<_> = ips_y2.difference(&ips_y1).collect();
+
+    println!(
+        "\nY1: {} outstations on the wire; Y2: {} outstations",
+        ips_y1.len(),
+        ips_y2.len()
+    );
+    let mut t = Table::new(["Outstation", "Change"]);
+    for &a in &removed {
+        t.row([outstation_label(&topology, *a), "removed in Y2".to_string()]);
+    }
+    for &a in &added {
+        t.row([outstation_label(&topology, *a), "added in Y2".to_string()]);
+    }
+    println!("{}", t.render());
+
+    println!("operator's explanations (paper Table 2):");
+    let mut t = Table::new(["Outstation", "Added/Removed", "Description"]);
+    for (who, what, why) in Topology::table2() {
+        t.row([who, what, why]);
+    }
+    println!("{}", t.render());
+
+    // Flow statistics year over year (Table 3).
+    let s1 = y1.flow_stats();
+    let s2 = y2.flow_stats();
+    let mut t = Table::new(["Year", "Short-lived", "<1s share", "Long-lived"]);
+    for (label, s) in [("Y1", s1), ("Y2", s2)] {
+        t.row([
+            label.to_string(),
+            s.short_lived().to_string(),
+            format!("{:.1}%", s.sub_second_fraction() * 100.0),
+            s.long_lived.to_string(),
+        ]);
+    }
+    println!("flow lifetimes by year (Table 3):\n{}", t.render());
+
+    // What stayed the same: servers, and the dominant traffic mix.
+    assert_eq!(y1.dataset.server_ips(), y2.dataset.server_ips());
+    println!("server configuration is identical across years (C1-C4), as in the paper.");
+    let c1 = y1.type_census();
+    let c2 = y2.type_census();
+    let top = |c: &uncharted::analysis::dpi::TypeCensus| {
+        c.rows().into_iter().take(2).map(|(t, _, p)| format!("I{t} {p:.1}%")).collect::<Vec<_>>()
+    };
+    println!("dominant types Y1: {:?} / Y2: {:?}", top(&c1), top(&c2));
+}

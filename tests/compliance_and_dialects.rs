@@ -1,0 +1,82 @@
+//! §6.1: the compliance census. Exactly the legacy-dialect outstations the
+//! paper names must be 100 % malformed under strict parsing and fully
+//! recovered by the tolerant parser — in the right capture year.
+
+use uncharted::iec104::dialect::Dialect;
+use uncharted::nettap::ipv4::addr;
+use uncharted::{Pipeline, Scenario, Simulation, Year};
+
+fn o(ip_sub: u8, ip_id: u8) -> u32 {
+    addr(10, 1, ip_sub, ip_id)
+}
+
+#[test]
+fn y1_flags_o37_and_o28_only() {
+    let set = Simulation::new(Scenario::small(Year::Y1, 21, 150.0)).run();
+    let p = Pipeline::from_capture_set(&set);
+    let malformed = p.dataset.fully_malformed_outstations();
+    let o37 = o(14, 37);
+    let o28 = o(9, 28);
+    assert!(malformed.contains(&o37), "O37 (2-octet IOA) flagged");
+    assert!(malformed.contains(&o28), "O28 (1-octet COT) flagged");
+    // No compliant outstation is flagged.
+    for ip in &malformed {
+        assert!(
+            [o37, o28].contains(ip),
+            "unexpectedly malformed: {}",
+            uncharted::nettap::ipv4::fmt_addr(*ip)
+        );
+    }
+    // Dialect identification matches the paper's diagnosis (Fig. 7).
+    assert_eq!(p.dataset.dialects[&o37], Dialect::LEGACY_IOA);
+    assert_eq!(p.dataset.dialects[&o28], Dialect::LEGACY_COT);
+    // The tolerant parser recovers every frame.
+    for ip in [o37, o28] {
+        let entry = &p.dataset.compliance[&ip];
+        assert_eq!(entry.strict_malformed_fraction(), 1.0);
+        assert_eq!(entry.tolerant_malformed, 0, "tolerant parser recovers");
+        assert!(entry.i_frames > 10, "enough evidence: {}", entry.i_frames);
+    }
+}
+
+#[test]
+fn y2_flags_o37_o53_o58() {
+    let set = Simulation::new(Scenario::small(Year::Y2, 22, 150.0)).run();
+    let p = Pipeline::from_capture_set(&set);
+    let malformed = p.dataset.fully_malformed_outstations();
+    // O28 is gone in Y2 (Table 2); O53 and O58 appear with 1-octet COT.
+    assert!(!malformed.contains(&o(9, 28)), "O28 removed in Y2");
+    assert!(malformed.contains(&o(14, 37)), "O37 persists");
+    assert!(malformed.contains(&o(27, 53)), "O53 (new substation)");
+    assert!(malformed.contains(&o(10, 58)), "O58 (backup RTU)");
+    assert_eq!(p.dataset.dialects[&o(27, 53)], Dialect::LEGACY_COT);
+    assert_eq!(p.dataset.dialects[&o(10, 58)], Dialect::LEGACY_COT);
+}
+
+#[test]
+fn compliant_outstations_parse_clean_under_strict() {
+    let set = Simulation::new(Scenario::small(Year::Y1, 23, 100.0)).run();
+    let p = Pipeline::from_capture_set(&set);
+    // O3 and O10 are ordinary standard-dialect outstations.
+    for ip in [o(3, 3), o(10, 10)] {
+        let entry = &p.dataset.compliance[&ip];
+        assert!(entry.i_frames > 10);
+        assert_eq!(entry.strict_malformed, 0, "standard RTU is compliant");
+        assert!(p.dataset.dialects[&ip].is_standard());
+    }
+}
+
+#[test]
+fn malformed_values_look_random_under_wrong_dialect() {
+    // The paper's symptom: "the measurements in I-Format APDUs appeared
+    // completely random". Decode one legacy outstation's frames under the
+    // *standard* dialect and check the detector's plausibility ranking
+    // agrees with the chosen dialect.
+    let set = Simulation::new(Scenario::small(Year::Y1, 24, 120.0)).run();
+    let p = Pipeline::from_capture_set(&set);
+    let entry = &p.dataset.compliance[&o(14, 37)];
+    let best = &entry.scores[0];
+    assert_eq!(best.dialect, Dialect::LEGACY_IOA);
+    // The runner-up scores strictly lower.
+    assert!(best.score > entry.scores[1].score);
+}

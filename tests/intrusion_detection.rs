@@ -1,0 +1,141 @@
+//! The paper's future-work extension, exercised end to end: learn a
+//! cyber+physical whitelist from a clean capture, then detect an
+//! Industroyer-style intrusion injected into the same network.
+
+use uncharted::analysis::ids::{AlertKind, Severity, Whitelist};
+use uncharted::scadasim::attacker::AttackSpec;
+use uncharted::{Pipeline, Scenario, Simulation, Year};
+
+fn clean() -> Pipeline {
+    Pipeline::from_capture_set(&Simulation::new(Scenario::small(Year::Y1, 42, 240.0)).run())
+}
+
+fn attacked() -> Pipeline {
+    let scenario = Scenario::small(Year::Y1, 42, 240.0).with_attack(0.5, 3);
+    Pipeline::from_capture_set(&Simulation::new(scenario).run())
+}
+
+#[test]
+fn attack_changes_the_capture() {
+    let a = clean();
+    let b = attacked();
+    // The attacker's host appears on the wire.
+    let evil = AttackSpec::attacker_ip();
+    assert!(!a.dataset.server_ips().contains(&evil));
+    assert!(b.dataset.server_ips().contains(&evil));
+    // And it managed to interrogate + command (I45/I100 from its pairs).
+    let evil_pairs: Vec<_> = b
+        .dataset
+        .timelines
+        .iter()
+        .filter(|tl| tl.server_ip == evil)
+        .collect();
+    assert!(evil_pairs.len() >= 2, "attacker reached targets");
+    assert!(evil_pairs
+        .iter()
+        .any(|tl| tl.tokens().contains(&uncharted::iec104::tokens::Token::I(100))));
+    assert!(evil_pairs
+        .iter()
+        .any(|tl| tl.tokens().contains(&uncharted::iec104::tokens::Token::I(45))));
+}
+
+#[test]
+fn whitelist_detects_the_intrusion() {
+    let wl = Whitelist::learn(&clean().dataset);
+    assert!(wl.pair_count() > 40, "learned profile covers the network");
+    let alerts = wl.inspect(&attacked().dataset);
+    let evil = AttackSpec::attacker_ip();
+
+    // The unknown host fires at High severity.
+    assert!(
+        alerts.iter().any(|a| a.severity == Severity::High
+            && matches!(a.kind, AlertKind::UnknownHost { ip } if ip == evil)),
+        "unknown attacker host must be flagged"
+    );
+    // Its connections are unknown pairs.
+    assert!(alerts
+        .iter()
+        .any(|a| matches!(a.kind, AlertKind::UnknownPair { server_ip, .. } if server_ip == evil)));
+}
+
+#[test]
+fn whitelist_is_quiet_on_clean_traffic() {
+    let wl = Whitelist::learn(&clean().dataset);
+    // Same network, different day (different seed): no High alerts. A few
+    // Low/Medium novelties are expected — reconnects shuffle token orders.
+    let other = Pipeline::from_capture_set(
+        &Simulation::new(Scenario::small(Year::Y1, 43, 240.0)).run(),
+    );
+    let alerts = wl.inspect(&other.dataset);
+    let high: Vec<_> = alerts
+        .iter()
+        .filter(|a| a.severity == Severity::High)
+        .collect();
+    assert!(
+        high.is_empty(),
+        "no high-severity alerts on clean traffic: {high:?}"
+    );
+}
+
+#[test]
+fn physical_impact_of_the_attack_is_visible() {
+    // The attacker opens breakers on generator RTUs: the grid loses those
+    // units, which shows up in the captured power series.
+    let a = clean();
+    let b = attacked();
+    let series_max = |p: &Pipeline, station_sub: u8, station_id: u8, ioa: u32| -> Option<f64> {
+        let ip = uncharted::nettap::ipv4::addr(10, 1, station_sub, station_id);
+        p.physical_series()
+            .into_iter()
+            .find(|s| s.station_ip == ip && s.ioa == ioa && !s.from_server)
+            .map(|s| {
+                // Maximum power in the tail (after the attack at 50 %).
+                s.samples
+                    .iter()
+                    .filter(|(t, _)| *t > 240.0)
+                    .map(|(_, v)| *v)
+                    .fold(0.0, f64::max)
+            })
+    };
+    // O1 (S1) is a regulation generator RTU — one of the attack targets.
+    let before = series_max(&a, 1, 1, 705);
+    let after = series_max(&b, 1, 1, 705);
+    if let (Some(before), Some(after)) = (before, after) {
+        assert!(
+            after < before * 0.6,
+            "generator output collapses after the breaker attack: {before} -> {after}"
+        );
+    } else {
+        panic!("power series missing: {before:?} {after:?}");
+    }
+}
+
+#[test]
+fn attack_works_against_year_two_topology() {
+    // The attacker is topology-agnostic: it also lands in Y2 (where O55/S26
+    // joins the regulation fleet).
+    let scenario = Scenario::small(Year::Y2, 91, 200.0).with_attack(0.4, 2);
+    let p = Pipeline::from_capture_set(&Simulation::new(scenario).run());
+    let evil = AttackSpec::attacker_ip();
+    assert!(p.dataset.server_ips().contains(&evil));
+    let wl = Whitelist::learn(
+        &Pipeline::from_capture_set(&Simulation::new(Scenario::small(Year::Y2, 91, 200.0)).run())
+            .dataset,
+    );
+    let alerts = wl.inspect(&p.dataset);
+    assert!(alerts
+        .iter()
+        .any(|a| matches!(a.kind, AlertKind::UnknownHost { ip } if ip == evil)));
+}
+
+#[test]
+fn attack_is_visible_in_the_markov_census() {
+    // The attacker's pairs land in the Fig. 13 "ellipse": they carry I100.
+    let scenario = Scenario::small(Year::Y1, 42, 240.0).with_attack(0.5, 3);
+    let p = Pipeline::from_capture_set(&Simulation::new(scenario).run());
+    let census = p.chain_census();
+    let evil = AttackSpec::attacker_ip();
+    let evil_rows: Vec<_> = census.rows.iter().filter(|r| r.server_ip == evil).collect();
+    assert!(!evil_rows.is_empty());
+    assert!(evil_rows.iter().any(|r| r.has_i100), "recon interrogation visible");
+}

@@ -1,0 +1,172 @@
+//! Hypothesis 5 (§6.4): a network observer can recover physical behaviour
+//! from the tap — the generator-online signature (Figs. 20–21), the
+//! unmet-load event (Figs. 18–19) and the semantic typeID mapping (Table 8).
+
+use uncharted::analysis::dpi::{self, PhysicalKind, SignatureMachine};
+use uncharted::nettap::ipv4::addr;
+use uncharted::{Pipeline, Scenario, Simulation, Year};
+
+/// O40 observes the S16 generator, which the scenario scripts offline, then
+/// through synchronisation, breaker close and power delivery.
+const O40_SUB: u8 = 16;
+const O40_ID: u8 = 40;
+
+fn pipeline() -> Pipeline {
+    let set = Simulation::new(Scenario::small(Year::Y1, 42, 300.0)).run();
+    Pipeline::from_capture_set(&set)
+}
+
+#[test]
+fn generator_online_signature_recovered_from_the_tap() {
+    let p = pipeline();
+    let o40 = addr(10, 1, O40_SUB, O40_ID);
+    let series = p.physical_series();
+    let find = |ioa: u32| {
+        series
+            .iter()
+            .find(|s| s.station_ip == o40 && s.ioa == ioa && !s.from_server)
+            .unwrap_or_else(|| panic!("missing series ioa {ioa}"))
+    };
+    // O40's periodic points: IOA 702 = generator bus voltage, 705 = active
+    // power; IOA 800 = breaker double point (reports on change only).
+    let voltage = find(702);
+    let power = find(705);
+    let breaker = find(800);
+
+    // The voltage series shows the 0 → nominal ramp.
+    let v_min = voltage.samples.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
+    let v_max = voltage.samples.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    assert!(v_min < 5.0, "dark bus observed: {v_min}");
+    assert!(v_max > 110.0, "nominal reached: {v_max}");
+
+    // The breaker closes (0/1 -> 2) during the capture.
+    assert!(breaker.samples.iter().any(|(_, v)| *v == 2.0));
+
+    // Power flows only after the close.
+    let close_t = breaker
+        .samples
+        .iter()
+        .find(|(_, v)| *v == 2.0)
+        .map(|(t, _)| *t)
+        .unwrap();
+    let p_before = power
+        .samples
+        .iter()
+        .filter(|(t, _)| *t < close_t - 5.0)
+        .map(|(_, v)| v.abs())
+        .fold(0.0, f64::max);
+    let p_after = power
+        .samples
+        .iter()
+        .filter(|(t, _)| *t > close_t + 20.0)
+        .map(|(_, v)| *v)
+        .fold(0.0, f64::max);
+    assert!(p_before < 5.0, "no power before close: {p_before}");
+    assert!(p_after > 20.0, "power delivered after close: {p_after}");
+
+    // The Fig. 21 state machine accepts the aligned sequence.
+    let rows = dpi::align_series_defaults(&[voltage, breaker, power], 2.0, &[0.0, 1.0, 0.0]);
+    let samples: Vec<(f64, u8, f64)> = rows
+        .iter()
+        .map(|(_, v)| (v[0], v[1] as u8, v[2]))
+        .collect();
+    let machine = SignatureMachine::new(130.0);
+    assert!(machine.accepts(&samples), "signature must accept");
+
+    // And it rejects the same data shuffled (time-reversed).
+    let mut reversed = samples.clone();
+    reversed.reverse();
+    assert!(
+        !SignatureMachine::new(130.0).accepts(&reversed),
+        "signature must reject reversed data"
+    );
+}
+
+#[test]
+fn unmet_load_event_is_flagged_by_the_variance_screen() {
+    let p = pipeline();
+    // The scripted load loss sits at 55–85 % of the window. Some series
+    // must light up in the screen, and at least one flagged window must
+    // overlap the event.
+    let series = p.physical_series();
+    let window = 20.0;
+    let mut flagged_windows = Vec::new();
+    for s in &series {
+        if s.from_server {
+            continue;
+        }
+        for ev in dpi::variance_events(s, window, 3.0) {
+            flagged_windows.push((ev.start, ev.end));
+        }
+    }
+    assert!(!flagged_windows.is_empty(), "events flagged");
+    // Event times in this scenario: window [60, 360): load loss at 225,
+    // restore at 315; generator sync from 105.
+    let overlaps_event = flagged_windows
+        .iter()
+        .any(|&(s, e)| (e > 215.0 && s < 325.0) || (e > 95.0 && s < 200.0));
+    assert!(overlaps_event, "flags overlap the scripted events: {flagged_windows:?}");
+}
+
+#[test]
+fn frequency_excursion_and_agc_response_visible() {
+    let p = pipeline();
+    let series = p.physical_series();
+    // A frequency series (any station) shows the over-frequency excursion
+    // after load loss (t >= 225) relative to the quiet first 100 s.
+    let freq = series
+        .iter()
+        .filter(|s| !s.from_server && s.infer_kind() == PhysicalKind::Frequency)
+        .max_by_key(|s| s.samples.len())
+        .expect("a frequency series");
+    let quiet_max = freq
+        .samples
+        .iter()
+        .filter(|(t, _)| *t < 160.0)
+        .map(|(_, v)| (v - 60.0).abs())
+        .fold(0.0, f64::max);
+    let event_max = freq
+        .samples
+        .iter()
+        .filter(|(t, _)| (225.0..320.0).contains(t))
+        .map(|(_, v)| (v - 60.0).abs())
+        .fold(0.0, f64::max);
+    assert!(
+        event_max > quiet_max * 2.0,
+        "excursion {event_max} vs quiet {quiet_max}"
+    );
+    // AGC set points travelled the network during the event (Fig. 19
+    // bottom series): some I50 command series exists and changes.
+    let agc = series
+        .iter()
+        .filter(|s| s.from_server && s.samples.len() >= 2)
+        .max_by_key(|s| s.samples.len())
+        .expect("an AGC set point series");
+    let first = agc.samples.first().unwrap().1;
+    assert!(agc.samples.iter().any(|(_, v)| (v - first).abs() > 1.0));
+}
+
+#[test]
+fn table8_semantics_inferred() {
+    let p = pipeline();
+    let rows = p.table8();
+    let find = |ty: u8| rows.iter().find(|r| r.type_id == ty);
+    // I36 and I13 carry the analog mix (I, P, Q, U, Freq in the paper).
+    for ty in [13u8, 36] {
+        let row = find(ty).expect("analog row");
+        assert!(row.station_count >= 10);
+        assert!(row.symbols.iter().any(|s| s == "U"));
+        assert!(row.symbols.iter().any(|s| s == "Freq"));
+    }
+    // I100 is the global interrogation.
+    let i100 = find(100).expect("interrogation row");
+    assert!(i100.symbols.iter().any(|s| s == "Inter(global)"));
+    // I50 carries AGC set points, transmitted by few stations.
+    let i50 = find(50).expect("setpoint row");
+    assert!(i50.symbols.iter().any(|s| s == "AGC-SP"));
+    assert!(i50.station_count <= 10, "few I50 stations: {}", i50.station_count);
+    // Status types carry Status.
+    if let Some(i31) = find(31) {
+        assert!(i31.symbols.iter().any(|s| s == "Status"));
+    }
+}

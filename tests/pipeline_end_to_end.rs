@@ -1,0 +1,178 @@
+//! End-to-end: simulate a Year-1 capture and assert that the measurement
+//! pipeline recovers the paper's headline qualitative findings.
+
+use std::sync::OnceLock;
+use uncharted::analysis::kmeans;
+use uncharted::analysis::markov::Fig13Cluster;
+use uncharted::{Pipeline, Scenario, Simulation, Year};
+
+/// One shared 900 s Year-1 capture: long enough that even the O30 secondary
+/// (430 s between keep-alives) shows its outlier inter-arrival time.
+fn pipeline() -> &'static Pipeline {
+    static PIPELINE: OnceLock<Pipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let set = Simulation::new(Scenario::small(Year::Y1, 42, 900.0)).run();
+        Pipeline::from_capture_set(&set)
+    })
+}
+
+#[test]
+fn flows_match_section_6_2() {
+    let p = pipeline();
+    let stats = p.flow_stats();
+    // "99.8 % of TCP flows lasted less than one second" (short-lived ones).
+    assert!(
+        stats.sub_second_fraction() > 0.9,
+        "sub-second fraction {}",
+        stats.sub_second_fraction()
+    );
+    // Short-lived flows dominate (74.4 % in the paper's Y1).
+    assert!(
+        stats.short_fraction() > 0.5,
+        "short fraction {}",
+        stats.short_fraction()
+    );
+    // But long-lived (boundary-truncated) connections exist too.
+    assert!(stats.long_lived > 10, "long-lived {}", stats.long_lived);
+}
+
+#[test]
+fn type_census_matches_table_7_shape() {
+    let p = pipeline();
+    let census = p.type_census();
+    let rows = census.rows();
+    // I36 and I13 are the two dominant types, in that order...
+    assert_eq!(rows[0].0, 36, "I36 dominates");
+    assert_eq!(rows[1].0, 13, "I13 second");
+    // ...and together carry the overwhelming share (97 % in the paper).
+    let top2 = rows[0].2 + rows[1].2;
+    assert!(top2 > 80.0, "I36+I13 share {top2}%");
+    // A small set of other types appears (13 distinct in the paper).
+    assert!(census.distinct() >= 6, "distinct {}", census.distinct());
+    assert!(census.distinct() <= 20);
+}
+
+#[test]
+fn session_clusters_have_paper_semantics() {
+    let p = pipeline();
+    let report = p.cluster_sessions(7);
+    // The sweep is usable: SSE decreases, silhouettes are strong.
+    for w in report.selection.windows(2) {
+        assert!(w[1].sse <= w[0].sse + 1e-6);
+    }
+    assert!(report.selection.iter().any(|m| m.silhouette > 0.6));
+    // At the paper's K=5 we must see the semantic cluster kinds of Fig. 11:
+    // a keep-alive (U-heavy) cluster, a data (I-heavy) cluster and an
+    // acknowledgement (S-heavy) cluster.
+    let means = &report.cluster_means;
+    assert!(means.iter().any(|m| m[4] > 0.8), "a U-dominated cluster");
+    assert!(means.iter().any(|m| m[2] > 0.8), "an I-dominated cluster");
+    assert!(means.iter().any(|m| m[3] > 0.8), "an S-dominated cluster");
+    // PCA gives a faithful 2-D view (Fig. 10).
+    assert!(report.pca_explained > 0.6, "pca {}", report.pca_explained);
+    // And the cluster with the largest mean inter-arrival time contains the
+    // misbehaving secondary of O30 (cluster 0 in the paper).
+    let sessions = p.sessions();
+    let slowest = (0..means.len())
+        .max_by(|&a, &b| means[a][0].partial_cmp(&means[b][0]).unwrap())
+        .unwrap();
+    let o30 = uncharted::nettap::ipv4::addr(10, 1, 11, 30);
+    let has_o30 = report
+        .k5
+        .members(slowest)
+        .iter()
+        .any(|&i| sessions[i].src == o30 || sessions[i].dst == o30);
+    assert!(has_o30, "O30's 430 s secondary sits in the slow cluster");
+}
+
+#[test]
+fn markov_census_matches_fig_13() {
+    let p = pipeline();
+    let census = p.chain_census();
+    let point11 = census.in_cluster(Fig13Cluster::Point11);
+    let square = census.in_cluster(Fig13Cluster::Square);
+    let ellipse = census.in_cluster(Fig13Cluster::Ellipse);
+    // All three clusters are populated (the paper's central Fig. 13).
+    assert!(point11.len() >= 5, "point11 {}", point11.len());
+    assert!(square.len() >= 20, "square {}", square.len());
+    assert!(!ellipse.is_empty(), "ellipse empty");
+    // Every ellipse chain carries I100; no square chain does.
+    assert!(ellipse.iter().all(|c| c.has_i100));
+    assert!(square.iter().all(|c| !c.has_i100));
+    // Ellipse chains are richer than the (1,1) chains.
+    let max_p11_edges = point11.iter().map(|c| c.edges).max().unwrap_or(0);
+    let min_ellipse_edges = ellipse.iter().map(|c| c.edges).min().unwrap_or(0);
+    assert!(min_ellipse_edges > max_p11_edges);
+}
+
+#[test]
+fn taxonomy_covers_the_paper_types() {
+    let p = pipeline();
+    let classes = p.classify_outstations();
+    let numbers: std::collections::BTreeSet<u8> =
+        classes.values().map(|c| c.number()).collect();
+    // Types 1, 2, 3 and 7 are structural and must appear in any Y1 run;
+    // type 8 comes from the scripted switchover.
+    for t in [1u8, 2, 3, 7, 8] {
+        assert!(numbers.contains(&t), "type {t} missing from {numbers:?}");
+    }
+    // Backup RTUs (type 3) are the most common class (34.3 % in Fig. 17).
+    let dist = uncharted::analysis::markov::class_distribution(&classes);
+    let (top, _, frac) = dist.iter().max_by_key(|(_, n, _)| *n).unwrap();
+    assert_eq!(top.number(), 3, "type 3 most common");
+    assert!(*frac > 0.2, "type 3 share {frac}");
+}
+
+#[test]
+fn elbow_and_silhouette_agree_on_a_small_k() {
+    let p = pipeline();
+    let report = p.cluster_sessions(3);
+    let elbow = report.elbow_k.unwrap();
+    assert!((2..=6).contains(&elbow), "elbow {elbow}");
+    let best_sil = report
+        .selection
+        .iter()
+        .max_by(|a, b| a.silhouette.partial_cmp(&b.silhouette).unwrap())
+        .unwrap();
+    assert!((2..=8).contains(&best_sil.k));
+}
+
+#[test]
+fn deterministic_pipeline() {
+    let a = Simulation::new(Scenario::small(Year::Y1, 9, 60.0)).run();
+    let b = Simulation::new(Scenario::small(Year::Y1, 9, 60.0)).run();
+    let pa = Pipeline::from_capture_set(&a);
+    let pb = Pipeline::from_capture_set(&b);
+    assert_eq!(pa.type_census().counts, pb.type_census().counts);
+    let feats_a: Vec<Vec<f64>> = pa.sessions().iter().map(|s| s.features().selected()).collect();
+    let feats_b: Vec<Vec<f64>> = pb.sessions().iter().map(|s| s.features().selected()).collect();
+    let ka = kmeans::kmeans(&uncharted::analysis::session::standardize(&feats_a), 5, 1);
+    let kb = kmeans::kmeans(&uncharted::analysis::session::standardize(&feats_b), 5, 1);
+    assert_eq!(ka.assignments, kb.assignments);
+}
+
+#[test]
+fn background_traffic_is_ignored_by_the_iec104_pipeline() {
+    // The paper's capture carried ICCP and C37.118 alongside IEC 104 (§5).
+    // The protocol pipeline must produce identical results with and without
+    // that co-tenant traffic, while the TCP flow census sees it.
+    let mut clean = Scenario::small(Year::Y1, 55, 90.0);
+    clean.background_traffic = false;
+    let mut noisy = Scenario::small(Year::Y1, 55, 90.0);
+    noisy.background_traffic = true;
+    let a = Pipeline::from_capture_set(&Simulation::new(clean).run());
+    let b = Pipeline::from_capture_set(&Simulation::new(noisy).run());
+    assert!(b.dataset.packets.len() > a.dataset.packets.len() + 100);
+    // IEC 104 views identical.
+    assert_eq!(a.type_census().counts, b.type_census().counts);
+    assert_eq!(a.dataset.timelines.len(), b.dataset.timelines.len());
+    assert_eq!(
+        a.dataset.fully_malformed_outstations(),
+        b.dataset.fully_malformed_outstations()
+    );
+    // TCP flow census gains the long-lived background connections.
+    let fa = a.flow_stats();
+    let fb = b.flow_stats();
+    assert!(fb.long_lived >= fa.long_lived + 5, "{} vs {}", fb.long_lived, fa.long_lived);
+    assert_eq!(fa.short_lived(), fb.short_lived());
+}

@@ -1,0 +1,94 @@
+//! Hypothesis 1 (§6, Table 2): the network changes between years — specific
+//! outstations appear and disappear — while the server side stays stable.
+
+use uncharted::nettap::ipv4::addr;
+use uncharted::scadasim::topology::Topology;
+use uncharted::{Pipeline, Scenario, Simulation, Year};
+
+fn o(sub: u8, id: u8) -> u32 {
+    addr(10, 1, sub, id)
+}
+
+fn run(year: Year, seed: u64) -> Pipeline {
+    Pipeline::from_capture_set(&Simulation::new(Scenario::small(year, seed, 120.0)).run())
+}
+
+#[test]
+fn table2_additions_and_removals_visible_on_the_wire() {
+    let y1 = run(Year::Y1, 31);
+    let y2 = run(Year::Y2, 32);
+    let ips_y1 = y1.dataset.outstation_ips();
+    let ips_y2 = y2.dataset.outstation_ips();
+
+    // Removed in Y2: O2 (unsupervised substation), O15/O20/O22/O28/O33/O38.
+    for (sub, id) in [(2, 2), (6, 15), (10, 20), (10, 22), (9, 28), (12, 33), (15, 38)] {
+        assert!(ips_y1.contains(&o(sub, id)), "O{id} present in Y1");
+        assert!(!ips_y2.contains(&o(sub, id)), "O{id} absent in Y2");
+    }
+    // Added in Y2: new substations, 101→104 upgrades, backup RTUs, O54.
+    for (sub, id) in [
+        (24, 50),
+        (9, 51),
+        (23, 52),
+        (27, 53),
+        (25, 54),
+        (26, 55),
+        (12, 56),
+        (15, 57),
+        (10, 58),
+    ] {
+        assert!(!ips_y1.contains(&o(sub, id)), "O{id} absent in Y1");
+        assert!(ips_y2.contains(&o(sub, id)), "O{id} present in Y2");
+    }
+}
+
+#[test]
+fn server_configuration_is_stable_across_years() {
+    let y1 = run(Year::Y1, 33);
+    let y2 = run(Year::Y2, 34);
+    assert_eq!(y1.dataset.server_ips(), y2.dataset.server_ips());
+    assert_eq!(y1.dataset.server_ips().len(), 4, "C1-C4");
+}
+
+#[test]
+fn about_a_quarter_of_outstations_stay_identical() {
+    // Fig. 6's arrows: ~25 % of outstations keep the same IOA inventory.
+    let topo = Topology::paper_network();
+    let both: Vec<_> = topo
+        .outstations
+        .iter()
+        .filter(|s| s.in_y1 && s.in_y2)
+        .collect();
+    let stable = both.iter().filter(|s| s.y2_point_delta == 0).count();
+    let frac = stable as f64 / both.len() as f64;
+    assert!((0.15..=0.40).contains(&frac), "stable fraction {frac}");
+}
+
+#[test]
+fn y1_campaign_has_more_flows_than_y2() {
+    // The paper's Table 3: Y1 (8 h, more misbehaving RTUs) shows several
+    // times more short-lived flows than Y2 (3 h).
+    let y1 = Simulation::new(Scenario::y1_scaled(35, 60.0)).run();
+    let y2 = Simulation::new(Scenario::y2_scaled(36, 60.0)).run();
+    let s1 = Pipeline::from_capture_set(&y1).flow_stats();
+    let s2 = Pipeline::from_capture_set(&y2).flow_stats();
+    assert!(
+        s1.short_lived() > 2 * s2.short_lived(),
+        "Y1 {} vs Y2 {}",
+        s1.short_lived(),
+        s2.short_lived()
+    );
+    // Both years: short-lived flows are overwhelmingly sub-second.
+    assert!(s1.sub_second_fraction() > 0.9);
+    assert!(s2.sub_second_fraction() > 0.85);
+}
+
+#[test]
+fn y2_outstation_count_on_wire() {
+    let y1 = run(Year::Y1, 37);
+    let y2 = run(Year::Y2, 38);
+    // 49 outstations in Y1, 51 in Y2 (some may stay silent in a very short
+    // window, so allow slack below the nominal counts).
+    assert!((44..=49).contains(&y1.dataset.outstation_ips().len()));
+    assert!((46..=51).contains(&y2.dataset.outstation_ips().len()));
+}
