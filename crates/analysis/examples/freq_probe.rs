@@ -1,6 +1,6 @@
 //! Frequency-series debugging probe (development aid).
 use uncharted_analysis::dataset::Dataset;
-use uncharted_analysis::dpi::{self, PhysicalKind};
+use uncharted_analysis::dpi::{self};
 use uncharted_scadasim::scenario::{Scenario, Year};
 use uncharted_scadasim::sim::Simulation;
 

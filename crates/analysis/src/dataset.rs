@@ -35,7 +35,7 @@ pub struct ApduEvent {
 /// This is the paper's unit of Markov analysis ("an end-to-end communication
 /// between every pair of devices"); TCP retransmissions are deliberately
 /// *kept* — the paper traced repeated keep-alive tokens to them.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PairTimeline {
     /// The server's IP.
     pub server_ip: u32,
@@ -62,7 +62,7 @@ impl PairTimeline {
 }
 
 /// §6.1 compliance census entry for one outstation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComplianceEntry {
     /// The outstation's IP.
     pub outstation_ip: u32,
@@ -110,164 +110,87 @@ impl Dataset {
         Dataset::from_packets(capture.parsed())
     }
 
+    /// [`Dataset::from_capture`] with a worker-thread count.
+    pub fn from_capture_threaded(capture: &Capture, threads: usize) -> Dataset {
+        Dataset::from_packets_threaded(capture.parsed(), threads)
+    }
+
     /// Ingest several captures as one dataset (e.g. a whole year).
     pub fn from_captures<'a, I: IntoIterator<Item = &'a Capture>>(captures: I) -> Dataset {
+        Dataset::from_captures_threaded(captures, 1)
+    }
+
+    /// [`Dataset::from_captures`] with a worker-thread count.
+    pub fn from_captures_threaded<'a, I: IntoIterator<Item = &'a Capture>>(
+        captures: I,
+        threads: usize,
+    ) -> Dataset {
         let mut packets: Vec<ParsedPacket> = Vec::new();
         for c in captures {
             packets.extend(c.parsed());
         }
         packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
-        Dataset::from_packets(packets)
+        Dataset::from_packets_threaded(packets, threads)
     }
 
     /// Ingest from already-parsed packets (must be in time order).
     pub fn from_packets(packets: Vec<ParsedPacket>) -> Dataset {
-        let flows = FlowTable::from_parsed(&packets);
+        Dataset::from_packets_threaded(packets, 1)
+    }
 
-        // Pass 1: collect, per outstation, the raw I-frames it sent, for
-        // dialect detection.
-        let mut frames_by_out: BTreeMap<u32, Vec<Vec<u8>>> = BTreeMap::new();
-        for pkt in &packets {
-            if pkt.tcp.src_port == IEC104_PORT && !pkt.payload.is_empty() {
-                let frames = frames_by_out.entry(pkt.ip.src).or_default();
-                if frames.len() < 64 {
-                    frames.extend(delimit_frames(&pkt.payload));
-                }
-            }
+    /// Ingest from already-parsed packets, sharding the work across
+    /// `threads` scoped workers (`0` = one per core; `1` = sequential).
+    ///
+    /// Flow reconstruction shards connections by [`FlowKey`] hash; protocol
+    /// analysis shards packets by the outstation IP they feed (the same
+    /// `dst_port == 2404 → dst, else src` rule the decoding pass uses for
+    /// direction). Every piece of analysis state — dialect frame samples,
+    /// stream decoders keyed `(server, outstation, direction)`, the per-flow
+    /// retransmission dedup, compliance counters, pair timelines — is
+    /// affine to a single outstation, so each worker reproduces exactly the
+    /// slice of sequential state for its outstations and the per-shard maps
+    /// are disjoint. Merging them (and sorting timelines by key, which the
+    /// sequential `BTreeMap` does implicitly) yields a `Dataset` that is
+    /// **bit-identical** to the single-threaded build at any thread count.
+    ///
+    /// [`FlowKey`]: uncharted_nettap::flow::FlowKey
+    pub fn from_packets_threaded(packets: Vec<ParsedPacket>, threads: usize) -> Dataset {
+        let threads = crate::par::effective_threads(threads);
+        if threads <= 1 {
+            let flows = FlowTable::from_parsed(&packets);
+            let shard = analyze_packets(&packets, |_| true);
+            return Dataset {
+                packets,
+                flows,
+                dialects: shard.dialects,
+                compliance: shard.compliance,
+                timelines: shard.timelines.into_values().collect(),
+            };
         }
-        // Commands from the server are also dialect-bound, so include them
-        // when the outstation itself sent nothing (pure backups).
-        for pkt in &packets {
-            if pkt.tcp.dst_port == IEC104_PORT && !pkt.payload.is_empty() {
-                let frames = frames_by_out.entry(pkt.ip.dst).or_default();
-                if frames.len() < 8 {
-                    frames.extend(delimit_frames(&pkt.payload));
-                }
-            }
-        }
-
+        let flows = FlowTable::from_parsed_sharded(&packets, threads);
+        let shards = crate::par::par_shards(threads, |me| {
+            analyze_packets(&packets, |out_ip| {
+                fnv1a_u32(out_ip) % threads as u64 == me as u64
+            })
+        });
         let mut dialects = BTreeMap::new();
         let mut compliance = BTreeMap::new();
-        for (&ip, frames) in &frames_by_out {
-            let scores = detect_dialect(frames);
-            let dialect = scores
-                .first()
-                .filter(|s| s.parsed > 0)
-                .map(|s| s.dialect)
-                .unwrap_or(Dialect::STANDARD);
-            dialects.insert(ip, dialect);
-            compliance.insert(
-                ip,
-                ComplianceEntry {
-                    outstation_ip: ip,
-                    i_frames: 0,
-                    strict_malformed: 0,
-                    tolerant_malformed: 0,
-                    dialect,
-                    scores,
-                },
-            );
-        }
-
-        // Pass 2: decode per-packet APDUs into pair timelines, and count
-        // compliance under both parsers. Packets are decoded per (pair,
-        // direction) with a streaming decoder so APDUs split across
-        // segments still parse.
         let mut timelines: BTreeMap<(u32, u32), PairTimeline> = BTreeMap::new();
-        let mut decoders: BTreeMap<(u32, u32, bool), StreamDecoder> = BTreeMap::new();
-        let mut strict_decoders: BTreeMap<(u32, u32, bool), StreamDecoder> = BTreeMap::new();
-        // Deduplicate TCP retransmissions *for decoding only* (a duplicated
-        // segment would desynchronise the stream decoder); the duplicate
-        // still contributes a repeated token, as in the paper.
-        let mut last_seq: BTreeMap<(u32, u16, u32, u16), u32> = BTreeMap::new();
-
-        for pkt in &packets {
-            if pkt.payload.is_empty() {
-                continue;
-            }
-            let (server_ip, out_ip, from_server) = if pkt.tcp.dst_port == IEC104_PORT {
-                (pkt.ip.src, pkt.ip.dst, true)
-            } else if pkt.tcp.src_port == IEC104_PORT {
-                (pkt.ip.dst, pkt.ip.src, false)
-            } else {
-                continue;
-            };
-            let dialect = dialects.get(&out_ip).copied().unwrap_or(Dialect::STANDARD);
-            let key = (server_ip, out_ip, from_server);
-            let timeline = timelines
-                .entry((server_ip, out_ip))
-                .or_insert_with(|| PairTimeline {
-                    server_ip,
-                    outstation_ip: out_ip,
-                    events: Vec::new(),
-                });
-
-            let flow_key = (pkt.ip.src, pkt.tcp.src_port, pkt.ip.dst, pkt.tcp.dst_port);
-            let dup = last_seq.insert(flow_key, pkt.tcp.seq) == Some(pkt.tcp.seq);
-
-            // Strict compliance accounting (I-frames from the outstation).
-            if !from_server && !dup {
-                let strict = strict_decoders
-                    .entry(key)
-                    .or_insert_with(|| StreamDecoder::new(Dialect::STANDARD));
-                for item in strict.feed(&pkt.payload) {
-                    let entry = compliance.get_mut(&out_ip).expect("pass 1 covered");
-                    match item {
-                        StreamItem::Apdu(a) if a.apci.is_i() => entry.i_frames += 1,
-                        StreamItem::Apdu(_) => {}
-                        StreamItem::Malformed(frame, _) => {
-                            if is_i_frame(&frame) {
-                                entry.i_frames += 1;
-                                entry.strict_malformed += 1;
-                            }
-                        }
-                    }
-                }
-            }
-
-            let items: Vec<StreamItem> = if dup {
-                // Re-decode the duplicate standalone so the repeated token
-                // appears without corrupting the stream decoder.
-                let mut d = StreamDecoder::new(dialect);
-                d.feed(&pkt.payload)
-            } else {
-                decoders
-                    .entry(key)
-                    .or_insert_with(|| StreamDecoder::new(dialect))
-                    .feed(&pkt.payload)
-            };
-            for item in items {
-                match item {
-                    StreamItem::Apdu(apdu) => {
-                        timeline.events.push(ApduEvent {
-                            t: pkt.timestamp,
-                            from_server,
-                            token: Token::of(&apdu),
-                            asdu: apdu.asdu.clone(),
-                        });
-                        let _ = &apdu;
-                    }
-                    StreamItem::Malformed(frame, _) => {
-                        if !from_server && !dup && is_i_frame(&frame) {
-                            if let Some(entry) = compliance.get_mut(&out_ip) {
-                                entry.tolerant_malformed += 1;
-                            }
-                        }
-                    }
-                }
-            }
+        for shard in shards {
+            // Outstation state is shard-affine: the maps are disjoint and
+            // their union is the sequential result.
+            dialects.extend(shard.dialects);
+            compliance.extend(shard.compliance);
+            timelines.extend(shard.timelines);
         }
-
-        let timelines: Vec<PairTimeline> = timelines.into_values().collect();
         Dataset {
             packets,
             flows,
             dialects,
             compliance,
-            timelines,
+            timelines: timelines.into_values().collect(),
         }
     }
-
     /// All distinct outstation IPs seen.
     pub fn outstation_ips(&self) -> BTreeSet<u32> {
         let mut set = BTreeSet::new();
@@ -311,6 +234,177 @@ impl Dataset {
         self.timelines
             .iter()
             .find(|t| t.server_ip == server_ip && t.outstation_ip == outstation_ip)
+    }
+}
+
+/// The protocol-analysis state for a set of outstations: the piece of a
+/// [`Dataset`] each pipeline worker builds independently.
+struct AnalysisShard {
+    dialects: BTreeMap<u32, Dialect>,
+    compliance: BTreeMap<u32, ComplianceEntry>,
+    timelines: BTreeMap<(u32, u32), PairTimeline>,
+}
+
+/// FNV-1a over an IP, the shard-assignment hash for outstations (stable
+/// across platforms and releases, unlike `std`'s `Hasher`).
+fn fnv1a_u32(ip: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in ip.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The two analysis passes (dialect detection, then streaming APDU decode),
+/// restricted to the outstations `keep_out` accepts. With `|_| true` this
+/// is the whole sequential analysis; with a shard predicate it is one
+/// worker's disjoint slice of it. The filter is applied to the outstation
+/// an observation is *attributed to* — not to whole packets — so a packet
+/// between two port-2404 endpoints still contributes its frame sample to
+/// each side's own shard, exactly as the unfiltered pass would.
+fn analyze_packets(packets: &[ParsedPacket], keep_out: impl Fn(u32) -> bool) -> AnalysisShard {
+    // Pass 1: collect, per outstation, the raw I-frames it sent, for
+    // dialect detection.
+    let mut frames_by_out: BTreeMap<u32, Vec<Vec<u8>>> = BTreeMap::new();
+    for pkt in packets {
+        if pkt.tcp.src_port == IEC104_PORT && !pkt.payload.is_empty() && keep_out(pkt.ip.src) {
+            let frames = frames_by_out.entry(pkt.ip.src).or_default();
+            if frames.len() < 64 {
+                frames.extend(delimit_frames(&pkt.payload));
+            }
+        }
+    }
+    // Commands from the server are also dialect-bound, so include them
+    // when the outstation itself sent nothing (pure backups).
+    for pkt in packets {
+        if pkt.tcp.dst_port == IEC104_PORT && !pkt.payload.is_empty() && keep_out(pkt.ip.dst) {
+            let frames = frames_by_out.entry(pkt.ip.dst).or_default();
+            if frames.len() < 8 {
+                frames.extend(delimit_frames(&pkt.payload));
+            }
+        }
+    }
+
+    let mut dialects = BTreeMap::new();
+    let mut compliance = BTreeMap::new();
+    for (&ip, frames) in &frames_by_out {
+        let scores = detect_dialect(frames);
+        let dialect = scores
+            .first()
+            .filter(|s| s.parsed > 0)
+            .map(|s| s.dialect)
+            .unwrap_or(Dialect::STANDARD);
+        dialects.insert(ip, dialect);
+        compliance.insert(
+            ip,
+            ComplianceEntry {
+                outstation_ip: ip,
+                i_frames: 0,
+                strict_malformed: 0,
+                tolerant_malformed: 0,
+                dialect,
+                scores,
+            },
+        );
+    }
+
+    // Pass 2: decode per-packet APDUs into pair timelines, and count
+    // compliance under both parsers. Packets are decoded per (pair,
+    // direction) with a streaming decoder so APDUs split across
+    // segments still parse.
+    let mut timelines: BTreeMap<(u32, u32), PairTimeline> = BTreeMap::new();
+    let mut decoders: BTreeMap<(u32, u32, bool), StreamDecoder> = BTreeMap::new();
+    let mut strict_decoders: BTreeMap<(u32, u32, bool), StreamDecoder> = BTreeMap::new();
+    // Deduplicate TCP retransmissions *for decoding only* (a duplicated
+    // segment would desynchronise the stream decoder); the duplicate
+    // still contributes a repeated token, as in the paper.
+    let mut last_seq: BTreeMap<(u32, u16, u32, u16), u32> = BTreeMap::new();
+
+    for pkt in packets {
+        if pkt.payload.is_empty() {
+            continue;
+        }
+        let (server_ip, out_ip, from_server) = if pkt.tcp.dst_port == IEC104_PORT {
+            (pkt.ip.src, pkt.ip.dst, true)
+        } else if pkt.tcp.src_port == IEC104_PORT {
+            (pkt.ip.dst, pkt.ip.src, false)
+        } else {
+            continue;
+        };
+        if !keep_out(out_ip) {
+            continue;
+        }
+        let dialect = dialects.get(&out_ip).copied().unwrap_or(Dialect::STANDARD);
+        let key = (server_ip, out_ip, from_server);
+        let timeline = timelines
+            .entry((server_ip, out_ip))
+            .or_insert_with(|| PairTimeline {
+                server_ip,
+                outstation_ip: out_ip,
+                events: Vec::new(),
+            });
+
+        let flow_key = (pkt.ip.src, pkt.tcp.src_port, pkt.ip.dst, pkt.tcp.dst_port);
+        let dup = last_seq.insert(flow_key, pkt.tcp.seq) == Some(pkt.tcp.seq);
+
+        // Strict compliance accounting (I-frames from the outstation).
+        if !from_server && !dup {
+            let strict = strict_decoders
+                .entry(key)
+                .or_insert_with(|| StreamDecoder::new(Dialect::STANDARD));
+            for item in strict.feed(&pkt.payload) {
+                let entry = compliance.get_mut(&out_ip).expect("pass 1 covered");
+                match item {
+                    StreamItem::Apdu(a) if a.apci.is_i() => entry.i_frames += 1,
+                    StreamItem::Apdu(_) => {}
+                    StreamItem::Malformed(frame, _) => {
+                        if is_i_frame(&frame) {
+                            entry.i_frames += 1;
+                            entry.strict_malformed += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let items: Vec<StreamItem> = if dup {
+            // Re-decode the duplicate standalone so the repeated token
+            // appears without corrupting the stream decoder.
+            let mut d = StreamDecoder::new(dialect);
+            d.feed(&pkt.payload)
+        } else {
+            decoders
+                .entry(key)
+                .or_insert_with(|| StreamDecoder::new(dialect))
+                .feed(&pkt.payload)
+        };
+        for item in items {
+            match item {
+                StreamItem::Apdu(apdu) => {
+                    timeline.events.push(ApduEvent {
+                        t: pkt.timestamp,
+                        from_server,
+                        token: Token::of(&apdu),
+                        asdu: apdu.asdu.clone(),
+                    });
+                    let _ = &apdu;
+                }
+                StreamItem::Malformed(frame, _) => {
+                    if !from_server && !dup && is_i_frame(&frame) {
+                        if let Some(entry) = compliance.get_mut(&out_ip) {
+                            entry.tolerant_malformed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    AnalysisShard {
+        dialects,
+        compliance,
+        timelines,
     }
 }
 
@@ -439,7 +533,7 @@ mod tests {
         let tl = &ds.timelines[0];
         let tokens: Vec<String> = tl.tokens().iter().map(|t| t.name()).collect();
         assert_eq!(tokens, vec!["I13", "S", "I13"]);
-        assert_eq!(tl.events[1].from_server, true);
+        assert!(tl.events[1].from_server);
     }
 
     #[test]
@@ -457,6 +551,58 @@ mod tests {
         let ds = Dataset::from_packets(packets);
         let tokens = ds.timelines[0].tokens();
         assert_eq!(tokens, vec![Token::U16, Token::U16]);
+    }
+
+    /// Tentpole regression: the sharded build must be bit-identical to the
+    /// sequential one at any thread count — same dialects, compliance
+    /// counters, timelines, and flow records in the same order.
+    #[test]
+    fn threaded_build_matches_sequential() {
+        let dialects = [
+            Dialect::STANDARD,
+            Dialect::LEGACY_COT,
+            Dialect::LEGACY_IOA,
+            Dialect::LEGACY_COT,
+            Dialect::STANDARD,
+        ];
+        let servers = [addr(10, 0, 0, 1), addr(10, 0, 0, 2)];
+        let mut packets = Vec::new();
+        for (o, &dialect) in dialects.iter().enumerate() {
+            let rtu = addr(10, 1, 5, 10 + o as u8);
+            let server = servers[o % 2];
+            let port = 40000 + o as u16;
+            let mut seq = 1u32;
+            for i in 0..10u16 {
+                let payload = float_apdu(i, 50.0 + i as f32, dialect);
+                let t = i as f64 + o as f64 * 0.013;
+                packets.push(data_packet(t, rtu, IEC104_PORT, server, port, seq, &payload));
+                if i == 4 {
+                    // A TCP retransmission (same seq): repeated token, but
+                    // decoded standalone.
+                    packets.push(data_packet(t + 0.003, rtu, IEC104_PORT, server, port, seq, &payload));
+                }
+                seq += payload.len() as u32;
+            }
+            let s_frame = IecApdu::s_frame(3).encode(dialect).unwrap();
+            packets.push(data_packet(4.5 + o as f64 * 0.013, server, port, rtu, IEC104_PORT, 1, &s_frame));
+        }
+        // Unrelated non-104 chatter: invisible to analysis, but a flow.
+        packets.push(data_packet(2.5, addr(192, 168, 0, 1), 5000, addr(192, 168, 0, 2), 5001, 1, b"hello"));
+        packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+
+        let sequential = Dataset::from_packets(packets.clone());
+        assert_eq!(sequential.timelines.len(), 5);
+        for threads in [2, 3, 8] {
+            let sharded = Dataset::from_packets_threaded(packets.clone(), threads);
+            assert_eq!(sharded.dialects, sequential.dialects, "threads = {threads}");
+            assert_eq!(sharded.compliance, sequential.compliance, "threads = {threads}");
+            assert_eq!(sharded.timelines, sequential.timelines, "threads = {threads}");
+            assert_eq!(
+                sharded.flows.connections, sequential.flows.connections,
+                "threads = {threads}"
+            );
+            assert_eq!(sharded.packets, sequential.packets, "threads = {threads}");
+        }
     }
 
     #[test]

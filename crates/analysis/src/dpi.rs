@@ -25,10 +25,24 @@ impl TypeCensus {
     pub fn from_dataset(ds: &Dataset) -> TypeCensus {
         let mut counts = BTreeMap::new();
         for tl in &ds.timelines {
-            for ev in &tl.events {
-                if let Some(asdu) = &ev.asdu {
-                    *counts.entry(asdu.type_id.code()).or_default() += 1;
-                }
+            count_types(&mut counts, tl);
+        }
+        TypeCensus { counts }
+    }
+
+    /// [`TypeCensus::from_dataset`] with per-timeline counting fanned out
+    /// across `threads` workers (`0` = one per core). Counts are summed per
+    /// typeID, so the merge is order-independent and the census identical.
+    pub fn from_dataset_threaded(ds: &Dataset, threads: usize) -> TypeCensus {
+        let partial = crate::par::par_map(&ds.timelines, threads, |tl| {
+            let mut counts = BTreeMap::new();
+            count_types(&mut counts, tl);
+            counts
+        });
+        let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
+        for part in partial {
+            for (code, n) in part {
+                *counts.entry(code).or_default() += n;
             }
         }
         TypeCensus { counts }
@@ -47,7 +61,7 @@ impl TypeCensus {
             .iter()
             .map(|(&c, &n)| (c, n, 100.0 * n as f64 / total))
             .collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
 
@@ -98,7 +112,7 @@ impl PhysicalKind {
 }
 
 /// One extracted time series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TimeSeries {
     /// Transmitting station IP.
     pub station_ip: u32,
@@ -188,37 +202,91 @@ impl TimeSeries {
 pub fn extract_series(ds: &Dataset) -> Vec<TimeSeries> {
     let mut map: BTreeMap<(u32, u32, bool), TimeSeries> = BTreeMap::new();
     for tl in &ds.timelines {
-        for ev in &tl.events {
-            let Some(asdu) = &ev.asdu else { continue };
-            let station = if ev.from_server {
-                tl.server_ip
-            } else {
-                tl.outstation_ip
-            };
-            for obj in &asdu.objects {
-                let Some(v) = obj.value.numeric() else { continue };
-                // Interrogation commands carry no measurement.
-                if matches!(obj.value, IoValue::Interrogation { .. }) {
-                    continue;
+        series_from_timeline(&mut map, tl);
+    }
+    sort_series(map)
+}
+
+/// [`extract_series`] with per-timeline sample collection fanned out across
+/// `threads` workers (`0` = one per core).
+///
+/// Per-timeline maps are merged in timeline order, so each series'
+/// samples concatenate in exactly the order the sequential pass appends
+/// them; the final per-series sort is stable, making the output identical.
+pub fn extract_series_threaded(ds: &Dataset, threads: usize) -> Vec<TimeSeries> {
+    let threads = crate::par::effective_threads(threads);
+    if threads <= 1 {
+        return extract_series(ds);
+    }
+    let partial = crate::par::par_map(&ds.timelines, threads, |tl| {
+        let mut map = BTreeMap::new();
+        series_from_timeline(&mut map, tl);
+        map
+    });
+    let mut map: BTreeMap<(u32, u32, bool), TimeSeries> = BTreeMap::new();
+    for part in partial {
+        for (key, s) in part {
+            match map.entry(key) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(s);
                 }
-                let t = obj
-                    .time_tag
-                    .map(|tag| tag.to_epoch_millis() as f64 / 1000.0)
-                    .unwrap_or(ev.t);
-                let entry = map.entry((station, obj.ioa, ev.from_server)).or_insert_with(|| {
-                    TimeSeries {
-                        station_ip: station,
-                        ioa: obj.ioa,
-                        samples: Vec::new(),
-                        type_ids: BTreeSet::new(),
-                        from_server: ev.from_server,
-                    }
-                });
-                entry.samples.push((t, v));
-                entry.type_ids.insert(asdu.type_id.code());
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    let entry = o.get_mut();
+                    entry.samples.extend(s.samples);
+                    entry.type_ids.extend(s.type_ids);
+                }
             }
         }
     }
+    sort_series(map)
+}
+
+/// Tally one timeline's ASDU typeIDs.
+fn count_types(counts: &mut BTreeMap<u8, usize>, tl: &crate::dataset::PairTimeline) {
+    for ev in &tl.events {
+        if let Some(asdu) = &ev.asdu {
+            *counts.entry(asdu.type_id.code()).or_default() += 1;
+        }
+    }
+}
+
+/// Collect one timeline's samples into a per-(station, IOA, direction) map.
+fn series_from_timeline(map: &mut BTreeMap<(u32, u32, bool), TimeSeries>, tl: &crate::dataset::PairTimeline) {
+    for ev in &tl.events {
+        let Some(asdu) = &ev.asdu else { continue };
+        let station = if ev.from_server {
+            tl.server_ip
+        } else {
+            tl.outstation_ip
+        };
+        for obj in &asdu.objects {
+            let Some(v) = obj.value.numeric() else { continue };
+            // Interrogation commands carry no measurement.
+            if matches!(obj.value, IoValue::Interrogation { .. }) {
+                continue;
+            }
+            let t = obj
+                .time_tag
+                .map(|tag| tag.to_epoch_millis() as f64 / 1000.0)
+                .unwrap_or(ev.t);
+            let entry = map.entry((station, obj.ioa, ev.from_server)).or_insert_with(|| {
+                TimeSeries {
+                    station_ip: station,
+                    ioa: obj.ioa,
+                    samples: Vec::new(),
+                    type_ids: BTreeSet::new(),
+                    from_server: ev.from_server,
+                }
+            });
+            entry.samples.push((t, v));
+            entry.type_ids.insert(asdu.type_id.code());
+        }
+    }
+}
+
+/// Flatten the keyed series and time-sort each one (stable, so ties keep
+/// their arrival order).
+fn sort_series(map: BTreeMap<(u32, u32, bool), TimeSeries>) -> Vec<TimeSeries> {
     let mut series: Vec<TimeSeries> = map.into_values().collect();
     for s in &mut series {
         s.samples
@@ -280,7 +348,7 @@ pub fn table8(ds: &Dataset) -> Vec<Table8Row> {
                 .unwrap_or_default(),
         })
         .collect();
-    rows.sort_by(|a, b| b.station_count.cmp(&a.station_count));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.station_count));
     rows
 }
 

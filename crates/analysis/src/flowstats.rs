@@ -100,7 +100,7 @@ pub fn reject_census(flows: &FlowTable) -> Vec<(uncharted_nettap::flow::FlowKey,
         }
     }
     let mut v: Vec<_> = counts.into_values().collect();
-    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v.sort_by_key(|r| std::cmp::Reverse(r.1));
     v
 }
 

@@ -320,7 +320,7 @@ impl Whitelist {
             }
         }
 
-        alerts.sort_by(|a, b| b.severity.cmp(&a.severity));
+        alerts.sort_by_key(|a| std::cmp::Reverse(a.severity));
         alerts.dedup();
         alerts
     }

@@ -24,6 +24,9 @@
 //! * [`ids`] — the paper's future-work extension: a cyber + physical
 //!   whitelist IDS (learned Markov transitions, command alphabets, value
 //!   envelopes, physics consistency) that flags Industroyer-style activity.
+//! * [`par`] — deterministic scoped-thread fork–join helpers backing the
+//!   sharded (`--threads N`) pipeline: parallel output is bit-identical to
+//!   sequential.
 //! * [`report`] — plain-text table rendering shared by the bench harness.
 
 pub mod dataset;
@@ -32,6 +35,7 @@ pub mod flowstats;
 pub mod ids;
 pub mod kmeans;
 pub mod markov;
+pub mod par;
 pub mod pca;
 pub mod report;
 pub mod session;

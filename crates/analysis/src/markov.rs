@@ -104,7 +104,7 @@ impl TokenChain {
 }
 
 /// Census row: one device pair's chain.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ChainInfo {
     /// The server's IP.
     pub server_ip: u32,
@@ -155,8 +155,21 @@ impl ChainCensus {
             .timelines
             .iter()
             .filter(|tl| !tl.events.is_empty())
-            .map(|tl| Self::row(tl))
+            .map(Self::row)
             .collect();
+        ChainCensus { rows }
+    }
+
+    /// [`ChainCensus::from_dataset`] with per-pair chain construction
+    /// fanned out across `threads` workers (`0` = one per core). The map
+    /// over timelines is order-preserving, so the rows are identical.
+    pub fn from_dataset_threaded(ds: &Dataset, threads: usize) -> ChainCensus {
+        let pairs: Vec<&PairTimeline> = ds
+            .timelines
+            .iter()
+            .filter(|tl| !tl.events.is_empty())
+            .collect();
+        let rows = crate::par::par_map(&pairs, threads, |tl| Self::row(tl));
         ChainCensus { rows }
     }
 
@@ -352,7 +365,7 @@ mod tests {
                 "U32" => Token::U32,
                 other => Token::I(other[1..].parse().unwrap()),
             };
-            out.extend(std::iter::repeat(t).take(n));
+            out.extend(std::iter::repeat_n(t, n));
         }
         out
     }

@@ -1,0 +1,100 @@
+//! Deterministic fork–join helpers for the sharded pipeline.
+//!
+//! Everything here is built on `std::thread::scope` — no work stealing, no
+//! locks, no external crates. Work is split into contiguous chunks (or
+//! claimed by a shard predicate at the call site) and results are stitched
+//! back together in input order, so a parallel run produces bit-identical
+//! output to the sequential one regardless of scheduling.
+
+/// Resolve a requested worker count: `0` means "one per available core",
+/// anything else is taken literally.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Order-preserving parallel map over a slice: contiguous chunks are mapped
+/// on scoped worker threads and concatenated in chunk order, so the output
+/// is exactly `items.iter().map(f).collect()`.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("par_map worker panicked"));
+        }
+    });
+    out
+}
+
+/// Run one closure per shard index on its own thread and collect results in
+/// shard order. The closures decide which subset of the input they own
+/// (typically by hashing a key modulo the shard count), which keeps
+/// key-affine state — per-outstation decoders, per-flow reassembly — local
+/// to exactly one worker.
+pub fn par_shards<R, F>(threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|s| scope.spawn(move || f(s))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let out = par_map(&items, threads, |&x| x * x);
+            let seq: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_small_inputs() {
+        assert_eq!(par_map(&[] as &[u32], 8, |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[5u32], 8, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn par_shards_returns_in_shard_order() {
+        let out = par_shards(6, |s| s * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn effective_threads_zero_means_all_cores() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

@@ -2,6 +2,9 @@
 //! covariance matrix — used to project the 5-D session features onto the
 //! 2-D plane of the paper's Fig. 10.
 
+// Index-based loops mirror the textbook Jacobi rotation formulas.
+#![allow(clippy::needless_range_loop)]
+
 use serde::Serialize;
 
 /// A fitted PCA model.

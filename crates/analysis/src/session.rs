@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use uncharted_iec104::tokens::Token;
 
 /// One unidirectional session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Session {
     /// Sender IP.
     pub src: u32,
@@ -175,6 +175,69 @@ pub fn extract_sessions(ds: &Dataset) -> Vec<Session> {
                 ioa_count: ioas.len(),
             });
         }
+    }
+    sessions
+}
+
+/// [`extract_sessions`] with the per-timeline token and IOA extraction
+/// fanned out across `threads` workers (`0` = one per core).
+///
+/// The packet-stat table is built sequentially (it is a single cheap pass
+/// over the packets), and the stats are claimed from it in the same
+/// `(timeline, direction)` order the sequential extractor uses, so the
+/// output is identical.
+pub fn extract_sessions_threaded(ds: &Dataset, threads: usize) -> Vec<Session> {
+    let threads = crate::par::effective_threads(threads);
+    if threads <= 1 {
+        return extract_sessions(ds);
+    }
+    let mut packet_stats: BTreeMap<(u32, u32), (Vec<f64>, usize)> = BTreeMap::new();
+    for pkt in &ds.packets {
+        if pkt.tcp.src_port != IEC104_PORT && pkt.tcp.dst_port != IEC104_PORT {
+            continue;
+        }
+        let entry = packet_stats.entry((pkt.ip.src, pkt.ip.dst)).or_default();
+        entry.0.push(pkt.timestamp);
+        entry.1 += pkt.payload.len() + 54;
+    }
+    // Heavy half, parallel per timeline: everything about a session except
+    // its packet stats.
+    let partial = crate::par::par_map(&ds.timelines, threads, |tl| {
+        let mut out: Vec<(u32, u32, bool, Vec<Token>, usize)> = Vec::new();
+        for from_server in [true, false] {
+            let (src, dst) = if from_server {
+                (tl.server_ip, tl.outstation_ip)
+            } else {
+                (tl.outstation_ip, tl.server_ip)
+            };
+            let tokens: Vec<Token> = tl.tokens_from(from_server);
+            if tokens.is_empty() {
+                continue;
+            }
+            let mut ioas = std::collections::BTreeSet::new();
+            for ev in tl.events.iter().filter(|e| e.from_server == from_server) {
+                if let Some(asdu) = &ev.asdu {
+                    for obj in &asdu.objects {
+                        ioas.insert(obj.ioa);
+                    }
+                }
+            }
+            out.push((src, dst, from_server, tokens, ioas.len()));
+        }
+        out
+    });
+    let mut sessions = Vec::new();
+    for (src, dst, from_server, tokens, ioa_count) in partial.into_iter().flatten() {
+        let (times, bytes) = packet_stats.remove(&(src, dst)).unwrap_or_default();
+        sessions.push(Session {
+            src,
+            dst,
+            from_server,
+            times,
+            bytes,
+            tokens,
+            ioa_count,
+        });
     }
     sessions
 }

@@ -1,0 +1,48 @@
+//! End-to-end capture→analysis throughput, single-threaded vs sharded.
+//!
+//! The same simulated capture is ingested (flow reconstruction, dialect
+//! detection, streaming APDU decode) and analysed (typeID census, session
+//! extraction, chain census, series extraction) at increasing worker
+//! counts. Output is bit-identical at every setting — only wall-clock
+//! time changes — so the elements/s throughputs are directly comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uncharted::analysis::dpi::{self, TypeCensus};
+use uncharted::analysis::markov::ChainCensus;
+use uncharted::analysis::session::extract_sessions_threaded;
+use uncharted::{Dataset, Scenario, Simulation, Year};
+use uncharted_nettap::pcap::ParsedPacket;
+
+fn capture_packets() -> Vec<ParsedPacket> {
+    let set = Simulation::new(Scenario::small(Year::Y1, 6, 120.0)).run();
+    let mut packets: Vec<ParsedPacket> = set.captures.iter().flat_map(|c| c.parsed()).collect();
+    packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+    packets
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let packets = capture_packets();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest_analyze", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let ds = Dataset::from_packets_threaded(packets.clone(), threads);
+                    let census = TypeCensus::from_dataset_threaded(&ds, threads);
+                    let sessions = extract_sessions_threaded(&ds, threads);
+                    let chains = ChainCensus::from_dataset_threaded(&ds, threads);
+                    let series = dpi::extract_series_threaded(&ds, threads);
+                    (census.total(), sessions.len(), chains.rows.len(), series.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

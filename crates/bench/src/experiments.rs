@@ -194,7 +194,16 @@ fn table3(study: &Study) -> ExperimentOutput {
         "Table 3",
         text,
         json!({
-            "y1": s1, "y2": s2,
+            "y1": json!({
+                "short_sub_second": s1.short_sub_second,
+                "short_longer": s1.short_longer,
+                "long_lived": s1.long_lived,
+            }),
+            "y2": json!({
+                "short_sub_second": s2.short_sub_second,
+                "short_longer": s2.short_longer,
+                "long_lived": s2.long_lived,
+            }),
             "y1_sub_second_fraction": s1.sub_second_fraction(),
             "y2_sub_second_fraction": s2.sub_second_fraction(),
             "y1_short_fraction": s1.short_fraction(),
@@ -253,6 +262,7 @@ fn merged_pipeline(study: &Study) -> Pipeline {
         dataset: uncharted::analysis::dataset::Dataset::from_captures(
             study.y1_set.captures.iter().chain(study.y2_set.captures.iter()),
         ),
+        threads: 1,
     }
 }
 

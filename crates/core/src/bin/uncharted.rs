@@ -20,7 +20,7 @@ use uncharted::{Capture, Dataset, Pipeline, Scenario, Simulation, Year};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  uncharted simulate [--year y1|y2] [--seed N] [--scale S] [--attack] --out DIR\n  \
-         uncharted analyze PCAP [PCAP...]\n  \
+         uncharted analyze [--threads N] PCAP [PCAP...]   (N=0: one per core)\n  \
          uncharted ids --train PCAP [--inspect PCAP]"
     );
     std::process::exit(2);
@@ -99,12 +99,24 @@ fn simulate(args: Vec<String>) {
 }
 
 fn analyze(args: Vec<String>) {
-    if args.is_empty() {
+    let mut threads = 1usize;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+    if paths.is_empty() {
         usage();
     }
-    let captures: Vec<Capture> = args.iter().map(|a| read_pcap(&PathBuf::from(a))).collect();
+    let captures: Vec<Capture> = paths.iter().map(read_pcap).collect();
     let pipeline = Pipeline {
-        dataset: Dataset::from_captures(captures.iter()),
+        dataset: Dataset::from_captures_threaded(captures.iter(), threads),
+        threads,
     };
     println!(
         "{} packets, {} outstations, {} servers\n",

@@ -47,7 +47,7 @@ use uncharted_analysis::dpi::{self, TypeCensus};
 use uncharted_analysis::kmeans::{self, KMeansResult, ModelSelection};
 use uncharted_analysis::markov::{self, ChainCensus, OutstationClass};
 use uncharted_analysis::pca::Pca;
-use uncharted_analysis::session::{extract_sessions, standardize, Session};
+use uncharted_analysis::session::{extract_sessions_threaded, standardize, Session};
 
 /// The full measurement pipeline over one dataset (one capture, one year's
 /// captures, or anything else assembled from packets).
@@ -55,6 +55,10 @@ use uncharted_analysis::session::{extract_sessions, standardize, Session};
 pub struct Pipeline {
     /// The ingested dataset.
     pub dataset: Dataset,
+    /// Worker threads for the analysis stages: `1` = sequential, `0` = one
+    /// per core. Results are bit-identical at any setting; only wall-clock
+    /// time changes.
+    pub threads: usize,
 }
 
 /// Summary of a K-means clustering run over the session features.
@@ -77,25 +81,57 @@ pub struct ClusterReport {
 impl Pipeline {
     /// Ingest one capture.
     pub fn from_capture(capture: &Capture) -> Pipeline {
+        Pipeline::from_capture_threaded(capture, 1)
+    }
+
+    /// [`Pipeline::from_capture`] with ingestion and analysis sharded over
+    /// `threads` workers (`0` = one per core).
+    pub fn from_capture_threaded(capture: &Capture, threads: usize) -> Pipeline {
         Pipeline {
-            dataset: Dataset::from_capture(capture),
+            dataset: Dataset::from_capture_threaded(capture, threads),
+            threads,
         }
     }
 
     /// Ingest a whole capture campaign (flows spanning windows stay split,
     /// exactly as the paper's multi-day captures did).
     pub fn from_capture_set(set: &CaptureSet) -> Pipeline {
+        Pipeline::from_capture_set_threaded(set, 1)
+    }
+
+    /// [`Pipeline::from_capture_set`] with ingestion and analysis sharded
+    /// over `threads` workers (`0` = one per core).
+    pub fn from_capture_set_threaded(set: &CaptureSet, threads: usize) -> Pipeline {
         Pipeline {
-            dataset: Dataset::from_captures(set.captures.iter()),
+            dataset: Dataset::from_captures_threaded(set.captures.iter(), threads),
+            threads,
         }
     }
 
     /// Ingest a classic libpcap file.
     pub fn from_pcap_file(path: &std::path::Path) -> std::io::Result<Pipeline> {
+        Pipeline::from_pcap_file_threaded(path, 1)
+    }
+
+    /// [`Pipeline::from_pcap_file`] with `threads` workers (`0` = one per
+    /// core). The file is read through the bounded streaming pcap reader,
+    /// overlapping record I/O with packet decoding, then the dataset is
+    /// built sharded.
+    pub fn from_pcap_file_threaded(path: &std::path::Path, threads: usize) -> std::io::Result<Pipeline> {
         let file = std::fs::File::open(path)?;
-        let capture = Capture::read_pcap(std::io::BufReader::new(file))
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
-        Ok(Pipeline::from_capture(&capture))
+        let packets =
+            uncharted_nettap::pcap::parse_pcap_streaming(std::io::BufReader::new(file), 4096)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        Ok(Pipeline {
+            dataset: Dataset::from_packets_threaded(packets, threads),
+            threads,
+        })
+    }
+
+    /// Set the analysis worker count (`0` = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Pipeline {
+        self.threads = threads;
+        self
     }
 
     /// Table 3 flow statistics.
@@ -105,7 +141,7 @@ impl Pipeline {
 
     /// The unidirectional sessions.
     pub fn sessions(&self) -> Vec<Session> {
-        extract_sessions(&self.dataset)
+        extract_sessions_threaded(&self.dataset, self.threads)
     }
 
     /// The §6.3 clustering study: feature extraction, standardisation,
@@ -137,7 +173,7 @@ impl Pipeline {
 
     /// The Markov chain census (Fig. 13).
     pub fn chain_census(&self) -> ChainCensus {
-        ChainCensus::from_dataset(&self.dataset)
+        ChainCensus::from_dataset_threaded(&self.dataset, self.threads)
     }
 
     /// The Table 6 / Fig. 17 outstation taxonomy.
@@ -147,7 +183,7 @@ impl Pipeline {
 
     /// Table 7: the ASDU typeID census.
     pub fn type_census(&self) -> TypeCensus {
-        TypeCensus::from_dataset(&self.dataset)
+        TypeCensus::from_dataset_threaded(&self.dataset, self.threads)
     }
 
     /// Table 8: typeID → transmitting stations and inferred physics.
@@ -157,7 +193,7 @@ impl Pipeline {
 
     /// All extracted physical time series.
     pub fn physical_series(&self) -> Vec<dpi::TimeSeries> {
-        dpi::extract_series(&self.dataset)
+        dpi::extract_series_threaded(&self.dataset, self.threads)
     }
 
     /// Physical series flagged by the normalised-variance screen.
@@ -208,6 +244,32 @@ mod tests {
         assert_eq!(p.dataset.packets.len(), direct.dataset.packets.len());
         assert_eq!(p.type_census().counts, direct.type_census().counts);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The whole pipeline — ingestion and every analysis stage — must
+    /// produce bit-identical results sharded and sequential.
+    #[test]
+    fn threaded_pipeline_matches_sequential() {
+        let set = Simulation::new(Scenario::small(Year::Y1, 5, 60.0)).run();
+        let sequential = Pipeline::from_capture_set(&set);
+        let sharded = Pipeline::from_capture_set_threaded(&set, 4);
+        assert_eq!(sharded.dataset.packets, sequential.dataset.packets);
+        assert_eq!(sharded.dataset.dialects, sequential.dataset.dialects);
+        assert_eq!(sharded.dataset.compliance, sequential.dataset.compliance);
+        assert_eq!(sharded.dataset.timelines, sequential.dataset.timelines);
+        assert_eq!(
+            sharded.dataset.flows.connections,
+            sequential.dataset.flows.connections
+        );
+        assert_eq!(sharded.flow_stats(), sequential.flow_stats());
+        assert_eq!(sharded.sessions(), sequential.sessions());
+        assert_eq!(sharded.chain_census().rows, sequential.chain_census().rows);
+        assert_eq!(sharded.type_census().counts, sequential.type_census().counts);
+        assert_eq!(sharded.physical_series(), sequential.physical_series());
+        assert_eq!(
+            sharded.classify_outstations(),
+            sequential.classify_outstations()
+        );
     }
 
     #[test]

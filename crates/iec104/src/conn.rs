@@ -254,7 +254,10 @@ impl Connection {
                 if self.oldest_unacked_rx.is_none() {
                     self.oldest_unacked_rx = Some(now);
                 }
-                self.apply_peer_ack(recv_seq, now);
+                self.apply_peer_ack(recv_seq, now, &mut out);
+                if self.closed {
+                    return out;
+                }
                 if let Some(asdu) = &apdu.asdu {
                     out.push(Action::Deliver(asdu.clone()));
                 }
@@ -265,7 +268,10 @@ impl Connection {
                 self.pump(now, &mut out);
             }
             Apci::S { recv_seq } => {
-                self.apply_peer_ack(recv_seq, now);
+                self.apply_peer_ack(recv_seq, now, &mut out);
+                if self.closed {
+                    return out;
+                }
                 self.pump(now, &mut out);
             }
             Apci::U(func) => self.on_u(func, now, &mut out),
@@ -273,7 +279,7 @@ impl Connection {
         out
     }
 
-    fn apply_peer_ack(&mut self, recv_seq: u16, now: f64) {
+    fn apply_peer_ack(&mut self, recv_seq: u16, now: f64, out: &mut Vec<Action>) {
         // recv_seq acknowledges all frames with N(S) < recv_seq.
         if seq_distance(self.peer_acked, recv_seq) <= seq_distance(self.peer_acked, self.vs) {
             let progressed = recv_seq != self.peer_acked;
@@ -288,6 +294,12 @@ impl Connection {
                 // down spuriously.
                 self.oldest_unacked_tx = Some(now);
             }
+        } else {
+            // recv_seq acknowledges a frame we never sent (outside
+            // peer_acked..=V(S)): sequence-rule violation, treated like an
+            // out-of-sequence I-frame rather than silently ignored.
+            self.closed = true;
+            out.push(Action::Close(CloseReason::ProtocolError));
         }
     }
 
@@ -485,6 +497,46 @@ mod tests {
         let more = rtu.on_apdu(&Apdu::s_frame(3), 2.0);
         let resumed = more.iter().filter(|a| matches!(a, Action::Transmit(_))).count();
         assert_eq!(resumed, 2);
+    }
+
+    /// Regression: an S-frame acknowledging a frame we never sent
+    /// (recv_seq outside peer_acked..=V(S)) must close the connection as a
+    /// protocol error, exactly like an out-of-sequence I-frame — it was
+    /// previously ignored silently.
+    #[test]
+    fn bogus_s_frame_ack_closes_with_protocol_error() {
+        let mut server = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        let mut rtu = Connection::new(Role::Controlled, ConnConfig::default(), 0.0);
+        let a = server.start_dt(0.0);
+        exchange(&mut server, &mut rtu, a, true, 0.0);
+        // Nothing is in flight (V(S) = 0), so an ack of 5 is impossible.
+        let acts = rtu.on_apdu(&Apdu::s_frame(5), 1.0);
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::Close(CloseReason::ProtocolError))),
+            "bogus ack must close: {acts:?}"
+        );
+        assert!(rtu.is_closed());
+    }
+
+    /// Regression companion: an I-frame carrying the impossible ack closes
+    /// the connection too, and its ASDU must not be delivered.
+    #[test]
+    fn bogus_i_frame_ack_closes_without_delivery() {
+        let mut server = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        let mut rtu = Connection::new(Role::Controlled, ConnConfig::default(), 0.0);
+        let a = server.start_dt(0.0);
+        exchange(&mut server, &mut rtu, a, true, 0.0);
+        let apdu = Apdu::i_frame(0, 7, asdu()); // send_seq in order, ack bogus
+        let acts = rtu.on_apdu(&apdu, 1.0);
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::Close(CloseReason::ProtocolError))),
+            "bogus ack must close: {acts:?}"
+        );
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::Deliver(_))),
+            "no delivery from a connection torn down by protocol error"
+        );
+        assert!(rtu.is_closed());
     }
 
     #[test]

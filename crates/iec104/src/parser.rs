@@ -196,17 +196,21 @@ pub fn detect_dialect(frames: &[Vec<u8>]) -> Vec<DialectScore> {
             let mut parsed = 0usize;
             let mut total = 0usize;
             for frame in frames {
+                // Junk chunks (the tolerant delimiter emits non-0x68 byte
+                // runs as-is) carry no dialect evidence: skip them before
+                // scoring so they don't inflate `total` and skew the
+                // parse-rate consumers downstream.
+                if frame.len() < 3 || frame[0] != crate::apci::START_BYTE {
+                    continue;
+                }
                 // Skip frames that are not I-format: no evidence either way.
-                if frame.len() >= 3 && frame[2] & 0x01 != 0 {
+                if frame[2] & 0x01 != 0 {
                     continue;
                 }
                 total += 1;
-                match Apdu::decode(frame, dialect) {
-                    Ok(apdu) => {
-                        parsed += 1;
-                        score += 1.0 + plausibility(&apdu);
-                    }
-                    Err(_) => {}
+                if let Ok(apdu) = Apdu::decode(frame, dialect) {
+                    parsed += 1;
+                    score += 1.0 + plausibility(&apdu);
                 }
             }
             DialectScore {
@@ -412,6 +416,31 @@ mod tests {
         }
     }
 
+    /// Regression: junk chunks delimited out of a dirty stream (no 0x68
+    /// start byte) must not count toward `total` — they parse under no
+    /// candidate, so counting them depressed every score's parse rate and
+    /// misled consumers that threshold on `parsed`/`total`.
+    #[test]
+    fn detection_ignores_junk_chunks() {
+        let bytes = stream(Dialect::STANDARD, 8);
+        let mut frames = Vec::new();
+        let mut off = 0;
+        while off < bytes.len() {
+            let len = 2 + bytes[off + 1] as usize;
+            frames.push(bytes[off..off + len].to_vec());
+            off += len;
+        }
+        // Interleave junk runs; third byte even so the old I-format test
+        // (`frame[2] & 0x01 == 0`) let them through to the counters.
+        for junk in [&b"\x00\xff\x02\x13\x37"[..], &b"\x01\x02"[..], &b"\xde\xad\xbe\xef"[..]] {
+            frames.push(junk.to_vec());
+        }
+        let scores = detect_dialect(&frames);
+        assert_eq!(scores[0].dialect, Dialect::STANDARD);
+        assert_eq!(scores[0].total, 8, "junk chunks excluded from total");
+        assert_eq!(scores[0].parsed, 8);
+    }
+
     #[test]
     fn tolerant_parser_recovers_legacy_stream() {
         let mut p = TolerantParser::new();
@@ -464,7 +493,7 @@ mod tests {
 
     #[test]
     fn detection_window_constant_is_sane() {
-        assert!(DETECTION_WINDOW >= 4);
+        const { assert!(DETECTION_WINDOW >= 4) }
     }
 
     #[test]

@@ -30,6 +30,34 @@ impl FlowKey {
             FlowKey { a: y, b: x }
         }
     }
+
+    /// The key of a parsed packet (direction-independent).
+    pub fn of(pkt: &ParsedPacket) -> FlowKey {
+        FlowKey::new(
+            SocketAddr::new(pkt.ip.src, pkt.tcp.src_port),
+            SocketAddr::new(pkt.ip.dst, pkt.tcp.dst_port),
+        )
+    }
+
+    /// A platform-independent FNV-1a hash of the key, used to shard
+    /// connections across pipeline workers. `std`'s `Hasher` is not
+    /// guaranteed stable across releases, and shard assignment must be
+    /// reproducible for the parallel pipeline to be deterministic.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in [
+            self.a.ip,
+            self.a.port as u32,
+            self.b.ip,
+            self.b.port as u32,
+        ] {
+            for byte in part.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 impl std::fmt::Display for FlowKey {
@@ -58,7 +86,7 @@ impl Direction {
 }
 
 /// Per-direction accounting and reassembly state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DirectionStats {
     /// Packet count (all segments, including bare ACKs).
     pub packets: usize,
@@ -90,34 +118,57 @@ impl DirectionStats {
             return;
         }
         let seq = pkt.tcp.seq;
-        let next = *self.next_seq.get_or_insert(seq);
-        // Sequence comparison modulo 2^32, window of half the space.
-        let delta = seq.wrapping_sub(next) as i32;
-        if delta < 0 {
-            // Entirely in the past: retransmission.
-            self.retransmissions += 1;
-            return;
+        self.next_seq.get_or_insert(seq);
+        // Buffer the segment as-is; `flush` decides (modulo 2^32, relative
+        // to the cursor) whether it is in-order, future, a duplicate, or a
+        // partial overlap needing its already-delivered prefix trimmed. On
+        // a same-seq collision keep the longer payload.
+        let entry = self.pending.entry(seq).or_default();
+        if pkt.payload.len() > entry.len() {
+            *entry = pkt.payload.clone();
         }
-        self.pending.insert(seq, pkt.payload.clone());
         self.flush();
     }
 
     fn flush(&mut self) {
         while let Some(next) = self.next_seq {
-            let Some((&seq, _)) = self.pending.iter().next() else { break };
-            if seq != next {
-                // Gap (or duplicate buffered ahead): wait.
-                if (seq.wrapping_sub(next) as i32) < 0 {
-                    self.pending.remove(&seq);
-                    self.retransmissions += 1;
-                    continue;
-                }
+            // Pick the segment closest to the cursor in *wrapping* order,
+            // not numeric key order: after a 2^32 sequence wraparound the
+            // numerically-smallest key can be far in the future while the
+            // in-order segment sits near u32::MAX, and a numeric scan would
+            // stall reassembly forever.
+            let Some((&seq, _)) = self
+                .pending
+                .iter()
+                .min_by_key(|&(&s, _)| s.wrapping_sub(next) as i32)
+            else {
+                break;
+            };
+            let rel = seq.wrapping_sub(next) as i32;
+            if rel > 0 {
+                // True gap: wait for the missing segment.
                 break;
             }
-            let (_, data) = self.pending.remove_entry(&seq).expect("present");
-            self.next_seq = Some(next.wrapping_add(data.len() as u32));
-            self.payload_bytes += data.len();
-            self.stream.extend_from_slice(&data);
+            let data = self.pending.remove(&seq).expect("present");
+            if rel == 0 {
+                self.next_seq = Some(next.wrapping_add(data.len() as u32));
+                self.payload_bytes += data.len();
+                self.stream.extend_from_slice(&data);
+            } else {
+                // Starts before the cursor: the prefix is a retransmission,
+                // but any bytes past the cursor are new data — trim the
+                // delivered prefix and keep the remainder instead of
+                // discarding the whole segment.
+                self.retransmissions += 1;
+                let overlap = next.wrapping_sub(seq) as usize;
+                if overlap < data.len() {
+                    let tail = data[overlap..].to_vec();
+                    let entry = self.pending.entry(next).or_default();
+                    if tail.len() > entry.len() {
+                        *entry = tail;
+                    }
+                }
+            }
         }
     }
 
@@ -132,7 +183,7 @@ impl DirectionStats {
 }
 
 /// A reconstructed TCP connection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TcpConnection {
     /// The canonical endpoint pair.
     pub key: FlowKey,
@@ -279,6 +330,65 @@ impl FlowTable {
             table.push(pkt);
         }
         table
+    }
+
+    /// Reconstruct in parallel: connections are sharded by [`FlowKey`] hash
+    /// across `threads` scoped workers, each running the ordinary
+    /// sequential reassembly over its own keys, and the per-shard tables
+    /// are merged back in first-packet order.
+    ///
+    /// All reassembly state (cursor, pending segments, retransmission
+    /// accounting) is keyed by connection, and every packet of a connection
+    /// lands in the same shard, so each reconstructed record is
+    /// byte-identical to what [`FlowTable::from_parsed`] builds; sorting
+    /// records by the global index of their first packet restores the exact
+    /// first-seen order. The output is therefore bit-identical at any
+    /// thread count.
+    pub fn from_parsed_sharded(packets: &[ParsedPacket], threads: usize) -> FlowTable {
+        if threads <= 1 {
+            return Self::from_parsed(packets);
+        }
+        let shards: Vec<(Vec<usize>, FlowTable)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|me| {
+                    scope.spawn(move || {
+                        let mut table = FlowTable::default();
+                        // Global index of the packet that opened each record,
+                        // aligned with `table.connections`.
+                        let mut firsts: Vec<usize> = Vec::new();
+                        for (i, pkt) in packets.iter().enumerate() {
+                            let key = FlowKey::of(pkt);
+                            if key.stable_hash() % threads as u64 != me as u64 {
+                                continue;
+                            }
+                            let before = table.connections.len();
+                            table.push(pkt);
+                            if table.connections.len() > before {
+                                firsts.push(i);
+                            }
+                        }
+                        (firsts, table)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("flow shard worker panicked"))
+                .collect()
+        });
+        let mut tagged: Vec<(usize, TcpConnection)> = Vec::new();
+        for (firsts, table) in shards {
+            tagged.extend(firsts.into_iter().zip(table.connections));
+        }
+        tagged.sort_by_key(|&(first, _)| first);
+        let mut merged = FlowTable::default();
+        for (_, conn) in tagged {
+            // Re-inserting in order leaves `live` pointing at the latest
+            // record per key, as incremental `push` would.
+            merged.live.insert(conn.key, merged.connections.len());
+            merged.connections.push(conn);
+        }
+        merged
     }
 
     /// Feed one packet.
@@ -468,6 +578,64 @@ mod tests {
         assert_eq!(c.dir(c.direction_from(r)).stream, b"abcdefghi");
     }
 
+    /// Regression: a segment that re-sends delivered bytes but carries new
+    /// data past the cursor must have its prefix trimmed, not be dropped
+    /// wholesale as a retransmission.
+    #[test]
+    fn partially_overlapping_segment_delivers_new_tail() {
+        let s = server();
+        let r = rtu();
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let packets = vec![
+            pkt(1.0, r, s, 900, 100, data, b"abcdef"),
+            // Re-sends "def" (900+3..900+6) but extends with "ghi".
+            pkt(1.2, r, s, 903, 100, data, b"defghi"),
+        ];
+        let table = FlowTable::from_parsed(&packets);
+        let c = &table.connections[0];
+        let d = c.dir(c.direction_from(r));
+        assert_eq!(d.stream, b"abcdefghi");
+        assert_eq!(d.retransmissions, 1, "overlapping prefix counted");
+        assert_eq!(d.payload_bytes, 9);
+    }
+
+    /// Regression: reassembly must not stall when sequence numbers wrap
+    /// past 2^32. A numeric scan of the pending map sees the post-wrap
+    /// segment (small key) first, misreads it as a future gap, and never
+    /// delivers the in-order segment sitting near u32::MAX.
+    #[test]
+    fn reassembly_survives_seq_wraparound() {
+        let s = server();
+        let r = rtu();
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let start = u32::MAX - 5;
+        let mut dir = DirectionStats::default();
+        dir.absorb(&pkt(0.9, r, s, start, 100, data, b"abc")); // cursor -> MAX-2
+        // Early post-wrap segment: numerically tiny key, buffered as a gap.
+        dir.absorb(&pkt(1.0, r, s, 0, 100, data, b"ghi"));
+        // In-order pre-wrap segment: a numeric scan of pending would see
+        // key 1 first, misread it as the frontier, and stall here.
+        dir.absorb(&pkt(1.1, r, s, u32::MAX - 2, 100, data, b"def"));
+        assert_eq!(dir.stream, b"abcdefghi");
+        assert_eq!(dir.payload_bytes, 9);
+        assert_eq!(dir.retransmissions, 0);
+    }
+
+    /// Regression companion: an early post-wrap segment buffered while the
+    /// cursor still sits below u32::MAX must not be pruned as stale.
+    #[test]
+    fn early_post_wrap_segment_waits_for_cursor() {
+        let r = rtu();
+        let s = server();
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let start = u32::MAX - 2;
+        let mut dir = DirectionStats::default();
+        dir.absorb(&pkt(0.5, r, s, start, 100, data, b"abc")); // cursor wraps to 0
+        dir.absorb(&pkt(0.6, r, s, 0, 100, data, b"def"));
+        assert_eq!(dir.stream, b"abcdef");
+        assert_eq!(dir.retransmissions, 0);
+    }
+
     #[test]
     fn four_tuple_reuse_after_rst_starts_new_record() {
         let s = server();
@@ -499,6 +667,39 @@ mod tests {
         let d = c.dir(c.direction_from(r));
         assert_eq!(d.mean_interarrival(), Some(2.0));
         assert_eq!(c.dir(c.direction_from(s)).mean_interarrival(), None);
+    }
+
+    /// The sharded reconstruction must be bit-identical to the sequential
+    /// one: same records, same order, same streams and counters.
+    #[test]
+    fn sharded_reconstruction_matches_sequential() {
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let mut packets = Vec::new();
+        // Eight interleaved connections from distinct servers, with
+        // handshakes, out-of-order data, retransmissions, and teardown.
+        for i in 0..8u32 {
+            let s = SocketAddr::new(addr(10, 0, 0, 1 + i as u8), 40000 + i as u16);
+            let r = SocketAddr::new(addr(10, 0, 7, 1 + (i % 3) as u8), 2404);
+            let t0 = i as f64 * 0.01;
+            packets.push(pkt(t0, s, r, 100, 0, TcpFlags::SYN, b""));
+            packets.push(pkt(t0 + 1.0, r, s, 500, 101, TcpFlags::SYN.with(TcpFlags::ACK), b""));
+            packets.push(pkt(t0 + 2.0, s, r, 101, 501, data, b"abc"));
+            packets.push(pkt(t0 + 3.0, s, r, 107, 501, data, b"ghi")); // early
+            packets.push(pkt(t0 + 4.0, s, r, 104, 501, data, b"def")); // fills gap
+            packets.push(pkt(t0 + 5.0, s, r, 104, 501, data, b"def")); // retransmit
+            if i % 2 == 0 {
+                packets.push(pkt(t0 + 6.0, s, r, 110, 501, TcpFlags::FIN.with(TcpFlags::ACK), b""));
+                // 4-tuple reuse: a fresh attempt after the close.
+                packets.push(pkt(t0 + 7.0, s, r, 9000, 0, TcpFlags::SYN, b""));
+            }
+        }
+        packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        let seq = FlowTable::from_parsed(&packets);
+        for threads in [2, 3, 5] {
+            let par = FlowTable::from_parsed_sharded(&packets, threads);
+            assert_eq!(par.connections, seq.connections, "threads = {threads}");
+            assert_eq!(par.live, seq.live, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -193,33 +193,110 @@ impl Capture {
     }
 
     /// Read a classic little-endian libpcap file.
-    pub fn read_pcap<R: Read>(mut r: R) -> Result<Capture> {
+    pub fn read_pcap<R: Read>(r: R) -> Result<Capture> {
+        let mut packets = Vec::new();
+        for pkt in PcapReader::new(r)? {
+            packets.push(pkt?);
+        }
+        Ok(Capture { packets })
+    }
+}
+
+/// Streaming reader over a classic little-endian libpcap file: yields one
+/// [`CapturedPacket`] at a time without materialising the whole capture,
+/// so arbitrarily large files can be ingested in bounded memory.
+#[derive(Debug)]
+pub struct PcapReader<R: Read> {
+    reader: R,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Validate the global header and position the reader at the first
+    /// record.
+    pub fn new(mut reader: R) -> Result<PcapReader<R>> {
         let mut header = [0u8; 24];
-        r.read_exact(&mut header)?;
+        reader.read_exact(&mut header)?;
         let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
         if magic != PCAP_MAGIC {
             return Err(Error::BadPcapMagic(magic));
         }
-        let mut packets = Vec::new();
-        loop {
-            let mut rec = [0u8; 16];
-            match r.read_exact(&mut rec) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-                Err(e) => return Err(e.into()),
-            }
-            let ts_sec = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
-            let ts_usec = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
-            let incl = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
-            let mut frame = vec![0u8; incl];
-            r.read_exact(&mut frame)?;
-            packets.push(CapturedPacket {
-                timestamp: ts_sec as f64 + ts_usec as f64 * 1e-6,
-                frame,
-            });
-        }
-        Ok(Capture { packets })
+        Ok(PcapReader { reader })
     }
+
+    fn read_record(&mut self) -> Option<Result<CapturedPacket>> {
+        let mut rec = [0u8; 16];
+        match self.reader.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return None,
+            Err(e) => return Some(Err(e.into())),
+        }
+        let ts_sec = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+        let ts_usec = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
+        let incl = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
+        let mut frame = vec![0u8; incl];
+        if let Err(e) = self.reader.read_exact(&mut frame) {
+            return Some(Err(e.into()));
+        }
+        Some(Ok(CapturedPacket {
+            timestamp: ts_sec as f64 + ts_usec as f64 * 1e-6,
+            frame,
+        }))
+    }
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = Result<CapturedPacket>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record()
+    }
+}
+
+/// Read and decode a pcap as a bounded two-stage pipeline: a scoped reader
+/// thread pulls raw records off the source in chunks of `chunk_packets`
+/// and hands them over a bounded channel (at most two chunks in flight)
+/// while the calling thread decodes Ethernet/IPv4/TCP. Undecodable frames
+/// are skipped, exactly like [`Capture::parsed`], and packets come out in
+/// capture order. Peak memory is the decoded packets plus two raw chunks,
+/// instead of the raw and decoded captures held side by side.
+pub fn parse_pcap_streaming<R: Read + Send>(reader: R, chunk_packets: usize) -> Result<Vec<ParsedPacket>> {
+    let chunk_packets = chunk_packets.max(1);
+    let mut source = PcapReader::new(reader)?;
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Result<Vec<CapturedPacket>>>(2);
+        scope.spawn(move || {
+            let mut chunk = Vec::with_capacity(chunk_packets);
+            loop {
+                match source.read_record() {
+                    Some(Ok(pkt)) => {
+                        chunk.push(pkt);
+                        if chunk.len() >= chunk_packets
+                            && tx.send(Ok(std::mem::take(&mut chunk))).is_err()
+                        {
+                            return; // consumer bailed on an earlier error
+                        }
+                    }
+                    Some(Err(e)) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                    None => break,
+                }
+            }
+            if !chunk.is_empty() {
+                let _ = tx.send(Ok(chunk));
+            }
+        });
+        let mut parsed = Vec::new();
+        for chunk in rx {
+            for pkt in chunk? {
+                if let Ok(p) = pkt.parse() {
+                    parsed.push(p);
+                }
+            }
+        }
+        Ok(parsed)
+    })
 }
 
 #[cfg(test)]
@@ -275,11 +352,54 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let buf = vec![0u8; 24];
+        let buf = [0u8; 24];
         assert!(matches!(
             Capture::read_pcap(&buf[..]),
             Err(Error::BadPcapMagic(0))
         ));
+        assert!(matches!(
+            parse_pcap_streaming(&buf[..], 4),
+            Err(Error::BadPcapMagic(0))
+        ));
+    }
+
+    #[test]
+    fn streaming_reader_yields_records_in_order() {
+        let mut cap = Capture::new();
+        for i in 0..7 {
+            cap.record(sample(i as f64, format!("p{i}").as_bytes()));
+        }
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+        let records: Vec<CapturedPacket> = PcapReader::new(&buf[..])
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(records.len(), 7);
+        for (a, b) in cap.packets.iter().zip(&records) {
+            assert_eq!(a.frame, b.frame);
+        }
+    }
+
+    /// The bounded-channel chunked path must produce exactly what the
+    /// materialise-then-parse path produces, at any chunk size.
+    #[test]
+    fn streaming_parse_matches_materialised_parse() {
+        let mut cap = Capture::new();
+        for i in 0..25 {
+            cap.record(sample(i as f64 * 0.1, format!("payload{i}").as_bytes()));
+        }
+        cap.record(CapturedPacket {
+            timestamp: 2.05,
+            frame: vec![0xFF; 30], // undecodable noise, skipped by both paths
+        });
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+        let expect = Capture::read_pcap(&buf[..]).unwrap().parsed();
+        for chunk in [1, 4, 64] {
+            let got = parse_pcap_streaming(&buf[..], chunk).unwrap();
+            assert_eq!(got, expect, "chunk = {chunk}");
+        }
     }
 
     #[test]

@@ -115,7 +115,8 @@ impl OutstationSim {
         let from = seg.src;
 
         if !self.links.contains_key(&from) {
-            if !(seg.flags.syn() && !seg.flags.ack()) {
+            let bare_syn = seg.flags.syn() && !seg.flags.ack();
+            if !bare_syn {
                 // Stray segment for a connection we no longer track.
                 return (out, effects);
             }

@@ -60,10 +60,9 @@ fn main() {
     tolerant.feed(&stream);
     tolerant.flush();
     println!(
-        "\nlegacy stream of 12 I-frames: strict parser flags {} ({}), \
+        "\nlegacy stream of 12 I-frames: strict parser flags {} (100%), \
          tolerant parser flags {} and detects dialect '{}'",
         strict.stats().malformed,
-        "100%",
         tolerant.stats().malformed,
         tolerant.detected().unwrap().label()
     );

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (nothing in
+//! the build path serializes through serde's data model — the JSON the
+//! bench harness emits goes through the `serde_json` stub's own `ToJson`
+//! trait). So the traits here are markers with blanket impls, and the
+//! derives (re-exported from the stub `serde_derive`) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` stub.
+//!
+//! The stub `serde` crate blanket-implements its marker traits for every
+//! type, so these derives only need to exist (and accept any input) — they
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts any item; expands to nothing (the stub trait has a blanket impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts any item; expands to nothing (the stub trait has a blanket impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,484 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the subset the bench harness uses: [`Value`], [`Map`], the
+//! [`json!`] macro (flat objects, array literals and expression
+//! interpolation via the [`ToJson`] trait), [`to_string`] and
+//! [`to_string_pretty`]. Instead of going through serde's `Serialize`
+//! data model, interpolated expressions convert through [`ToJson`], which
+//! is implemented for the primitive/collection types the workspace emits.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true`/`false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (sorted by key).
+    Object(Map),
+}
+
+/// A JSON number (integer-preserving).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; mirror serde_json's `null`.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON object: string keys to values, sorted by key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    inner: BTreeMap<String, Value>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Insert a key/value pair, returning any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.inner.insert(key, value)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.inner.get(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.inner.iter()
+    }
+}
+
+impl Value {
+    /// True for `Value::Object`.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// True for `Value::Array`.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrow the object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as f64, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v as f64),
+            Value::Number(Number::UInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as u64, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::UInt(v)) => Some(*v),
+            Value::Number(Number::Int(v)) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as i64, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v),
+            Value::Number(Number::UInt(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Object member access; yields `Null` for misses (serde_json semantics).
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// Array element access; yields `Null` out of bounds (serde_json semantics).
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(Number::Int(v)) => i128::from(*v) == i128::from(*other),
+                    Value::Number(Number::UInt(v)) => i128::from(*v) == i128::from(*other),
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+value_eq_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+impl PartialEq<usize> for Value {
+    fn eq(&self, other: &usize) -> bool {
+        *self == (*other as u64)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(Number::Float(v)) if v == other)
+    }
+}
+
+/// Conversion into a [`Value`] (the stub's stand-in for `Serialize`).
+pub trait ToJson {
+    /// Convert a borrowed value.
+    fn to_json_value(&self) -> Value;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for Map {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! to_json_int {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::$variant(*self as $cast))
+            }
+        }
+    )*};
+}
+to_json_int!(
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+    isize => Int as i64,
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64,
+    usize => UInt as u64
+);
+
+impl ToJson for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json_value()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+/// Build a [`Value`] from a (flat) JSON literal with expression
+/// interpolation.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::ToJson::to_json_value(&$val)); )*
+        $crate::Value::Object(m)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::ToJson::to_json_value(&$elem)),* ])
+    };
+    ($other:expr) => { $crate::ToJson::to_json_value(&$other) };
+}
+
+/// Serialization error (the stub serializer cannot actually fail).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String, indent: usize, pretty: bool) {
+    let pad = |n: usize, out: &mut String| {
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(n));
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                write_value(item, out, indent + 1, pretty);
+            }
+            pad(indent, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                escape(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(item, out, indent + 1, pretty);
+            }
+            pad(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+/// Compact serialization.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(value, &mut out, 0, false);
+    Ok(out)
+}
+
+/// Pretty (2-space indented) serialization.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(value, &mut out, 0, true);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let rows: Vec<Value> = vec![json!({"k": 1})];
+        let v = json!({
+            "int": 3usize,
+            "float": 2.5,
+            "s": "hi",
+            "arr": ["a", "b"],
+            "rows": rows,
+            "none": Option::<u32>::None,
+        });
+        let s = to_string(&v).unwrap();
+        assert!(s.contains("\"int\":3"));
+        assert!(s.contains("\"float\":2.5"));
+        assert!(s.contains("\"arr\":[\"a\",\"b\"]"));
+        assert!(s.contains("\"none\":null"));
+        assert!(s.contains("\"rows\":[{\"k\":1}]"));
+    }
+
+    #[test]
+    fn pretty_round_shape() {
+        let v = json!({"a": 1, "b": [true, false]});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"a\": 1"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = json!({"q": "a\"b\\c\nd"});
+        assert_eq!(to_string(&v).unwrap(), r#"{"q":"a\"b\\c\nd"}"#);
+    }
+}
