@@ -1,13 +1,15 @@
 //! Frequency-series debugging probe (development aid).
 use uncharted_analysis::dataset::Dataset;
 use uncharted_analysis::dpi::{self};
+use uncharted_analysis::exec::ExecContext;
 use uncharted_scadasim::scenario::{Scenario, Year};
 use uncharted_scadasim::sim::Simulation;
 
 fn main() {
     let set = Simulation::new(Scenario::small(Year::Y1, 42, 300.0)).run();
-    let ds = Dataset::from_captures(set.captures.iter());
-    let series = dpi::extract_series(&ds);
+    let ctx = ExecContext::default();
+    let ds = Dataset::ingest_captures(set.captures.iter(), &ctx);
+    let series = dpi::series(&ds, &ctx);
     for s in &series {
         if s.from_server { continue; }
         if s.mean() > 55.0 && s.mean() < 65.0 {

@@ -5,13 +5,15 @@ use uncharted_analysis::flowstats::FlowStats;
 use uncharted_analysis::kmeans;
 use uncharted_analysis::markov::{self, ChainCensus, Fig13Cluster};
 use uncharted_analysis::pca::Pca;
-use uncharted_analysis::session::{extract_sessions, standardize};
+use uncharted_analysis::exec::ExecContext;
+use uncharted_analysis::session::{self, standardize};
 use uncharted_scadasim::scenario::{Scenario, Year};
 use uncharted_scadasim::sim::Simulation;
 
 fn main() {
     let set = Simulation::new(Scenario::small(Year::Y1, 42, 240.0)).run();
-    let ds = Dataset::from_capture(&set.captures[0]);
+    let ctx = ExecContext::default();
+    let ds = Dataset::ingest_capture(&set.captures[0], &ctx);
     println!("packets {} pairs {}", ds.packets.len(), ds.timelines.len());
     println!("malformed outstations (strict): {:?}",
         ds.fully_malformed_outstations().iter().map(|&ip| uncharted_nettap::ipv4::fmt_addr(ip)).collect::<Vec<_>>());
@@ -24,7 +26,7 @@ fn main() {
     println!("flows: short<1s {} short>=1s {} long {}", stats.short_sub_second, stats.short_longer, stats.long_lived);
 
     // Sessions + clustering
-    let sessions = extract_sessions(&ds);
+    let sessions = session::extract(&ds, &ctx);
     println!("sessions: {}", sessions.len());
     let feats: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().selected()).collect();
     let z = standardize(&feats);
@@ -48,7 +50,7 @@ fn main() {
     println!("pca explained(2) = {:.3}", pca.explained_ratio(2));
 
     // Markov census
-    let census = ChainCensus::from_dataset(&ds);
+    let census = ChainCensus::build(&ds, &ctx);
     let p11 = census.in_cluster(Fig13Cluster::Point11).len();
     let sq = census.in_cluster(Fig13Cluster::Square).len();
     let el = census.in_cluster(Fig13Cluster::Ellipse).len();
@@ -59,7 +61,7 @@ fn main() {
     }
 
     // DPI
-    let tc = TypeCensus::from_dataset(&ds);
+    let tc = TypeCensus::build(&ds, &ctx);
     println!("type census ({} distinct):", tc.distinct());
     for (code, n, pct) in tc.rows().iter().take(8) {
         println!("  I{code}: {n} ({pct:.3}%)");
@@ -68,7 +70,7 @@ fn main() {
         println!("  table8 I{}: {} stations, {:?}", row.type_id, row.station_count, row.symbols);
     }
     // physical series around the generator-online event
-    let series = dpi::extract_series(&ds);
+    let series = dpi::series(&ds, &ctx);
     println!("series: {}", series.len());
     let mut kinds: std::collections::BTreeMap<&str, usize> = Default::default();
     for s in &series { *kinds.entry(s.infer_kind().symbol()).or_default() += 1; }

@@ -9,10 +9,13 @@ use std::collections::{BTreeMap, BTreeSet};
 use uncharted_iec104::apdu::{StreamDecoder, StreamItem};
 use uncharted_iec104::asdu::Asdu;
 use uncharted_iec104::dialect::Dialect;
+use uncharted_iec104::metrics::Iec104Metrics;
 use uncharted_iec104::parser::{detect_dialect, DialectScore};
 use uncharted_iec104::tokens::Token;
 use uncharted_nettap::flow::FlowTable;
 use uncharted_nettap::pcap::{Capture, ParsedPacket};
+
+use crate::exec::{threads_context, ExecContext};
 
 /// The IEC 104 well-known port (what identifies the outstation side).
 pub const IEC104_PORT: u16 = 2404;
@@ -105,41 +108,8 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Ingest one capture.
-    pub fn from_capture(capture: &Capture) -> Dataset {
-        Dataset::from_packets(capture.parsed())
-    }
-
-    /// [`Dataset::from_capture`] with a worker-thread count.
-    pub fn from_capture_threaded(capture: &Capture, threads: usize) -> Dataset {
-        Dataset::from_packets_threaded(capture.parsed(), threads)
-    }
-
-    /// Ingest several captures as one dataset (e.g. a whole year).
-    pub fn from_captures<'a, I: IntoIterator<Item = &'a Capture>>(captures: I) -> Dataset {
-        Dataset::from_captures_threaded(captures, 1)
-    }
-
-    /// [`Dataset::from_captures`] with a worker-thread count.
-    pub fn from_captures_threaded<'a, I: IntoIterator<Item = &'a Capture>>(
-        captures: I,
-        threads: usize,
-    ) -> Dataset {
-        let mut packets: Vec<ParsedPacket> = Vec::new();
-        for c in captures {
-            packets.extend(c.parsed());
-        }
-        packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
-        Dataset::from_packets_threaded(packets, threads)
-    }
-
-    /// Ingest from already-parsed packets (must be in time order).
-    pub fn from_packets(packets: Vec<ParsedPacket>) -> Dataset {
-        Dataset::from_packets_threaded(packets, 1)
-    }
-
-    /// Ingest from already-parsed packets, sharding the work across
-    /// `threads` scoped workers (`0` = one per core; `1` = sequential).
+    /// Ingest from already-parsed packets (must be in time order), under an
+    /// [`ExecContext`] choosing the worker count and the metrics sink.
     ///
     /// Flow reconstruction shards connections by [`FlowKey`] hash; protocol
     /// analysis shards packets by the outstation IP they feed (the same
@@ -150,39 +120,49 @@ impl Dataset {
     /// affine to a single outstation, so each worker reproduces exactly the
     /// slice of sequential state for its outstations and the per-shard maps
     /// are disjoint. Merging them (and sorting timelines by key, which the
-    /// sequential `BTreeMap` does implicitly) yields a `Dataset` that is
-    /// **bit-identical** to the single-threaded build at any thread count.
+    /// sequential `BTreeMap` does implicitly) yields a `Dataset` — and a set
+    /// of metric counter totals — that is **bit-identical** to the
+    /// single-threaded build at any worker count. Only the stage wall/shard
+    /// timings vary run to run.
     ///
     /// [`FlowKey`]: uncharted_nettap::flow::FlowKey
-    pub fn from_packets_threaded(packets: Vec<ParsedPacket>, threads: usize) -> Dataset {
-        let threads = crate::par::effective_threads(threads);
-        if threads <= 1 {
-            let flows = FlowTable::from_parsed(&packets);
-            let shard = analyze_packets(&packets, |_| true);
-            return Dataset {
-                packets,
-                flows,
-                dialects: shard.dialects,
-                compliance: shard.compliance,
-                timelines: shard.timelines.into_values().collect(),
+    pub fn ingest(packets: Vec<ParsedPacket>, ctx: &ExecContext) -> Dataset {
+        let m = &ctx.metrics;
+        m.nettap.pcap_records_streamed.add(packets.len() as u64);
+        let flows = FlowTable::reconstruct(&packets, ctx.policy, &m.nettap);
+
+        let span = m.protocol_stage.span();
+        let workers = ctx.workers();
+        let (dialects, compliance, timelines) = if workers <= 1 {
+            let shard = {
+                let _shard = m.protocol_stage.shard_span(0);
+                analyze_packets(&packets, |_| true, &m.iec104)
             };
-        }
-        let flows = FlowTable::from_parsed_sharded(&packets, threads);
-        let shards = crate::par::par_shards(threads, |me| {
-            analyze_packets(&packets, |out_ip| {
-                fnv1a_u32(out_ip) % threads as u64 == me as u64
-            })
-        });
-        let mut dialects = BTreeMap::new();
-        let mut compliance = BTreeMap::new();
-        let mut timelines: BTreeMap<(u32, u32), PairTimeline> = BTreeMap::new();
-        for shard in shards {
-            // Outstation state is shard-affine: the maps are disjoint and
-            // their union is the sequential result.
-            dialects.extend(shard.dialects);
-            compliance.extend(shard.compliance);
-            timelines.extend(shard.timelines);
-        }
+            (shard.dialects, shard.compliance, shard.timelines)
+        } else {
+            let shards = crate::par::par_shards(workers, |me| {
+                let _shard = m.protocol_stage.shard_span(me);
+                analyze_packets(
+                    &packets,
+                    |out_ip| fnv1a_u32(out_ip) % workers as u64 == me as u64,
+                    &m.iec104,
+                )
+            });
+            let mut dialects = BTreeMap::new();
+            let mut compliance = BTreeMap::new();
+            let mut timelines: BTreeMap<(u32, u32), PairTimeline> = BTreeMap::new();
+            for shard in shards {
+                // Outstation state is shard-affine: the maps are disjoint
+                // and their union is the sequential result.
+                dialects.extend(shard.dialects);
+                compliance.extend(shard.compliance);
+                timelines.extend(shard.timelines);
+            }
+            (dialects, compliance, timelines)
+        };
+        m.protocol_stage.add_items(packets.len() as u64);
+        drop(span);
+
         Dataset {
             packets,
             flows,
@@ -191,6 +171,66 @@ impl Dataset {
             timelines: timelines.into_values().collect(),
         }
     }
+
+    /// Ingest one capture under an [`ExecContext`].
+    pub fn ingest_capture(capture: &Capture, ctx: &ExecContext) -> Dataset {
+        Dataset::ingest(capture.parsed(), ctx)
+    }
+
+    /// Ingest several captures as one dataset (e.g. a whole year), merged
+    /// into time order, under an [`ExecContext`].
+    pub fn ingest_captures<'a, I: IntoIterator<Item = &'a Capture>>(
+        captures: I,
+        ctx: &ExecContext,
+    ) -> Dataset {
+        let mut packets: Vec<ParsedPacket> = Vec::new();
+        for c in captures {
+            packets.extend(c.parsed());
+        }
+        packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        Dataset::ingest(packets, ctx)
+    }
+
+    /// Ingest one capture.
+    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest_capture` with an `ExecContext`")]
+    pub fn from_capture(capture: &Capture) -> Dataset {
+        Dataset::ingest_capture(capture, &ExecContext::sequential())
+    }
+
+    /// [`Dataset::from_capture`] with a worker-thread count.
+    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest_capture` with an `ExecContext`")]
+    pub fn from_capture_threaded(capture: &Capture, threads: usize) -> Dataset {
+        Dataset::ingest_capture(capture, &threads_context(threads))
+    }
+
+    /// Ingest several captures as one dataset.
+    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest_captures` with an `ExecContext`")]
+    pub fn from_captures<'a, I: IntoIterator<Item = &'a Capture>>(captures: I) -> Dataset {
+        Dataset::ingest_captures(captures, &ExecContext::sequential())
+    }
+
+    /// [`Dataset::from_captures`] with a worker-thread count.
+    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest_captures` with an `ExecContext`")]
+    pub fn from_captures_threaded<'a, I: IntoIterator<Item = &'a Capture>>(
+        captures: I,
+        threads: usize,
+    ) -> Dataset {
+        Dataset::ingest_captures(captures, &threads_context(threads))
+    }
+
+    /// Ingest from already-parsed packets (must be in time order).
+    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest` with an `ExecContext`")]
+    pub fn from_packets(packets: Vec<ParsedPacket>) -> Dataset {
+        Dataset::ingest(packets, &ExecContext::sequential())
+    }
+
+    /// Ingest from already-parsed packets with a worker-thread count
+    /// (`0` = one per core; `1` = sequential).
+    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest` with an `ExecContext`")]
+    pub fn from_packets_threaded(packets: Vec<ParsedPacket>, threads: usize) -> Dataset {
+        Dataset::ingest(packets, &threads_context(threads))
+    }
+
     /// All distinct outstation IPs seen.
     pub fn outstation_ips(&self) -> BTreeSet<u32> {
         let mut set = BTreeSet::new();
@@ -263,7 +303,15 @@ fn fnv1a_u32(ip: u32) -> u64 {
 /// an observation is *attributed to* — not to whole packets — so a packet
 /// between two port-2404 endpoints still contributes its frame sample to
 /// each side's own shard, exactly as the unfiltered pass would.
-fn analyze_packets(packets: &[ParsedPacket], keep_out: impl Fn(u32) -> bool) -> AnalysisShard {
+///
+/// Only the tolerant decoders (including the standalone re-decode of TCP
+/// duplicates) record on `metrics`; the strict compliance decoders feed the
+/// discard sink so an APDU is never counted twice.
+fn analyze_packets(
+    packets: &[ParsedPacket],
+    keep_out: impl Fn(u32) -> bool,
+    metrics: &Iec104Metrics,
+) -> AnalysisShard {
     // Pass 1: collect, per outstation, the raw I-frames it sent, for
     // dialect detection.
     let mut frames_by_out: BTreeMap<u32, Vec<Vec<u8>>> = BTreeMap::new();
@@ -372,12 +420,12 @@ fn analyze_packets(packets: &[ParsedPacket], keep_out: impl Fn(u32) -> bool) -> 
             // Re-decode the duplicate standalone so the repeated token
             // appears without corrupting the stream decoder.
             let mut d = StreamDecoder::new(dialect);
-            d.feed(&pkt.payload)
+            d.feed_with(&pkt.payload, metrics)
         } else {
             decoders
                 .entry(key)
                 .or_insert_with(|| StreamDecoder::new(dialect))
-                .feed(&pkt.payload)
+                .feed_with(&pkt.payload, metrics)
         };
         for item in items {
             match item {
@@ -434,6 +482,7 @@ fn is_i_frame(frame: &[u8]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::ExecPolicy;
     use uncharted_iec104::apdu::Apdu as IecApdu;
     use uncharted_iec104::asdu::{InfoObject, IoValue};
     use uncharted_iec104::cot::{Cause, Cot};
@@ -488,7 +537,7 @@ mod tests {
             ));
             seq += payload.len() as u32;
         }
-        Dataset::from_packets(packets)
+        Dataset::ingest(packets, &ExecContext::sequential())
     }
 
     #[test]
@@ -528,7 +577,7 @@ mod tests {
             data_packet(1.5, server, 40001, rtu, IEC104_PORT, 1, &s_frame),
             data_packet(2.0, rtu, IEC104_PORT, server, 40001, 1 + i_frame.len() as u32, &float_apdu(1, 2.0, Dialect::STANDARD)),
         ];
-        let ds = Dataset::from_packets(packets);
+        let ds = Dataset::ingest(packets, &ExecContext::sequential());
         assert_eq!(ds.timelines.len(), 1);
         let tl = &ds.timelines[0];
         let tokens: Vec<String> = tl.tokens().iter().map(|t| t.name()).collect();
@@ -548,7 +597,7 @@ mod tests {
             // Same seq: a TCP retransmission.
             data_packet(1.2, server, 40001, rtu, IEC104_PORT, 77, &u16_frame),
         ];
-        let ds = Dataset::from_packets(packets);
+        let ds = Dataset::ingest(packets, &ExecContext::sequential());
         let tokens = ds.timelines[0].tokens();
         assert_eq!(tokens, vec![Token::U16, Token::U16]);
     }
@@ -590,10 +639,13 @@ mod tests {
         packets.push(data_packet(2.5, addr(192, 168, 0, 1), 5000, addr(192, 168, 0, 2), 5001, 1, b"hello"));
         packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
 
-        let sequential = Dataset::from_packets(packets.clone());
+        let seq_ctx = ExecContext::new(ExecPolicy::Sequential);
+        let sequential = Dataset::ingest(packets.clone(), &seq_ctx);
         assert_eq!(sequential.timelines.len(), 5);
+        let seq_fp = seq_ctx.metrics.snapshot().counter_fingerprint();
         for threads in [2, 3, 8] {
-            let sharded = Dataset::from_packets_threaded(packets.clone(), threads);
+            let ctx = ExecContext::new(ExecPolicy::Threads(threads));
+            let sharded = Dataset::ingest(packets.clone(), &ctx);
             assert_eq!(sharded.dialects, sequential.dialects, "threads = {threads}");
             assert_eq!(sharded.compliance, sequential.compliance, "threads = {threads}");
             assert_eq!(sharded.timelines, sequential.timelines, "threads = {threads}");
@@ -602,7 +654,36 @@ mod tests {
                 "threads = {threads}"
             );
             assert_eq!(sharded.packets, sequential.packets, "threads = {threads}");
+            // Counter totals (not just the Dataset) are policy-independent.
+            assert_eq!(
+                ctx.metrics.snapshot().counter_fingerprint(),
+                seq_fp,
+                "threads = {threads}"
+            );
         }
+        let snap = seq_ctx.metrics.snapshot();
+        assert_eq!(
+            snap.counter_total("nettap_pcap_records_streamed"),
+            packets.len() as u64
+        );
+        assert!(snap.counter_total("iec104_apdus_parsed") > 0);
+        assert!(snap.counter_value("iec104_apdus_parsed", &[("dialect", "cot1")]).unwrap() > 0);
+    }
+
+    /// The deprecated constructors still build the same dataset.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_from_packets_shims_delegate() {
+        let server = addr(10, 0, 0, 1);
+        let rtu = addr(10, 1, 5, 9);
+        let payload = float_apdu(0, 1.0, Dialect::STANDARD);
+        let packets = vec![data_packet(1.0, rtu, IEC104_PORT, server, 40001, 1, &payload)];
+        let canonical = Dataset::ingest(packets.clone(), &ExecContext::sequential());
+        let shim = Dataset::from_packets(packets.clone());
+        let shim_threaded = Dataset::from_packets_threaded(packets, 2);
+        assert_eq!(shim.timelines, canonical.timelines);
+        assert_eq!(shim_threaded.timelines, canonical.timelines);
+        assert_eq!(shim.compliance, canonical.compliance);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! signature state machine of Fig. 21.
 
 use crate::dataset::Dataset;
+use crate::exec::{threads_context, ExecContext};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use uncharted_iec104::asdu::IoValue;
@@ -21,31 +22,51 @@ pub struct TypeCensus {
 }
 
 impl TypeCensus {
-    /// Count every I-frame ASDU in the dataset.
-    pub fn from_dataset(ds: &Dataset) -> TypeCensus {
-        let mut counts = BTreeMap::new();
-        for tl in &ds.timelines {
-            count_types(&mut counts, tl);
-        }
-        TypeCensus { counts }
+    /// Count every I-frame ASDU in the dataset, under an [`ExecContext`]
+    /// choosing the worker count and the metrics sink. Counts are summed
+    /// per typeID, so the merge is order-independent and the census is
+    /// identical under any policy.
+    pub fn build(ds: &Dataset, ctx: &ExecContext) -> TypeCensus {
+        let m = &ctx.metrics;
+        let _span = m.type_census_stage.span();
+        let workers = ctx.workers();
+        let counts = if workers <= 1 {
+            let _shard = m.type_census_stage.shard_span(0);
+            let mut counts = BTreeMap::new();
+            for tl in &ds.timelines {
+                count_types(&mut counts, tl);
+            }
+            counts
+        } else {
+            let partial = crate::par::par_map(&ds.timelines, workers, |tl| {
+                let mut counts = BTreeMap::new();
+                count_types(&mut counts, tl);
+                counts
+            });
+            let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
+            for part in partial {
+                for (code, n) in part {
+                    *counts.entry(code).or_default() += n;
+                }
+            }
+            counts
+        };
+        let census = TypeCensus { counts };
+        m.type_census_stage.add_items(census.total() as u64);
+        census
     }
 
-    /// [`TypeCensus::from_dataset`] with per-timeline counting fanned out
-    /// across `threads` workers (`0` = one per core). Counts are summed per
-    /// typeID, so the merge is order-independent and the census identical.
+    /// Count every I-frame ASDU in the dataset.
+    #[deprecated(since = "0.2.0", note = "use `TypeCensus::build` with an `ExecContext`")]
+    pub fn from_dataset(ds: &Dataset) -> TypeCensus {
+        TypeCensus::build(ds, &ExecContext::sequential())
+    }
+
+    /// [`TypeCensus::from_dataset`] with a worker-thread count (`0` = one
+    /// per core).
+    #[deprecated(since = "0.2.0", note = "use `TypeCensus::build` with an `ExecContext`")]
     pub fn from_dataset_threaded(ds: &Dataset, threads: usize) -> TypeCensus {
-        let partial = crate::par::par_map(&ds.timelines, threads, |tl| {
-            let mut counts = BTreeMap::new();
-            count_types(&mut counts, tl);
-            counts
-        });
-        let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
-        for part in partial {
-            for (code, n) in part {
-                *counts.entry(code).or_default() += n;
-            }
-        }
-        TypeCensus { counts }
+        TypeCensus::build(ds, &threads_context(threads))
     }
 
     /// Total ASDUs.
@@ -198,47 +219,62 @@ impl TimeSeries {
     }
 }
 
-/// Extract every (station, IOA) time series from the dataset's I-frames.
-pub fn extract_series(ds: &Dataset) -> Vec<TimeSeries> {
-    let mut map: BTreeMap<(u32, u32, bool), TimeSeries> = BTreeMap::new();
-    for tl in &ds.timelines {
-        series_from_timeline(&mut map, tl);
-    }
-    sort_series(map)
-}
-
-/// [`extract_series`] with per-timeline sample collection fanned out across
-/// `threads` workers (`0` = one per core).
+/// Extract every (station, IOA) time series from the dataset's I-frames,
+/// under an [`ExecContext`] choosing the worker count and the metrics sink.
 ///
 /// Per-timeline maps are merged in timeline order, so each series'
 /// samples concatenate in exactly the order the sequential pass appends
-/// them; the final per-series sort is stable, making the output identical.
-pub fn extract_series_threaded(ds: &Dataset, threads: usize) -> Vec<TimeSeries> {
-    let threads = crate::par::effective_threads(threads);
-    if threads <= 1 {
-        return extract_series(ds);
-    }
-    let partial = crate::par::par_map(&ds.timelines, threads, |tl| {
-        let mut map = BTreeMap::new();
-        series_from_timeline(&mut map, tl);
-        map
-    });
-    let mut map: BTreeMap<(u32, u32, bool), TimeSeries> = BTreeMap::new();
-    for part in partial {
-        for (key, s) in part {
-            match map.entry(key) {
-                std::collections::btree_map::Entry::Vacant(v) => {
-                    v.insert(s);
-                }
-                std::collections::btree_map::Entry::Occupied(mut o) => {
-                    let entry = o.get_mut();
-                    entry.samples.extend(s.samples);
-                    entry.type_ids.extend(s.type_ids);
+/// them; the final per-series sort is stable, making the output identical
+/// under any policy.
+pub fn series(ds: &Dataset, ctx: &ExecContext) -> Vec<TimeSeries> {
+    let m = &ctx.metrics;
+    let _span = m.series_stage.span();
+    let workers = ctx.workers();
+    let out = if workers <= 1 {
+        let _shard = m.series_stage.shard_span(0);
+        let mut map: BTreeMap<(u32, u32, bool), TimeSeries> = BTreeMap::new();
+        for tl in &ds.timelines {
+            series_from_timeline(&mut map, tl);
+        }
+        sort_series(map)
+    } else {
+        let partial = crate::par::par_map(&ds.timelines, workers, |tl| {
+            let mut map = BTreeMap::new();
+            series_from_timeline(&mut map, tl);
+            map
+        });
+        let mut map: BTreeMap<(u32, u32, bool), TimeSeries> = BTreeMap::new();
+        for part in partial {
+            for (key, s) in part {
+                match map.entry(key) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(s);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        let entry = o.get_mut();
+                        entry.samples.extend(s.samples);
+                        entry.type_ids.extend(s.type_ids);
+                    }
                 }
             }
         }
-    }
-    sort_series(map)
+        sort_series(map)
+    };
+    m.series_extracted.add(out.len() as u64);
+    m.series_stage.add_items(out.len() as u64);
+    out
+}
+
+/// Extract every (station, IOA) time series from the dataset's I-frames.
+#[deprecated(since = "0.2.0", note = "use `dpi::series` with an `ExecContext`")]
+pub fn extract_series(ds: &Dataset) -> Vec<TimeSeries> {
+    series(ds, &ExecContext::sequential())
+}
+
+/// [`extract_series`] with a worker-thread count (`0` = one per core).
+#[deprecated(since = "0.2.0", note = "use `dpi::series` with an `ExecContext`")]
+pub fn extract_series_threaded(ds: &Dataset, threads: usize) -> Vec<TimeSeries> {
+    series(ds, &threads_context(threads))
 }
 
 /// Tally one timeline's ASDU typeIDs.
@@ -308,7 +344,7 @@ pub struct Table8Row {
 
 /// Build Table 8 from the dataset.
 pub fn table8(ds: &Dataset) -> Vec<Table8Row> {
-    let series = extract_series(ds);
+    let series = series(ds, &ExecContext::sequential());
     let mut stations: BTreeMap<u8, BTreeSet<u32>> = BTreeMap::new();
     let mut kinds: BTreeMap<u8, BTreeSet<PhysicalKind>> = BTreeMap::new();
     for tl in &ds.timelines {

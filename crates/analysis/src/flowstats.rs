@@ -152,7 +152,11 @@ mod tests {
         // One long-lived flow (no SYN).
         packets.push(pkt(1.0, addr(10, 0, 0, 2), 41000, addr(10, 1, 3, 3), 2404, TcpFlags::ACK, 5));
         packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
-        let flows = FlowTable::from_parsed(&packets);
+        let flows = FlowTable::reconstruct(
+            &packets,
+            uncharted_obs::ExecPolicy::Sequential,
+            uncharted_nettap::NettapMetrics::sink(),
+        );
         let stats = FlowStats::from_flows(&flows);
         assert_eq!(stats.short_sub_second, 10);
         assert_eq!(stats.short_longer, 0);
@@ -171,7 +175,11 @@ mod tests {
         packets.push(pkt(10.0, s, 40500, r, 2404, TcpFlags::SYN, 1));
         packets.push(pkt(15.0, r, 2404, s, 40500, TcpFlags::FIN.with(TcpFlags::ACK), 1));
         packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
-        let flows = FlowTable::from_parsed(&packets);
+        let flows = FlowTable::reconstruct(
+            &packets,
+            uncharted_obs::ExecPolicy::Sequential,
+            uncharted_nettap::NettapMetrics::sink(),
+        );
         let hist = duration_histogram(&flows);
         assert!(hist.contains(&(-2, 1)));
         assert!(hist.contains(&(0, 1)));
@@ -183,7 +191,11 @@ mod tests {
         for i in 0..7 {
             packets.extend(reject_pair(i as f64, 42000 + i));
         }
-        let flows = FlowTable::from_parsed(&packets);
+        let flows = FlowTable::reconstruct(
+            &packets,
+            uncharted_obs::ExecPolicy::Sequential,
+            uncharted_nettap::NettapMetrics::sink(),
+        );
         let census = reject_census(&flows);
         assert_eq!(census.len(), 1);
         assert_eq!(census[0].1, 7);

@@ -143,7 +143,7 @@ impl Whitelist {
             );
         }
         let mut envelopes = BTreeMap::new();
-        for s in dpi::extract_series(ds) {
+        for s in dpi::series(ds, &crate::exec::ExecContext::sequential()) {
             let lo = s.samples.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
             let hi = s.samples.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
             envelopes.insert((s.station_ip, s.ioa), Envelope { lo, hi });
@@ -246,7 +246,7 @@ impl Whitelist {
         }
 
         // --- physical ------------------------------------------------
-        let series = dpi::extract_series(ds);
+        let series = dpi::series(ds, &crate::exec::ExecContext::sequential());
         for s in &series {
             let Some(env) = self.envelopes.get(&(s.station_ip, s.ioa)) else {
                 continue;
@@ -362,6 +362,10 @@ mod tests {
         .unwrap()
     }
 
+    fn dataset_of(packets: Vec<ParsedPacket>) -> Dataset {
+        Dataset::ingest(packets, &crate::exec::ExecContext::sequential())
+    }
+
     fn i13(seq: u16, ioa: u32, v: f32) -> Vec<u8> {
         let asdu = Asdu::new(
             uncharted_iec104::types::TypeId::M_ME_NC_1,
@@ -385,7 +389,7 @@ mod tests {
             packets.push(pkt(i as f64, rtu, server, seq, &payload));
             seq += payload.len() as u32;
         }
-        Dataset::from_packets(packets)
+        Dataset::ingest(packets, &crate::exec::ExecContext::sequential())
     }
 
     #[test]
@@ -405,7 +409,7 @@ mod tests {
         let payload = Apdu::u_frame(uncharted_iec104::apci::UFunction::StartDtAct)
             .encode(Dialect::STANDARD)
             .unwrap();
-        let ds = Dataset::from_packets(vec![pkt(1.0, evil, rtu, 9, &payload)]);
+        let ds = dataset_of(vec![pkt(1.0, evil, rtu, 9, &payload)]);
         let alerts = wl.inspect(&ds);
         assert!(alerts
             .iter()
@@ -427,7 +431,7 @@ mod tests {
             qoi: uncharted_iec104::elements::Qoi::STATION,
         }));
         let payload = Apdu::i_frame(0, 0, asdu).encode(Dialect::STANDARD).unwrap();
-        let ds = Dataset::from_packets(vec![pkt(1.0, server, rtu, 9, &payload)]);
+        let ds = dataset_of(vec![pkt(1.0, server, rtu, 9, &payload)]);
         let alerts = wl.inspect(&ds);
         assert!(alerts.iter().any(|a| matches!(
             a.kind,
@@ -452,7 +456,7 @@ mod tests {
         )
         .with_object(InfoObject::new(800, IoValue::SingleCommand { sco: 0 }));
         let payload = Apdu::i_frame(0, 0, asdu).encode(Dialect::STANDARD).unwrap();
-        let ds = Dataset::from_packets(vec![pkt(1.0, server, rtu, 9, &payload)]);
+        let ds = dataset_of(vec![pkt(1.0, server, rtu, 9, &payload)]);
         let alerts = wl.inspect(&ds);
         assert!(alerts.iter().any(|a| a.severity == Severity::High
             && matches!(a.kind, AlertKind::UnexpectedCommand { type_id: 45, .. })));
@@ -465,7 +469,7 @@ mod tests {
         let rtu = (addr(10, 1, 3, 3), IEC104_PORT);
         // Same point, wildly different value.
         let payload = i13(0, 700, 99_999.0);
-        let ds = Dataset::from_packets(vec![pkt(1.0, rtu, server, 9, &payload)]);
+        let ds = dataset_of(vec![pkt(1.0, rtu, server, 9, &payload)]);
         let alerts = wl.inspect(&ds);
         assert!(alerts.iter().any(|a| matches!(
             a.kind,

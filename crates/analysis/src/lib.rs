@@ -24,6 +24,9 @@
 //! * [`ids`] — the paper's future-work extension: a cyber + physical
 //!   whitelist IDS (learned Markov transitions, command alphabets, value
 //!   envelopes, physics consistency) that flags Industroyer-style activity.
+//! * [`exec`] — the unified execution API: every driver takes an
+//!   [`ExecContext`] (an [`ExecPolicy`] plus a [`PipelineMetrics`] sink)
+//!   instead of the old forked `X` / `X_threaded` entry-point pairs.
 //! * [`par`] — deterministic scoped-thread fork–join helpers backing the
 //!   sharded (`--threads N`) pipeline: parallel output is bit-identical to
 //!   sequential.
@@ -31,6 +34,7 @@
 
 pub mod dataset;
 pub mod dpi;
+pub mod exec;
 pub mod flowstats;
 pub mod ids;
 pub mod kmeans;
@@ -41,6 +45,7 @@ pub mod report;
 pub mod session;
 
 pub use dataset::{ApduEvent, Dataset, PairTimeline};
+pub use exec::{ExecContext, ExecPolicy, PipelineMetrics};
 pub use dpi::{PhysicalKind, SignatureMachine, TypeCensus};
 pub use flowstats::FlowStats;
 pub use ids::{Alert, AlertKind, Severity, Whitelist};

@@ -8,6 +8,7 @@
 //! the Table 6 / Fig. 17 taxonomy.
 
 use crate::dataset::{Dataset, PairTimeline};
+use crate::exec::{threads_context, ExecContext};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use uncharted_iec104::tokens::Token;
@@ -149,28 +150,44 @@ pub struct ChainCensus {
 }
 
 impl ChainCensus {
-    /// Build the census.
-    pub fn from_dataset(ds: &Dataset) -> ChainCensus {
-        let rows = ds
-            .timelines
-            .iter()
-            .filter(|tl| !tl.events.is_empty())
-            .map(Self::row)
-            .collect();
+    /// Build the census under an [`ExecContext`] choosing the worker count
+    /// and the metrics sink. The map over timelines is order-preserving, so
+    /// the rows are identical under any policy.
+    pub fn build(ds: &Dataset, ctx: &ExecContext) -> ChainCensus {
+        let m = &ctx.metrics;
+        let _span = m.markov_stage.span();
+        let workers = ctx.workers();
+        let rows: Vec<ChainInfo> = if workers <= 1 {
+            let _shard = m.markov_stage.shard_span(0);
+            ds.timelines
+                .iter()
+                .filter(|tl| !tl.events.is_empty())
+                .map(Self::row)
+                .collect()
+        } else {
+            let pairs: Vec<&PairTimeline> = ds
+                .timelines
+                .iter()
+                .filter(|tl| !tl.events.is_empty())
+                .collect();
+            crate::par::par_map(&pairs, workers, |tl| Self::row(tl))
+        };
+        m.chains_built.add(rows.len() as u64);
+        m.markov_stage.add_items(rows.len() as u64);
         ChainCensus { rows }
     }
 
-    /// [`ChainCensus::from_dataset`] with per-pair chain construction
-    /// fanned out across `threads` workers (`0` = one per core). The map
-    /// over timelines is order-preserving, so the rows are identical.
+    /// Build the census.
+    #[deprecated(since = "0.2.0", note = "use `ChainCensus::build` with an `ExecContext`")]
+    pub fn from_dataset(ds: &Dataset) -> ChainCensus {
+        ChainCensus::build(ds, &ExecContext::sequential())
+    }
+
+    /// [`ChainCensus::from_dataset`] with a worker-thread count (`0` = one
+    /// per core).
+    #[deprecated(since = "0.2.0", note = "use `ChainCensus::build` with an `ExecContext`")]
     pub fn from_dataset_threaded(ds: &Dataset, threads: usize) -> ChainCensus {
-        let pairs: Vec<&PairTimeline> = ds
-            .timelines
-            .iter()
-            .filter(|tl| !tl.events.is_empty())
-            .collect();
-        let rows = crate::par::par_map(&pairs, threads, |tl| Self::row(tl));
-        ChainCensus { rows }
+        ChainCensus::build(ds, &threads_context(threads))
     }
 
     fn row(tl: &PairTimeline) -> ChainInfo {

@@ -6,6 +6,7 @@
 //! packet count, and the I/S/U token percentages.
 
 use crate::dataset::{Dataset, IEC104_PORT};
+use crate::exec::{threads_context, ExecContext};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use uncharted_iec104::tokens::Token;
@@ -131,8 +132,41 @@ impl SessionFeatures {
     }
 }
 
+/// Extract every session (with at least one APDU) from a dataset, under an
+/// [`ExecContext`] choosing the worker count and the metrics sink.
+///
+/// The session list is identical under any policy: the per-timeline token
+/// and IOA extraction is order-preserving, and packet stats are claimed in
+/// the same `(timeline, direction)` order the sequential pass uses.
+pub fn extract(ds: &Dataset, ctx: &ExecContext) -> Vec<Session> {
+    let m = &ctx.metrics;
+    let _span = m.sessions_stage.span();
+    let workers = ctx.workers();
+    let sessions = if workers <= 1 {
+        let _shard = m.sessions_stage.shard_span(0);
+        extract_sequential(ds)
+    } else {
+        extract_fanned_out(ds, workers)
+    };
+    m.sessions_built.add(sessions.len() as u64);
+    m.sessions_stage.add_items(sessions.len() as u64);
+    sessions
+}
+
 /// Extract every session (with at least one APDU) from a dataset.
+#[deprecated(since = "0.2.0", note = "use `session::extract` with an `ExecContext`")]
 pub fn extract_sessions(ds: &Dataset) -> Vec<Session> {
+    extract(ds, &ExecContext::sequential())
+}
+
+/// [`extract_sessions`] with a worker-thread count (`0` = one per core).
+#[deprecated(since = "0.2.0", note = "use `session::extract` with an `ExecContext`")]
+pub fn extract_sessions_threaded(ds: &Dataset, threads: usize) -> Vec<Session> {
+    extract(ds, &threads_context(threads))
+}
+
+/// The sequential extraction pass.
+fn extract_sequential(ds: &Dataset) -> Vec<Session> {
     // Packet times and bytes per (src, dst).
     let mut packet_stats: BTreeMap<(u32, u32), (Vec<f64>, usize)> = BTreeMap::new();
     for pkt in &ds.packets {
@@ -179,18 +213,14 @@ pub fn extract_sessions(ds: &Dataset) -> Vec<Session> {
     sessions
 }
 
-/// [`extract_sessions`] with the per-timeline token and IOA extraction
-/// fanned out across `threads` workers (`0` = one per core).
+/// The extraction pass with the per-timeline token and IOA work fanned out
+/// across `threads` workers.
 ///
 /// The packet-stat table is built sequentially (it is a single cheap pass
 /// over the packets), and the stats are claimed from it in the same
 /// `(timeline, direction)` order the sequential extractor uses, so the
 /// output is identical.
-pub fn extract_sessions_threaded(ds: &Dataset, threads: usize) -> Vec<Session> {
-    let threads = crate::par::effective_threads(threads);
-    if threads <= 1 {
-        return extract_sessions(ds);
-    }
+fn extract_fanned_out(ds: &Dataset, threads: usize) -> Vec<Session> {
     let mut packet_stats: BTreeMap<(u32, u32), (Vec<f64>, usize)> = BTreeMap::new();
     for pkt in &ds.packets {
         if pkt.tcp.src_port != IEC104_PORT && pkt.tcp.dst_port != IEC104_PORT {

@@ -6,13 +6,13 @@ use std::hint::black_box;
 use uncharted::analysis::dataset::Dataset;
 use uncharted::analysis::kmeans::{self, silhouette};
 use uncharted::analysis::pca::Pca;
-use uncharted::analysis::session::{extract_sessions, standardize};
-use uncharted::{Scenario, Simulation, Year};
+use uncharted::analysis::session::{self, standardize};
+use uncharted::{ExecContext, Scenario, Simulation, Year};
 
 fn features() -> (Dataset, Vec<Vec<f64>>) {
     let set = Simulation::new(Scenario::small(Year::Y1, 11, 120.0)).run();
-    let ds = Dataset::from_captures(set.captures.iter());
-    let sessions = extract_sessions(&ds);
+    let ds = Dataset::ingest_captures(set.captures.iter(), &ExecContext::sequential());
+    let sessions = session::extract(&ds, &ExecContext::sequential());
     let raw: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().selected()).collect();
     let z = standardize(&raw);
     (ds, z)
@@ -23,10 +23,10 @@ fn bench_clustering(c: &mut Criterion) {
     let mut group = c.benchmark_group("clustering");
 
     group.bench_function("extract_sessions", |b| {
-        b.iter(|| black_box(extract_sessions(black_box(&ds))))
+        b.iter(|| black_box(session::extract(black_box(&ds), &ExecContext::sequential())))
     });
     group.bench_function("standardize", |b| {
-        let raw: Vec<Vec<f64>> = extract_sessions(&ds)
+        let raw: Vec<Vec<f64>> = session::extract(&ds, &ExecContext::sequential())
             .iter()
             .map(|s| s.features().selected())
             .collect();

@@ -6,7 +6,7 @@ use std::hint::black_box;
 use uncharted::analysis::dataset::Dataset;
 use uncharted::nettap::flow::FlowTable;
 use uncharted::nettap::pcap::Capture;
-use uncharted::{Scenario, Simulation, Year};
+use uncharted::{ExecContext, ExecPolicy, Scenario, Simulation, Year};
 
 fn capture() -> Capture {
     Simulation::new(Scenario::small(Year::Y1, 11, 120.0))
@@ -23,10 +23,16 @@ fn bench_capture_plane(c: &mut Criterion) {
 
     group.bench_function("parse_packets", |b| b.iter(|| black_box(cap.parsed())));
     group.bench_function("flow_reconstruction", |b| {
-        b.iter(|| black_box(FlowTable::from_parsed(black_box(&parsed))))
+        b.iter(|| {
+            black_box(FlowTable::reconstruct(
+                black_box(&parsed),
+                ExecPolicy::Sequential,
+                uncharted::nettap::NettapMetrics::sink(),
+            ))
+        })
     });
     group.bench_function("dataset_ingest", |b| {
-        b.iter(|| black_box(Dataset::from_packets(parsed.clone())))
+        b.iter(|| black_box(Dataset::ingest(parsed.clone(), &ExecContext::sequential())))
     });
 
     let mut pcap_bytes = Vec::new();

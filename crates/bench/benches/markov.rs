@@ -6,11 +6,11 @@ use std::hint::black_box;
 use uncharted::analysis::dataset::Dataset;
 use uncharted::analysis::markov::{classify_outstations, ChainCensus, TokenChain};
 use uncharted::iec104::tokens::Token;
-use uncharted::{Scenario, Simulation, Year};
+use uncharted::{ExecContext, Scenario, Simulation, Year};
 
 fn dataset() -> Dataset {
     let set = Simulation::new(Scenario::small(Year::Y1, 11, 120.0)).run();
-    Dataset::from_captures(set.captures.iter())
+    Dataset::ingest_captures(set.captures.iter(), &ExecContext::sequential())
 }
 
 fn bench_markov(c: &mut Criterion) {
@@ -32,9 +32,9 @@ fn bench_markov(c: &mut Criterion) {
         b.iter(|| black_box(chain.sequence_log_prob(black_box(&tokens))))
     });
     group.bench_function("chain_census", |b| {
-        b.iter(|| black_box(ChainCensus::from_dataset(black_box(&ds))))
+        b.iter(|| black_box(ChainCensus::build(black_box(&ds), &ExecContext::sequential())))
     });
-    let census = ChainCensus::from_dataset(&ds);
+    let census = ChainCensus::build(&ds, &ExecContext::sequential());
     group.bench_function("classify_outstations", |b| {
         b.iter(|| black_box(classify_outstations(black_box(&census))))
     });

@@ -5,23 +5,15 @@
 //! extraction, chain census, series extraction) at increasing worker
 //! counts. Output is bit-identical at every setting — only wall-clock
 //! time changes — so the elements/s throughputs are directly comparable.
+//! The work unit itself lives in `uncharted_bench::pipebench`, shared with
+//! the CI smoke test.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use uncharted::analysis::dpi::{self, TypeCensus};
-use uncharted::analysis::markov::ChainCensus;
-use uncharted::analysis::session::extract_sessions_threaded;
-use uncharted::{Dataset, Scenario, Simulation, Year};
-use uncharted_nettap::pcap::ParsedPacket;
-
-fn capture_packets() -> Vec<ParsedPacket> {
-    let set = Simulation::new(Scenario::small(Year::Y1, 6, 120.0)).run();
-    let mut packets: Vec<ParsedPacket> = set.captures.iter().flat_map(|c| c.parsed()).collect();
-    packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
-    packets
-}
+use uncharted::ExecPolicy;
+use uncharted_bench::pipebench::{ingest_and_analyze, scenario_packets};
 
 fn bench_pipeline(c: &mut Criterion) {
-    let packets = capture_packets();
+    let packets = scenario_packets(6, 120.0);
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.throughput(Throughput::Elements(packets.len() as u64));
@@ -30,14 +22,7 @@ fn bench_pipeline(c: &mut Criterion) {
             BenchmarkId::new("ingest_analyze", threads),
             &threads,
             |b, &threads| {
-                b.iter(|| {
-                    let ds = Dataset::from_packets_threaded(packets.clone(), threads);
-                    let census = TypeCensus::from_dataset_threaded(&ds, threads);
-                    let sessions = extract_sessions_threaded(&ds, threads);
-                    let chains = ChainCensus::from_dataset_threaded(&ds, threads);
-                    let series = dpi::extract_series_threaded(&ds, threads);
-                    (census.total(), sessions.len(), chains.rows.len(), series.len())
-                })
+                b.iter(|| ingest_and_analyze(packets.clone(), ExecPolicy::Threads(threads)))
             },
         );
     }

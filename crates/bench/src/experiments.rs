@@ -258,17 +258,19 @@ fn table6(study: &Study) -> ExperimentOutput {
 }
 
 fn merged_pipeline(study: &Study) -> Pipeline {
+    let exec = uncharted::ExecContext::sequential();
     Pipeline {
-        dataset: uncharted::analysis::dataset::Dataset::from_captures(
+        dataset: uncharted::analysis::dataset::Dataset::ingest_captures(
             study.y1_set.captures.iter().chain(study.y2_set.captures.iter()),
+            &exec,
         ),
-        threads: 1,
+        exec,
     }
 }
 
 fn table7(study: &Study) -> ExperimentOutput {
     let merged = merged_pipeline(study);
-    let census = TypeCensus::from_dataset(&merged.dataset);
+    let census = TypeCensus::build(&merged.dataset, &merged.exec);
     let mut t = Table::new(["ASDU TypeID", "Count", "Percentage"]);
     let rows = census.rows();
     for (code, n, share) in &rows {
@@ -498,8 +500,8 @@ fn elbow(study: &Study) -> ExperimentOutput {
 /// features by the silhouette of a K=5 clustering on that feature alone,
 /// then compare the 5-feature subset against the full 10-feature set.
 fn ablation(study: &Study) -> ExperimentOutput {
-    use uncharted::analysis::session::{extract_sessions, standardize, SessionFeatures};
-    let sessions = extract_sessions(&study.y1.dataset);
+    use uncharted::analysis::session::{standardize, SessionFeatures};
+    let sessions = study.y1.sessions();
     let all: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().all()).collect();
     let names = SessionFeatures::names();
     let mut t = Table::new(["Feature", "Silhouette (K=5, single feature)", "Selected"]);
@@ -1134,7 +1136,10 @@ pub fn export_csv(
             }
         }
         "table7" => {
-            let census = TypeCensus::from_dataset(&merged_pipeline(study).dataset);
+            let census = {
+                let merged = merged_pipeline(study);
+                TypeCensus::build(&merged.dataset, &merged.exec)
+            };
             let rows: Vec<String> = census
                 .rows()
                 .into_iter()
@@ -1213,6 +1218,6 @@ mod tests {
     #[test]
     fn sessions_nonempty_for_clustering() {
         let s = study();
-        assert!(uncharted::analysis::session::extract_sessions(&s.y1.dataset).len() > 30);
+        assert!(s.y1.sessions().len() > 30);
     }
 }

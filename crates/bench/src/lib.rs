@@ -10,6 +10,7 @@
 //! the reproduction targets (see `EXPERIMENTS.md`).
 
 pub mod experiments;
+pub mod pipebench;
 pub mod study;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentOutput};

@@ -1,0 +1,31 @@
+//! The capture→analysis work unit shared by the `pipeline` Criterion bench
+//! and the CI smoke test: one ingest plus every per-dataset analysis stage,
+//! under a single [`ExecContext`].
+
+use uncharted::analysis::dpi::{self, TypeCensus};
+use uncharted::analysis::markov::ChainCensus;
+use uncharted::analysis::session;
+use uncharted::{Dataset, ExecContext, ExecPolicy, Scenario, Simulation, Year};
+use uncharted_nettap::pcap::ParsedPacket;
+
+/// Time-sorted packets from a seeded small scenario (`scale` seconds per
+/// paper hour — keep it tiny for smoke tests, larger for benches).
+pub fn scenario_packets(seed: u64, scale: f64) -> Vec<ParsedPacket> {
+    let set = Simulation::new(Scenario::small(Year::Y1, seed, scale)).run();
+    let mut packets: Vec<ParsedPacket> = set.captures.iter().flat_map(|c| c.parsed()).collect();
+    packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+    packets
+}
+
+/// Ingest the packets and run every per-dataset analysis stage, returning
+/// `(asdus, sessions, chains, series)` counts. Bit-identical under any
+/// [`ExecPolicy`].
+pub fn ingest_and_analyze(packets: Vec<ParsedPacket>, policy: ExecPolicy) -> (usize, usize, usize, usize) {
+    let ctx = ExecContext::new(policy);
+    let ds = Dataset::ingest(packets, &ctx);
+    let census = TypeCensus::build(&ds, &ctx);
+    let sessions = session::extract(&ds, &ctx);
+    let chains = ChainCensus::build(&ds, &ctx);
+    let series = dpi::series(&ds, &ctx);
+    (census.total(), sessions.len(), chains.rows.len(), series.len())
+}

@@ -28,8 +28,9 @@ impl Study {
     pub fn run(seed: u64, scale: f64) -> Study {
         let y1_set = Simulation::new(Scenario::y1_scaled(seed, scale)).run();
         let y2_set = Simulation::new(Scenario::y2_scaled(seed + 1, scale)).run();
-        let y1 = Pipeline::from_capture_set(&y1_set);
-        let y2 = Pipeline::from_capture_set(&y2_set);
+        let builder = Pipeline::builder().exec(uncharted::ExecPolicy::Sequential);
+        let y1 = builder.build(&y1_set);
+        let y2 = builder.build(&y2_set);
         Study {
             seed,
             scale,

@@ -1,0 +1,17 @@
+//! CI smoke test for the Criterion pipeline bench: run its exact work unit
+//! once on a tiny scenario so a broken bench fails `cargo test`, not the
+//! nightly bench job.
+
+use uncharted::ExecPolicy;
+use uncharted_bench::pipebench::{ingest_and_analyze, scenario_packets};
+
+#[test]
+fn pipeline_bench_work_unit_runs() {
+    let packets = scenario_packets(6, 20.0);
+    assert!(!packets.is_empty());
+    let sequential = ingest_and_analyze(packets.clone(), ExecPolicy::Sequential);
+    assert!(sequential.0 > 0, "no ASDUs counted");
+    assert!(sequential.1 > 0, "no sessions extracted");
+    let sharded = ingest_and_analyze(packets, ExecPolicy::Threads(4));
+    assert_eq!(sequential, sharded);
+}

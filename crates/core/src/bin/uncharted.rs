@@ -15,13 +15,20 @@ use std::path::PathBuf;
 use uncharted::analysis::ids::{AlertKind, Severity, Whitelist};
 use uncharted::analysis::markov;
 use uncharted::analysis::report::{ip, pct, Table};
-use uncharted::{Capture, Dataset, Pipeline, Scenario, Simulation, Year};
+use uncharted::{Capture, Dataset, ExecContext, Pipeline, Scenario, Simulation, Year};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  uncharted simulate [--year y1|y2] [--seed N] [--scale S] [--attack] --out DIR\n  \
-         uncharted analyze [--threads N] PCAP [PCAP...]   (N=0: one per core)\n  \
-         uncharted ids --train PCAP [--inspect PCAP]"
+         uncharted analyze [--threads N] [--metrics PATH] [--metrics-format json|prom] PCAP [PCAP...]\n  \
+         uncharted ids --train PCAP [--inspect PCAP]\n\n\
+         analyze options:\n  \
+         --threads N             worker threads: 0 = one per core, 1 = sequential (default),\n                          \
+         N = exactly N workers; results are identical at any setting\n  \
+         --metrics PATH          write the run's metrics (counters, histograms, per-stage\n                          \
+         timings) to PATH and print a summary table to stderr\n  \
+         --metrics-format FMT    metrics file format: json (default) or prom\n                          \
+         (Prometheus text exposition)"
     );
     std::process::exit(2);
 }
@@ -100,12 +107,23 @@ fn simulate(args: Vec<String>) {
 
 fn analyze(args: Vec<String>) {
     let mut threads = 1usize;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut metrics_format = "json".to_string();
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--threads" => {
                 threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--metrics" => {
+                metrics_path = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--metrics-format" => {
+                metrics_format = it.next().unwrap_or_else(|| usage());
+                if metrics_format != "json" && metrics_format != "prom" {
+                    usage();
+                }
             }
             _ => paths.push(PathBuf::from(arg)),
         }
@@ -114,9 +132,10 @@ fn analyze(args: Vec<String>) {
         usage();
     }
     let captures: Vec<Capture> = paths.iter().map(read_pcap).collect();
+    let exec = ExecContext::new(uncharted::ExecPolicy::from_threads_flag(threads));
     let pipeline = Pipeline {
-        dataset: Dataset::from_captures_threaded(captures.iter(), threads),
-        threads,
+        dataset: Dataset::ingest_captures(captures.iter(), &exec),
+        exec,
     };
     println!(
         "{} packets, {} outstations, {} servers\n",
@@ -173,6 +192,23 @@ fn analyze(args: Vec<String>) {
         t.row([format!("{class:?}"), n.to_string(), pct(f)]);
     }
     println!("outstation taxonomy:\n{}", t.render());
+
+    let sessions = pipeline.sessions();
+    println!("sessions: {}", sessions.len());
+
+    if let Some(path) = metrics_path {
+        let snapshot = pipeline.metrics().snapshot();
+        let rendered = match metrics_format.as_str() {
+            "prom" => snapshot.to_prometheus(),
+            _ => snapshot.to_json(),
+        };
+        std::fs::write(&path, rendered).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!("{}", snapshot.summary_table());
+        eprintln!("metrics written to {} ({metrics_format})", path.display());
+    }
 }
 
 fn ids(args: Vec<String>) {
@@ -187,7 +223,7 @@ fn ids(args: Vec<String>) {
         }
     }
     let Some(train) = train else { usage() };
-    let train_ds = Dataset::from_capture(&read_pcap(&train));
+    let train_ds = Dataset::ingest_capture(&read_pcap(&train), &ExecContext::sequential());
     let whitelist = Whitelist::learn(&train_ds);
     println!(
         "learned whitelist from {}: {} device pairs",
@@ -195,7 +231,7 @@ fn ids(args: Vec<String>) {
         whitelist.pair_count()
     );
     let Some(inspect) = inspect else { return };
-    let test_ds = Dataset::from_capture(&read_pcap(&inspect));
+    let test_ds = Dataset::ingest_capture(&read_pcap(&inspect), &ExecContext::sequential());
     let alerts = whitelist.inspect(&test_ds);
     println!("{} alerts on {}:", alerts.len(), inspect.display());
     for a in alerts.iter().take(30) {

@@ -17,48 +17,147 @@
 //! ## Quickstart
 //!
 //! ```
-//! use uncharted::{Pipeline, Scenario, Simulation, Year};
+//! use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 //!
 //! // Simulate a small Year-1 capture (seeded: fully reproducible)...
 //! let captures = Simulation::new(Scenario::small(Year::Y1, 7, 60.0)).run();
 //! // ...and run the paper's pipeline over it.
-//! let pipeline = Pipeline::from_capture_set(&captures);
+//! let pipeline = Pipeline::builder()
+//!     .exec(ExecPolicy::Auto) // or Sequential / Threads(n): same results
+//!     .build(&captures);
 //! let flows = pipeline.flow_stats();
 //! assert!(flows.total() > 0);
 //! let census = pipeline.type_census();
 //! assert!(census.total() > 0);
+//! // Every run records what it did: counters are policy-independent.
+//! let snapshot = pipeline.metrics().snapshot();
+//! assert!(snapshot.counter_total("iec104_apdus_parsed") > 0);
 //! ```
 
 pub use uncharted_analysis as analysis;
 pub use uncharted_iec104 as iec104;
 pub use uncharted_nettap as nettap;
+pub use uncharted_obs as obs;
 pub use uncharted_powergrid as powergrid;
 pub use uncharted_scadasim as scadasim;
 
 pub use uncharted_analysis::dataset::Dataset;
+pub use uncharted_analysis::exec::{ExecContext, ExecPolicy, PipelineMetrics};
 pub use uncharted_analysis::flowstats::FlowStats;
 pub use uncharted_nettap::pcap::Capture;
+pub use uncharted_obs::{MetricsRegistry, MetricsSnapshot};
 pub use uncharted_scadasim::scenario::{CaptureSet, Scenario, Year};
 pub use uncharted_scadasim::sim::Simulation;
 
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use uncharted_analysis::dpi::{self, TypeCensus};
 use uncharted_analysis::kmeans::{self, KMeansResult, ModelSelection};
 use uncharted_analysis::markov::{self, ChainCensus, OutstationClass};
 use uncharted_analysis::pca::Pca;
-use uncharted_analysis::session::{extract_sessions_threaded, standardize, Session};
+use uncharted_analysis::session::{self, standardize, Session};
+use uncharted_nettap::pcap::ParsedPacket;
 
 /// The full measurement pipeline over one dataset (one capture, one year's
 /// captures, or anything else assembled from packets).
+///
+/// Build one with [`Pipeline::builder`]; every analysis stage then runs
+/// under the builder's [`ExecContext`] — one policy, one metrics registry —
+/// instead of the old per-call `threads` arguments.
 #[derive(Debug)]
 pub struct Pipeline {
     /// The ingested dataset.
     pub dataset: Dataset,
-    /// Worker threads for the analysis stages: `1` = sequential, `0` = one
-    /// per core. Results are bit-identical at any setting; only wall-clock
-    /// time changes.
-    pub threads: usize,
+    /// How the stages execute and where they record their metrics. Results
+    /// are bit-identical under any [`ExecPolicy`]; only wall-clock time
+    /// (and the recorded stage timings) change.
+    pub exec: ExecContext,
+}
+
+/// Configures and builds a [`Pipeline`].
+///
+/// ```
+/// use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
+///
+/// let captures = Simulation::new(Scenario::small(Year::Y1, 7, 30.0)).run();
+/// let pipeline = Pipeline::builder()
+///     .exec(ExecPolicy::Threads(2))
+///     .build(&captures);
+/// assert!(pipeline.flow_stats().total() > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct PipelineBuilder {
+    policy: ExecPolicy,
+    metrics: Option<Arc<PipelineMetrics>>,
+}
+
+impl PipelineBuilder {
+    /// Set the execution policy (default: [`ExecPolicy::Auto`], one worker
+    /// per core).
+    pub fn exec(mut self, policy: ExecPolicy) -> PipelineBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Map a CLI-style `--threads N` flag onto the policy: `0` = one worker
+    /// per core ([`ExecPolicy::Auto`]), `1` = sequential, `n` = `n` workers.
+    pub fn threads(self, threads: usize) -> PipelineBuilder {
+        self.exec(ExecPolicy::from_threads_flag(threads))
+    }
+
+    /// Record metrics into `metrics` instead of a fresh private registry —
+    /// use this to aggregate several pipelines into one registry.
+    pub fn metrics(mut self, metrics: Arc<PipelineMetrics>) -> PipelineBuilder {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The [`ExecContext`] every build method ingests under.
+    fn context(&self) -> ExecContext {
+        ExecContext::with_metrics(
+            self.policy,
+            self.metrics.clone().unwrap_or_else(PipelineMetrics::new),
+        )
+    }
+
+    /// Ingest a whole capture campaign (flows spanning windows stay split,
+    /// exactly as the paper's multi-day captures did).
+    pub fn build(&self, set: &CaptureSet) -> Pipeline {
+        let exec = self.context();
+        Pipeline {
+            dataset: Dataset::ingest_captures(set.captures.iter(), &exec),
+            exec,
+        }
+    }
+
+    /// Ingest one capture.
+    pub fn build_capture(&self, capture: &Capture) -> Pipeline {
+        let exec = self.context();
+        Pipeline {
+            dataset: Dataset::ingest_capture(capture, &exec),
+            exec,
+        }
+    }
+
+    /// Ingest already-parsed packets (must be in time order).
+    pub fn build_packets(&self, packets: Vec<ParsedPacket>) -> Pipeline {
+        let exec = self.context();
+        Pipeline {
+            dataset: Dataset::ingest(packets, &exec),
+            exec,
+        }
+    }
+
+    /// Ingest a classic libpcap file through the bounded streaming reader,
+    /// overlapping record I/O with packet decoding.
+    pub fn build_pcap(&self, path: &std::path::Path) -> std::io::Result<Pipeline> {
+        let file = std::fs::File::open(path)?;
+        let packets =
+            uncharted_nettap::pcap::parse_pcap_streaming(std::io::BufReader::new(file), 4096)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        Ok(self.build_packets(packets))
+    }
 }
 
 /// Summary of a K-means clustering run over the session features.
@@ -79,59 +178,60 @@ pub struct ClusterReport {
 }
 
 impl Pipeline {
+    /// Start configuring a pipeline (execution policy, metrics registry).
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
     /// Ingest one capture.
+    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().build_capture(..)`")]
     pub fn from_capture(capture: &Capture) -> Pipeline {
-        Pipeline::from_capture_threaded(capture, 1)
+        Pipeline::builder().exec(ExecPolicy::Sequential).build_capture(capture)
     }
 
-    /// [`Pipeline::from_capture`] with ingestion and analysis sharded over
-    /// `threads` workers (`0` = one per core).
+    /// [`Pipeline::from_capture`] with a worker-thread count.
+    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().threads(n).build_capture(..)`")]
     pub fn from_capture_threaded(capture: &Capture, threads: usize) -> Pipeline {
-        Pipeline {
-            dataset: Dataset::from_capture_threaded(capture, threads),
-            threads,
-        }
+        Pipeline::builder().threads(threads).build_capture(capture)
     }
 
-    /// Ingest a whole capture campaign (flows spanning windows stay split,
-    /// exactly as the paper's multi-day captures did).
+    /// Ingest a whole capture campaign.
+    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().build(..)`")]
     pub fn from_capture_set(set: &CaptureSet) -> Pipeline {
-        Pipeline::from_capture_set_threaded(set, 1)
+        Pipeline::builder().exec(ExecPolicy::Sequential).build(set)
     }
 
-    /// [`Pipeline::from_capture_set`] with ingestion and analysis sharded
-    /// over `threads` workers (`0` = one per core).
+    /// [`Pipeline::from_capture_set`] with a worker-thread count.
+    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().threads(n).build(..)`")]
     pub fn from_capture_set_threaded(set: &CaptureSet, threads: usize) -> Pipeline {
-        Pipeline {
-            dataset: Dataset::from_captures_threaded(set.captures.iter(), threads),
-            threads,
-        }
+        Pipeline::builder().threads(threads).build(set)
     }
 
     /// Ingest a classic libpcap file.
+    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().build_pcap(..)`")]
     pub fn from_pcap_file(path: &std::path::Path) -> std::io::Result<Pipeline> {
-        Pipeline::from_pcap_file_threaded(path, 1)
+        Pipeline::builder().exec(ExecPolicy::Sequential).build_pcap(path)
     }
 
-    /// [`Pipeline::from_pcap_file`] with `threads` workers (`0` = one per
-    /// core). The file is read through the bounded streaming pcap reader,
-    /// overlapping record I/O with packet decoding, then the dataset is
-    /// built sharded.
-    pub fn from_pcap_file_threaded(path: &std::path::Path, threads: usize) -> std::io::Result<Pipeline> {
-        let file = std::fs::File::open(path)?;
-        let packets =
-            uncharted_nettap::pcap::parse_pcap_streaming(std::io::BufReader::new(file), 4096)
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
-        Ok(Pipeline {
-            dataset: Dataset::from_packets_threaded(packets, threads),
-            threads,
-        })
+    /// [`Pipeline::from_pcap_file`] with a worker-thread count.
+    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().threads(n).build_pcap(..)`")]
+    pub fn from_pcap_file_threaded(
+        path: &std::path::Path,
+        threads: usize,
+    ) -> std::io::Result<Pipeline> {
+        Pipeline::builder().threads(threads).build_pcap(path)
     }
 
     /// Set the analysis worker count (`0` = one per core).
+    #[deprecated(since = "0.2.0", note = "set the policy on `Pipeline::builder().exec(..)` instead")]
     pub fn with_threads(mut self, threads: usize) -> Pipeline {
-        self.threads = threads;
+        self.exec.policy = ExecPolicy::from_threads_flag(threads);
         self
+    }
+
+    /// The metric handles this pipeline records into.
+    pub fn metrics(&self) -> &Arc<PipelineMetrics> {
+        &self.exec.metrics
     }
 
     /// Table 3 flow statistics.
@@ -141,13 +241,14 @@ impl Pipeline {
 
     /// The unidirectional sessions.
     pub fn sessions(&self) -> Vec<Session> {
-        extract_sessions_threaded(&self.dataset, self.threads)
+        session::extract(&self.dataset, &self.exec)
     }
 
     /// The §6.3 clustering study: feature extraction, standardisation,
     /// model-selection sweep, K=5 clustering, PCA projection.
     pub fn cluster_sessions(&self, seed: u64) -> ClusterReport {
         let sessions = self.sessions();
+        let _span = self.exec.metrics.kmeans_stage.span();
         let raw: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().selected()).collect();
         let z = standardize(&raw);
         let selection = kmeans::select_k(&z, 2..=8, seed);
@@ -161,6 +262,10 @@ impl Pipeline {
                 *m += v / sizes[c].max(1) as f64;
             }
         }
+        self.exec
+            .metrics
+            .kmeans_stage
+            .add_items(sessions.len() as u64);
         ClusterReport {
             elbow_k: kmeans::elbow_k(&selection),
             selection,
@@ -173,7 +278,7 @@ impl Pipeline {
 
     /// The Markov chain census (Fig. 13).
     pub fn chain_census(&self) -> ChainCensus {
-        ChainCensus::from_dataset_threaded(&self.dataset, self.threads)
+        ChainCensus::build(&self.dataset, &self.exec)
     }
 
     /// The Table 6 / Fig. 17 outstation taxonomy.
@@ -183,7 +288,7 @@ impl Pipeline {
 
     /// Table 7: the ASDU typeID census.
     pub fn type_census(&self) -> TypeCensus {
-        TypeCensus::from_dataset_threaded(&self.dataset, self.threads)
+        TypeCensus::build(&self.dataset, &self.exec)
     }
 
     /// Table 8: typeID → transmitting stations and inferred physics.
@@ -193,7 +298,7 @@ impl Pipeline {
 
     /// All extracted physical time series.
     pub fn physical_series(&self) -> Vec<dpi::TimeSeries> {
-        dpi::extract_series_threaded(&self.dataset, self.threads)
+        dpi::series(&self.dataset, &self.exec)
     }
 
     /// Physical series flagged by the normalised-variance screen.
@@ -209,10 +314,8 @@ impl Pipeline {
 /// the year-over-year comparison setup of the paper.
 pub fn run_study(seed: u64, secs_per_paper_hour: f64) -> (Pipeline, Pipeline) {
     let (y1, y2) = uncharted_scadasim::sim::run_both_years(seed, secs_per_paper_hour);
-    (
-        Pipeline::from_capture_set(&y1),
-        Pipeline::from_capture_set(&y2),
-    )
+    let builder = Pipeline::builder().exec(ExecPolicy::Sequential);
+    (builder.build(&y1), builder.build(&y2))
 }
 
 #[cfg(test)]
@@ -222,12 +325,20 @@ mod tests {
     #[test]
     fn pipeline_over_small_capture() {
         let set = Simulation::new(Scenario::small(Year::Y1, 3, 45.0)).run();
-        let p = Pipeline::from_capture_set(&set);
+        let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
         assert!(p.flow_stats().total() > 10);
         assert!(p.type_census().total() > 50);
         assert!(!p.sessions().is_empty());
         assert!(!p.chain_census().rows.is_empty());
         assert!(!p.classify_outstations().is_empty());
+        // Every stage left a record of itself.
+        let snap = p.metrics().snapshot();
+        assert!(snap.counter_total("nettap_pcap_records_streamed") > 0);
+        assert!(snap.counter_total("analysis_sessions_built") > 0);
+        assert!(snap.counter_total("analysis_chains_built") > 0);
+        for stage in ["flows", "protocol", "sessions", "markov", "type_census"] {
+            assert!(snap.stage(stage).is_some(), "stage {stage} missing");
+        }
     }
 
     #[test]
@@ -239,11 +350,25 @@ mod tests {
         let mut buf = Vec::new();
         set.captures[0].write_pcap(&mut buf).unwrap();
         std::fs::write(&path, &buf).unwrap();
-        let p = Pipeline::from_pcap_file(&path).unwrap();
-        let direct = Pipeline::from_capture(&set.captures[0]);
+        let builder = Pipeline::builder().exec(ExecPolicy::Sequential);
+        let p = builder.build_pcap(&path).unwrap();
+        let direct = builder.build_capture(&set.captures[0]);
         assert_eq!(p.dataset.packets.len(), direct.dataset.packets.len());
         assert_eq!(p.type_census().counts, direct.type_census().counts);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The deprecated constructors still delegate to the builder.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_pipeline_constructors_delegate() {
+        let set = Simulation::new(Scenario::small(Year::Y1, 4, 30.0)).run();
+        let canonical = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
+        let shim = Pipeline::from_capture_set(&set);
+        let shim_threaded = Pipeline::from_capture_set_threaded(&set, 2);
+        assert_eq!(shim.dataset.packets, canonical.dataset.packets);
+        assert_eq!(shim_threaded.dataset.timelines, canonical.dataset.timelines);
+        assert_eq!(shim.with_threads(3).exec.policy, ExecPolicy::Threads(3));
     }
 
     /// The whole pipeline — ingestion and every analysis stage — must
@@ -251,8 +376,8 @@ mod tests {
     #[test]
     fn threaded_pipeline_matches_sequential() {
         let set = Simulation::new(Scenario::small(Year::Y1, 5, 60.0)).run();
-        let sequential = Pipeline::from_capture_set(&set);
-        let sharded = Pipeline::from_capture_set_threaded(&set, 4);
+        let sequential = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
+        let sharded = Pipeline::builder().exec(ExecPolicy::Threads(4)).build(&set);
         assert_eq!(sharded.dataset.packets, sequential.dataset.packets);
         assert_eq!(sharded.dataset.dialects, sequential.dataset.dialects);
         assert_eq!(sharded.dataset.compliance, sequential.dataset.compliance);
@@ -270,12 +395,17 @@ mod tests {
             sharded.classify_outstations(),
             sequential.classify_outstations()
         );
+        // The recorded counter totals (timings excluded) match too.
+        assert_eq!(
+            sharded.metrics().snapshot().counter_fingerprint(),
+            sequential.metrics().snapshot().counter_fingerprint()
+        );
     }
 
     #[test]
     fn cluster_report_shapes() {
         let set = Simulation::new(Scenario::small(Year::Y1, 5, 60.0)).run();
-        let p = Pipeline::from_capture_set(&set);
+        let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
         let report = p.cluster_sessions(11);
         assert_eq!(report.selection.len(), 7); // k = 2..=8
         assert_eq!(report.k5.centroids.len(), 5);

@@ -8,6 +8,7 @@
 use crate::apci::{Apci, UFunction, CONTROL_LEN, MAX_APDU_LENGTH, START_BYTE};
 use crate::asdu::Asdu;
 use crate::dialect::Dialect;
+use crate::metrics::Iec104Metrics;
 use crate::{Error, Result};
 
 /// A decoded APDU: control information plus optional ASDU payload.
@@ -174,7 +175,15 @@ impl StreamDecoder {
     }
 
     /// Feed segment bytes; returns every complete frame now available.
+    /// Metrics are discarded; use [`StreamDecoder::feed_with`] to count.
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<StreamItem> {
+        self.feed_with(bytes, Iec104Metrics::sink())
+    }
+
+    /// Feed segment bytes, recording on `metrics` the APDUs decoded (per
+    /// dialect), frame lengths, junk octets skipped during
+    /// resynchronisation, and malformed frames.
+    pub fn feed_with(&mut self, bytes: &[u8], metrics: &Iec104Metrics) -> Vec<StreamItem> {
         self.buffer.extend_from_slice(bytes);
         let mut items = Vec::new();
         loop {
@@ -189,6 +198,7 @@ impl StreamDecoder {
                     .position(|&b| b == START_BYTE)
                     .unwrap_or(self.buffer.len());
                 let junk: Vec<u8> = self.buffer.drain(..skip).collect();
+                metrics.junk_octets_skipped.add(junk.len() as u64);
                 items.push(StreamItem::Malformed(
                     junk.clone(),
                     Error::BadStartByte(junk.first().copied().unwrap_or(0)),
@@ -201,8 +211,15 @@ impl StreamDecoder {
             }
             let frame: Vec<u8> = self.buffer.drain(..total).collect();
             match Apdu::decode(&frame, self.dialect) {
-                Ok(apdu) => items.push(StreamItem::Apdu(apdu)),
-                Err(e) => items.push(StreamItem::Malformed(frame, e)),
+                Ok(apdu) => {
+                    metrics.apdus_parsed(self.dialect).inc();
+                    metrics.apdu_length_octets.observe(frame.len() as u64);
+                    items.push(StreamItem::Apdu(apdu));
+                }
+                Err(e) => {
+                    metrics.malformed_frames.inc();
+                    items.push(StreamItem::Malformed(frame, e));
+                }
             }
         }
         items
@@ -308,6 +325,27 @@ mod tests {
         assert_eq!(items.len(), 2);
         assert!(matches!(items[0], StreamItem::Malformed(_, Error::BadStartByte(0xDE))));
         assert!(matches!(&items[1], StreamItem::Apdu(a) if a.apci.is_s()));
+    }
+
+    #[test]
+    fn feed_with_counts_parses_junk_and_malformed() {
+        let reg = uncharted_obs::MetricsRegistry::new();
+        let metrics = Iec104Metrics::register(&reg);
+        let mut dec = StreamDecoder::new(Dialect::STANDARD);
+        let mut stream = vec![0xDE, 0xAD, 0xBE]; // 3 junk octets
+        stream.extend(Apdu::s_frame(7).encode(Dialect::STANDARD).unwrap());
+        let legacy = Apdu::i_frame(0, 0, sample_asdu())
+            .encode(Dialect::LEGACY_COT)
+            .unwrap();
+        stream.extend(&legacy); // malformed under STANDARD
+        dec.feed_with(&stream, &metrics);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_value("iec104_apdus_parsed", &[("dialect", "std")]),
+            Some(1)
+        );
+        assert_eq!(snap.counter_total("iec104_junk_octets_skipped"), 3);
+        assert_eq!(snap.counter_total("iec104_malformed_frames"), 1);
     }
 
     #[test]

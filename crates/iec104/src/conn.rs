@@ -14,6 +14,8 @@
 use crate::apci::{seq_add, seq_distance, Apci, UFunction};
 use crate::apdu::Apdu;
 use crate::asdu::Asdu;
+use crate::metrics::Iec104Metrics;
+use std::sync::Arc;
 
 /// Default protocol timer values (seconds) per the standard.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,6 +132,8 @@ pub struct Connection {
     /// Queued ASDUs awaiting window space or STARTDT.
     queue: std::collections::VecDeque<Asdu>,
     closed: bool,
+    /// Optional metrics sink for protocol-error accounting.
+    metrics: Option<Arc<Iec104Metrics>>,
 }
 
 impl Connection {
@@ -150,6 +154,24 @@ impl Connection {
             last_activity: now,
             queue: std::collections::VecDeque::new(),
             closed: false,
+            metrics: None,
+        }
+    }
+
+    /// Attach a metrics sink; protocol-error closes and rejected
+    /// acknowledgements are counted on it from then on.
+    pub fn attach_metrics(&mut self, metrics: Arc<Iec104Metrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Count a protocol-error close (and, for bogus acknowledgements, the
+    /// ack-rejection subset) on the attached metrics, if any.
+    fn count_protocol_error(&self, ack_rejection: bool) {
+        if let Some(metrics) = &self.metrics {
+            metrics.protocol_error_closes.inc();
+            if ack_rejection {
+                metrics.ack_rejections.inc();
+            }
         }
     }
 
@@ -247,6 +269,7 @@ impl Connection {
                 if send_seq != self.vr {
                     // Out-of-sequence I-frame: protocol error per standard.
                     self.closed = true;
+                    self.count_protocol_error(false);
                     out.push(Action::Close(CloseReason::ProtocolError));
                     return out;
                 }
@@ -299,6 +322,7 @@ impl Connection {
             // peer_acked..=V(S)): sequence-rule violation, treated like an
             // out-of-sequence I-frame rather than silently ignored.
             self.closed = true;
+            self.count_protocol_error(true);
             out.push(Action::Close(CloseReason::ProtocolError));
         }
     }
@@ -537,6 +561,30 @@ mod tests {
             "no delivery from a connection torn down by protocol error"
         );
         assert!(rtu.is_closed());
+    }
+
+    /// Attached metrics count every ProtocolError close, with bogus acks
+    /// also landing in the ack-rejection counter.
+    #[test]
+    fn attached_metrics_count_protocol_errors() {
+        let reg = uncharted_obs::MetricsRegistry::new();
+        let metrics = Arc::new(Iec104Metrics::register(&reg));
+
+        // Bogus S-frame ack: protocol error + ack rejection.
+        let mut conn = Connection::new(Role::Controlled, ConnConfig::default(), 0.0);
+        conn.attach_metrics(metrics.clone());
+        conn.on_apdu(&Apdu::s_frame(5), 1.0);
+        assert!(conn.is_closed());
+
+        // Out-of-sequence I-frame: protocol error only.
+        let mut conn = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
+        conn.attach_metrics(metrics.clone());
+        conn.on_apdu(&Apdu::i_frame(5, 0, asdu()), 1.0);
+        assert!(conn.is_closed());
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("iec104_protocol_error_closes"), 2);
+        assert_eq!(snap.counter_total("iec104_ack_rejections"), 1);
     }
 
     #[test]

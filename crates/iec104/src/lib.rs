@@ -61,6 +61,7 @@ pub mod conn;
 pub mod cot;
 pub mod dialect;
 pub mod elements;
+pub mod metrics;
 pub mod parser;
 pub mod tokens;
 pub mod types;
@@ -70,6 +71,7 @@ pub use apdu::Apdu;
 pub use asdu::{Asdu, InfoObject, IoValue};
 pub use cot::{Cause, Cot};
 pub use dialect::Dialect;
+pub use metrics::Iec104Metrics;
 pub use parser::{StrictParser, TolerantParser};
 pub use types::TypeId;
 

@@ -1,0 +1,117 @@
+//! Protocol-layer metrics: how often the tolerant paths fire.
+//!
+//! The paper's core observation is that operational traffic is full of
+//! behaviour a strict parser rejects — legacy field widths, junk prefixes,
+//! sequence-rule violations. These counters make those tolerant code paths
+//! visible instead of silent.
+
+use std::sync::{Arc, OnceLock};
+
+use uncharted_obs::{Counter, Histogram, MetricsRegistry};
+
+use crate::dialect::Dialect;
+
+/// Inclusive bucket bounds for APDU frame lengths. An APDU is 6–255 octets
+/// (start + length + 4 control octets + ASDU), so the buckets resolve the
+/// S/U floor, single-object I-frames, and packed multi-object frames.
+const APDU_LENGTH_BOUNDS: &[u64] = &[6, 16, 32, 64, 128, 255];
+
+/// Handles for every metric the `iec104` crate emits. Cheap to clone (all
+/// `Arc`s), lock-free to increment, safe to share across worker threads.
+#[derive(Debug, Clone)]
+pub struct Iec104Metrics {
+    /// APDUs decoded, one labelled counter per candidate [`Dialect`]
+    /// (`dialect="std"`, `"cot1"`, `"ioa2"`, `"cot1+ioa2"`).
+    per_dialect: Vec<(Dialect, Arc<Counter>)>,
+    /// Fallback for decodes under a non-candidate dialect.
+    other_dialect: Arc<Counter>,
+    /// Octets discarded while resynchronising onto a start byte.
+    pub junk_octets_skipped: Arc<Counter>,
+    /// Well-framed APDUs that failed to decode under the stream's dialect.
+    pub malformed_frames: Arc<Counter>,
+    /// Connections the state machine closed with
+    /// [`CloseReason::ProtocolError`](crate::conn::CloseReason).
+    pub protocol_error_closes: Arc<Counter>,
+    /// Acknowledgements rejected for covering a never-sent frame (a subset
+    /// of the protocol-error closes).
+    pub ack_rejections: Arc<Counter>,
+    /// Distribution of decoded APDU frame lengths in octets.
+    pub apdu_length_octets: Arc<Histogram>,
+}
+
+impl Iec104Metrics {
+    /// Register (or re-acquire) this crate's metrics on `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Iec104Metrics {
+        Iec104Metrics {
+            per_dialect: Dialect::CANDIDATES
+                .iter()
+                .map(|&d| {
+                    let counter = registry
+                        .counter_with("iec104_apdus_parsed", &[("dialect", &d.label())]);
+                    (d, counter)
+                })
+                .collect(),
+            other_dialect: registry
+                .counter_with("iec104_apdus_parsed", &[("dialect", "other")]),
+            junk_octets_skipped: registry.counter("iec104_junk_octets_skipped"),
+            malformed_frames: registry.counter("iec104_malformed_frames"),
+            protocol_error_closes: registry.counter("iec104_protocol_error_closes"),
+            ack_rejections: registry.counter("iec104_ack_rejections"),
+            apdu_length_octets: registry
+                .histogram("iec104_apdu_length_octets", APDU_LENGTH_BOUNDS),
+        }
+    }
+
+    /// A process-wide discard instance for callers that do not collect
+    /// metrics (plain `feed`, unattached connections, one-off tests).
+    pub fn sink() -> &'static Iec104Metrics {
+        static SINK: OnceLock<Iec104Metrics> = OnceLock::new();
+        SINK.get_or_init(|| Iec104Metrics::register(&MetricsRegistry::new()))
+    }
+
+    /// The parsed-APDU counter for `dialect`.
+    pub fn apdus_parsed(&self, dialect: Dialect) -> &Counter {
+        self.per_dialect
+            .iter()
+            .find(|(d, _)| *d == dialect)
+            .map(|(_, c)| c.as_ref())
+            .unwrap_or(self.other_dialect.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_dialect_counters_are_distinct() {
+        let reg = MetricsRegistry::new();
+        let m = Iec104Metrics::register(&reg);
+        m.apdus_parsed(Dialect::STANDARD).inc();
+        m.apdus_parsed(Dialect::STANDARD).inc();
+        m.apdus_parsed(Dialect::LEGACY_COT).inc();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_value("iec104_apdus_parsed", &[("dialect", "std")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value("iec104_apdus_parsed", &[("dialect", "cot1")]),
+            Some(1)
+        );
+        assert_eq!(snap.counter_total("iec104_apdus_parsed"), 3);
+    }
+
+    #[test]
+    fn non_candidate_dialect_lands_in_other() {
+        let reg = MetricsRegistry::new();
+        let m = Iec104Metrics::register(&reg);
+        let odd = Dialect { cot_octets: 2, ioa_octets: 3, ca_octets: 1 };
+        m.apdus_parsed(odd).inc();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_value("iec104_apdus_parsed", &[("dialect", "other")]),
+            Some(1)
+        );
+    }
+}

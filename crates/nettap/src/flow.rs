@@ -8,9 +8,11 @@
 //! reassembled (duplicate-free, in-order) payload streams the IEC 104
 //! parsers consume.
 
+use crate::metrics::NettapMetrics;
 use crate::pcap::{Capture, ParsedPacket};
 use crate::stack::SocketAddr;
 use std::collections::BTreeMap;
+use uncharted_obs::ExecPolicy;
 
 /// Canonically ordered endpoint pair identifying a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,6 +106,10 @@ pub struct DirectionStats {
     pending: BTreeMap<u32, Vec<u8>>,
     /// Count of duplicate (retransmitted) payload segments seen.
     pub retransmissions: usize,
+    /// In-order segments delivered to `stream` (reassembly successes).
+    pub segments_delivered: usize,
+    /// Times the reassembly cursor wrapped past 2^32.
+    pub seq_wraps: usize,
 }
 
 impl DirectionStats {
@@ -151,9 +157,14 @@ impl DirectionStats {
             }
             let data = self.pending.remove(&seq).expect("present");
             if rel == 0 {
-                self.next_seq = Some(next.wrapping_add(data.len() as u32));
+                let advanced = next.wrapping_add(data.len() as u32);
+                if advanced < next {
+                    self.seq_wraps += 1;
+                }
+                self.next_seq = Some(advanced);
                 self.payload_bytes += data.len();
                 self.stream.extend_from_slice(&data);
+                self.segments_delivered += 1;
             } else {
                 // Starts before the cursor: the prefix is a retransmission,
                 // but any bytes past the cursor are new data — trim the
@@ -320,38 +331,75 @@ pub struct FlowTable {
 impl FlowTable {
     /// Reconstruct from an in-memory capture.
     pub fn from_capture(capture: &Capture) -> FlowTable {
-        Self::from_parsed(&capture.parsed())
+        Self::reconstruct(&capture.parsed(), ExecPolicy::Sequential, NettapMetrics::sink())
     }
 
-    /// Reconstruct from already parsed packets (must be in time order).
-    pub fn from_parsed(packets: &[ParsedPacket]) -> FlowTable {
-        let mut table = FlowTable::default();
+    /// Reconstruct flows from already parsed packets (must be in time
+    /// order) under the given [`ExecPolicy`]. This is the canonical driver;
+    /// the old `from_parsed` / `from_parsed_sharded` pair delegates here.
+    ///
+    /// With more than one worker, connections are sharded by [`FlowKey`]
+    /// hash across scoped workers, each running the ordinary sequential
+    /// reassembly over its own keys, and the per-shard tables are merged
+    /// back in first-packet order. All reassembly state (cursor, pending
+    /// segments, retransmission accounting) is keyed by connection, and
+    /// every packet of a connection lands in the same shard, so each
+    /// reconstructed record is byte-identical to the sequential build;
+    /// sorting records by the global index of their first packet restores
+    /// the exact first-seen order. The output — including every metric
+    /// counter — is therefore bit-identical at any worker count.
+    ///
+    /// Metrics recorded on `metrics`: the `flows` stage span (with
+    /// per-shard wall times when parallel), reassembly counters summed from
+    /// the per-direction accounting, and the payload-size histogram.
+    pub fn reconstruct(
+        packets: &[ParsedPacket],
+        policy: ExecPolicy,
+        metrics: &NettapMetrics,
+    ) -> FlowTable {
+        let _span = metrics.flows_stage.span();
+        let table = if policy.is_sequential() {
+            let _shard = metrics.flows_stage.shard_span(0);
+            let mut table = FlowTable::default();
+            for pkt in packets {
+                table.push(pkt);
+            }
+            table
+        } else {
+            Self::reconstruct_sharded(packets, policy.workers(), metrics)
+        };
         for pkt in packets {
-            table.push(pkt);
+            if !pkt.payload.is_empty() {
+                metrics.segment_payload_octets.observe(pkt.payload.len() as u64);
+            }
         }
+        let mut delivered = 0usize;
+        let mut overlaps = 0usize;
+        let mut wraps = 0usize;
+        for conn in &table.connections {
+            for dir in [&conn.ab, &conn.ba] {
+                delivered += dir.segments_delivered;
+                overlaps += dir.retransmissions;
+                wraps += dir.seq_wraps;
+            }
+        }
+        metrics.segments_reassembled.add(delivered as u64);
+        metrics.overlaps_trimmed.add(overlaps as u64);
+        metrics.seq_wraparounds.add(wraps as u64);
+        metrics.flows_stage.add_items(table.len() as u64);
         table
     }
 
-    /// Reconstruct in parallel: connections are sharded by [`FlowKey`] hash
-    /// across `threads` scoped workers, each running the ordinary
-    /// sequential reassembly over its own keys, and the per-shard tables
-    /// are merged back in first-packet order.
-    ///
-    /// All reassembly state (cursor, pending segments, retransmission
-    /// accounting) is keyed by connection, and every packet of a connection
-    /// lands in the same shard, so each reconstructed record is
-    /// byte-identical to what [`FlowTable::from_parsed`] builds; sorting
-    /// records by the global index of their first packet restores the exact
-    /// first-seen order. The output is therefore bit-identical at any
-    /// thread count.
-    pub fn from_parsed_sharded(packets: &[ParsedPacket], threads: usize) -> FlowTable {
-        if threads <= 1 {
-            return Self::from_parsed(packets);
-        }
+    fn reconstruct_sharded(
+        packets: &[ParsedPacket],
+        threads: usize,
+        metrics: &NettapMetrics,
+    ) -> FlowTable {
         let shards: Vec<(Vec<usize>, FlowTable)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|me| {
                     scope.spawn(move || {
+                        let _shard = metrics.flows_stage.shard_span(me);
                         let mut table = FlowTable::default();
                         // Global index of the packet that opened each record,
                         // aligned with `table.connections`.
@@ -389,6 +437,24 @@ impl FlowTable {
             merged.connections.push(conn);
         }
         merged
+    }
+
+    /// Reconstruct from already parsed packets (must be in time order).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FlowTable::reconstruct with ExecPolicy::Sequential"
+    )]
+    pub fn from_parsed(packets: &[ParsedPacket]) -> FlowTable {
+        Self::reconstruct(packets, ExecPolicy::Sequential, NettapMetrics::sink())
+    }
+
+    /// Reconstruct in parallel across `threads` workers.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FlowTable::reconstruct with ExecPolicy::Threads(n)"
+    )]
+    pub fn from_parsed_sharded(packets: &[ParsedPacket], threads: usize) -> FlowTable {
+        Self::reconstruct(packets, ExecPolicy::Threads(threads), NettapMetrics::sink())
     }
 
     /// Feed one packet.
@@ -487,6 +553,11 @@ mod tests {
         SocketAddr::new(addr(10, 0, 7, 9), 2404)
     }
 
+    /// Sequential reconstruction against the discard metrics sink.
+    fn table_of(packets: &[ParsedPacket]) -> FlowTable {
+        FlowTable::reconstruct(packets, ExecPolicy::Sequential, NettapMetrics::sink())
+    }
+
     /// SYN → RST: the Fig. 9 refused backup connection.
     #[test]
     fn refused_connection_is_short_lived() {
@@ -494,7 +565,7 @@ mod tests {
             pkt(10.0, server(), rtu(), 100, 0, TcpFlags::SYN, b""),
             pkt(10.001, rtu(), server(), 0, 101, TcpFlags::RST.with(TcpFlags::ACK), b""),
         ];
-        let table = FlowTable::from_parsed(&packets);
+        let table = table_of(&packets);
         assert_eq!(table.len(), 1);
         let c = &table.connections[0];
         assert!(c.is_short_lived());
@@ -517,7 +588,7 @@ mod tests {
             pkt(2.01, r, s, 501, 108, TcpFlags::FIN.with(TcpFlags::ACK), b""),
             pkt(2.02, s, r, 108, 502, TcpFlags::ACK, b""),
         ];
-        let table = FlowTable::from_parsed(&packets);
+        let table = table_of(&packets);
         assert_eq!(table.len(), 1);
         let c = &table.connections[0];
         assert!(c.is_short_lived());
@@ -539,7 +610,7 @@ mod tests {
             pkt(5.0, r, s, 900, 100, TcpFlags::ACK.with(TcpFlags::PSH), b"abc"),
             pkt(6.0, r, s, 903, 100, TcpFlags::ACK.with(TcpFlags::PSH), b"def"),
         ];
-        let table = FlowTable::from_parsed(&packets);
+        let table = table_of(&packets);
         let c = &table.connections[0];
         assert!(c.is_long_lived());
         assert_eq!(c.dir(c.direction_from(r)).stream, b"abcdef");
@@ -555,7 +626,7 @@ mod tests {
             pkt(1.2, r, s, 900, 100, data, b"abc"), // retransmission
             pkt(1.4, r, s, 903, 100, data, b"def"),
         ];
-        let table = FlowTable::from_parsed(&packets);
+        let table = table_of(&packets);
         let c = &table.connections[0];
         let d = c.dir(c.direction_from(r));
         assert_eq!(d.stream, b"abcdef");
@@ -573,7 +644,7 @@ mod tests {
             pkt(1.1, r, s, 906, 100, data, b"ghi"), // arrives early
             pkt(1.2, r, s, 903, 100, data, b"def"),
         ];
-        let table = FlowTable::from_parsed(&packets);
+        let table = table_of(&packets);
         let c = &table.connections[0];
         assert_eq!(c.dir(c.direction_from(r)).stream, b"abcdefghi");
     }
@@ -591,7 +662,7 @@ mod tests {
             // Re-sends "def" (900+3..900+6) but extends with "ghi".
             pkt(1.2, r, s, 903, 100, data, b"defghi"),
         ];
-        let table = FlowTable::from_parsed(&packets);
+        let table = table_of(&packets);
         let c = &table.connections[0];
         let d = c.dir(c.direction_from(r));
         assert_eq!(d.stream, b"abcdefghi");
@@ -647,7 +718,7 @@ mod tests {
             pkt(3.0, s, r, 7000, 0, TcpFlags::SYN, b""),
             pkt(3.001, r, s, 0, 7001, TcpFlags::RST.with(TcpFlags::ACK), b""),
         ];
-        let table = FlowTable::from_parsed(&packets);
+        let table = table_of(&packets);
         assert_eq!(table.len(), 2);
         assert!(table.connections.iter().all(|c| c.is_short_lived()));
     }
@@ -662,7 +733,7 @@ mod tests {
             pkt(2.0, r, s, 2, 1, data, b"b"),
             pkt(4.0, r, s, 3, 1, data, b"c"),
         ];
-        let table = FlowTable::from_parsed(&packets);
+        let table = table_of(&packets);
         let c = &table.connections[0];
         let d = c.dir(c.direction_from(r));
         assert_eq!(d.mean_interarrival(), Some(2.0));
@@ -694,18 +765,55 @@ mod tests {
             }
         }
         packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
-        let seq = FlowTable::from_parsed(&packets);
+        let seq_reg = uncharted_obs::MetricsRegistry::new();
+        let seq = FlowTable::reconstruct(
+            &packets,
+            ExecPolicy::Sequential,
+            &NettapMetrics::register(&seq_reg),
+        );
         for threads in [2, 3, 5] {
-            let par = FlowTable::from_parsed_sharded(&packets, threads);
+            let par_reg = uncharted_obs::MetricsRegistry::new();
+            let par = FlowTable::reconstruct(
+                &packets,
+                ExecPolicy::Threads(threads),
+                &NettapMetrics::register(&par_reg),
+            );
             assert_eq!(par.connections, seq.connections, "threads = {threads}");
             assert_eq!(par.live, seq.live, "threads = {threads}");
+            // Counter totals (not timings) are part of the determinism
+            // contract too.
+            assert_eq!(
+                par_reg.snapshot().counter_fingerprint(),
+                seq_reg.snapshot().counter_fingerprint(),
+                "threads = {threads}"
+            );
         }
+        let snap = seq_reg.snapshot();
+        assert!(snap.counter_total("nettap_segments_reassembled") > 0);
+        assert!(snap.counter_total("nettap_overlaps_trimmed") > 0);
+    }
+
+    /// The deprecated driver pair must still compile and delegate to
+    /// [`FlowTable::reconstruct`].
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_from_parsed_shims_delegate() {
+        let packets = vec![
+            pkt(0.0, server(), rtu(), 100, 0, TcpFlags::SYN, b""),
+            pkt(0.1, rtu(), server(), 0, 101, TcpFlags::RST.with(TcpFlags::ACK), b""),
+        ];
+        let canonical = table_of(&packets);
+        assert_eq!(FlowTable::from_parsed(&packets).connections, canonical.connections);
+        assert_eq!(
+            FlowTable::from_parsed_sharded(&packets, 2).connections,
+            canonical.connections
+        );
     }
 
     #[test]
     fn endpoint_on_port_finds_outstation_side() {
         let packets = vec![pkt(0.0, server(), rtu(), 1, 0, TcpFlags::SYN, b"")];
-        let table = FlowTable::from_parsed(&packets);
+        let table = table_of(&packets);
         assert_eq!(table.connections[0].endpoint_on_port(2404), Some(rtu()));
         assert_eq!(table.connections[0].endpoint_on_port(9999), None);
     }

@@ -14,12 +14,14 @@
 pub mod ethernet;
 pub mod flow;
 pub mod ipv4;
+pub mod metrics;
 pub mod pcap;
 pub mod stack;
 pub mod tcp;
 
 pub use ethernet::{EthernetHeader, MacAddr, ETHERTYPE_IPV4};
 pub use flow::{FlowKey, FlowTable, TcpConnection};
+pub use metrics::NettapMetrics;
 pub use ipv4::Ipv4Header;
 pub use pcap::{Capture, CapturedPacket};
 pub use stack::{SocketAddr, TcpEndpoint, TcpState};

@@ -166,7 +166,11 @@ proptest! {
             );
             t += 0.01;
         }
-        let table = FlowTable::from_parsed(&packets);
+        let table = FlowTable::reconstruct(
+            &packets,
+            uncharted_obs::ExecPolicy::Sequential,
+            uncharted_nettap::NettapMetrics::sink(),
+        );
         prop_assert_eq!(table.len(), 1);
         let conn = &table.connections[0];
         let dir = conn.direction_from(uncharted_nettap::stack::SocketAddr::new(src.0, src.1));

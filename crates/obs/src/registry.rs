@@ -1,0 +1,276 @@
+//! Metric registration and snapshotting.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Histogram, Stage};
+
+/// Registry key: metric name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        Self { name: name.to_string(), labels }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<MetricKey, Arc<Counter>>,
+    histograms: BTreeMap<MetricKey, Arc<Histogram>>,
+    stages: BTreeMap<String, Arc<Stage>>,
+}
+
+/// Names and owns the metrics of one pipeline run.
+///
+/// Registration takes a short-lived lock; the returned `Arc` handles are
+/// then incremented lock-free from any thread. Registering the same name
+/// (and labels) twice returns the same underlying metric, so independent
+/// components can share a counter without coordinating.
+///
+/// All maps are `BTreeMap`s keyed by name, so a [`MetricsSnapshot`] — and
+/// everything rendered from it — is deterministically ordered no matter the
+/// registration or completion order of worker threads.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or register a counter with labels (e.g. `[("dialect", "std")]`).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .counters
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// Get or register a histogram with the given inclusive bucket bounds.
+    /// Bounds are fixed by the first registration.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(MetricKey::new(name, &[]))
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .clone()
+    }
+
+    /// Get or register a stage timer.
+    pub fn stage(&self, name: &str) -> Arc<Stage> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stages.entry(name.to_string()).or_insert_with(|| Arc::new(Stage::new())).clone()
+    }
+
+    /// Capture an immutable, deterministically ordered snapshot of every
+    /// registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(key, c)| CounterSample {
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(key, h)| HistogramSample {
+                    name: key.name.clone(),
+                    bounds: h.bounds().to_vec(),
+                    buckets: h.bucket_counts(),
+                    count: h.count(),
+                    sum: h.sum(),
+                })
+                .collect(),
+            stages: inner
+                .stages
+                .iter()
+                .map(|(name, s)| StageSample {
+                    name: name.clone(),
+                    runs: s.runs(),
+                    items: s.items(),
+                    wall_ns: s.wall_ns(),
+                    shards: s.shard_wall_ns(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    pub name: String,
+    /// Sorted `(key, value)` label pairs; empty for unlabelled counters.
+    pub labels: Vec<(String, String)>,
+    pub value: u64,
+}
+
+/// One histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    pub name: String,
+    /// Inclusive upper bounds; `buckets` has one extra overflow entry.
+    pub bounds: Vec<u64>,
+    /// Non-cumulative per-bucket counts.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+/// One stage timer's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSample {
+    pub name: String,
+    pub runs: u64,
+    pub items: u64,
+    pub wall_ns: u64,
+    /// `(shard index, wall ns)` in stable shard order; empty for stages that
+    /// ran without sharding.
+    pub shards: Vec<(usize, u64)>,
+}
+
+/// An immutable snapshot of a [`MetricsRegistry`]; see the renderers
+/// ([`MetricsSnapshot::to_json`], [`MetricsSnapshot::to_prometheus`],
+/// [`MetricsSnapshot::summary_table`]) in this crate's `render` module.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Sorted by `(name, labels)`.
+    pub counters: Vec<CounterSample>,
+    /// Sorted by name.
+    pub histograms: Vec<HistogramSample>,
+    /// Sorted by name.
+    pub stages: Vec<StageSample>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter with this exact name and label set, or `None`
+    /// if it was never registered.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let mut want: Vec<(String, String)> =
+            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        want.sort();
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.labels == want)
+            .map(|c| c.value)
+    }
+
+    /// Sum of this counter across all label variants.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|c| c.name == name).map(|c| c.value).sum()
+    }
+
+    /// The stage sample with this name, if registered.
+    pub fn stage(&self, name: &str) -> Option<&StageSample> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// A canonical rendering of every *deterministic* metric: counters,
+    /// histograms, and stage item counts — everything except wall-clock
+    /// timings. Two runs of the same input under different [`ExecPolicy`]
+    /// values must produce equal fingerprints; the determinism tests assert
+    /// exactly this.
+    ///
+    /// [`ExecPolicy`]: crate::ExecPolicy
+    pub fn counter_fingerprint(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&crate::render::counter_key(&c.name, &c.labels));
+            out.push_str(&format!(" {}\n", c.value));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "{} bounds={:?} buckets={:?} count={} sum={}\n",
+                h.name, h.bounds, h.buckets, h.count, h.sum
+            ));
+        }
+        for s in &self.stages {
+            out.push_str(&format!("stage_items{{stage=\"{}\"}} {}\n", s.name, s.items));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let reg = MetricsRegistry::new();
+        reg.counter("events").inc();
+        reg.counter("events").inc();
+        assert_eq!(reg.counter("events").get(), 2);
+
+        reg.histogram("sizes", &[8, 64]).observe(10);
+        assert_eq!(reg.histogram("sizes", &[8, 64]).count(), 1);
+
+        reg.stage("parse").add_items(3);
+        assert_eq!(reg.stage("parse").items(), 3);
+    }
+
+    #[test]
+    fn label_variants_are_distinct_counters() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("parsed", &[("dialect", "std")]).add(5);
+        reg.counter_with("parsed", &[("dialect", "cot1")]).add(2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("parsed", &[("dialect", "std")]), Some(5));
+        assert_eq!(snap.counter_value("parsed", &[("dialect", "cot1")]), Some(2));
+        assert_eq!(snap.counter_total("parsed"), 7);
+        assert_eq!(snap.counter_value("parsed", &[]), None);
+    }
+
+    #[test]
+    fn snapshot_order_is_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").inc();
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn fingerprint_excludes_timings() {
+        let reg = MetricsRegistry::new();
+        reg.counter("events").add(3);
+        let stage = reg.stage("parse");
+        stage.add_items(3);
+        stage.record_wall_ns(12345);
+        stage.record_shard_ns(0, 999);
+        let a = reg.snapshot().counter_fingerprint();
+
+        let reg2 = MetricsRegistry::new();
+        reg2.counter("events").add(3);
+        let stage2 = reg2.stage("parse");
+        stage2.add_items(3);
+        stage2.record_wall_ns(777);
+        let b = reg2.snapshot().counter_fingerprint();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,360 @@
+//! Renderers for [`MetricsSnapshot`]: JSON, Prometheus text exposition, and
+//! a human-readable summary table.
+//!
+//! All three renderers are hand-rolled over the snapshot's already-sorted
+//! sample vectors, so output is byte-deterministic for a given snapshot —
+//! which is what makes golden-file testing possible.
+
+use std::fmt::Write as _;
+
+use crate::registry::MetricsSnapshot;
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a Prometheus label value (`\`, `"`, and newline).
+fn label_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// `name` or `name{k="v",...}` — the canonical metric identity used by the
+/// Prometheus renderer, the summary table, and the determinism fingerprint.
+pub(crate) fn counter_key(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{}=\"{}\"", k, label_escape(v))).collect();
+    format!("{}{{{}}}", name, body.join(","))
+}
+
+/// Nanoseconds rendered as decimal seconds with full nanosecond precision,
+/// without going through floating point (keeps renderers deterministic).
+fn ns_as_seconds(ns: u64) -> String {
+    format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
+}
+
+/// Nanoseconds rendered as milliseconds with microsecond precision.
+fn ns_as_millis(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let body: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", body.join(", "))
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot as JSON. Keys appear in sorted metric order; the
+    /// `labels` and `shards` fields are omitted when empty.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+
+        out.push_str("  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {{\"name\": \"{}\"", json_escape(&c.name));
+            if !c.labels.is_empty() {
+                let body: Vec<String> = c
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+                    .collect();
+                let _ = write!(out, ", \"labels\": {{{}}}", body.join(", "));
+            }
+            let _ = write!(out, ", \"value\": {}}}", c.value);
+        }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"bounds\": {}, \"buckets\": {}, \"count\": {}, \"sum\": {}}}",
+                json_escape(&h.name),
+                json_u64_array(&h.bounds),
+                json_u64_array(&h.buckets),
+                h.count,
+                h.sum
+            );
+        }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"stages\": [");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"runs\": {}, \"items\": {}, \"wall_ns\": {}",
+                json_escape(&s.name),
+                s.runs,
+                s.items,
+                s.wall_ns
+            );
+            if !s.shards.is_empty() {
+                let body: Vec<String> = s
+                    .shards
+                    .iter()
+                    .map(|(shard, ns)| format!("{{\"shard\": {}, \"wall_ns\": {}}}", shard, ns))
+                    .collect();
+                let _ = write!(out, ", \"shards\": [{}]", body.join(", "));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Render the snapshot in Prometheus text exposition format. Histograms
+    /// use cumulative `_bucket{le=...}` series; stage timers are exposed as
+    /// `pipeline_stage_*` gauges with a `stage` label (and `shard` label for
+    /// the per-shard breakdown).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let mut last_name: Option<&str> = None;
+        for c in &self.counters {
+            if last_name != Some(c.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} counter", c.name);
+                last_name = Some(c.name.as_str());
+            }
+            let _ = writeln!(out, "{} {}", counter_key(&c.name, &c.labels), c.value);
+        }
+
+        for h in &self.histograms {
+            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            let mut cumulative = 0u64;
+            for (bound, bucket) in h.bounds.iter().zip(&h.buckets) {
+                cumulative += bucket;
+                let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", h.name, bound, cumulative);
+            }
+            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+            let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
+            let _ = writeln!(out, "{}_count {}", h.name, h.count);
+        }
+
+        if !self.stages.is_empty() {
+            let _ = writeln!(out, "# TYPE pipeline_stage_wall_seconds gauge");
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "pipeline_stage_wall_seconds{{stage=\"{}\"}} {}",
+                    label_escape(&s.name),
+                    ns_as_seconds(s.wall_ns)
+                );
+            }
+            let _ = writeln!(out, "# TYPE pipeline_stage_runs gauge");
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "pipeline_stage_runs{{stage=\"{}\"}} {}",
+                    label_escape(&s.name),
+                    s.runs
+                );
+            }
+            let _ = writeln!(out, "# TYPE pipeline_stage_items gauge");
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "pipeline_stage_items{{stage=\"{}\"}} {}",
+                    label_escape(&s.name),
+                    s.items
+                );
+            }
+            if self.stages.iter().any(|s| !s.shards.is_empty()) {
+                let _ = writeln!(out, "# TYPE pipeline_stage_shard_wall_seconds gauge");
+                for s in &self.stages {
+                    for (shard, ns) in &s.shards {
+                        let _ = writeln!(
+                            out,
+                            "pipeline_stage_shard_wall_seconds{{stage=\"{}\",shard=\"{}\"}} {}",
+                            label_escape(&s.name),
+                            shard,
+                            ns_as_seconds(*ns)
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render a compact human-readable table (the `--metrics` stderr
+    /// summary): stage timings with per-shard breakdown, then counters,
+    /// then histograms.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "pipeline metrics");
+
+        if !self.stages.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>10} {:>6} {:>12}",
+                "stage", "wall_ms", "runs", "items"
+            );
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>10} {:>6} {:>12}",
+                    s.name,
+                    ns_as_millis(s.wall_ns),
+                    s.runs,
+                    s.items
+                );
+                for (shard, ns) in &s.shards {
+                    let _ = writeln!(
+                        out,
+                        "  {:<28} {:>10}",
+                        format!("  shard {}", shard),
+                        ns_as_millis(*ns)
+                    );
+                }
+            }
+        }
+
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  counters");
+            for c in &self.counters {
+                let _ = writeln!(
+                    out,
+                    "    {:<44} {:>12}",
+                    counter_key(&c.name, &c.labels),
+                    c.value
+                );
+            }
+        }
+
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "  histograms");
+            for h in &self.histograms {
+                // Mean via integer arithmetic (one decimal place) to keep
+                // the renderer float-free and deterministic.
+                let mean_tenths = if h.count == 0 { 0 } else { (h.sum * 10 + h.count / 2) / h.count };
+                let _ = writeln!(
+                    out,
+                    "    {:<44} count={} sum={} mean={}.{}",
+                    h.name,
+                    h.count,
+                    h.sum,
+                    mean_tenths / 10,
+                    mean_tenths % 10
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    /// Build a registry with fully deterministic contents (timings injected
+    /// via the `record_*` hooks rather than real clocks).
+    fn golden_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("iec104_apdus_parsed", &[("dialect", "std")]).add(120);
+        reg.counter_with("iec104_apdus_parsed", &[("dialect", "cot1")]).add(3);
+        reg.counter("nettap_segments_reassembled").add(450);
+        let h = reg.histogram("iec104_apdu_length_octets", &[16, 64, 256]);
+        for v in [4, 16, 17, 300] {
+            h.observe(v);
+        }
+        let stage = reg.stage("flows");
+        stage.add_items(450);
+        stage.record_wall_ns(2_500_000);
+        stage.record_shard_ns(0, 1_200_000);
+        stage.record_shard_ns(1, 1_100_000);
+        let parse = reg.stage("protocol");
+        parse.add_items(123);
+        parse.record_wall_ns(1_000_500);
+        reg
+    }
+
+    #[test]
+    fn golden_json() {
+        let expected = "\
+{
+  \"counters\": [
+    {\"name\": \"iec104_apdus_parsed\", \"labels\": {\"dialect\": \"cot1\"}, \"value\": 3},
+    {\"name\": \"iec104_apdus_parsed\", \"labels\": {\"dialect\": \"std\"}, \"value\": 120},
+    {\"name\": \"nettap_segments_reassembled\", \"value\": 450}
+  ],
+  \"histograms\": [
+    {\"name\": \"iec104_apdu_length_octets\", \"bounds\": [16, 64, 256], \"buckets\": [2, 1, 0, 1], \"count\": 4, \"sum\": 337}
+  ],
+  \"stages\": [
+    {\"name\": \"flows\", \"runs\": 1, \"items\": 450, \"wall_ns\": 2500000, \"shards\": [{\"shard\": 0, \"wall_ns\": 1200000}, {\"shard\": 1, \"wall_ns\": 1100000}]},
+    {\"name\": \"protocol\", \"runs\": 1, \"items\": 123, \"wall_ns\": 1000500}
+  ]
+}
+";
+        assert_eq!(golden_registry().snapshot().to_json(), expected);
+    }
+
+    #[test]
+    fn golden_prometheus() {
+        let expected = "\
+# TYPE iec104_apdus_parsed counter
+iec104_apdus_parsed{dialect=\"cot1\"} 3
+iec104_apdus_parsed{dialect=\"std\"} 120
+# TYPE nettap_segments_reassembled counter
+nettap_segments_reassembled 450
+# TYPE iec104_apdu_length_octets histogram
+iec104_apdu_length_octets_bucket{le=\"16\"} 2
+iec104_apdu_length_octets_bucket{le=\"64\"} 3
+iec104_apdu_length_octets_bucket{le=\"256\"} 3
+iec104_apdu_length_octets_bucket{le=\"+Inf\"} 4
+iec104_apdu_length_octets_sum 337
+iec104_apdu_length_octets_count 4
+# TYPE pipeline_stage_wall_seconds gauge
+pipeline_stage_wall_seconds{stage=\"flows\"} 0.002500000
+pipeline_stage_wall_seconds{stage=\"protocol\"} 0.001000500
+# TYPE pipeline_stage_runs gauge
+pipeline_stage_runs{stage=\"flows\"} 1
+pipeline_stage_runs{stage=\"protocol\"} 1
+# TYPE pipeline_stage_items gauge
+pipeline_stage_items{stage=\"flows\"} 450
+pipeline_stage_items{stage=\"protocol\"} 123
+# TYPE pipeline_stage_shard_wall_seconds gauge
+pipeline_stage_shard_wall_seconds{stage=\"flows\",shard=\"0\"} 0.001200000
+pipeline_stage_shard_wall_seconds{stage=\"flows\",shard=\"1\"} 0.001100000
+";
+        assert_eq!(golden_registry().snapshot().to_prometheus(), expected);
+    }
+
+    #[test]
+    fn summary_table_lists_every_metric() {
+        let table = golden_registry().snapshot().summary_table();
+        assert!(table.contains("flows"));
+        assert!(table.contains("shard 0"));
+        assert!(table.contains("2.500"));
+        assert!(table.contains("iec104_apdus_parsed{dialect=\"std\"}"));
+        assert!(table.contains("count=4 sum=337 mean=84.3"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_cleanly() {
+        let snap = MetricsRegistry::new().snapshot();
+        assert_eq!(snap.to_json(), "{\n  \"counters\": [\n  ],\n  \"histograms\": [\n  ],\n  \"stages\": [\n  ]\n}\n");
+        assert_eq!(snap.to_prometheus(), "");
+        assert_eq!(snap.summary_table(), "pipeline metrics\n");
+    }
+}

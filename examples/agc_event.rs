@@ -9,13 +9,13 @@
 use uncharted::analysis::dpi::{self, PhysicalKind, SignatureMachine};
 use uncharted::analysis::report::sparkline;
 use uncharted::nettap::ipv4::addr;
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn main() {
     // 300 s Year-1 window; the scenario scripts a generator-online sequence
     // at 15 % of the window and an unmet-load event at 55–85 %.
     let set = Simulation::new(Scenario::small(Year::Y1, 42, 300.0)).run();
-    let p = Pipeline::from_capture_set(&set);
+    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
     let series = p.physical_series();
 
     // --- Fig. 18/19: frequency excursion + AGC response ---------------

@@ -9,12 +9,12 @@
 
 use uncharted::analysis::flowstats::{duration_histogram, reject_census};
 use uncharted::analysis::report::{ip, pct, Table};
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn main() {
     // A longer window so the O30 secondary (430 s keep-alive gap) shows up.
     let set = Simulation::new(Scenario::small(Year::Y1, 42, 900.0)).run();
-    let p = Pipeline::from_capture_set(&set);
+    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
 
     // --- Table 3 ---------------------------------------------------------
     let stats = p.flow_stats();

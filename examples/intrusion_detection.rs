@@ -10,12 +10,12 @@
 use uncharted::analysis::ids::{AlertKind, Severity, Whitelist};
 use uncharted::analysis::report::{ip, Table};
 use uncharted::scadasim::attacker::AttackSpec;
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn main() {
     // Day 1: a clean capture. Learn the whitelist from it.
     println!("day 1: capturing clean traffic and learning the whitelist...");
-    let clean = Pipeline::from_capture_set(
+    let clean = Pipeline::builder().exec(ExecPolicy::Sequential).build(
         &Simulation::new(Scenario::small(Year::Y1, 42, 240.0)).run(),
     );
     let whitelist = Whitelist::learn(&clean.dataset);
@@ -28,7 +28,7 @@ fn main() {
     // Day 2: same network, but an Industroyer-style intruder connects to
     // three generator RTUs, interrogates them and operates breakers.
     println!("day 2: capturing... (an attacker is active from {})", ip(AttackSpec::attacker_ip()));
-    let attacked = Pipeline::from_capture_set(
+    let attacked = Pipeline::builder().exec(ExecPolicy::Sequential).build(
         &Simulation::new(Scenario::small(Year::Y1, 42, 240.0).with_attack(0.5, 3)).run(),
     );
 
@@ -63,7 +63,7 @@ fn main() {
     println!("{}", t.render());
 
     // Control: the same whitelist over another clean day stays quiet.
-    let other_day = Pipeline::from_capture_set(
+    let other_day = Pipeline::builder().exec(ExecPolicy::Sequential).build(
         &Simulation::new(Scenario::small(Year::Y1, 77, 240.0)).run(),
     );
     let control = whitelist.inspect(&other_day.dataset);

@@ -15,7 +15,7 @@ use uncharted::iec104::elements::Qds;
 use uncharted::iec104::parser::{StrictParser, TolerantParser};
 use uncharted::iec104::types::TypeId;
 use uncharted::analysis::report::{ip, Table};
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn hexdump(bytes: &[u8]) -> String {
     bytes
@@ -70,7 +70,7 @@ fn main() {
     // --- The same finding at network scale ----------------------------
     println!("\nrunning the compliance census over a simulated Y1 capture...");
     let set = Simulation::new(Scenario::small(Year::Y1, 7, 120.0)).run();
-    let p = Pipeline::from_capture_set(&set);
+    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
     let mut t = Table::new(["Outstation", "I-frames", "Strict malformed", "Tolerant malformed", "Dialect"]);
     let mut rows: Vec<_> = p.dataset.compliance.values().collect();
     rows.sort_by(|a, b| {

@@ -8,7 +8,7 @@
 
 use uncharted::analysis::markov::{self, Fig13Cluster, TokenChain};
 use uncharted::analysis::report::{ascii_scatter, ip, Table};
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn print_chain(title: &str, chain: &TokenChain) {
     println!("{title}");
@@ -19,7 +19,7 @@ fn print_chain(title: &str, chain: &TokenChain) {
 
 fn main() {
     let set = Simulation::new(Scenario::small(Year::Y1, 42, 300.0)).run();
-    let p = Pipeline::from_capture_set(&set);
+    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
     let census = p.chain_census();
 
     // --- Fig. 12: the two simplest expected patterns -------------------

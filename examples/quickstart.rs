@@ -7,7 +7,7 @@
 //! ```
 
 use uncharted::analysis::report::{ip, pct, Table};
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn main() {
     // 1. Simulate: the Fig. 6 network, Year-1 topology, one 3-minute window.
@@ -29,7 +29,7 @@ fn main() {
     println!("wrote {}", path.display());
 
     // 3. Analyse: flows, compliance, typeID census.
-    let pipeline = Pipeline::from_capture(capture);
+    let pipeline = Pipeline::builder().exec(ExecPolicy::Sequential).build_capture(capture);
 
     let flows = pipeline.flow_stats();
     let mut t = Table::new(["Flow class", "Count", "Share"]);

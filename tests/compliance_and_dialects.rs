@@ -4,7 +4,7 @@
 
 use uncharted::iec104::dialect::Dialect;
 use uncharted::nettap::ipv4::addr;
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn o(ip_sub: u8, ip_id: u8) -> u32 {
     addr(10, 1, ip_sub, ip_id)
@@ -13,7 +13,7 @@ fn o(ip_sub: u8, ip_id: u8) -> u32 {
 #[test]
 fn y1_flags_o37_and_o28_only() {
     let set = Simulation::new(Scenario::small(Year::Y1, 21, 150.0)).run();
-    let p = Pipeline::from_capture_set(&set);
+    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
     let malformed = p.dataset.fully_malformed_outstations();
     let o37 = o(14, 37);
     let o28 = o(9, 28);
@@ -42,7 +42,7 @@ fn y1_flags_o37_and_o28_only() {
 #[test]
 fn y2_flags_o37_o53_o58() {
     let set = Simulation::new(Scenario::small(Year::Y2, 22, 150.0)).run();
-    let p = Pipeline::from_capture_set(&set);
+    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
     let malformed = p.dataset.fully_malformed_outstations();
     // O28 is gone in Y2 (Table 2); O53 and O58 appear with 1-octet COT.
     assert!(!malformed.contains(&o(9, 28)), "O28 removed in Y2");
@@ -56,7 +56,7 @@ fn y2_flags_o37_o53_o58() {
 #[test]
 fn compliant_outstations_parse_clean_under_strict() {
     let set = Simulation::new(Scenario::small(Year::Y1, 23, 100.0)).run();
-    let p = Pipeline::from_capture_set(&set);
+    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
     // O3 and O10 are ordinary standard-dialect outstations.
     for ip in [o(3, 3), o(10, 10)] {
         let entry = &p.dataset.compliance[&ip];
@@ -73,7 +73,7 @@ fn malformed_values_look_random_under_wrong_dialect() {
     // *standard* dialect and check the detector's plausibility ranking
     // agrees with the chosen dialect.
     let set = Simulation::new(Scenario::small(Year::Y1, 24, 120.0)).run();
-    let p = Pipeline::from_capture_set(&set);
+    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
     let entry = &p.dataset.compliance[&o(14, 37)];
     let best = &entry.scores[0];
     assert_eq!(best.dialect, Dialect::LEGACY_IOA);

@@ -4,15 +4,15 @@
 
 use uncharted::analysis::ids::{AlertKind, Severity, Whitelist};
 use uncharted::scadasim::attacker::AttackSpec;
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn clean() -> Pipeline {
-    Pipeline::from_capture_set(&Simulation::new(Scenario::small(Year::Y1, 42, 240.0)).run())
+    Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(Scenario::small(Year::Y1, 42, 240.0)).run())
 }
 
 fn attacked() -> Pipeline {
     let scenario = Scenario::small(Year::Y1, 42, 240.0).with_attack(0.5, 3);
-    Pipeline::from_capture_set(&Simulation::new(scenario).run())
+    Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(scenario).run())
 }
 
 #[test]
@@ -63,7 +63,7 @@ fn whitelist_is_quiet_on_clean_traffic() {
     let wl = Whitelist::learn(&clean().dataset);
     // Same network, different day (different seed): no High alerts. A few
     // Low/Medium novelties are expected — reconnects shuffle token orders.
-    let other = Pipeline::from_capture_set(
+    let other = Pipeline::builder().exec(ExecPolicy::Sequential).build(
         &Simulation::new(Scenario::small(Year::Y1, 43, 240.0)).run(),
     );
     let alerts = wl.inspect(&other.dataset);
@@ -115,11 +115,11 @@ fn attack_works_against_year_two_topology() {
     // The attacker is topology-agnostic: it also lands in Y2 (where O55/S26
     // joins the regulation fleet).
     let scenario = Scenario::small(Year::Y2, 91, 200.0).with_attack(0.4, 2);
-    let p = Pipeline::from_capture_set(&Simulation::new(scenario).run());
+    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(scenario).run());
     let evil = AttackSpec::attacker_ip();
     assert!(p.dataset.server_ips().contains(&evil));
     let wl = Whitelist::learn(
-        &Pipeline::from_capture_set(&Simulation::new(Scenario::small(Year::Y2, 91, 200.0)).run())
+        &Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(Scenario::small(Year::Y2, 91, 200.0)).run())
             .dataset,
     );
     let alerts = wl.inspect(&p.dataset);
@@ -132,7 +132,7 @@ fn attack_works_against_year_two_topology() {
 fn attack_is_visible_in_the_markov_census() {
     // The attacker's pairs land in the Fig. 13 "ellipse": they carry I100.
     let scenario = Scenario::small(Year::Y1, 42, 240.0).with_attack(0.5, 3);
-    let p = Pipeline::from_capture_set(&Simulation::new(scenario).run());
+    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(scenario).run());
     let census = p.chain_census();
     let evil = AttackSpec::attacker_ip();
     let evil_rows: Vec<_> = census.rows.iter().filter(|r| r.server_ip == evil).collect();

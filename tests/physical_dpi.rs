@@ -4,7 +4,7 @@
 
 use uncharted::analysis::dpi::{self, PhysicalKind, SignatureMachine};
 use uncharted::nettap::ipv4::addr;
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 /// O40 observes the S16 generator, which the scenario scripts offline, then
 /// through synchronisation, breaker close and power delivery.
@@ -13,7 +13,7 @@ const O40_ID: u8 = 40;
 
 fn pipeline() -> Pipeline {
     let set = Simulation::new(Scenario::small(Year::Y1, 42, 300.0)).run();
-    Pipeline::from_capture_set(&set)
+    Pipeline::builder().exec(ExecPolicy::Sequential).build(&set)
 }
 
 #[test]

@@ -4,7 +4,7 @@
 use std::sync::OnceLock;
 use uncharted::analysis::kmeans;
 use uncharted::analysis::markov::Fig13Cluster;
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 /// One shared 900 s Year-1 capture: long enough that even the O30 secondary
 /// (430 s between keep-alives) shows its outlier inter-arrival time.
@@ -12,7 +12,7 @@ fn pipeline() -> &'static Pipeline {
     static PIPELINE: OnceLock<Pipeline> = OnceLock::new();
     PIPELINE.get_or_init(|| {
         let set = Simulation::new(Scenario::small(Year::Y1, 42, 900.0)).run();
-        Pipeline::from_capture_set(&set)
+        Pipeline::builder().exec(ExecPolicy::Sequential).build(&set)
     })
 }
 
@@ -141,8 +141,8 @@ fn elbow_and_silhouette_agree_on_a_small_k() {
 fn deterministic_pipeline() {
     let a = Simulation::new(Scenario::small(Year::Y1, 9, 60.0)).run();
     let b = Simulation::new(Scenario::small(Year::Y1, 9, 60.0)).run();
-    let pa = Pipeline::from_capture_set(&a);
-    let pb = Pipeline::from_capture_set(&b);
+    let pa = Pipeline::builder().exec(ExecPolicy::Sequential).build(&a);
+    let pb = Pipeline::builder().exec(ExecPolicy::Sequential).build(&b);
     assert_eq!(pa.type_census().counts, pb.type_census().counts);
     let feats_a: Vec<Vec<f64>> = pa.sessions().iter().map(|s| s.features().selected()).collect();
     let feats_b: Vec<Vec<f64>> = pb.sessions().iter().map(|s| s.features().selected()).collect();
@@ -160,8 +160,8 @@ fn background_traffic_is_ignored_by_the_iec104_pipeline() {
     clean.background_traffic = false;
     let mut noisy = Scenario::small(Year::Y1, 55, 90.0);
     noisy.background_traffic = true;
-    let a = Pipeline::from_capture_set(&Simulation::new(clean).run());
-    let b = Pipeline::from_capture_set(&Simulation::new(noisy).run());
+    let a = Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(clean).run());
+    let b = Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(noisy).run());
     assert!(b.dataset.packets.len() > a.dataset.packets.len() + 100);
     // IEC 104 views identical.
     assert_eq!(a.type_census().counts, b.type_census().counts);

@@ -3,14 +3,14 @@
 
 use uncharted::nettap::ipv4::addr;
 use uncharted::scadasim::topology::Topology;
-use uncharted::{Pipeline, Scenario, Simulation, Year};
+use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn o(sub: u8, id: u8) -> u32 {
     addr(10, 1, sub, id)
 }
 
 fn run(year: Year, seed: u64) -> Pipeline {
-    Pipeline::from_capture_set(&Simulation::new(Scenario::small(year, seed, 120.0)).run())
+    Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(Scenario::small(year, seed, 120.0)).run())
 }
 
 #[test]
@@ -70,8 +70,8 @@ fn y1_campaign_has_more_flows_than_y2() {
     // times more short-lived flows than Y2 (3 h).
     let y1 = Simulation::new(Scenario::y1_scaled(35, 60.0)).run();
     let y2 = Simulation::new(Scenario::y2_scaled(36, 60.0)).run();
-    let s1 = Pipeline::from_capture_set(&y1).flow_stats();
-    let s2 = Pipeline::from_capture_set(&y2).flow_stats();
+    let s1 = Pipeline::builder().exec(ExecPolicy::Sequential).build(&y1).flow_stats();
+    let s2 = Pipeline::builder().exec(ExecPolicy::Sequential).build(&y2).flow_stats();
     assert!(
         s1.short_lived() > 2 * s2.short_lived(),
         "Y1 {} vs Y2 {}",
