@@ -4,6 +4,7 @@ use uncharted_analysis::dpi::{self, TypeCensus};
 use uncharted_analysis::flowstats::FlowStats;
 use uncharted_analysis::kmeans;
 use uncharted_analysis::markov::{self, ChainCensus, Fig13Cluster};
+use uncharted_analysis::matrix::FeatureMatrix;
 use uncharted_analysis::pca::Pca;
 use uncharted_analysis::exec::ExecContext;
 use uncharted_analysis::session::{self, standardize};
@@ -28,7 +29,7 @@ fn main() {
     // Sessions + clustering
     let sessions = session::extract(&ds, &ctx);
     println!("sessions: {}", sessions.len());
-    let feats: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().selected()).collect();
+    let feats: FeatureMatrix = sessions.iter().map(|s| s.features().selected()).collect();
     let z = standardize(&feats);
     let sweep = kmeans::select_k(&z, 2..=8, 7);
     for m in &sweep {

@@ -6,7 +6,8 @@
 //! TCP port 2404; anything dialling *to* 2404 is a control server.
 
 use std::collections::{BTreeMap, BTreeSet};
-use uncharted_iec104::apdu::{StreamDecoder, StreamItem};
+use uncharted_obs::FnvHashMap;
+use uncharted_iec104::apdu::{StreamDecoder, StreamItemRef};
 use uncharted_iec104::asdu::Asdu;
 use uncharted_iec104::dialect::Dialect;
 use uncharted_iec104::metrics::Iec104Metrics;
@@ -313,13 +314,14 @@ fn analyze_packets(
     metrics: &Iec104Metrics,
 ) -> AnalysisShard {
     // Pass 1: collect, per outstation, the raw I-frames it sent, for
-    // dialect detection.
-    let mut frames_by_out: BTreeMap<u32, Vec<Vec<u8>>> = BTreeMap::new();
+    // dialect detection. Frames go into one flat arena per outstation
+    // (bytes + ranges) instead of a Vec per frame.
+    let mut frames_by_out: BTreeMap<u32, FrameSample> = BTreeMap::new();
     for pkt in packets {
         if pkt.tcp.src_port == IEC104_PORT && !pkt.payload.is_empty() && keep_out(pkt.ip.src) {
-            let frames = frames_by_out.entry(pkt.ip.src).or_default();
-            if frames.len() < 64 {
-                frames.extend(delimit_frames(&pkt.payload));
+            let sample = frames_by_out.entry(pkt.ip.src).or_default();
+            if sample.len() < 64 {
+                sample.delimit_from(&pkt.payload);
             }
         }
     }
@@ -327,17 +329,17 @@ fn analyze_packets(
     // when the outstation itself sent nothing (pure backups).
     for pkt in packets {
         if pkt.tcp.dst_port == IEC104_PORT && !pkt.payload.is_empty() && keep_out(pkt.ip.dst) {
-            let frames = frames_by_out.entry(pkt.ip.dst).or_default();
-            if frames.len() < 8 {
-                frames.extend(delimit_frames(&pkt.payload));
+            let sample = frames_by_out.entry(pkt.ip.dst).or_default();
+            if sample.len() < 8 {
+                sample.delimit_from(&pkt.payload);
             }
         }
     }
 
     let mut dialects = BTreeMap::new();
     let mut compliance = BTreeMap::new();
-    for (&ip, frames) in &frames_by_out {
-        let scores = detect_dialect(frames);
+    for (&ip, sample) in &frames_by_out {
+        let scores = detect_dialect(&sample.frames());
         let dialect = scores
             .first()
             .filter(|s| s.parsed > 0)
@@ -361,13 +363,16 @@ fn analyze_packets(
     // compliance under both parsers. Packets are decoded per (pair,
     // direction) with a streaming decoder so APDUs split across
     // segments still parse.
-    let mut timelines: BTreeMap<(u32, u32), PairTimeline> = BTreeMap::new();
-    let mut decoders: BTreeMap<(u32, u32, bool), StreamDecoder> = BTreeMap::new();
-    let mut strict_decoders: BTreeMap<(u32, u32, bool), StreamDecoder> = BTreeMap::new();
+    // Hash maps for the per-packet state: nothing below iterates them, so
+    // ordering doesn't matter until `timelines` is sorted into the shard's
+    // BTreeMap on return.
+    let mut timelines: FnvHashMap<(u32, u32), PairTimeline> = FnvHashMap::default();
+    let mut decoders: FnvHashMap<(u32, u32, bool), StreamDecoder> = FnvHashMap::default();
+    let mut strict_decoders: FnvHashMap<(u32, u32, bool), StreamDecoder> = FnvHashMap::default();
     // Deduplicate TCP retransmissions *for decoding only* (a duplicated
     // segment would desynchronise the stream decoder); the duplicate
     // still contributes a repeated token, as in the paper.
-    let mut last_seq: BTreeMap<(u32, u16, u32, u16), u32> = BTreeMap::new();
+    let mut last_seq: FnvHashMap<(u32, u16, u32, u16), u32> = FnvHashMap::default();
 
     for pkt in packets {
         if pkt.payload.is_empty() {
@@ -397,81 +402,114 @@ fn analyze_packets(
         let dup = last_seq.insert(flow_key, pkt.tcp.seq) == Some(pkt.tcp.seq);
 
         // Strict compliance accounting (I-frames from the outstation).
-        if !from_server && !dup {
+        // When the detected dialect *is* the standard one, the strict
+        // decoder would see byte-for-byte the tolerant decoder's input and
+        // produce the identical item stream, so its counts are folded into
+        // the tolerant sink below instead of running a second decode.
+        let strict_accounting = !from_server && !dup;
+        let strict_folded = strict_accounting && dialect == Dialect::STANDARD;
+        if strict_accounting && !strict_folded {
             let strict = strict_decoders
                 .entry(key)
                 .or_insert_with(|| StreamDecoder::new(Dialect::STANDARD));
-            for item in strict.feed(&pkt.payload) {
-                let entry = compliance.get_mut(&out_ip).expect("pass 1 covered");
-                match item {
-                    StreamItem::Apdu(a) if a.apci.is_i() => entry.i_frames += 1,
-                    StreamItem::Apdu(_) => {}
-                    StreamItem::Malformed(frame, _) => {
-                        if is_i_frame(&frame) {
+            let entry = compliance.get_mut(&out_ip).expect("pass 1 covered");
+            strict.feed_each(&pkt.payload, Iec104Metrics::sink(), |item| match item {
+                StreamItemRef::Apdu(a) if a.apci.is_i() => entry.i_frames += 1,
+                StreamItemRef::Apdu(_) => {}
+                StreamItemRef::Malformed(frame, _) => {
+                    if is_i_frame(frame) {
+                        entry.i_frames += 1;
+                        entry.strict_malformed += 1;
+                    }
+                }
+            });
+        }
+
+        let events = &mut timeline.events;
+        let compliance = &mut compliance;
+        let mut sink = |item: StreamItemRef<'_>| match item {
+            StreamItemRef::Apdu(apdu) => {
+                if strict_folded && apdu.apci.is_i() {
+                    if let Some(entry) = compliance.get_mut(&out_ip) {
+                        entry.i_frames += 1;
+                    }
+                }
+                let token = Token::of(&apdu);
+                events.push(ApduEvent {
+                    t: pkt.timestamp,
+                    from_server,
+                    token,
+                    asdu: apdu.asdu,
+                });
+            }
+            StreamItemRef::Malformed(frame, _) => {
+                if strict_accounting && is_i_frame(frame) {
+                    if let Some(entry) = compliance.get_mut(&out_ip) {
+                        entry.tolerant_malformed += 1;
+                        if strict_folded {
                             entry.i_frames += 1;
                             entry.strict_malformed += 1;
                         }
                     }
                 }
             }
-        }
-
-        let items: Vec<StreamItem> = if dup {
+        };
+        if dup {
             // Re-decode the duplicate standalone so the repeated token
             // appears without corrupting the stream decoder.
-            let mut d = StreamDecoder::new(dialect);
-            d.feed_with(&pkt.payload, metrics)
+            StreamDecoder::new(dialect).feed_each(&pkt.payload, metrics, &mut sink);
         } else {
             decoders
                 .entry(key)
                 .or_insert_with(|| StreamDecoder::new(dialect))
-                .feed_with(&pkt.payload, metrics)
-        };
-        for item in items {
-            match item {
-                StreamItem::Apdu(apdu) => {
-                    timeline.events.push(ApduEvent {
-                        t: pkt.timestamp,
-                        from_server,
-                        token: Token::of(&apdu),
-                        asdu: apdu.asdu.clone(),
-                    });
-                    let _ = &apdu;
-                }
-                StreamItem::Malformed(frame, _) => {
-                    if !from_server && !dup && is_i_frame(&frame) {
-                        if let Some(entry) = compliance.get_mut(&out_ip) {
-                            entry.tolerant_malformed += 1;
-                        }
-                    }
-                }
-            }
+                .feed_each(&pkt.payload, metrics, &mut sink);
         }
     }
 
     AnalysisShard {
         dialects,
         compliance,
-        timelines,
+        timelines: timelines.into_iter().collect(),
     }
 }
 
-/// Split a TCP payload into delimited IEC 104 frames (no decoding).
-fn delimit_frames(payload: &[u8]) -> Vec<Vec<u8>> {
-    let mut frames = Vec::new();
-    let mut off = 0;
-    while off + 2 <= payload.len() {
-        if payload[off] != 0x68 {
-            break;
-        }
-        let total = 2 + payload[off + 1] as usize;
-        if off + total > payload.len() {
-            break;
-        }
-        frames.push(payload[off..off + total].to_vec());
-        off += total;
+/// A per-outstation sample of delimited frames for dialect detection: one
+/// flat byte arena plus frame ranges, instead of a heap `Vec` per frame.
+#[derive(Debug, Default)]
+struct FrameSample {
+    buf: Vec<u8>,
+    ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl FrameSample {
+    /// Frames collected so far.
+    fn len(&self) -> usize {
+        self.ranges.len()
     }
-    frames
+
+    /// Split `payload` into delimited IEC 104 frames (no decoding) and
+    /// append them to the arena.
+    fn delimit_from(&mut self, payload: &[u8]) {
+        let mut off = 0;
+        while off + 2 <= payload.len() {
+            if payload[off] != 0x68 {
+                break;
+            }
+            let total = 2 + payload[off + 1] as usize;
+            if off + total > payload.len() {
+                break;
+            }
+            let start = self.buf.len();
+            self.buf.extend_from_slice(&payload[off..off + total]);
+            self.ranges.push(start..start + total);
+            off += total;
+        }
+    }
+
+    /// The collected frames as slices into the arena.
+    fn frames(&self) -> Vec<&[u8]> {
+        self.ranges.iter().map(|r| &self.buf[r.clone()]).collect()
+    }
 }
 
 /// Control-field peek: is the delimited frame I-format?

@@ -11,6 +11,7 @@ use crate::dataset::Dataset;
 use crate::exec::{threads_context, ExecContext};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
+use uncharted_obs::FnvHashMap;
 use uncharted_iec104::asdu::IoValue;
 use uncharted_iec104::types::TypeId;
 
@@ -232,25 +233,28 @@ pub fn series(ds: &Dataset, ctx: &ExecContext) -> Vec<TimeSeries> {
     let workers = ctx.workers();
     let out = if workers <= 1 {
         let _shard = m.series_stage.shard_span(0);
-        let mut map: BTreeMap<(u32, u32, bool), TimeSeries> = BTreeMap::new();
+        let mut map: FnvHashMap<(u32, u32, bool), TimeSeries> = FnvHashMap::default();
         for tl in &ds.timelines {
             series_from_timeline(&mut map, tl);
         }
         sort_series(map)
     } else {
         let partial = crate::par::par_map(&ds.timelines, workers, |tl| {
-            let mut map = BTreeMap::new();
+            let mut map = FnvHashMap::default();
             series_from_timeline(&mut map, tl);
             map
         });
-        let mut map: BTreeMap<(u32, u32, bool), TimeSeries> = BTreeMap::new();
+        // Each key appears at most once per shard, so merging shards in
+        // order keeps every series' samples in timeline order regardless of
+        // the per-shard map's iteration order.
+        let mut map: FnvHashMap<(u32, u32, bool), TimeSeries> = FnvHashMap::default();
         for part in partial {
             for (key, s) in part {
                 match map.entry(key) {
-                    std::collections::btree_map::Entry::Vacant(v) => {
+                    std::collections::hash_map::Entry::Vacant(v) => {
                         v.insert(s);
                     }
-                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
                         let entry = o.get_mut();
                         entry.samples.extend(s.samples);
                         entry.type_ids.extend(s.type_ids);
@@ -287,7 +291,7 @@ fn count_types(counts: &mut BTreeMap<u8, usize>, tl: &crate::dataset::PairTimeli
 }
 
 /// Collect one timeline's samples into a per-(station, IOA, direction) map.
-fn series_from_timeline(map: &mut BTreeMap<(u32, u32, bool), TimeSeries>, tl: &crate::dataset::PairTimeline) {
+fn series_from_timeline(map: &mut FnvHashMap<(u32, u32, bool), TimeSeries>, tl: &crate::dataset::PairTimeline) {
     for ev in &tl.events {
         let Some(asdu) = &ev.asdu else { continue };
         let station = if ev.from_server {
@@ -320,10 +324,12 @@ fn series_from_timeline(map: &mut BTreeMap<(u32, u32, bool), TimeSeries>, tl: &c
     }
 }
 
-/// Flatten the keyed series and time-sort each one (stable, so ties keep
+/// Flatten the keyed series into key order (what the former BTreeMap's
+/// iteration gave for free) and time-sort each one (stable, so ties keep
 /// their arrival order).
-fn sort_series(map: BTreeMap<(u32, u32, bool), TimeSeries>) -> Vec<TimeSeries> {
+fn sort_series(map: FnvHashMap<(u32, u32, bool), TimeSeries>) -> Vec<TimeSeries> {
     let mut series: Vec<TimeSeries> = map.into_values().collect();
+    series.sort_by_key(|s| (s.station_ip, s.ioa, s.from_server));
     for s in &mut series {
         s.samples
             .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());

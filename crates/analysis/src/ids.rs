@@ -136,7 +136,7 @@ impl Whitelist {
             pairs.insert(
                 (tl.server_ip, tl.outstation_ip),
                 PairProfile {
-                    tokens: chain.nodes.clone(),
+                    tokens: chain.node_set(),
                     transitions,
                     command_types,
                 },
@@ -188,8 +188,9 @@ impl Whitelist {
                 continue;
             };
             let tokens = tl.tokens();
-            for &t in tokens.iter().collect::<BTreeSet<_>>() {
-                if !profile.tokens.contains(&t) {
+            let mut distinct = BTreeSet::new();
+            for &t in tokens.iter() {
+                if distinct.insert(t) && !profile.tokens.contains(&t) {
                     alerts.push(Alert {
                         severity: Severity::Medium,
                         kind: AlertKind::NovelToken {

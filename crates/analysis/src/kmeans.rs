@@ -2,6 +2,7 @@
 //! (§6.3): the elbow method on the sum of squared errors, silhouette scores,
 //! and explained variance.
 
+use crate::matrix::FeatureMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -47,9 +48,9 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 /// K-means++ seeding followed by Lloyd iterations.
 ///
 /// Deterministic for a given `(data, k, seed)`.
-pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> KMeansResult {
+pub fn kmeans(data: &FeatureMatrix, k: usize, seed: u64) -> KMeansResult {
     assert!(k >= 1, "k must be positive");
-    let n = data.len();
+    let n = data.rows();
     if n == 0 {
         return KMeansResult {
             assignments: Vec::new(),
@@ -59,13 +60,14 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> KMeansResult {
         };
     }
     let k = k.min(n);
+    let dims = data.cols();
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // k-means++ initialisation.
-    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(data[rng.random_range(0..n)].clone());
-    let mut d2: Vec<f64> = data.iter().map(|p| sq_dist(p, &centroids[0])).collect();
-    while centroids.len() < k {
+    // k-means++ initialisation. Centroids live in one flat buffer too.
+    let mut centroids = FeatureMatrix::with_capacity(k, dims);
+    centroids.push_row(data.row(rng.random_range(0..n)));
+    let mut d2: Vec<f64> = data.iter().map(|p| sq_dist(p, centroids.row(0))).collect();
+    while centroids.rows() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
             rng.random_range(0..n)
@@ -81,43 +83,51 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> KMeansResult {
             }
             chosen
         };
-        centroids.push(data[next].clone());
+        centroids.push_row(data.row(next));
+        let last = centroids.rows() - 1;
         for (i, p) in data.iter().enumerate() {
-            d2[i] = d2[i].min(sq_dist(p, centroids.last().unwrap()));
+            d2[i] = d2[i].min(sq_dist(p, centroids.row(last)));
         }
     }
 
     // Lloyd.
-    let dims = data[0].len();
+    let kk = centroids.rows();
     let mut assignments = vec![0usize; n];
     let mut iterations = 0;
+    let mut sums = vec![0.0f64; kk * dims];
+    let mut counts = vec![0usize; kk];
     loop {
         iterations += 1;
         let mut changed = false;
         for (i, p) in data.iter().enumerate() {
-            let best = (0..centroids.len())
-                .min_by(|&a, &b| {
-                    sq_dist(p, &centroids[a])
-                        .partial_cmp(&sq_dist(p, &centroids[b]))
-                        .unwrap()
-                })
-                .unwrap();
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..kk {
+                let d = sq_dist(p, centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
             if assignments[i] != best {
                 assignments[i] = best;
                 changed = true;
             }
         }
-        let mut sums = vec![vec![0.0; dims]; centroids.len()];
-        let mut counts = vec![0usize; centroids.len()];
+        sums.fill(0.0);
+        counts.fill(0);
         for (p, &a) in data.iter().zip(&assignments) {
             counts[a] += 1;
-            for (s, v) in sums[a].iter_mut().zip(p) {
+            for (s, v) in sums[a * dims..(a + 1) * dims].iter_mut().zip(p) {
                 *s += v;
             }
         }
-        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
-            if count > 0 {
-                *c = sum.iter().map(|s| s / count as f64).collect();
+        for c in 0..kk {
+            if counts[c] > 0 {
+                let inv = counts[c] as f64;
+                for (dst, s) in centroids.row_mut(c).iter_mut().zip(&sums[c * dims..(c + 1) * dims]) {
+                    *dst = s / inv;
+                }
             }
         }
         if !changed || iterations >= 100 {
@@ -127,11 +137,11 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> KMeansResult {
     let sse = data
         .iter()
         .zip(&assignments)
-        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .map(|(p, &a)| sq_dist(p, centroids.row(a)))
         .sum();
     KMeansResult {
         assignments,
-        centroids,
+        centroids: centroids.to_rows(),
         sse,
         iterations,
     }
@@ -139,21 +149,23 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> KMeansResult {
 
 /// Mean silhouette score over all points, in [-1, 1]. Single-member or
 /// single-cluster configurations score 0.
-pub fn silhouette(data: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
-    let n = data.len();
+pub fn silhouette(data: &FeatureMatrix, assignments: &[usize], k: usize) -> f64 {
+    let n = data.rows();
     if n < 2 || k < 2 {
         return 0.0;
     }
     let mut total = 0.0;
+    let mut dist_sum = vec![0.0f64; k];
+    let mut count = vec![0usize; k];
     for i in 0..n {
         let own = assignments[i];
-        let mut dist_sum = vec![0.0f64; k];
-        let mut count = vec![0usize; k];
+        dist_sum.fill(0.0);
+        count.fill(0);
         for j in 0..n {
             if i == j {
                 continue;
             }
-            let d = sq_dist(&data[i], &data[j]).sqrt();
+            let d = sq_dist(data.row(i), data.row(j)).sqrt();
             dist_sum[assignments[j]] += d;
             count[assignments[j]] += 1;
         }
@@ -174,14 +186,14 @@ pub fn silhouette(data: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
 
 /// Explained variance: between-cluster sum of squares over total sum of
 /// squares, in [0, 1].
-pub fn explained_variance(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
-    let n = data.len();
+pub fn explained_variance(data: &FeatureMatrix, result: &KMeansResult) -> f64 {
+    let n = data.rows();
     if n == 0 {
         return 0.0;
     }
-    let dims = data[0].len();
+    let dims = data.cols();
     let mut mean = vec![0.0; dims];
-    for p in data {
+    for p in data.iter() {
         for (m, v) in mean.iter_mut().zip(p) {
             *m += v / n as f64;
         }
@@ -215,7 +227,7 @@ pub struct ModelSelection {
 
 /// Sweep K over a range, producing the elbow/silhouette/explained table the
 /// paper used to pick K = 5.
-pub fn select_k(data: &[Vec<f64>], ks: std::ops::RangeInclusive<usize>, seed: u64) -> Vec<ModelSelection> {
+pub fn select_k(data: &FeatureMatrix, ks: std::ops::RangeInclusive<usize>, seed: u64) -> Vec<ModelSelection> {
     ks.map(|k| {
         let result = kmeans(data, k, seed);
         ModelSelection {
@@ -251,12 +263,12 @@ mod tests {
     use super::*;
 
     /// Three well-separated blobs.
-    fn blobs() -> Vec<Vec<f64>> {
-        let mut data = Vec::new();
+    fn blobs() -> FeatureMatrix {
+        let mut data = FeatureMatrix::new(2);
         let mut rng = StdRng::seed_from_u64(9);
         for center in [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]] {
             for _ in 0..30 {
-                data.push(vec![
+                data.push_row(&[
                     center[0] + rng.random::<f64>() * 0.5,
                     center[1] + rng.random::<f64>() * 0.5,
                 ]);
@@ -330,15 +342,16 @@ mod tests {
 
     #[test]
     fn k_larger_than_n_is_clamped() {
-        let data = vec![vec![1.0], vec![2.0]];
+        let data = FeatureMatrix::from_rows([[1.0], [2.0]]);
         let result = kmeans(&data, 10, 0);
         assert!(result.centroids.len() <= 2);
     }
 
     #[test]
     fn empty_input() {
-        let result = kmeans(&[], 3, 0);
+        let empty = FeatureMatrix::default();
+        let result = kmeans(&empty, 3, 0);
         assert!(result.assignments.is_empty());
-        assert_eq!(silhouette(&[], &[], 3), 0.0);
+        assert_eq!(silhouette(&empty, &[], 3), 0.0);
     }
 }

@@ -12,6 +12,8 @@
 //!   reject-storm census.
 //! * [`session`] — unidirectional sessions and their statistical features
 //!   (the 10 candidates, the 5 selected).
+//! * [`matrix`] — the row-major contiguous [`FeatureMatrix`] the clustering
+//!   and projection layers operate on.
 //! * [`kmeans`] — K-means++ with elbow/silhouette/explained-variance model
 //!   selection (Figs. 10–11).
 //! * [`pca`] — principal component analysis for 2-D projection (Fig. 10).
@@ -39,6 +41,7 @@ pub mod flowstats;
 pub mod ids;
 pub mod kmeans;
 pub mod markov;
+pub mod matrix;
 pub mod par;
 pub mod pca;
 pub mod report;
@@ -51,5 +54,6 @@ pub use flowstats::FlowStats;
 pub use ids::{Alert, AlertKind, Severity, Whitelist};
 pub use kmeans::{KMeansResult, ModelSelection};
 pub use markov::{ChainCensus, ChainInfo, OutstationClass, TokenChain};
+pub use matrix::FeatureMatrix;
 pub use pca::Pca;
 pub use session::{Session, SessionFeatures};

@@ -11,59 +11,82 @@ use crate::dataset::{Dataset, PairTimeline};
 use crate::exec::{threads_context, ExecContext};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
-use uncharted_iec104::tokens::Token;
+use uncharted_iec104::tokens::{Token, TokenTable};
 
 /// A first-order Markov chain over tokens.
+///
+/// Tokens are interned to dense u16 ids ([`TokenTable`]) and the bigram
+/// counts live in one flat `n × n` matrix over those ids — no per-node maps,
+/// no per-edge allocations. Rendering paths resolve ids back to tokens.
 #[derive(Debug, Clone, Default)]
 pub struct TokenChain {
-    /// Bigram counts: `counts[a][b]` = times `b` followed `a`.
-    pub counts: BTreeMap<Token, BTreeMap<Token, usize>>,
-    /// All tokens observed (nodes).
-    pub nodes: BTreeSet<Token>,
-    /// Unigram counts (for MLE denominators).
-    pub unigrams: BTreeMap<Token, usize>,
+    table: TokenTable,
+    /// Row-major `n × n` bigram counts over interned ids:
+    /// `counts[a * n + b]` = times `b` followed `a`.
+    counts: Vec<usize>,
+    /// Unigram counts by id (MLE denominators for the sequence prior).
+    unigrams: Vec<usize>,
+    /// Cached per-row totals of `counts` (MLE denominators).
+    row_totals: Vec<usize>,
+    total_unigrams: usize,
 }
 
 impl TokenChain {
     /// Build from a token sequence.
     pub fn from_tokens(tokens: &[Token]) -> TokenChain {
-        let mut chain = TokenChain::default();
+        let mut table = TokenTable::new();
         for &t in tokens {
-            chain.nodes.insert(t);
-            *chain.unigrams.entry(t).or_default() += 1;
+            table.intern(t);
         }
-        for w in tokens.windows(2) {
-            *chain
-                .counts
-                .entry(w[0])
-                .or_default()
-                .entry(w[1])
-                .or_default() += 1;
+        let n = table.len();
+        let mut counts = vec![0usize; n * n];
+        let mut unigrams = vec![0usize; n];
+        let mut prev: Option<usize> = None;
+        for &t in tokens {
+            let id = table.get(t).expect("interned above").index();
+            unigrams[id] += 1;
+            if let Some(p) = prev {
+                counts[p * n + id] += 1;
+            }
+            prev = Some(id);
         }
-        chain
+        let row_totals = (0..n)
+            .map(|a| counts[a * n..(a + 1) * n].iter().sum())
+            .collect();
+        TokenChain {
+            table,
+            counts,
+            unigrams,
+            row_totals,
+            total_unigrams: tokens.len(),
+        }
     }
 
     /// Number of nodes (distinct tokens).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.table.len()
     }
 
     /// Number of directed edges (distinct bigrams).
     pub fn edge_count(&self) -> usize {
-        self.counts.values().map(|m| m.len()).sum()
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The distinct tokens observed, in sorted order.
+    pub fn node_set(&self) -> BTreeSet<Token> {
+        self.table.tokens().iter().copied().collect()
     }
 
     /// Maximum-likelihood transition probability `P(b | a)` (Eq. 2).
     pub fn transition(&self, a: Token, b: Token) -> f64 {
-        let from = match self.counts.get(&a) {
-            Some(m) => m,
-            None => return 0.0,
+        let (Some(a), Some(b)) = (self.table.get(a), self.table.get(b)) else {
+            return 0.0;
         };
-        let total: usize = from.values().sum();
+        let total = self.row_totals[a.index()];
         if total == 0 {
             0.0
         } else {
-            from.get(&b).copied().unwrap_or(0) as f64 / total as f64
+            self.counts[a.index() * self.table.len() + b.index()] as f64 / total as f64
         }
     }
 
@@ -71,35 +94,45 @@ impl TokenChain {
     /// the first token's unigram MLE as the prior. Returns log-probability
     /// to avoid underflow; `None` when the sequence is impossible.
     pub fn sequence_log_prob(&self, tokens: &[Token]) -> Option<f64> {
-        let first = tokens.first()?;
-        let total: usize = self.unigrams.values().sum();
-        let p0 = *self.unigrams.get(first)? as f64 / total as f64;
+        let first = self.table.get(*tokens.first()?)?;
+        let p0 = self.unigrams[first.index()] as f64 / self.total_unigrams as f64;
         let mut logp = p0.ln();
-        for w in tokens.windows(2) {
-            let p = self.transition(w[0], w[1]);
-            if p <= 0.0 {
+        let n = self.table.len();
+        let mut prev = first.index();
+        for &t in &tokens[1..] {
+            let id = self.table.get(t)?.index();
+            let total = self.row_totals[prev];
+            let c = self.counts[prev * n + id];
+            if c == 0 || total == 0 {
                 return None;
             }
-            logp += p.ln();
+            logp += (c as f64 / total as f64).ln();
+            prev = id;
         }
         Some(logp)
     }
 
     /// True when the chain contains the interrogation token `I100`.
     pub fn has_interrogation(&self) -> bool {
-        self.nodes.iter().any(|t| t.is_interrogation())
+        self.table.tokens().iter().any(|t| t.is_interrogation())
     }
 
     /// Rows of each transition with its probability, for rendering
-    /// (Figs. 12, 14–16).
+    /// (Figs. 12, 14–16). Deterministically ordered by `(from, to)` token.
     pub fn transitions(&self) -> Vec<(Token, Token, f64)> {
+        let n = self.table.len();
+        let toks = self.table.tokens();
         let mut out = Vec::new();
-        for (&a, m) in &self.counts {
-            let total: usize = m.values().sum();
-            for (&b, &c) in m {
-                out.push((a, b, c as f64 / total as f64));
+        for a in 0..n {
+            let total = self.row_totals[a];
+            for b in 0..n {
+                let c = self.counts[a * n + b];
+                if c > 0 {
+                    out.push((toks[a], toks[b], c as f64 / total as f64));
+                }
             }
         }
+        out.sort_by_key(|&(a, b, _)| (a, b));
         out
     }
 }

@@ -1,0 +1,189 @@
+//! Row-major contiguous feature matrix.
+//!
+//! The clustering and projection layers used to pass features around as
+//! `Vec<Vec<f64>>` — one heap allocation per session row, with rows
+//! scattered across the heap. [`FeatureMatrix`] stores all rows in a single
+//! contiguous `Vec<f64>` with a fixed column stride, so the K-means and PCA
+//! inner loops walk the data linearly (one allocation total, cache-friendly,
+//! no pointer chase per row).
+
+use std::ops::Index;
+use std::slice::ChunksExact;
+
+/// Rows of equal-width `f64` features in one contiguous buffer.
+///
+/// Rows are indexable (`&m[i]` yields `&[f64]`) and iterable in order via
+/// [`FeatureMatrix::iter`]. Every row pushed must match the matrix width.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    cols: usize,
+}
+
+impl FeatureMatrix {
+    /// An empty matrix with `cols` columns.
+    pub fn new(cols: usize) -> FeatureMatrix {
+        FeatureMatrix {
+            data: Vec::new(),
+            cols,
+        }
+    }
+
+    /// An empty matrix with room for `rows` rows of `cols` columns.
+    pub fn with_capacity(rows: usize, cols: usize) -> FeatureMatrix {
+        FeatureMatrix {
+            data: Vec::with_capacity(rows * cols),
+            cols,
+        }
+    }
+
+    /// Build from an iterator of rows; the first row fixes the width.
+    pub fn from_rows<I, R>(rows: I) -> FeatureMatrix
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[f64]>,
+    {
+        let mut m = FeatureMatrix::default();
+        for row in rows {
+            let row = row.as_ref();
+            if m.data.is_empty() && m.cols == 0 {
+                m.cols = row.len();
+            }
+            m.push_row(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.cols).unwrap_or(0)
+    }
+
+    /// Number of columns (the row stride).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append one row. Panics if its width differs from the matrix width.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "row width must match matrix width");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Append one row from an iterator of values. Panics if the iterator
+    /// does not yield exactly `cols` values.
+    pub fn push_row_iter(&mut self, row: impl IntoIterator<Item = f64>) {
+        let before = self.data.len();
+        self.data.extend(row);
+        assert_eq!(
+            self.data.len() - before,
+            self.cols,
+            "row width must match matrix width"
+        );
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterate rows in order.
+    pub fn iter(&self) -> ChunksExact<'_, f64> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// The whole backing buffer, row-major.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Materialise owned rows (for serialisation boundaries only — the hot
+    /// paths should stay on slices).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.iter().map(|r| r.to_vec()).collect()
+    }
+}
+
+impl Index<usize> for FeatureMatrix {
+    type Output = [f64];
+
+    fn index(&self, i: usize) -> &[f64] {
+        self.row(i)
+    }
+}
+
+impl<R: AsRef<[f64]>> FromIterator<R> for FeatureMatrix {
+    fn from_iter<I: IntoIterator<Item = R>>(iter: I) -> FeatureMatrix {
+        FeatureMatrix::from_rows(iter)
+    }
+}
+
+impl From<Vec<Vec<f64>>> for FeatureMatrix {
+    fn from(rows: Vec<Vec<f64>>) -> FeatureMatrix {
+        FeatureMatrix::from_rows(rows)
+    }
+}
+
+impl<'a> IntoIterator for &'a FeatureMatrix {
+    type Item = &'a [f64];
+    type IntoIter = ChunksExact<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_index() {
+        let mut m = FeatureMatrix::new(2);
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(&m[1], &[3.0, 4.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_rows_fixes_width_on_first_row() {
+        let m = FeatureMatrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        let back = m.to_rows();
+        assert_eq!(back[1], vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut m = FeatureMatrix::new(2);
+        m.push_row(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_matrix_iterates_nothing() {
+        let m = FeatureMatrix::default();
+        assert!(m.is_empty());
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn collect_from_row_iterator() {
+        let m: FeatureMatrix = (0..3).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(&m[2], &[2.0, 4.0]);
+    }
+}

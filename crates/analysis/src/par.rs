@@ -58,6 +58,10 @@ where
 {
     let f = &f;
     std::thread::scope(|scope| {
+        // The intermediate collect() is what makes the workers run in
+        // parallel: fusing spawn and join into one lazy chain would join
+        // each thread before spawning the next.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = (0..threads).map(|s| scope.spawn(move || f(s))).collect();
         handles
             .into_iter()

@@ -5,6 +5,7 @@
 // Index-based loops mirror the textbook Jacobi rotation formulas.
 #![allow(clippy::needless_range_loop)]
 
+use crate::matrix::FeatureMatrix;
 use serde::Serialize;
 
 /// A fitted PCA model.
@@ -20,19 +21,19 @@ pub struct Pca {
 
 impl Pca {
     /// Fit on rows of equal dimensionality.
-    pub fn fit(rows: &[Vec<f64>]) -> Pca {
+    pub fn fit(rows: &FeatureMatrix) -> Pca {
         assert!(!rows.is_empty(), "PCA needs data");
-        let dims = rows[0].len();
-        let n = rows.len() as f64;
+        let dims = rows.cols();
+        let n = rows.rows() as f64;
         let mut means = vec![0.0; dims];
-        for row in rows {
+        for row in rows.iter() {
             for (m, v) in means.iter_mut().zip(row) {
                 *m += v / n;
             }
         }
         // Covariance matrix.
         let mut cov = vec![vec![0.0; dims]; dims];
-        for row in rows {
+        for row in rows.iter() {
             for i in 0..dims {
                 for j in i..dims {
                     let c = (row[i] - means[i]) * (row[j] - means[j]) / n;
@@ -76,7 +77,7 @@ impl Pca {
     }
 
     /// Project all rows onto the first `k` components.
-    pub fn transform(&self, rows: &[Vec<f64>], k: usize) -> Vec<Vec<f64>> {
+    pub fn transform(&self, rows: &FeatureMatrix, k: usize) -> Vec<Vec<f64>> {
         rows.iter().map(|r| self.project(r, k)).collect()
     }
 
@@ -149,13 +150,13 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Data stretched along the (1, 1) diagonal: PC1 must align with it.
-    fn diagonal_data() -> Vec<Vec<f64>> {
+    fn diagonal_data() -> FeatureMatrix {
         let mut rng = StdRng::seed_from_u64(5);
         (0..200)
             .map(|_| {
                 let main: f64 = rng.random::<f64>() * 10.0 - 5.0;
                 let noise: f64 = rng.random::<f64>() * 0.2 - 0.1;
-                vec![main + noise, main - noise]
+                [main + noise, main - noise]
             })
             .collect()
     }
@@ -172,8 +173,8 @@ mod tests {
     #[test]
     fn components_are_orthonormal() {
         let mut rng = StdRng::seed_from_u64(6);
-        let rows: Vec<Vec<f64>> = (0..100)
-            .map(|_| (0..5).map(|_| rng.random::<f64>()).collect())
+        let rows: FeatureMatrix = (0..100)
+            .map(|_| (0..5).map(|_| rng.random::<f64>()).collect::<Vec<f64>>())
             .collect();
         let pca = Pca::fit(&rows);
         for i in 0..5 {
@@ -206,7 +207,7 @@ mod tests {
         let pca = Pca::fit(&rows);
         let projected = pca.transform(&rows, 2);
         let total_orig: f64 = {
-            let n = rows.len() as f64;
+            let n = rows.rows() as f64;
             let mean0: f64 = rows.iter().map(|r| r[0]).sum::<f64>() / n;
             let mean1: f64 = rows.iter().map(|r| r[1]).sum::<f64>() / n;
             rows.iter()
@@ -218,7 +219,7 @@ mod tests {
             .iter()
             .map(|r| r.iter().map(|v| v * v).sum::<f64>())
             .sum::<f64>()
-            / rows.len() as f64;
+            / rows.rows() as f64;
         assert!((total_orig - total_proj).abs() < 1e-8);
     }
 

@@ -7,8 +7,9 @@
 
 use crate::dataset::{Dataset, IEC104_PORT};
 use crate::exec::{threads_context, ExecContext};
+use crate::matrix::FeatureMatrix;
 use serde::Serialize;
-use std::collections::BTreeMap;
+use uncharted_obs::FnvHashMap;
 use uncharted_iec104::tokens::Token;
 
 /// One unidirectional session.
@@ -168,7 +169,7 @@ pub fn extract_sessions_threaded(ds: &Dataset, threads: usize) -> Vec<Session> {
 /// The sequential extraction pass.
 fn extract_sequential(ds: &Dataset) -> Vec<Session> {
     // Packet times and bytes per (src, dst).
-    let mut packet_stats: BTreeMap<(u32, u32), (Vec<f64>, usize)> = BTreeMap::new();
+    let mut packet_stats: FnvHashMap<(u32, u32), (Vec<f64>, usize)> = FnvHashMap::default();
     for pkt in &ds.packets {
         if pkt.tcp.src_port != IEC104_PORT && pkt.tcp.dst_port != IEC104_PORT {
             continue;
@@ -221,7 +222,7 @@ fn extract_sequential(ds: &Dataset) -> Vec<Session> {
 /// `(timeline, direction)` order the sequential extractor uses, so the
 /// output is identical.
 fn extract_fanned_out(ds: &Dataset, threads: usize) -> Vec<Session> {
-    let mut packet_stats: BTreeMap<(u32, u32), (Vec<f64>, usize)> = BTreeMap::new();
+    let mut packet_stats: FnvHashMap<(u32, u32), (Vec<f64>, usize)> = FnvHashMap::default();
     for pkt in &ds.packets {
         if pkt.tcp.src_port != IEC104_PORT && pkt.tcp.dst_port != IEC104_PORT {
             continue;
@@ -274,20 +275,20 @@ fn extract_fanned_out(ds: &Dataset, threads: usize) -> Vec<Session> {
 
 /// Column-wise z-score standardisation (k-means and PCA both need it; the
 /// raw features span wildly different magnitudes).
-pub fn standardize(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+pub fn standardize(rows: &FeatureMatrix) -> FeatureMatrix {
     if rows.is_empty() {
-        return Vec::new();
+        return FeatureMatrix::default();
     }
-    let dims = rows[0].len();
-    let n = rows.len() as f64;
+    let dims = rows.cols();
+    let n = rows.rows() as f64;
     let mut means = vec![0.0; dims];
-    for row in rows {
+    for row in rows.iter() {
         for (m, v) in means.iter_mut().zip(row) {
             *m += v / n;
         }
     }
     let mut stds = vec![0.0; dims];
-    for row in rows {
+    for row in rows.iter() {
         for ((s, v), m) in stds.iter_mut().zip(row).zip(&means) {
             *s += (v - m).powi(2) / n;
         }
@@ -298,15 +299,16 @@ pub fn standardize(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
             *s = 1.0;
         }
     }
-    rows.iter()
-        .map(|row| {
+    let mut out = FeatureMatrix::with_capacity(rows.rows(), dims);
+    for row in rows.iter() {
+        out.push_row_iter(
             row.iter()
                 .zip(&means)
                 .zip(&stds)
-                .map(|((v, m), s)| (v - m) / s)
-                .collect()
-        })
-        .collect()
+                .map(|((v, m), s)| (v - m) / s),
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -348,7 +350,7 @@ mod tests {
 
     #[test]
     fn standardize_zero_mean_unit_var() {
-        let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let rows = FeatureMatrix::from_rows([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]]);
         let z = standardize(&rows);
         for d in 0..2 {
             let mean: f64 = z.iter().map(|r| r[d]).sum::<f64>() / 3.0;
@@ -360,7 +362,7 @@ mod tests {
 
     #[test]
     fn standardize_constant_column_is_safe() {
-        let rows = vec![vec![5.0], vec![5.0]];
+        let rows = FeatureMatrix::from_rows([[5.0], [5.0]]);
         let z = standardize(&rows);
         assert!(z.iter().all(|r| r[0] == 0.0));
     }

@@ -5,15 +5,17 @@
 use proptest::prelude::*;
 use uncharted_analysis::kmeans::{self, explained_variance, silhouette};
 use uncharted_analysis::markov::TokenChain;
+use uncharted_analysis::matrix::FeatureMatrix;
 use uncharted_analysis::pca::Pca;
 use uncharted_analysis::session::standardize;
 use uncharted_iec104::tokens::Token;
 
-fn arb_rows(dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn arb_rows(dims: usize) -> impl Strategy<Value = FeatureMatrix> {
     prop::collection::vec(
         prop::collection::vec(-100.0f64..100.0, dims..=dims),
         4..60,
     )
+    .prop_map(FeatureMatrix::from_rows)
 }
 
 fn arb_tokens() -> impl Strategy<Value = Vec<Token>> {
@@ -44,7 +46,7 @@ proptest! {
     #[test]
     fn kmeans_assignments_are_locally_optimal(rows in arb_rows(3), k in 1usize..6, seed in any::<u64>()) {
         let result = kmeans::kmeans(&rows, k, seed);
-        prop_assert_eq!(result.assignments.len(), rows.len());
+        prop_assert_eq!(result.assignments.len(), rows.rows());
         let mut sse = 0.0;
         for (p, &a) in rows.iter().zip(&result.assignments) {
             let assigned = sq_dist(p, &result.centroids[a]);
@@ -75,7 +77,7 @@ proptest! {
     #[test]
     fn standardize_is_zero_mean_unit_variance(rows in arb_rows(4)) {
         let z = standardize(&rows);
-        let n = z.len() as f64;
+        let n = z.rows() as f64;
         for d in 0..4 {
             let mean: f64 = z.iter().map(|r| r[d]).sum::<f64>() / n;
             prop_assert!(mean.abs() < 1e-9, "mean {mean}");
@@ -91,7 +93,7 @@ proptest! {
     #[test]
     fn pca_projection_preserves_total_variance(rows in arb_rows(3)) {
         let pca = Pca::fit(&rows);
-        let n = rows.len() as f64;
+        let n = rows.rows() as f64;
         let mut means = [0.0; 3];
         for r in &rows {
             for (m, v) in means.iter_mut().zip(r) {
@@ -129,8 +131,11 @@ proptest! {
         let edges = chain.edge_count();
         prop_assert!(nodes >= 1);
         prop_assert!(edges <= nodes * nodes, "edges {edges} nodes {nodes}");
-        for (&from, row) in &chain.counts {
-            let total: f64 = row.keys().map(|&to| chain.transition(from, to)).sum();
+        let mut row_sums: std::collections::BTreeMap<Token, f64> = Default::default();
+        for (from, to, _) in chain.transitions() {
+            *row_sums.entry(from).or_default() += chain.transition(from, to);
+        }
+        for (from, total) in row_sums {
             prop_assert!((total - 1.0).abs() < 1e-9, "row of {from} sums to {total}");
         }
         let logp = chain.sequence_log_prob(&tokens);

@@ -5,15 +5,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use uncharted::analysis::dataset::Dataset;
 use uncharted::analysis::kmeans::{self, silhouette};
+use uncharted::analysis::matrix::FeatureMatrix;
 use uncharted::analysis::pca::Pca;
 use uncharted::analysis::session::{self, standardize};
 use uncharted::{ExecContext, Scenario, Simulation, Year};
 
-fn features() -> (Dataset, Vec<Vec<f64>>) {
+fn features() -> (Dataset, FeatureMatrix) {
     let set = Simulation::new(Scenario::small(Year::Y1, 11, 120.0)).run();
     let ds = Dataset::ingest_captures(set.captures.iter(), &ExecContext::sequential());
     let sessions = session::extract(&ds, &ExecContext::sequential());
-    let raw: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().selected()).collect();
+    let raw: FeatureMatrix = sessions.iter().map(|s| s.features().selected()).collect();
     let z = standardize(&raw);
     (ds, z)
 }
@@ -26,7 +27,7 @@ fn bench_clustering(c: &mut Criterion) {
         b.iter(|| black_box(session::extract(black_box(&ds), &ExecContext::sequential())))
     });
     group.bench_function("standardize", |b| {
-        let raw: Vec<Vec<f64>> = session::extract(&ds, &ExecContext::sequential())
+        let raw: FeatureMatrix = session::extract(&ds, &ExecContext::sequential())
             .iter()
             .map(|s| s.features().selected())
             .collect();

@@ -1,0 +1,55 @@
+//! Per-layer throughput over the shared pipeline work unit
+//! (`uncharted_bench::pipebench`): APDU parsing, TCP reassembly, K-means,
+//! and the Markov chain census, each measured in isolation so a hot-path
+//! rewrite in one layer shows up undiluted by the others.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use uncharted::{Dataset, ExecContext};
+use uncharted_bench::pipebench;
+use uncharted_iec104::dialect::Dialect;
+
+fn bench_parse(c: &mut Criterion) {
+    let stream = pipebench::parse_stream(Dialect::STANDARD, 50_000);
+    let apdus = pipebench::parse_work(&stream, 1460);
+    let mut group = c.benchmark_group("layers");
+    group.throughput(Throughput::Elements(apdus as u64));
+    group.bench_function("parse_apdus", |b| {
+        b.iter(|| pipebench::parse_work(&stream, 1460))
+    });
+    group.finish();
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let packets = pipebench::scenario_packets(6, 120.0);
+    let (_, segments) = pipebench::flows_work(&packets);
+    let mut group = c.benchmark_group("layers");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(segments as u64));
+    group.bench_function("flow_segments", |b| b.iter(|| pipebench::flows_work(&packets)));
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let packets = pipebench::scenario_packets(6, 120.0);
+    let input = pipebench::kmeans_input(packets);
+    let iters = pipebench::kmeans_work(&input, 11);
+    let mut group = c.benchmark_group("layers");
+    group.throughput(Throughput::Elements(iters as u64));
+    group.bench_function("kmeans_iters", |b| b.iter(|| pipebench::kmeans_work(&input, 11)));
+    group.finish();
+}
+
+fn bench_markov(c: &mut Criterion) {
+    let packets = pipebench::scenario_packets(6, 120.0);
+    let ctx = ExecContext::sequential();
+    let ds = Dataset::ingest(packets, &ctx);
+    let chains = pipebench::markov_work(&ds);
+    let mut group = c.benchmark_group("layers");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(chains as u64));
+    group.bench_function("markov_chains", |b| b.iter(|| pipebench::markov_work(&ds)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_flows, bench_kmeans, bench_markov);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! A counting global allocator for the `bench --json` runner.
+//!
+//! Behind the `bench-alloc` feature the `bench` binary installs
+//! [`CountingAlloc`] as the global allocator; every measurement can then
+//! report heap allocations per work item alongside wall-clock throughput.
+//! Counting is two relaxed atomic adds per allocation, cheap enough that
+//! throughput numbers from a counting run are still meaningful — but the
+//! committed `BENCH_PR5.json` records timing and allocation figures from the
+//! same run, so compare like with like.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to the system allocator, counting every allocation.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counters are plain atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocation calls (alloc + realloc) since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested since process start.
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Allocation calls made while running `f` (single-threaded measurements
+/// only: the counters are process-global).
+pub fn count<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = allocations();
+    let out = f();
+    (allocations() - before, out)
+}

@@ -1,0 +1,93 @@
+//! `bench --json` — the tracked benchmark runner behind `BENCH_PR5.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench [--json PATH] [--smoke] [--baseline PATH]
+//! ```
+//!
+//! * `--json PATH` — where to write the report (default `BENCH_PR5.json`).
+//! * `--smoke` — seconds-long CI configuration instead of the full run.
+//! * `--baseline PATH` — embed an earlier report as the baseline and compute
+//!   speedups, allocation drops, and the counter-fingerprint equality check.
+//!
+//! Build with `--features bench-alloc` to install the counting global
+//! allocator so the report includes allocations per APDU.
+
+use std::process::ExitCode;
+use uncharted_bench::runner::{self, RunnerConfig};
+
+#[cfg(feature = "bench-alloc")]
+#[global_allocator]
+static ALLOC: uncharted_bench::alloc_count::CountingAlloc =
+    uncharted_bench::alloc_count::CountingAlloc;
+
+fn main() -> ExitCode {
+    let mut json_path = String::from("BENCH_PR5.json");
+    let mut baseline_path: Option<String> = None;
+    let mut smoke = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = p,
+                None => return usage("--json requires a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(p),
+                None => return usage("--baseline requires a path"),
+            },
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bench [--json PATH] [--smoke] [--baseline PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let cfg = if smoke {
+        RunnerConfig::smoke()
+    } else {
+        RunnerConfig::full()
+    };
+    eprintln!(
+        "bench: running {} configuration (alloc counting: {})",
+        if smoke { "smoke" } else { "full" },
+        cfg!(feature = "bench-alloc"),
+    );
+
+    let baseline = match baseline_path {
+        Some(p) => match std::fs::read_to_string(&p) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(v) => Some(v),
+                Err(e) => return usage(&format!("bad baseline JSON in {p}: {e}")),
+            },
+            Err(e) => return usage(&format!("cannot read baseline {p}: {e}")),
+        },
+        None => None,
+    };
+
+    let current = runner::run(cfg);
+    let report = runner::report(current, baseline);
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&json_path, pretty + "\n") {
+        eprintln!("bench: cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench: wrote {json_path}");
+    if let Some(cmp) = report.get("comparison") {
+        eprintln!(
+            "bench: comparison: {}",
+            serde_json::to_string_pretty(cmp).expect("comparison serializes")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench: {msg}");
+    eprintln!("usage: bench [--json PATH] [--smoke] [--baseline PATH]");
+    ExitCode::FAILURE
+}

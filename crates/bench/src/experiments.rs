@@ -500,14 +500,15 @@ fn elbow(study: &Study) -> ExperimentOutput {
 /// features by the silhouette of a K=5 clustering on that feature alone,
 /// then compare the 5-feature subset against the full 10-feature set.
 fn ablation(study: &Study) -> ExperimentOutput {
+    use uncharted::analysis::matrix::FeatureMatrix;
     use uncharted::analysis::session::{standardize, SessionFeatures};
     let sessions = study.y1.sessions();
-    let all: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().all()).collect();
+    let all: FeatureMatrix = sessions.iter().map(|s| s.features().all()).collect();
     let names = SessionFeatures::names();
     let mut t = Table::new(["Feature", "Silhouette (K=5, single feature)", "Selected"]);
     let mut scores = Vec::new();
     for (d, name) in names.iter().enumerate() {
-        let col: Vec<Vec<f64>> = all.iter().map(|r| vec![r[d]]).collect();
+        let col: FeatureMatrix = all.iter().map(|r| [r[d]]).collect();
         let z = standardize(&col);
         let result = uncharted::analysis::kmeans::kmeans(&z, 5, 7);
         let s = uncharted::analysis::kmeans::silhouette(&z, &result.assignments, 5);
@@ -520,7 +521,7 @@ fn ablation(study: &Study) -> ExperimentOutput {
         scores.push(json!({"feature": name, "silhouette": s, "selected": selected}));
     }
     // Subset-vs-full comparison at K=5.
-    let selected: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().selected()).collect();
+    let selected: FeatureMatrix = sessions.iter().map(|s| s.features().selected()).collect();
     let z5 = standardize(&selected);
     let z10 = standardize(&all);
     let r5 = uncharted::analysis::kmeans::kmeans(&z5, 5, 7);
@@ -955,7 +956,7 @@ fn fig21(study: &Study) -> ExperimentOutput {
         machine.violations, accepted
     ));
     // Adversarial check: shuffled data must be rejected.
-    let mut reversed = samples.clone();
+    let mut reversed = samples;
     reversed.reverse();
     let rejected = !SignatureMachine::new(130.0).accepts(&reversed);
     text.push_str(&format!("time-reversed data rejected: {rejected}\n"));

@@ -9,8 +9,11 @@
 //! *shapes* — who dominates, by what factor, where the outliers sit — are
 //! the reproduction targets (see `EXPERIMENTS.md`).
 
+#[cfg(feature = "bench-alloc")]
+pub mod alloc_count;
 pub mod experiments;
 pub mod pipebench;
+pub mod runner;
 pub mod study;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentOutput};

@@ -1,11 +1,22 @@
-//! The capture→analysis work unit shared by the `pipeline` Criterion bench
-//! and the CI smoke test: one ingest plus every per-dataset analysis stage,
-//! under a single [`ExecContext`].
+//! The capture→analysis work unit shared by the `pipeline` Criterion bench,
+//! the per-layer `layers` bench, the `bench --json` runner, and the CI smoke
+//! test: one ingest plus every per-dataset analysis stage, under a single
+//! [`ExecContext`], plus one isolated work unit per hot layer.
 
 use uncharted::analysis::dpi::{self, TypeCensus};
+use uncharted::analysis::kmeans;
 use uncharted::analysis::markov::ChainCensus;
+use uncharted::analysis::matrix::FeatureMatrix;
 use uncharted::analysis::session;
 use uncharted::{Dataset, ExecContext, ExecPolicy, Scenario, Simulation, Year};
+use uncharted_iec104::apdu::{Apdu, StreamDecoder, StreamItem};
+use uncharted_iec104::asdu::{Asdu, InfoObject, IoValue};
+use uncharted_iec104::cot::{Cause, Cot};
+use uncharted_iec104::dialect::Dialect;
+use uncharted_iec104::elements::Qds;
+use uncharted_iec104::types::TypeId;
+use uncharted_nettap::flow::FlowTable;
+use uncharted_nettap::metrics::NettapMetrics;
 use uncharted_nettap::pcap::ParsedPacket;
 
 /// Time-sorted packets from a seeded small scenario (`scale` seconds per
@@ -21,11 +32,90 @@ pub fn scenario_packets(seed: u64, scale: f64) -> Vec<ParsedPacket> {
 /// `(asdus, sessions, chains, series)` counts. Bit-identical under any
 /// [`ExecPolicy`].
 pub fn ingest_and_analyze(packets: Vec<ParsedPacket>, policy: ExecPolicy) -> (usize, usize, usize, usize) {
+    ingest_analyze_fingerprint(packets, policy).0
+}
+
+/// [`ingest_and_analyze`], also returning the obs counter fingerprint of the
+/// run (timings excluded). The fingerprint is the behavior-preservation
+/// witness: it must be byte-identical across policies *and* across
+/// representation rewrites of the hot path.
+pub fn ingest_analyze_fingerprint(
+    packets: Vec<ParsedPacket>,
+    policy: ExecPolicy,
+) -> ((usize, usize, usize, usize), String) {
     let ctx = ExecContext::new(policy);
     let ds = Dataset::ingest(packets, &ctx);
     let census = TypeCensus::build(&ds, &ctx);
     let sessions = session::extract(&ds, &ctx);
     let chains = ChainCensus::build(&ds, &ctx);
     let series = dpi::series(&ds, &ctx);
-    (census.total(), sessions.len(), chains.rows.len(), series.len())
+    let counts = (census.total(), sessions.len(), chains.rows.len(), series.len());
+    (counts, ctx.metrics.snapshot().counter_fingerprint())
+}
+
+/// A contiguous IEC 104 byte stream of `frames` I-format float measurements
+/// under `dialect` — the parse-layer work input.
+pub fn parse_stream(dialect: Dialect, frames: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..frames {
+        let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 7).with_object(
+            InfoObject::new(4000 + (i as u32 % 24), IoValue::FloatMeasurement {
+                value: 130.0 + (i % 512) as f32 * 0.01,
+                qds: Qds::GOOD,
+            }),
+        );
+        out.extend(
+            Apdu::i_frame((i % 32768) as u16, 0, asdu)
+                .encode(dialect)
+                .unwrap(),
+        );
+    }
+    out
+}
+
+/// Parse layer: feed `stream` through a [`StreamDecoder`] in `chunk`-byte
+/// segments (mimicking TCP segmentation) and return the APDU count.
+pub fn parse_work(stream: &[u8], chunk: usize) -> usize {
+    let mut decoder = StreamDecoder::new(Dialect::STANDARD);
+    let mut apdus = 0usize;
+    for seg in stream.chunks(chunk.max(1)) {
+        for item in decoder.feed(seg) {
+            if matches!(item, StreamItem::Apdu(_)) {
+                apdus += 1;
+            }
+        }
+    }
+    apdus
+}
+
+/// Flow layer: sequential TCP reassembly over `packets`, returning
+/// `(connections, segments delivered)`.
+pub fn flows_work(packets: &[ParsedPacket]) -> (usize, usize) {
+    let table = FlowTable::reconstruct(packets, ExecPolicy::Sequential, NettapMetrics::sink());
+    let segments = table
+        .connections
+        .iter()
+        .map(|c| c.ab.segments_delivered + c.ba.segments_delivered)
+        .sum();
+    (table.len(), segments)
+}
+
+/// The standardized session feature rows for the clustering layer.
+pub fn kmeans_input(packets: Vec<ParsedPacket>) -> FeatureMatrix {
+    let ctx = ExecContext::new(ExecPolicy::Sequential);
+    let ds = Dataset::ingest(packets, &ctx);
+    let sessions = session::extract(&ds, &ctx);
+    let raw: FeatureMatrix = sessions.iter().map(|s| s.features().selected()).collect();
+    session::standardize(&raw)
+}
+
+/// Clustering layer: one K = 5 run over standardized features; returns the
+/// Lloyd iteration count.
+pub fn kmeans_work(input: &FeatureMatrix, seed: u64) -> usize {
+    kmeans::kmeans(input, 5, seed).iterations
+}
+
+/// Markov layer: the chain census over an ingested dataset; returns rows.
+pub fn markov_work(ds: &Dataset) -> usize {
+    ChainCensus::build(ds, &ExecContext::sequential()).rows.len()
 }

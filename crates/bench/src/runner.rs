@@ -1,0 +1,230 @@
+//! The `bench --json` measurement runner.
+//!
+//! Measures per-layer throughput over the shared pipeline work unit
+//! ([`crate::pipebench`]) and emits a machine-readable JSON report:
+//!
+//! * `pipeline` — the Criterion pipeline work unit (ingest + every analysis
+//!   stage), packets/s, sequential and 4-worker.
+//! * `parse` — `StreamDecoder` over a contiguous APDU stream, APDUs/s, plus
+//!   allocations per APDU when built with `--features bench-alloc`.
+//! * `flows` — sequential TCP reassembly, segments/s.
+//! * `kmeans` — K = 5 Lloyd runs over standardized session features,
+//!   iterations/s.
+//! * `markov` — chain census rows/s.
+//! * `fingerprint` — the obs counter fingerprint of the pipeline run
+//!   (timings excluded), sequential and 4-worker: the behavior-preservation
+//!   witness for hot-path rewrites.
+//!
+//! Given a `--baseline` report from an earlier build, the runner embeds it,
+//! computes speedups/allocation drops, and checks fingerprint equality.
+
+use crate::pipebench;
+use serde_json::{json, Value};
+use std::time::Instant;
+use uncharted::ExecPolicy;
+use uncharted_iec104::dialect::Dialect;
+
+/// How big a run the runner measures.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Seconds of simulated capture per paper hour (scenario scale).
+    pub scale: f64,
+    /// I-frames in the synthetic parse stream.
+    pub parse_frames: usize,
+    /// Measurement repetitions per layer (the reported rate is over the
+    /// total).
+    pub reps: usize,
+}
+
+impl RunnerConfig {
+    /// The full-size configuration behind the committed `BENCH_PR5.json`.
+    pub fn full() -> RunnerConfig {
+        RunnerConfig {
+            scale: 120.0,
+            parse_frames: 200_000,
+            reps: 5,
+        }
+    }
+
+    /// A seconds-long smoke configuration for CI.
+    pub fn smoke() -> RunnerConfig {
+        RunnerConfig {
+            scale: 20.0,
+            parse_frames: 5_000,
+            reps: 2,
+        }
+    }
+}
+
+#[cfg(feature = "bench-alloc")]
+fn counted<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    crate::alloc_count::count(f)
+}
+
+#[cfg(not(feature = "bench-alloc"))]
+fn counted<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    (0, f())
+}
+
+/// `(seconds, allocations, result)` for `reps` back-to-back runs after one
+/// untimed warm-up run.
+fn measure<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, u64, T) {
+    std::hint::black_box(f()); // warm-up
+    let start = Instant::now();
+    let (allocs, out) = counted(|| {
+        let mut out = None;
+        for _ in 0..reps.max(1) {
+            out = Some(std::hint::black_box(f()));
+        }
+        out.unwrap()
+    });
+    (start.elapsed().as_secs_f64(), allocs, out)
+}
+
+/// Items/s over `reps` measured runs of `items` each.
+fn rate(items: u64, reps: usize, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    (items as f64 * reps.max(1) as f64) / secs
+}
+
+/// Run every layer measurement and return the `current` report section.
+pub fn run(cfg: RunnerConfig) -> Value {
+    let packets = pipebench::scenario_packets(6, cfg.scale);
+
+    // Pipeline work unit, sequential and 4 workers. The clone of `packets`
+    // is part of the timed unit, exactly as in the Criterion bench.
+    let (seq_secs, _, (counts, fp_seq)) = measure(cfg.reps, || {
+        pipebench::ingest_analyze_fingerprint(packets.clone(), ExecPolicy::Sequential)
+    });
+    let (par_secs, _, (_, fp_par)) = measure(cfg.reps, || {
+        pipebench::ingest_analyze_fingerprint(packets.clone(), ExecPolicy::Threads(4))
+    });
+
+    // Parse layer.
+    let stream = pipebench::parse_stream(Dialect::STANDARD, cfg.parse_frames);
+    let (parse_secs, parse_allocs, apdus) =
+        measure(cfg.reps, || pipebench::parse_work(&stream, 1460));
+    let allocs_per_apdu = if apdus > 0 {
+        parse_allocs as f64 / (cfg.reps.max(1) as f64 * apdus as f64)
+    } else {
+        0.0
+    };
+
+    // Flow layer.
+    let (flow_secs, _, (connections, segments)) =
+        measure(cfg.reps, || pipebench::flows_work(&packets));
+
+    // Clustering layer. K-means is deterministic per seed, so the Lloyd
+    // iteration count is identical across reps.
+    let features = pipebench::kmeans_input(packets.clone());
+    let (kmeans_secs, _, iters) = measure(cfg.reps, || pipebench::kmeans_work(&features, 11));
+    let kmeans_iters_per_sec = rate(iters as u64, cfg.reps, kmeans_secs);
+
+    // Markov layer.
+    let ctx = uncharted::ExecContext::sequential();
+    let ds = uncharted::Dataset::ingest(packets.clone(), &ctx);
+    let (markov_secs, _, chains) = measure(cfg.reps, || pipebench::markov_work(&ds));
+
+    let pipeline = json!({
+        "packets": packets.len(),
+        "asdus": counts.0,
+        "sessions": counts.1,
+        "chains": counts.2,
+        "series": counts.3,
+        "packets_per_sec_sequential": rate(packets.len() as u64, cfg.reps, seq_secs),
+        "packets_per_sec_threads4": rate(packets.len() as u64, cfg.reps, par_secs),
+    });
+    let parse = json!({
+        "apdus": apdus,
+        "apdus_per_sec": rate(apdus as u64, cfg.reps, parse_secs),
+        "allocs_per_apdu": allocs_per_apdu,
+    });
+    let flows = json!({
+        "connections": connections,
+        "segments": segments,
+        "segments_per_sec": rate(segments as u64, cfg.reps, flow_secs),
+    });
+    let kmeans = json!({
+        "rows": features.rows(),
+        "iters_per_sec": kmeans_iters_per_sec,
+    });
+    let markov = json!({
+        "chains": chains,
+        "chains_per_sec": rate(chains as u64, cfg.reps, markov_secs),
+    });
+    let fingerprint = json!({
+        "sequential": fp_seq,
+        "threads4": fp_par,
+    });
+    json!({
+        "scale": cfg.scale,
+        "reps": cfg.reps,
+        "alloc_counting": cfg!(feature = "bench-alloc"),
+        "pipeline": pipeline,
+        "parse": parse,
+        "flows": flows,
+        "kmeans": kmeans,
+        "markov": markov,
+        "fingerprint": fingerprint,
+    })
+}
+
+fn num(v: &Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for p in path {
+        cur = &cur[*p];
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+/// Assemble the final report: `current`, and when a baseline report is
+/// given, the baseline section plus speedup ratios and the fingerprint
+/// equality check.
+pub fn report(current: Value, baseline: Option<Value>) -> Value {
+    let Some(base) = baseline else {
+        return json!({ "current": current });
+    };
+    // Accept either a bare `run()` section or a full report.
+    let base = match base.as_object().and_then(|o| o.get("current")) {
+        Some(inner) => inner.clone(),
+        None => base,
+    };
+    let ratio = |path: &[&str]| -> Value {
+        let b = num(&base, path);
+        let c = num(&current, path);
+        if b > 0.0 && c > 0.0 {
+            json!(c / b)
+        } else {
+            Value::Null
+        }
+    };
+    let alloc_drop = {
+        let b = num(&base, &["parse", "allocs_per_apdu"]);
+        let c = num(&current, &["parse", "allocs_per_apdu"]);
+        if b > 0.0 && c > 0.0 {
+            json!(b / c)
+        } else {
+            Value::Null
+        }
+    };
+    let fp_match = base["fingerprint"]["sequential"] == current["fingerprint"]["sequential"]
+        && base["fingerprint"]["threads4"] == current["fingerprint"]["threads4"]
+        && base["fingerprint"]["sequential"] == current["fingerprint"]["threads4"];
+    let comparison = json!({
+        "pipeline_sequential_speedup": ratio(&["pipeline", "packets_per_sec_sequential"]),
+        "pipeline_threads4_speedup": ratio(&["pipeline", "packets_per_sec_threads4"]),
+        "parse_speedup": ratio(&["parse", "apdus_per_sec"]),
+        "flows_speedup": ratio(&["flows", "segments_per_sec"]),
+        "kmeans_speedup": ratio(&["kmeans", "iters_per_sec"]),
+        "markov_speedup": ratio(&["markov", "chains_per_sec"]),
+        "parse_alloc_drop": alloc_drop,
+        "counter_fingerprint_match": fp_match,
+    });
+    json!({
+        "baseline": base,
+        "current": current,
+        "comparison": comparison,
+    })
+}

@@ -54,6 +54,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use uncharted_analysis::dpi::{self, TypeCensus};
 use uncharted_analysis::kmeans::{self, KMeansResult, ModelSelection};
+use uncharted_analysis::matrix::FeatureMatrix;
 use uncharted_analysis::markov::{self, ChainCensus, OutstationClass};
 use uncharted_analysis::pca::Pca;
 use uncharted_analysis::session::{self, standardize, Session};
@@ -249,7 +250,7 @@ impl Pipeline {
     pub fn cluster_sessions(&self, seed: u64) -> ClusterReport {
         let sessions = self.sessions();
         let _span = self.exec.metrics.kmeans_stage.span();
-        let raw: Vec<Vec<f64>> = sessions.iter().map(|s| s.features().selected()).collect();
+        let raw: FeatureMatrix = sessions.iter().map(|s| s.features().selected()).collect();
         let z = standardize(&raw);
         let selection = kmeans::select_k(&z, 2..=8, seed);
         let k5 = kmeans::kmeans(&z, 5, seed);

@@ -9,6 +9,7 @@ use crate::apci::{Apci, UFunction, CONTROL_LEN, MAX_APDU_LENGTH, START_BYTE};
 use crate::asdu::Asdu;
 use crate::dialect::Dialect;
 use crate::metrics::Iec104Metrics;
+use crate::scan::{FrameScanner, ScanKind};
 use crate::{Error, Result};
 
 /// A decoded APDU: control information plus optional ASDU payload.
@@ -136,16 +137,18 @@ impl Apdu {
 /// Incremental decoder over a TCP byte stream.
 ///
 /// TCP gives no message framing: one segment may carry many APDUs, or an
-/// APDU may straddle two segments. The decoder buffers input and yields
-/// complete frames; undecodable-but-well-framed input is surfaced as an
-/// error *per frame* so a single bad frame does not poison the stream.
+/// APDU may straddle two segments. The decoder buffers input (via
+/// [`FrameScanner`], which delimits frames as slices without copying them)
+/// and yields complete frames; undecodable-but-well-framed input is
+/// surfaced as an error *per frame* so a single bad frame does not poison
+/// the stream.
 #[derive(Debug, Default)]
 pub struct StreamDecoder {
-    buffer: Vec<u8>,
+    scanner: FrameScanner,
     dialect: Dialect,
 }
 
-/// One item produced by the stream decoder.
+/// One item produced by the stream decoder, owning its bytes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StreamItem {
     /// A fully decoded APDU.
@@ -155,11 +158,33 @@ pub enum StreamItem {
     Malformed(Vec<u8>, Error),
 }
 
+/// One item as produced on the hot path: malformed frames and junk runs
+/// borrow the decoder's buffer, so the raw bytes are only copied when a
+/// subscriber actually keeps them (via [`StreamItemRef::to_owned_item`]).
+#[derive(Debug, PartialEq)]
+pub enum StreamItemRef<'a> {
+    /// A fully decoded APDU.
+    Apdu(Apdu),
+    /// A delimited-but-undecodable frame, or a junk run skipped during
+    /// resynchronisation: raw bytes (borrowed) and the decode error.
+    Malformed(&'a [u8], Error),
+}
+
+impl StreamItemRef<'_> {
+    /// Copy the borrowed bytes into an owning [`StreamItem`].
+    pub fn to_owned_item(self) -> StreamItem {
+        match self {
+            StreamItemRef::Apdu(apdu) => StreamItem::Apdu(apdu),
+            StreamItemRef::Malformed(bytes, e) => StreamItem::Malformed(bytes.to_vec(), e),
+        }
+    }
+}
+
 impl StreamDecoder {
     /// A decoder for the given dialect.
     pub fn new(dialect: Dialect) -> Self {
         StreamDecoder {
-            buffer: Vec::new(),
+            scanner: FrameScanner::new(),
             dialect,
         }
     }
@@ -182,52 +207,54 @@ impl StreamDecoder {
 
     /// Feed segment bytes, recording on `metrics` the APDUs decoded (per
     /// dialect), frame lengths, junk octets skipped during
-    /// resynchronisation, and malformed frames.
+    /// resynchronisation, and malformed frames. Convenience wrapper over
+    /// [`StreamDecoder::feed_each`] that copies malformed/junk bytes into
+    /// owned items.
     pub fn feed_with(&mut self, bytes: &[u8], metrics: &Iec104Metrics) -> Vec<StreamItem> {
-        self.buffer.extend_from_slice(bytes);
         let mut items = Vec::new();
-        loop {
-            if self.buffer.len() < 2 {
-                break;
-            }
-            if self.buffer[0] != START_BYTE {
-                // Resynchronise: skip to the next plausible start byte.
-                let skip = self
-                    .buffer
-                    .iter()
-                    .position(|&b| b == START_BYTE)
-                    .unwrap_or(self.buffer.len());
-                let junk: Vec<u8> = self.buffer.drain(..skip).collect();
-                metrics.junk_octets_skipped.add(junk.len() as u64);
-                items.push(StreamItem::Malformed(
-                    junk.clone(),
-                    Error::BadStartByte(junk.first().copied().unwrap_or(0)),
-                ));
-                continue;
-            }
-            let total = 2 + self.buffer[1] as usize;
-            if self.buffer.len() < total {
-                break;
-            }
-            let frame: Vec<u8> = self.buffer.drain(..total).collect();
-            match Apdu::decode(&frame, self.dialect) {
-                Ok(apdu) => {
-                    metrics.apdus_parsed(self.dialect).inc();
-                    metrics.apdu_length_octets.observe(frame.len() as u64);
-                    items.push(StreamItem::Apdu(apdu));
+        self.feed_each(bytes, metrics, |item| items.push(item.to_owned_item()));
+        items
+    }
+
+    /// Feed segment bytes, handing each completed item to `sink`. This is
+    /// the zero-copy path: frames are delimited as slices of the internal
+    /// buffer, decoded in place, and malformed/junk bytes are only borrowed
+    /// — a sink that ignores them costs nothing.
+    pub fn feed_each(
+        &mut self,
+        bytes: &[u8],
+        metrics: &Iec104Metrics,
+        mut sink: impl FnMut(StreamItemRef<'_>),
+    ) {
+        self.scanner.feed(bytes);
+        while let Some(scanned) = self.scanner.next_frame() {
+            let data = self.scanner.slice(&scanned.range);
+            match scanned.kind {
+                ScanKind::Junk => {
+                    metrics.junk_octets_skipped.add(data.len() as u64);
+                    sink(StreamItemRef::Malformed(
+                        data,
+                        Error::BadStartByte(data.first().copied().unwrap_or(0)),
+                    ));
                 }
-                Err(e) => {
-                    metrics.malformed_frames.inc();
-                    items.push(StreamItem::Malformed(frame, e));
-                }
+                ScanKind::Frame => match Apdu::decode(data, self.dialect) {
+                    Ok(apdu) => {
+                        metrics.apdus_parsed(self.dialect).inc();
+                        metrics.apdu_length_octets.observe(data.len() as u64);
+                        sink(StreamItemRef::Apdu(apdu));
+                    }
+                    Err(e) => {
+                        metrics.malformed_frames.inc();
+                        sink(StreamItemRef::Malformed(data, e));
+                    }
+                },
             }
         }
-        items
     }
 
     /// Bytes buffered but not yet framed (diagnostic).
     pub fn pending(&self) -> usize {
-        self.buffer.len()
+        self.scanner.pending()
     }
 }
 

@@ -491,6 +491,129 @@ impl InfoObject {
     }
 }
 
+/// The information objects of an ASDU.
+///
+/// Almost every telemetry ASDU on the wire carries exactly one object, so
+/// the single-object case is stored inline and decoding it allocates
+/// nothing; pushing a second object spills to a `Vec`. Dereferences to
+/// `[InfoObject]`, so slice methods (`len`, `iter`, indexing, `first`)
+/// work as they did when this was a plain `Vec`.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectList(ObjectRepr);
+
+#[derive(Debug, Clone, Default)]
+enum ObjectRepr {
+    #[default]
+    Empty,
+    One(InfoObject),
+    Many(Vec<InfoObject>),
+}
+
+impl ObjectList {
+    /// An empty list (no allocation).
+    pub const fn new() -> ObjectList {
+        ObjectList(ObjectRepr::Empty)
+    }
+
+    /// An empty list ready for `n` objects: allocates only when `n > 1`.
+    pub fn with_capacity(n: usize) -> ObjectList {
+        if n <= 1 {
+            ObjectList::new()
+        } else {
+            ObjectList(ObjectRepr::Many(Vec::with_capacity(n)))
+        }
+    }
+
+    /// Append an object, spilling to heap storage on the second push.
+    pub fn push(&mut self, obj: InfoObject) {
+        match &mut self.0 {
+            ObjectRepr::Empty => self.0 = ObjectRepr::One(obj),
+            ObjectRepr::One(_) => {
+                let ObjectRepr::One(first) = std::mem::take(&mut self.0) else {
+                    unreachable!()
+                };
+                self.0 = ObjectRepr::Many(vec![first, obj]);
+            }
+            ObjectRepr::Many(v) => v.push(obj),
+        }
+    }
+
+    /// The objects as a contiguous slice.
+    pub fn as_slice(&self) -> &[InfoObject] {
+        match &self.0 {
+            ObjectRepr::Empty => &[],
+            ObjectRepr::One(obj) => std::slice::from_ref(obj),
+            ObjectRepr::Many(v) => v,
+        }
+    }
+
+    /// The objects as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [InfoObject] {
+        match &mut self.0 {
+            ObjectRepr::Empty => &mut [],
+            ObjectRepr::One(obj) => std::slice::from_mut(obj),
+            ObjectRepr::Many(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for ObjectList {
+    type Target = [InfoObject];
+    fn deref(&self) -> &[InfoObject] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for ObjectList {
+    fn deref_mut(&mut self) -> &mut [InfoObject] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for ObjectList {
+    fn eq(&self, other: &ObjectList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<InfoObject>> for ObjectList {
+    fn eq(&self, other: &Vec<InfoObject>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<InfoObject>> for ObjectList {
+    fn from(v: Vec<InfoObject>) -> ObjectList {
+        ObjectList(ObjectRepr::Many(v))
+    }
+}
+
+impl FromIterator<InfoObject> for ObjectList {
+    fn from_iter<I: IntoIterator<Item = InfoObject>>(iter: I) -> ObjectList {
+        let mut list = ObjectList::new();
+        for obj in iter {
+            list.push(obj);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a ObjectList {
+    type Item = &'a InfoObject;
+    type IntoIter = std::slice::Iter<'a, InfoObject>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut ObjectList {
+    type Item = &'a mut InfoObject;
+    type IntoIter = std::slice::IterMut<'a, InfoObject>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
 /// A full ASDU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Asdu {
@@ -504,7 +627,7 @@ pub struct Asdu {
     /// Common address of ASDU (the station address).
     pub common_address: u16,
     /// The information objects.
-    pub objects: Vec<InfoObject>,
+    pub objects: ObjectList,
 }
 
 impl Asdu {
@@ -515,7 +638,7 @@ impl Asdu {
             sequence: false,
             cot,
             common_address,
-            objects: Vec::new(),
+            objects: ObjectList::new(),
         }
     }
 
@@ -652,7 +775,7 @@ impl Asdu {
             u32::from_le_bytes(bytes)
         };
 
-        let mut objects = Vec::with_capacity(count);
+        let mut objects = ObjectList::with_capacity(count);
         let mut off = 0usize;
         let mut base_ioa = 0u32;
         for i in 0..count {

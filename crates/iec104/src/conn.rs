@@ -578,7 +578,7 @@ mod tests {
 
         // Out-of-sequence I-frame: protocol error only.
         let mut conn = Connection::new(Role::Controlling, ConnConfig::default(), 0.0);
-        conn.attach_metrics(metrics.clone());
+        conn.attach_metrics(metrics);
         conn.on_apdu(&Apdu::i_frame(5, 0, asdu()), 1.0);
         assert!(conn.is_closed());
 

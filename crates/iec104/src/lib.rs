@@ -28,6 +28,8 @@
 //! * [`apdu`] — whole application protocol data units and a streaming decoder
 //!   (several APDUs commonly share one TCP segment).
 //! * [`parser`] — the strict ("Wireshark baseline") and tolerant parsers.
+//! * [`scan`] — zero-copy frame delimitation shared by the streaming
+//!   decoders (frames are byte ranges over a compacting buffer).
 //! * [`conn`] — the IEC 104 connection state machine (STARTDT/STOPDT,
 //!   T0–T3 timers, k/w flow control).
 //! * [`tokens`] — APDU tokenisation for Markov/n-gram profiling (Table 4).
@@ -63,6 +65,7 @@ pub mod dialect;
 pub mod elements;
 pub mod metrics;
 pub mod parser;
+pub mod scan;
 pub mod tokens;
 pub mod types;
 

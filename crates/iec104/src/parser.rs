@@ -15,7 +15,9 @@ use crate::apdu::{Apdu, StreamDecoder, StreamItem};
 use crate::asdu::IoValue;
 use crate::cot::Cause;
 use crate::dialect::Dialect;
+use crate::scan::{FrameScanner, ScanKind};
 use crate::types::TypeClass;
+use std::ops::Range;
 
 /// Number of I-format frames the tolerant parser accumulates before
 /// committing to a dialect.
@@ -188,7 +190,10 @@ fn plausibility(apdu: &Apdu) -> f64 {
 /// Only I-format frames discriminate (S/U frames carry no ASDU), but passing
 /// a mixed set is fine. Ties preserve the candidate order, which prefers the
 /// standard dialect.
-pub fn detect_dialect(frames: &[Vec<u8>]) -> Vec<DialectScore> {
+///
+/// Accepts any slice of byte-slice-like frames (`&[Vec<u8>]`, `&[&[u8]]`,
+/// …), so callers holding borrowed frames need not materialize owned copies.
+pub fn detect_dialect<F: AsRef<[u8]>>(frames: &[F]) -> Vec<DialectScore> {
     let mut scores: Vec<DialectScore> = Dialect::CANDIDATES
         .iter()
         .map(|&dialect| {
@@ -196,6 +201,7 @@ pub fn detect_dialect(frames: &[Vec<u8>]) -> Vec<DialectScore> {
             let mut parsed = 0usize;
             let mut total = 0usize;
             for frame in frames {
+                let frame = frame.as_ref();
                 // Junk chunks (the tolerant delimiter emits non-0x68 byte
                 // runs as-is) carry no dialect evidence: skip them before
                 // scoring so they don't inflate `total` and skew the
@@ -225,6 +231,15 @@ pub fn detect_dialect(frames: &[Vec<u8>]) -> Vec<DialectScore> {
     scores
 }
 
+/// Score candidate dialects over owned frames.
+#[deprecated(
+    since = "0.3.0",
+    note = "use detect_dialect, which accepts any slice of byte slices"
+)]
+pub fn detect_dialect_owned(frames: &[Vec<u8>]) -> Vec<DialectScore> {
+    detect_dialect(frames)
+}
+
 /// The paper-style tolerant parser with per-stream dialect detection.
 ///
 /// Frames are buffered until [`DETECTION_WINDOW`] I-format frames have been
@@ -233,8 +248,13 @@ pub fn detect_dialect(frames: &[Vec<u8>]) -> Vec<DialectScore> {
 /// decision the parser streams frames through directly.
 #[derive(Debug)]
 pub struct TolerantParser {
-    raw: Vec<u8>,
-    window: Vec<Vec<u8>>,
+    scanner: FrameScanner,
+    /// Pre-decision arena: windowed frames are copied out of the scanner
+    /// (its ranges die on the next `feed`), bounded by the detection window.
+    /// Cleared as soon as the window drains; post-decision frames never
+    /// touch it.
+    held: Vec<u8>,
+    window: Vec<(ScanKind, Range<usize>)>,
     i_frames_seen: usize,
     decided: Option<Dialect>,
     stats: ComplianceStats,
@@ -250,7 +270,8 @@ impl TolerantParser {
     /// A fresh tolerant parser.
     pub fn new() -> Self {
         TolerantParser {
-            raw: Vec::new(),
+            scanner: FrameScanner::new(),
+            held: Vec::new(),
             window: Vec::new(),
             i_frames_seen: 0,
             decided: None,
@@ -272,9 +293,12 @@ impl TolerantParser {
     /// Feed TCP payload bytes. Returns decoded frames (possibly empty while
     /// evidence is still accumulating).
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<StreamItem> {
-        self.raw.extend_from_slice(bytes);
-        self.delimit();
-        if self.decided.is_none() && self.i_frames_seen >= DETECTION_WINDOW {
+        self.scanner.feed(bytes);
+        if let Some(dialect) = self.decided {
+            return self.stream_through(dialect);
+        }
+        self.buffer_window();
+        if self.i_frames_seen >= DETECTION_WINDOW {
             self.decide();
         }
         self.drain_if_decided()
@@ -283,42 +307,38 @@ impl TolerantParser {
     /// Decide on the accumulated evidence and emit everything buffered.
     /// Call at end-of-stream.
     pub fn flush(&mut self) -> Vec<StreamItem> {
-        self.delimit();
-        if self.decided.is_none() {
-            self.decide();
+        if let Some(dialect) = self.decided {
+            // Post-decision feeds stream frames through immediately; at most
+            // a partial frame remains buffered, and it stays pending.
+            return self.stream_through(dialect);
         }
+        self.buffer_window();
+        self.decide();
         self.drain_if_decided()
     }
 
-    fn delimit(&mut self) {
-        loop {
-            if self.raw.len() < 2 {
-                break;
-            }
-            if self.raw[0] != crate::apci::START_BYTE {
-                let skip = self
-                    .raw
-                    .iter()
-                    .position(|&b| b == crate::apci::START_BYTE)
-                    .unwrap_or(self.raw.len());
-                let junk: Vec<u8> = self.raw.drain(..skip).collect();
-                self.window.push(junk);
-                continue;
-            }
-            let total = 2 + self.raw[1] as usize;
-            if self.raw.len() < total {
-                break;
-            }
-            let frame: Vec<u8> = self.raw.drain(..total).collect();
-            if frame.len() >= 3 && frame[2] & 0x01 == 0 {
+    /// Pull every delimited item out of the scanner into the held window.
+    /// Pre-decision only: scanner ranges die on the next `feed`, so the
+    /// bytes are copied once into the arena until the dialect is known.
+    fn buffer_window(&mut self) {
+        while let Some(sf) = self.scanner.next_frame() {
+            let bytes = self.scanner.slice(&sf.range);
+            if sf.kind == ScanKind::Frame && bytes.len() >= 3 && bytes[2] & 0x01 == 0 {
                 self.i_frames_seen += 1;
             }
-            self.window.push(frame);
+            let start = self.held.len();
+            self.held.extend_from_slice(bytes);
+            self.window.push((sf.kind, start..self.held.len()));
         }
     }
 
     fn decide(&mut self) {
-        let scores = detect_dialect(&self.window);
+        let frames: Vec<&[u8]> = self
+            .window
+            .iter()
+            .map(|(_, range)| &self.held[range.clone()])
+            .collect();
+        let scores = detect_dialect(&frames);
         // With no I-frame evidence at all, default to standard.
         let best = scores
             .first()
@@ -332,23 +352,42 @@ impl TolerantParser {
         let Some(dialect) = self.decided else {
             return Vec::new();
         };
+        let mut items = Vec::with_capacity(self.window.len());
+        for (kind, range) in self.window.drain(..) {
+            let frame = &self.held[range];
+            let item = Self::classify(kind, frame, dialect);
+            self.stats.record(&item);
+            items.push(item);
+        }
+        self.held.clear();
+        items
+    }
+
+    /// Decode every delimited item directly off the scanner buffer under the
+    /// decided dialect — the post-decision hot path, no frame copies for
+    /// well-formed traffic.
+    fn stream_through(&mut self, dialect: Dialect) -> Vec<StreamItem> {
         let mut items = Vec::new();
-        for frame in self.window.drain(..) {
-            let item = if frame.first() != Some(&crate::apci::START_BYTE) {
-                StreamItem::Malformed(
-                    frame.clone(),
-                    crate::Error::BadStartByte(frame.first().copied().unwrap_or(0)),
-                )
-            } else {
-                match Apdu::decode(&frame, dialect) {
-                    Ok(apdu) => StreamItem::Apdu(apdu),
-                    Err(e) => StreamItem::Malformed(frame, e),
-                }
-            };
+        while let Some(sf) = self.scanner.next_frame() {
+            let frame = self.scanner.slice(&sf.range);
+            let item = Self::classify(sf.kind, frame, dialect);
             self.stats.record(&item);
             items.push(item);
         }
         items
+    }
+
+    fn classify(kind: ScanKind, frame: &[u8], dialect: Dialect) -> StreamItem {
+        match kind {
+            ScanKind::Junk => StreamItem::Malformed(
+                frame.to_vec(),
+                crate::Error::BadStartByte(frame.first().copied().unwrap_or(0)),
+            ),
+            ScanKind::Frame => match Apdu::decode(frame, dialect) {
+                Ok(apdu) => StreamItem::Apdu(apdu),
+                Err(e) => StreamItem::Malformed(frame.to_vec(), e),
+            },
+        }
     }
 }
 

@@ -1,0 +1,169 @@
+//! Zero-copy frame delimitation over a TCP byte stream.
+//!
+//! [`FrameScanner`] buffers fed bytes and yields [`ScannedFrame`]s — byte
+//! *ranges* over its internal buffer, classified as a complete IEC 104
+//! frame (start byte + length octet + body) or a junk run between frames.
+//! Consumers slice the buffer through [`FrameScanner::slice`]; nothing is
+//! copied to delimit a frame.
+//!
+//! The consumed prefix is reclaimed lazily: [`FrameScanner::feed`] compacts
+//! the buffer (one `memmove` of the unconsumed tail, typically a partial
+//! frame of at most a few hundred bytes) before appending, so the cost of
+//! reclamation is amortized to O(1) per fed segment instead of a
+//! `drain(..)` per frame. Invariant: ranges returned by
+//! [`FrameScanner::next_frame`] stay valid until the next `feed` call.
+
+use crate::apci::START_BYTE;
+use std::ops::Range;
+
+/// What a scanned range holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanKind {
+    /// A complete frame: `0x68`, length octet, body.
+    Frame,
+    /// A run of non-frame bytes skipped during resynchronisation.
+    Junk,
+}
+
+/// One delimited item: a classified byte range into the scanner buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedFrame {
+    /// Frame or junk run.
+    pub kind: ScanKind,
+    /// The bytes, as a range resolvable via [`FrameScanner::slice`].
+    pub range: Range<usize>,
+}
+
+/// Incremental frame delimiter. See the module docs for the buffer
+/// lifetime rules.
+#[derive(Debug, Default)]
+pub struct FrameScanner {
+    buf: Vec<u8>,
+    /// Consumed prefix length: everything before `pos` has been yielded.
+    pos: usize,
+}
+
+impl FrameScanner {
+    /// A new, empty scanner.
+    pub fn new() -> FrameScanner {
+        FrameScanner::default()
+    }
+
+    /// Append segment bytes, first reclaiming the consumed prefix.
+    /// Invalidates ranges returned by earlier [`Self::next_frame`] calls.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos > 0 {
+            let len = self.buf.len();
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(len - self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete frame or junk run, if one is available. Returns
+    /// `None` when the buffer holds only a partial frame (or a single
+    /// non-start byte that the next segment may extend).
+    pub fn next_frame(&mut self) -> Option<ScannedFrame> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 2 {
+            return None;
+        }
+        if self.buf[self.pos] != START_BYTE {
+            // Resynchronise: everything up to the next plausible start byte
+            // is one junk run.
+            let skip = self.buf[self.pos..]
+                .iter()
+                .position(|&b| b == START_BYTE)
+                .unwrap_or(avail);
+            let range = self.pos..self.pos + skip;
+            self.pos += skip;
+            return Some(ScannedFrame {
+                kind: ScanKind::Junk,
+                range,
+            });
+        }
+        let total = 2 + self.buf[self.pos + 1] as usize;
+        if avail < total {
+            return None;
+        }
+        let range = self.pos..self.pos + total;
+        self.pos += total;
+        Some(ScannedFrame {
+            kind: ScanKind::Frame,
+            range,
+        })
+    }
+
+    /// Resolve a range from [`Self::next_frame`] to its bytes.
+    pub fn slice(&self, range: &Range<usize>) -> &[u8] {
+        &self.buf[range.clone()]
+    }
+
+    /// Bytes buffered but not yet yielded (diagnostic).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_frame_yielded_once() {
+        let mut sc = FrameScanner::new();
+        sc.feed(&[0x68, 0x04, 0x0B, 0x00, 0x00, 0x00]);
+        let f = sc.next_frame().unwrap();
+        assert_eq!(f.kind, ScanKind::Frame);
+        assert_eq!(sc.slice(&f.range), &[0x68, 0x04, 0x0B, 0x00, 0x00, 0x00]);
+        assert!(sc.next_frame().is_none());
+        assert_eq!(sc.pending(), 0);
+    }
+
+    #[test]
+    fn partial_frame_waits_for_more() {
+        let mut sc = FrameScanner::new();
+        sc.feed(&[0x68, 0x04, 0x0B]);
+        assert!(sc.next_frame().is_none());
+        assert_eq!(sc.pending(), 3);
+        sc.feed(&[0x00, 0x00, 0x00]);
+        assert_eq!(sc.next_frame().unwrap().kind, ScanKind::Frame);
+    }
+
+    #[test]
+    fn junk_run_precedes_frame() {
+        let mut sc = FrameScanner::new();
+        sc.feed(&[0xDE, 0xAD, 0x68, 0x04, 0x0B, 0x00, 0x00, 0x00]);
+        let junk = sc.next_frame().unwrap();
+        assert_eq!(junk.kind, ScanKind::Junk);
+        assert_eq!(sc.slice(&junk.range), &[0xDE, 0xAD]);
+        assert_eq!(sc.next_frame().unwrap().kind, ScanKind::Frame);
+    }
+
+    #[test]
+    fn single_trailing_byte_not_yielded_as_junk() {
+        // A lone non-start byte may be extended by the next segment; the
+        // drain-based decoder buffered it, so the scanner must too.
+        let mut sc = FrameScanner::new();
+        sc.feed(&[0xDE]);
+        assert!(sc.next_frame().is_none());
+        sc.feed(&[0xAD]);
+        let junk = sc.next_frame().unwrap();
+        assert_eq!(junk.kind, ScanKind::Junk);
+        assert_eq!(sc.slice(&junk.range), &[0xDE, 0xAD]);
+    }
+
+    #[test]
+    fn compaction_preserves_partial_frame() {
+        let mut sc = FrameScanner::new();
+        let mut stream = vec![0x68, 0x04, 0x0B, 0x00, 0x00, 0x00];
+        stream.extend([0x68, 0x04]); // partial second frame
+        sc.feed(&stream);
+        assert_eq!(sc.next_frame().unwrap().kind, ScanKind::Frame);
+        assert!(sc.next_frame().is_none());
+        sc.feed(&[0x0B, 0x00, 0x00, 0x00]); // compacts, then completes
+        let f = sc.next_frame().unwrap();
+        assert_eq!(sc.slice(&f.range), &[0x68, 0x04, 0x0B, 0x00, 0x00, 0x00]);
+    }
+}

@@ -124,6 +124,107 @@ impl std::fmt::Display for Token {
     }
 }
 
+/// A densely interned token id (see [`TokenTable`]).
+///
+/// Ids are handed out in first-appearance order, so they index directly into
+/// per-chain arrays: the Markov layer stores transition counts in a flat
+/// `n × n` matrix over ids instead of nested token-keyed maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct TokenId(u16);
+
+impl TokenId {
+    /// The id as an array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The token universe is tiny and fixed: `S`, the six U functions, and
+/// `I(code)` for `code` in `0..=255`. `slot` maps each token to a unique
+/// cell of that universe so interning is one array lookup, no hashing.
+const TOKEN_UNIVERSE: usize = 7 + 256;
+
+fn slot(t: Token) -> usize {
+    match t {
+        Token::S => 0,
+        Token::U1 => 1,
+        Token::U2 => 2,
+        Token::U4 => 3,
+        Token::U8 => 4,
+        Token::U16 => 5,
+        Token::U32 => 6,
+        Token::I(code) => 7 + code as usize,
+    }
+}
+
+/// Interns [`Token`]s to dense [`TokenId`]s in first-appearance order.
+///
+/// Rendering resolves ids back to tokens (and names) via
+/// [`TokenTable::resolve`]; the hot counting loops only ever touch the ids.
+#[derive(Debug, Clone)]
+pub struct TokenTable {
+    /// `slot -> id + 1`, 0 meaning "not interned yet".
+    by_slot: Box<[u16; TOKEN_UNIVERSE]>,
+    tokens: Vec<Token>,
+}
+
+impl Default for TokenTable {
+    fn default() -> TokenTable {
+        TokenTable {
+            by_slot: Box::new([0u16; TOKEN_UNIVERSE]),
+            tokens: Vec::new(),
+        }
+    }
+}
+
+impl TokenTable {
+    /// A fresh, empty table.
+    pub fn new() -> TokenTable {
+        TokenTable::default()
+    }
+
+    /// Intern `t`, returning its id (existing or newly assigned).
+    pub fn intern(&mut self, t: Token) -> TokenId {
+        let s = slot(t);
+        let entry = self.by_slot[s];
+        if entry != 0 {
+            return TokenId(entry - 1);
+        }
+        let id = self.tokens.len() as u16;
+        self.tokens.push(t);
+        self.by_slot[s] = id + 1;
+        TokenId(id)
+    }
+
+    /// The id of `t`, if it has been interned.
+    pub fn get(&self, t: Token) -> Option<TokenId> {
+        match self.by_slot[slot(t)] {
+            0 => None,
+            n => Some(TokenId(n - 1)),
+        }
+    }
+
+    /// The token behind an id. Panics on an id from another table.
+    pub fn resolve(&self, id: TokenId) -> Token {
+        self.tokens[id.index()]
+    }
+
+    /// Number of interned tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// All interned tokens in id order.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +286,40 @@ mod tests {
         let mut toks = vec![Token::I(36), Token::S, Token::U16, Token::I(13)];
         toks.sort();
         assert_eq!(toks, vec![Token::S, Token::U16, Token::I(13), Token::I(36)]);
+    }
+
+    #[test]
+    fn interning_is_dense_and_first_appearance_ordered() {
+        let mut table = TokenTable::new();
+        let a = table.intern(Token::I(36));
+        let b = table.intern(Token::S);
+        assert_eq!(table.intern(Token::I(36)), a);
+        assert_eq!((a.index(), b.index()), (0, 1));
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.resolve(a), Token::I(36));
+        assert_eq!(table.resolve(b), Token::S);
+        assert_eq!(table.get(Token::U16), None);
+        assert_eq!(table.tokens(), &[Token::I(36), Token::S]);
+    }
+
+    #[test]
+    fn every_token_gets_a_distinct_id() {
+        let mut table = TokenTable::new();
+        let mut all = vec![
+            Token::S,
+            Token::U1,
+            Token::U2,
+            Token::U4,
+            Token::U8,
+            Token::U16,
+            Token::U32,
+        ];
+        all.extend((0..=255u8).map(Token::I));
+        let ids: Vec<TokenId> = all.iter().map(|&t| table.intern(t)).collect();
+        for (i, (&t, &id)) in all.iter().zip(&ids).enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(table.resolve(id), t);
+            assert_eq!(table.get(t), Some(id));
+        }
     }
 }

@@ -11,11 +11,108 @@ use uncharted_iec104::asdu::{Asdu, InfoObject, IoValue};
 use uncharted_iec104::cot::{Cause, Cot};
 use uncharted_iec104::dialect::Dialect;
 use uncharted_iec104::elements::{Cp56Time2a, Nva, Qds, Siq};
+use uncharted_iec104::metrics::Iec104Metrics;
 use uncharted_iec104::parser::{StrictParser, TolerantParser};
+use uncharted_iec104::scan::{FrameScanner, ScanKind};
 use uncharted_iec104::types::TypeId;
+use uncharted_iec104::Error;
+use uncharted_obs::MetricsRegistry;
 
 fn arb_seq() -> impl Strategy<Value = u16> {
     0u16..SEQ_MODULO
+}
+
+/// One piece of a junk-interleaved byte stream, encoded against a dialect.
+#[derive(Debug, Clone)]
+enum Piece {
+    /// A well-formed I-frame carrying one float measurement.
+    I(u16, f32),
+    /// A supervisory acknowledgement.
+    S(u16),
+    /// A TESTFR keep-alive.
+    U,
+    /// Raw bytes between frames (may themselves contain start bytes).
+    Junk(Vec<u8>),
+    /// A delimitable frame (start byte + honest length) with a random body
+    /// that may or may not decode.
+    Delimited(Vec<u8>),
+}
+
+impl Piece {
+    fn encode(&self, dialect: Dialect) -> Vec<u8> {
+        match self {
+            Piece::I(seq, v) => {
+                let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 1)
+                    .with_object(InfoObject::new(700, IoValue::FloatMeasurement {
+                        value: *v,
+                        qds: Qds::GOOD,
+                    }));
+                Apdu::i_frame(*seq, 0, asdu).encode(dialect).unwrap()
+            }
+            Piece::S(seq) => Apdu::s_frame(*seq).encode(dialect).unwrap(),
+            Piece::U => Apdu::u_frame(UFunction::TestFrAct).encode(dialect).unwrap(),
+            Piece::Junk(bytes) => bytes.clone(),
+            Piece::Delimited(body) => {
+                let mut f = vec![0x68, body.len() as u8];
+                f.extend_from_slice(body);
+                f
+            }
+        }
+    }
+}
+
+fn arb_pieces() -> impl Strategy<Value = Vec<Piece>> {
+    prop::collection::vec(
+        prop_oneof![
+            (arb_seq(), any::<f32>().prop_filter("finite", |f| f.is_finite()))
+                .prop_map(|(s, v)| Piece::I(s, v)),
+            arb_seq().prop_map(Piece::S),
+            Just(Piece::U),
+            prop::collection::vec(any::<u8>(), 1..12).prop_map(Piece::Junk),
+            prop::collection::vec(any::<u8>(), 4..30).prop_map(Piece::Delimited),
+        ],
+        1..24,
+    )
+}
+
+/// Cut a stream into contiguous segments at pseudo-random points.
+fn segment(stream: &[u8], cut_points: Vec<usize>) -> Vec<&[u8]> {
+    let mut cuts: Vec<usize> = cut_points
+        .into_iter()
+        .map(|c| c % stream.len().max(1))
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut pieces = Vec::new();
+    let mut prev = 0;
+    for c in cuts {
+        pieces.push(&stream[prev..c]);
+        prev = c;
+    }
+    pieces.push(&stream[prev..]);
+    pieces
+}
+
+/// The pre-PR delimitation loop: a growing `Vec<u8>` buffer drained one
+/// frame (or junk run) at a time. Kept here as the executable reference the
+/// zero-copy [`FrameScanner`] must match byte for byte.
+fn drain_reference_scan(buf: &mut Vec<u8>) -> Vec<(ScanKind, Vec<u8>)> {
+    let mut out = Vec::new();
+    loop {
+        if buf.len() < 2 {
+            return out;
+        }
+        if buf[0] != 0x68 {
+            let skip = buf.iter().position(|&b| b == 0x68).unwrap_or(buf.len());
+            out.push((ScanKind::Junk, buf.drain(..skip).collect()));
+            continue;
+        }
+        let total = 2 + buf[1] as usize;
+        if buf.len() < total {
+            return out;
+        }
+        out.push((ScanKind::Frame, buf.drain(..total).collect()));
+    }
 }
 
 fn arb_dialect() -> impl Strategy<Value = Dialect> {
@@ -231,5 +328,86 @@ proptest! {
         prop_assert_eq!(p.detected(), Some(dialect));
         prop_assert_eq!(items.len(), n);
         prop_assert!(items.iter().all(|i| matches!(i, StreamItem::Apdu(_))));
+    }
+
+    /// The zero-copy [`FrameScanner`] yields byte-identical frames and junk
+    /// runs, in the same order, as the drain-based delimitation loop it
+    /// replaced — on junk-interleaved streams under arbitrary segmentation.
+    #[test]
+    fn frame_scanner_matches_drain_reference(
+        dialect in arb_dialect(),
+        pieces in arb_pieces(),
+        cut_points in prop::collection::vec(1usize..2000, 0..12),
+    ) {
+        let stream: Vec<u8> = pieces.iter().flat_map(|p| p.encode(dialect)).collect();
+        let mut scanner = FrameScanner::new();
+        let mut reference = Vec::new();
+        for seg in segment(&stream, cut_points) {
+            scanner.feed(seg);
+            reference.extend_from_slice(seg);
+            let expected = drain_reference_scan(&mut reference);
+            let mut got = Vec::new();
+            while let Some(f) = scanner.next_frame() {
+                got.push((f.kind, scanner.slice(&f.range).to_vec()));
+            }
+            prop_assert_eq!(got, expected);
+        }
+        // Both hold the same unconsumed partial-frame tail.
+        prop_assert_eq!(scanner.pending(), reference.len());
+    }
+
+    /// Decoding a junk-interleaved dialect stream through the zero-copy
+    /// [`StreamDecoder`] produces the same items *and* the same obs counter
+    /// fingerprint as a reference decode built on the drain-based scanner.
+    #[test]
+    fn stream_decoder_fingerprint_matches_drain_reference(
+        dialect in arb_dialect(),
+        pieces in arb_pieces(),
+        cut_points in prop::collection::vec(1usize..2000, 0..12),
+    ) {
+        let stream: Vec<u8> = pieces.iter().flat_map(|p| p.encode(dialect)).collect();
+        let segments = segment(&stream, cut_points);
+
+        let new_reg = MetricsRegistry::new();
+        let new_metrics = Iec104Metrics::register(&new_reg);
+        let mut dec = StreamDecoder::new(dialect);
+        let mut new_items = Vec::new();
+        for seg in &segments {
+            new_items.extend(dec.feed_with(seg, &new_metrics));
+        }
+
+        let ref_reg = MetricsRegistry::new();
+        let ref_metrics = Iec104Metrics::register(&ref_reg);
+        let mut buf = Vec::new();
+        let mut ref_items = Vec::new();
+        for seg in &segments {
+            buf.extend_from_slice(seg);
+            for (kind, bytes) in drain_reference_scan(&mut buf) {
+                match kind {
+                    ScanKind::Junk => {
+                        ref_metrics.junk_octets_skipped.add(bytes.len() as u64);
+                        let first = bytes.first().copied().unwrap_or(0);
+                        ref_items.push(StreamItem::Malformed(bytes, Error::BadStartByte(first)));
+                    }
+                    ScanKind::Frame => match Apdu::decode(&bytes, dialect) {
+                        Ok(apdu) => {
+                            ref_metrics.apdus_parsed(dialect).inc();
+                            ref_metrics.apdu_length_octets.observe(bytes.len() as u64);
+                            ref_items.push(StreamItem::Apdu(apdu));
+                        }
+                        Err(e) => {
+                            ref_metrics.malformed_frames.inc();
+                            ref_items.push(StreamItem::Malformed(bytes, e));
+                        }
+                    },
+                }
+            }
+        }
+
+        prop_assert_eq!(new_items, ref_items);
+        prop_assert_eq!(
+            new_reg.snapshot().counter_fingerprint(),
+            ref_reg.snapshot().counter_fingerprint()
+        );
     }
 }

@@ -98,12 +98,19 @@ pub struct DirectionStats {
     pub payload_bytes: usize,
     /// Timestamps of every segment in this direction.
     pub times: Vec<f64>,
-    /// The reassembled application byte stream.
+    /// The reassembled application byte stream (append-only arena: bytes
+    /// are written exactly once, at delivery).
     pub stream: Vec<u8>,
     /// Next expected sequence number (reassembly cursor).
     next_seq: Option<u32>,
-    /// Out-of-order segments awaiting the gap to fill.
-    pending: BTreeMap<u32, Vec<u8>>,
+    /// Out-of-order segments awaiting the gap to fill: sequence number →
+    /// byte range in `ooo`.
+    pending: BTreeMap<u32, std::ops::Range<usize>>,
+    /// Side arena holding out-of-order payloads, copied once on arrival.
+    /// Ranges abandoned by keep-longer collisions or overlap trims stay in
+    /// place; the whole arena is reclaimed when `pending` empties, so it
+    /// never outgrows one reordering episode.
+    ooo: Vec<u8>,
     /// Count of duplicate (retransmitted) payload segments seen.
     pub retransmissions: usize,
     /// In-order segments delivered to `stream` (reassembly successes).
@@ -124,16 +131,58 @@ impl DirectionStats {
             return;
         }
         let seq = pkt.tcp.seq;
-        self.next_seq.get_or_insert(seq);
-        // Buffer the segment as-is; `flush` decides (modulo 2^32, relative
-        // to the cursor) whether it is in-order, future, a duplicate, or a
-        // partial overlap needing its already-delivered prefix trimmed. On
-        // a same-seq collision keep the longer payload.
-        let entry = self.pending.entry(seq).or_default();
+        let next = *self.next_seq.get_or_insert(seq);
+        if self.pending.is_empty() {
+            // Fast path: with nothing buffered the segment's fate depends
+            // only on its position (modulo 2^32) relative to the cursor, so
+            // in-order payload — and the new tail of a partial overlap —
+            // goes straight into `stream` without an intermediate copy.
+            let rel = seq.wrapping_sub(next) as i32;
+            if rel == 0 {
+                self.deliver(next, pkt.payload.len(), |stream, _| {
+                    stream.extend_from_slice(&pkt.payload)
+                });
+                return;
+            }
+            if rel < 0 {
+                // The prefix up to the cursor is a retransmission, but any
+                // bytes past it are new data: trim and deliver the tail.
+                self.retransmissions += 1;
+                let overlap = next.wrapping_sub(seq) as usize;
+                if overlap < pkt.payload.len() {
+                    self.deliver(next, pkt.payload.len() - overlap, |stream, _| {
+                        stream.extend_from_slice(&pkt.payload[overlap..])
+                    });
+                }
+                return;
+            }
+            // rel > 0: a future segment — fall through and buffer it.
+        }
+        // Buffer the segment: one copy into the side arena, a range in
+        // `pending`. `flush` decides (modulo 2^32, relative to the cursor)
+        // whether it is in-order, future, a duplicate, or a partial overlap
+        // needing its already-delivered prefix trimmed. On a same-seq
+        // collision keep the longer payload.
+        let start = self.ooo.len();
+        let entry = self.pending.entry(seq).or_insert(start..start);
         if pkt.payload.len() > entry.len() {
-            *entry = pkt.payload.clone();
+            self.ooo.extend_from_slice(&pkt.payload);
+            *entry = start..self.ooo.len();
         }
         self.flush();
+    }
+
+    /// Advance the cursor by `len` bytes and append them to `stream` via
+    /// `write` (which gets `(stream, ooo)` so arena ranges can deliver too).
+    fn deliver(&mut self, next: u32, len: usize, write: impl FnOnce(&mut Vec<u8>, &[u8])) {
+        let advanced = next.wrapping_add(len as u32);
+        if advanced < next {
+            self.seq_wraps += 1;
+        }
+        self.next_seq = Some(advanced);
+        self.payload_bytes += len;
+        write(&mut self.stream, &self.ooo);
+        self.segments_delivered += 1;
     }
 
     fn flush(&mut self) {
@@ -155,31 +204,32 @@ impl DirectionStats {
                 // True gap: wait for the missing segment.
                 break;
             }
-            let data = self.pending.remove(&seq).expect("present");
+            let range = self.pending.remove(&seq).expect("present");
             if rel == 0 {
-                let advanced = next.wrapping_add(data.len() as u32);
-                if advanced < next {
-                    self.seq_wraps += 1;
-                }
-                self.next_seq = Some(advanced);
-                self.payload_bytes += data.len();
-                self.stream.extend_from_slice(&data);
-                self.segments_delivered += 1;
+                self.deliver(next, range.len(), |stream, ooo| {
+                    stream.extend_from_slice(&ooo[range])
+                });
             } else {
                 // Starts before the cursor: the prefix is a retransmission,
                 // but any bytes past the cursor are new data — trim the
                 // delivered prefix and keep the remainder instead of
-                // discarding the whole segment.
+                // discarding the whole segment. The trim is a range
+                // adjustment, not a copy.
                 self.retransmissions += 1;
                 let overlap = next.wrapping_sub(seq) as usize;
-                if overlap < data.len() {
-                    let tail = data[overlap..].to_vec();
-                    let entry = self.pending.entry(next).or_default();
+                if overlap < range.len() {
+                    let tail = range.start + overlap..range.end;
+                    let entry = self.pending.entry(next).or_insert(tail.start..tail.start);
                     if tail.len() > entry.len() {
                         *entry = tail;
                     }
                 }
             }
+        }
+        // Everything buffered was delivered or superseded: reclaim the
+        // arena so it never outgrows one reordering episode.
+        if self.pending.is_empty() && !self.ooo.is_empty() {
+            self.ooo.clear();
         }
     }
 
@@ -325,7 +375,7 @@ pub struct FlowTable {
     /// Finished + in-progress connection records, in first-seen order.
     pub connections: Vec<TcpConnection>,
     /// Index of the live record per key.
-    live: std::collections::HashMap<FlowKey, usize>,
+    live: uncharted_obs::FnvHashMap<FlowKey, usize>,
 }
 
 impl FlowTable {
@@ -396,6 +446,10 @@ impl FlowTable {
         metrics: &NettapMetrics,
     ) -> FlowTable {
         let shards: Vec<(Vec<usize>, FlowTable)> = std::thread::scope(|scope| {
+            // The intermediate collect() is what makes the workers run in
+            // parallel: fusing spawn and join into one lazy chain would
+            // join each thread before spawning the next.
+            #[allow(clippy::needless_collect)]
             let handles: Vec<_> = (0..threads)
                 .map(|me| {
                     scope.spawn(move || {

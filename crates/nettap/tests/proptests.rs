@@ -177,6 +177,76 @@ proptest! {
         prop_assert_eq!(&conn.dir(dir).stream, &data);
     }
 
+    /// Reassembly is also invariant under reordering: deliver the tail
+    /// segments in an adversarial order (reversed, then randomly swapped)
+    /// and the out-of-order arena must still reproduce the exact stream.
+    #[test]
+    fn reassembly_invariant_under_reordering(
+        data in prop::collection::vec(any::<u8>(), 2..400),
+        cuts in prop::collection::vec(1usize..400, 1..8),
+        swaps in prop::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>()),
+            0..6,
+        ),
+    ) {
+        let src = (0x0a000001u32, 40001u16);
+        let dst = (0x0a010203u32, 2404u16);
+        let mut offsets: Vec<usize> = cuts.into_iter().map(|c| c % data.len()).collect();
+        offsets.push(0);
+        offsets.push(data.len());
+        offsets.sort_unstable();
+        offsets.dedup();
+        let mut segs: Vec<(u32, Vec<u8>)> = offsets
+            .windows(2)
+            .map(|w| (1000 + w[0] as u32, data[w[0]..w[1]].to_vec()))
+            .collect();
+        // Keep the opening segment first (it anchors the stream cursor);
+        // scramble everything after it.
+        if segs.len() > 2 {
+            segs[1..].reverse();
+            let tail = segs.len() - 1;
+            for (a, b) in swaps {
+                let (i, j) = (1 + a.index(tail), 1 + b.index(tail));
+                segs.swap(i, j);
+            }
+        }
+        let mut packets = Vec::new();
+        let mut t = 0.0;
+        for (seq, payload) in segs {
+            packets.push(
+                CapturedPacket::build(
+                    t,
+                    MacAddr::from_device_id(1),
+                    MacAddr::from_device_id(2),
+                    src.0,
+                    dst.0,
+                    TcpHeader {
+                        src_port: src.1,
+                        dst_port: dst.1,
+                        seq,
+                        ack: 0,
+                        flags: TcpFlags::ACK.with(TcpFlags::PSH),
+                        window: 8192,
+                    },
+                    &payload,
+                    0,
+                )
+                .parse()
+                .unwrap(),
+            );
+            t += 0.01;
+        }
+        let table = FlowTable::reconstruct(
+            &packets,
+            uncharted_obs::ExecPolicy::Sequential,
+            uncharted_nettap::NettapMetrics::sink(),
+        );
+        prop_assert_eq!(table.len(), 1);
+        let conn = &table.connections[0];
+        let dir = conn.direction_from(uncharted_nettap::stack::SocketAddr::new(src.0, src.1));
+        prop_assert_eq!(&conn.dir(dir).stream, &data);
+    }
+
     #[test]
     fn capture_parse_never_panics_on_junk(frames in prop::collection::vec(
         prop::collection::vec(any::<u8>(), 0..80), 0..10,

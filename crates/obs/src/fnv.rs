@@ -1,0 +1,80 @@
+//! A minimal FNV-1a [`Hasher`] for the pipeline's hot small-key maps.
+//!
+//! The per-packet analysis maps are keyed by tiny fixed-size tuples (IPs,
+//! ports, directions). `std`'s default SipHash is DoS-resistant but pays a
+//! keyed setup and finalisation per lookup that dominates for 8–12-byte
+//! keys; FNV-1a is a two-op-per-byte fold with no setup at all. These maps
+//! index internal state derived from already-validated captures — not
+//! attacker-controlled identifiers — so collision-flooding resistance buys
+//! nothing here.
+//!
+//! Determinism note: hashed maps are only ever *looked up*; every iteration
+//! that reaches output is sorted (or collected into a `BTreeMap`) first, so
+//! the hash function never influences results — only speed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, 64-bit. One multiply and one xor per byte.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for FnvHasher {
+    fn default() -> FnvHasher {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// The `BuildHasher` for [`FnvHasher`]-backed collections.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A `HashMap` using FNV-1a. Drop-in for `std::collections::HashMap` on
+/// small fixed-size keys.
+pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// A `HashSet` using FNV-1a.
+pub type FnvHashSet<T> = HashSet<T, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a reference values.
+        let hash = |bytes: &[u8]| {
+            let mut h = FnvHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FnvHashMap<(u32, u16), &str> = FnvHashMap::default();
+        m.insert((7, 2404), "outstation");
+        assert_eq!(m.get(&(7, 2404)), Some(&"outstation"));
+        assert_eq!(m.get(&(7, 2405)), None);
+    }
+}

@@ -50,11 +50,13 @@
 //! ```
 
 mod exec;
+pub mod fnv;
 mod metrics;
 mod registry;
 mod render;
 
 pub use exec::ExecPolicy;
+pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use metrics::{Counter, Histogram, ShardSpan, Span, Stage};
 pub use registry::{
     CounterSample, HistogramSample, MetricsRegistry, MetricsSnapshot, StageSample,

@@ -246,7 +246,7 @@ impl MetricsSnapshot {
             for h in &self.histograms {
                 // Mean via integer arithmetic (one decimal place) to keep
                 // the renderer float-free and deterministic.
-                let mean_tenths = if h.count == 0 { 0 } else { (h.sum * 10 + h.count / 2) / h.count };
+                let mean_tenths = (h.sum * 10 + h.count / 2).checked_div(h.count).unwrap_or(0);
                 let _ = writeln!(
                     out,
                     "    {:<44} count={} sum={} mean={}.{}",

@@ -627,7 +627,7 @@ mod tests {
     fn setup(o: usize) -> (OutstationSim, PowerGrid, StdRng) {
         let topo = Topology::paper_network();
         let spec = topo.outstation(o).unwrap().clone();
-        let grid = PowerGrid::new(topo.grid.clone());
+        let grid = PowerGrid::new(topo.grid);
         (OutstationSim::new(&spec, Year::Y1), grid, StdRng::seed_from_u64(5))
     }
 

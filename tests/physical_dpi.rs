@@ -74,7 +74,7 @@ fn generator_online_signature_recovered_from_the_tap() {
     assert!(machine.accepts(&samples), "signature must accept");
 
     // And it rejects the same data shuffled (time-reversed).
-    let mut reversed = samples.clone();
+    let mut reversed = samples;
     reversed.reverse();
     assert!(
         !SignatureMachine::new(130.0).accepts(&reversed),

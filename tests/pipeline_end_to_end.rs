@@ -144,8 +144,10 @@ fn deterministic_pipeline() {
     let pa = Pipeline::builder().exec(ExecPolicy::Sequential).build(&a);
     let pb = Pipeline::builder().exec(ExecPolicy::Sequential).build(&b);
     assert_eq!(pa.type_census().counts, pb.type_census().counts);
-    let feats_a: Vec<Vec<f64>> = pa.sessions().iter().map(|s| s.features().selected()).collect();
-    let feats_b: Vec<Vec<f64>> = pb.sessions().iter().map(|s| s.features().selected()).collect();
+    let feats_a: uncharted::analysis::matrix::FeatureMatrix =
+        pa.sessions().iter().map(|s| s.features().selected()).collect();
+    let feats_b: uncharted::analysis::matrix::FeatureMatrix =
+        pb.sessions().iter().map(|s| s.features().selected()).collect();
     let ka = kmeans::kmeans(&uncharted::analysis::session::standardize(&feats_a), 5, 1);
     let kb = kmeans::kmeans(&uncharted::analysis::session::standardize(&feats_b), 5, 1);
     assert_eq!(ka.assignments, kb.assignments);

@@ -28,7 +28,7 @@ pub enum Value {
 }
 
 /// A JSON number (integer-preserving).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Number {
     /// Signed integer.
     Int(i64),
@@ -36,6 +36,22 @@ pub enum Number {
     UInt(u64),
     /// Float.
     Float(f64),
+}
+
+/// Numeric equality across representations: `Int(1)`, `UInt(1)` and
+/// `Float(1.0)` all compare equal, as they serialize indistinguishably.
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        use Number::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a == b,
+            (UInt(a), UInt(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Int(a), UInt(b)) | (UInt(b), Int(a)) => u64::try_from(*a) == Ok(*b),
+            (Int(a), Float(b)) | (Float(b), Int(a)) => *a as f64 == *b,
+            (UInt(a), Float(b)) | (Float(b), UInt(a)) => *a as f64 == *b,
+        }
+    }
 }
 
 impl fmt::Display for Number {
@@ -169,6 +185,14 @@ impl Value {
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
             _ => None,
         }
     }
@@ -445,6 +469,179 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Parse a JSON document into a [`Value`] (recursive descent; integers that
+/// fit stay integers, everything else becomes a float).
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error);
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), Error> {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error)
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'n') => expect(b, pos, b"null").map(|_| Value::Null),
+        Some(b't') => expect(b, pos, b"true").map(|_| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, b"false").map(|_| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error);
+                }
+                *pos += 1;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(Error),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error);
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if b.len() - *pos < 5 {
+                            return Err(Error);
+                        }
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
+                            .map_err(|_| Error)?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| Error)?;
+                        // Surrogates are not paired up; the serializer never
+                        // emits them.
+                        out.push(char::from_u32(code).ok_or(Error)?);
+                        *pos += 4;
+                    }
+                    _ => return Err(Error),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let start = *pos;
+                let mut end = start + 1;
+                while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                    end += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..end]).map_err(|_| Error)?);
+                *pos = end;
+            }
+            None => return Err(Error),
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error)?;
+    if !float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::UInt(v)));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::Int(v)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|v| Value::Number(Number::Float(v)))
+        .map_err(|_| Error)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,5 +677,31 @@ mod tests {
     fn escapes_strings() {
         let v = json!({"q": "a\"b\\c\nd"});
         assert_eq!(to_string(&v).unwrap(), r#"{"q":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn from_str_round_trips() {
+        let rows: Vec<Value> = vec![json!({"k": 1})];
+        let v = json!({
+            "int": 3usize,
+            "neg": -7,
+            "float": 2.5,
+            "s": "a\"b\\c\nd",
+            "arr": ["a", "b"],
+            "rows": rows,
+            "none": Option::<u32>::None,
+            "flag": true,
+        });
+        let compact = from_str(&to_string(&v).unwrap()).unwrap();
+        let pretty = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(compact, v);
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("12 34").is_err());
     }
 }
