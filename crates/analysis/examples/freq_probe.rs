@@ -11,14 +11,24 @@ fn main() {
     let ds = Dataset::ingest_captures(set.captures.iter(), &ctx);
     let series = dpi::series(&ds, &ctx);
     for s in &series {
-        if s.from_server { continue; }
+        if s.from_server {
+            continue;
+        }
         if s.mean() > 55.0 && s.mean() < 65.0 {
             print!("[{:?}] ", s.infer_kind());
             let t0 = s.samples.first().unwrap().0;
             let t1 = s.samples.last().unwrap().0;
-            println!("{} ioa {} n={} mean={:.4} std={:.4} t=[{:.0},{:.0}] types={:?}",
-                uncharted_nettap::ipv4::fmt_addr(s.station_ip), s.ioa, s.samples.len(),
-                s.mean(), s.variance().sqrt(), t0, t1, s.type_ids);
+            println!(
+                "{} ioa {} n={} mean={:.4} std={:.4} t=[{:.0},{:.0}] types={:?}",
+                uncharted_nettap::ipv4::fmt_addr(s.station_ip),
+                s.ioa,
+                s.samples.len(),
+                s.mean(),
+                s.variance().sqrt(),
+                t0,
+                t1,
+                s.type_ids
+            );
         }
     }
 }

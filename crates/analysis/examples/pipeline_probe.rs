@@ -1,12 +1,12 @@
 //! End-to-end pipeline probe (development aid).
 use uncharted_analysis::dataset::Dataset;
 use uncharted_analysis::dpi::{self, TypeCensus};
+use uncharted_analysis::exec::ExecContext;
 use uncharted_analysis::flowstats::FlowStats;
 use uncharted_analysis::kmeans;
 use uncharted_analysis::markov::{self, ChainCensus, Fig13Cluster};
 use uncharted_analysis::matrix::FeatureMatrix;
 use uncharted_analysis::pca::Pca;
-use uncharted_analysis::exec::ExecContext;
 use uncharted_analysis::session::{self, standardize};
 use uncharted_scadasim::scenario::{Scenario, Year};
 use uncharted_scadasim::sim::Simulation;
@@ -16,15 +16,27 @@ fn main() {
     let ctx = ExecContext::default();
     let ds = Dataset::ingest_capture(&set.captures[0], &ctx);
     println!("packets {} pairs {}", ds.packets.len(), ds.timelines.len());
-    println!("malformed outstations (strict): {:?}",
-        ds.fully_malformed_outstations().iter().map(|&ip| uncharted_nettap::ipv4::fmt_addr(ip)).collect::<Vec<_>>());
+    println!(
+        "malformed outstations (strict): {:?}",
+        ds.fully_malformed_outstations()
+            .iter()
+            .map(|&ip| uncharted_nettap::ipv4::fmt_addr(ip))
+            .collect::<Vec<_>>()
+    );
     for (ip, d) in &ds.dialects {
         if !d.is_standard() {
-            println!("  dialect {} -> {}", uncharted_nettap::ipv4::fmt_addr(*ip), d.label());
+            println!(
+                "  dialect {} -> {}",
+                uncharted_nettap::ipv4::fmt_addr(*ip),
+                d.label()
+            );
         }
     }
     let stats = FlowStats::from_flows(&ds.flows);
-    println!("flows: short<1s {} short>=1s {} long {}", stats.short_sub_second, stats.short_longer, stats.long_lived);
+    println!(
+        "flows: short<1s {} short>=1s {} long {}",
+        stats.short_sub_second, stats.short_longer, stats.long_lived
+    );
 
     // Sessions + clustering
     let sessions = session::extract(&ds, &ctx);
@@ -33,7 +45,10 @@ fn main() {
     let z = standardize(&feats);
     let sweep = kmeans::select_k(&z, 2..=8, 7);
     for m in &sweep {
-        println!("  k={} sse={:.1} sil={:.3} ev={:.3}", m.k, m.sse, m.silhouette, m.explained);
+        println!(
+            "  k={} sse={:.1} sil={:.3} ev={:.3}",
+            m.k, m.sse, m.silhouette, m.explained
+        );
     }
     println!("elbow k = {:?}", kmeans::elbow_k(&sweep));
     let res = kmeans::kmeans(&z, 5, 7);
@@ -41,11 +56,22 @@ fn main() {
     // cluster characteristics
     for c in 0..5 {
         let members = res.members(c);
-        let mean_dt: f64 = members.iter().map(|&i| feats[i][0]).sum::<f64>() / members.len().max(1) as f64;
-        let mean_i: f64 = members.iter().map(|&i| feats[i][2]).sum::<f64>() / members.len().max(1) as f64;
-        let mean_s: f64 = members.iter().map(|&i| feats[i][3]).sum::<f64>() / members.len().max(1) as f64;
-        let mean_u: f64 = members.iter().map(|&i| feats[i][4]).sum::<f64>() / members.len().max(1) as f64;
-        println!("  cluster {c}: n={} dt={:.1}s I={:.2} S={:.2} U={:.2}", members.len(), mean_dt, mean_i, mean_s, mean_u);
+        let mean_dt: f64 =
+            members.iter().map(|&i| feats[i][0]).sum::<f64>() / members.len().max(1) as f64;
+        let mean_i: f64 =
+            members.iter().map(|&i| feats[i][2]).sum::<f64>() / members.len().max(1) as f64;
+        let mean_s: f64 =
+            members.iter().map(|&i| feats[i][3]).sum::<f64>() / members.len().max(1) as f64;
+        let mean_u: f64 =
+            members.iter().map(|&i| feats[i][4]).sum::<f64>() / members.len().max(1) as f64;
+        println!(
+            "  cluster {c}: n={} dt={:.1}s I={:.2} S={:.2} U={:.2}",
+            members.len(),
+            mean_dt,
+            mean_i,
+            mean_s,
+            mean_u
+        );
     }
     let pca = Pca::fit(&z);
     println!("pca explained(2) = {:.3}", pca.explained_ratio(2));
@@ -68,18 +94,25 @@ fn main() {
         println!("  I{code}: {n} ({pct:.3}%)");
     }
     for row in dpi::table8(&ds).iter().take(8) {
-        println!("  table8 I{}: {} stations, {:?}", row.type_id, row.station_count, row.symbols);
+        println!(
+            "  table8 I{}: {} stations, {:?}",
+            row.type_id, row.station_count, row.symbols
+        );
     }
     // physical series around the generator-online event
     let series = dpi::series(&ds, &ctx);
     println!("series: {}", series.len());
     let mut kinds: std::collections::BTreeMap<&str, usize> = Default::default();
-    for s in &series { *kinds.entry(s.infer_kind().symbol()).or_default() += 1; }
+    for s in &series {
+        *kinds.entry(s.infer_kind().symbol()).or_default() += 1;
+    }
     println!("inferred kinds: {kinds:?}");
     // variance events anywhere?
     let mut flagged = 0;
     for s in &series {
-        if !dpi::variance_events(s, 30.0, 3.0).is_empty() { flagged += 1; }
+        if !dpi::variance_events(s, 30.0, 3.0).is_empty() {
+            flagged += 1;
+        }
     }
     println!("series with variance events: {flagged}");
 }

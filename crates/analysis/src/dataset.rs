@@ -5,8 +5,9 @@
 //! Conventions follow the paper's network (Fig. 5): outstations listen on
 //! TCP port 2404; anything dialling *to* 2404 is a control server.
 
+use std::borrow::Borrow;
 use std::collections::{BTreeMap, BTreeSet};
-use uncharted_obs::FnvHashMap;
+use std::sync::Mutex;
 use uncharted_iec104::apdu::{StreamDecoder, StreamItemRef};
 use uncharted_iec104::asdu::Asdu;
 use uncharted_iec104::dialect::Dialect;
@@ -15,8 +16,14 @@ use uncharted_iec104::parser::{detect_dialect, DialectScore};
 use uncharted_iec104::tokens::Token;
 use uncharted_nettap::flow::FlowTable;
 use uncharted_nettap::pcap::{Capture, ParsedPacket};
+use uncharted_obs::FnvHashMap;
 
+use crate::dpi::TimeSeries;
 use crate::exec::{threads_context, ExecContext};
+use crate::executor::ExecutorTuning;
+use crate::markov::ChainInfo;
+use crate::session::Session;
+use crate::TypeCensus;
 
 /// The IEC 104 well-known port (what identifies the outstation side).
 pub const IEC104_PORT: u16 = 2404;
@@ -106,71 +113,115 @@ pub struct Dataset {
     pub compliance: BTreeMap<u32, ComplianceEntry>,
     /// Per-pair APDU timelines, sorted by (server, outstation).
     pub timelines: Vec<PairTimeline>,
+    /// Stage results the pipelined executor computed end-to-end on its
+    /// shard workers, waiting to be claimed by the stage drivers.
+    pub(crate) prebuilt: PrebuiltCache,
+}
+
+/// Stage results precomputed by the pipelined executor. Each slot is
+/// claimed (taken) at most once, by the first call to the corresponding
+/// stage driver; later calls recompute from the dataset through the
+/// ordinary code paths, producing identical results. Sequentially built
+/// datasets leave every slot empty.
+#[derive(Debug, Default)]
+pub(crate) struct PrebuiltCache {
+    pub(crate) sessions: Mutex<Option<Vec<Session>>>,
+    pub(crate) census: Mutex<Option<TypeCensus>>,
+    pub(crate) chains: Mutex<Option<Vec<ChainInfo>>>,
+    pub(crate) series: Mutex<Option<Vec<TimeSeries>>>,
 }
 
 impl Dataset {
     /// Ingest from already-parsed packets (must be in time order), under an
     /// [`ExecContext`] choosing the worker count and the metrics sink.
     ///
-    /// Flow reconstruction shards connections by [`FlowKey`] hash; protocol
-    /// analysis shards packets by the outstation IP they feed (the same
-    /// `dst_port == 2404 → dst, else src` rule the decoding pass uses for
-    /// direction). Every piece of analysis state — dialect frame samples,
-    /// stream decoders keyed `(server, outstation, direction)`, the per-flow
-    /// retransmission dedup, compliance counters, pair timelines — is
-    /// affine to a single outstation, so each worker reproduces exactly the
-    /// slice of sequential state for its outstations and the per-shard maps
-    /// are disjoint. Merging them (and sorting timelines by key, which the
-    /// sequential `BTreeMap` does implicitly) yields a `Dataset` — and a set
-    /// of metric counter totals — that is **bit-identical** to the
-    /// single-threaded build at any worker count. Only the stage wall/shard
-    /// timings vary run to run.
+    /// With more than one worker this routes through the pipelined sharded
+    /// executor ([`crate::executor`]): one dispatch pass hands batched
+    /// packets over bounded channels to N shard workers — flows sharded by
+    /// [`FlowKey`] hash, protocol analysis by the outstation IP a packet
+    /// feeds (the same `dst_port == 2404 → dst, else src` rule the decoding
+    /// pass uses for direction) — and each worker runs the full chain
+    /// end-to-end on its shards. Every piece of analysis state — dialect
+    /// frame samples, stream decoders keyed `(server, outstation,
+    /// direction)`, the per-flow retransmission dedup, compliance counters,
+    /// pair timelines — is affine to a single outstation, so each worker
+    /// reproduces exactly the slice of sequential state for its outstations
+    /// and the per-shard maps are disjoint. Merging them once at the end
+    /// (and sorting timelines by key, which the sequential `BTreeMap` does
+    /// implicitly) yields a `Dataset` — and a set of metric counter totals —
+    /// that is **bit-identical** to the single-threaded build at any worker
+    /// count. Only the stage wall/shard timings and the volatile executor
+    /// counters (queue backpressure) vary run to run.
     ///
     /// [`FlowKey`]: uncharted_nettap::flow::FlowKey
     pub fn ingest(packets: Vec<ParsedPacket>, ctx: &ExecContext) -> Dataset {
+        Self::ingest_tuned(packets, ctx, &ExecutorTuning::default())
+    }
+
+    /// [`Dataset::ingest`] with explicit executor tuning (batch size, queue
+    /// depth, fault-injection hooks). Only the executor's stress tests need
+    /// non-default tuning; results are identical under any tuning.
+    #[doc(hidden)]
+    pub fn ingest_tuned(
+        packets: Vec<ParsedPacket>,
+        ctx: &ExecContext,
+        tuning: &ExecutorTuning,
+    ) -> Dataset {
         let m = &ctx.metrics;
         m.nettap.pcap_records_streamed.add(packets.len() as u64);
-        let flows = FlowTable::reconstruct(&packets, ctx.policy, &m.nettap);
-
-        let span = m.protocol_stage.span();
         let workers = ctx.workers();
-        let (dialects, compliance, timelines) = if workers <= 1 {
-            let shard = {
-                let _shard = m.protocol_stage.shard_span(0);
-                analyze_packets(&packets, |_| true, &m.iec104)
+        if workers > 1 {
+            let run = crate::executor::run_pipelined(&packets, ctx, tuning);
+            return Dataset {
+                packets,
+                flows: run.flows,
+                dialects: run.dialects,
+                compliance: run.compliance,
+                timelines: run.timelines,
+                prebuilt: PrebuiltCache {
+                    sessions: Mutex::new(Some(run.sessions)),
+                    census: Mutex::new(Some(run.census)),
+                    chains: Mutex::new(Some(run.chains)),
+                    series: Mutex::new(Some(run.series)),
+                },
             };
-            (shard.dialects, shard.compliance, shard.timelines)
-        } else {
-            let shards = crate::par::par_shards(workers, |me| {
-                let _shard = m.protocol_stage.shard_span(me);
-                analyze_packets(
-                    &packets,
-                    |out_ip| fnv1a_u32(out_ip) % workers as u64 == me as u64,
-                    &m.iec104,
-                )
-            });
-            let mut dialects = BTreeMap::new();
-            let mut compliance = BTreeMap::new();
-            let mut timelines: BTreeMap<(u32, u32), PairTimeline> = BTreeMap::new();
-            for shard in shards {
-                // Outstation state is shard-affine: the maps are disjoint
-                // and their union is the sequential result.
-                dialects.extend(shard.dialects);
-                compliance.extend(shard.compliance);
-                timelines.extend(shard.timelines);
-            }
-            (dialects, compliance, timelines)
+        }
+        let flows = FlowTable::reconstruct(&packets, ctx.policy, &m.nettap);
+        let span = m.protocol_stage.span();
+        let shard = {
+            let _shard = m.protocol_stage.shard_span(0);
+            analyze_packets(&packets, |_| true, &m.iec104)
         };
         m.protocol_stage.add_items(packets.len() as u64);
         drop(span);
-
         Dataset {
             packets,
             flows,
-            dialects,
-            compliance,
-            timelines: timelines.into_values().collect(),
+            dialects: shard.dialects,
+            compliance: shard.compliance,
+            timelines: shard.timelines.into_values().collect(),
+            prebuilt: PrebuiltCache::default(),
         }
+    }
+
+    /// Take the executor-prebuilt session list, if still unclaimed.
+    pub(crate) fn claim_prebuilt_sessions(&self) -> Option<Vec<Session>> {
+        self.prebuilt.sessions.lock().unwrap().take()
+    }
+
+    /// Take the executor-prebuilt typeID census, if still unclaimed.
+    pub(crate) fn claim_prebuilt_census(&self) -> Option<TypeCensus> {
+        self.prebuilt.census.lock().unwrap().take()
+    }
+
+    /// Take the executor-prebuilt chain-census rows, if still unclaimed.
+    pub(crate) fn claim_prebuilt_chains(&self) -> Option<Vec<ChainInfo>> {
+        self.prebuilt.chains.lock().unwrap().take()
+    }
+
+    /// Take the executor-prebuilt time series, if still unclaimed.
+    pub(crate) fn claim_prebuilt_series(&self) -> Option<Vec<TimeSeries>> {
+        self.prebuilt.series.lock().unwrap().take()
     }
 
     /// Ingest one capture under an [`ExecContext`].
@@ -193,25 +244,37 @@ impl Dataset {
     }
 
     /// Ingest one capture.
-    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest_capture` with an `ExecContext`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dataset::ingest_capture` with an `ExecContext`"
+    )]
     pub fn from_capture(capture: &Capture) -> Dataset {
         Dataset::ingest_capture(capture, &ExecContext::sequential())
     }
 
     /// [`Dataset::from_capture`] with a worker-thread count.
-    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest_capture` with an `ExecContext`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dataset::ingest_capture` with an `ExecContext`"
+    )]
     pub fn from_capture_threaded(capture: &Capture, threads: usize) -> Dataset {
         Dataset::ingest_capture(capture, &threads_context(threads))
     }
 
     /// Ingest several captures as one dataset.
-    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest_captures` with an `ExecContext`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dataset::ingest_captures` with an `ExecContext`"
+    )]
     pub fn from_captures<'a, I: IntoIterator<Item = &'a Capture>>(captures: I) -> Dataset {
         Dataset::ingest_captures(captures, &ExecContext::sequential())
     }
 
     /// [`Dataset::from_captures`] with a worker-thread count.
-    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest_captures` with an `ExecContext`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dataset::ingest_captures` with an `ExecContext`"
+    )]
     pub fn from_captures_threaded<'a, I: IntoIterator<Item = &'a Capture>>(
         captures: I,
         threads: usize,
@@ -280,15 +343,15 @@ impl Dataset {
 
 /// The protocol-analysis state for a set of outstations: the piece of a
 /// [`Dataset`] each pipeline worker builds independently.
-struct AnalysisShard {
-    dialects: BTreeMap<u32, Dialect>,
-    compliance: BTreeMap<u32, ComplianceEntry>,
-    timelines: BTreeMap<(u32, u32), PairTimeline>,
+pub(crate) struct AnalysisShard {
+    pub(crate) dialects: BTreeMap<u32, Dialect>,
+    pub(crate) compliance: BTreeMap<u32, ComplianceEntry>,
+    pub(crate) timelines: BTreeMap<(u32, u32), PairTimeline>,
 }
 
 /// FNV-1a over an IP, the shard-assignment hash for outstations (stable
 /// across platforms and releases, unlike `std`'s `Hasher`).
-fn fnv1a_u32(ip: u32) -> u64 {
+pub(crate) fn fnv1a_u32(ip: u32) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in ip.to_le_bytes() {
         h ^= byte as u64;
@@ -308,8 +371,11 @@ fn fnv1a_u32(ip: u32) -> u64 {
 /// Only the tolerant decoders (including the standalone re-decode of TCP
 /// duplicates) record on `metrics`; the strict compliance decoders feed the
 /// discard sink so an APDU is never counted twice.
-fn analyze_packets(
-    packets: &[ParsedPacket],
+///
+/// Generic over `Borrow` so the pipelined executor's shard workers can run
+/// it over their buffered `&ParsedPacket` refs without copying packets.
+pub(crate) fn analyze_packets<P: Borrow<ParsedPacket>>(
+    packets: &[P],
     keep_out: impl Fn(u32) -> bool,
     metrics: &Iec104Metrics,
 ) -> AnalysisShard {
@@ -318,6 +384,7 @@ fn analyze_packets(
     // (bytes + ranges) instead of a Vec per frame.
     let mut frames_by_out: BTreeMap<u32, FrameSample> = BTreeMap::new();
     for pkt in packets {
+        let pkt = pkt.borrow();
         if pkt.tcp.src_port == IEC104_PORT && !pkt.payload.is_empty() && keep_out(pkt.ip.src) {
             let sample = frames_by_out.entry(pkt.ip.src).or_default();
             if sample.len() < 64 {
@@ -328,6 +395,7 @@ fn analyze_packets(
     // Commands from the server are also dialect-bound, so include them
     // when the outstation itself sent nothing (pure backups).
     for pkt in packets {
+        let pkt = pkt.borrow();
         if pkt.tcp.dst_port == IEC104_PORT && !pkt.payload.is_empty() && keep_out(pkt.ip.dst) {
             let sample = frames_by_out.entry(pkt.ip.dst).or_default();
             if sample.len() < 8 {
@@ -375,6 +443,7 @@ fn analyze_packets(
     let mut last_seq: FnvHashMap<(u32, u16, u32, u16), u32> = FnvHashMap::default();
 
     for pkt in packets {
+        let pkt = pkt.borrow();
         if pkt.payload.is_empty() {
             continue;
         }
@@ -531,7 +600,15 @@ mod tests {
     use uncharted_nettap::pcap::CapturedPacket;
     use uncharted_nettap::tcp::{TcpFlags, TcpHeader};
 
-    fn data_packet(t: f64, src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16, seq: u32, payload: &[u8]) -> ParsedPacket {
+    fn data_packet(
+        t: f64,
+        src_ip: u32,
+        src_port: u16,
+        dst_ip: u32,
+        dst_port: u16,
+        seq: u32,
+        payload: &[u8],
+    ) -> ParsedPacket {
         CapturedPacket::build(
             t,
             MacAddr::from_device_id(src_ip),
@@ -555,10 +632,13 @@ mod tests {
 
     fn float_apdu(seq: u16, value: f32, dialect: Dialect) -> Vec<u8> {
         let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 7).with_object(
-            InfoObject::new(720, IoValue::FloatMeasurement {
-                value,
-                qds: Qds::GOOD,
-            }),
+            InfoObject::new(
+                720,
+                IoValue::FloatMeasurement {
+                    value,
+                    qds: Qds::GOOD,
+                },
+            ),
         );
         IecApdu::i_frame(seq, 0, asdu).encode(dialect).unwrap()
     }
@@ -571,7 +651,13 @@ mod tests {
         for i in 0..12u16 {
             let payload = float_apdu(i, 130.0 + i as f32, dialect);
             packets.push(data_packet(
-                i as f64, rtu, IEC104_PORT, server, 40001, seq, &payload,
+                i as f64,
+                rtu,
+                IEC104_PORT,
+                server,
+                40001,
+                seq,
+                &payload,
             ));
             seq += payload.len() as u32;
         }
@@ -613,7 +699,15 @@ mod tests {
         let packets = vec![
             data_packet(1.0, rtu, IEC104_PORT, server, 40001, 1, &i_frame),
             data_packet(1.5, server, 40001, rtu, IEC104_PORT, 1, &s_frame),
-            data_packet(2.0, rtu, IEC104_PORT, server, 40001, 1 + i_frame.len() as u32, &float_apdu(1, 2.0, Dialect::STANDARD)),
+            data_packet(
+                2.0,
+                rtu,
+                IEC104_PORT,
+                server,
+                40001,
+                1 + i_frame.len() as u32,
+                &float_apdu(1, 2.0, Dialect::STANDARD),
+            ),
         ];
         let ds = Dataset::ingest(packets, &ExecContext::sequential());
         assert_eq!(ds.timelines.len(), 1);
@@ -662,19 +756,51 @@ mod tests {
             for i in 0..10u16 {
                 let payload = float_apdu(i, 50.0 + i as f32, dialect);
                 let t = i as f64 + o as f64 * 0.013;
-                packets.push(data_packet(t, rtu, IEC104_PORT, server, port, seq, &payload));
+                packets.push(data_packet(
+                    t,
+                    rtu,
+                    IEC104_PORT,
+                    server,
+                    port,
+                    seq,
+                    &payload,
+                ));
                 if i == 4 {
                     // A TCP retransmission (same seq): repeated token, but
                     // decoded standalone.
-                    packets.push(data_packet(t + 0.003, rtu, IEC104_PORT, server, port, seq, &payload));
+                    packets.push(data_packet(
+                        t + 0.003,
+                        rtu,
+                        IEC104_PORT,
+                        server,
+                        port,
+                        seq,
+                        &payload,
+                    ));
                 }
                 seq += payload.len() as u32;
             }
             let s_frame = IecApdu::s_frame(3).encode(dialect).unwrap();
-            packets.push(data_packet(4.5 + o as f64 * 0.013, server, port, rtu, IEC104_PORT, 1, &s_frame));
+            packets.push(data_packet(
+                4.5 + o as f64 * 0.013,
+                server,
+                port,
+                rtu,
+                IEC104_PORT,
+                1,
+                &s_frame,
+            ));
         }
         // Unrelated non-104 chatter: invisible to analysis, but a flow.
-        packets.push(data_packet(2.5, addr(192, 168, 0, 1), 5000, addr(192, 168, 0, 2), 5001, 1, b"hello"));
+        packets.push(data_packet(
+            2.5,
+            addr(192, 168, 0, 1),
+            5000,
+            addr(192, 168, 0, 2),
+            5001,
+            1,
+            b"hello",
+        ));
         packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
 
         let seq_ctx = ExecContext::new(ExecPolicy::Sequential);
@@ -685,8 +811,14 @@ mod tests {
             let ctx = ExecContext::new(ExecPolicy::Threads(threads));
             let sharded = Dataset::ingest(packets.clone(), &ctx);
             assert_eq!(sharded.dialects, sequential.dialects, "threads = {threads}");
-            assert_eq!(sharded.compliance, sequential.compliance, "threads = {threads}");
-            assert_eq!(sharded.timelines, sequential.timelines, "threads = {threads}");
+            assert_eq!(
+                sharded.compliance, sequential.compliance,
+                "threads = {threads}"
+            );
+            assert_eq!(
+                sharded.timelines, sequential.timelines,
+                "threads = {threads}"
+            );
             assert_eq!(
                 sharded.flows.connections, sequential.flows.connections,
                 "threads = {threads}"
@@ -705,7 +837,11 @@ mod tests {
             packets.len() as u64
         );
         assert!(snap.counter_total("iec104_apdus_parsed") > 0);
-        assert!(snap.counter_value("iec104_apdus_parsed", &[("dialect", "cot1")]).unwrap() > 0);
+        assert!(
+            snap.counter_value("iec104_apdus_parsed", &[("dialect", "cot1")])
+                .unwrap()
+                > 0
+        );
     }
 
     /// The deprecated constructors still build the same dataset.
@@ -715,7 +851,15 @@ mod tests {
         let server = addr(10, 0, 0, 1);
         let rtu = addr(10, 1, 5, 9);
         let payload = float_apdu(0, 1.0, Dialect::STANDARD);
-        let packets = vec![data_packet(1.0, rtu, IEC104_PORT, server, 40001, 1, &payload)];
+        let packets = vec![data_packet(
+            1.0,
+            rtu,
+            IEC104_PORT,
+            server,
+            40001,
+            1,
+            &payload,
+        )];
         let canonical = Dataset::ingest(packets.clone(), &ExecContext::sequential());
         let shim = Dataset::from_packets(packets.clone());
         let shim_threaded = Dataset::from_packets_threaded(packets, 2);

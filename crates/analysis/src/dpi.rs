@@ -11,9 +11,9 @@ use crate::dataset::Dataset;
 use crate::exec::{threads_context, ExecContext};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
-use uncharted_obs::FnvHashMap;
 use uncharted_iec104::asdu::IoValue;
 use uncharted_iec104::types::TypeId;
+use uncharted_obs::FnvHashMap;
 
 /// Table 7: observed ASDU typeID distribution.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -31,6 +31,13 @@ impl TypeCensus {
         let m = &ctx.metrics;
         let _span = m.type_census_stage.span();
         let workers = ctx.workers();
+        if let Some(prebuilt) = ds.claim_prebuilt_census() {
+            // The pipelined executor already counted on its shard workers
+            // (recording the per-shard spans); only the claim-time
+            // accounting remains.
+            m.type_census_stage.add_items(prebuilt.total() as u64);
+            return prebuilt;
+        }
         let counts = if workers <= 1 {
             let _shard = m.type_census_stage.shard_span(0);
             let mut counts = BTreeMap::new();
@@ -58,14 +65,20 @@ impl TypeCensus {
     }
 
     /// Count every I-frame ASDU in the dataset.
-    #[deprecated(since = "0.2.0", note = "use `TypeCensus::build` with an `ExecContext`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `TypeCensus::build` with an `ExecContext`"
+    )]
     pub fn from_dataset(ds: &Dataset) -> TypeCensus {
         TypeCensus::build(ds, &ExecContext::sequential())
     }
 
     /// [`TypeCensus::from_dataset`] with a worker-thread count (`0` = one
     /// per core).
-    #[deprecated(since = "0.2.0", note = "use `TypeCensus::build` with an `ExecContext`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `TypeCensus::build` with an `ExecContext`"
+    )]
     pub fn from_dataset_threaded(ds: &Dataset, threads: usize) -> TypeCensus {
         TypeCensus::build(ds, &threads_context(threads))
     }
@@ -163,7 +176,11 @@ impl TimeSeries {
             return 0.0;
         }
         let m = self.mean();
-        self.samples.iter().map(|(_, v)| (v - m).powi(2)).sum::<f64>() / self.samples.len() as f64
+        self.samples
+            .iter()
+            .map(|(_, v)| (v - m).powi(2))
+            .sum::<f64>()
+            / self.samples.len() as f64
     }
 
     /// Infer the physical quantity from the value profile — the heuristic a
@@ -195,7 +212,11 @@ impl TimeSeries {
         // Voltage: transmission-level kV (Table 1 puts transmission above
         // 110 kV and below ~500 kV) held near-constant, or a 0→nominal ramp
         // (generator bus energising: max in the kV band with dark samples).
-        let max = self.samples.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+        let max = self
+            .samples
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::MIN, f64::max);
         if (60.0..=400.0).contains(&m) && std / m.abs().max(1.0) < 0.015 {
             return PhysicalKind::Voltage;
         }
@@ -231,38 +252,25 @@ pub fn series(ds: &Dataset, ctx: &ExecContext) -> Vec<TimeSeries> {
     let m = &ctx.metrics;
     let _span = m.series_stage.span();
     let workers = ctx.workers();
-    let out = if workers <= 1 {
+    let out = if let Some(prebuilt) = ds.claim_prebuilt_series() {
+        // The pipelined executor already extracted the series on its shard
+        // workers (recording the per-shard spans); only the claim-time
+        // accounting below remains.
+        prebuilt
+    } else if workers <= 1 {
         let _shard = m.series_stage.shard_span(0);
-        let mut map: FnvHashMap<(u32, u32, bool), TimeSeries> = FnvHashMap::default();
+        let mut map: SeriesMap = SeriesMap::default();
         for tl in &ds.timelines {
             series_from_timeline(&mut map, tl);
         }
         sort_series(map)
     } else {
         let partial = crate::par::par_map(&ds.timelines, workers, |tl| {
-            let mut map = FnvHashMap::default();
+            let mut map = SeriesMap::default();
             series_from_timeline(&mut map, tl);
             map
         });
-        // Each key appears at most once per shard, so merging shards in
-        // order keeps every series' samples in timeline order regardless of
-        // the per-shard map's iteration order.
-        let mut map: FnvHashMap<(u32, u32, bool), TimeSeries> = FnvHashMap::default();
-        for part in partial {
-            for (key, s) in part {
-                match map.entry(key) {
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert(s);
-                    }
-                    std::collections::hash_map::Entry::Occupied(mut o) => {
-                        let entry = o.get_mut();
-                        entry.samples.extend(s.samples);
-                        entry.type_ids.extend(s.type_ids);
-                    }
-                }
-            }
-        }
-        sort_series(map)
+        sort_series(fold_series_maps(partial))
     };
     m.series_extracted.add(out.len() as u64);
     m.series_stage.add_items(out.len() as u64);
@@ -281,8 +289,35 @@ pub fn extract_series_threaded(ds: &Dataset, threads: usize) -> Vec<TimeSeries> 
     series(ds, &threads_context(threads))
 }
 
+/// Per-(station, IOA, direction) series under construction; the shape both
+/// the fan-out path here and the pipelined executor accumulate into.
+pub(crate) type SeriesMap = FnvHashMap<(u32, u32, bool), TimeSeries>;
+
+/// Merge per-timeline (or per-shard) series maps in iteration order. Each
+/// key appears at most once per part, so folding parts in timeline order
+/// keeps every series' samples in exactly the order the sequential pass
+/// appends them, regardless of each map's internal iteration order.
+pub(crate) fn fold_series_maps(parts: impl IntoIterator<Item = SeriesMap>) -> SeriesMap {
+    let mut map = SeriesMap::default();
+    for part in parts {
+        for (key, s) in part {
+            match map.entry(key) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(s);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let entry = o.get_mut();
+                    entry.samples.extend(s.samples);
+                    entry.type_ids.extend(s.type_ids);
+                }
+            }
+        }
+    }
+    map
+}
+
 /// Tally one timeline's ASDU typeIDs.
-fn count_types(counts: &mut BTreeMap<u8, usize>, tl: &crate::dataset::PairTimeline) {
+pub(crate) fn count_types(counts: &mut BTreeMap<u8, usize>, tl: &crate::dataset::PairTimeline) {
     for ev in &tl.events {
         if let Some(asdu) = &ev.asdu {
             *counts.entry(asdu.type_id.code()).or_default() += 1;
@@ -291,7 +326,7 @@ fn count_types(counts: &mut BTreeMap<u8, usize>, tl: &crate::dataset::PairTimeli
 }
 
 /// Collect one timeline's samples into a per-(station, IOA, direction) map.
-fn series_from_timeline(map: &mut FnvHashMap<(u32, u32, bool), TimeSeries>, tl: &crate::dataset::PairTimeline) {
+pub(crate) fn series_from_timeline(map: &mut SeriesMap, tl: &crate::dataset::PairTimeline) {
     for ev in &tl.events {
         let Some(asdu) = &ev.asdu else { continue };
         let station = if ev.from_server {
@@ -300,7 +335,9 @@ fn series_from_timeline(map: &mut FnvHashMap<(u32, u32, bool), TimeSeries>, tl: 
             tl.outstation_ip
         };
         for obj in &asdu.objects {
-            let Some(v) = obj.value.numeric() else { continue };
+            let Some(v) = obj.value.numeric() else {
+                continue;
+            };
             // Interrogation commands carry no measurement.
             if matches!(obj.value, IoValue::Interrogation { .. }) {
                 continue;
@@ -309,15 +346,15 @@ fn series_from_timeline(map: &mut FnvHashMap<(u32, u32, bool), TimeSeries>, tl: 
                 .time_tag
                 .map(|tag| tag.to_epoch_millis() as f64 / 1000.0)
                 .unwrap_or(ev.t);
-            let entry = map.entry((station, obj.ioa, ev.from_server)).or_insert_with(|| {
-                TimeSeries {
+            let entry = map
+                .entry((station, obj.ioa, ev.from_server))
+                .or_insert_with(|| TimeSeries {
                     station_ip: station,
                     ioa: obj.ioa,
                     samples: Vec::new(),
                     type_ids: BTreeSet::new(),
                     from_server: ev.from_server,
-                }
-            });
+                });
             entry.samples.push((t, v));
             entry.type_ids.insert(asdu.type_id.code());
         }
@@ -327,12 +364,11 @@ fn series_from_timeline(map: &mut FnvHashMap<(u32, u32, bool), TimeSeries>, tl: 
 /// Flatten the keyed series into key order (what the former BTreeMap's
 /// iteration gave for free) and time-sort each one (stable, so ties keep
 /// their arrival order).
-fn sort_series(map: FnvHashMap<(u32, u32, bool), TimeSeries>) -> Vec<TimeSeries> {
+pub(crate) fn sort_series(map: SeriesMap) -> Vec<TimeSeries> {
     let mut series: Vec<TimeSeries> = map.into_values().collect();
     series.sort_by_key(|s| (s.station_ip, s.ioa, s.from_server));
     for s in &mut series {
-        s.samples
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        s.samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     }
     series
 }
@@ -361,7 +397,10 @@ pub fn table8(ds: &Dataset) -> Vec<Table8Row> {
                 } else {
                     tl.outstation_ip
                 };
-                stations.entry(asdu.type_id.code()).or_default().insert(station);
+                stations
+                    .entry(asdu.type_id.code())
+                    .or_default()
+                    .insert(station);
                 if asdu.type_id == TypeId::C_IC_NA_1 {
                     kinds
                         .entry(asdu.type_id.code())
@@ -663,7 +702,11 @@ mod tests {
         TimeSeries {
             station_ip: 1,
             ioa: 700,
-            samples: values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+            samples: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64, v))
+                .collect(),
             type_ids: BTreeSet::from([13]),
             from_server,
         }

@@ -107,7 +107,10 @@ pub struct ExecContext {
 impl ExecContext {
     /// A context with the given policy and a private metrics registry.
     pub fn new(policy: ExecPolicy) -> ExecContext {
-        ExecContext { policy, metrics: PipelineMetrics::new() }
+        ExecContext {
+            policy,
+            metrics: PipelineMetrics::new(),
+        }
     }
 
     /// A context with the given policy recording into `metrics`.
@@ -118,7 +121,10 @@ impl ExecContext {
     /// Sequential execution, metrics discarded — the cheap default for
     /// tests and the deprecated shims.
     pub fn sequential() -> ExecContext {
-        ExecContext { policy: ExecPolicy::Sequential, metrics: PipelineMetrics::sink() }
+        ExecContext {
+            policy: ExecPolicy::Sequential,
+            metrics: PipelineMetrics::sink(),
+        }
     }
 
     /// The resolved worker count (always ≥ 1).

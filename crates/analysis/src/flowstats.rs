@@ -88,8 +88,10 @@ pub fn duration_histogram(flows: &FlowTable) -> Vec<(i32, usize)> {
 /// Fig. 9: per endpoint-pair, how many reconstructed connections ended in a
 /// reset. Sorted descending by reset count.
 pub fn reject_census(flows: &FlowTable) -> Vec<(uncharted_nettap::flow::FlowKey, usize)> {
-    let mut counts: std::collections::BTreeMap<(u32, u32), (uncharted_nettap::flow::FlowKey, usize)> =
-        std::collections::BTreeMap::new();
+    let mut counts: std::collections::BTreeMap<
+        (u32, u32),
+        (uncharted_nettap::flow::FlowKey, usize),
+    > = std::collections::BTreeMap::new();
     for c in &flows.connections {
         if c.was_reset() {
             let ip_pair = (c.key.a.ip.min(c.key.b.ip), c.key.a.ip.max(c.key.b.ip));
@@ -112,7 +114,15 @@ mod tests {
     use uncharted_nettap::pcap::CapturedPacket;
     use uncharted_nettap::tcp::{TcpFlags, TcpHeader};
 
-    fn pkt(t: f64, src_ip: u32, sp: u16, dst_ip: u32, dp: u16, flags: TcpFlags, seq: u32) -> uncharted_nettap::pcap::ParsedPacket {
+    fn pkt(
+        t: f64,
+        src_ip: u32,
+        sp: u16,
+        dst_ip: u32,
+        dp: u16,
+        flags: TcpFlags,
+        seq: u32,
+    ) -> uncharted_nettap::pcap::ParsedPacket {
         CapturedPacket::build(
             t,
             MacAddr::from_device_id(1),
@@ -139,7 +149,15 @@ mod tests {
         let r = addr(10, 1, 4, 6);
         vec![
             pkt(t, s, port, r, 2404, TcpFlags::SYN, 100),
-            pkt(t + 0.05, r, 2404, s, port, TcpFlags::RST.with(TcpFlags::ACK), 0),
+            pkt(
+                t + 0.05,
+                r,
+                2404,
+                s,
+                port,
+                TcpFlags::RST.with(TcpFlags::ACK),
+                0,
+            ),
         ]
     }
 
@@ -150,7 +168,15 @@ mod tests {
             packets.extend(reject_pair(i as f64 * 5.0, 40000 + i));
         }
         // One long-lived flow (no SYN).
-        packets.push(pkt(1.0, addr(10, 0, 0, 2), 41000, addr(10, 1, 3, 3), 2404, TcpFlags::ACK, 5));
+        packets.push(pkt(
+            1.0,
+            addr(10, 0, 0, 2),
+            41000,
+            addr(10, 1, 3, 3),
+            2404,
+            TcpFlags::ACK,
+            5,
+        ));
         packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
         let flows = FlowTable::reconstruct(
             &packets,
@@ -173,7 +199,15 @@ mod tests {
         let r = addr(10, 1, 4, 6);
         packets.extend(reject_pair(0.0, 40000)); // 0.05s
         packets.push(pkt(10.0, s, 40500, r, 2404, TcpFlags::SYN, 1));
-        packets.push(pkt(15.0, r, 2404, s, 40500, TcpFlags::FIN.with(TcpFlags::ACK), 1));
+        packets.push(pkt(
+            15.0,
+            r,
+            2404,
+            s,
+            40500,
+            TcpFlags::FIN.with(TcpFlags::ACK),
+            1,
+        ));
         packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
         let flows = FlowTable::reconstruct(
             &packets,

@@ -45,7 +45,11 @@ pub enum AlertKind {
     /// A (server, outstation) pair never seen during training.
     UnknownPair { server_ip: u32, outstation_ip: u32 },
     /// A token the pair never used in training (e.g. a first-ever `I100`).
-    NovelToken { server_ip: u32, outstation_ip: u32, token: Token },
+    NovelToken {
+        server_ip: u32,
+        outstation_ip: u32,
+        token: Token,
+    },
     /// A bigram the pair's Markov chain lacks.
     NovelTransition {
         server_ip: u32,
@@ -271,11 +275,7 @@ impl Whitelist {
                 .max(mid.abs() * 0.12)
                 .max(3.0);
             let (lo, hi) = (env.lo - pad, env.hi + pad);
-            if let Some(&(_, v)) = s
-                .samples
-                .iter()
-                .find(|(_, v)| *v < lo || *v > hi)
-            {
+            if let Some(&(_, v)) = s.samples.iter().find(|(_, v)| *v < lo || *v > hi) {
                 alerts.push(Alert {
                     severity: Severity::High,
                     kind: AlertKind::ValueOutOfRange {
@@ -305,11 +305,11 @@ impl Whitelist {
             }
         }
         for (station_ip, (breaker, power)) in by_station {
-            let (Some(b), Some(p)) = (breaker, power) else { continue };
+            let (Some(b), Some(p)) = (breaker, power) else {
+                continue;
+            };
             let rows = dpi::align_series_defaults(&[b, p], 2.0, &[2.0, 0.0]);
-            let violation = rows
-                .iter()
-                .any(|(_, v)| v[0] != 2.0 && v[1].abs() > 25.0);
+            let violation = rows.iter().any(|(_, v)| v[0] != 2.0 && v[1].abs() > 25.0);
             if violation {
                 alerts.push(Alert {
                     severity: Severity::High,
@@ -373,11 +373,16 @@ mod tests {
             Cot::new(Cause::Spontaneous),
             1,
         )
-        .with_object(InfoObject::new(ioa, IoValue::FloatMeasurement {
-            value: v,
-            qds: Qds::GOOD,
-        }));
-        Apdu::i_frame(seq, 0, asdu).encode(Dialect::STANDARD).unwrap()
+        .with_object(InfoObject::new(
+            ioa,
+            IoValue::FloatMeasurement {
+                value: v,
+                qds: Qds::GOOD,
+            },
+        ));
+        Apdu::i_frame(seq, 0, asdu)
+            .encode(Dialect::STANDARD)
+            .unwrap()
     }
 
     fn clean_dataset() -> Dataset {
@@ -399,7 +404,10 @@ mod tests {
         let wl = Whitelist::learn(&ds);
         assert_eq!(wl.pair_count(), 1);
         let alerts = wl.inspect(&ds);
-        assert!(alerts.is_empty(), "self-inspection must be silent: {alerts:?}");
+        assert!(
+            alerts.is_empty(),
+            "self-inspection must be silent: {alerts:?}"
+        );
     }
 
     #[test]
@@ -428,15 +436,21 @@ mod tests {
             Cot::new(Cause::Activation),
             1,
         )
-        .with_object(InfoObject::new(0, IoValue::Interrogation {
-            qoi: uncharted_iec104::elements::Qoi::STATION,
-        }));
+        .with_object(InfoObject::new(
+            0,
+            IoValue::Interrogation {
+                qoi: uncharted_iec104::elements::Qoi::STATION,
+            },
+        ));
         let payload = Apdu::i_frame(0, 0, asdu).encode(Dialect::STANDARD).unwrap();
         let ds = dataset_of(vec![pkt(1.0, server, rtu, 9, &payload)]);
         let alerts = wl.inspect(&ds);
         assert!(alerts.iter().any(|a| matches!(
             a.kind,
-            AlertKind::NovelToken { token: Token::I(100), .. }
+            AlertKind::NovelToken {
+                token: Token::I(100),
+                ..
+            }
         )));
         // System commands are routine on reconnects and must not raise the
         // High-severity command alert on their own.
@@ -472,10 +486,9 @@ mod tests {
         let payload = i13(0, 700, 99_999.0);
         let ds = dataset_of(vec![pkt(1.0, rtu, server, 9, &payload)]);
         let alerts = wl.inspect(&ds);
-        assert!(alerts.iter().any(|a| matches!(
-            a.kind,
-            AlertKind::ValueOutOfRange { ioa: 700, .. }
-        )));
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a.kind, AlertKind::ValueOutOfRange { ioa: 700, .. })));
     }
 
     #[test]

@@ -125,7 +125,11 @@ pub fn kmeans(data: &FeatureMatrix, k: usize, seed: u64) -> KMeansResult {
         for c in 0..kk {
             if counts[c] > 0 {
                 let inv = counts[c] as f64;
-                for (dst, s) in centroids.row_mut(c).iter_mut().zip(&sums[c * dims..(c + 1) * dims]) {
+                for (dst, s) in centroids
+                    .row_mut(c)
+                    .iter_mut()
+                    .zip(&sums[c * dims..(c + 1) * dims])
+                {
                     *dst = s / inv;
                 }
             }
@@ -227,7 +231,11 @@ pub struct ModelSelection {
 
 /// Sweep K over a range, producing the elbow/silhouette/explained table the
 /// paper used to pick K = 5.
-pub fn select_k(data: &FeatureMatrix, ks: std::ops::RangeInclusive<usize>, seed: u64) -> Vec<ModelSelection> {
+pub fn select_k(
+    data: &FeatureMatrix,
+    ks: std::ops::RangeInclusive<usize>,
+    seed: u64,
+) -> Vec<ModelSelection> {
     ks.map(|k| {
         let result = kmeans(data, k, seed);
         ModelSelection {

@@ -29,14 +29,19 @@
 //! * [`exec`] — the unified execution API: every driver takes an
 //!   [`ExecContext`] (an [`ExecPolicy`] plus a [`PipelineMetrics`] sink)
 //!   instead of the old forked `X` / `X_threaded` entry-point pairs.
+//! * [`executor`] — the pipelined sharded executor behind multi-worker
+//!   ingestion: one dispatch pass hands batched packets over bounded
+//!   channels to N flow-sharded workers that each run the full analysis
+//!   chain end-to-end, merging exactly once at the end.
 //! * [`par`] — deterministic scoped-thread fork–join helpers backing the
-//!   sharded (`--threads N`) pipeline: parallel output is bit-identical to
-//!   sequential.
+//!   remaining per-stage (`--threads N`) fan-outs: parallel output is
+//!   bit-identical to sequential.
 //! * [`report`] — plain-text table rendering shared by the bench harness.
 
 pub mod dataset;
 pub mod dpi;
 pub mod exec;
+pub mod executor;
 pub mod flowstats;
 pub mod ids;
 pub mod kmeans;
@@ -48,8 +53,8 @@ pub mod report;
 pub mod session;
 
 pub use dataset::{ApduEvent, Dataset, PairTimeline};
-pub use exec::{ExecContext, ExecPolicy, PipelineMetrics};
 pub use dpi::{PhysicalKind, SignatureMachine, TypeCensus};
+pub use exec::{ExecContext, ExecPolicy, PipelineMetrics};
 pub use flowstats::FlowStats;
 pub use ids::{Alert, AlertKind, Severity, Whitelist};
 pub use kmeans::{KMeansResult, ModelSelection};

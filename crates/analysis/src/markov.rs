@@ -190,7 +190,12 @@ impl ChainCensus {
         let m = &ctx.metrics;
         let _span = m.markov_stage.span();
         let workers = ctx.workers();
-        let rows: Vec<ChainInfo> = if workers <= 1 {
+        let rows: Vec<ChainInfo> = if let Some(prebuilt) = ds.claim_prebuilt_chains() {
+            // The pipelined executor already built the rows on its shard
+            // workers (recording the per-shard spans); only the claim-time
+            // accounting below remains.
+            prebuilt
+        } else if workers <= 1 {
             let _shard = m.markov_stage.shard_span(0);
             ds.timelines
                 .iter()
@@ -211,19 +216,26 @@ impl ChainCensus {
     }
 
     /// Build the census.
-    #[deprecated(since = "0.2.0", note = "use `ChainCensus::build` with an `ExecContext`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ChainCensus::build` with an `ExecContext`"
+    )]
     pub fn from_dataset(ds: &Dataset) -> ChainCensus {
         ChainCensus::build(ds, &ExecContext::sequential())
     }
 
     /// [`ChainCensus::from_dataset`] with a worker-thread count (`0` = one
     /// per core).
-    #[deprecated(since = "0.2.0", note = "use `ChainCensus::build` with an `ExecContext`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ChainCensus::build` with an `ExecContext`"
+    )]
     pub fn from_dataset_threaded(ds: &Dataset, threads: usize) -> ChainCensus {
         ChainCensus::build(ds, &threads_context(threads))
     }
 
-    fn row(tl: &PairTimeline) -> ChainInfo {
+    /// One timeline's census row; shared with the pipelined executor.
+    pub(crate) fn row(tl: &PairTimeline) -> ChainInfo {
         let tokens = tl.tokens();
         let chain = TokenChain::from_tokens(&tokens);
         ChainInfo {
@@ -442,7 +454,8 @@ mod tests {
 
     #[test]
     fn sequence_log_prob() {
-        let chain = TokenChain::from_tokens(&toks(&[("U16", 1), ("U32", 1), ("U16", 1), ("U32", 1)]));
+        let chain =
+            TokenChain::from_tokens(&toks(&[("U16", 1), ("U32", 1), ("U16", 1), ("U32", 1)]));
         let ok = chain.sequence_log_prob(&[Token::U16, Token::U32]);
         assert!(ok.is_some());
         assert!(ok.unwrap() <= 0.0);
@@ -510,7 +523,14 @@ mod tests {
         assert!(!detect_switchover(&rtu_keepalive));
     }
 
-    fn info(out: u32, has_i: bool, has_u16: bool, answers: bool, i100: bool, switchover: bool) -> ChainInfo {
+    fn info(
+        out: u32,
+        has_i: bool,
+        has_u16: bool,
+        answers: bool,
+        i100: bool,
+        switchover: bool,
+    ) -> ChainInfo {
         ChainInfo {
             server_ip: 1,
             outstation_ip: out,

@@ -5,12 +5,21 @@
 //! by per-feature silhouette scoring, kept five: mean inter-arrival time,
 //! packet count, and the I/S/U token percentages.
 
-use crate::dataset::{Dataset, IEC104_PORT};
+use crate::dataset::{Dataset, PairTimeline, IEC104_PORT};
 use crate::exec::{threads_context, ExecContext};
 use crate::matrix::FeatureMatrix;
 use serde::Serialize;
-use uncharted_obs::FnvHashMap;
 use uncharted_iec104::tokens::Token;
+use uncharted_nettap::pcap::ParsedPacket;
+use uncharted_obs::FnvHashMap;
+
+/// Packet timestamps and frame bytes per `(src, dst)` IP pair, claimed by
+/// sessions in `(timeline, direction)` order.
+pub(crate) type PacketStats = FnvHashMap<(u32, u32), (Vec<f64>, usize)>;
+
+/// Everything about one direction's session except its packet stats:
+/// `(src, dst, from_server, tokens, ioa_count)`.
+pub(crate) type SessionPartial = (u32, u32, bool, Vec<Token>, usize);
 
 /// One unidirectional session.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,7 +152,12 @@ pub fn extract(ds: &Dataset, ctx: &ExecContext) -> Vec<Session> {
     let m = &ctx.metrics;
     let _span = m.sessions_stage.span();
     let workers = ctx.workers();
-    let sessions = if workers <= 1 {
+    let sessions = if let Some(prebuilt) = ds.claim_prebuilt_sessions() {
+        // The pipelined executor already ran this stage end-to-end on its
+        // shard workers (which recorded the per-shard spans); only the
+        // claim-time accounting below is left to do.
+        prebuilt
+    } else if workers <= 1 {
         let _shard = m.sessions_stage.shard_span(0);
         extract_sequential(ds)
     } else {
@@ -166,11 +180,13 @@ pub fn extract_sessions_threaded(ds: &Dataset, threads: usize) -> Vec<Session> {
     extract(ds, &threads_context(threads))
 }
 
-/// The sequential extraction pass.
-fn extract_sequential(ds: &Dataset) -> Vec<Session> {
-    // Packet times and bytes per (src, dst).
-    let mut packet_stats: FnvHashMap<(u32, u32), (Vec<f64>, usize)> = FnvHashMap::default();
-    for pkt in &ds.packets {
+/// Build the packet-stat table: timestamps and frame bytes per `(src, dst)`
+/// IP pair, over every packet touching the IEC 104 port (bare ACKs
+/// included). The pipelined executor builds the identical table inline
+/// during its dispatch pass instead of calling this.
+pub(crate) fn packet_stats_of(packets: &[ParsedPacket]) -> PacketStats {
+    let mut packet_stats = PacketStats::default();
+    for pkt in packets {
         if pkt.tcp.src_port != IEC104_PORT && pkt.tcp.dst_port != IEC104_PORT {
             continue;
         }
@@ -178,37 +194,63 @@ fn extract_sequential(ds: &Dataset) -> Vec<Session> {
         entry.0.push(pkt.timestamp);
         entry.1 += pkt.payload.len() + 54;
     }
-    // Tokens and IOAs per (src, dst) from the timelines.
-    let mut sessions = Vec::new();
-    for tl in &ds.timelines {
-        for from_server in [true, false] {
-            let (src, dst) = if from_server {
-                (tl.server_ip, tl.outstation_ip)
-            } else {
-                (tl.outstation_ip, tl.server_ip)
-            };
-            let tokens: Vec<Token> = tl.tokens_from(from_server);
-            if tokens.is_empty() {
-                continue;
-            }
-            let mut ioas = std::collections::BTreeSet::new();
-            for ev in tl.events.iter().filter(|e| e.from_server == from_server) {
-                if let Some(asdu) = &ev.asdu {
-                    for obj in &asdu.objects {
-                        ioas.insert(obj.ioa);
-                    }
+    packet_stats
+}
+
+/// One timeline's session partials, in the canonical `[server-side,
+/// outstation-side]` direction order. Directions without APDUs yield
+/// nothing.
+pub(crate) fn timeline_partials(tl: &PairTimeline) -> Vec<SessionPartial> {
+    let mut out = Vec::new();
+    for from_server in [true, false] {
+        let (src, dst) = if from_server {
+            (tl.server_ip, tl.outstation_ip)
+        } else {
+            (tl.outstation_ip, tl.server_ip)
+        };
+        let tokens: Vec<Token> = tl.tokens_from(from_server);
+        if tokens.is_empty() {
+            continue;
+        }
+        let mut ioas = std::collections::BTreeSet::new();
+        for ev in tl.events.iter().filter(|e| e.from_server == from_server) {
+            if let Some(asdu) = &ev.asdu {
+                for obj in &asdu.objects {
+                    ioas.insert(obj.ioa);
                 }
             }
-            let (times, bytes) = packet_stats.remove(&(src, dst)).unwrap_or_default();
-            sessions.push(Session {
-                src,
-                dst,
-                from_server,
-                times,
-                bytes,
-                tokens,
-                ioa_count: ioas.len(),
-            });
+        }
+        out.push((src, dst, from_server, tokens, ioas.len()));
+    }
+    out
+}
+
+/// Claim a partial's packet stats (consuming the map entry, exactly as the
+/// sequential pass does) and assemble the full session. Claim order is part
+/// of the determinism contract: an IP pair can appear in more than one
+/// timeline (a host can be server to one peer and outstation to another),
+/// so callers must claim in the sequential `(timeline, direction)` order.
+pub(crate) fn claim_session(partial: SessionPartial, stats: &mut PacketStats) -> Session {
+    let (src, dst, from_server, tokens, ioa_count) = partial;
+    let (times, bytes) = stats.remove(&(src, dst)).unwrap_or_default();
+    Session {
+        src,
+        dst,
+        from_server,
+        times,
+        bytes,
+        tokens,
+        ioa_count,
+    }
+}
+
+/// The sequential extraction pass.
+fn extract_sequential(ds: &Dataset) -> Vec<Session> {
+    let mut packet_stats = packet_stats_of(&ds.packets);
+    let mut sessions = Vec::new();
+    for tl in &ds.timelines {
+        for partial in timeline_partials(tl) {
+            sessions.push(claim_session(partial, &mut packet_stats));
         }
     }
     sessions
@@ -222,53 +264,11 @@ fn extract_sequential(ds: &Dataset) -> Vec<Session> {
 /// `(timeline, direction)` order the sequential extractor uses, so the
 /// output is identical.
 fn extract_fanned_out(ds: &Dataset, threads: usize) -> Vec<Session> {
-    let mut packet_stats: FnvHashMap<(u32, u32), (Vec<f64>, usize)> = FnvHashMap::default();
-    for pkt in &ds.packets {
-        if pkt.tcp.src_port != IEC104_PORT && pkt.tcp.dst_port != IEC104_PORT {
-            continue;
-        }
-        let entry = packet_stats.entry((pkt.ip.src, pkt.ip.dst)).or_default();
-        entry.0.push(pkt.timestamp);
-        entry.1 += pkt.payload.len() + 54;
-    }
-    // Heavy half, parallel per timeline: everything about a session except
-    // its packet stats.
-    let partial = crate::par::par_map(&ds.timelines, threads, |tl| {
-        let mut out: Vec<(u32, u32, bool, Vec<Token>, usize)> = Vec::new();
-        for from_server in [true, false] {
-            let (src, dst) = if from_server {
-                (tl.server_ip, tl.outstation_ip)
-            } else {
-                (tl.outstation_ip, tl.server_ip)
-            };
-            let tokens: Vec<Token> = tl.tokens_from(from_server);
-            if tokens.is_empty() {
-                continue;
-            }
-            let mut ioas = std::collections::BTreeSet::new();
-            for ev in tl.events.iter().filter(|e| e.from_server == from_server) {
-                if let Some(asdu) = &ev.asdu {
-                    for obj in &asdu.objects {
-                        ioas.insert(obj.ioa);
-                    }
-                }
-            }
-            out.push((src, dst, from_server, tokens, ioas.len()));
-        }
-        out
-    });
+    let mut packet_stats = packet_stats_of(&ds.packets);
+    let partial = crate::par::par_map(&ds.timelines, threads, timeline_partials);
     let mut sessions = Vec::new();
-    for (src, dst, from_server, tokens, ioa_count) in partial.into_iter().flatten() {
-        let (times, bytes) = packet_stats.remove(&(src, dst)).unwrap_or_default();
-        sessions.push(Session {
-            src,
-            dst,
-            from_server,
-            times,
-            bytes,
-            tokens,
-            ioa_count,
-        });
+    for p in partial.into_iter().flatten() {
+        sessions.push(claim_session(p, &mut packet_stats));
     }
     sessions
 }

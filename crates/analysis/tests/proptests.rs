@@ -11,11 +11,8 @@ use uncharted_analysis::session::standardize;
 use uncharted_iec104::tokens::Token;
 
 fn arb_rows(dims: usize) -> impl Strategy<Value = FeatureMatrix> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f64..100.0, dims..=dims),
-        4..60,
-    )
-    .prop_map(FeatureMatrix::from_rows)
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dims..=dims), 4..60)
+        .prop_map(FeatureMatrix::from_rows)
 }
 
 fn arb_tokens() -> impl Strategy<Value = Vec<Token>> {

@@ -25,7 +25,9 @@ fn bench_flows(c: &mut Criterion) {
     let mut group = c.benchmark_group("layers");
     group.sample_size(20);
     group.throughput(Throughput::Elements(segments as u64));
-    group.bench_function("flow_segments", |b| b.iter(|| pipebench::flows_work(&packets)));
+    group.bench_function("flow_segments", |b| {
+        b.iter(|| pipebench::flows_work(&packets))
+    });
     group.finish();
 }
 
@@ -35,7 +37,9 @@ fn bench_kmeans(c: &mut Criterion) {
     let iters = pipebench::kmeans_work(&input, 11);
     let mut group = c.benchmark_group("layers");
     group.throughput(Throughput::Elements(iters as u64));
-    group.bench_function("kmeans_iters", |b| b.iter(|| pipebench::kmeans_work(&input, 11)));
+    group.bench_function("kmeans_iters", |b| {
+        b.iter(|| pipebench::kmeans_work(&input, 11))
+    });
     group.finish();
 }
 
@@ -51,5 +55,11 @@ fn bench_markov(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_flows, bench_kmeans, bench_markov);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_flows,
+    bench_kmeans,
+    bench_markov
+);
 criterion_main!(benches);

@@ -32,7 +32,12 @@ fn bench_markov(c: &mut Criterion) {
         b.iter(|| black_box(chain.sequence_log_prob(black_box(&tokens))))
     });
     group.bench_function("chain_census", |b| {
-        b.iter(|| black_box(ChainCensus::build(black_box(&ds), &ExecContext::sequential())))
+        b.iter(|| {
+            black_box(ChainCensus::build(
+                black_box(&ds),
+                &ExecContext::sequential(),
+            ))
+        })
     });
     let census = ChainCensus::build(&ds, &ExecContext::sequential());
     group.bench_function("classify_outstations", |b| {

@@ -13,10 +13,13 @@ use uncharted::iec104::types::TypeId;
 
 fn sample_asdu(i: u16) -> Asdu {
     Asdu::new(TypeId::M_ME_TF_1, Cot::new(Cause::Spontaneous), 7).with_object(
-        InfoObject::new(700 + (i as u32 % 16), IoValue::FloatMeasurement {
-            value: 130.0 + i as f32 * 0.01,
-            qds: Qds::GOOD,
-        })
+        InfoObject::new(
+            700 + (i as u32 % 16),
+            IoValue::FloatMeasurement {
+                value: 130.0 + i as f32 * 0.01,
+                qds: Qds::GOOD,
+            },
+        )
         .with_time(Cp56Time2a::from_epoch_millis(i as u64 * 1000)),
     )
 }

@@ -1,15 +1,19 @@
-//! `bench --json` — the tracked benchmark runner behind `BENCH_PR5.json`.
+//! `bench --json` — the tracked benchmark runner behind `BENCH_PR6.json`.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench [--json PATH] [--smoke] [--baseline PATH]
+//! bench [--json PATH] [--smoke] [--baseline PATH] [--gate PCT]
 //! ```
 //!
-//! * `--json PATH` — where to write the report (default `BENCH_PR5.json`).
+//! * `--json PATH` — where to write the report (default `BENCH_PR6.json`).
 //! * `--smoke` — seconds-long CI configuration instead of the full run.
 //! * `--baseline PATH` — embed an earlier report as the baseline and compute
 //!   speedups, allocation drops, and the counter-fingerprint equality check.
+//! * `--gate PCT` — exit nonzero if any tracked throughput dropped more than
+//!   `PCT` percent versus the baseline, or if any counter fingerprint
+//!   disagrees with it. Requires `--baseline` (the gate fails closed
+//!   without one).
 //!
 //! Build with `--features bench-alloc` to install the counting global
 //! allocator so the report includes allocations per APDU.
@@ -23,8 +27,9 @@ static ALLOC: uncharted_bench::alloc_count::CountingAlloc =
     uncharted_bench::alloc_count::CountingAlloc;
 
 fn main() -> ExitCode {
-    let mut json_path = String::from("BENCH_PR5.json");
+    let mut json_path = String::from("BENCH_PR6.json");
     let mut baseline_path: Option<String> = None;
+    let mut gate_pct: Option<f64> = None;
     let mut smoke = false;
 
     let mut args = std::env::args().skip(1);
@@ -38,9 +43,13 @@ fn main() -> ExitCode {
                 Some(p) => baseline_path = Some(p),
                 None => return usage("--baseline requires a path"),
             },
+            "--gate" => match args.next().as_deref().map(str::parse::<f64>) {
+                Some(Ok(pct)) if pct >= 0.0 => gate_pct = Some(pct),
+                _ => return usage("--gate requires a non-negative percentage"),
+            },
             "--smoke" => smoke = true,
             "--help" | "-h" => {
-                eprintln!("usage: bench [--json PATH] [--smoke] [--baseline PATH]");
+                eprintln!("usage: bench [--json PATH] [--smoke] [--baseline PATH] [--gate PCT]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument: {other}")),
@@ -83,11 +92,22 @@ fn main() -> ExitCode {
             serde_json::to_string_pretty(cmp).expect("comparison serializes")
         );
     }
+    if let Some(pct) = gate_pct {
+        let violations = runner::gate(&report, pct);
+        if !violations.is_empty() {
+            eprintln!("bench: regression gate FAILED ({pct}% tolerance):");
+            for v in &violations {
+                eprintln!("bench:   - {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench: regression gate passed ({pct}% tolerance)");
+    }
     ExitCode::SUCCESS
 }
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench: {msg}");
-    eprintln!("usage: bench [--json PATH] [--smoke] [--baseline PATH]");
+    eprintln!("usage: bench [--json PATH] [--smoke] [--baseline PATH] [--gate PCT]");
     ExitCode::FAILURE
 }

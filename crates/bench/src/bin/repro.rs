@@ -36,8 +36,18 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
             "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| usage())),
             "list" => {
@@ -78,12 +88,9 @@ fn main() {
         println!("{}", output.text);
         records.insert(output.id.to_string(), output.json);
         if let Some(dir) = &csv_dir {
-            let files = uncharted_bench::experiments::export_csv(
-                &study,
-                id,
-                std::path::Path::new(dir),
-            )
-            .expect("write csv");
+            let files =
+                uncharted_bench::experiments::export_csv(&study, id, std::path::Path::new(dir))
+                    .expect("write csv");
             for f in files {
                 eprintln!("wrote {}", f.display());
             }

@@ -45,7 +45,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
         ("fig8", "Fig. 8: short-lived flow duration histogram"),
         ("fig9", "Fig. 9: backup connections reset by outstations"),
         ("elbow", "§6.3: K selection (SSE elbow, silhouette, EV)"),
-        ("ablation", "§6.3: per-feature silhouette (10 candidates -> 5 selected)"),
+        (
+            "ablation",
+            "§6.3: per-feature silhouette (10 candidates -> 5 selected)",
+        ),
         ("fig10", "Fig. 10: PCA of clustered sessions"),
         ("fig11", "Fig. 11: cluster communication patterns"),
         ("fig12", "Fig. 12: expected primary/secondary Markov chains"),
@@ -63,7 +66,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
         ("fig19", "Fig. 19: AGC commands and generator response"),
         ("fig20", "Fig. 20: generator synchronisation sequence"),
         ("fig21", "Fig. 21: the power-system behaviour signature"),
-        ("hypotheses", "§5: the five hypotheses, scored from the data"),
+        (
+            "hypotheses",
+            "§5: the five hypotheses, scored from the data",
+        ),
     ]
 }
 
@@ -103,7 +109,12 @@ pub fn run_experiment(study: &Study, id: &str) -> Option<ExperimentOutput> {
 }
 
 fn out(id: &'static str, title: &'static str, text: String, json: Value) -> ExperimentOutput {
-    ExperimentOutput { id, title, text, json }
+    ExperimentOutput {
+        id,
+        title,
+        text,
+        json,
+    }
 }
 
 // ---------------------------------------------------------------- tables --
@@ -150,14 +161,23 @@ fn table2(study: &Study) -> ExperimentOutput {
         "{}\nobserved on the wire: removed in Y2 = {y1:?}\n                      added in Y2   = {y2:?}\n",
         t.render()
     );
-    out("table2", "Table 2", text, json!({"removed_y2": y1, "added_y2": y2}))
+    out(
+        "table2",
+        "Table 2",
+        text,
+        json!({"removed_y2": y1, "added_y2": y2}),
+    )
 }
 
 fn flow_rows(stats: &FlowStats) -> Vec<(String, String)> {
     vec![
         (
             "Count of Less-than-one-second Short-lived Flows (proportion)".into(),
-            format!("{} ({})", stats.short_sub_second, pct(stats.sub_second_fraction())),
+            format!(
+                "{} ({})",
+                stats.short_sub_second,
+                pct(stats.sub_second_fraction())
+            ),
         ),
         (
             "Count of Longer-than-one-second Short-lived Flows (proportion)".into(),
@@ -173,7 +193,11 @@ fn flow_rows(stats: &FlowStats) -> Vec<(String, String)> {
         ),
         (
             "Count of Long-lived Flows (proportion)".into(),
-            format!("{} ({})", stats.long_lived, pct(1.0 - stats.short_fraction())),
+            format!(
+                "{} ({})",
+                stats.long_lived,
+                pct(1.0 - stats.short_fraction())
+            ),
         ),
     ]
 }
@@ -217,18 +241,31 @@ fn table4() -> ExperimentOutput {
     for (tok, apdu, desc) in Token::table4() {
         t.row([tok, apdu, desc]);
     }
-    out("table4", "Table 4", t.render(), json!({"rows": Token::table4().len()}))
+    out(
+        "table4",
+        "Table 4",
+        t.render(),
+        json!({"rows": Token::table4().len()}),
+    )
 }
 
 fn table5() -> ExperimentOutput {
     let mut t = Table::new(["Type ID Code", "Acronym", "Description"]);
     for &ty in TypeId::ALL {
-        t.row([ty.code().to_string(), ty.acronym().to_string(), ty.description().to_string()]);
+        t.row([
+            ty.code().to_string(),
+            ty.acronym().to_string(),
+            ty.description().to_string(),
+        ]);
     }
     out(
         "table5",
         "Table 5",
-        format!("{}\n{} typeIDs supported by IEC 104 (of IEC 101's 127).\n", t.render(), TypeId::ALL.len()),
+        format!(
+            "{}\n{} typeIDs supported by IEC 104 (of IEC 101's 127).\n",
+            t.render(),
+            TypeId::ALL.len()
+        ),
         json!({"count": TypeId::ALL.len()}),
     )
 }
@@ -254,14 +291,23 @@ fn table6(study: &Study) -> ExperimentOutput {
         .iter()
         .map(|(c, n, f)| json!({"type": c.number(), "count": n, "fraction": f}))
         .collect();
-    out("table6", "Table 6", t.render(), json!({"classes": json_rows}))
+    out(
+        "table6",
+        "Table 6",
+        t.render(),
+        json!({"classes": json_rows}),
+    )
 }
 
 fn merged_pipeline(study: &Study) -> Pipeline {
     let exec = uncharted::ExecContext::sequential();
     Pipeline {
         dataset: uncharted::analysis::dataset::Dataset::ingest_captures(
-            study.y1_set.captures.iter().chain(study.y2_set.captures.iter()),
+            study
+                .y1_set
+                .captures
+                .iter()
+                .chain(study.y2_set.captures.iter()),
             &exec,
         ),
         exec,
@@ -297,7 +343,11 @@ fn table7(study: &Study) -> ExperimentOutput {
 fn table8(study: &Study) -> ExperimentOutput {
     let merged = merged_pipeline(study);
     let rows = dpi::table8(&merged.dataset);
-    let mut t = Table::new(["ASDU TypeID", "Transmitting Station Count", "Physical Symbols Reported"]);
+    let mut t = Table::new([
+        "ASDU TypeID",
+        "Transmitting Station Count",
+        "Physical Symbols Reported",
+    ]);
     for r in &rows {
         t.row([
             format!("I{}", r.type_id),
@@ -325,7 +375,12 @@ fn table8(study: &Study) -> ExperimentOutput {
 // --------------------------------------------------------------- figures --
 
 fn fig6(study: &Study) -> ExperimentOutput {
-    let mut t = Table::new(["Substation", "Outstations (Y1)", "Outstations (Y2)", "Points Y1 -> Y2"]);
+    let mut t = Table::new([
+        "Substation",
+        "Outstations (Y1)",
+        "Outstations (Y2)",
+        "Points Y1 -> Y2",
+    ]);
     for s in 1..=27usize {
         let members: Vec<_> = study
             .topology
@@ -333,8 +388,16 @@ fn fig6(study: &Study) -> ExperimentOutput {
             .iter()
             .filter(|o| o.substation == s)
             .collect();
-        let y1: Vec<String> = members.iter().filter(|o| o.in_y1).map(|o| o.label()).collect();
-        let y2: Vec<String> = members.iter().filter(|o| o.in_y2).map(|o| o.label()).collect();
+        let y1: Vec<String> = members
+            .iter()
+            .filter(|o| o.in_y1)
+            .map(|o| o.label())
+            .collect();
+        let y2: Vec<String> = members
+            .iter()
+            .filter(|o| o.in_y2)
+            .map(|o| o.label())
+            .collect();
         let pts: Vec<String> = members
             .iter()
             .map(|o| {
@@ -370,16 +433,23 @@ fn fig6(study: &Study) -> ExperimentOutput {
         both,
         stable * 100 / both.max(1)
     );
-    out("fig6", "Fig. 6", text, json!({"stable": stable, "in_both": both}))
+    out(
+        "fig6",
+        "Fig. 6",
+        text,
+        json!({"stable": stable, "in_both": both}),
+    )
 }
 
 fn fig7() -> ExperimentOutput {
-    let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 7).with_object(
-        InfoObject::new(0x000301, IoValue::FloatMeasurement {
-            value: 49.98,
-            qds: Qds::GOOD,
-        }),
-    );
+    let asdu =
+        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 7).with_object(InfoObject::new(
+            0x000301,
+            IoValue::FloatMeasurement {
+                value: 49.98,
+                qds: Qds::GOOD,
+            },
+        ));
     let hex = |d: Dialect| {
         Apdu::i_frame(0, 0, asdu.clone())
             .encode(d)
@@ -397,11 +467,23 @@ fn fig7() -> ExperimentOutput {
         hex(Dialect::STANDARD),
         hex(Dialect::LEGACY_IOA),
     );
-    out("fig7", "Fig. 7", text, json!({"dialects": ["cot1", "std", "ioa2"]}))
+    out(
+        "fig7",
+        "Fig. 7",
+        text,
+        json!({"dialects": ["cot1", "std", "ioa2"]}),
+    )
 }
 
 fn compliance(study: &Study) -> ExperimentOutput {
-    let mut t = Table::new(["Outstation", "Year", "I-frames", "Strict malformed", "Tolerant malformed", "Dialect"]);
+    let mut t = Table::new([
+        "Outstation",
+        "Year",
+        "I-frames",
+        "Strict malformed",
+        "Tolerant malformed",
+        "Dialect",
+    ]);
     let mut flagged = Vec::new();
     for (label, p) in [("Y1", &study.y1), ("Y2", &study.y2)] {
         for entry in p.dataset.compliance.values() {
@@ -431,7 +513,12 @@ fn compliance(study: &Study) -> ExperimentOutput {
          our tolerant parser recovers them and identifies the legacy field widths.\n",
         t.render()
     );
-    out("compliance", "§6.1 compliance", text, json!({"flagged": flagged}))
+    out(
+        "compliance",
+        "§6.1 compliance",
+        text,
+        json!({"flagged": flagged}),
+    )
 }
 
 fn fig8(study: &Study) -> ExperimentOutput {
@@ -486,14 +573,20 @@ fn elbow(study: &Study) -> ExperimentOutput {
             format!("{:.3}", m.silhouette),
             format!("{:.3}", m.explained),
         ]);
-        json_rows.push(json!({"k": m.k, "sse": m.sse, "silhouette": m.silhouette, "ev": m.explained}));
+        json_rows
+            .push(json!({"k": m.k, "sse": m.sse, "silhouette": m.silhouette, "ev": m.explained}));
     }
     let text = format!(
         "{}\nelbow suggests K={:?}; the paper settled on K=5 from the same three criteria.\n",
         t.render(),
         report.elbow_k
     );
-    out("elbow", "K selection", text, json!({"sweep": json_rows, "elbow": report.elbow_k}))
+    out(
+        "elbow",
+        "K selection",
+        text,
+        json!({"sweep": json_rows, "elbow": report.elbow_k}),
+    )
 }
 
 /// The paper's feature-selection procedure: score each of the ten candidate
@@ -572,7 +665,16 @@ fn fig11(study: &Study) -> ExperimentOutput {
     let report = study.y1.cluster_sessions(7);
     let sizes = report.k5.cluster_sizes();
     let total: usize = sizes.iter().sum();
-    let mut t = Table::new(["Cluster", "Sessions", "Share", "mean dt [s]", "%I", "%S", "%U", "Interpretation"]);
+    let mut t = Table::new([
+        "Cluster",
+        "Sessions",
+        "Share",
+        "mean dt [s]",
+        "%I",
+        "%S",
+        "%U",
+        "Interpretation",
+    ]);
     let mut json_rows = Vec::new();
     for (c, mean) in report.cluster_means.iter().enumerate() {
         let interp = if mean[0] > 100.0 {
@@ -601,7 +703,12 @@ fn fig11(study: &Study) -> ExperimentOutput {
             "frac_i": mean[2], "frac_s": mean[3], "frac_u": mean[4],
         }));
     }
-    out("fig11", "Fig. 11", t.render(), json!({"clusters": json_rows}))
+    out(
+        "fig11",
+        "Fig. 11",
+        t.render(),
+        json!({"clusters": json_rows}),
+    )
 }
 
 fn chain_text(chain: &TokenChain) -> String {
@@ -800,11 +907,7 @@ fn fig17(study: &Study) -> ExperimentOutput {
     let mut t = Table::new(["Type", "Outstations", "Share"]);
     let mut json_rows = Vec::new();
     for (class, n, f) in &dist {
-        t.row([
-            format!("Type {}", class.number()),
-            n.to_string(),
-            pct(*f),
-        ]);
+        t.row([format!("Type {}", class.number()), n.to_string(), pct(*f)]);
         json_rows.push(json!({"type": class.number(), "count": n, "fraction": f}));
     }
     let text = format!(
@@ -850,9 +953,10 @@ fn fig18(study: &Study) -> ExperimentOutput {
     }
     text.push_str("\nactive power (bottom plot — the unmet-load dip and recovery):\n");
     let mut flagged = 0;
-    for s in series.iter().filter(|s| {
-        !s.from_server && matches!(s.infer_kind(), dpi::PhysicalKind::ActivePower)
-    }) {
+    for s in series
+        .iter()
+        .filter(|s| !s.from_server && matches!(s.infer_kind(), dpi::PhysicalKind::ActivePower))
+    {
         if !dpi::variance_events(s, 30.0, 3.0).is_empty() {
             text.push_str(&format!(
                 "  {} ioa {:>4}: {}\n",
@@ -866,14 +970,22 @@ fn fig18(study: &Study) -> ExperimentOutput {
             }
         }
     }
-    out("fig18", "Fig. 18", text, json!({"power_series_flagged": flagged}))
+    out(
+        "fig18",
+        "Fig. 18",
+        text,
+        json!({"power_series_flagged": flagged}),
+    )
 }
 
 fn fig19(study: &Study) -> ExperimentOutput {
     let series = study.y1.physical_series();
     let mut text = String::from("AGC set point commands (bottom series of Fig. 19):\n");
     let mut cmds = 0;
-    for s in series.iter().filter(|s| s.from_server && s.samples.len() >= 3) {
+    for s in series
+        .iter()
+        .filter(|s| s.from_server && s.samples.len() >= 3)
+    {
         text.push_str(&format!(
             "  {} -> ioa {}: {}\n",
             study.server_name(s.station_ip),
@@ -888,9 +1000,7 @@ fn fig19(study: &Study) -> ExperimentOutput {
     text.push_str("\ngenerator outputs responding (top series):\n");
     let mut gens = 0;
     for s in series.iter().filter(|s| {
-        !s.from_server
-            && s.infer_kind() == dpi::PhysicalKind::ActivePower
-            && s.variance() > 1.0
+        !s.from_server && s.infer_kind() == dpi::PhysicalKind::ActivePower && s.variance() > 1.0
     }) {
         text.push_str(&format!(
             "  {} ioa {:>4}: {}\n",
@@ -903,7 +1013,12 @@ fn fig19(study: &Study) -> ExperimentOutput {
             break;
         }
     }
-    out("fig19", "Fig. 19", text, json!({"command_series": cmds, "responding": gens}))
+    out(
+        "fig19",
+        "Fig. 19",
+        text,
+        json!({"command_series": cmds, "responding": gens}),
+    )
 }
 
 fn fig20(study: &Study) -> ExperimentOutput {
@@ -996,7 +1111,11 @@ fn hypotheses(study: &Study) -> ExperimentOutput {
     // H2: IEC 104 endpoints are readable by compliant parsers.
     let malformed = study.y1.dataset.fully_malformed_outstations().len()
         + study.y2.dataset.fully_malformed_outstations().len();
-    let h2 = if malformed > 0 { "refuted" } else { "confirmed" };
+    let h2 = if malformed > 0 {
+        "refuted"
+    } else {
+        "confirmed"
+    };
     t.row([
         "H2: all endpoints speak standard IEC 104".to_string(),
         h2.to_string(),
@@ -1006,7 +1125,11 @@ fn hypotheses(study: &Study) -> ExperimentOutput {
 
     // H3: TCP flows are long-lived.
     let stats = study.y1.flow_stats();
-    let h3 = if stats.sub_second_fraction() > 0.5 { "refuted" } else { "confirmed" };
+    let h3 = if stats.sub_second_fraction() > 0.5 {
+        "refuted"
+    } else {
+        "confirmed"
+    };
     t.row([
         "H3: SCADA TCP flows are long-lived".to_string(),
         h3.to_string(),
@@ -1025,7 +1148,11 @@ fn hypotheses(study: &Study) -> ExperimentOutput {
         .map(|m| m.silhouette)
         .fold(f64::MIN, f64::max);
     let classes = study.y1.classify_outstations();
-    let h4 = if best_sil > 0.5 && !classes.is_empty() { "confirmed" } else { "unclear" };
+    let h4 = if best_sil > 0.5 && !classes.is_empty() {
+        "confirmed"
+    } else {
+        "unclear"
+    };
     t.row([
         "H4: connection profiles cluster cleanly".to_string(),
         h4.to_string(),
@@ -1041,7 +1168,11 @@ fn hypotheses(study: &Study) -> ExperimentOutput {
     let fig21 = fig21(study);
     let accepted = fig21.json["accepted"] == true;
     let flagged = study.y1.interesting_series(30.0, 3.0).len();
-    let h5 = if accepted && flagged > 0 { "confirmed" } else { "unclear" };
+    let h5 = if accepted && flagged > 0 {
+        "confirmed"
+    } else {
+        "unclear"
+    };
     t.row([
         "H5: physics is recoverable via DPI".to_string(),
         h5.to_string(),
@@ -1057,7 +1188,12 @@ paper's verdicts: H1 mixed, H2 refuted, H3 refuted, H4 confirmed, H5 confirmed.
 ",
         t.render()
     );
-    out("hypotheses", "Hypotheses", text, json!({"verdicts": verdicts}))
+    out(
+        "hypotheses",
+        "Hypotheses",
+        text,
+        json!({"verdicts": verdicts}),
+    )
 }
 
 /// Export plot-ready CSV data for an experiment into `dir`. Returns the
@@ -1122,8 +1258,7 @@ pub fn export_csv(
                 match id {
                     "fig20" => s.station_ip == o40 && [702, 705, 800].contains(&s.ioa),
                     "fig19" => s.from_server && s.samples.len() >= 3,
-                    _ => !s.from_server
-                        && !dpi::variance_events(s, 30.0, 3.0).is_empty(),
+                    _ => !s.from_server && !dpi::variance_events(s, 30.0, 3.0).is_empty(),
                 }
             }) {
                 let name = format!(
@@ -1131,8 +1266,7 @@ pub fn export_csv(
                     study.outstation_name(s.station_ip).to_lowercase(),
                     s.ioa
                 );
-                let rows: Vec<String> =
-                    s.samples.iter().map(|(t, v)| format!("{t},{v}")).collect();
+                let rows: Vec<String> = s.samples.iter().map(|(t, v)| format!("{t},{v}")).collect();
                 write_file(&name, "t,value", &rows)?;
             }
         }

@@ -4,7 +4,9 @@
 //! ([`crate::pipebench`]) and emits a machine-readable JSON report:
 //!
 //! * `pipeline` — the Criterion pipeline work unit (ingest + every analysis
-//!   stage), packets/s, sequential and 4-worker.
+//!   stage), packets/s: sequential plus a thread sweep over the pipelined
+//!   sharded executor at n ∈ {2, 4, 8} workers, with per-n speedup ratios
+//!   against sequential (`sweep_vs_sequential`).
 //! * `parse` — `StreamDecoder` over a contiguous APDU stream, APDUs/s, plus
 //!   allocations per APDU when built with `--features bench-alloc`.
 //! * `flows` — sequential TCP reassembly, segments/s.
@@ -12,17 +14,23 @@
 //!   iterations/s.
 //! * `markov` — chain census rows/s.
 //! * `fingerprint` — the obs counter fingerprint of the pipeline run
-//!   (timings excluded), sequential and 4-worker: the behavior-preservation
-//!   witness for hot-path rewrites.
+//!   (timings excluded), sequential and at every swept thread count: the
+//!   behavior-preservation witness for hot-path rewrites.
 //!
 //! Given a `--baseline` report from an earlier build, the runner embeds it,
-//! computes speedups/allocation drops, and checks fingerprint equality.
+//! computes speedups/allocation drops, and checks fingerprint equality;
+//! [`gate`] turns the comparison into a pass/fail regression check.
 
 use crate::pipebench;
 use serde_json::{json, Value};
 use std::time::Instant;
 use uncharted::ExecPolicy;
 use uncharted_iec104::dialect::Dialect;
+
+/// The worker counts the pipeline sweep measures. Sequential runs in the
+/// same interleaved measurement rounds as the swept policies and is the
+/// denominator of every sweep ratio.
+pub const SWEEP_THREADS: [usize; 3] = [2, 4, 8];
 
 /// How big a run the runner measures.
 #[derive(Debug, Clone, Copy)]
@@ -31,27 +39,27 @@ pub struct RunnerConfig {
     pub scale: f64,
     /// I-frames in the synthetic parse stream.
     pub parse_frames: usize,
-    /// Measurement repetitions per layer (the reported rate is over the
-    /// total).
+    /// Measurement repetitions per layer (the reported rate comes from the
+    /// fastest repetition).
     pub reps: usize,
 }
 
 impl RunnerConfig {
-    /// The full-size configuration behind the committed `BENCH_PR5.json`.
+    /// The full-size configuration behind the committed `BENCH_PR6.json`.
     pub fn full() -> RunnerConfig {
         RunnerConfig {
-            scale: 120.0,
+            scale: 960.0,
             parse_frames: 200_000,
-            reps: 5,
+            reps: 30,
         }
     }
 
     /// A seconds-long smoke configuration for CI.
     pub fn smoke() -> RunnerConfig {
         RunnerConfig {
-            scale: 20.0,
-            parse_frames: 5_000,
-            reps: 2,
+            scale: 60.0,
+            parse_frames: 20_000,
+            reps: 8,
         }
     }
 }
@@ -66,41 +74,93 @@ fn counted<T>(f: impl FnOnce() -> T) -> (u64, T) {
     (0, f())
 }
 
-/// `(seconds, allocations, result)` for `reps` back-to-back runs after one
-/// untimed warm-up run.
+/// `(best-rep seconds, total allocations, result)` for `reps` individually
+/// timed runs after one untimed warm-up run. The fastest repetition is the
+/// reported time: on a shared box it is the noise floor — the run least
+/// disturbed by scheduler preemption — and the statistic that converges as
+/// reps grow, where a total or mean only accumulates interference.
 fn measure<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, u64, T) {
     std::hint::black_box(f()); // warm-up
-    let start = Instant::now();
-    let (allocs, out) = counted(|| {
+    let (allocs, (best, out)) = counted(|| {
+        let mut best = f64::INFINITY;
         let mut out = None;
         for _ in 0..reps.max(1) {
+            let start = Instant::now();
             out = Some(std::hint::black_box(f()));
+            best = best.min(start.elapsed().as_secs_f64());
         }
-        out.unwrap()
+        (best, out.unwrap())
     });
-    (start.elapsed().as_secs_f64(), allocs, out)
+    (best, allocs, out)
 }
 
-/// Items/s over `reps` measured runs of `items` each.
-fn rate(items: u64, reps: usize, secs: f64) -> f64 {
+/// Items/s for one run of `items` taking `secs` (the best-rep time).
+fn rate(items: u64, secs: f64) -> f64 {
     if secs <= 0.0 {
         return 0.0;
     }
-    (items as f64 * reps.max(1) as f64) / secs
+    items as f64 / secs
 }
 
 /// Run every layer measurement and return the `current` report section.
 pub fn run(cfg: RunnerConfig) -> Value {
     let packets = pipebench::scenario_packets(6, cfg.scale);
 
-    // Pipeline work unit, sequential and 4 workers. The clone of `packets`
-    // is part of the timed unit, exactly as in the Criterion bench.
-    let (seq_secs, _, (counts, fp_seq)) = measure(cfg.reps, || {
-        pipebench::ingest_analyze_fingerprint(packets.clone(), ExecPolicy::Sequential)
-    });
-    let (par_secs, _, (_, fp_par)) = measure(cfg.reps, || {
-        pipebench::ingest_analyze_fingerprint(packets.clone(), ExecPolicy::Threads(4))
-    });
+    // Pipeline work unit: sequential plus the executor thread sweep. The
+    // timed region is *construction only* — the input clone happens before
+    // the clock starts and the built artifacts drop after it stops, so the
+    // multi-millisecond allocator teardown (identical across policies by
+    // the parity guarantee) does not pad every measurement and compress the
+    // sweep ratios toward 1. The policies are measured in *interleaved
+    // rounds* — rep k of every policy runs in the same time window — so
+    // slow drift on a shared box (thermal throttling, a neighbour waking
+    // up) degrades every policy's best equally instead of whichever
+    // happened to be measured during the bad window. The sweep ratios are
+    // what the CI gate checks, so they get the paired measurement.
+    let policies: Vec<ExecPolicy> = std::iter::once(ExecPolicy::Sequential)
+        .chain(SWEEP_THREADS.iter().map(|&n| ExecPolicy::Threads(n)))
+        .collect();
+    let mut fingerprint = serde_json::Map::new();
+    // One untimed warm-up per policy also captures its fingerprint and the
+    // result counts (identical across policies by the parity guarantee).
+    let (counts, fp_seq) =
+        pipebench::ingest_analyze_fingerprint(packets.clone(), ExecPolicy::Sequential);
+    fingerprint.insert("sequential".into(), json!(fp_seq));
+    for &n in &SWEEP_THREADS {
+        let (_, fp) =
+            pipebench::ingest_analyze_fingerprint(packets.clone(), ExecPolicy::Threads(n));
+        fingerprint.insert(format!("threads{n}"), json!(fp));
+    }
+    let mut best = vec![f64::INFINITY; policies.len()];
+    for rep in 0..cfg.reps.max(1) {
+        // Rotate the starting policy each round so no policy always runs
+        // first (or last) within a round and inherits a systematic cache or
+        // allocator position.
+        for j in 0..policies.len() {
+            let slot = (rep + j) % policies.len();
+            let input = packets.clone();
+            let start = Instant::now();
+            let artifacts =
+                std::hint::black_box(pipebench::ingest_and_analyze_keep(input, policies[slot]));
+            best[slot] = best[slot].min(start.elapsed().as_secs_f64());
+            drop(artifacts);
+        }
+    }
+    let seq_rate = rate(packets.len() as u64, best[0]);
+    let mut sweep = serde_json::Map::new();
+    let mut sweep_ratio = serde_json::Map::new();
+    for (i, &n) in SWEEP_THREADS.iter().enumerate() {
+        let r = rate(packets.len() as u64, best[i + 1]);
+        sweep.insert(format!("threads{n}"), json!(r));
+        sweep_ratio.insert(
+            format!("threads{n}"),
+            if seq_rate > 0.0 {
+                json!(r / seq_rate)
+            } else {
+                Value::Null
+            },
+        );
+    }
 
     // Parse layer.
     let stream = pipebench::parse_stream(Dialect::STANDARD, cfg.parse_frames);
@@ -120,7 +180,7 @@ pub fn run(cfg: RunnerConfig) -> Value {
     // iteration count is identical across reps.
     let features = pipebench::kmeans_input(packets.clone());
     let (kmeans_secs, _, iters) = measure(cfg.reps, || pipebench::kmeans_work(&features, 11));
-    let kmeans_iters_per_sec = rate(iters as u64, cfg.reps, kmeans_secs);
+    let kmeans_iters_per_sec = rate(iters as u64, kmeans_secs);
 
     // Markov layer.
     let ctx = uncharted::ExecContext::sequential();
@@ -133,18 +193,21 @@ pub fn run(cfg: RunnerConfig) -> Value {
         "sessions": counts.1,
         "chains": counts.2,
         "series": counts.3,
-        "packets_per_sec_sequential": rate(packets.len() as u64, cfg.reps, seq_secs),
-        "packets_per_sec_threads4": rate(packets.len() as u64, cfg.reps, par_secs),
+        "packets_per_sec_sequential": seq_rate,
+        // Kept for comparisons against pre-sweep baselines.
+        "packets_per_sec_threads4": sweep.get("threads4").cloned().unwrap_or(Value::Null),
+        "thread_sweep": Value::Object(sweep),
+        "sweep_vs_sequential": Value::Object(sweep_ratio),
     });
     let parse = json!({
         "apdus": apdus,
-        "apdus_per_sec": rate(apdus as u64, cfg.reps, parse_secs),
+        "apdus_per_sec": rate(apdus as u64, parse_secs),
         "allocs_per_apdu": allocs_per_apdu,
     });
     let flows = json!({
         "connections": connections,
         "segments": segments,
-        "segments_per_sec": rate(segments as u64, cfg.reps, flow_secs),
+        "segments_per_sec": rate(segments as u64, flow_secs),
     });
     let kmeans = json!({
         "rows": features.rows(),
@@ -152,11 +215,7 @@ pub fn run(cfg: RunnerConfig) -> Value {
     });
     let markov = json!({
         "chains": chains,
-        "chains_per_sec": rate(chains as u64, cfg.reps, markov_secs),
-    });
-    let fingerprint = json!({
-        "sequential": fp_seq,
-        "threads4": fp_par,
+        "chains_per_sec": rate(chains as u64, markov_secs),
     });
     json!({
         "scale": cfg.scale,
@@ -167,7 +226,7 @@ pub fn run(cfg: RunnerConfig) -> Value {
         "flows": flows,
         "kmeans": kmeans,
         "markov": markov,
-        "fingerprint": fingerprint,
+        "fingerprint": Value::Object(fingerprint),
     })
 }
 
@@ -209,22 +268,131 @@ pub fn report(current: Value, baseline: Option<Value>) -> Value {
             Value::Null
         }
     };
-    let fp_match = base["fingerprint"]["sequential"] == current["fingerprint"]["sequential"]
-        && base["fingerprint"]["threads4"] == current["fingerprint"]["threads4"]
-        && base["fingerprint"]["sequential"] == current["fingerprint"]["threads4"];
-    let comparison = json!({
-        "pipeline_sequential_speedup": ratio(&["pipeline", "packets_per_sec_sequential"]),
-        "pipeline_threads4_speedup": ratio(&["pipeline", "packets_per_sec_threads4"]),
-        "parse_speedup": ratio(&["parse", "apdus_per_sec"]),
-        "flows_speedup": ratio(&["flows", "segments_per_sec"]),
-        "kmeans_speedup": ratio(&["kmeans", "iters_per_sec"]),
-        "markov_speedup": ratio(&["markov", "chains_per_sec"]),
-        "parse_alloc_drop": alloc_drop,
-        "counter_fingerprint_match": fp_match,
-    });
+    // Every fingerprint of the current run must agree with its own
+    // sequential one, and — when the baseline carries fingerprints of its
+    // own — with every fingerprint the baseline recorded.
+    let fp_current = &current["fingerprint"];
+    let fp_reference = fp_current["sequential"].clone();
+    let mut fp_match = fp_reference.as_str().is_some();
+    if let Some(obj) = fp_current.as_object() {
+        for (_, v) in obj.iter() {
+            fp_match &= *v == fp_reference;
+        }
+    }
+    if let Some(obj) = base["fingerprint"].as_object() {
+        for (_, v) in obj.iter() {
+            fp_match &= *v == fp_reference;
+        }
+    }
+    let mut comparison = serde_json::Map::new();
+    comparison.insert(
+        "pipeline_sequential_speedup".into(),
+        ratio(&["pipeline", "packets_per_sec_sequential"]),
+    );
+    comparison.insert(
+        "pipeline_threads4_speedup".into(),
+        ratio(&["pipeline", "packets_per_sec_threads4"]),
+    );
+    for n in SWEEP_THREADS {
+        let key = format!("threads{n}");
+        comparison.insert(
+            format!("pipeline_{key}_sweep_speedup"),
+            ratio(&["pipeline", "thread_sweep", &key]),
+        );
+    }
+    comparison.insert("parse_speedup".into(), ratio(&["parse", "apdus_per_sec"]));
+    comparison.insert(
+        "flows_speedup".into(),
+        ratio(&["flows", "segments_per_sec"]),
+    );
+    comparison.insert("kmeans_speedup".into(), ratio(&["kmeans", "iters_per_sec"]));
+    comparison.insert(
+        "markov_speedup".into(),
+        ratio(&["markov", "chains_per_sec"]),
+    );
+    comparison.insert("parse_alloc_drop".into(), alloc_drop);
+    comparison.insert("counter_fingerprint_match".into(), json!(fp_match));
     json!({
         "baseline": base,
         "current": current,
         "comparison": comparison,
     })
+}
+
+/// The CI regression gate: given a report produced with a baseline, fail if
+/// any throughput speedup ratio dropped below `1 - max_drop_pct/100`, or if
+/// the counter fingerprints disagree. Returns the list of violations —
+/// empty means the gate passes. Reports without a `comparison` section
+/// (no baseline given) fail closed, with a single violation saying so.
+pub fn gate(report: &Value, max_drop_pct: f64) -> Vec<String> {
+    let Some(cmp) = report.get("comparison").and_then(Value::as_object) else {
+        return vec!["no comparison section (was --baseline given?)".to_string()];
+    };
+    let floor = 1.0 - max_drop_pct / 100.0;
+    let mut violations = Vec::new();
+    for (key, v) in cmp.iter() {
+        if key == "counter_fingerprint_match" {
+            if v != &json!(true) {
+                violations.push("counter fingerprint mismatch vs baseline".to_string());
+            }
+            continue;
+        }
+        if !key.ends_with("_speedup") {
+            continue;
+        }
+        if let Some(ratio) = v.as_f64() {
+            if ratio < floor {
+                violations.push(format!(
+                    "{key} = {ratio:.3} (< {floor:.3}: dropped more than {max_drop_pct}% vs baseline)"
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_section(seq: f64, t4: f64, fp: &str) -> Value {
+        json!({
+            "pipeline": json!({
+                "packets_per_sec_sequential": seq,
+                "packets_per_sec_threads4": t4,
+                "thread_sweep": json!({ "threads2": t4, "threads4": t4, "threads8": t4 }),
+                "sweep_vs_sequential":
+                    json!({ "threads2": t4 / seq, "threads4": t4 / seq, "threads8": t4 / seq }),
+            }),
+            "parse": json!({ "apdus_per_sec": 100.0, "allocs_per_apdu": 0.0 }),
+            "flows": json!({ "segments_per_sec": 100.0 }),
+            "kmeans": json!({ "iters_per_sec": 100.0 }),
+            "markov": json!({ "chains_per_sec": 100.0 }),
+            "fingerprint":
+                json!({ "sequential": fp, "threads2": fp, "threads4": fp, "threads8": fp }),
+        })
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond_it() {
+        let base = fake_section(1000.0, 1200.0, "fp");
+        let ok = report(fake_section(950.0, 1150.0, "fp"), Some(base.clone()));
+        assert!(gate(&ok, 10.0).is_empty(), "{:?}", gate(&ok, 10.0));
+        let bad = report(fake_section(500.0, 1150.0, "fp"), Some(base.clone()));
+        let violations = gate(&bad, 10.0);
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("pipeline_sequential_speedup")));
+        // A fingerprint change is always a gate failure, at any tolerance.
+        let drifted = report(fake_section(1000.0, 1200.0, "other"), Some(base));
+        assert!(gate(&drifted, 100.0)
+            .iter()
+            .any(|v| v.contains("fingerprint")));
+    }
+
+    #[test]
+    fn gate_fails_closed_without_a_baseline() {
+        let lone = report(fake_section(1000.0, 1200.0, "fp"), None);
+        assert_eq!(gate(&lone, 10.0).len(), 1);
+    }
 }

@@ -88,11 +88,7 @@ mod tests {
         assert_eq!(study.y1_set.captures.len(), 5);
         assert_eq!(study.y2_set.captures.len(), 3);
         assert!(study.y1.dataset.packets.len() > 100);
-        let o37 = study
-            .topology
-            .outstation(37)
-            .unwrap()
-            .ip();
+        let o37 = study.topology.outstation(37).unwrap().ip();
         assert_eq!(study.outstation_name(o37), "O37");
         assert_eq!(
             study.server_name(uncharted::scadasim::topology::ServerId::C2.ip()),

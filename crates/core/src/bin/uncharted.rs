@@ -73,8 +73,18 @@ fn simulate(args: Vec<String>) {
                     _ => usage(),
                 }
             }
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--attack" => attack = true,
             "--out" => out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             _ => usage(),
@@ -114,11 +124,12 @@ fn analyze(args: Vec<String>) {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--threads" => {
-                threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
-            "--metrics" => {
-                metrics_path = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
-            }
+            "--metrics" => metrics_path = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--metrics-format" => {
                 metrics_format = it.next().unwrap_or_else(|| usage());
                 if metrics_format != "json" && metrics_format != "prom" {
@@ -237,20 +248,56 @@ fn ids(args: Vec<String>) {
     for a in alerts.iter().take(30) {
         let text = match &a.kind {
             AlertKind::UnknownHost { ip: h } => format!("unknown host {}", ip(*h)),
-            AlertKind::UnknownPair { server_ip, outstation_ip } => {
+            AlertKind::UnknownPair {
+                server_ip,
+                outstation_ip,
+            } => {
                 format!("unknown pair {} -> {}", ip(*server_ip), ip(*outstation_ip))
             }
-            AlertKind::NovelToken { server_ip, outstation_ip, token } => {
-                format!("novel token {token} on {} -> {}", ip(*server_ip), ip(*outstation_ip))
+            AlertKind::NovelToken {
+                server_ip,
+                outstation_ip,
+                token,
+            } => {
+                format!(
+                    "novel token {token} on {} -> {}",
+                    ip(*server_ip),
+                    ip(*outstation_ip)
+                )
             }
-            AlertKind::NovelTransition { server_ip, outstation_ip, from, to } => {
-                format!("novel transition {from}->{to} on {} -> {}", ip(*server_ip), ip(*outstation_ip))
+            AlertKind::NovelTransition {
+                server_ip,
+                outstation_ip,
+                from,
+                to,
+            } => {
+                format!(
+                    "novel transition {from}->{to} on {} -> {}",
+                    ip(*server_ip),
+                    ip(*outstation_ip)
+                )
             }
-            AlertKind::UnexpectedCommand { server_ip, outstation_ip, type_id } => {
-                format!("unexpected I{type_id} command {} -> {}", ip(*server_ip), ip(*outstation_ip))
+            AlertKind::UnexpectedCommand {
+                server_ip,
+                outstation_ip,
+                type_id,
+            } => {
+                format!(
+                    "unexpected I{type_id} command {} -> {}",
+                    ip(*server_ip),
+                    ip(*outstation_ip)
+                )
             }
-            AlertKind::ValueOutOfRange { station_ip, ioa, value, .. } => {
-                format!("{} ioa {ioa}: out-of-envelope value {value:.1}", ip(*station_ip))
+            AlertKind::ValueOutOfRange {
+                station_ip,
+                ioa,
+                value,
+                ..
+            } => {
+                format!(
+                    "{} ioa {ioa}: out-of-envelope value {value:.1}",
+                    ip(*station_ip)
+                )
             }
             AlertKind::PhysicsViolation { station_ip, detail } => {
                 format!("{}: {detail}", ip(*station_ip))
@@ -258,7 +305,10 @@ fn ids(args: Vec<String>) {
         };
         println!("  [{:?}] {text}", a.severity);
     }
-    let high = alerts.iter().filter(|a| a.severity == Severity::High).count();
+    let high = alerts
+        .iter()
+        .filter(|a| a.severity == Severity::High)
+        .count();
     if high > 0 {
         println!("VERDICT: suspicious ({high} high-severity alerts)");
         std::process::exit(3);

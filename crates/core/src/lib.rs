@@ -54,8 +54,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use uncharted_analysis::dpi::{self, TypeCensus};
 use uncharted_analysis::kmeans::{self, KMeansResult, ModelSelection};
-use uncharted_analysis::matrix::FeatureMatrix;
 use uncharted_analysis::markov::{self, ChainCensus, OutstationClass};
+use uncharted_analysis::matrix::FeatureMatrix;
 use uncharted_analysis::pca::Pca;
 use uncharted_analysis::session::{self, standardize, Session};
 use uncharted_nettap::pcap::ParsedPacket;
@@ -187,11 +187,16 @@ impl Pipeline {
     /// Ingest one capture.
     #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().build_capture(..)`")]
     pub fn from_capture(capture: &Capture) -> Pipeline {
-        Pipeline::builder().exec(ExecPolicy::Sequential).build_capture(capture)
+        Pipeline::builder()
+            .exec(ExecPolicy::Sequential)
+            .build_capture(capture)
     }
 
     /// [`Pipeline::from_capture`] with a worker-thread count.
-    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().threads(n).build_capture(..)`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pipeline::builder().threads(n).build_capture(..)`"
+    )]
     pub fn from_capture_threaded(capture: &Capture, threads: usize) -> Pipeline {
         Pipeline::builder().threads(threads).build_capture(capture)
     }
@@ -203,7 +208,10 @@ impl Pipeline {
     }
 
     /// [`Pipeline::from_capture_set`] with a worker-thread count.
-    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().threads(n).build(..)`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pipeline::builder().threads(n).build(..)`"
+    )]
     pub fn from_capture_set_threaded(set: &CaptureSet, threads: usize) -> Pipeline {
         Pipeline::builder().threads(threads).build(set)
     }
@@ -211,11 +219,16 @@ impl Pipeline {
     /// Ingest a classic libpcap file.
     #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().build_pcap(..)`")]
     pub fn from_pcap_file(path: &std::path::Path) -> std::io::Result<Pipeline> {
-        Pipeline::builder().exec(ExecPolicy::Sequential).build_pcap(path)
+        Pipeline::builder()
+            .exec(ExecPolicy::Sequential)
+            .build_pcap(path)
     }
 
     /// [`Pipeline::from_pcap_file`] with a worker-thread count.
-    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().threads(n).build_pcap(..)`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pipeline::builder().threads(n).build_pcap(..)`"
+    )]
     pub fn from_pcap_file_threaded(
         path: &std::path::Path,
         threads: usize,
@@ -224,7 +237,10 @@ impl Pipeline {
     }
 
     /// Set the analysis worker count (`0` = one per core).
-    #[deprecated(since = "0.2.0", note = "set the policy on `Pipeline::builder().exec(..)` instead")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "set the policy on `Pipeline::builder().exec(..)` instead"
+    )]
     pub fn with_threads(mut self, threads: usize) -> Pipeline {
         self.exec.policy = ExecPolicy::from_threads_flag(threads);
         self
@@ -390,7 +406,10 @@ mod tests {
         assert_eq!(sharded.flow_stats(), sequential.flow_stats());
         assert_eq!(sharded.sessions(), sequential.sessions());
         assert_eq!(sharded.chain_census().rows, sequential.chain_census().rows);
-        assert_eq!(sharded.type_census().counts, sequential.type_census().counts);
+        assert_eq!(
+            sharded.type_census().counts,
+            sequential.type_census().counts
+        );
         assert_eq!(sharded.physical_series(), sequential.physical_series());
         assert_eq!(
             sharded.classify_outstations(),

@@ -267,12 +267,13 @@ mod tests {
     use crate::types::TypeId;
 
     fn sample_asdu() -> Asdu {
-        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 4).with_object(
-            InfoObject::new(1001, IoValue::FloatMeasurement {
+        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 4).with_object(InfoObject::new(
+            1001,
+            IoValue::FloatMeasurement {
                 value: 117.3,
                 qds: Qds::GOOD,
-            }),
-        )
+            },
+        ))
     }
 
     #[test]
@@ -307,7 +308,11 @@ mod tests {
         let mut dec = StreamDecoder::new(Dialect::STANDARD);
         let mut segment = Vec::new();
         for i in 0..5 {
-            segment.extend(Apdu::i_frame(i, 0, sample_asdu()).encode(Dialect::STANDARD).unwrap());
+            segment.extend(
+                Apdu::i_frame(i, 0, sample_asdu())
+                    .encode(Dialect::STANDARD)
+                    .unwrap(),
+            );
         }
         let items = dec.feed(&segment);
         assert_eq!(items.len(), 5);
@@ -350,7 +355,10 @@ mod tests {
         stream.extend(Apdu::s_frame(7).encode(Dialect::STANDARD).unwrap());
         let items = dec.feed(&stream);
         assert_eq!(items.len(), 2);
-        assert!(matches!(items[0], StreamItem::Malformed(_, Error::BadStartByte(0xDE))));
+        assert!(matches!(
+            items[0],
+            StreamItem::Malformed(_, Error::BadStartByte(0xDE))
+        ));
         assert!(matches!(&items[1], StreamItem::Apdu(a) if a.apci.is_s()));
     }
 
@@ -399,10 +407,13 @@ mod tests {
         // 31 float objects with 8-byte overhead each exceed 253 octets.
         let mut asdu = sample_asdu();
         for i in 0..31 {
-            asdu.objects.push(InfoObject::new(2000 + i, IoValue::FloatMeasurement {
-                value: 0.0,
-                qds: Qds::GOOD,
-            }));
+            asdu.objects.push(InfoObject::new(
+                2000 + i,
+                IoValue::FloatMeasurement {
+                    value: 0.0,
+                    qds: Qds::GOOD,
+                },
+            ));
         }
         let apdu = Apdu::i_frame(0, 0, asdu);
         assert!(matches!(

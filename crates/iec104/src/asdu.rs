@@ -92,7 +92,12 @@ pub enum IoValue {
     /// Type 120: file ready.
     FileReady { nof: u16, lof: u32, frq: u8 },
     /// Type 121: section ready.
-    SectionReady { nof: u16, nos: u8, lof: u32, srq: u8 },
+    SectionReady {
+        nof: u16,
+        nos: u8,
+        lof: u32,
+        srq: u8,
+    },
     /// Type 122: call directory / select file / call file / call section.
     CallFile { nof: u16, nos: u8, scq: u8 },
     /// Type 123: last section / last segment.
@@ -102,9 +107,18 @@ pub enum IoValue {
     /// Type 125: segment (variable length).
     Segment { nof: u16, nos: u8, data: Vec<u8> },
     /// Type 126: directory.
-    Directory { nof: u16, lof: u32, sof: u8, time: Cp56Time2a },
+    Directory {
+        nof: u16,
+        lof: u32,
+        sof: u8,
+        time: Cp56Time2a,
+    },
     /// Type 127: query log / request archive file.
-    QueryLog { nof: u16, start: Cp56Time2a, stop: Cp56Time2a },
+    QueryLog {
+        nof: u16,
+        start: Cp56Time2a,
+        stop: Cp56Time2a,
+    },
 }
 
 impl IoValue {
@@ -307,7 +321,15 @@ impl IoValue {
         let le24 = |o: usize| u32::from_le_bytes([b[o], b[o + 1], b[o + 2], 0]);
         let f32le = |o: usize| f32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
         let cp56 = |o: usize| {
-            Cp56Time2a::decode([b[o], b[o + 1], b[o + 2], b[o + 3], b[o + 4], b[o + 5], b[o + 6]])
+            Cp56Time2a::decode([
+                b[o],
+                b[o + 1],
+                b[o + 2],
+                b[o + 3],
+                b[o + 4],
+                b[o + 5],
+                b[o + 6],
+            ])
         };
         let value = match type_id {
             M_SP_NA_1 | M_SP_TB_1 => IoValue::SinglePoint { siq: Siq(b[0]) },
@@ -339,7 +361,9 @@ impl IoValue {
                 scd: le32(0),
                 qds: Qds(b[4]),
             },
-            M_ME_ND_1 => IoValue::NormalizedNoQuality { nva: Nva(le_i16(0)) },
+            M_ME_ND_1 => IoValue::NormalizedNoQuality {
+                nva: Nva(le_i16(0)),
+            },
             M_EP_TD_1 => IoValue::ProtectionEvent {
                 sep: b[0],
                 elapsed_ms: le16(1),
@@ -843,11 +867,13 @@ mod tests {
     use crate::cot::Cause;
 
     fn float_asdu(ioa: u32, v: f32) -> Asdu {
-        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 1)
-            .with_object(InfoObject::new(ioa, IoValue::FloatMeasurement {
+        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 1).with_object(InfoObject::new(
+            ioa,
+            IoValue::FloatMeasurement {
                 value: v,
                 qds: Qds::GOOD,
-            }))
+            },
+        ))
     }
 
     #[test]
@@ -883,10 +909,13 @@ mod tests {
     fn sequence_encoding_round_trip() {
         let mut asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Periodic), 5).as_sequence();
         for i in 0..10u32 {
-            asdu.objects.push(InfoObject::new(700 + i, IoValue::FloatMeasurement {
-                value: i as f32 * 1.5,
-                qds: Qds::GOOD,
-            }));
+            asdu.objects.push(InfoObject::new(
+                700 + i,
+                IoValue::FloatMeasurement {
+                    value: i as f32 * 1.5,
+                    qds: Qds::GOOD,
+                },
+            ));
         }
         let bytes = asdu.encode(Dialect::STANDARD).unwrap();
         // SQ saves (count-1) * ioa_len octets.
@@ -902,14 +931,20 @@ mod tests {
     #[test]
     fn sequence_requires_consecutive_ioas() {
         let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Periodic), 5)
-            .with_object(InfoObject::new(700, IoValue::FloatMeasurement {
-                value: 1.0,
-                qds: Qds::GOOD,
-            }))
-            .with_object(InfoObject::new(705, IoValue::FloatMeasurement {
-                value: 2.0,
-                qds: Qds::GOOD,
-            }))
+            .with_object(InfoObject::new(
+                700,
+                IoValue::FloatMeasurement {
+                    value: 1.0,
+                    qds: Qds::GOOD,
+                },
+            ))
+            .with_object(InfoObject::new(
+                705,
+                IoValue::FloatMeasurement {
+                    value: 2.0,
+                    qds: Qds::GOOD,
+                },
+            ))
             .as_sequence();
         assert!(asdu.encode(Dialect::STANDARD).is_err());
     }
@@ -917,7 +952,10 @@ mod tests {
     #[test]
     fn sequence_forbidden_for_commands() {
         let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 1)
-            .with_object(InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }))
+            .with_object(InfoObject::new(
+                0,
+                IoValue::Interrogation { qoi: Qoi::STATION },
+            ))
             .as_sequence();
         assert!(matches!(
             asdu.encode(Dialect::STANDARD),
@@ -929,25 +967,34 @@ mod tests {
     fn time_tagged_round_trip() {
         let tag = Cp56Time2a::from_epoch_millis(3_725_123);
         let asdu = Asdu::new(TypeId::M_ME_TF_1, Cot::new(Cause::Spontaneous), 9).with_object(
-            InfoObject::new(42, IoValue::FloatMeasurement {
-                value: 132.7,
-                qds: Qds::GOOD,
-            })
+            InfoObject::new(
+                42,
+                IoValue::FloatMeasurement {
+                    value: 132.7,
+                    qds: Qds::GOOD,
+                },
+            )
             .with_time(tag),
         );
         let bytes = asdu.encode(Dialect::STANDARD).unwrap();
         let back = Asdu::decode(&bytes, Dialect::STANDARD).unwrap();
         assert_eq!(back, asdu);
-        assert_eq!(back.objects[0].time_tag.unwrap().to_epoch_millis(), 3_725_123);
+        assert_eq!(
+            back.objects[0].time_tag.unwrap().to_epoch_millis(),
+            3_725_123
+        );
     }
 
     #[test]
     fn time_tag_required_for_tagged_types() {
         let asdu = Asdu::new(TypeId::M_ME_TF_1, Cot::new(Cause::Spontaneous), 9).with_object(
-            InfoObject::new(42, IoValue::FloatMeasurement {
-                value: 1.0,
-                qds: Qds::GOOD,
-            }),
+            InfoObject::new(
+                42,
+                IoValue::FloatMeasurement {
+                    value: 1.0,
+                    qds: Qds::GOOD,
+                },
+            ),
         );
         assert!(matches!(
             asdu.encode(Dialect::STANDARD),
@@ -958,10 +1005,13 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let asdu = Asdu::new(TypeId::M_SP_NA_1, Cot::new(Cause::Spontaneous), 1).with_object(
-            InfoObject::new(1, IoValue::FloatMeasurement {
-                value: 1.0,
-                qds: Qds::GOOD,
-            }),
+            InfoObject::new(
+                1,
+                IoValue::FloatMeasurement {
+                    value: 1.0,
+                    qds: Qds::GOOD,
+                },
+            ),
         );
         assert!(asdu.encode(Dialect::STANDARD).is_err());
     }
@@ -988,8 +1038,9 @@ mod tests {
 
     #[test]
     fn interrogation_command_round_trip() {
-        let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 3)
-            .with_object(InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }));
+        let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 3).with_object(
+            InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }),
+        );
         let bytes = asdu.encode(Dialect::STANDARD).unwrap();
         let back = Asdu::decode(&bytes, Dialect::STANDARD).unwrap();
         assert_eq!(back, asdu);
@@ -997,13 +1048,15 @@ mod tests {
 
     #[test]
     fn segment_variable_length_round_trip() {
-        let asdu = Asdu::new(TypeId::F_SG_NA_1, Cot::new(Cause::File), 3).with_object(
-            InfoObject::new(0, IoValue::Segment {
-                nof: 7,
-                nos: 2,
-                data: vec![1, 2, 3, 4, 5],
-            }),
-        );
+        let asdu =
+            Asdu::new(TypeId::F_SG_NA_1, Cot::new(Cause::File), 3).with_object(InfoObject::new(
+                0,
+                IoValue::Segment {
+                    nof: 7,
+                    nos: 2,
+                    data: vec![1, 2, 3, 4, 5],
+                },
+            ));
         let bytes = asdu.encode(Dialect::STANDARD).unwrap();
         assert_eq!(Asdu::decode(&bytes, Dialect::STANDARD).unwrap(), asdu);
     }
@@ -1013,13 +1066,23 @@ mod tests {
         // One synthetic object per type, exercising every encoder/decoder arm.
         for &ty in TypeId::ALL {
             let value = synthetic_value(ty);
-            let mut obj = InfoObject::new(if ty.class() == crate::types::TypeClass::SystemControl { 0 } else { 33 }, value);
+            let mut obj = InfoObject::new(
+                if ty.class() == crate::types::TypeClass::SystemControl {
+                    0
+                } else {
+                    33
+                },
+                value,
+            );
             if ty.has_time_tag() {
                 obj = obj.with_time(Cp56Time2a::from_epoch_millis(123_456));
             }
             let asdu = Asdu::new(ty, Cot::new(Cause::Activation), 2).with_object(obj);
-            let bytes = asdu.encode(Dialect::STANDARD).unwrap_or_else(|e| panic!("{ty}: {e}"));
-            let back = Asdu::decode(&bytes, Dialect::STANDARD).unwrap_or_else(|e| panic!("{ty}: {e}"));
+            let bytes = asdu
+                .encode(Dialect::STANDARD)
+                .unwrap_or_else(|e| panic!("{ty}: {e}"));
+            let back =
+                Asdu::decode(&bytes, Dialect::STANDARD).unwrap_or_else(|e| panic!("{ty}: {e}"));
             assert_eq!(back, asdu, "{ty}");
         }
     }
@@ -1028,7 +1091,9 @@ mod tests {
     pub(crate) fn synthetic_value(ty: TypeId) -> IoValue {
         use TypeId::*;
         match ty {
-            M_SP_NA_1 | M_SP_TB_1 => IoValue::SinglePoint { siq: Siq::from_state(true) },
+            M_SP_NA_1 | M_SP_TB_1 => IoValue::SinglePoint {
+                siq: Siq::from_state(true),
+            },
             M_DP_NA_1 | M_DP_TB_1 => IoValue::DoublePoint {
                 diq: Diq::from_point(crate::elements::DoublePoint::On),
             },
@@ -1036,21 +1101,49 @@ mod tests {
                 vti: Vti::new(-5, false),
                 qds: Qds::GOOD,
             },
-            M_BO_NA_1 | M_BO_TB_1 => IoValue::Bitstring { bits: 0xDEADBEEF, qds: Qds::GOOD },
+            M_BO_NA_1 | M_BO_TB_1 => IoValue::Bitstring {
+                bits: 0xDEADBEEF,
+                qds: Qds::GOOD,
+            },
             M_ME_NA_1 | M_ME_TD_1 => IoValue::NormalizedMeasurement {
                 nva: Nva::from_f64(0.75),
                 qds: Qds::GOOD,
             },
-            M_ME_NB_1 | M_ME_TE_1 => IoValue::ScaledMeasurement { value: -1234, qds: Qds::GOOD },
-            M_ME_NC_1 | M_ME_TF_1 => IoValue::FloatMeasurement { value: 50.02, qds: Qds::GOOD },
-            M_IT_NA_1 | M_IT_TB_1 => IoValue::IntegratedTotals {
-                bcr: Bcr { count: 987654, seq: 3 },
+            M_ME_NB_1 | M_ME_TE_1 => IoValue::ScaledMeasurement {
+                value: -1234,
+                qds: Qds::GOOD,
             },
-            M_PS_NA_1 => IoValue::PackedSinglePoint { scd: 0x00FF00FF, qds: Qds::GOOD },
-            M_ME_ND_1 => IoValue::NormalizedNoQuality { nva: Nva::from_f64(-0.25) },
-            M_EP_TD_1 => IoValue::ProtectionEvent { sep: 1, elapsed_ms: 250 },
-            M_EP_TE_1 => IoValue::ProtectionStartEvents { spe: 0x11, qdp: 0, duration_ms: 40 },
-            M_EP_TF_1 => IoValue::ProtectionOutputCircuit { oci: 0x01, qdp: 0, op_ms: 60 },
+            M_ME_NC_1 | M_ME_TF_1 => IoValue::FloatMeasurement {
+                value: 50.02,
+                qds: Qds::GOOD,
+            },
+            M_IT_NA_1 | M_IT_TB_1 => IoValue::IntegratedTotals {
+                bcr: Bcr {
+                    count: 987654,
+                    seq: 3,
+                },
+            },
+            M_PS_NA_1 => IoValue::PackedSinglePoint {
+                scd: 0x00FF00FF,
+                qds: Qds::GOOD,
+            },
+            M_ME_ND_1 => IoValue::NormalizedNoQuality {
+                nva: Nva::from_f64(-0.25),
+            },
+            M_EP_TD_1 => IoValue::ProtectionEvent {
+                sep: 1,
+                elapsed_ms: 250,
+            },
+            M_EP_TE_1 => IoValue::ProtectionStartEvents {
+                spe: 0x11,
+                qdp: 0,
+                duration_ms: 40,
+            },
+            M_EP_TF_1 => IoValue::ProtectionOutputCircuit {
+                oci: 0x01,
+                qdp: 0,
+                op_ms: 60,
+            },
             C_SC_NA_1 | C_SC_TA_1 => IoValue::SingleCommand { sco: 1 },
             C_DC_NA_1 | C_DC_TA_1 => IoValue::DoubleCommand { dco: 2 },
             C_RC_NA_1 | C_RC_TA_1 => IoValue::RegulatingStep { rco: 1 },
@@ -1059,7 +1152,10 @@ mod tests {
                 qos: 0,
             },
             C_SE_NB_1 | C_SE_TB_1 => IoValue::ScaledSetpoint { value: 777, qos: 0 },
-            C_SE_NC_1 | C_SE_TC_1 => IoValue::FloatSetpoint { value: 410.0, qos: 0 },
+            C_SE_NC_1 | C_SE_TC_1 => IoValue::FloatSetpoint {
+                value: 410.0,
+                qos: 0,
+            },
             C_BO_NA_1 | C_BO_TA_1 => IoValue::BitstringCommand { bits: 0x12345678 },
             M_EI_NA_1 => IoValue::EndOfInit { coi: 0 },
             C_IC_NA_1 => IoValue::Interrogation { qoi: Qoi::STATION },
@@ -1070,16 +1166,48 @@ mod tests {
             },
             C_RP_NA_1 => IoValue::ResetProcess { qrp: 1 },
             C_TS_TA_1 => IoValue::TestCommand { tsc: 0xAA55 },
-            P_ME_NA_1 => IoValue::ParamNormalized { nva: Nva::from_f64(0.1), qpm: 1 },
+            P_ME_NA_1 => IoValue::ParamNormalized {
+                nva: Nva::from_f64(0.1),
+                qpm: 1,
+            },
             P_ME_NB_1 => IoValue::ParamScaled { value: 10, qpm: 1 },
-            P_ME_NC_1 => IoValue::ParamFloat { value: 0.05, qpm: 1 },
+            P_ME_NC_1 => IoValue::ParamFloat {
+                value: 0.05,
+                qpm: 1,
+            },
             P_AC_NA_1 => IoValue::ParamActivation { qpa: 1 },
-            F_FR_NA_1 => IoValue::FileReady { nof: 1, lof: 1024, frq: 0 },
-            F_SR_NA_1 => IoValue::SectionReady { nof: 1, nos: 1, lof: 512, srq: 0 },
-            F_SC_NA_1 => IoValue::CallFile { nof: 1, nos: 1, scq: 1 },
-            F_LS_NA_1 => IoValue::LastSection { nof: 1, nos: 1, lsq: 1, chs: 0x5A },
-            F_AF_NA_1 => IoValue::AckFile { nof: 1, nos: 1, afq: 1 },
-            F_SG_NA_1 => IoValue::Segment { nof: 1, nos: 1, data: vec![9, 8, 7] },
+            F_FR_NA_1 => IoValue::FileReady {
+                nof: 1,
+                lof: 1024,
+                frq: 0,
+            },
+            F_SR_NA_1 => IoValue::SectionReady {
+                nof: 1,
+                nos: 1,
+                lof: 512,
+                srq: 0,
+            },
+            F_SC_NA_1 => IoValue::CallFile {
+                nof: 1,
+                nos: 1,
+                scq: 1,
+            },
+            F_LS_NA_1 => IoValue::LastSection {
+                nof: 1,
+                nos: 1,
+                lsq: 1,
+                chs: 0x5A,
+            },
+            F_AF_NA_1 => IoValue::AckFile {
+                nof: 1,
+                nos: 1,
+                afq: 1,
+            },
+            F_SG_NA_1 => IoValue::Segment {
+                nof: 1,
+                nos: 1,
+                data: vec![9, 8, 7],
+            },
             F_DR_TA_1 => IoValue::Directory {
                 nof: 1,
                 lof: 2048,
@@ -1097,7 +1225,11 @@ mod tests {
     #[test]
     fn numeric_extraction() {
         assert_eq!(
-            IoValue::FloatMeasurement { value: 2.5, qds: Qds::GOOD }.numeric(),
+            IoValue::FloatMeasurement {
+                value: 2.5,
+                qds: Qds::GOOD
+            }
+            .numeric(),
             Some(2.5)
         );
         assert_eq!(
@@ -1125,7 +1257,10 @@ mod tests {
     #[test]
     fn empty_vsq_rejected() {
         let asdu = Asdu::new(TypeId::M_SP_NA_1, Cot::new(Cause::Spontaneous), 1);
-        assert!(matches!(asdu.encode(Dialect::STANDARD), Err(Error::EmptyVsq)));
+        assert!(matches!(
+            asdu.encode(Dialect::STANDARD),
+            Err(Error::EmptyVsq)
+        ));
         // And on decode.
         let bytes = [1u8, 0, 3, 0, 1, 0];
         assert!(matches!(

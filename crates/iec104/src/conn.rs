@@ -240,11 +240,10 @@ impl Connection {
     }
 
     fn pump(&mut self, now: f64, out: &mut Vec<Action>) {
-        while self.dt == DtState::Started
-            && !self.closed
-            && self.in_flight() < self.cfg.k
-        {
-            let Some(asdu) = self.queue.pop_front() else { break };
+        while self.dt == DtState::Started && !self.closed && self.in_flight() < self.cfg.k {
+            let Some(asdu) = self.queue.pop_front() else {
+                break;
+            };
             let apdu = Apdu::i_frame(self.vs, self.vr, asdu);
             if self.oldest_unacked_tx.is_none() {
                 self.oldest_unacked_tx = Some(now);
@@ -438,17 +437,24 @@ mod tests {
     use crate::types::TypeId;
 
     fn asdu() -> Asdu {
-        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 1).with_object(
-            InfoObject::new(100, IoValue::FloatMeasurement {
+        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 1).with_object(InfoObject::new(
+            100,
+            IoValue::FloatMeasurement {
                 value: 1.0,
                 qds: Qds::GOOD,
-            }),
-        )
+            },
+        ))
     }
 
     /// Wire a controlling and a controlled endpoint back-to-back and pump
     /// actions until quiescent.
-    fn exchange(server: &mut Connection, rtu: &mut Connection, actions: Vec<Action>, to_rtu: bool, now: f64) -> Vec<Asdu> {
+    fn exchange(
+        server: &mut Connection,
+        rtu: &mut Connection,
+        actions: Vec<Action>,
+        to_rtu: bool,
+        now: f64,
+    ) -> Vec<Asdu> {
         let mut delivered = Vec::new();
         let mut pending: Vec<(bool, Action)> = actions.into_iter().map(|a| (to_rtu, a)).collect();
         while let Some((towards_rtu, action)) = pending.pop() {
@@ -500,7 +506,10 @@ mod tests {
 
     #[test]
     fn k_window_throttles() {
-        let cfg = ConnConfig { k: 3, ..Default::default() };
+        let cfg = ConnConfig {
+            k: 3,
+            ..Default::default()
+        };
         let mut server = Connection::new(Role::Controlling, cfg, 0.0);
         let mut rtu = Connection::new(Role::Controlled, cfg, 0.0);
         let a = server.start_dt(0.0);
@@ -519,7 +528,10 @@ mod tests {
         assert_eq!(rtu.queued(), 2);
         // An S-frame acking everything opens the window again.
         let more = rtu.on_apdu(&Apdu::s_frame(3), 2.0);
-        let resumed = more.iter().filter(|a| matches!(a, Action::Transmit(_))).count();
+        let resumed = more
+            .iter()
+            .filter(|a| matches!(a, Action::Transmit(_)))
+            .count();
         assert_eq!(resumed, 2);
     }
 
@@ -536,7 +548,8 @@ mod tests {
         // Nothing is in flight (V(S) = 0), so an ack of 5 is impossible.
         let acts = rtu.on_apdu(&Apdu::s_frame(5), 1.0);
         assert!(
-            acts.iter().any(|a| matches!(a, Action::Close(CloseReason::ProtocolError))),
+            acts.iter()
+                .any(|a| matches!(a, Action::Close(CloseReason::ProtocolError))),
             "bogus ack must close: {acts:?}"
         );
         assert!(rtu.is_closed());
@@ -553,7 +566,8 @@ mod tests {
         let apdu = Apdu::i_frame(0, 7, asdu()); // send_seq in order, ack bogus
         let acts = rtu.on_apdu(&apdu, 1.0);
         assert!(
-            acts.iter().any(|a| matches!(a, Action::Close(CloseReason::ProtocolError))),
+            acts.iter()
+                .any(|a| matches!(a, Action::Close(CloseReason::ProtocolError))),
             "bogus ack must close: {acts:?}"
         );
         assert!(
@@ -589,7 +603,10 @@ mod tests {
 
     #[test]
     fn w_window_triggers_s_frame() {
-        let cfg = ConnConfig { w: 2, ..Default::default() };
+        let cfg = ConnConfig {
+            w: 2,
+            ..Default::default()
+        };
         let mut server = Connection::new(Role::Controlling, cfg, 0.0);
         let mut rtu = Connection::new(Role::Controlled, cfg, 0.0);
         let a = server.start_dt(0.0);
@@ -620,7 +637,9 @@ mod tests {
         assert!(server.poll(10.0).is_empty());
         // After T2 (10 s): an S-frame.
         let acts = server.poll(15.1);
-        assert!(acts.iter().any(|a| matches!(a, Action::Transmit(x) if x.apci.is_s())));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Transmit(x) if x.apci.is_s())));
     }
 
     #[test]
@@ -654,7 +673,9 @@ mod tests {
         assert!(conn.poll(100.0).is_empty());
         assert!(conn.poll(429.0).is_empty());
         let acts = conn.poll(430.5);
-        assert!(acts.iter().any(|a| matches!(a, Action::Transmit(x) if x.token() == "U16")));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Transmit(x) if x.token() == "U16")));
     }
 
     #[test]

@@ -59,27 +59,107 @@ causes![
     (Deactivation, 8, "deactivation"),
     (DeactivationCon, 9, "deactivation confirmation"),
     (ActivationTermination, 10, "activation termination"),
-    (ReturnRemote, 11, "return information caused by a remote command"),
-    (ReturnLocal, 12, "return information caused by a local command"),
+    (
+        ReturnRemote,
+        11,
+        "return information caused by a remote command"
+    ),
+    (
+        ReturnLocal,
+        12,
+        "return information caused by a local command"
+    ),
     (File, 13, "file transfer"),
-    (InterrogatedByStation, 20, "interrogated by general interrogation"),
-    (InterrogatedByGroup1, 21, "interrogated by group 1 interrogation"),
-    (InterrogatedByGroup2, 22, "interrogated by group 2 interrogation"),
-    (InterrogatedByGroup3, 23, "interrogated by group 3 interrogation"),
-    (InterrogatedByGroup4, 24, "interrogated by group 4 interrogation"),
-    (InterrogatedByGroup5, 25, "interrogated by group 5 interrogation"),
-    (InterrogatedByGroup6, 26, "interrogated by group 6 interrogation"),
-    (InterrogatedByGroup7, 27, "interrogated by group 7 interrogation"),
-    (InterrogatedByGroup8, 28, "interrogated by group 8 interrogation"),
-    (InterrogatedByGroup9, 29, "interrogated by group 9 interrogation"),
-    (InterrogatedByGroup10, 30, "interrogated by group 10 interrogation"),
-    (InterrogatedByGroup11, 31, "interrogated by group 11 interrogation"),
-    (InterrogatedByGroup12, 32, "interrogated by group 12 interrogation"),
-    (InterrogatedByGroup13, 33, "interrogated by group 13 interrogation"),
-    (InterrogatedByGroup14, 34, "interrogated by group 14 interrogation"),
-    (InterrogatedByGroup15, 35, "interrogated by group 15 interrogation"),
-    (InterrogatedByGroup16, 36, "interrogated by group 16 interrogation"),
-    (CounterInterrogation, 37, "requested by general counter request"),
+    (
+        InterrogatedByStation,
+        20,
+        "interrogated by general interrogation"
+    ),
+    (
+        InterrogatedByGroup1,
+        21,
+        "interrogated by group 1 interrogation"
+    ),
+    (
+        InterrogatedByGroup2,
+        22,
+        "interrogated by group 2 interrogation"
+    ),
+    (
+        InterrogatedByGroup3,
+        23,
+        "interrogated by group 3 interrogation"
+    ),
+    (
+        InterrogatedByGroup4,
+        24,
+        "interrogated by group 4 interrogation"
+    ),
+    (
+        InterrogatedByGroup5,
+        25,
+        "interrogated by group 5 interrogation"
+    ),
+    (
+        InterrogatedByGroup6,
+        26,
+        "interrogated by group 6 interrogation"
+    ),
+    (
+        InterrogatedByGroup7,
+        27,
+        "interrogated by group 7 interrogation"
+    ),
+    (
+        InterrogatedByGroup8,
+        28,
+        "interrogated by group 8 interrogation"
+    ),
+    (
+        InterrogatedByGroup9,
+        29,
+        "interrogated by group 9 interrogation"
+    ),
+    (
+        InterrogatedByGroup10,
+        30,
+        "interrogated by group 10 interrogation"
+    ),
+    (
+        InterrogatedByGroup11,
+        31,
+        "interrogated by group 11 interrogation"
+    ),
+    (
+        InterrogatedByGroup12,
+        32,
+        "interrogated by group 12 interrogation"
+    ),
+    (
+        InterrogatedByGroup13,
+        33,
+        "interrogated by group 13 interrogation"
+    ),
+    (
+        InterrogatedByGroup14,
+        34,
+        "interrogated by group 14 interrogation"
+    ),
+    (
+        InterrogatedByGroup15,
+        35,
+        "interrogated by group 15 interrogation"
+    ),
+    (
+        InterrogatedByGroup16,
+        36,
+        "interrogated by group 16 interrogation"
+    ),
+    (
+        CounterInterrogation,
+        37,
+        "requested by general counter request"
+    ),
     (CounterGroup1, 38, "requested by group 1 counter request"),
     (CounterGroup2, 39, "requested by group 2 counter request"),
     (CounterGroup3, 40, "requested by group 3 counter request"),
@@ -232,7 +312,10 @@ mod tests {
     fn short_labels() {
         assert_eq!(Cot::new(Cause::Spontaneous).short_label(), "Spont");
         assert_eq!(Cot::new(Cause::Periodic).short_label(), "Per");
-        assert_eq!(Cot::new(Cause::InterrogatedByStation).short_label(), "Inrogen");
+        assert_eq!(
+            Cot::new(Cause::InterrogatedByStation).short_label(),
+            "Inrogen"
+        );
     }
 
     #[test]

@@ -157,7 +157,9 @@ pub struct Nva(pub i16);
 impl Nva {
     /// Build from an engineering fraction, saturating to the legal range.
     pub fn from_f64(v: f64) -> Nva {
-        let raw = (v * 32768.0).round().clamp(i16::MIN as f64, i16::MAX as f64);
+        let raw = (v * 32768.0)
+            .round()
+            .clamp(i16::MIN as f64, i16::MAX as f64);
         Nva(raw as i16)
     }
     /// The fraction in [-1, 1).
@@ -317,7 +319,11 @@ impl Cp24Time2a {
     /// Encode to the 3-octet wire form.
     pub fn encode(self) -> [u8; 3] {
         let ms = self.millis.to_le_bytes();
-        [ms[0], ms[1], (self.minute & 0x3F) | ((self.invalid as u8) << 7)]
+        [
+            ms[0],
+            ms[1],
+            (self.minute & 0x3F) | ((self.invalid as u8) << 7),
+        ]
     }
 
     /// Decode from the 3-octet wire form.
@@ -439,7 +445,10 @@ mod tests {
     fn nva_round_trip_precision() {
         for v in [-1.0, -0.5, 0.0, 0.25, 0.999] {
             let nva = Nva::from_f64(v);
-            assert!((nva.to_f64() - v).abs() < 1.0 / 32768.0 + 1e-12, "value {v}");
+            assert!(
+                (nva.to_f64() - v).abs() < 1.0 / 32768.0 + 1e-12,
+                "value {v}"
+            );
         }
         // Saturation at +1.0.
         assert_eq!(Nva::from_f64(2.0).0, i16::MAX);

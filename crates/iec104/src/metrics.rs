@@ -46,19 +46,17 @@ impl Iec104Metrics {
             per_dialect: Dialect::CANDIDATES
                 .iter()
                 .map(|&d| {
-                    let counter = registry
-                        .counter_with("iec104_apdus_parsed", &[("dialect", &d.label())]);
+                    let counter =
+                        registry.counter_with("iec104_apdus_parsed", &[("dialect", &d.label())]);
                     (d, counter)
                 })
                 .collect(),
-            other_dialect: registry
-                .counter_with("iec104_apdus_parsed", &[("dialect", "other")]),
+            other_dialect: registry.counter_with("iec104_apdus_parsed", &[("dialect", "other")]),
             junk_octets_skipped: registry.counter("iec104_junk_octets_skipped"),
             malformed_frames: registry.counter("iec104_malformed_frames"),
             protocol_error_closes: registry.counter("iec104_protocol_error_closes"),
             ack_rejections: registry.counter("iec104_ack_rejections"),
-            apdu_length_octets: registry
-                .histogram("iec104_apdu_length_octets", APDU_LENGTH_BOUNDS),
+            apdu_length_octets: registry.histogram("iec104_apdu_length_octets", APDU_LENGTH_BOUNDS),
         }
     }
 
@@ -106,7 +104,11 @@ mod tests {
     fn non_candidate_dialect_lands_in_other() {
         let reg = MetricsRegistry::new();
         let m = Iec104Metrics::register(&reg);
-        let odd = Dialect { cot_octets: 2, ioa_octets: 3, ca_octets: 1 };
+        let odd = Dialect {
+            cot_octets: 2,
+            ioa_octets: 3,
+            ca_octets: 1,
+        };
         m.apdus_parsed(odd).inc();
         let snap = reg.snapshot();
         assert_eq!(

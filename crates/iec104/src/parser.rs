@@ -130,17 +130,18 @@ fn plausibility(apdu: &Apdu) -> f64 {
     let mut bonus: f64 = 0.0;
     // Monitor data should arrive with monitor-ish causes.
     let cause_ok = match asdu.type_id.class() {
-        TypeClass::Monitor => matches!(
-            asdu.cot.cause,
-            Cause::Periodic
-                | Cause::Background
-                | Cause::Spontaneous
-                | Cause::Request
-                | Cause::ReturnRemote
-                | Cause::ReturnLocal
-                | Cause::InterrogatedByStation
-        ) || (Cause::InterrogatedByGroup1..=Cause::CounterGroup4)
-            .contains(&asdu.cot.cause),
+        TypeClass::Monitor => {
+            matches!(
+                asdu.cot.cause,
+                Cause::Periodic
+                    | Cause::Background
+                    | Cause::Spontaneous
+                    | Cause::Request
+                    | Cause::ReturnRemote
+                    | Cause::ReturnLocal
+                    | Cause::InterrogatedByStation
+            ) || (Cause::InterrogatedByGroup1..=Cause::CounterGroup4).contains(&asdu.cot.cause)
+        }
         _ => true,
     };
     if cause_ok {
@@ -227,7 +228,11 @@ pub fn detect_dialect<F: AsRef<[u8]>>(frames: &[F]) -> Vec<DialectScore> {
             }
         })
         .collect();
-    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    scores.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     scores
 }
 
@@ -404,16 +409,15 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..n {
             let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 7).with_object(
-                InfoObject::new(4000 + (i as u32 % 20), IoValue::FloatMeasurement {
-                    value: 131.0 + (i as f32) * 0.01,
-                    qds: Qds::GOOD,
-                }),
+                InfoObject::new(
+                    4000 + (i as u32 % 20),
+                    IoValue::FloatMeasurement {
+                        value: 131.0 + (i as f32) * 0.01,
+                        qds: Qds::GOOD,
+                    },
+                ),
             );
-            out.extend(
-                Apdu::i_frame(i as u16, 0, asdu)
-                    .encode(dialect)
-                    .unwrap(),
-            );
+            out.extend(Apdu::i_frame(i as u16, 0, asdu).encode(dialect).unwrap());
         }
         out
     }
@@ -431,7 +435,11 @@ mod tests {
     fn strict_parser_flags_legacy_100_percent() {
         // The paper's §6.1 headline: every data frame from a legacy
         // outstation is malformed under a standard-only parser.
-        for legacy in [Dialect::LEGACY_COT, Dialect::LEGACY_IOA, Dialect::LEGACY_FULL] {
+        for legacy in [
+            Dialect::LEGACY_COT,
+            Dialect::LEGACY_IOA,
+            Dialect::LEGACY_FULL,
+        ] {
             let mut p = StrictParser::new();
             p.feed(&stream(legacy, 30));
             assert_eq!(p.stats().malformed_i_fraction(), 1.0, "{legacy}");
@@ -471,7 +479,11 @@ mod tests {
         }
         // Interleave junk runs; third byte even so the old I-format test
         // (`frame[2] & 0x01 == 0`) let them through to the counters.
-        for junk in [&b"\x00\xff\x02\x13\x37"[..], &b"\x01\x02"[..], &b"\xde\xad\xbe\xef"[..]] {
+        for junk in [
+            &b"\x00\xff\x02\x13\x37"[..],
+            &b"\x01\x02"[..],
+            &b"\xde\xad\xbe\xef"[..],
+        ] {
             frames.push(junk.to_vec());
         }
         let scores = detect_dialect(&frames);

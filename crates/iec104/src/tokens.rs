@@ -37,12 +37,7 @@ impl Token {
         match &apdu.apci {
             Apci::S { .. } => Token::S,
             Apci::U(func) => Token::from_u(*func),
-            Apci::I { .. } => Token::I(
-                apdu.asdu
-                    .as_ref()
-                    .map(|a| a.type_id.code())
-                    .unwrap_or(0),
-            ),
+            Apci::I { .. } => Token::I(apdu.asdu.as_ref().map(|a| a.type_id.code()).unwrap_or(0)),
         }
     }
 
@@ -103,11 +98,23 @@ impl Token {
     pub fn table4() -> Vec<(String, String, String)> {
         vec![
             ("S".into(), "S".into(), "Ack of I APDUs".into()),
-            ("U1".into(), "STARTDT act".into(), "Start sending I APDUs".into()),
+            (
+                "U1".into(),
+                "STARTDT act".into(),
+                "Start sending I APDUs".into(),
+            ),
             ("U2".into(), "STARTDT con".into(), "Ack of STARTDT".into()),
-            ("U4".into(), "STOPDT act".into(), "Stop sending I APDUs".into()),
+            (
+                "U4".into(),
+                "STOPDT act".into(),
+                "Stop sending I APDUs".into(),
+            ),
             ("U8".into(), "STOPDT con".into(), "Ack of STOPDT".into()),
-            ("U16".into(), "TESTFR act".into(), "Test status of connection".into()),
+            (
+                "U16".into(),
+                "TESTFR act".into(),
+                "Test status of connection".into(),
+            ),
             ("U32".into(), "TESTFR con".into(), "Ack of TESTFR".into()),
             (
                 "I_code (code={1,3,5,...,127})".into(),
@@ -237,10 +244,13 @@ mod tests {
         assert_eq!(Token::of(&Apdu::s_frame(0)), Token::S);
         assert_eq!(Token::of(&Apdu::u_frame(UFunction::TestFrAct)), Token::U16);
         let asdu = Asdu::new(TypeId::M_ME_TF_1, Cot::new(Cause::Spontaneous), 1).with_object(
-            InfoObject::new(1, IoValue::FloatMeasurement {
-                value: 1.0,
-                qds: Qds::GOOD,
-            })
+            InfoObject::new(
+                1,
+                IoValue::FloatMeasurement {
+                    value: 1.0,
+                    qds: Qds::GOOD,
+                },
+            )
             .with_time(Default::default()),
         );
         assert_eq!(Token::of(&Apdu::i_frame(0, 0, asdu)), Token::I(36));
@@ -248,8 +258,9 @@ mod tests {
 
     #[test]
     fn interrogation_discriminator() {
-        let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 1)
-            .with_object(InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }));
+        let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 1).with_object(
+            InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }),
+        );
         let token = Token::of(&Apdu::i_frame(0, 0, asdu));
         assert!(token.is_interrogation());
         assert!(token.is_i());

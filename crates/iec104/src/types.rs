@@ -99,66 +99,474 @@ macro_rules! type_ids {
 
 type_ids![
     // Monitor direction, no time tag.
-    (M_SP_NA_1, 1, "M_SP_NA_1", Monitor, Some(1), 0, "Single-point information"),
-    (M_DP_NA_1, 3, "M_DP_NA_1", Monitor, Some(1), 0, "Double-point information"),
-    (M_ST_NA_1, 5, "M_ST_NA_1", Monitor, Some(2), 0, "Step position information"),
-    (M_BO_NA_1, 7, "M_BO_NA_1", Monitor, Some(5), 0, "Bitstring of 32 bits"),
-    (M_ME_NA_1, 9, "M_ME_NA_1", Monitor, Some(3), 0, "Measured value, normalized value"),
-    (M_ME_NB_1, 11, "M_ME_NB_1", Monitor, Some(3), 0, "Measured value, scaled value"),
-    (M_ME_NC_1, 13, "M_ME_NC_1", Monitor, Some(5), 0, "Measured value, short floating point number"),
-    (M_IT_NA_1, 15, "M_IT_NA_1", Monitor, Some(5), 0, "Integrated totals"),
-    (M_PS_NA_1, 20, "M_PS_NA_1", Monitor, Some(5), 0, "Packed single-point information with status change detection"),
-    (M_ME_ND_1, 21, "M_ME_ND_1", Monitor, Some(2), 0, "Measured value, normalized value without quality descriptor"),
+    (
+        M_SP_NA_1,
+        1,
+        "M_SP_NA_1",
+        Monitor,
+        Some(1),
+        0,
+        "Single-point information"
+    ),
+    (
+        M_DP_NA_1,
+        3,
+        "M_DP_NA_1",
+        Monitor,
+        Some(1),
+        0,
+        "Double-point information"
+    ),
+    (
+        M_ST_NA_1,
+        5,
+        "M_ST_NA_1",
+        Monitor,
+        Some(2),
+        0,
+        "Step position information"
+    ),
+    (
+        M_BO_NA_1,
+        7,
+        "M_BO_NA_1",
+        Monitor,
+        Some(5),
+        0,
+        "Bitstring of 32 bits"
+    ),
+    (
+        M_ME_NA_1,
+        9,
+        "M_ME_NA_1",
+        Monitor,
+        Some(3),
+        0,
+        "Measured value, normalized value"
+    ),
+    (
+        M_ME_NB_1,
+        11,
+        "M_ME_NB_1",
+        Monitor,
+        Some(3),
+        0,
+        "Measured value, scaled value"
+    ),
+    (
+        M_ME_NC_1,
+        13,
+        "M_ME_NC_1",
+        Monitor,
+        Some(5),
+        0,
+        "Measured value, short floating point number"
+    ),
+    (
+        M_IT_NA_1,
+        15,
+        "M_IT_NA_1",
+        Monitor,
+        Some(5),
+        0,
+        "Integrated totals"
+    ),
+    (
+        M_PS_NA_1,
+        20,
+        "M_PS_NA_1",
+        Monitor,
+        Some(5),
+        0,
+        "Packed single-point information with status change detection"
+    ),
+    (
+        M_ME_ND_1,
+        21,
+        "M_ME_ND_1",
+        Monitor,
+        Some(2),
+        0,
+        "Measured value, normalized value without quality descriptor"
+    ),
     // Monitor direction, CP56Time2a time tag.
-    (M_SP_TB_1, 30, "M_SP_TB_1", Monitor, Some(1), 7, "Single-point information with time tag CP56Time2a"),
-    (M_DP_TB_1, 31, "M_DP_TB_1", Monitor, Some(1), 7, "Double-point information with time tag CP56Time2a"),
-    (M_ST_TB_1, 32, "M_ST_TB_1", Monitor, Some(2), 7, "Step position information with time tag CP56Time2a"),
-    (M_BO_TB_1, 33, "M_BO_TB_1", Monitor, Some(5), 7, "Bitstring of 32 bit with time tag CP56Time2a"),
-    (M_ME_TD_1, 34, "M_ME_TD_1", Monitor, Some(3), 7, "Measured value, normalized value with time tag CP56Time2a"),
-    (M_ME_TE_1, 35, "M_ME_TE_1", Monitor, Some(3), 7, "Measured value, scaled value with time tag CP56Time2a"),
-    (M_ME_TF_1, 36, "M_ME_TF_1", Monitor, Some(5), 7, "Measured value, short floating point number with time tag CP56Time2a"),
-    (M_IT_TB_1, 37, "M_IT_TB_1", Monitor, Some(5), 7, "Integrated totals with time tag CP56Time2a"),
-    (M_EP_TD_1, 38, "M_EP_TD_1", Monitor, Some(3), 7, "Event of protection equipment with time tag CP56Time2a"),
-    (M_EP_TE_1, 39, "M_EP_TE_1", Monitor, Some(4), 7, "Packed start events of protection equipment with time tag CP56Time2a"),
-    (M_EP_TF_1, 40, "M_EP_TF_1", Monitor, Some(4), 7, "Packed output circuit information of protection equipment with time tag CP56Time2a"),
+    (
+        M_SP_TB_1,
+        30,
+        "M_SP_TB_1",
+        Monitor,
+        Some(1),
+        7,
+        "Single-point information with time tag CP56Time2a"
+    ),
+    (
+        M_DP_TB_1,
+        31,
+        "M_DP_TB_1",
+        Monitor,
+        Some(1),
+        7,
+        "Double-point information with time tag CP56Time2a"
+    ),
+    (
+        M_ST_TB_1,
+        32,
+        "M_ST_TB_1",
+        Monitor,
+        Some(2),
+        7,
+        "Step position information with time tag CP56Time2a"
+    ),
+    (
+        M_BO_TB_1,
+        33,
+        "M_BO_TB_1",
+        Monitor,
+        Some(5),
+        7,
+        "Bitstring of 32 bit with time tag CP56Time2a"
+    ),
+    (
+        M_ME_TD_1,
+        34,
+        "M_ME_TD_1",
+        Monitor,
+        Some(3),
+        7,
+        "Measured value, normalized value with time tag CP56Time2a"
+    ),
+    (
+        M_ME_TE_1,
+        35,
+        "M_ME_TE_1",
+        Monitor,
+        Some(3),
+        7,
+        "Measured value, scaled value with time tag CP56Time2a"
+    ),
+    (
+        M_ME_TF_1,
+        36,
+        "M_ME_TF_1",
+        Monitor,
+        Some(5),
+        7,
+        "Measured value, short floating point number with time tag CP56Time2a"
+    ),
+    (
+        M_IT_TB_1,
+        37,
+        "M_IT_TB_1",
+        Monitor,
+        Some(5),
+        7,
+        "Integrated totals with time tag CP56Time2a"
+    ),
+    (
+        M_EP_TD_1,
+        38,
+        "M_EP_TD_1",
+        Monitor,
+        Some(3),
+        7,
+        "Event of protection equipment with time tag CP56Time2a"
+    ),
+    (
+        M_EP_TE_1,
+        39,
+        "M_EP_TE_1",
+        Monitor,
+        Some(4),
+        7,
+        "Packed start events of protection equipment with time tag CP56Time2a"
+    ),
+    (
+        M_EP_TF_1,
+        40,
+        "M_EP_TF_1",
+        Monitor,
+        Some(4),
+        7,
+        "Packed output circuit information of protection equipment with time tag CP56Time2a"
+    ),
     // Control direction, no time tag.
-    (C_SC_NA_1, 45, "C_SC_NA_1", Control, Some(1), 0, "Single command"),
-    (C_DC_NA_1, 46, "C_DC_NA_1", Control, Some(1), 0, "Double command"),
-    (C_RC_NA_1, 47, "C_RC_NA_1", Control, Some(1), 0, "Regulating step command"),
-    (C_SE_NA_1, 48, "C_SE_NA_1", Control, Some(3), 0, "Set point command, normalized value"),
-    (C_SE_NB_1, 49, "C_SE_NB_1", Control, Some(3), 0, "Set point command, scaled value"),
-    (C_SE_NC_1, 50, "C_SE_NC_1", Control, Some(5), 0, "Set point command, short floating point number"),
-    (C_BO_NA_1, 51, "C_BO_NA_1", Control, Some(4), 0, "Bitstring of 32 bits"),
+    (
+        C_SC_NA_1,
+        45,
+        "C_SC_NA_1",
+        Control,
+        Some(1),
+        0,
+        "Single command"
+    ),
+    (
+        C_DC_NA_1,
+        46,
+        "C_DC_NA_1",
+        Control,
+        Some(1),
+        0,
+        "Double command"
+    ),
+    (
+        C_RC_NA_1,
+        47,
+        "C_RC_NA_1",
+        Control,
+        Some(1),
+        0,
+        "Regulating step command"
+    ),
+    (
+        C_SE_NA_1,
+        48,
+        "C_SE_NA_1",
+        Control,
+        Some(3),
+        0,
+        "Set point command, normalized value"
+    ),
+    (
+        C_SE_NB_1,
+        49,
+        "C_SE_NB_1",
+        Control,
+        Some(3),
+        0,
+        "Set point command, scaled value"
+    ),
+    (
+        C_SE_NC_1,
+        50,
+        "C_SE_NC_1",
+        Control,
+        Some(5),
+        0,
+        "Set point command, short floating point number"
+    ),
+    (
+        C_BO_NA_1,
+        51,
+        "C_BO_NA_1",
+        Control,
+        Some(4),
+        0,
+        "Bitstring of 32 bits"
+    ),
     // Control direction, CP56Time2a time tag.
-    (C_SC_TA_1, 58, "C_SC_TA_1", Control, Some(1), 7, "Single command with time tag CP56Time2a"),
-    (C_DC_TA_1, 59, "C_DC_TA_1", Control, Some(1), 7, "Double command with time tag CP56Time2a"),
-    (C_RC_TA_1, 60, "C_RC_TA_1", Control, Some(1), 7, "Regulating step command with time tag CP56Time2a"),
-    (C_SE_TA_1, 61, "C_SE_TA_1", Control, Some(3), 7, "Set point command, normalized value with time tag CP56Time2a"),
-    (C_SE_TB_1, 62, "C_SE_TB_1", Control, Some(3), 7, "Set point command, scaled value with time tag CP56Time2a"),
-    (C_SE_TC_1, 63, "C_SE_TC_1", Control, Some(5), 7, "Set point command, short floating point number with time tag CP56Time2a"),
-    (C_BO_TA_1, 64, "C_BO_TA_1", Control, Some(4), 7, "Bitstring of 32 bits with time tag CP56Time2a"),
+    (
+        C_SC_TA_1,
+        58,
+        "C_SC_TA_1",
+        Control,
+        Some(1),
+        7,
+        "Single command with time tag CP56Time2a"
+    ),
+    (
+        C_DC_TA_1,
+        59,
+        "C_DC_TA_1",
+        Control,
+        Some(1),
+        7,
+        "Double command with time tag CP56Time2a"
+    ),
+    (
+        C_RC_TA_1,
+        60,
+        "C_RC_TA_1",
+        Control,
+        Some(1),
+        7,
+        "Regulating step command with time tag CP56Time2a"
+    ),
+    (
+        C_SE_TA_1,
+        61,
+        "C_SE_TA_1",
+        Control,
+        Some(3),
+        7,
+        "Set point command, normalized value with time tag CP56Time2a"
+    ),
+    (
+        C_SE_TB_1,
+        62,
+        "C_SE_TB_1",
+        Control,
+        Some(3),
+        7,
+        "Set point command, scaled value with time tag CP56Time2a"
+    ),
+    (
+        C_SE_TC_1,
+        63,
+        "C_SE_TC_1",
+        Control,
+        Some(5),
+        7,
+        "Set point command, short floating point number with time tag CP56Time2a"
+    ),
+    (
+        C_BO_TA_1,
+        64,
+        "C_BO_TA_1",
+        Control,
+        Some(4),
+        7,
+        "Bitstring of 32 bits with time tag CP56Time2a"
+    ),
     // System information.
-    (M_EI_NA_1, 70, "M_EI_NA_1", SystemMonitor, Some(1), 0, "End of initialization"),
-    (C_IC_NA_1, 100, "C_IC_NA_1", SystemControl, Some(1), 0, "Interrogation command"),
-    (C_CI_NA_1, 101, "C_CI_NA_1", SystemControl, Some(1), 0, "Counter interrogation command"),
-    (C_RD_NA_1, 102, "C_RD_NA_1", SystemControl, Some(0), 0, "Read command"),
-    (C_CS_NA_1, 103, "C_CS_NA_1", SystemControl, Some(7), 0, "Clock synchronization command"),
-    (C_RP_NA_1, 105, "C_RP_NA_1", SystemControl, Some(1), 0, "Reset process command"),
-    (C_TS_TA_1, 107, "C_TS_TA_1", SystemControl, Some(2), 7, "Test command with time tag CP56Time2a"),
+    (
+        M_EI_NA_1,
+        70,
+        "M_EI_NA_1",
+        SystemMonitor,
+        Some(1),
+        0,
+        "End of initialization"
+    ),
+    (
+        C_IC_NA_1,
+        100,
+        "C_IC_NA_1",
+        SystemControl,
+        Some(1),
+        0,
+        "Interrogation command"
+    ),
+    (
+        C_CI_NA_1,
+        101,
+        "C_CI_NA_1",
+        SystemControl,
+        Some(1),
+        0,
+        "Counter interrogation command"
+    ),
+    (
+        C_RD_NA_1,
+        102,
+        "C_RD_NA_1",
+        SystemControl,
+        Some(0),
+        0,
+        "Read command"
+    ),
+    (
+        C_CS_NA_1,
+        103,
+        "C_CS_NA_1",
+        SystemControl,
+        Some(7),
+        0,
+        "Clock synchronization command"
+    ),
+    (
+        C_RP_NA_1,
+        105,
+        "C_RP_NA_1",
+        SystemControl,
+        Some(1),
+        0,
+        "Reset process command"
+    ),
+    (
+        C_TS_TA_1,
+        107,
+        "C_TS_TA_1",
+        SystemControl,
+        Some(2),
+        7,
+        "Test command with time tag CP56Time2a"
+    ),
     // Parameter loading.
-    (P_ME_NA_1, 110, "P_ME_NA_1", Parameter, Some(3), 0, "Parameter of measured value, normalized value"),
-    (P_ME_NB_1, 111, "P_ME_NB_1", Parameter, Some(3), 0, "Parameter of measured value, scaled value"),
-    (P_ME_NC_1, 112, "P_ME_NC_1", Parameter, Some(5), 0, "Parameter of measured value, short floating-point number"),
-    (P_AC_NA_1, 113, "P_AC_NA_1", Parameter, Some(1), 0, "Parameter activation"),
+    (
+        P_ME_NA_1,
+        110,
+        "P_ME_NA_1",
+        Parameter,
+        Some(3),
+        0,
+        "Parameter of measured value, normalized value"
+    ),
+    (
+        P_ME_NB_1,
+        111,
+        "P_ME_NB_1",
+        Parameter,
+        Some(3),
+        0,
+        "Parameter of measured value, scaled value"
+    ),
+    (
+        P_ME_NC_1,
+        112,
+        "P_ME_NC_1",
+        Parameter,
+        Some(5),
+        0,
+        "Parameter of measured value, short floating-point number"
+    ),
+    (
+        P_AC_NA_1,
+        113,
+        "P_AC_NA_1",
+        Parameter,
+        Some(1),
+        0,
+        "Parameter activation"
+    ),
     // File transfer.
     (F_FR_NA_1, 120, "F_FR_NA_1", File, Some(6), 0, "File ready"),
-    (F_SR_NA_1, 121, "F_SR_NA_1", File, Some(7), 0, "Section ready"),
-    (F_SC_NA_1, 122, "F_SC_NA_1", File, Some(4), 0, "Call directory, select file, call file, call section"),
-    (F_LS_NA_1, 123, "F_LS_NA_1", File, Some(5), 0, "Last section, last segment"),
-    (F_AF_NA_1, 124, "F_AF_NA_1", File, Some(4), 0, "Ack file, ack section"),
+    (
+        F_SR_NA_1,
+        121,
+        "F_SR_NA_1",
+        File,
+        Some(7),
+        0,
+        "Section ready"
+    ),
+    (
+        F_SC_NA_1,
+        122,
+        "F_SC_NA_1",
+        File,
+        Some(4),
+        0,
+        "Call directory, select file, call file, call section"
+    ),
+    (
+        F_LS_NA_1,
+        123,
+        "F_LS_NA_1",
+        File,
+        Some(5),
+        0,
+        "Last section, last segment"
+    ),
+    (
+        F_AF_NA_1,
+        124,
+        "F_AF_NA_1",
+        File,
+        Some(4),
+        0,
+        "Ack file, ack section"
+    ),
     (F_SG_NA_1, 125, "F_SG_NA_1", File, None, 0, "Segment"),
     (F_DR_TA_1, 126, "F_DR_TA_1", File, Some(13), 0, "Directory"),
-    (F_SC_NB_1, 127, "F_SC_NB_1", File, Some(16), 0, "Query Log, Request archive file"),
+    (
+        F_SC_NB_1,
+        127,
+        "F_SC_NB_1",
+        File,
+        Some(16),
+        0,
+        "Query Log, Request archive file"
+    ),
 ];
 
 impl TypeId {
@@ -211,8 +619,13 @@ mod tests {
 
     #[test]
     fn unknown_codes_rejected() {
-        for code in [0u8, 2, 41, 44, 52, 57, 65, 99, 104, 106, 108, 114, 119, 128, 255] {
-            assert!(TypeId::from_code(code).is_err(), "code {code} must be unknown");
+        for code in [
+            0u8, 2, 41, 44, 52, 57, 65, 99, 104, 106, 108, 114, 119, 128, 255,
+        ] {
+            assert!(
+                TypeId::from_code(code).is_err(),
+                "code {code} must be unknown"
+            );
         }
     }
 

@@ -43,10 +43,13 @@ impl Piece {
         match self {
             Piece::I(seq, v) => {
                 let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 1)
-                    .with_object(InfoObject::new(700, IoValue::FloatMeasurement {
-                        value: *v,
-                        qds: Qds::GOOD,
-                    }));
+                    .with_object(InfoObject::new(
+                        700,
+                        IoValue::FloatMeasurement {
+                            value: *v,
+                            qds: Qds::GOOD,
+                        },
+                    ));
                 Apdu::i_frame(*seq, 0, asdu).encode(dialect).unwrap()
             }
             Piece::S(seq) => Apdu::s_frame(*seq).encode(dialect).unwrap(),
@@ -64,7 +67,10 @@ impl Piece {
 fn arb_pieces() -> impl Strategy<Value = Vec<Piece>> {
     prop::collection::vec(
         prop_oneof![
-            (arb_seq(), any::<f32>().prop_filter("finite", |f| f.is_finite()))
+            (
+                arb_seq(),
+                any::<f32>().prop_filter("finite", |f| f.is_finite())
+            )
                 .prop_map(|(s, v)| Piece::I(s, v)),
             arb_seq().prop_map(Piece::S),
             Just(Piece::U),
@@ -126,30 +132,28 @@ fn arb_cause() -> impl Strategy<Value = Cause> {
 /// Monitor-measurement values covering the shapes the simulator emits.
 fn arb_measurement() -> impl Strategy<Value = (TypeId, IoValue, bool)> {
     prop_oneof![
-        (any::<f32>().prop_filter("finite", |f| f.is_finite()), any::<u8>()).prop_map(
-            |(value, q)| {
+        (
+            any::<f32>().prop_filter("finite", |f| f.is_finite()),
+            any::<u8>()
+        )
+            .prop_map(|(value, q)| {
                 (
                     TypeId::M_ME_NC_1,
-                    IoValue::FloatMeasurement {
-                        value,
-                        qds: Qds(q),
-                    },
+                    IoValue::FloatMeasurement { value, qds: Qds(q) },
                     false,
                 )
-            }
-        ),
-        (any::<f32>().prop_filter("finite", |f| f.is_finite()), any::<u8>()).prop_map(
-            |(value, q)| {
+            }),
+        (
+            any::<f32>().prop_filter("finite", |f| f.is_finite()),
+            any::<u8>()
+        )
+            .prop_map(|(value, q)| {
                 (
                     TypeId::M_ME_TF_1,
-                    IoValue::FloatMeasurement {
-                        value,
-                        qds: Qds(q),
-                    },
+                    IoValue::FloatMeasurement { value, qds: Qds(q) },
                     true,
                 )
-            }
-        ),
+            }),
         (any::<i16>(), any::<u8>()).prop_map(|(v, q)| (
             TypeId::M_ME_NB_1,
             IoValue::ScaledMeasurement {
@@ -166,7 +170,11 @@ fn arb_measurement() -> impl Strategy<Value = (TypeId, IoValue, bool)> {
             },
             false
         )),
-        any::<u8>().prop_map(|s| (TypeId::M_SP_NA_1, IoValue::SinglePoint { siq: Siq(s) }, false)),
+        any::<u8>().prop_map(|s| (
+            TypeId::M_SP_NA_1,
+            IoValue::SinglePoint { siq: Siq(s) },
+            false
+        )),
     ]
 }
 

@@ -47,12 +47,7 @@ impl FlowKey {
     /// reproducible for the parallel pipeline to be deterministic.
     pub fn stable_hash(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for part in [
-            self.a.ip,
-            self.a.port as u32,
-            self.b.ip,
-            self.b.port as u32,
-        ] {
+        for part in [self.a.ip, self.a.port as u32, self.b.ip, self.b.port as u32] {
             for byte in part.to_le_bytes() {
                 h ^= byte as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -381,7 +376,11 @@ pub struct FlowTable {
 impl FlowTable {
     /// Reconstruct from an in-memory capture.
     pub fn from_capture(capture: &Capture) -> FlowTable {
-        Self::reconstruct(&capture.parsed(), ExecPolicy::Sequential, NettapMetrics::sink())
+        Self::reconstruct(
+            &capture.parsed(),
+            ExecPolicy::Sequential,
+            NettapMetrics::sink(),
+        )
     }
 
     /// Reconstruct flows from already parsed packets (must be in time
@@ -420,13 +419,25 @@ impl FlowTable {
         };
         for pkt in packets {
             if !pkt.payload.is_empty() {
-                metrics.segment_payload_octets.observe(pkt.payload.len() as u64);
+                metrics
+                    .segment_payload_octets
+                    .observe(pkt.payload.len() as u64);
             }
         }
+        table.record_reassembly_metrics(metrics);
+        table
+    }
+
+    /// Sum the per-direction reassembly accounting into the shared counters
+    /// and record the flow count as this run's `flows` stage items. Called
+    /// once per reconstruction, after all packets are absorbed; the pipelined
+    /// executor calls it on the merged table instead of going through
+    /// [`FlowTable::reconstruct`].
+    pub fn record_reassembly_metrics(&self, metrics: &NettapMetrics) {
         let mut delivered = 0usize;
         let mut overlaps = 0usize;
         let mut wraps = 0usize;
-        for conn in &table.connections {
+        for conn in &self.connections {
             for dir in [&conn.ab, &conn.ba] {
                 delivered += dir.segments_delivered;
                 overlaps += dir.retransmissions;
@@ -436,8 +447,7 @@ impl FlowTable {
         metrics.segments_reassembled.add(delivered as u64);
         metrics.overlaps_trimmed.add(overlaps as u64);
         metrics.seq_wraparounds.add(wraps as u64);
-        metrics.flows_stage.add_items(table.len() as u64);
-        table
+        metrics.flows_stage.add_items(self.len() as u64);
     }
 
     fn reconstruct_sharded(
@@ -478,6 +488,17 @@ impl FlowTable {
                 .map(|h| h.join().expect("flow shard worker panicked"))
                 .collect()
         });
+        Self::merge_tagged(shards)
+    }
+
+    /// Merge per-shard tables back into one, given each shard's connection
+    /// records tagged with the *global* index of the packet that opened
+    /// them. Because every packet of a connection lands in exactly one
+    /// shard, sorting records by first-packet index restores the exact
+    /// first-seen order an incremental [`FlowTable::push`] loop over the
+    /// whole capture would have produced, and re-inserting in that order
+    /// rebuilds the live-record index identically.
+    pub fn merge_tagged(shards: impl IntoIterator<Item = (Vec<usize>, FlowTable)>) -> FlowTable {
         let mut tagged: Vec<(usize, TcpConnection)> = Vec::new();
         for (firsts, table) in shards {
             tagged.extend(firsts.into_iter().zip(table.connections));
@@ -524,7 +545,8 @@ impl FlowTable {
                 let fresh_syn = flags.syn() && !flags.ack();
                 if fresh_syn && self.connections[idx].seems_over() {
                     let idx = self.connections.len();
-                    self.connections.push(TcpConnection::new(key, pkt.timestamp));
+                    self.connections
+                        .push(TcpConnection::new(key, pkt.timestamp));
                     self.live.insert(key, idx);
                     idx
                 } else {
@@ -533,7 +555,8 @@ impl FlowTable {
             }
             None => {
                 let idx = self.connections.len();
-                self.connections.push(TcpConnection::new(key, pkt.timestamp));
+                self.connections
+                    .push(TcpConnection::new(key, pkt.timestamp));
                 self.live.insert(key, idx);
                 idx
             }
@@ -617,7 +640,15 @@ mod tests {
     fn refused_connection_is_short_lived() {
         let packets = vec![
             pkt(10.0, server(), rtu(), 100, 0, TcpFlags::SYN, b""),
-            pkt(10.001, rtu(), server(), 0, 101, TcpFlags::RST.with(TcpFlags::ACK), b""),
+            pkt(
+                10.001,
+                rtu(),
+                server(),
+                0,
+                101,
+                TcpFlags::RST.with(TcpFlags::ACK),
+                b"",
+            ),
         ];
         let table = table_of(&packets);
         assert_eq!(table.len(), 1);
@@ -636,7 +667,15 @@ mod tests {
             pkt(0.0, s, r, 100, 0, TcpFlags::SYN, b""),
             pkt(0.01, r, s, 500, 101, TcpFlags::SYN.with(TcpFlags::ACK), b""),
             pkt(0.02, s, r, 101, 501, TcpFlags::ACK, b""),
-            pkt(1.0, s, r, 101, 501, TcpFlags::ACK.with(TcpFlags::PSH), b"\x68\x04\x07\x00\x00\x00"),
+            pkt(
+                1.0,
+                s,
+                r,
+                101,
+                501,
+                TcpFlags::ACK.with(TcpFlags::PSH),
+                b"\x68\x04\x07\x00\x00\x00",
+            ),
             pkt(1.01, r, s, 501, 107, TcpFlags::ACK, b""),
             pkt(2.0, s, r, 107, 501, TcpFlags::FIN.with(TcpFlags::ACK), b""),
             pkt(2.01, r, s, 501, 108, TcpFlags::FIN.with(TcpFlags::ACK), b""),
@@ -661,8 +700,24 @@ mod tests {
         let s = server();
         let r = rtu();
         let packets = vec![
-            pkt(5.0, r, s, 900, 100, TcpFlags::ACK.with(TcpFlags::PSH), b"abc"),
-            pkt(6.0, r, s, 903, 100, TcpFlags::ACK.with(TcpFlags::PSH), b"def"),
+            pkt(
+                5.0,
+                r,
+                s,
+                900,
+                100,
+                TcpFlags::ACK.with(TcpFlags::PSH),
+                b"abc",
+            ),
+            pkt(
+                6.0,
+                r,
+                s,
+                903,
+                100,
+                TcpFlags::ACK.with(TcpFlags::PSH),
+                b"def",
+            ),
         ];
         let table = table_of(&packets);
         let c = &table.connections[0];
@@ -736,7 +791,7 @@ mod tests {
         let start = u32::MAX - 5;
         let mut dir = DirectionStats::default();
         dir.absorb(&pkt(0.9, r, s, start, 100, data, b"abc")); // cursor -> MAX-2
-        // Early post-wrap segment: numerically tiny key, buffered as a gap.
+                                                               // Early post-wrap segment: numerically tiny key, buffered as a gap.
         dir.absorb(&pkt(1.0, r, s, 0, 100, data, b"ghi"));
         // In-order pre-wrap segment: a numeric scan of pending would see
         // key 1 first, misread it as the frontier, and stall here.
@@ -807,13 +862,29 @@ mod tests {
             let r = SocketAddr::new(addr(10, 0, 7, 1 + (i % 3) as u8), 2404);
             let t0 = i as f64 * 0.01;
             packets.push(pkt(t0, s, r, 100, 0, TcpFlags::SYN, b""));
-            packets.push(pkt(t0 + 1.0, r, s, 500, 101, TcpFlags::SYN.with(TcpFlags::ACK), b""));
+            packets.push(pkt(
+                t0 + 1.0,
+                r,
+                s,
+                500,
+                101,
+                TcpFlags::SYN.with(TcpFlags::ACK),
+                b"",
+            ));
             packets.push(pkt(t0 + 2.0, s, r, 101, 501, data, b"abc"));
             packets.push(pkt(t0 + 3.0, s, r, 107, 501, data, b"ghi")); // early
             packets.push(pkt(t0 + 4.0, s, r, 104, 501, data, b"def")); // fills gap
             packets.push(pkt(t0 + 5.0, s, r, 104, 501, data, b"def")); // retransmit
             if i % 2 == 0 {
-                packets.push(pkt(t0 + 6.0, s, r, 110, 501, TcpFlags::FIN.with(TcpFlags::ACK), b""));
+                packets.push(pkt(
+                    t0 + 6.0,
+                    s,
+                    r,
+                    110,
+                    501,
+                    TcpFlags::FIN.with(TcpFlags::ACK),
+                    b"",
+                ));
                 // 4-tuple reuse: a fresh attempt after the close.
                 packets.push(pkt(t0 + 7.0, s, r, 9000, 0, TcpFlags::SYN, b""));
             }
@@ -854,10 +925,21 @@ mod tests {
     fn deprecated_from_parsed_shims_delegate() {
         let packets = vec![
             pkt(0.0, server(), rtu(), 100, 0, TcpFlags::SYN, b""),
-            pkt(0.1, rtu(), server(), 0, 101, TcpFlags::RST.with(TcpFlags::ACK), b""),
+            pkt(
+                0.1,
+                rtu(),
+                server(),
+                0,
+                101,
+                TcpFlags::RST.with(TcpFlags::ACK),
+                b"",
+            ),
         ];
         let canonical = table_of(&packets);
-        assert_eq!(FlowTable::from_parsed(&packets).connections, canonical.connections);
+        assert_eq!(
+            FlowTable::from_parsed(&packets).connections,
+            canonical.connections
+        );
         assert_eq!(
             FlowTable::from_parsed_sharded(&packets, 2).connections,
             canonical.connections

@@ -21,8 +21,8 @@ pub mod tcp;
 
 pub use ethernet::{EthernetHeader, MacAddr, ETHERTYPE_IPV4};
 pub use flow::{FlowKey, FlowTable, TcpConnection};
-pub use metrics::NettapMetrics;
 pub use ipv4::Ipv4Header;
+pub use metrics::NettapMetrics;
 pub use pcap::{Capture, CapturedPacket};
 pub use stack::{SocketAddr, TcpEndpoint, TcpState};
 pub use tcp::{TcpFlags, TcpHeader};

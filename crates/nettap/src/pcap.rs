@@ -90,7 +90,8 @@ impl CapturedPacket {
                 got: self.frame.len(),
             });
         }
-        let (tcp, tcp_len) = TcpHeader::parse(&self.frame[tcp_start..ip_payload_end], ip.src, ip.dst)?;
+        let (tcp, tcp_len) =
+            TcpHeader::parse(&self.frame[tcp_start..ip_payload_end], ip.src, ip.dst)?;
         Ok(ParsedPacket {
             timestamp: self.timestamp,
             eth,
@@ -109,7 +110,12 @@ impl ParsedPacket {
 
     /// Convenience accessor: `(src_ip, src_port, dst_ip, dst_port)`.
     pub fn four_tuple(&self) -> (u32, u16, u32, u16) {
-        (self.ip.src, self.tcp.src_port, self.ip.dst, self.tcp.dst_port)
+        (
+            self.ip.src,
+            self.tcp.src_port,
+            self.ip.dst,
+            self.tcp.dst_port,
+        )
     }
 
     /// Flag shorthand.
@@ -252,14 +258,20 @@ impl<R: Read> Iterator for PcapReader<R> {
     }
 }
 
-/// Read and decode a pcap as a bounded two-stage pipeline: a scoped reader
-/// thread pulls raw records off the source in chunks of `chunk_packets`
-/// and hands them over a bounded channel (at most two chunks in flight)
-/// while the calling thread decodes Ethernet/IPv4/TCP. Undecodable frames
-/// are skipped, exactly like [`Capture::parsed`], and packets come out in
-/// capture order. Peak memory is the decoded packets plus two raw chunks,
-/// instead of the raw and decoded captures held side by side.
-pub fn parse_pcap_streaming<R: Read + Send>(reader: R, chunk_packets: usize) -> Result<Vec<ParsedPacket>> {
+/// Read and decode a pcap as a bounded two-stage pipeline, handing each
+/// batch of decoded packets to `sink` as soon as it is ready: a scoped
+/// reader thread pulls raw records off the source in chunks of
+/// `chunk_packets` and hands them over a bounded channel (at most two
+/// chunks in flight) while the calling thread decodes Ethernet/IPv4/TCP
+/// and invokes `sink`. Undecodable frames are skipped, exactly like
+/// [`Capture::parsed`], and batches arrive in capture order. This is the
+/// handoff the pipelined executor builds on: the consumer sees bounded
+/// batches without ever holding the raw and decoded captures side by side.
+pub fn parse_pcap_batched<R: Read + Send>(
+    reader: R,
+    chunk_packets: usize,
+    mut sink: impl FnMut(Vec<ParsedPacket>),
+) -> Result<()> {
     let chunk_packets = chunk_packets.max(1);
     let mut source = PcapReader::new(reader)?;
     std::thread::scope(|scope| {
@@ -287,16 +299,30 @@ pub fn parse_pcap_streaming<R: Read + Send>(reader: R, chunk_packets: usize) -> 
                 let _ = tx.send(Ok(chunk));
             }
         });
-        let mut parsed = Vec::new();
         for chunk in rx {
-            for pkt in chunk? {
-                if let Ok(p) = pkt.parse() {
-                    parsed.push(p);
-                }
+            let batch: Vec<ParsedPacket> = chunk?
+                .into_iter()
+                .filter_map(|pkt| pkt.parse().ok())
+                .collect();
+            if !batch.is_empty() {
+                sink(batch);
             }
         }
-        Ok(parsed)
+        Ok(())
     })
+}
+
+/// Read and decode a whole pcap through the batched handoff
+/// ([`parse_pcap_batched`]), collecting the batches into one time-ordered
+/// vector. Peak memory is the decoded packets plus two raw chunks, instead
+/// of the raw and decoded captures held side by side.
+pub fn parse_pcap_streaming<R: Read + Send>(
+    reader: R,
+    chunk_packets: usize,
+) -> Result<Vec<ParsedPacket>> {
+    let mut parsed = Vec::new();
+    parse_pcap_batched(reader, chunk_packets, |batch| parsed.extend(batch))?;
+    Ok(parsed)
 }
 
 #[cfg(test)]
@@ -331,7 +357,10 @@ mod tests {
         assert_eq!(parsed.payload, b"\x68\x04\x43\x00\x00\x00");
         assert_eq!(parsed.tcp.dst_port, 2404);
         assert_eq!(parsed.ip.src, addr(10, 0, 0, 1));
-        assert_eq!(parsed.four_tuple(), (addr(10, 0, 0, 1), 40000, addr(10, 0, 7, 5), 2404));
+        assert_eq!(
+            parsed.four_tuple(),
+            (addr(10, 0, 0, 1), 40000, addr(10, 0, 7, 5), 2404)
+        );
     }
 
     #[test]
@@ -346,7 +375,10 @@ mod tests {
         assert_eq!(back.len(), 10);
         for (a, b) in cap.packets.iter().zip(&back.packets) {
             assert_eq!(a.frame, b.frame);
-            assert!((a.timestamp - b.timestamp).abs() < 1e-5, "timestamp precision");
+            assert!(
+                (a.timestamp - b.timestamp).abs() < 1e-5,
+                "timestamp precision"
+            );
         }
     }
 
@@ -400,6 +432,25 @@ mod tests {
             let got = parse_pcap_streaming(&buf[..], chunk).unwrap();
             assert_eq!(got, expect, "chunk = {chunk}");
         }
+    }
+
+    /// The batched handoff delivers bounded, in-order, non-empty batches
+    /// whose concatenation equals the materialise-then-parse output.
+    #[test]
+    fn batched_handoff_delivers_bounded_ordered_batches() {
+        let mut cap = Capture::new();
+        for i in 0..25 {
+            cap.record(sample(i as f64 * 0.1, format!("payload{i}").as_bytes()));
+        }
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+        let expect = Capture::read_pcap(&buf[..]).unwrap().parsed();
+        let mut batches: Vec<Vec<ParsedPacket>> = Vec::new();
+        parse_pcap_batched(&buf[..], 4, |batch| batches.push(batch)).unwrap();
+        assert!(batches.len() >= 25 / 4, "batches actually chunked");
+        assert!(batches.iter().all(|b| !b.is_empty() && b.len() <= 4));
+        let flat: Vec<ParsedPacket> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, expect);
     }
 
     #[test]

@@ -71,9 +71,7 @@ impl Segment {
 
     /// Sequence space this segment occupies (payload + SYN/FIN flags).
     pub fn seq_len(&self) -> u32 {
-        self.payload.len() as u32
-            + self.flags.syn() as u32
-            + self.flags.fin() as u32
+        self.payload.len() as u32 + self.flags.syn() as u32 + self.flags.fin() as u32
     }
 }
 
@@ -211,11 +209,7 @@ impl TcpEndpoint {
         {
             return None;
         }
-        let seg = self.seg_to(
-            TcpFlags::ACK.with(TcpFlags::PSH),
-            self.snd_nxt,
-            payload,
-        );
+        let seg = self.seg_to(TcpFlags::ACK.with(TcpFlags::PSH), self.snd_nxt, payload);
         self.snd_nxt = self.snd_nxt.wrapping_add(seg.payload.len() as u32);
         Some(seg)
     }
@@ -382,7 +376,11 @@ mod tests {
 
     /// Pump segments between two endpoints until quiescent; returns all
     /// segments exchanged (for flow assertions) and delivered payloads.
-    fn pump(a: &mut TcpEndpoint, b: &mut TcpEndpoint, first: Segment) -> (Vec<Segment>, Vec<u8>, Vec<u8>) {
+    fn pump(
+        a: &mut TcpEndpoint,
+        b: &mut TcpEndpoint,
+        first: Segment,
+    ) -> (Vec<Segment>, Vec<u8>, Vec<u8>) {
         let mut wire = vec![first.clone()];
         let mut log = vec![first];
         let mut to_a = Vec::new();

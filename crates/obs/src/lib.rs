@@ -56,8 +56,8 @@ mod registry;
 mod render;
 
 pub use exec::ExecPolicy;
-pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
-pub use metrics::{Counter, Histogram, ShardSpan, Span, Stage};
-pub use registry::{
-    CounterSample, HistogramSample, MetricsRegistry, MetricsSnapshot, StageSample,
+pub use fnv::{
+    FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher, MixBuildHasher, MixHashMap, MixHasher,
 };
+pub use metrics::{Counter, Histogram, LocalHistogram, ShardSpan, Span, Stage};
+pub use registry::{CounterSample, HistogramSample, MetricsRegistry, MetricsSnapshot, StageSample};

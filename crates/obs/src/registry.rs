@@ -14,16 +14,31 @@ struct MetricKey {
 
 impl MetricKey {
     fn new(name: &str, labels: &[(&str, &str)]) -> Self {
-        let mut labels: Vec<(String, String)> =
-            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         labels.sort();
-        Self { name: name.to_string(), labels }
+        Self {
+            name: name.to_string(),
+            labels,
+        }
     }
+}
+
+#[derive(Debug)]
+struct CounterEntry {
+    counter: Arc<Counter>,
+    /// Volatile counters describe the *schedule* (queue depths, backpressure
+    /// waits) rather than the input; they render normally but are excluded
+    /// from [`MetricsSnapshot::counter_fingerprint`]. Fixed at first
+    /// registration.
+    volatile: bool,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
-    counters: BTreeMap<MetricKey, Arc<Counter>>,
+    counters: BTreeMap<MetricKey, CounterEntry>,
     histograms: BTreeMap<MetricKey, Arc<Histogram>>,
     stages: BTreeMap<String, Arc<Stage>>,
 }
@@ -55,11 +70,39 @@ impl MetricsRegistry {
 
     /// Get or register a counter with labels (e.g. `[("dialect", "std")]`).
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register_counter(name, labels, false)
+    }
+
+    /// Get or register an unlabelled *volatile* counter: one whose value is
+    /// a property of the execution schedule (queue occupancy, backpressure
+    /// stalls), not of the input. Volatile counters appear in rendered
+    /// output but are skipped by [`MetricsSnapshot::counter_fingerprint`],
+    /// so schedule-dependent instrumentation cannot break the
+    /// sequential-vs-threaded determinism contract.
+    pub fn volatile_counter(&self, name: &str) -> Arc<Counter> {
+        self.volatile_counter_with(name, &[])
+    }
+
+    /// Labelled variant of [`MetricsRegistry::volatile_counter`].
+    pub fn volatile_counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register_counter(name, labels, true)
+    }
+
+    fn register_counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        volatile: bool,
+    ) -> Arc<Counter> {
         let mut inner = self.inner.lock().unwrap();
         inner
             .counters
             .entry(MetricKey::new(name, labels))
-            .or_insert_with(|| Arc::new(Counter::new()))
+            .or_insert_with(|| CounterEntry {
+                counter: Arc::new(Counter::new()),
+                volatile,
+            })
+            .counter
             .clone()
     }
 
@@ -77,7 +120,11 @@ impl MetricsRegistry {
     /// Get or register a stage timer.
     pub fn stage(&self, name: &str) -> Arc<Stage> {
         let mut inner = self.inner.lock().unwrap();
-        inner.stages.entry(name.to_string()).or_insert_with(|| Arc::new(Stage::new())).clone()
+        inner
+            .stages
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Stage::new()))
+            .clone()
     }
 
     /// Capture an immutable, deterministically ordered snapshot of every
@@ -88,10 +135,11 @@ impl MetricsRegistry {
             counters: inner
                 .counters
                 .iter()
-                .map(|(key, c)| CounterSample {
+                .map(|(key, entry)| CounterSample {
                     name: key.name.clone(),
                     labels: key.labels.clone(),
-                    value: c.get(),
+                    value: entry.counter.get(),
+                    volatile: entry.volatile,
                 })
                 .collect(),
             histograms: inner
@@ -127,6 +175,8 @@ pub struct CounterSample {
     /// Sorted `(key, value)` label pairs; empty for unlabelled counters.
     pub labels: Vec<(String, String)>,
     pub value: u64,
+    /// Schedule-dependent counter, excluded from the fingerprint.
+    pub volatile: bool,
 }
 
 /// One histogram's state at snapshot time.
@@ -170,8 +220,10 @@ impl MetricsSnapshot {
     /// Value of the counter with this exact name and label set, or `None`
     /// if it was never registered.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
-        let mut want: Vec<(String, String)> =
-            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         want.sort();
         self.counters
             .iter()
@@ -181,7 +233,11 @@ impl MetricsSnapshot {
 
     /// Sum of this counter across all label variants.
     pub fn counter_total(&self, name: &str) -> u64 {
-        self.counters.iter().filter(|c| c.name == name).map(|c| c.value).sum()
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
     }
 
     /// The stage sample with this name, if registered.
@@ -191,14 +247,14 @@ impl MetricsSnapshot {
 
     /// A canonical rendering of every *deterministic* metric: counters,
     /// histograms, and stage item counts — everything except wall-clock
-    /// timings. Two runs of the same input under different [`ExecPolicy`]
-    /// values must produce equal fingerprints; the determinism tests assert
-    /// exactly this.
+    /// timings and volatile (schedule-dependent) counters. Two runs of the
+    /// same input under different [`ExecPolicy`] values must produce equal
+    /// fingerprints; the determinism tests assert exactly this.
     ///
     /// [`ExecPolicy`]: crate::ExecPolicy
     pub fn counter_fingerprint(&self) -> String {
         let mut out = String::new();
-        for c in &self.counters {
+        for c in self.counters.iter().filter(|c| !c.volatile) {
             out.push_str(&crate::render::counter_key(&c.name, &c.labels));
             out.push_str(&format!(" {}\n", c.value));
         }
@@ -209,7 +265,10 @@ impl MetricsSnapshot {
             ));
         }
         for s in &self.stages {
-            out.push_str(&format!("stage_items{{stage=\"{}\"}} {}\n", s.name, s.items));
+            out.push_str(&format!(
+                "stage_items{{stage=\"{}\"}} {}\n",
+                s.name, s.items
+            ));
         }
         out
     }
@@ -240,7 +299,10 @@ mod tests {
         reg.counter_with("parsed", &[("dialect", "cot1")]).add(2);
         let snap = reg.snapshot();
         assert_eq!(snap.counter_value("parsed", &[("dialect", "std")]), Some(5));
-        assert_eq!(snap.counter_value("parsed", &[("dialect", "cot1")]), Some(2));
+        assert_eq!(
+            snap.counter_value("parsed", &[("dialect", "cot1")]),
+            Some(2)
+        );
         assert_eq!(snap.counter_total("parsed"), 7);
         assert_eq!(snap.counter_value("parsed", &[]), None);
     }
@@ -253,6 +315,34 @@ mod tests {
         let snap = reg.snapshot();
         let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn volatile_counters_render_but_stay_out_of_the_fingerprint() {
+        let reg = MetricsRegistry::new();
+        reg.counter("events").add(3);
+        let base = reg.snapshot().counter_fingerprint();
+
+        reg.volatile_counter("exec_backpressure_waits").add(17);
+        reg.volatile_counter_with("exec_queue_full", &[("shard", "0")])
+            .inc();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_fingerprint(),
+            base,
+            "volatile counters must not shift the fingerprint"
+        );
+        // ...but they are real counters: visible to lookups and renderers.
+        assert_eq!(snap.counter_total("exec_backpressure_waits"), 17);
+        assert!(snap.to_json().contains("exec_backpressure_waits"));
+        assert!(snap
+            .to_prometheus()
+            .contains("exec_queue_full{shard=\"0\"} 1"));
+        // Volatility is fixed at first registration; re-registering the same
+        // name through the non-volatile path returns the same counter.
+        reg.counter("exec_backpressure_waits").add(1);
+        assert_eq!(reg.snapshot().counter_total("exec_backpressure_waits"), 18);
+        assert_eq!(reg.snapshot().counter_fingerprint(), base);
     }
 
     #[test]

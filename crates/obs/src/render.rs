@@ -30,7 +30,9 @@ fn json_escape(s: &str) -> String {
 
 /// Escape a Prometheus label value (`\`, `"`, and newline).
 fn label_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// `name` or `name{k="v",...}` — the canonical metric identity used by the
@@ -39,8 +41,10 @@ pub(crate) fn counter_key(name: &str, labels: &[(String, String)]) -> String {
     if labels.is_empty() {
         return name.to_string();
     }
-    let body: Vec<String> =
-        labels.iter().map(|(k, v)| format!("{}=\"{}\"", k, label_escape(v))).collect();
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, label_escape(v)))
+        .collect();
     format!("{}{{{}}}", name, body.join(","))
 }
 
@@ -270,8 +274,10 @@ mod tests {
     /// via the `record_*` hooks rather than real clocks).
     fn golden_registry() -> MetricsRegistry {
         let reg = MetricsRegistry::new();
-        reg.counter_with("iec104_apdus_parsed", &[("dialect", "std")]).add(120);
-        reg.counter_with("iec104_apdus_parsed", &[("dialect", "cot1")]).add(3);
+        reg.counter_with("iec104_apdus_parsed", &[("dialect", "std")])
+            .add(120);
+        reg.counter_with("iec104_apdus_parsed", &[("dialect", "cot1")])
+            .add(3);
         reg.counter("nettap_segments_reassembled").add(450);
         let h = reg.histogram("iec104_apdu_length_octets", &[16, 64, 256]);
         for v in [4, 16, 17, 300] {
@@ -353,7 +359,10 @@ pipeline_stage_shard_wall_seconds{stage=\"flows\",shard=\"1\"} 0.001100000
     #[test]
     fn empty_snapshot_renders_cleanly() {
         let snap = MetricsRegistry::new().snapshot();
-        assert_eq!(snap.to_json(), "{\n  \"counters\": [\n  ],\n  \"histograms\": [\n  ],\n  \"stages\": [\n  ]\n}\n");
+        assert_eq!(
+            snap.to_json(),
+            "{\n  \"counters\": [\n  ],\n  \"histograms\": [\n  ],\n  \"stages\": [\n  ]\n}\n"
+        );
         assert_eq!(snap.to_prometheus(), "");
         assert_eq!(snap.summary_table(), "pipeline metrics\n");
     }

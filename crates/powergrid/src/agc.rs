@@ -114,7 +114,12 @@ mod tests {
     /// Run a closed AGC loop: grid steps at 1 s, AGC dispatches on cycle and
     /// set points apply instantly (zero network latency). Returns the peak
     /// absolute frequency deviation seen during the run.
-    fn run_closed_loop(grid: &mut PowerGrid, agc: &mut AgcController, rng: &mut StdRng, secs: usize) -> f64 {
+    fn run_closed_loop(
+        grid: &mut PowerGrid,
+        agc: &mut AgcController,
+        rng: &mut StdRng,
+        secs: usize,
+    ) -> f64 {
         let mut peak = 0.0f64;
         for _ in 0..secs {
             grid.step(1.0, rng);

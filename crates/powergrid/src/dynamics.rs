@@ -52,8 +52,8 @@ impl PowerGrid {
         self.time += dt;
 
         // Demand wanders slowly (mean-reverting random walk, ±2 %).
-        self.demand_factor += gaussian(rng, 0.0, 0.0005) * dt.sqrt()
-            - (self.demand_factor - 1.0) * 0.01 * dt;
+        self.demand_factor +=
+            gaussian(rng, 0.0, 0.0005) * dt.sqrt() - (self.demand_factor - 1.0) * 0.01 * dt;
         self.demand_factor = self.demand_factor.clamp(0.95, 1.05);
 
         // Generators ramp toward set points; synchronising units raise their
@@ -73,7 +73,8 @@ impl PowerGrid {
                     let step = err.clamp(-g.ramp_mw_per_s * dt, g.ramp_mw_per_s * dt);
                     g.output_mw = (g.output_mw + step).clamp(0.0, g.capacity_mw);
                     // Reactive power follows voltage needs with noise.
-                    let target_q = g.output_mw * 0.15 * if g.grid_kv > g.nominal_kv { -0.5 } else { 1.0 };
+                    let target_q =
+                        g.output_mw * 0.15 * if g.grid_kv > g.nominal_kv { -0.5 } else { 1.0 };
                     g.reactive_mvar += (target_q - g.reactive_mvar) * (0.05 * dt).min(1.0)
                         + gaussian(rng, 0.0, 0.2) * dt.sqrt();
                     // Online buses hold near nominal with small noise.
@@ -173,7 +174,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn grid() -> (PowerGrid, StdRng) {
-        (PowerGrid::new(GridModel::bulk_example()), StdRng::seed_from_u64(7))
+        (
+            PowerGrid::new(GridModel::bulk_example()),
+            StdRng::seed_from_u64(7),
+        )
     }
 
     #[test]
@@ -216,7 +220,10 @@ mod tests {
         grid.apply_setpoint(id, start + 100.0);
         grid.step(1.0, &mut rng);
         let moved = grid.model.generators[0].output_mw - start;
-        assert!(moved > 0.0 && moved <= ramp + 1e-9, "ramp-limited: {moved} vs {ramp}");
+        assert!(
+            moved > 0.0 && moved <= ramp + 1e-9,
+            "ramp-limited: {moved} vs {ramp}"
+        );
     }
 
     #[test]
@@ -230,7 +237,10 @@ mod tests {
         }
         let mid = grid.model.generators[4].bus_kv;
         assert!(mid > 20.0 && mid < 130.0, "ramping: {mid}");
-        assert_eq!(grid.model.generators[4].output_mw, 0.0, "no power before close");
+        assert_eq!(
+            grid.model.generators[4].output_mw, 0.0,
+            "no power before close"
+        );
         for _ in 0..40 {
             grid.step(1.0, &mut rng);
         }
@@ -273,6 +283,9 @@ mod tests {
             g2.step(1.0, &mut r2);
         }
         assert_eq!(g1.frequency_hz, g2.frequency_hz);
-        assert_eq!(g1.model.generators[0].output_mw, g2.model.generators[0].output_mw);
+        assert_eq!(
+            g1.model.generators[0].output_mw,
+            g2.model.generators[0].output_mw
+        );
     }
 }

@@ -98,7 +98,9 @@ impl SensorBinding {
         match (self.quantity, self.generator) {
             (PhysicalQuantity::Frequency, _) => grid.frequency_hz,
             (q, Some(id)) => {
-                let Some(g) = grid.model.generators.get(id.0) else { return 0.0 };
+                let Some(g) = grid.model.generators.get(id.0) else {
+                    return 0.0;
+                };
                 match q {
                     PhysicalQuantity::ActivePower => g.output_mw,
                     PhysicalQuantity::ReactivePower => g.reactive_mvar,

@@ -18,19 +18,31 @@ fn main() {
     println!("connections: {}", table.len());
     let short: Vec<_> = table.short_lived().collect();
     let sub1 = short.iter().filter(|c| c.duration() < 1.0).count();
-    println!("short-lived: {} (<1s: {}), long-lived: {}", short.len(), sub1, table.long_lived().count());
+    println!(
+        "short-lived: {} (<1s: {}), long-lived: {}",
+        short.len(),
+        sub1,
+        table.long_lived().count()
+    );
 
     // Token census per connection direction.
     let mut type_counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut malformed = 0usize;
     for conn in &table.connections {
-        for dir in [uncharted_nettap::flow::Direction::AtoB, uncharted_nettap::flow::Direction::BtoA] {
+        for dir in [
+            uncharted_nettap::flow::Direction::AtoB,
+            uncharted_nettap::flow::Direction::BtoA,
+        ] {
             let stream = &conn.dir(dir).stream;
-            if stream.is_empty() { continue; }
+            if stream.is_empty() {
+                continue;
+            }
             let mut dec = StreamDecoder::new(Dialect::STANDARD);
             for item in dec.feed(stream) {
                 match item {
-                    StreamItem::Apdu(a) => { *type_counts.entry(a.token()).or_default() += 1; }
+                    StreamItem::Apdu(a) => {
+                        *type_counts.entry(a.token()).or_default() += 1;
+                    }
                     StreamItem::Malformed(_, _) => malformed += 1,
                 }
             }
@@ -39,6 +51,9 @@ fn main() {
     println!("malformed frames (strict): {malformed}");
     let total: usize = type_counts.values().sum();
     for (tok, n) in &type_counts {
-        println!("  {tok:>5}: {n:>7}  {:.3}%", 100.0 * *n as f64 / total as f64);
+        println!(
+            "  {tok:>5}: {n:>7}  {:.3}%",
+            100.0 * *n as f64 / total as f64
+        );
     }
 }

@@ -157,9 +157,10 @@ impl AttackerSim {
                     if let Some(link) = t.link.as_mut() {
                         // The single-I100 reconnaissance the paper highlights.
                         let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 0)
-                            .with_object(InfoObject::new(0, IoValue::Interrogation {
-                                qoi: Qoi::STATION,
-                            }));
+                            .with_object(InfoObject::new(
+                                0,
+                                IoValue::Interrogation { qoi: Qoi::STATION },
+                            ));
                         out.extend(link.send_asdu(asdu, now));
                     }
                     t.phase = Phase::BreakerCommand;
@@ -179,10 +180,13 @@ impl AttackerSim {
                     if let Some(link) = t.link.as_mut() {
                         // An absurd set point, far outside any unit's range.
                         let asdu = Asdu::new(TypeId::C_SE_NC_1, Cot::new(Cause::Activation), 0)
-                            .with_object(InfoObject::new(900, IoValue::FloatSetpoint {
-                                value: 99_999.0,
-                                qos: 0,
-                            }));
+                            .with_object(InfoObject::new(
+                                900,
+                                IoValue::FloatSetpoint {
+                                    value: 99_999.0,
+                                    qos: 0,
+                                },
+                            ));
                         out.extend(link.send_asdu(asdu, now));
                     }
                     t.phase = Phase::Done;

@@ -243,10 +243,12 @@ mod tests {
         assert!(packets.len() >= 6);
         for p in &packets {
             let parsed = p.parse().expect("valid TCP frame");
-            assert!(parsed.tcp.dst_port == TPKT_PORT
-                || parsed.tcp.src_port == TPKT_PORT
-                || parsed.tcp.dst_port == C37_PORT
-                || parsed.tcp.src_port == C37_PORT);
+            assert!(
+                parsed.tcp.dst_port == TPKT_PORT
+                    || parsed.tcp.src_port == TPKT_PORT
+                    || parsed.tcp.dst_port == C37_PORT
+                    || parsed.tcp.src_port == C37_PORT
+            );
             assert_ne!(parsed.tcp.dst_port, 2404, "never IEC 104");
         }
     }
@@ -257,8 +259,16 @@ mod tests {
         let mut bg = BackgroundTraffic::paper_mix(cc, 0, 1);
         let a = bg.emit(0.3); // two frames (t=0.0, 0.2)
         let b = bg.emit(0.5); // one more (t=0.4)
-        let data_a: Vec<_> = a.iter().map(|p| p.parse().unwrap()).filter(|p| !p.payload.is_empty()).collect();
-        let data_b: Vec<_> = b.iter().map(|p| p.parse().unwrap()).filter(|p| !p.payload.is_empty()).collect();
+        let data_a: Vec<_> = a
+            .iter()
+            .map(|p| p.parse().unwrap())
+            .filter(|p| !p.payload.is_empty())
+            .collect();
+        let data_b: Vec<_> = b
+            .iter()
+            .map(|p| p.parse().unwrap())
+            .filter(|p| !p.payload.is_empty())
+            .collect();
         let last = &data_a[data_a.len() - 1];
         let next = &data_b[0];
         assert_eq!(

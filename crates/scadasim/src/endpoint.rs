@@ -60,7 +60,12 @@ impl Iec104Link {
         }
     }
 
-    fn run_actions(&mut self, actions: Vec<Action>, out: &mut Vec<Segment>, delivered: &mut Vec<Asdu>) {
+    fn run_actions(
+        &mut self,
+        actions: Vec<Action>,
+        out: &mut Vec<Segment>,
+        delivered: &mut Vec<Asdu>,
+    ) {
         for action in actions {
             match action {
                 Action::Transmit(apdu) => {
@@ -161,7 +166,12 @@ mod tests {
     use uncharted_nettap::ipv4::addr;
     use uncharted_nettap::stack::{AcceptPolicy, SocketAddr};
 
-    fn pump_pair(server: &mut Iec104Link, rtu: &mut Iec104Link, first: Vec<Segment>, now: f64) -> Vec<Asdu> {
+    fn pump_pair(
+        server: &mut Iec104Link,
+        rtu: &mut Iec104Link,
+        first: Vec<Segment>,
+        now: f64,
+    ) -> Vec<Asdu> {
         let mut delivered = Vec::new();
         let mut wire = first;
         while let Some(seg) = wire.pop() {
@@ -204,10 +214,13 @@ mod tests {
 
         // RTU reports a measurement; the server should receive it.
         let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 3).with_object(
-            InfoObject::new(700, IoValue::FloatMeasurement {
-                value: 130.1,
-                qds: Qds::GOOD,
-            }),
+            InfoObject::new(
+                700,
+                IoValue::FloatMeasurement {
+                    value: 130.1,
+                    qds: Qds::GOOD,
+                },
+            ),
         );
         let out = rtu.send_asdu(asdu.clone(), 0.2);
         assert!(!out.is_empty());
@@ -240,10 +253,13 @@ mod tests {
         let out = server.start_dt(0.1);
         pump_pair(&mut server, &mut rtu, out, 0.1);
         let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Periodic), 28).with_object(
-            InfoObject::new(700, IoValue::FloatMeasurement {
-                value: 48.8,
-                qds: Qds::GOOD,
-            }),
+            InfoObject::new(
+                700,
+                IoValue::FloatMeasurement {
+                    value: 48.8,
+                    qds: Qds::GOOD,
+                },
+            ),
         );
         let report = rtu.send_asdu(asdu.clone(), 0.2);
         let delivered = pump_pair(&mut server, &mut rtu, report, 0.2);

@@ -36,7 +36,10 @@ pub enum Effect {
 #[derive(Debug)]
 enum InboundLink {
     /// Full IEC 104 processing.
-    Iec(Box<Iec104Link>, bool /* was started (for on-start reports) */),
+    Iec(
+        Box<Iec104Link>,
+        bool, /* was started (for on-start reports) */
+    ),
     /// Accept TCP, reset on the first APDU (the RejectApdu misbehaviour).
     RejectOnApdu(TcpEndpoint),
     /// Accept TCP, swallow everything silently (IgnoreTestFr).
@@ -153,7 +156,10 @@ impl OutstationSim {
                         Box::new(Iec104Link::new(
                             TcpEndpoint::listen(self.addr, AcceptPolicy::Accept),
                             Role::Controlled,
-                            ConnConfig { t3, ..Default::default() },
+                            ConnConfig {
+                                t3,
+                                ..Default::default()
+                            },
                             self.spec.dialect,
                             now,
                         )),
@@ -172,15 +178,8 @@ impl OutstationSim {
                     let (replies, delivered) = iec_link.on_segment(seg, isn, now);
                     out.extend(replies);
                     for asdu in delivered {
-                        let (mut replies, mut eff) = handle_asdu(
-                            iec_link,
-                            &self.points,
-                            &self.spec,
-                            &asdu,
-                            now,
-                            grid,
-                            rng,
-                        );
+                        let (mut replies, mut eff) =
+                            handle_asdu(iec_link, &self.points, &self.spec, &asdu, now, grid, rng);
                         out.append(&mut replies);
                         effects.append(&mut eff);
                     }
@@ -252,18 +251,29 @@ impl OutstationSim {
                 || self.spec.profile == crate::profiles::ProfileType::SwitchoverObserved
             {
                 asdus.push(
-                    Asdu::new(TypeId::M_EI_NA_1, Cot::new(Cause::Initialized), self.spec.common_address)
-                        .with_object(InfoObject::new(0, IoValue::EndOfInit { coi: 0 })),
+                    Asdu::new(
+                        TypeId::M_EI_NA_1,
+                        Cot::new(Cause::Initialized),
+                        self.spec.common_address,
+                    )
+                    .with_object(InfoObject::new(0, IoValue::EndOfInit { coi: 0 })),
                 );
             }
             for p in &self.points {
                 if matches!(p.report, ReportKind::BitstringOnStart) {
                     asdus.push(
-                        Asdu::new(TypeId::M_BO_NA_1, Cot::new(Cause::Spontaneous), self.spec.common_address)
-                            .with_object(InfoObject::new(p.ioa, IoValue::Bitstring {
+                        Asdu::new(
+                            TypeId::M_BO_NA_1,
+                            Cot::new(Cause::Spontaneous),
+                            self.spec.common_address,
+                        )
+                        .with_object(InfoObject::new(
+                            p.ioa,
+                            IoValue::Bitstring {
                                 bits: 0x0001_0305,
                                 qds: Qds::GOOD,
-                            })),
+                            },
+                        )),
                     );
                 }
             }
@@ -292,7 +302,11 @@ impl OutstationSim {
                 _ => None,
             };
             let Some(period) = period else { continue };
-            let last = self.last_periodic.get(&p.ioa).copied().unwrap_or(f64::NEG_INFINITY);
+            let last = self
+                .last_periodic
+                .get(&p.ioa)
+                .copied()
+                .unwrap_or(f64::NEG_INFINITY);
             if now - last < period {
                 continue;
             }
@@ -306,32 +320,53 @@ impl OutstationSim {
             }
         }
         for chunk in due_floats.chunks(MAX_BATCH) {
-            let mut asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Periodic), self.spec.common_address);
+            let mut asdu = Asdu::new(
+                TypeId::M_ME_NC_1,
+                Cot::new(Cause::Periodic),
+                self.spec.common_address,
+            );
             for &(ioa, v) in chunk {
-                asdu.objects.push(InfoObject::new(ioa, IoValue::FloatMeasurement {
-                    value: v as f32,
-                    qds: Qds::GOOD,
-                }));
+                asdu.objects.push(InfoObject::new(
+                    ioa,
+                    IoValue::FloatMeasurement {
+                        value: v as f32,
+                        qds: Qds::GOOD,
+                    },
+                ));
             }
             asdus.push(asdu);
         }
         for chunk in due_normalized.chunks(MAX_BATCH) {
-            let mut asdu = Asdu::new(TypeId::M_ME_NA_1, Cot::new(Cause::Periodic), self.spec.common_address);
+            let mut asdu = Asdu::new(
+                TypeId::M_ME_NA_1,
+                Cot::new(Cause::Periodic),
+                self.spec.common_address,
+            );
             for &(ioa, v) in chunk {
-                asdu.objects.push(InfoObject::new(ioa, IoValue::NormalizedMeasurement {
-                    nva: Nva::from_f64((v / 400.0).clamp(-0.999, 0.999)),
-                    qds: Qds::GOOD,
-                }));
+                asdu.objects.push(InfoObject::new(
+                    ioa,
+                    IoValue::NormalizedMeasurement {
+                        nva: Nva::from_f64((v / 400.0).clamp(-0.999, 0.999)),
+                        qds: Qds::GOOD,
+                    },
+                ));
             }
             asdus.push(asdu);
         }
         for chunk in due_steps.chunks(MAX_BATCH) {
-            let mut asdu = Asdu::new(TypeId::M_ST_NA_1, Cot::new(Cause::Periodic), self.spec.common_address);
+            let mut asdu = Asdu::new(
+                TypeId::M_ST_NA_1,
+                Cot::new(Cause::Periodic),
+                self.spec.common_address,
+            );
             for &(ioa, v) in chunk {
-                asdu.objects.push(InfoObject::new(ioa, IoValue::StepPosition {
-                    vti: Vti::new((v % 32.0) as i8, false),
-                    qds: Qds::GOOD,
-                }));
+                asdu.objects.push(InfoObject::new(
+                    ioa,
+                    IoValue::StepPosition {
+                        vti: Vti::new((v % 32.0) as i8, false),
+                        qds: Qds::GOOD,
+                    },
+                ));
             }
             asdus.push(asdu);
         }
@@ -379,9 +414,12 @@ impl OutstationSim {
                                     self.spec.common_address,
                                 )
                                 .with_object(
-                                    InfoObject::new(p.ioa, IoValue::DoublePoint {
-                                        diq: Diq::from_point(DoublePoint::from_code(v)),
-                                    })
+                                    InfoObject::new(
+                                        p.ioa,
+                                        IoValue::DoublePoint {
+                                            diq: Diq::from_point(DoublePoint::from_code(v)),
+                                        },
+                                    )
                                     .with_time(tag),
                                 ),
                                 ReportKind::SpontaneousSinglePoint => Asdu::new(
@@ -390,9 +428,12 @@ impl OutstationSim {
                                     self.spec.common_address,
                                 )
                                 .with_object(
-                                    InfoObject::new(p.ioa, IoValue::SinglePoint {
-                                        siq: Siq::from_state(v == 2),
-                                    })
+                                    InfoObject::new(
+                                        p.ioa,
+                                        IoValue::SinglePoint {
+                                            siq: Siq::from_state(v == 2),
+                                        },
+                                    )
                                     .with_time(tag),
                                 ),
                                 _ => Asdu::new(
@@ -400,9 +441,12 @@ impl OutstationSim {
                                     Cot::new(Cause::Spontaneous),
                                     self.spec.common_address,
                                 )
-                                .with_object(InfoObject::new(p.ioa, IoValue::SinglePoint {
-                                    siq: Siq::from_state(v == 2),
-                                })),
+                                .with_object(InfoObject::new(
+                                    p.ioa,
+                                    IoValue::SinglePoint {
+                                        siq: Siq::from_state(v == 2),
+                                    },
+                                )),
                             };
                             asdus.push(asdu);
                         }
@@ -418,10 +462,13 @@ impl OutstationSim {
                 );
                 for &(ioa, v) in chunk {
                     asdu.objects.push(
-                        InfoObject::new(ioa, IoValue::FloatMeasurement {
-                            value: v as f32,
-                            qds: Qds::GOOD,
-                        })
+                        InfoObject::new(
+                            ioa,
+                            IoValue::FloatMeasurement {
+                                value: v as f32,
+                                qds: Qds::GOOD,
+                            },
+                        )
                         .with_time(tag),
                     );
                 }
@@ -517,14 +564,20 @@ fn handle_asdu(
                 .filter(|p| p.quantity != PhysicalQuantity::BreakerStatus)
                 .collect();
             for chunk in analogs.chunks(MAX_BATCH) {
-                let mut dump =
-                    Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::InterrogatedByStation), ca);
+                let mut dump = Asdu::new(
+                    TypeId::M_ME_NC_1,
+                    Cot::new(Cause::InterrogatedByStation),
+                    ca,
+                );
                 for p in chunk {
                     let v = read_point(spec, p, grid, rng);
-                    dump.objects.push(InfoObject::new(p.ioa, IoValue::FloatMeasurement {
-                        value: v as f32,
-                        qds: Qds::GOOD,
-                    }));
+                    dump.objects.push(InfoObject::new(
+                        p.ioa,
+                        IoValue::FloatMeasurement {
+                            value: v as f32,
+                            qds: Qds::GOOD,
+                        },
+                    ));
                 }
                 out.extend(link.send_asdu(dump, now));
             }
@@ -543,13 +596,19 @@ fn handle_asdu(
                 })
                 .collect();
             for chunk in doubles.chunks(MAX_BATCH) {
-                let mut dump =
-                    Asdu::new(TypeId::M_DP_NA_1, Cot::new(Cause::InterrogatedByStation), ca);
+                let mut dump = Asdu::new(
+                    TypeId::M_DP_NA_1,
+                    Cot::new(Cause::InterrogatedByStation),
+                    ca,
+                );
                 for p in chunk {
                     let v = read_point(spec, p, grid, rng) as u8;
-                    dump.objects.push(InfoObject::new(p.ioa, IoValue::DoublePoint {
-                        diq: Diq::from_point(DoublePoint::from_code(v)),
-                    }));
+                    dump.objects.push(InfoObject::new(
+                        p.ioa,
+                        IoValue::DoublePoint {
+                            diq: Diq::from_point(DoublePoint::from_code(v)),
+                        },
+                    ));
                 }
                 out.extend(link.send_asdu(dump, now));
             }
@@ -564,13 +623,19 @@ fn handle_asdu(
                 })
                 .collect();
             for chunk in singles.chunks(MAX_BATCH) {
-                let mut dump =
-                    Asdu::new(TypeId::M_SP_NA_1, Cot::new(Cause::InterrogatedByStation), ca);
+                let mut dump = Asdu::new(
+                    TypeId::M_SP_NA_1,
+                    Cot::new(Cause::InterrogatedByStation),
+                    ca,
+                );
                 for p in chunk {
                     let v = read_point(spec, p, grid, rng) as u8;
-                    dump.objects.push(InfoObject::new(p.ioa, IoValue::SinglePoint {
-                        siq: Siq::from_state(v == 2),
-                    }));
+                    dump.objects.push(InfoObject::new(
+                        p.ioa,
+                        IoValue::SinglePoint {
+                            siq: Siq::from_state(v == 2),
+                        },
+                    ));
                 }
                 out.extend(link.send_asdu(dump, now));
             }
@@ -628,7 +693,11 @@ mod tests {
         let topo = Topology::paper_network();
         let spec = topo.outstation(o).unwrap().clone();
         let grid = PowerGrid::new(topo.grid);
-        (OutstationSim::new(&spec, Year::Y1), grid, StdRng::seed_from_u64(5))
+        (
+            OutstationSim::new(&spec, Year::Y1),
+            grid,
+            StdRng::seed_from_u64(5),
+        )
     }
 
     fn server_addr() -> SocketAddr {
@@ -679,7 +748,10 @@ mod tests {
             payload: vec![0x68, 0x04, 0x43, 0x00, 0x00, 0x00],
         };
         let (replies, _) = o.on_segment(&probe, 0.2, &grid, &mut rng);
-        assert!(replies.iter().any(|s| s.flags.rst()), "must RST on the APDU");
+        assert!(
+            replies.iter().any(|s| s.flags.rst()),
+            "must RST on the APDU"
+        );
     }
 
     #[test]
@@ -714,8 +786,8 @@ mod tests {
     #[test]
     fn backup_rtu_never_reports() {
         let (mut o, grid, mut rng) = setup(11); // O11: backup RTU
-        // No connection, no reports; and even with one, no STARTDT ever
-        // happens, so poll produces no data segments.
+                                                // No connection, no reports; and even with one, no STARTDT ever
+                                                // happens, so poll produces no data segments.
         for t in 0..30 {
             let segs = o.poll(t as f64, &grid, &mut rng);
             assert!(segs.iter().all(|s| s.payload.is_empty()));

@@ -179,13 +179,11 @@ impl ServerSim {
             a.role = role;
             a.interrogated = false;
             match role {
-                ConnRole::Primary => {
-                    match a.link.as_mut() {
-                        Some(link) if link.established() => out.extend(link.start_dt(now)),
-                        Some(_) => {}
-                        None => a.next_attempt = a.next_attempt.min(now + 1.0),
-                    }
-                }
+                ConnRole::Primary => match a.link.as_mut() {
+                    Some(link) if link.established() => out.extend(link.start_dt(now)),
+                    Some(_) => {}
+                    None => a.next_attempt = a.next_attempt.min(now + 1.0),
+                },
                 ConnRole::Secondary | ConnRole::Idle => {
                     // Demotion: close the data channel (and keep the link
                     // around until the FIN handshake completes); re-dial as
@@ -240,7 +238,9 @@ impl ServerSim {
         }
 
         for a in &mut self.assignments {
-            let Some(link) = a.link.as_mut() else { continue };
+            let Some(link) = a.link.as_mut() else {
+                continue;
+            };
             // Establishment edge: STARTDT primaries, probe secondaries.
             if link.established() && !a.established_seen {
                 a.established_seen = true;
@@ -261,8 +261,10 @@ impl ServerSim {
                 && link.iec.dt_state() == DtState::Started
             {
                 a.interrogated = true;
-                let asdu = Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 0)
-                    .with_object(InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }));
+                let asdu =
+                    Asdu::new(TypeId::C_IC_NA_1, Cot::new(Cause::Activation), 0).with_object(
+                        InfoObject::new(0, IoValue::Interrogation { qoi: Qoi::STATION }),
+                    );
                 out.extend(link.send_asdu(asdu, now));
             }
             // Clock sync on primaries, from the designated masters.
@@ -273,9 +275,12 @@ impl ServerSim {
             {
                 a.clock_sync_due = now + 1_200.0;
                 let asdu = Asdu::new(TypeId::C_CS_NA_1, Cot::new(Cause::Activation), 0)
-                    .with_object(InfoObject::new(0, IoValue::ClockSync {
-                        time: Cp56Time2a::from_epoch_millis((now * 1000.0) as u64),
-                    }));
+                    .with_object(InfoObject::new(
+                        0,
+                        IoValue::ClockSync {
+                            time: Cp56Time2a::from_epoch_millis((now * 1000.0) as u64),
+                        },
+                    ));
                 out.extend(link.send_asdu(asdu, now));
             }
             out.extend(link.poll(now));
@@ -333,16 +338,22 @@ impl ServerSim {
                     continue;
                 }
             }
-            let Some(link) = a.link.as_mut() else { continue };
+            let Some(link) = a.link.as_mut() else {
+                continue;
+            };
             if link.iec.dt_state() != DtState::Started {
                 continue;
             }
             a.last_setpoint = Some(mw);
-            let asdu = Asdu::new(TypeId::C_SE_NC_1, Cot::new(Cause::Activation), 0)
-                .with_object(InfoObject::new(900, IoValue::FloatSetpoint {
-                    value: mw as f32,
-                    qos: 0,
-                }));
+            let asdu = Asdu::new(TypeId::C_SE_NC_1, Cot::new(Cause::Activation), 0).with_object(
+                InfoObject::new(
+                    900,
+                    IoValue::FloatSetpoint {
+                        value: mw as f32,
+                        qos: 0,
+                    },
+                ),
+            );
             out.extend(link.send_asdu(asdu, now));
         }
         out
@@ -402,7 +413,15 @@ mod tests {
     #[test]
     fn server_dials_at_first_attempt_time() {
         let mut s = ServerSim::new(ServerId::C1);
-        s.assign(3, rtu_ip(), ConnRole::Primary, Dialect::STANDARD, None, 10.0, 5.0);
+        s.assign(
+            3,
+            rtu_ip(),
+            ConnRole::Primary,
+            Dialect::STANDARD,
+            None,
+            10.0,
+            5.0,
+        );
         let mut rng = StdRng::seed_from_u64(1);
         assert!(s.poll(5.0, &mut rng).is_empty(), "before first_attempt");
         let out = s.poll(10.0, &mut rng);
@@ -424,23 +443,45 @@ mod tests {
     #[test]
     fn secondary_probes_with_testfr_after_establishment() {
         let mut s = ServerSim::new(ServerId::C2);
-        s.assign(7, rtu_ip(), ConnRole::Secondary, Dialect::STANDARD, None, 0.0, 5.0);
+        s.assign(
+            7,
+            rtu_ip(),
+            ConnRole::Secondary,
+            Dialect::STANDARD,
+            None,
+            0.0,
+            5.0,
+        );
         let mut rng = StdRng::seed_from_u64(1);
         let syn = s.poll(0.0, &mut rng).remove(0);
         // Fake the RTU side with a bare endpoint.
-        let mut rtu = TcpEndpoint::listen(SocketAddr::new(rtu_ip(), IEC104_PORT), uncharted_nettap::stack::AcceptPolicy::Accept);
+        let mut rtu = TcpEndpoint::listen(
+            SocketAddr::new(rtu_ip(), IEC104_PORT),
+            uncharted_nettap::stack::AcceptPolicy::Accept,
+        );
         let (synack, _) = rtu.on_segment(&syn, 42);
         let _ack = s.on_segment(&synack[0], 0.1, &mut rng);
         // On the next poll the server notices establishment and probes.
         let out = s.poll(0.2, &mut rng);
-        let probe = out.iter().find(|seg| !seg.payload.is_empty()).expect("probe");
+        let probe = out
+            .iter()
+            .find(|seg| !seg.payload.is_empty())
+            .expect("probe");
         assert_eq!(probe.payload, vec![0x68, 0x04, 0x43, 0x00, 0x00, 0x00]);
     }
 
     #[test]
     fn setpoint_suppressed_without_primary() {
         let mut s = ServerSim::new(ServerId::C1);
-        s.assign(3, rtu_ip(), ConnRole::Secondary, Dialect::STANDARD, None, 0.0, 5.0);
+        s.assign(
+            3,
+            rtu_ip(),
+            ConnRole::Secondary,
+            Dialect::STANDARD,
+            None,
+            0.0,
+            5.0,
+        );
         assert!(s.send_setpoint(3, 123.0, 1.0).is_empty());
         assert!(!s.is_primary_for(3));
     }
@@ -448,10 +489,21 @@ mod tests {
     #[test]
     fn demotion_closes_link() {
         let mut s = ServerSim::new(ServerId::C1);
-        s.assign(3, rtu_ip(), ConnRole::Primary, Dialect::STANDARD, None, 0.0, 5.0);
+        s.assign(
+            3,
+            rtu_ip(),
+            ConnRole::Primary,
+            Dialect::STANDARD,
+            None,
+            0.0,
+            5.0,
+        );
         let mut rng = StdRng::seed_from_u64(1);
         let syn = s.poll(0.0, &mut rng).remove(0);
-        let mut rtu = TcpEndpoint::listen(SocketAddr::new(rtu_ip(), IEC104_PORT), uncharted_nettap::stack::AcceptPolicy::Accept);
+        let mut rtu = TcpEndpoint::listen(
+            SocketAddr::new(rtu_ip(), IEC104_PORT),
+            uncharted_nettap::stack::AcceptPolicy::Accept,
+        );
         let (synack, _) = rtu.on_segment(&syn, 42);
         s.on_segment(&synack[0], 0.1, &mut rng);
         s.poll(0.2, &mut rng);

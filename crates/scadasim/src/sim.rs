@@ -170,18 +170,15 @@ impl Simulation {
 
     fn build_endpoints(&mut self) {
         let year = self.scenario.year;
-        let specs: Vec<crate::topology::OutstationSpec> = self
-            .topology
-            .in_year(year)
-            .into_iter()
-            .cloned()
-            .collect();
+        let specs: Vec<crate::topology::OutstationSpec> =
+            self.topology.in_year(year).into_iter().cloned().collect();
         for spec in specs {
             let out = OutstationSim::new(&spec, year);
             self.out_by_ip.insert(spec.ip(), self.outstations.len());
             if let Some(link) = spec.generator {
                 if link.agc_controlled {
-                    self.gen_to_out.insert(link.generator, self.outstations.len());
+                    self.gen_to_out
+                        .insert(link.generator, self.outstations.len());
                 }
             }
             self.outstations.push(out);
@@ -197,7 +194,12 @@ impl Simulation {
 
             if spec.testing_only {
                 // C4–O22: one late secondary connection, huge keep-alive gap.
-                let start = self.scenario.windows.first().map(|w| w.start).unwrap_or(0.0);
+                let start = self
+                    .scenario
+                    .windows
+                    .first()
+                    .map(|w| w.start)
+                    .unwrap_or(0.0);
                 self.server_mut(ServerId::C4).assign(
                     spec.id,
                     spec.ip(),
@@ -264,12 +266,8 @@ impl Simulation {
         // Type 4: swap the (sole) primary between servers in the gaps
         // between windows — observed as "I-format to both servers" with no
         // visible transition.
-        let specs: Vec<crate::topology::OutstationSpec> = self
-            .topology
-            .in_year(year)
-            .into_iter()
-            .cloned()
-            .collect();
+        let specs: Vec<crate::topology::OutstationSpec> =
+            self.topology.in_year(year).into_iter().cloned().collect();
         for spec in &specs {
             if spec.profile == ProfileType::SwitchedBetweenCaptures {
                 for (i, w) in windows.iter().enumerate() {
@@ -390,9 +388,9 @@ impl Simulation {
                 break;
             }
             self.role_schedule.remove(0);
-            let segs = self
-                .server_mut(action.server)
-                .set_role(action.outstation_id, action.role, now);
+            let segs =
+                self.server_mut(action.server)
+                    .set_role(action.outstation_id, action.role, now);
             for seg in segs {
                 self.transmit(seg, now);
             }
@@ -409,7 +407,9 @@ impl Simulation {
                 .iter()
                 .enumerate()
                 .flat_map(|(si, s)| {
-                    s.established_primaries().into_iter().map(move |ai| (si, ai))
+                    s.established_primaries()
+                        .into_iter()
+                        .map(move |ai| (si, ai))
                 })
                 .collect();
             if !candidates.is_empty() {

@@ -274,7 +274,9 @@ const RESETTING_BACKUPS: [usize; 5] = [6, 7, 9, 15, 24];
 /// second units of two-RTU substations. O58 is a Y2 backup per Table 2 but
 /// must emit (legacy-dialect) I-frames for the §6.1 compliance census, so it
 /// keeps a primary connection here.
-const BACKUP_RTUS: [usize; 16] = [4, 11, 13, 17, 19, 21, 23, 25, 27, 31, 39, 42, 48, 51, 56, 57];
+const BACKUP_RTUS: [usize; 16] = [
+    4, 11, 13, 17, 19, 21, 23, 25, 27, 31, 39, 42, 48, 51, 56, 57,
+];
 
 /// Outstations that switched servers between captures (type 4).
 const SWITCHED_BETWEEN: [usize; 5] = [16, 29, 41, 47, 49];
@@ -312,9 +314,21 @@ impl Topology {
         }
         let total: f64 = generators.iter().map(|g| g.output_mw).sum();
         let loads = vec![
-            Load { name: "area-north".into(), base_mw: total * 0.45, connected: true },
-            Load { name: "area-south".into(), base_mw: total * 0.45, connected: true },
-            Load { name: "area-industrial".into(), base_mw: total * 0.10, connected: true },
+            Load {
+                name: "area-north".into(),
+                base_mw: total * 0.45,
+                connected: true,
+            },
+            Load {
+                name: "area-south".into(),
+                base_mw: total * 0.45,
+                connected: true,
+            },
+            Load {
+                name: "area-industrial".into(),
+                base_mw: total * 0.10,
+                connected: true,
+            },
         ];
         let grid = GridModel::new(60.0, generators, loads);
 
@@ -364,7 +378,11 @@ impl Topology {
             };
             // O35 is a resetting backup via FIN (not in RESETTING_BACKUPS to
             // keep its own profile row honest).
-            let profile = if o == 35 { ProfileType::ResettingBackup } else { profile };
+            let profile = if o == 35 {
+                ProfileType::ResettingBackup
+            } else {
+                profile
+            };
 
             let generator = gen_of_substation.get(&substation).map(|&g| GeneratorLink {
                 generator: g,
@@ -429,16 +447,27 @@ impl Topology {
             ("O52, O55", "Added", "Updated from 101 to 104"),
             ("O51, O56, O57, O58", "Added", "Backup RTU"),
             ("O54", "Added", "Under Maintenance in year 1"),
-            ("O15, O20, O22, O28, O33, O38", "Removed", "Redundant RTU in operation"),
+            (
+                "O15, O20, O22, O28, O33, O38",
+                "Removed",
+                "Redundant RTU in operation",
+            ),
             ("O2", "Removed", "Substation without supervision"),
         ]
     }
 }
 
 /// Deterministic point inventory for an outstation.
-fn build_points(o: usize, profile: ProfileType, generator: Option<GeneratorLink>) -> Vec<PointSpec> {
+fn build_points(
+    o: usize,
+    profile: ProfileType,
+    generator: Option<GeneratorLink>,
+) -> Vec<PointSpec> {
     let mut points = Vec::new();
-    if matches!(profile, ProfileType::BackupRtu | ProfileType::ResettingBackup) {
+    if matches!(
+        profile,
+        ProfileType::BackupRtu | ProfileType::ResettingBackup
+    ) {
         // Pure backups hold the same points but never report them (they send
         // no I-frames); keep a couple for interrogation completeness.
         points.push(PointSpec {
@@ -487,7 +516,11 @@ fn build_points(o: usize, profile: ProfileType, generator: Option<GeneratorLink>
                 threshold: spontaneous_threshold,
             }
         };
-        points.push(PointSpec { ioa, quantity, report });
+        points.push(PointSpec {
+            ioa,
+            quantity,
+            report,
+        });
     }
 
     // Status points: breaker double point, plus an alarm single point.
@@ -581,7 +614,11 @@ mod tests {
         let t = Topology::paper_network();
         assert_eq!(t.outstation(37).unwrap().dialect, Dialect::LEGACY_IOA);
         for o in [28, 53, 58] {
-            assert_eq!(t.outstation(o).unwrap().dialect, Dialect::LEGACY_COT, "O{o}");
+            assert_eq!(
+                t.outstation(o).unwrap().dialect,
+                Dialect::LEGACY_COT,
+                "O{o}"
+            );
         }
         assert_eq!(t.outstation(36).unwrap().dialect, Dialect::STANDARD);
     }
@@ -591,7 +628,10 @@ mod tests {
         let t = Topology::paper_network();
         assert_eq!(t.outstation(30).unwrap().secondary_t3_override, Some(430.0));
         assert!(t.outstation(22).unwrap().testing_only);
-        assert_eq!(t.outstation(30).unwrap().backup, BackupBehavior::IgnoreTestFr);
+        assert_eq!(
+            t.outstation(30).unwrap().backup,
+            BackupBehavior::IgnoreTestFr
+        );
     }
 
     #[test]
@@ -631,9 +671,15 @@ mod tests {
         assert_eq!(t.outstation(28).unwrap().backup, BackupBehavior::RejectApdu);
         assert!(t.outstation(28).unwrap().profile.has_primary());
         assert!(t.outstation(58).unwrap().profile.has_primary());
-        assert_eq!(t.outstation(35).unwrap().backup, BackupBehavior::AcceptThenFin);
+        assert_eq!(
+            t.outstation(35).unwrap().backup,
+            BackupBehavior::AcceptThenFin
+        );
         for o in [5, 8] {
-            assert_eq!(t.outstation(o).unwrap().profile, ProfileType::HalfDeafBackup);
+            assert_eq!(
+                t.outstation(o).unwrap().profile,
+                ProfileType::HalfDeafBackup
+            );
         }
     }
 
@@ -642,9 +688,9 @@ mod tests {
         let t = Topology::paper_network();
         let o45 = t.outstation(45).unwrap();
         assert_eq!(o45.profile, ProfileType::SpontaneousStale);
-        let big = o45.points.iter().any(|p| {
-            matches!(p.report, ReportKind::SpontaneousFloat { threshold } if threshold > 10.0)
-        });
+        let big = o45.points.iter().any(
+            |p| matches!(p.report, ReportKind::SpontaneousFloat { threshold } if threshold > 10.0),
+        );
         assert!(big);
     }
 
@@ -658,7 +704,10 @@ mod tests {
             .count();
         // The regulation fleet is a subset of the generation fleet (the
         // paper's Table 8 shows only four stations receiving I50 in Y1).
-        assert!((3..=8).contains(&agc_count), "regulation fleet size: {agc_count}");
+        assert!(
+            (3..=8).contains(&agc_count),
+            "regulation fleet size: {agc_count}"
+        );
         // S2 is auxiliary: no generator.
         assert!(t.outstation(2).unwrap().generator.is_none());
     }

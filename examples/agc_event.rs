@@ -41,12 +41,19 @@ fn main() {
         let events = dpi::variance_events(s, 20.0, 3.0);
         if !events.is_empty() {
             flagged.push((
-                format!("{} ioa {}", uncharted::nettap::ipv4::fmt_addr(s.station_ip), s.ioa),
+                format!(
+                    "{} ioa {}",
+                    uncharted::nettap::ipv4::fmt_addr(s.station_ip),
+                    s.ioa
+                ),
                 events.len(),
             ));
         }
     }
-    println!("\nnormalised-variance screen flagged {} series, e.g.:", flagged.len());
+    println!(
+        "\nnormalised-variance screen flagged {} series, e.g.:",
+        flagged.len()
+    );
     for (name, n) in flagged.iter().take(5) {
         println!("  {name} ({n} windows)");
     }
@@ -68,7 +75,11 @@ fn main() {
     println!("  {}", sparkline(&power.samples, 72));
     println!(
         "O40 breaker status changes: {:?}",
-        breaker.samples.iter().map(|(t, v)| format!("t={t:.0}s -> {v}")).collect::<Vec<_>>()
+        breaker
+            .samples
+            .iter()
+            .map(|(t, v)| format!("t={t:.0}s -> {v}"))
+            .collect::<Vec<_>>()
     );
 
     let rows = dpi::align_series_defaults(&[voltage, breaker, power], 2.0, &[0.0, 1.0, 0.0]);
@@ -84,6 +95,10 @@ fn main() {
     println!(
         "violations: {} — the observed activation {} the expected signature",
         machine.violations,
-        if machine.violations == 0 { "FOLLOWS" } else { "VIOLATES" }
+        if machine.violations == 0 {
+            "FOLLOWS"
+        } else {
+            "VIOLATES"
+        }
     );
 }

@@ -49,7 +49,10 @@ fn main() {
         } else {
             format!("10^{bucket:>3}s")
         };
-        println!("  {label}  {}", "#".repeat((count as f64).log2().max(1.0) as usize * 2));
+        println!(
+            "  {label}  {}",
+            "#".repeat((count as f64).log2().max(1.0) as usize * 2)
+        );
     }
 
     // --- Fig. 9: who resets? ---------------------------------------------

@@ -15,9 +15,9 @@ use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 fn main() {
     // Day 1: a clean capture. Learn the whitelist from it.
     println!("day 1: capturing clean traffic and learning the whitelist...");
-    let clean = Pipeline::builder().exec(ExecPolicy::Sequential).build(
-        &Simulation::new(Scenario::small(Year::Y1, 42, 240.0)).run(),
-    );
+    let clean = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(Scenario::small(Year::Y1, 42, 240.0)).run());
     let whitelist = Whitelist::learn(&clean.dataset);
     println!(
         "  learned {} device pairs, {} hosts\n",
@@ -27,30 +27,76 @@ fn main() {
 
     // Day 2: same network, but an Industroyer-style intruder connects to
     // three generator RTUs, interrogates them and operates breakers.
-    println!("day 2: capturing... (an attacker is active from {})", ip(AttackSpec::attacker_ip()));
-    let attacked = Pipeline::builder().exec(ExecPolicy::Sequential).build(
-        &Simulation::new(Scenario::small(Year::Y1, 42, 240.0).with_attack(0.5, 3)).run(),
+    println!(
+        "day 2: capturing... (an attacker is active from {})",
+        ip(AttackSpec::attacker_ip())
     );
+    let attacked = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(Scenario::small(Year::Y1, 42, 240.0).with_attack(0.5, 3)).run());
 
     let alerts = whitelist.inspect(&attacked.dataset);
     let mut t = Table::new(["Severity", "Alert"]);
     for a in alerts.iter().take(14) {
         let text = match &a.kind {
-            AlertKind::UnknownHost { ip: h } => format!("unknown host {} on the SCADA network", ip(*h)),
-            AlertKind::UnknownPair { server_ip, outstation_ip } => {
-                format!("never-seen connection {} -> {}", ip(*server_ip), ip(*outstation_ip))
+            AlertKind::UnknownHost { ip: h } => {
+                format!("unknown host {} on the SCADA network", ip(*h))
             }
-            AlertKind::NovelToken { server_ip, outstation_ip, token } => {
-                format!("first-ever {token} on {} -> {}", ip(*server_ip), ip(*outstation_ip))
+            AlertKind::UnknownPair {
+                server_ip,
+                outstation_ip,
+            } => {
+                format!(
+                    "never-seen connection {} -> {}",
+                    ip(*server_ip),
+                    ip(*outstation_ip)
+                )
             }
-            AlertKind::NovelTransition { server_ip, outstation_ip, from, to } => {
-                format!("novel transition {from}->{to} on {} -> {}", ip(*server_ip), ip(*outstation_ip))
+            AlertKind::NovelToken {
+                server_ip,
+                outstation_ip,
+                token,
+            } => {
+                format!(
+                    "first-ever {token} on {} -> {}",
+                    ip(*server_ip),
+                    ip(*outstation_ip)
+                )
             }
-            AlertKind::UnexpectedCommand { server_ip, outstation_ip, type_id } => {
-                format!("unexpected command I{type_id} from {} to {}", ip(*server_ip), ip(*outstation_ip))
+            AlertKind::NovelTransition {
+                server_ip,
+                outstation_ip,
+                from,
+                to,
+            } => {
+                format!(
+                    "novel transition {from}->{to} on {} -> {}",
+                    ip(*server_ip),
+                    ip(*outstation_ip)
+                )
             }
-            AlertKind::ValueOutOfRange { station_ip, ioa, value, lo, hi } => {
-                format!("{} ioa {ioa}: value {value:.1} outside [{lo:.1}, {hi:.1}]", ip(*station_ip))
+            AlertKind::UnexpectedCommand {
+                server_ip,
+                outstation_ip,
+                type_id,
+            } => {
+                format!(
+                    "unexpected command I{type_id} from {} to {}",
+                    ip(*server_ip),
+                    ip(*outstation_ip)
+                )
+            }
+            AlertKind::ValueOutOfRange {
+                station_ip,
+                ioa,
+                value,
+                lo,
+                hi,
+            } => {
+                format!(
+                    "{} ioa {ioa}: value {value:.1} outside [{lo:.1}, {hi:.1}]",
+                    ip(*station_ip)
+                )
             }
             AlertKind::PhysicsViolation { station_ip, detail } => {
                 format!("{}: {detail}", ip(*station_ip))
@@ -58,18 +104,27 @@ fn main() {
         };
         t.row([format!("{:?}", a.severity), text]);
     }
-    println!("\n{} alerts ({} high severity):", alerts.len(),
-        alerts.iter().filter(|a| a.severity == Severity::High).count());
+    println!(
+        "\n{} alerts ({} high severity):",
+        alerts.len(),
+        alerts
+            .iter()
+            .filter(|a| a.severity == Severity::High)
+            .count()
+    );
     println!("{}", t.render());
 
     // Control: the same whitelist over another clean day stays quiet.
-    let other_day = Pipeline::builder().exec(ExecPolicy::Sequential).build(
-        &Simulation::new(Scenario::small(Year::Y1, 77, 240.0)).run(),
-    );
+    let other_day = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(Scenario::small(Year::Y1, 77, 240.0)).run());
     let control = whitelist.inspect(&other_day.dataset);
     println!(
         "control (clean day, different seed): {} alerts, {} high severity",
         control.len(),
-        control.iter().filter(|a| a.severity == Severity::High).count()
+        control
+            .iter()
+            .filter(|a| a.severity == Severity::High)
+            .count()
     );
 }

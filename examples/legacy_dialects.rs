@@ -7,6 +7,7 @@
 //! cargo run --release --example legacy_dialects
 //! ```
 
+use uncharted::analysis::report::{ip, Table};
 use uncharted::iec104::apdu::Apdu;
 use uncharted::iec104::asdu::{Asdu, InfoObject, IoValue};
 use uncharted::iec104::cot::{Cause, Cot};
@@ -14,7 +15,6 @@ use uncharted::iec104::dialect::Dialect;
 use uncharted::iec104::elements::Qds;
 use uncharted::iec104::parser::{StrictParser, TolerantParser};
 use uncharted::iec104::types::TypeId;
-use uncharted::analysis::report::{ip, Table};
 use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn hexdump(bytes: &[u8]) -> String {
@@ -27,12 +27,14 @@ fn hexdump(bytes: &[u8]) -> String {
 
 fn main() {
     // --- Fig. 7: the same ASDU under three dialects -------------------
-    let asdu = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 7).with_object(
-        InfoObject::new(0x0301, IoValue::FloatMeasurement {
-            value: 49.98,
-            qds: Qds::GOOD,
-        }),
-    );
+    let asdu =
+        Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 7).with_object(InfoObject::new(
+            0x0301,
+            IoValue::FloatMeasurement {
+                value: 49.98,
+                qds: Qds::GOOD,
+            },
+        ));
     println!("one 'measured value, short float' APDU, three wire dialects:\n");
     for (label, dialect) in [
         ("correct IEC 104 (Fig. 7b)", Dialect::STANDARD),
@@ -47,10 +49,13 @@ fn main() {
     let mut stream = Vec::new();
     for i in 0..12u16 {
         let a = Asdu::new(TypeId::M_ME_NC_1, Cot::new(Cause::Spontaneous), 28).with_object(
-            InfoObject::new(700 + (i as u32 % 4), IoValue::FloatMeasurement {
-                value: 131.0 + i as f32 * 0.01,
-                qds: Qds::GOOD,
-            }),
+            InfoObject::new(
+                700 + (i as u32 % 4),
+                IoValue::FloatMeasurement {
+                    value: 131.0 + i as f32 * 0.01,
+                    qds: Qds::GOOD,
+                },
+            ),
         );
         stream.extend(Apdu::i_frame(i, 0, a).encode(Dialect::LEGACY_COT).unwrap());
     }
@@ -71,7 +76,13 @@ fn main() {
     println!("\nrunning the compliance census over a simulated Y1 capture...");
     let set = Simulation::new(Scenario::small(Year::Y1, 7, 120.0)).run();
     let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
-    let mut t = Table::new(["Outstation", "I-frames", "Strict malformed", "Tolerant malformed", "Dialect"]);
+    let mut t = Table::new([
+        "Outstation",
+        "I-frames",
+        "Strict malformed",
+        "Tolerant malformed",
+        "Dialect",
+    ]);
     let mut rows: Vec<_> = p.dataset.compliance.values().collect();
     rows.sort_by(|a, b| {
         b.strict_malformed_fraction()

@@ -55,7 +55,10 @@ fn main() {
         .iter()
         .find(|r| !r.has_i && r.answers_testfr)
         .expect("a healthy secondary");
-    let tl = p.dataset.timeline(secondary.server_ip, secondary.outstation_ip).unwrap();
+    let tl = p
+        .dataset
+        .timeline(secondary.server_ip, secondary.outstation_ip)
+        .unwrap();
     print_chain(
         &format!(
             "\nhealthy secondary {} <-> {} (Fig. 12 right):",
@@ -66,8 +69,15 @@ fn main() {
     );
 
     // The abnormal (1,1) chain: U16 with no U32 (Fig. 14).
-    if let Some(dead) = census.rows.iter().find(|r| census.cluster(r) == Fig13Cluster::Point11) {
-        let tl = p.dataset.timeline(dead.server_ip, dead.outstation_ip).unwrap();
+    if let Some(dead) = census
+        .rows
+        .iter()
+        .find(|r| census.cluster(r) == Fig13Cluster::Point11)
+    {
+        let tl = p
+            .dataset
+            .timeline(dead.server_ip, dead.outstation_ip)
+            .unwrap();
         print_chain(
             &format!(
                 "\ndead backup {} <-> {} (Fig. 14 — keep-alives never answered):",
@@ -91,7 +101,9 @@ fn main() {
             (r.nodes as f64, r.edges as f64, marker)
         })
         .collect();
-    println!("\nFig. 13 — Markov chain sizes (x = dead backups at (1,1), o = ordinary, E = with I100):");
+    println!(
+        "\nFig. 13 — Markov chain sizes (x = dead backups at (1,1), o = ordinary, E = with I100):"
+    );
     print!("{}", ascii_scatter(&points, 60, 14));
     println!(
         "clusters: point(1,1)={}, square={}, ellipse={}",

@@ -29,7 +29,9 @@ fn main() {
     println!("wrote {}", path.display());
 
     // 3. Analyse: flows, compliance, typeID census.
-    let pipeline = Pipeline::builder().exec(ExecPolicy::Sequential).build_capture(capture);
+    let pipeline = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build_capture(capture);
 
     let flows = pipeline.flow_stats();
     let mut t = Table::new(["Flow class", "Count", "Share"]);

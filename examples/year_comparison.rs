@@ -70,7 +70,11 @@ fn main() {
     let c1 = y1.type_census();
     let c2 = y2.type_census();
     let top = |c: &uncharted::analysis::dpi::TypeCensus| {
-        c.rows().into_iter().take(2).map(|(t, _, p)| format!("I{t} {p:.1}%")).collect::<Vec<_>>()
+        c.rows()
+            .into_iter()
+            .take(2)
+            .map(|(t, _, p)| format!("I{t} {p:.1}%"))
+            .collect::<Vec<_>>()
     };
     println!("dominant types Y1: {:?} / Y2: {:?}", top(&c1), top(&c2));
 }

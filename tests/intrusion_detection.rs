@@ -7,12 +7,16 @@ use uncharted::scadasim::attacker::AttackSpec;
 use uncharted::{ExecPolicy, Pipeline, Scenario, Simulation, Year};
 
 fn clean() -> Pipeline {
-    Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(Scenario::small(Year::Y1, 42, 240.0)).run())
+    Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(Scenario::small(Year::Y1, 42, 240.0)).run())
 }
 
 fn attacked() -> Pipeline {
     let scenario = Scenario::small(Year::Y1, 42, 240.0).with_attack(0.5, 3);
-    Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(scenario).run())
+    Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(scenario).run())
 }
 
 #[test]
@@ -31,12 +35,12 @@ fn attack_changes_the_capture() {
         .filter(|tl| tl.server_ip == evil)
         .collect();
     assert!(evil_pairs.len() >= 2, "attacker reached targets");
-    assert!(evil_pairs
-        .iter()
-        .any(|tl| tl.tokens().contains(&uncharted::iec104::tokens::Token::I(100))));
-    assert!(evil_pairs
-        .iter()
-        .any(|tl| tl.tokens().contains(&uncharted::iec104::tokens::Token::I(45))));
+    assert!(evil_pairs.iter().any(|tl| tl
+        .tokens()
+        .contains(&uncharted::iec104::tokens::Token::I(100))));
+    assert!(evil_pairs.iter().any(|tl| tl
+        .tokens()
+        .contains(&uncharted::iec104::tokens::Token::I(45))));
 }
 
 #[test]
@@ -63,9 +67,9 @@ fn whitelist_is_quiet_on_clean_traffic() {
     let wl = Whitelist::learn(&clean().dataset);
     // Same network, different day (different seed): no High alerts. A few
     // Low/Medium novelties are expected — reconnects shuffle token orders.
-    let other = Pipeline::builder().exec(ExecPolicy::Sequential).build(
-        &Simulation::new(Scenario::small(Year::Y1, 43, 240.0)).run(),
-    );
+    let other = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(Scenario::small(Year::Y1, 43, 240.0)).run());
     let alerts = wl.inspect(&other.dataset);
     let high: Vec<_> = alerts
         .iter()
@@ -115,11 +119,15 @@ fn attack_works_against_year_two_topology() {
     // The attacker is topology-agnostic: it also lands in Y2 (where O55/S26
     // joins the regulation fleet).
     let scenario = Scenario::small(Year::Y2, 91, 200.0).with_attack(0.4, 2);
-    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(scenario).run());
+    let p = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(scenario).run());
     let evil = AttackSpec::attacker_ip();
     assert!(p.dataset.server_ips().contains(&evil));
     let wl = Whitelist::learn(
-        &Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(Scenario::small(Year::Y2, 91, 200.0)).run())
+        &Pipeline::builder()
+            .exec(ExecPolicy::Sequential)
+            .build(&Simulation::new(Scenario::small(Year::Y2, 91, 200.0)).run())
             .dataset,
     );
     let alerts = wl.inspect(&p.dataset);
@@ -132,10 +140,15 @@ fn attack_works_against_year_two_topology() {
 fn attack_is_visible_in_the_markov_census() {
     // The attacker's pairs land in the Fig. 13 "ellipse": they carry I100.
     let scenario = Scenario::small(Year::Y1, 42, 240.0).with_attack(0.5, 3);
-    let p = Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(scenario).run());
+    let p = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(scenario).run());
     let census = p.chain_census();
     let evil = AttackSpec::attacker_ip();
     let evil_rows: Vec<_> = census.rows.iter().filter(|r| r.server_ip == evil).collect();
     assert!(!evil_rows.is_empty());
-    assert!(evil_rows.iter().any(|r| r.has_i100), "recon interrogation visible");
+    assert!(
+        evil_rows.iter().any(|r| r.has_i100),
+        "recon interrogation visible"
+    );
 }

@@ -34,8 +34,16 @@ fn generator_online_signature_recovered_from_the_tap() {
     let breaker = find(800);
 
     // The voltage series shows the 0 → nominal ramp.
-    let v_min = voltage.samples.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
-    let v_max = voltage.samples.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let v_min = voltage
+        .samples
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MAX, f64::min);
+    let v_max = voltage
+        .samples
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max);
     assert!(v_min < 5.0, "dark bus observed: {v_min}");
     assert!(v_max > 110.0, "nominal reached: {v_max}");
 
@@ -66,10 +74,7 @@ fn generator_online_signature_recovered_from_the_tap() {
 
     // The Fig. 21 state machine accepts the aligned sequence.
     let rows = dpi::align_series_defaults(&[voltage, breaker, power], 2.0, &[0.0, 1.0, 0.0]);
-    let samples: Vec<(f64, u8, f64)> = rows
-        .iter()
-        .map(|(_, v)| (v[0], v[1] as u8, v[2]))
-        .collect();
+    let samples: Vec<(f64, u8, f64)> = rows.iter().map(|(_, v)| (v[0], v[1] as u8, v[2])).collect();
     let machine = SignatureMachine::new(130.0);
     assert!(machine.accepts(&samples), "signature must accept");
 
@@ -105,7 +110,10 @@ fn unmet_load_event_is_flagged_by_the_variance_screen() {
     let overlaps_event = flagged_windows
         .iter()
         .any(|&(s, e)| (e > 215.0 && s < 325.0) || (e > 95.0 && s < 200.0));
-    assert!(overlaps_event, "flags overlap the scripted events: {flagged_windows:?}");
+    assert!(
+        overlaps_event,
+        "flags overlap the scripted events: {flagged_windows:?}"
+    );
 }
 
 #[test]
@@ -164,7 +172,11 @@ fn table8_semantics_inferred() {
     // I50 carries AGC set points, transmitted by few stations.
     let i50 = find(50).expect("setpoint row");
     assert!(i50.symbols.iter().any(|s| s == "AGC-SP"));
-    assert!(i50.station_count <= 10, "few I50 stations: {}", i50.station_count);
+    assert!(
+        i50.station_count <= 10,
+        "few I50 stations: {}",
+        i50.station_count
+    );
     // Status types carry Status.
     if let Some(i31) = find(31) {
         assert!(i31.symbols.iter().any(|s| s == "Status"));

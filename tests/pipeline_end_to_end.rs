@@ -109,8 +109,7 @@ fn markov_census_matches_fig_13() {
 fn taxonomy_covers_the_paper_types() {
     let p = pipeline();
     let classes = p.classify_outstations();
-    let numbers: std::collections::BTreeSet<u8> =
-        classes.values().map(|c| c.number()).collect();
+    let numbers: std::collections::BTreeSet<u8> = classes.values().map(|c| c.number()).collect();
     // Types 1, 2, 3 and 7 are structural and must appear in any Y1 run;
     // type 8 comes from the scripted switchover.
     for t in [1u8, 2, 3, 7, 8] {
@@ -144,10 +143,16 @@ fn deterministic_pipeline() {
     let pa = Pipeline::builder().exec(ExecPolicy::Sequential).build(&a);
     let pb = Pipeline::builder().exec(ExecPolicy::Sequential).build(&b);
     assert_eq!(pa.type_census().counts, pb.type_census().counts);
-    let feats_a: uncharted::analysis::matrix::FeatureMatrix =
-        pa.sessions().iter().map(|s| s.features().selected()).collect();
-    let feats_b: uncharted::analysis::matrix::FeatureMatrix =
-        pb.sessions().iter().map(|s| s.features().selected()).collect();
+    let feats_a: uncharted::analysis::matrix::FeatureMatrix = pa
+        .sessions()
+        .iter()
+        .map(|s| s.features().selected())
+        .collect();
+    let feats_b: uncharted::analysis::matrix::FeatureMatrix = pb
+        .sessions()
+        .iter()
+        .map(|s| s.features().selected())
+        .collect();
     let ka = kmeans::kmeans(&uncharted::analysis::session::standardize(&feats_a), 5, 1);
     let kb = kmeans::kmeans(&uncharted::analysis::session::standardize(&feats_b), 5, 1);
     assert_eq!(ka.assignments, kb.assignments);
@@ -162,8 +167,12 @@ fn background_traffic_is_ignored_by_the_iec104_pipeline() {
     clean.background_traffic = false;
     let mut noisy = Scenario::small(Year::Y1, 55, 90.0);
     noisy.background_traffic = true;
-    let a = Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(clean).run());
-    let b = Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(noisy).run());
+    let a = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(clean).run());
+    let b = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(noisy).run());
     assert!(b.dataset.packets.len() > a.dataset.packets.len() + 100);
     // IEC 104 views identical.
     assert_eq!(a.type_census().counts, b.type_census().counts);
@@ -175,6 +184,11 @@ fn background_traffic_is_ignored_by_the_iec104_pipeline() {
     // TCP flow census gains the long-lived background connections.
     let fa = a.flow_stats();
     let fb = b.flow_stats();
-    assert!(fb.long_lived >= fa.long_lived + 5, "{} vs {}", fb.long_lived, fa.long_lived);
+    assert!(
+        fb.long_lived >= fa.long_lived + 5,
+        "{} vs {}",
+        fb.long_lived,
+        fa.long_lived
+    );
     assert_eq!(fa.short_lived(), fb.short_lived());
 }

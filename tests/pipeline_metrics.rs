@@ -47,10 +47,23 @@ fn required_counters_are_nonzero_after_a_run() {
         assert!(snap.counter_total(name) > 0, "{name} stayed at zero");
     }
     // Per-dialect labelling: the standard dialect always parses something.
-    assert!(snap.counter_value("iec104_apdus_parsed", &[("dialect", "std")]).unwrap_or(0) > 0);
+    assert!(
+        snap.counter_value("iec104_apdus_parsed", &[("dialect", "std")])
+            .unwrap_or(0)
+            > 0
+    );
     // Every instrumented stage ran exactly once and processed items.
-    for stage in ["flows", "protocol", "sessions", "markov", "type_census", "series"] {
-        let s = snap.stage(stage).unwrap_or_else(|| panic!("stage {stage} missing"));
+    for stage in [
+        "flows",
+        "protocol",
+        "sessions",
+        "markov",
+        "type_census",
+        "series",
+    ] {
+        let s = snap
+            .stage(stage)
+            .unwrap_or_else(|| panic!("stage {stage} missing"));
         assert_eq!(s.runs, 1, "stage {stage} should run once");
         assert!(s.items > 0, "stage {stage} processed no items");
     }
@@ -66,6 +79,60 @@ fn rendered_outputs_carry_pipeline_metrics() {
     assert!(prom.contains("# TYPE iec104_apdus_parsed counter"));
     assert!(prom.contains("iec104_apdus_parsed{dialect=\"std\"}"));
     assert!(prom.contains("# TYPE nettap_segment_payload_octets histogram"));
+}
+
+/// Sweep `--threads 0..=8` over the seeded scenario: every thread count
+/// must produce the sequential counter fingerprint, and every instrumented
+/// stage must report one shard span per resolved worker — the proof the
+/// pipelined executor really ran the stage on its shard workers rather
+/// than falling back to a single-threaded pass.
+#[test]
+fn thread_sweep_is_fingerprint_identical_with_per_shard_spans() {
+    let reference = run_all_stages(ExecPolicy::Sequential).counter_fingerprint();
+    for threads in 0..=8usize {
+        let policy = ExecPolicy::from_threads_flag(threads);
+        let workers = policy.workers();
+        assert!(workers >= 1, "--threads {threads} resolved to zero workers");
+        let snap = run_all_stages(policy);
+        assert_eq!(
+            snap.counter_fingerprint(),
+            reference,
+            "--threads {threads} shifted the counter fingerprint"
+        );
+        for stage in [
+            "flows",
+            "protocol",
+            "sessions",
+            "markov",
+            "type_census",
+            "series",
+        ] {
+            let s = snap
+                .stage(stage)
+                .unwrap_or_else(|| panic!("stage {stage} missing"));
+            assert_eq!(
+                s.shards.len(),
+                workers,
+                "--threads {threads}: stage {stage} should report {workers} shard span(s)"
+            );
+            let shard_wall: u64 = s.shards.iter().map(|&(_, ns)| ns).sum();
+            assert!(
+                shard_wall > 0,
+                "--threads {threads}: stage {stage} recorded no shard time"
+            );
+        }
+    }
+}
+
+/// `--threads 0` means one worker per core (`Auto`); an explicit
+/// `Threads(0)` clamps to one worker instead of spawning a zero-worker
+/// pool. Both floors are part of the CLI contract.
+#[test]
+fn thread_flag_zero_clamps_to_at_least_one_worker() {
+    assert_eq!(ExecPolicy::from_threads_flag(0), ExecPolicy::Auto);
+    assert!(ExecPolicy::Auto.workers() >= 1);
+    assert_eq!(ExecPolicy::Threads(0).workers(), 1);
+    assert!(ExecPolicy::Threads(0).is_sequential());
 }
 
 #[test]

@@ -10,7 +10,9 @@ fn o(sub: u8, id: u8) -> u32 {
 }
 
 fn run(year: Year, seed: u64) -> Pipeline {
-    Pipeline::builder().exec(ExecPolicy::Sequential).build(&Simulation::new(Scenario::small(year, seed, 120.0)).run())
+    Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&Simulation::new(Scenario::small(year, seed, 120.0)).run())
 }
 
 #[test]
@@ -21,7 +23,15 @@ fn table2_additions_and_removals_visible_on_the_wire() {
     let ips_y2 = y2.dataset.outstation_ips();
 
     // Removed in Y2: O2 (unsupervised substation), O15/O20/O22/O28/O33/O38.
-    for (sub, id) in [(2, 2), (6, 15), (10, 20), (10, 22), (9, 28), (12, 33), (15, 38)] {
+    for (sub, id) in [
+        (2, 2),
+        (6, 15),
+        (10, 20),
+        (10, 22),
+        (9, 28),
+        (12, 33),
+        (15, 38),
+    ] {
         assert!(ips_y1.contains(&o(sub, id)), "O{id} present in Y1");
         assert!(!ips_y2.contains(&o(sub, id)), "O{id} absent in Y2");
     }
@@ -70,8 +80,14 @@ fn y1_campaign_has_more_flows_than_y2() {
     // times more short-lived flows than Y2 (3 h).
     let y1 = Simulation::new(Scenario::y1_scaled(35, 60.0)).run();
     let y2 = Simulation::new(Scenario::y2_scaled(36, 60.0)).run();
-    let s1 = Pipeline::builder().exec(ExecPolicy::Sequential).build(&y1).flow_stats();
-    let s2 = Pipeline::builder().exec(ExecPolicy::Sequential).build(&y2).flow_stats();
+    let s1 = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&y1)
+        .flow_stats();
+    let s2 = Pipeline::builder()
+        .exec(ExecPolicy::Sequential)
+        .build(&y2)
+        .flow_stats();
     assert!(
         s1.short_lived() > 2 * s2.short_lived(),
         "Y1 {} vs Y2 {}",
