@@ -239,7 +239,7 @@ impl Dataset {
         for c in captures {
             packets.extend(c.parsed());
         }
-        packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
         Dataset::ingest(packets, ctx)
     }
 
@@ -544,21 +544,28 @@ pub(crate) fn analyze_packets<P: Borrow<ParsedPacket>>(
 
 /// A per-outstation sample of delimited frames for dialect detection: one
 /// flat byte arena plus frame ranges, instead of a heap `Vec` per frame.
-#[derive(Debug, Default)]
-struct FrameSample {
+/// Shared with the streaming engine ([`crate::stream`]), which grows the
+/// identical sample incrementally.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FrameSample {
     buf: Vec<u8>,
     ranges: Vec<std::ops::Range<usize>>,
 }
 
 impl FrameSample {
     /// Frames collected so far.
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.ranges.len()
+    }
+
+    /// Bytes resident in the sample arena.
+    pub(crate) fn buffered_bytes(&self) -> usize {
+        self.buf.len()
     }
 
     /// Split `payload` into delimited IEC 104 frames (no decoding) and
     /// append them to the arena.
-    fn delimit_from(&mut self, payload: &[u8]) {
+    pub(crate) fn delimit_from(&mut self, payload: &[u8]) {
         let mut off = 0;
         while off + 2 <= payload.len() {
             if payload[off] != 0x68 {
@@ -576,13 +583,13 @@ impl FrameSample {
     }
 
     /// The collected frames as slices into the arena.
-    fn frames(&self) -> Vec<&[u8]> {
+    pub(crate) fn frames(&self) -> Vec<&[u8]> {
         self.ranges.iter().map(|r| &self.buf[r.clone()]).collect()
     }
 }
 
 /// Control-field peek: is the delimited frame I-format?
-fn is_i_frame(frame: &[u8]) -> bool {
+pub(crate) fn is_i_frame(frame: &[u8]) -> bool {
     frame.len() >= 3 && frame[0] == 0x68 && frame[2] & 0x01 == 0
 }
 
@@ -801,7 +808,7 @@ mod tests {
             1,
             b"hello",
         ));
-        packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
 
         let seq_ctx = ExecContext::new(ExecPolicy::Sequential);
         let sequential = Dataset::ingest(packets.clone(), &seq_ctx);

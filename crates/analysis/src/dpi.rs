@@ -368,7 +368,7 @@ pub(crate) fn sort_series(map: SeriesMap) -> Vec<TimeSeries> {
     let mut series: Vec<TimeSeries> = map.into_values().collect();
     series.sort_by_key(|s| (s.station_ip, s.ioa, s.from_server));
     for s in &mut series {
-        s.samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        s.samples.sort_by(|a, b| a.0.total_cmp(&b.0));
     }
     series
 }

@@ -177,7 +177,7 @@ mod tests {
             TcpFlags::ACK,
             5,
         ));
-        packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
         let flows = FlowTable::reconstruct(
             &packets,
             uncharted_obs::ExecPolicy::Sequential,
@@ -208,7 +208,7 @@ mod tests {
             TcpFlags::FIN.with(TcpFlags::ACK),
             1,
         ));
-        packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
         let flows = FlowTable::reconstruct(
             &packets,
             uncharted_obs::ExecPolicy::Sequential,
@@ -217,6 +217,43 @@ mod tests {
         let hist = duration_histogram(&flows);
         assert!(hist.contains(&(-2, 1)));
         assert!(hist.contains(&(0, 1)));
+    }
+
+    /// Regression (corrupt-timestamp fixture): a pcap record carrying a NaN
+    /// timestamp used to panic the `partial_cmp(..).unwrap()` sorts on the
+    /// stats path. Under `total_cmp` the corrupt record sorts last and the
+    /// flow statistics for the intact records are unchanged.
+    #[test]
+    fn corrupt_timestamp_record_does_not_panic_the_stats_path() {
+        let mut packets = Vec::new();
+        for i in 0..3 {
+            packets.extend(reject_pair(i as f64 * 5.0, 40000 + i));
+        }
+        // The corrupt record: NaN timestamp on its own 4-tuple.
+        packets.push(pkt(
+            f64::NAN,
+            addr(10, 0, 0, 9),
+            45000,
+            addr(10, 1, 4, 6),
+            2404,
+            TcpFlags::SYN,
+            7,
+        ));
+        // This sort is the former panic site.
+        packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+        assert!(
+            packets.last().unwrap().timestamp.is_nan(),
+            "total order puts NaN after every real timestamp"
+        );
+        let flows = FlowTable::reconstruct(
+            &packets,
+            uncharted_obs::ExecPolicy::Sequential,
+            uncharted_nettap::NettapMetrics::sink(),
+        );
+        let stats = FlowStats::from_flows(&flows);
+        assert_eq!(stats.short_sub_second, 3, "intact flows still counted");
+        let _ = duration_histogram(&flows);
+        let _ = reject_census(&flows);
     }
 
     #[test]

@@ -248,6 +248,20 @@ pub fn select_k(
     .collect()
 }
 
+/// The sweep entry with the highest *finite* silhouette score.
+///
+/// Degenerate clusterings — an empty or singleton cluster, or K ≥ N — can
+/// yield a NaN silhouette, and `partial_cmp(..).unwrap()` over such a sweep
+/// panics. This helper compares with [`f64::total_cmp`] and skips non-finite
+/// scores entirely, so model selection over a degenerate input returns
+/// `None` (or the best well-defined entry) instead of crashing.
+pub fn best_by_silhouette(selection: &[ModelSelection]) -> Option<&ModelSelection> {
+    selection
+        .iter()
+        .filter(|m| m.silhouette.is_finite())
+        .max_by(|a, b| a.silhouette.total_cmp(&b.silhouette))
+}
+
 /// The elbow heuristic: the K whose SSE drop-off flattens (maximum second
 /// difference of the SSE curve).
 pub fn elbow_k(selection: &[ModelSelection]) -> Option<usize> {
@@ -325,12 +339,43 @@ mod tests {
     fn silhouette_peaks_at_true_k() {
         let data = blobs();
         let sweep = select_k(&data, 2..=6, 3);
-        let best = sweep
-            .iter()
-            .max_by(|a, b| a.silhouette.partial_cmp(&b.silhouette).unwrap())
-            .unwrap();
+        let best = best_by_silhouette(&sweep).unwrap();
         assert_eq!(best.k, 3);
         assert!(best.silhouette > 0.8, "clean blobs: {}", best.silhouette);
+    }
+
+    /// Regression: a degenerate sweep entry with a NaN silhouette used to
+    /// panic the `partial_cmp(..).unwrap()` max scan. Non-finite scores are
+    /// now skipped under a total order.
+    #[test]
+    fn best_by_silhouette_skips_non_finite_scores() {
+        let row = |k: usize, s: f64| ModelSelection {
+            k,
+            sse: 1.0,
+            silhouette: s,
+            explained: 0.5,
+        };
+        let sweep = [
+            row(2, f64::NAN),
+            row(3, 0.4),
+            row(4, f64::INFINITY),
+            row(5, 0.7),
+            row(6, f64::NEG_INFINITY),
+        ];
+        assert_eq!(best_by_silhouette(&sweep).unwrap().k, 5);
+        // Every score degenerate: no winner rather than a panic.
+        let all_bad = [row(2, f64::NAN), row(3, f64::NAN)];
+        assert!(best_by_silhouette(&all_bad).is_none());
+        assert!(best_by_silhouette(&[]).is_none());
+    }
+
+    /// End-to-end degenerate input: more clusters than distinct points must
+    /// sweep and select without panicking.
+    #[test]
+    fn select_k_survives_degenerate_input() {
+        let data = FeatureMatrix::from_rows([[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]]);
+        let sweep = select_k(&data, 2..=6, 0);
+        let _ = best_by_silhouette(&sweep);
     }
 
     #[test]

@@ -37,6 +37,11 @@
 //!   remaining per-stage (`--threads N`) fan-outs: parallel output is
 //!   bit-identical to sequential.
 //! * [`report`] — plain-text table rendering shared by the bench harness.
+//! * [`stream`] — the incremental streaming engine: batch-by-batch
+//!   ingestion with idle-timeout eviction, online session statistics,
+//!   incremental Markov chains, and windowed IDS/clustering verdicts as a
+//!   typed event stream; with no idle timeout it reproduces the batch
+//!   pipeline bit for bit.
 
 pub mod dataset;
 pub mod dpi;
@@ -51,6 +56,7 @@ pub mod par;
 pub mod pca;
 pub mod report;
 pub mod session;
+pub mod stream;
 
 pub use dataset::{ApduEvent, Dataset, PairTimeline};
 pub use dpi::{PhysicalKind, SignatureMachine, TypeCensus};
@@ -62,3 +68,4 @@ pub use markov::{ChainCensus, ChainInfo, OutstationClass, TokenChain};
 pub use matrix::FeatureMatrix;
 pub use pca::Pca;
 pub use session::{Session, SessionFeatures};
+pub use stream::{StreamConfig, StreamEvent, StreamSession, StreamSummary};

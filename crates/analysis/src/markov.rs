@@ -11,7 +11,7 @@ use crate::dataset::{Dataset, PairTimeline};
 use crate::exec::{threads_context, ExecContext};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
-use uncharted_iec104::tokens::{Token, TokenTable};
+use uncharted_iec104::tokens::{Token, TokenId, TokenTable};
 
 /// A first-order Markov chain over tokens.
 ///
@@ -29,6 +29,9 @@ pub struct TokenChain {
     /// Cached per-row totals of `counts` (MLE denominators).
     row_totals: Vec<usize>,
     total_unigrams: usize,
+    /// Id of the most recently appended token — the bigram predecessor the
+    /// next [`TokenChain::push`] will count from.
+    last: Option<TokenId>,
 }
 
 impl TokenChain {
@@ -53,13 +56,59 @@ impl TokenChain {
         let row_totals = (0..n)
             .map(|a| counts[a * n..(a + 1) * n].iter().sum())
             .collect();
+        let last = tokens.last().map(|&t| table.get(t).expect("interned above"));
         TokenChain {
             table,
             counts,
             unigrams,
             row_totals,
             total_unigrams: tokens.len(),
+            last,
         }
+    }
+
+    /// Append one token, updating the unigram, bigram, and row-total counts
+    /// in place — the streaming engine's incremental alternative to
+    /// rebuilding via [`TokenChain::from_tokens`] on every update.
+    ///
+    /// Interning a previously unseen token regrows the flat `n × n` matrix
+    /// to `(n + 1) × (n + 1)`; existing counts keep their coordinates, so
+    /// after any sequence of `push` calls (or a [`TokenChain::from_tokens`]
+    /// prefix followed by pushes) the chain is identical to one built from
+    /// the whole sequence at once. The regrow is O(n²) but n is bounded by
+    /// the token alphabet, so steady-state pushes are O(1).
+    pub fn push(&mut self, t: Token) {
+        let before = self.table.len();
+        let id = self.table.intern(t);
+        let after = self.table.len();
+        if after > before {
+            self.grow(before, after);
+        }
+        self.unigrams[id.index()] += 1;
+        self.total_unigrams += 1;
+        if let Some(p) = self.last {
+            self.counts[p.index() * after + id.index()] += 1;
+            self.row_totals[p.index()] += 1;
+        }
+        self.last = Some(id);
+    }
+
+    /// Regrow the row-major matrix from `old × old` to `new × new`, keeping
+    /// every existing count at its `(row, col)` coordinates.
+    fn grow(&mut self, old: usize, new: usize) {
+        let mut counts = vec![0usize; new * new];
+        for a in 0..old {
+            counts[a * new..a * new + old].copy_from_slice(&self.counts[a * old..(a + 1) * old]);
+        }
+        self.counts = counts;
+        self.unigrams.resize(new, 0);
+        self.row_totals.resize(new, 0);
+    }
+
+    /// True when `t` has been observed (interned) by this chain — the
+    /// constant-time novelty check the streaming IDS window uses.
+    pub fn contains(&self, t: Token) -> bool {
+        self.table.get(t).is_some()
     }
 
     /// Number of nodes (distinct tokens).
@@ -467,6 +516,56 @@ mod tests {
     fn point11_is_single_self_loop() {
         let chain = TokenChain::from_tokens(&toks(&[("U16", 5)]));
         assert_eq!((chain.node_count(), chain.edge_count()), (1, 1));
+    }
+
+    /// The incremental chain must be indistinguishable from the batch one:
+    /// same nodes, edges, transition table, and sequence prior.
+    #[test]
+    fn incremental_push_matches_from_tokens() {
+        let tokens = toks(&[
+            ("I36", 3),
+            ("S", 1),
+            ("U16", 2),
+            ("U32", 1),
+            ("I36", 2),
+            ("I100", 1),
+            ("S", 2),
+            ("U1", 1),
+            ("I36", 1),
+        ]);
+        let batch = TokenChain::from_tokens(&tokens);
+        let mut inc = TokenChain::default();
+        for &t in &tokens {
+            inc.push(t);
+        }
+        assert_eq!(inc.node_count(), batch.node_count());
+        assert_eq!(inc.edge_count(), batch.edge_count());
+        assert_eq!(inc.node_set(), batch.node_set());
+        assert_eq!(inc.transitions(), batch.transitions());
+        assert_eq!(
+            inc.sequence_log_prob(&tokens),
+            batch.sequence_log_prob(&tokens)
+        );
+
+        // A batch-built prefix continued by pushes also converges: the
+        // predecessor token carries across the seam.
+        let (head, tail) = tokens.split_at(4);
+        let mut mixed = TokenChain::from_tokens(head);
+        for &t in tail {
+            mixed.push(t);
+        }
+        assert_eq!(mixed.transitions(), batch.transitions());
+        assert_eq!(mixed.edge_count(), batch.edge_count());
+    }
+
+    #[test]
+    fn push_on_empty_chain_has_no_bigram() {
+        let mut chain = TokenChain::default();
+        chain.push(Token::S);
+        assert_eq!(chain.node_count(), 1);
+        assert_eq!(chain.edge_count(), 0, "a single token is not a bigram");
+        chain.push(Token::S);
+        assert_eq!(chain.edge_count(), 1, "self-loop after the second push");
     }
 
     fn timeline(events: &[(bool, Token)]) -> PairTimeline {

@@ -24,7 +24,7 @@ use uncharted_nettap::pcap::ParsedPacket;
 pub fn scenario_packets(seed: u64, scale: f64) -> Vec<ParsedPacket> {
     let set = Simulation::new(Scenario::small(Year::Y1, seed, scale)).run();
     let mut packets: Vec<ParsedPacket> = set.captures.iter().flat_map(|c| c.parsed()).collect();
-    packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+    packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
     packets
 }
 

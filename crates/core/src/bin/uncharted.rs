@@ -15,12 +15,16 @@ use std::path::PathBuf;
 use uncharted::analysis::ids::{AlertKind, Severity, Whitelist};
 use uncharted::analysis::markov;
 use uncharted::analysis::report::{ip, pct, Table};
-use uncharted::{Capture, Dataset, ExecContext, Pipeline, Scenario, Simulation, Year};
+use uncharted::analysis::stream::{StreamConfig, StreamSession};
+use uncharted::{
+    Capture, Dataset, ExecContext, Pipeline, PipelineMetrics, Scenario, Simulation, Year,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  uncharted simulate [--year y1|y2] [--seed N] [--scale S] [--attack] --out DIR\n  \
-         uncharted analyze [--threads N] [--metrics PATH] [--metrics-format json|prom] PCAP [PCAP...]\n  \
+         uncharted analyze [--threads N] [--metrics PATH] [--metrics-format json|prom]\n                    \
+         [--follow] [--window SECS] [--idle-timeout SECS] PCAP [PCAP...]\n  \
          uncharted ids --train PCAP [--inspect PCAP]\n\n\
          analyze options:\n  \
          --threads N             worker threads: 0 = one per core, 1 = sequential (default),\n                          \
@@ -28,7 +32,15 @@ fn usage() -> ! {
          --metrics PATH          write the run's metrics (counters, histograms, per-stage\n                          \
          timings) to PATH and print a summary table to stderr\n  \
          --metrics-format FMT    metrics file format: json (default) or prom\n                          \
-         (Prometheus text exposition)"
+         (Prometheus text exposition)\n  \
+         --follow                incremental streaming mode: replay the capture batch by\n                          \
+         batch, printing analysis events as JSON lines; memory is\n                          \
+         bounded by the active flows instead of the whole capture\n  \
+         --window SECS           (--follow) close an analysis window every SECS seconds,\n                          \
+         emitting windowed IDS verdicts and live-session clustering\n  \
+         --idle-timeout SECS     (--follow) evict flows and outstations idle for SECS\n                          \
+         seconds, finalizing their sessions and freeing buffers;\n                          \
+         omit to keep everything live (reproduces batch mode exactly)"
     );
     std::process::exit(2);
 }
@@ -119,6 +131,9 @@ fn analyze(args: Vec<String>) {
     let mut threads = 1usize;
     let mut metrics_path: Option<PathBuf> = None;
     let mut metrics_format = "json".to_string();
+    let mut follow = false;
+    let mut window: Option<f64> = None;
+    let mut idle_timeout: Option<f64> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -136,13 +151,39 @@ fn analyze(args: Vec<String>) {
                     usage();
                 }
             }
+            "--follow" => follow = true,
+            "--window" => {
+                window = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|w: &f64| w.is_finite() && *w > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--idle-timeout" => {
+                idle_timeout = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|w: &f64| w.is_finite() && *w > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => paths.push(PathBuf::from(arg)),
         }
     }
-    if paths.is_empty() {
+    if paths.is_empty() || (!follow && (window.is_some() || idle_timeout.is_some())) {
         usage();
     }
     let captures: Vec<Capture> = paths.iter().map(read_pcap).collect();
+    if follow {
+        return analyze_follow(
+            captures,
+            window,
+            idle_timeout,
+            metrics_path,
+            &metrics_format,
+        );
+    }
     let exec = ExecContext::new(uncharted::ExecPolicy::from_threads_flag(threads));
     let pipeline = Pipeline {
         dataset: Dataset::ingest_captures(captures.iter(), &exec),
@@ -210,6 +251,58 @@ fn analyze(args: Vec<String>) {
     if let Some(path) = metrics_path {
         let snapshot = pipeline.metrics().snapshot();
         let rendered = match metrics_format.as_str() {
+            "prom" => snapshot.to_prometheus(),
+            _ => snapshot.to_json(),
+        };
+        std::fs::write(&path, rendered).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!("{}", snapshot.summary_table());
+        eprintln!("metrics written to {} ({metrics_format})", path.display());
+    }
+}
+
+/// How many packets each streaming batch carries in follow mode. Events
+/// surface at batch granularity; with no idle timeout the results are
+/// bit-identical to batch mode at any batch size.
+const FOLLOW_BATCH: usize = 512;
+
+fn analyze_follow(
+    captures: Vec<Capture>,
+    window: Option<f64>,
+    idle_timeout: Option<f64>,
+    metrics_path: Option<PathBuf>,
+    metrics_format: &str,
+) {
+    let mut packets = Vec::new();
+    for c in &captures {
+        packets.extend(c.parsed());
+    }
+    packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+    let metrics = PipelineMetrics::new();
+    let mut session = StreamSession::new(
+        StreamConfig {
+            window,
+            idle_timeout,
+            retain_payload: false,
+        },
+        std::sync::Arc::clone(&metrics),
+    );
+    for chunk in packets.chunks(FOLLOW_BATCH.max(1)) {
+        for ev in session.push_batch(chunk) {
+            println!("{}", ev.to_json());
+        }
+    }
+    let (summary, events) = session.finish();
+    for ev in events {
+        println!("{}", ev.to_json());
+    }
+    println!("{}", summary.to_json());
+
+    if let Some(path) = metrics_path {
+        let snapshot = metrics.snapshot();
+        let rendered = match metrics_format {
             "prom" => snapshot.to_prometheus(),
             _ => snapshot.to_json(),
         };

@@ -229,12 +229,48 @@ impl DirectionStats {
     }
 
     /// Mean inter-arrival time between consecutive segments, if ≥ 2 packets.
+    ///
+    /// Invariant: capture timestamps are expected to be non-decreasing
+    /// within a direction (pcap readers deliver records in file order, and
+    /// merged captures are sorted before reconstruction). When that is
+    /// violated — a clock stepping backwards mid-capture, or a corrupt
+    /// record carrying a garbage timestamp — the first-to-last span is
+    /// meaningless, so this returns `None` rather than a negative or
+    /// non-finite mean.
     pub fn mean_interarrival(&self) -> Option<f64> {
         if self.times.len() < 2 {
             return None;
         }
         let span = self.times.last().unwrap() - self.times.first().unwrap();
+        if !span.is_finite() || span < 0.0 {
+            return None;
+        }
         Some(span / (self.times.len() - 1) as f64)
+    }
+
+    /// Bytes currently resident in this direction's growable buffers: the
+    /// reassembled stream, the out-of-order side arena, and the timestamp
+    /// log.
+    pub fn buffered_bytes(&self) -> usize {
+        self.stream.len() + self.ooo.len() + self.times.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Release the reassembled stream and timestamp log, returning the
+    /// number of bytes freed.
+    ///
+    /// All counters (`packets`, `bytes`, `payload_bytes`, retransmission and
+    /// delivery counts) and the live reassembly state — the sequence cursor,
+    /// pending out-of-order ranges, and their side arena — are preserved, so
+    /// reassembly continues seamlessly on the next segment. Only the
+    /// *accumulated history* is dropped: `stream` restarts empty and
+    /// [`DirectionStats::mean_interarrival`] returns `None` until two more
+    /// packets arrive. The streaming engine calls this between batches to
+    /// keep long-lived connections from holding their whole payload history.
+    pub fn trim_buffers(&mut self) -> usize {
+        let freed = self.stream.len() + self.times.len() * std::mem::size_of::<f64>();
+        self.stream = Vec::new();
+        self.times = Vec::new();
+        freed
     }
 }
 
@@ -361,6 +397,18 @@ impl TcpConnection {
     /// True once this record saw an orderly or abortive end.
     fn seems_over(&self) -> bool {
         self.saw_rst || self.saw_fin
+    }
+
+    /// Bytes resident in this connection's growable buffers, both
+    /// directions (see [`DirectionStats::buffered_bytes`]).
+    pub fn buffered_bytes(&self) -> usize {
+        self.ab.buffered_bytes() + self.ba.buffered_bytes()
+    }
+
+    /// Release both directions' accumulated payload/timestamp history,
+    /// returning bytes freed; see [`DirectionStats::trim_buffers`].
+    pub fn trim_buffers(&mut self) -> usize {
+        self.ab.trim_buffers() + self.ba.trim_buffers()
     }
 }
 
@@ -562,6 +610,59 @@ impl FlowTable {
             }
         };
         self.connections[idx].absorb(pkt);
+    }
+
+    /// Evict connections whose last captured packet is older than
+    /// `now - idle`, returning them in first-seen order.
+    ///
+    /// This is the streaming engine's reclamation hook: an evicted record is
+    /// *final* — its reassembly state is frozen mid-flight if segments were
+    /// still pending — and the caller owns it from here (folding its
+    /// counters, emitting an event, dropping its buffers). Surviving
+    /// connections are untouched: their records keep their first-seen
+    /// relative order and the live-record index is rebuilt to point at the
+    /// same records it did before, so a flow that straddles an eviction
+    /// sweep reassembles exactly as it would have without one.
+    ///
+    /// `now` is capture time (seconds), matching packet timestamps; a
+    /// non-finite `now` or `idle` evicts nothing. If the same 4-tuple later
+    /// reappears, [`FlowTable::push`] simply opens a fresh record, exactly
+    /// as it does for 4-tuple reuse after FIN/RST.
+    pub fn evict_idle(&mut self, now: f64, idle: f64) -> Vec<TcpConnection> {
+        let cutoff = now - idle;
+        if !cutoff.is_finite() {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        let mut survivors = Vec::with_capacity(self.connections.len());
+        for conn in self.connections.drain(..) {
+            if conn.last_ts < cutoff {
+                evicted.push(conn);
+            } else {
+                survivors.push(conn);
+            }
+        }
+        self.connections = survivors;
+        // Rebuild the live index by re-inserting survivors in order, which
+        // leaves it pointing at the latest record per key exactly as
+        // incremental `push` would have.
+        self.live.clear();
+        for (idx, conn) in self.connections.iter().enumerate() {
+            self.live.insert(conn.key, idx);
+        }
+        evicted
+    }
+
+    /// Bytes resident in every connection's growable buffers (the streaming
+    /// engine's `stream_resident_bytes` gauge source).
+    pub fn buffered_bytes(&self) -> usize {
+        self.connections.iter().map(|c| c.buffered_bytes()).sum()
+    }
+
+    /// Release accumulated payload/timestamp history for every connection,
+    /// returning total bytes freed; see [`DirectionStats::trim_buffers`].
+    pub fn trim_buffers(&mut self) -> usize {
+        self.connections.iter_mut().map(|c| c.trim_buffers()).sum()
     }
 
     /// Number of reconstructed connections.
@@ -889,7 +990,7 @@ mod tests {
                 packets.push(pkt(t0 + 7.0, s, r, 9000, 0, TcpFlags::SYN, b""));
             }
         }
-        packets.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
         let seq_reg = uncharted_obs::MetricsRegistry::new();
         let seq = FlowTable::reconstruct(
             &packets,
@@ -944,6 +1045,147 @@ mod tests {
             FlowTable::from_parsed_sharded(&packets, 2).connections,
             canonical.connections
         );
+    }
+
+    /// Regression (timestamp invariant): when captured timestamps regress,
+    /// the span is meaningless and the mean must be `None`, not negative.
+    #[test]
+    fn mean_interarrival_rejects_regressed_timestamps() {
+        let s = server();
+        let r = rtu();
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let mut dir = DirectionStats::default();
+        dir.absorb(&pkt(10.0, r, s, 1, 1, data, b"a"));
+        dir.absorb(&pkt(4.0, r, s, 2, 1, data, b"b")); // clock stepped back
+        assert_eq!(dir.mean_interarrival(), None);
+
+        // A corrupt record carrying a NaN timestamp must not poison the
+        // mean either.
+        let mut dir = DirectionStats::default();
+        dir.absorb(&pkt(1.0, r, s, 1, 1, data, b"a"));
+        dir.absorb(&pkt(f64::NAN, r, s, 2, 1, data, b"b"));
+        assert_eq!(dir.mean_interarrival(), None);
+    }
+
+    #[test]
+    fn evict_idle_returns_idle_flows_in_first_seen_order() {
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let mut table = FlowTable::default();
+        let r = rtu();
+        let old1 = SocketAddr::new(addr(10, 0, 0, 1), 40001);
+        let old2 = SocketAddr::new(addr(10, 0, 0, 2), 40002);
+        let live = SocketAddr::new(addr(10, 0, 0, 3), 40003);
+        table.push(&pkt(1.0, old1, r, 100, 0, data, b"abc"));
+        table.push(&pkt(2.0, old2, r, 100, 0, data, b"def"));
+        table.push(&pkt(90.0, live, r, 100, 0, data, b"ghi"));
+
+        let evicted = table.evict_idle(100.0, 30.0);
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(evicted[0].key, FlowKey::new(old1, r));
+        assert_eq!(evicted[1].key, FlowKey::new(old2, r));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.connections[0].key, FlowKey::new(live, r));
+
+        // The survivor's live index still routes packets to its record.
+        table.push(&pkt(101.0, live, r, 103, 0, data, b"jkl"));
+        assert_eq!(table.len(), 1);
+        let c = &table.connections[0];
+        assert_eq!(c.dir(c.direction_from(live)).stream, b"ghijkl");
+
+        // An evicted 4-tuple that comes back opens a fresh record.
+        table.push(&pkt(102.0, old1, r, 500, 0, data, b"new"));
+        assert_eq!(table.len(), 2);
+        let c = &table.connections[1];
+        assert_eq!(c.dir(c.direction_from(old1)).stream, b"new");
+    }
+
+    /// Evicting a flow mid-reassembly — pending bytes buffered, an
+    /// out-of-order segment still outstanding — must hand back a cleanly
+    /// frozen record and must not perturb the surviving flows' reassembly
+    /// or counters.
+    #[test]
+    fn evict_idle_mid_reassembly_leaves_survivors_untouched() {
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let r = rtu();
+        let stuck = SocketAddr::new(addr(10, 0, 0, 1), 40001);
+        let healthy = SocketAddr::new(addr(10, 0, 0, 2), 40002);
+
+        // Same interleaved traffic, with and without the stuck flow.
+        let stuck_pkts = [
+            pkt(1.0, stuck, r, 100, 0, data, b"abc"),
+            // Gap at 103: this segment stays pending forever.
+            pkt(1.5, stuck, r, 106, 0, data, b"ghi"),
+        ];
+        let healthy_pkts = [
+            pkt(1.2, healthy, r, 200, 0, data, b"one"),
+            pkt(40.0, healthy, r, 206, 0, data, b"thr"), // out of order
+            pkt(41.0, healthy, r, 203, 0, data, b"two"), // fills the gap
+        ];
+
+        let mut table = FlowTable::default();
+        for p in [
+            &stuck_pkts[0],
+            &healthy_pkts[0],
+            &stuck_pkts[1],
+            &healthy_pkts[1],
+        ] {
+            table.push(p);
+        }
+        let evicted = table.evict_idle(41.5, 30.0);
+        assert_eq!(evicted.len(), 1, "only the stuck flow is idle");
+        let frozen = &evicted[0];
+        assert_eq!(frozen.key, FlowKey::new(stuck, r));
+        let d = frozen.dir(frozen.direction_from(stuck));
+        assert_eq!(d.stream, b"abc", "delivered prefix survives the freeze");
+        assert_eq!(d.payload_bytes, 3);
+        assert_eq!(d.segments_delivered, 1);
+        assert!(
+            d.buffered_bytes() > d.stream.len(),
+            "pending out-of-order bytes are still accounted"
+        );
+        table.push(&healthy_pkts[2]);
+
+        // Reference: the healthy flow alone, no eviction sweep.
+        let mut solo = FlowTable::default();
+        for p in &healthy_pkts {
+            solo.push(p);
+        }
+        let got = &table.connections[0];
+        let want = &solo.connections[0];
+        assert_eq!(got, want, "survivor must be bit-identical to a solo run");
+        let gd = got.dir(got.direction_from(healthy));
+        assert_eq!(gd.stream, b"onetwothr");
+        assert_eq!(gd.retransmissions, 0);
+    }
+
+    #[test]
+    fn trim_buffers_frees_history_but_keeps_reassembly_state() {
+        let data = TcpFlags::ACK.with(TcpFlags::PSH);
+        let r = rtu();
+        let s = server();
+        let mut table = FlowTable::default();
+        table.push(&pkt(1.0, s, r, 100, 0, data, b"abc"));
+        // Out-of-order segment left pending across the trim.
+        table.push(&pkt(1.1, s, r, 106, 0, data, b"ghi"));
+        let before = table.buffered_bytes();
+        assert!(before > 0);
+
+        let freed = table.trim_buffers();
+        assert!(freed > 0);
+        assert!(table.buffered_bytes() < before);
+        let c = &table.connections[0];
+        let d = c.dir(c.direction_from(s));
+        assert!(d.stream.is_empty());
+        assert_eq!(d.payload_bytes, 3, "counters survive the trim");
+        assert_eq!(d.packets, 2);
+
+        // The pending segment still completes once the gap fills.
+        table.push(&pkt(1.2, s, r, 103, 0, data, b"def"));
+        let c = &table.connections[0];
+        let d = c.dir(c.direction_from(s));
+        assert_eq!(d.stream, b"defghi", "post-trim delivery continues");
+        assert_eq!(d.payload_bytes, 9);
+        assert_eq!(d.segments_delivered, 3);
     }
 
     #[test]

@@ -156,7 +156,7 @@ impl Capture {
     pub fn merge(&mut self, other: Capture) {
         self.packets.extend(other.packets);
         self.packets
-            .sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+            .sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
     }
 
     /// Total bytes across all frames.
@@ -463,6 +463,24 @@ mod tests {
         a.merge(b);
         let ts: Vec<f64> = a.packets.iter().map(|p| p.timestamp).collect();
         assert_eq!(ts, vec![1.0, 2.0, 3.0]);
+    }
+
+    /// Regression: merging a capture holding a corrupt (NaN-timestamp)
+    /// record used to panic the `partial_cmp(..).unwrap()` sort. Under
+    /// `total_cmp` NaN sorts after every real timestamp and the merge keeps
+    /// working.
+    #[test]
+    fn merge_survives_corrupt_timestamp() {
+        let mut a = Capture::new();
+        a.record(sample(1.0, b"a"));
+        a.record(sample(3.0, b"c"));
+        let mut b = Capture::new();
+        b.record(sample(f64::NAN, b"corrupt"));
+        b.record(sample(2.0, b"b"));
+        a.merge(b);
+        let ts: Vec<f64> = a.packets.iter().map(|p| p.timestamp).collect();
+        assert_eq!(&ts[..3], &[1.0, 2.0, 3.0]);
+        assert!(ts[3].is_nan(), "corrupt record sorts last");
     }
 
     #[test]

@@ -98,7 +98,7 @@ proptest! {
         0..30,
     )) {
         let mut sorted = packets;
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut cap = Capture::new();
         for (ts, frame) in &sorted {
             cap.record(CapturedPacket { timestamp: *ts, frame: frame.clone() });

@@ -5,6 +5,9 @@
 //! per event and never take a lock. The pieces:
 //!
 //! * [`Counter`] — monotonically increasing `u64` event counter.
+//! * [`Gauge`] — signed level indicator (active flows, resident bytes) that
+//!   can move both ways; rendered like a counter but excluded from the
+//!   determinism fingerprint, since levels depend on eviction schedules.
 //! * [`Histogram`] — fixed-bucket `u64`-valued distribution (frame sizes,
 //!   payload lengths). Buckets are chosen at registration time so observing
 //!   a value is a binary search plus one atomic add.
@@ -59,5 +62,7 @@ pub use exec::ExecPolicy;
 pub use fnv::{
     FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher, MixBuildHasher, MixHashMap, MixHasher,
 };
-pub use metrics::{Counter, Histogram, LocalHistogram, ShardSpan, Span, Stage};
-pub use registry::{CounterSample, HistogramSample, MetricsRegistry, MetricsSnapshot, StageSample};
+pub use metrics::{Counter, Gauge, Histogram, LocalHistogram, ShardSpan, Span, Stage};
+pub use registry::{
+    CounterSample, GaugeSample, HistogramSample, MetricsRegistry, MetricsSnapshot, StageSample,
+};

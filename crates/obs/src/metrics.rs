@@ -1,7 +1,7 @@
 //! Lock-free metric primitives: counters, histograms, and stage timers.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -33,6 +33,59 @@ impl Counter {
 
     /// Current total.
     pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level indicator: a signed value that can go up and down
+/// (active flows, resident buffer bytes, queue depth).
+///
+/// Gauges describe the *current state* of a run rather than its input, so —
+/// like volatile counters — they render normally but are excluded from
+/// [`MetricsSnapshot::counter_fingerprint`]: two runs that evict state on
+/// different schedules can legitimately disagree on every gauge while still
+/// producing bit-identical analysis results.
+///
+/// [`MetricsSnapshot::counter_fingerprint`]:
+///     crate::MetricsSnapshot::counter_fingerprint
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the level with an absolute value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raise the level by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lower the level by one.
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -274,6 +327,18 @@ mod tests {
         c.inc();
         c.add(41);
         assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.add(10);
+        g.sub(4);
+        g.dec();
+        assert_eq!(g.get(), 6);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
     }
 
     #[test]

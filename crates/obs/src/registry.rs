@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use crate::metrics::{Counter, Histogram, Stage};
+use crate::metrics::{Counter, Gauge, Histogram, Stage};
 
 /// Registry key: metric name plus sorted label pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -39,6 +39,7 @@ struct CounterEntry {
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<MetricKey, CounterEntry>,
+    gauges: BTreeMap<MetricKey, Arc<Gauge>>,
     histograms: BTreeMap<MetricKey, Arc<Histogram>>,
     stages: BTreeMap<String, Arc<Stage>>,
 }
@@ -106,6 +107,24 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Get or register an unlabelled gauge. Gauges are level indicators
+    /// (active flows, resident bytes): they can move in both directions and
+    /// — like volatile counters — are excluded from
+    /// [`MetricsSnapshot::counter_fingerprint`].
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Labelled variant of [`MetricsRegistry::gauge`].
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .gauges
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
     /// Get or register a histogram with the given inclusive bucket bounds.
     /// Bounds are fixed by the first registration.
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
@@ -140,6 +159,15 @@ impl MetricsRegistry {
                     labels: key.labels.clone(),
                     value: entry.counter.get(),
                     volatile: entry.volatile,
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(key, g)| GaugeSample {
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
+                    value: g.get(),
                 })
                 .collect(),
             histograms: inner
@@ -179,6 +207,15 @@ pub struct CounterSample {
     pub volatile: bool,
 }
 
+/// One gauge's level at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    pub name: String,
+    /// Sorted `(key, value)` label pairs; empty for unlabelled gauges.
+    pub labels: Vec<(String, String)>,
+    pub value: i64,
+}
+
 /// One histogram's state at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSample {
@@ -210,6 +247,9 @@ pub struct StageSample {
 pub struct MetricsSnapshot {
     /// Sorted by `(name, labels)`.
     pub counters: Vec<CounterSample>,
+    /// Sorted by `(name, labels)`. Gauges are levels, not totals, and stay
+    /// out of [`MetricsSnapshot::counter_fingerprint`].
+    pub gauges: Vec<GaugeSample>,
     /// Sorted by name.
     pub histograms: Vec<HistogramSample>,
     /// Sorted by name.
@@ -245,9 +285,25 @@ impl MetricsSnapshot {
         self.stages.iter().find(|s| s.name == name)
     }
 
+    /// Level of the gauge with this exact name and label set, or `None` if
+    /// it was never registered.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.labels == want)
+            .map(|g| g.value)
+    }
+
     /// A canonical rendering of every *deterministic* metric: counters,
     /// histograms, and stage item counts — everything except wall-clock
-    /// timings and volatile (schedule-dependent) counters. Two runs of the
+    /// timings, gauges, and volatile (schedule-dependent) counters. Gauges
+    /// are instantaneous levels, not input-determined totals, so they are
+    /// excluded for the same reason volatile counters are. Two runs of the
     /// same input under different [`ExecPolicy`] values must produce equal
     /// fingerprints; the determinism tests assert exactly this.
     ///
@@ -343,6 +399,37 @@ mod tests {
         reg.counter("exec_backpressure_waits").add(1);
         assert_eq!(reg.snapshot().counter_total("exec_backpressure_waits"), 18);
         assert_eq!(reg.snapshot().counter_fingerprint(), base);
+    }
+
+    #[test]
+    fn gauges_render_but_stay_out_of_the_fingerprint() {
+        let reg = MetricsRegistry::new();
+        reg.counter("events").add(3);
+        let base = reg.snapshot().counter_fingerprint();
+
+        let active = reg.gauge("stream_active_flows");
+        active.add(5);
+        active.sub(2);
+        reg.gauge_with("stream_resident_bytes", &[("arena", "reassembly")])
+            .set(4096);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_fingerprint(),
+            base,
+            "gauges must not shift the fingerprint"
+        );
+        assert_eq!(snap.gauge_value("stream_active_flows", &[]), Some(3));
+        assert_eq!(
+            snap.gauge_value("stream_resident_bytes", &[("arena", "reassembly")]),
+            Some(4096)
+        );
+        assert_eq!(snap.gauge_value("missing", &[]), None);
+        // Registration is idempotent: both handles move the same level.
+        reg.gauge("stream_active_flows").dec();
+        assert_eq!(
+            reg.snapshot().gauge_value("stream_active_flows", &[]),
+            Some(2)
+        );
     }
 
     #[test]

@@ -86,6 +86,27 @@ impl MetricsSnapshot {
         }
         out.push_str("\n  ],\n");
 
+        // The gauges section is omitted entirely when no gauge is
+        // registered, so snapshots from gauge-free pipelines render exactly
+        // as they did before gauges existed.
+        if !self.gauges.is_empty() {
+            out.push_str("  \"gauges\": [");
+            for (i, g) in self.gauges.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                let _ = write!(out, "    {{\"name\": \"{}\"", json_escape(&g.name));
+                if !g.labels.is_empty() {
+                    let body: Vec<String> = g
+                        .labels
+                        .iter()
+                        .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+                        .collect();
+                    let _ = write!(out, ", \"labels\": {{{}}}", body.join(", "));
+                }
+                let _ = write!(out, ", \"value\": {}}}", g.value);
+            }
+            out.push_str("\n  ],\n");
+        }
+
         out.push_str("  \"histograms\": [");
         for (i, h) in self.histograms.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -140,6 +161,15 @@ impl MetricsSnapshot {
                 last_name = Some(c.name.as_str());
             }
             let _ = writeln!(out, "{} {}", counter_key(&c.name, &c.labels), c.value);
+        }
+
+        let mut last_name: Option<&str> = None;
+        for g in &self.gauges {
+            if last_name != Some(g.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} gauge", g.name);
+                last_name = Some(g.name.as_str());
+            }
+            let _ = writeln!(out, "{} {}", counter_key(&g.name, &g.labels), g.value);
         }
 
         for h in &self.histograms {
@@ -241,6 +271,18 @@ impl MetricsSnapshot {
                     "    {:<44} {:>12}",
                     counter_key(&c.name, &c.labels),
                     c.value
+                );
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "  gauges");
+            for g in &self.gauges {
+                let _ = writeln!(
+                    out,
+                    "    {:<44} {:>12}",
+                    counter_key(&g.name, &g.labels),
+                    g.value
                 );
             }
         }
@@ -354,6 +396,31 @@ pipeline_stage_shard_wall_seconds{stage=\"flows\",shard=\"1\"} 0.001100000
         assert!(table.contains("2.500"));
         assert!(table.contains("iec104_apdus_parsed{dialect=\"std\"}"));
         assert!(table.contains("count=4 sum=337 mean=84.3"));
+    }
+
+    #[test]
+    fn gauges_render_in_every_format() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("stream_active_flows").set(7);
+        reg.gauge_with("stream_resident_bytes", &[("arena", "reassembly")])
+            .set(-12);
+        let snap = reg.snapshot();
+
+        let json = snap.to_json();
+        assert!(json.contains(
+            "\"gauges\": [\n    {\"name\": \"stream_active_flows\", \"value\": 7},\n    \
+             {\"name\": \"stream_resident_bytes\", \"labels\": {\"arena\": \"reassembly\"}, \
+             \"value\": -12}\n  ]"
+        ));
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE stream_active_flows gauge"));
+        assert!(prom.contains("stream_active_flows 7"));
+        assert!(prom.contains("stream_resident_bytes{arena=\"reassembly\"} -12"));
+
+        let table = snap.summary_table();
+        assert!(table.contains("  gauges"));
+        assert!(table.contains("stream_active_flows"));
     }
 
     #[test]

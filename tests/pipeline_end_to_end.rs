@@ -74,7 +74,7 @@ fn session_clusters_have_paper_semantics() {
     // misbehaving secondary of O30 (cluster 0 in the paper).
     let sessions = p.sessions();
     let slowest = (0..means.len())
-        .max_by(|&a, &b| means[a][0].partial_cmp(&means[b][0]).unwrap())
+        .max_by(|&a, &b| means[a][0].total_cmp(&means[b][0]))
         .unwrap();
     let o30 = uncharted::nettap::ipv4::addr(10, 1, 11, 30);
     let has_o30 = report
@@ -128,11 +128,7 @@ fn elbow_and_silhouette_agree_on_a_small_k() {
     let report = p.cluster_sessions(3);
     let elbow = report.elbow_k.unwrap();
     assert!((2..=6).contains(&elbow), "elbow {elbow}");
-    let best_sil = report
-        .selection
-        .iter()
-        .max_by(|a, b| a.silhouette.partial_cmp(&b.silhouette).unwrap())
-        .unwrap();
+    let best_sil = kmeans::best_by_silhouette(&report.selection).unwrap();
     assert!((2..=8).contains(&best_sil.k));
 }
 

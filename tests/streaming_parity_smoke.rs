@@ -1,0 +1,74 @@
+//! CI smoke gate: streaming replay reproduces batch analysis on a
+//! realistic seeded scenario.
+//!
+//! The property-based suite (`crates/analysis/tests/stream_parity.rs`)
+//! proves the contract over adversarial generated captures; this test is
+//! the cheap end-to-end guard over a full simulated SCADA campaign — the
+//! same capture a batch `uncharted analyze` and a streaming `uncharted
+//! analyze --follow` would see — checking the dialect map, compliance
+//! census, sessions, chain census, and the metrics counter fingerprint are
+//! bit-identical, windowing on.
+
+use uncharted::analysis::markov::ChainCensus;
+use uncharted::analysis::session;
+use uncharted::analysis::stream::{StreamConfig, StreamSession};
+use uncharted::nettap::pcap::ParsedPacket;
+use uncharted::{Dataset, ExecContext, ExecPolicy, PipelineMetrics, Scenario, Simulation, Year};
+
+fn scenario_packets() -> Vec<ParsedPacket> {
+    let set = Simulation::new(Scenario::small(Year::Y1, 77, 40.0)).run();
+    let mut packets: Vec<ParsedPacket> = Vec::new();
+    for cap in &set.captures {
+        packets.extend(cap.parsed());
+    }
+    packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+    packets
+}
+
+#[test]
+fn streaming_follow_matches_batch_on_a_seeded_campaign() {
+    let packets = scenario_packets();
+    assert!(packets.len() > 1000, "scenario too small to be a smoke test");
+
+    // Batch reference: the stages the streaming engine replays.
+    let ctx = ExecContext::new(ExecPolicy::Sequential);
+    let ds = Dataset::ingest(packets.clone(), &ctx);
+    let batch_sessions: Vec<_> = session::extract(&ds, &ctx)
+        .iter()
+        .map(|s| (s.src, s.dst, s.from_server, s.features()))
+        .collect();
+    let batch_chains = ChainCensus::build(&ds, &ctx).rows;
+    let batch_fingerprint = ctx.metrics.snapshot().counter_fingerprint();
+
+    // Streaming replay, windowed, no idle timeout (the parity mode).
+    let metrics = PipelineMetrics::new();
+    let mut stream = StreamSession::new(
+        StreamConfig {
+            window: Some(30.0),
+            idle_timeout: None,
+            retain_payload: true,
+        },
+        std::sync::Arc::clone(&metrics),
+    );
+    for chunk in packets.chunks(512) {
+        stream.push_batch(chunk);
+    }
+    let (summary, _events) = stream.finish();
+    let stream_fingerprint = metrics.snapshot().counter_fingerprint();
+
+    assert_eq!(summary.dialects, ds.dialects, "dialect map diverged");
+    assert_eq!(summary.compliance, ds.compliance, "compliance diverged");
+    let stream_sessions: Vec<_> = summary
+        .sessions
+        .iter()
+        .map(|r| (r.src_ip, r.dst_ip, r.from_server, r.features))
+        .collect();
+    assert_eq!(stream_sessions, batch_sessions, "sessions diverged");
+    assert_eq!(summary.chains, batch_chains, "chain census diverged");
+    assert_eq!(
+        stream_fingerprint, batch_fingerprint,
+        "counter fingerprint diverged"
+    );
+    assert!(!batch_sessions.is_empty(), "smoke scenario had no sessions");
+    assert!(summary.windows_closed > 0, "windowing never closed a window");
+}
