@@ -16,10 +16,11 @@ use uncharted_iec104::parser::{detect_dialect, DialectScore};
 use uncharted_iec104::tokens::Token;
 use uncharted_nettap::flow::FlowTable;
 use uncharted_nettap::pcap::{Capture, ParsedPacket};
+use uncharted_nettap::source::{self, PacketSource};
 use uncharted_obs::FnvHashMap;
 
 use crate::dpi::TimeSeries;
-use crate::exec::{threads_context, ExecContext};
+use crate::exec::ExecContext;
 use crate::executor::ExecutorTuning;
 use crate::markov::ChainInfo;
 use crate::session::Session;
@@ -243,56 +244,18 @@ impl Dataset {
         Dataset::ingest(packets, ctx)
     }
 
-    /// Ingest one capture.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dataset::ingest_capture` with an `ExecContext`"
-    )]
-    pub fn from_capture(capture: &Capture) -> Dataset {
-        Dataset::ingest_capture(capture, &ExecContext::sequential())
-    }
-
-    /// [`Dataset::from_capture`] with a worker-thread count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dataset::ingest_capture` with an `ExecContext`"
-    )]
-    pub fn from_capture_threaded(capture: &Capture, threads: usize) -> Dataset {
-        Dataset::ingest_capture(capture, &threads_context(threads))
-    }
-
-    /// Ingest several captures as one dataset.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dataset::ingest_captures` with an `ExecContext`"
-    )]
-    pub fn from_captures<'a, I: IntoIterator<Item = &'a Capture>>(captures: I) -> Dataset {
-        Dataset::ingest_captures(captures, &ExecContext::sequential())
-    }
-
-    /// [`Dataset::from_captures`] with a worker-thread count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Dataset::ingest_captures` with an `ExecContext`"
-    )]
-    pub fn from_captures_threaded<'a, I: IntoIterator<Item = &'a Capture>>(
-        captures: I,
-        threads: usize,
-    ) -> Dataset {
-        Dataset::ingest_captures(captures, &threads_context(threads))
-    }
-
-    /// Ingest from already-parsed packets (must be in time order).
-    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest` with an `ExecContext`")]
-    pub fn from_packets(packets: Vec<ParsedPacket>) -> Dataset {
-        Dataset::ingest(packets, &ExecContext::sequential())
-    }
-
-    /// Ingest from already-parsed packets with a worker-thread count
-    /// (`0` = one per core; `1` = sequential).
-    #[deprecated(since = "0.2.0", note = "use `Dataset::ingest` with an `ExecContext`")]
-    pub fn from_packets_threaded(packets: Vec<ParsedPacket>, threads: usize) -> Dataset {
-        Dataset::ingest(packets, &threads_context(threads))
+    /// Ingest everything a [`PacketSource`] yields — the one batch-mode
+    /// ingest entry point shared by `analyze`, the bench harness, and the
+    /// serve layer's offline paths. The source is drained to exhaustion,
+    /// merged into time order (multi-file chains may interleave), and
+    /// ingested exactly like [`Dataset::ingest`].
+    pub fn ingest_source(
+        src: &mut dyn PacketSource,
+        ctx: &ExecContext,
+    ) -> uncharted_nettap::Result<Dataset> {
+        let mut packets = source::drain(src, 4096)?;
+        packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+        Ok(Dataset::ingest(packets, ctx))
     }
 
     /// All distinct outstation IPs seen.
@@ -851,28 +814,40 @@ mod tests {
         );
     }
 
-    /// The deprecated constructors still build the same dataset.
+    /// `ingest_source` is the same ingest as `Dataset::ingest`, for any
+    /// source shape — including out-of-order chains, which it re-sorts.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_from_packets_shims_delegate() {
+    fn ingest_source_matches_direct_ingest() {
         let server = addr(10, 0, 0, 1);
         let rtu = addr(10, 1, 5, 9);
-        let payload = float_apdu(0, 1.0, Dialect::STANDARD);
-        let packets = vec![data_packet(
-            1.0,
-            rtu,
-            IEC104_PORT,
-            server,
-            40001,
-            1,
-            &payload,
-        )];
+        let mut packets = Vec::new();
+        let mut seq = 1u32;
+        for i in 0..6u16 {
+            let payload = float_apdu(i, 1.0 + i as f32, Dialect::STANDARD);
+            packets.push(data_packet(
+                i as f64,
+                rtu,
+                IEC104_PORT,
+                server,
+                40001,
+                seq,
+                &payload,
+            ));
+            seq += payload.len() as u32;
+        }
         let canonical = Dataset::ingest(packets.clone(), &ExecContext::sequential());
-        let shim = Dataset::from_packets(packets.clone());
-        let shim_threaded = Dataset::from_packets_threaded(packets, 2);
-        assert_eq!(shim.timelines, canonical.timelines);
-        assert_eq!(shim_threaded.timelines, canonical.timelines);
-        assert_eq!(shim.compliance, canonical.compliance);
+        // Two interleaved halves: the chain yields them file-by-file, and
+        // ingest_source merges back into time order.
+        let a: Vec<ParsedPacket> = packets.iter().step_by(2).cloned().collect();
+        let b: Vec<ParsedPacket> = packets.iter().skip(1).step_by(2).cloned().collect();
+        let mut chain = uncharted_nettap::ChainedSource::new(vec![
+            Box::new(uncharted_nettap::MemorySource::new(a)),
+            Box::new(uncharted_nettap::MemorySource::new(b)),
+        ]);
+        let via_source = Dataset::ingest_source(&mut chain, &ExecContext::sequential()).unwrap();
+        assert_eq!(via_source.packets, canonical.packets);
+        assert_eq!(via_source.timelines, canonical.timelines);
+        assert_eq!(via_source.compliance, canonical.compliance);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! signature state machine of Fig. 21.
 
 use crate::dataset::Dataset;
-use crate::exec::{threads_context, ExecContext};
+use crate::exec::ExecContext;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use uncharted_iec104::asdu::IoValue;
@@ -24,13 +24,13 @@ pub struct TypeCensus {
 
 impl TypeCensus {
     /// Count every I-frame ASDU in the dataset, under an [`ExecContext`]
-    /// choosing the worker count and the metrics sink. Counts are summed
-    /// per typeID, so the merge is order-independent and the census is
-    /// identical under any policy.
+    /// choosing the worker count and the metrics sink. Threaded runs are
+    /// served by the pipelined executor's prebuilt census; recomputation
+    /// runs the identical sequential count, so the census is identical
+    /// under any policy.
     pub fn build(ds: &Dataset, ctx: &ExecContext) -> TypeCensus {
         let m = &ctx.metrics;
         let _span = m.type_census_stage.span();
-        let workers = ctx.workers();
         if let Some(prebuilt) = ds.claim_prebuilt_census() {
             // The pipelined executor already counted on its shard workers
             // (recording the per-shard spans); only the claim-time
@@ -38,49 +38,17 @@ impl TypeCensus {
             m.type_census_stage.add_items(prebuilt.total() as u64);
             return prebuilt;
         }
-        let counts = if workers <= 1 {
+        let counts = {
             let _shard = m.type_census_stage.shard_span(0);
             let mut counts = BTreeMap::new();
             for tl in &ds.timelines {
                 count_types(&mut counts, tl);
             }
             counts
-        } else {
-            let partial = crate::par::par_map(&ds.timelines, workers, |tl| {
-                let mut counts = BTreeMap::new();
-                count_types(&mut counts, tl);
-                counts
-            });
-            let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
-            for part in partial {
-                for (code, n) in part {
-                    *counts.entry(code).or_default() += n;
-                }
-            }
-            counts
         };
         let census = TypeCensus { counts };
         m.type_census_stage.add_items(census.total() as u64);
         census
-    }
-
-    /// Count every I-frame ASDU in the dataset.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `TypeCensus::build` with an `ExecContext`"
-    )]
-    pub fn from_dataset(ds: &Dataset) -> TypeCensus {
-        TypeCensus::build(ds, &ExecContext::sequential())
-    }
-
-    /// [`TypeCensus::from_dataset`] with a worker-thread count (`0` = one
-    /// per core).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `TypeCensus::build` with an `ExecContext`"
-    )]
-    pub fn from_dataset_threaded(ds: &Dataset, threads: usize) -> TypeCensus {
-        TypeCensus::build(ds, &threads_context(threads))
     }
 
     /// Total ASDUs.
@@ -244,49 +212,29 @@ impl TimeSeries {
 /// Extract every (station, IOA) time series from the dataset's I-frames,
 /// under an [`ExecContext`] choosing the worker count and the metrics sink.
 ///
-/// Per-timeline maps are merged in timeline order, so each series'
-/// samples concatenate in exactly the order the sequential pass appends
-/// them; the final per-series sort is stable, making the output identical
-/// under any policy.
+/// Threaded runs are served by the pipelined executor's prebuilt series
+/// (per-shard maps merged in timeline order, stably sorted); recomputation
+/// runs the identical sequential pass, so the output is the same under any
+/// policy.
 pub fn series(ds: &Dataset, ctx: &ExecContext) -> Vec<TimeSeries> {
     let m = &ctx.metrics;
     let _span = m.series_stage.span();
-    let workers = ctx.workers();
     let out = if let Some(prebuilt) = ds.claim_prebuilt_series() {
         // The pipelined executor already extracted the series on its shard
         // workers (recording the per-shard spans); only the claim-time
         // accounting below remains.
         prebuilt
-    } else if workers <= 1 {
+    } else {
         let _shard = m.series_stage.shard_span(0);
         let mut map: SeriesMap = SeriesMap::default();
         for tl in &ds.timelines {
             series_from_timeline(&mut map, tl);
         }
         sort_series(map)
-    } else {
-        let partial = crate::par::par_map(&ds.timelines, workers, |tl| {
-            let mut map = SeriesMap::default();
-            series_from_timeline(&mut map, tl);
-            map
-        });
-        sort_series(fold_series_maps(partial))
     };
     m.series_extracted.add(out.len() as u64);
     m.series_stage.add_items(out.len() as u64);
     out
-}
-
-/// Extract every (station, IOA) time series from the dataset's I-frames.
-#[deprecated(since = "0.2.0", note = "use `dpi::series` with an `ExecContext`")]
-pub fn extract_series(ds: &Dataset) -> Vec<TimeSeries> {
-    series(ds, &ExecContext::sequential())
-}
-
-/// [`extract_series`] with a worker-thread count (`0` = one per core).
-#[deprecated(since = "0.2.0", note = "use `dpi::series` with an `ExecContext`")]
-pub fn extract_series_threaded(ds: &Dataset, threads: usize) -> Vec<TimeSeries> {
-    series(ds, &threads_context(threads))
 }
 
 /// Per-(station, IOA, direction) series under construction; the shape both

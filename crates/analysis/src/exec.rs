@@ -1,11 +1,9 @@
 //! The unified execution context for every pipeline driver.
 //!
-//! PR 2 forked each analysis driver into an `X` / `X_threaded` pair; this
-//! module collapses them again. An [`ExecContext`] bundles the two things a
-//! driver needs beyond its input: an [`ExecPolicy`] saying *how* to run
-//! (sequential, fixed worker count, or one worker per core) and a
-//! [`PipelineMetrics`] saying *where to record* what happened. The old
-//! paired entry points survive only as `#[deprecated]` shims.
+//! An [`ExecContext`] bundles the two things a driver needs beyond its
+//! input: an [`ExecPolicy`] saying *how* to run (sequential, fixed worker
+//! count, or one worker per core) and a [`PipelineMetrics`] saying *where
+//! to record* what happened.
 
 use std::sync::{Arc, OnceLock};
 
@@ -87,7 +85,7 @@ impl PipelineMetrics {
     }
 
     /// A process-wide discard instance for callers that do not collect
-    /// metrics (deprecated shims, quick tests). Counts accumulate but are
+    /// metrics (quick tests, throwaway runs). Counts accumulate but are
     /// never rendered.
     pub fn sink() -> Arc<PipelineMetrics> {
         static SINK: OnceLock<Arc<PipelineMetrics>> = OnceLock::new();
@@ -119,7 +117,7 @@ impl ExecContext {
     }
 
     /// Sequential execution, metrics discarded — the cheap default for
-    /// tests and the deprecated shims.
+    /// tests.
     pub fn sequential() -> ExecContext {
         ExecContext {
             policy: ExecPolicy::Sequential,
@@ -130,15 +128,6 @@ impl ExecContext {
     /// The resolved worker count (always ≥ 1).
     pub fn workers(&self) -> usize {
         self.policy.workers()
-    }
-}
-
-/// The context the deprecated `*_threaded` shims run under: the legacy
-/// thread-count flag mapped onto a policy, metrics discarded.
-pub(crate) fn threads_context(threads: usize) -> ExecContext {
-    ExecContext {
-        policy: ExecPolicy::from_threads_flag(threads),
-        metrics: PipelineMetrics::sink(),
     }
 }
 

@@ -33,9 +33,6 @@
 //!   ingestion: one dispatch pass hands batched packets over bounded
 //!   channels to N flow-sharded workers that each run the full analysis
 //!   chain end-to-end, merging exactly once at the end.
-//! * [`par`] — deterministic scoped-thread fork–join helpers backing the
-//!   remaining per-stage (`--threads N`) fan-outs: parallel output is
-//!   bit-identical to sequential.
 //! * [`report`] — plain-text table rendering shared by the bench harness.
 //! * [`stream`] — the incremental streaming engine: batch-by-batch
 //!   ingestion with idle-timeout eviction, online session statistics,
@@ -52,7 +49,6 @@ pub mod ids;
 pub mod kmeans;
 pub mod markov;
 pub mod matrix;
-pub mod par;
 pub mod pca;
 pub mod report;
 pub mod session;

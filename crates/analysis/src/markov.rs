@@ -8,7 +8,7 @@
 //! the Table 6 / Fig. 17 taxonomy.
 
 use crate::dataset::{Dataset, PairTimeline};
-use crate::exec::{threads_context, ExecContext};
+use crate::exec::ExecContext;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use uncharted_iec104::tokens::{Token, TokenId, TokenTable};
@@ -56,7 +56,9 @@ impl TokenChain {
         let row_totals = (0..n)
             .map(|a| counts[a * n..(a + 1) * n].iter().sum())
             .collect();
-        let last = tokens.last().map(|&t| table.get(t).expect("interned above"));
+        let last = tokens
+            .last()
+            .map(|&t| table.get(t).expect("interned above"));
         TokenChain {
             table,
             counts,
@@ -233,54 +235,29 @@ pub struct ChainCensus {
 
 impl ChainCensus {
     /// Build the census under an [`ExecContext`] choosing the worker count
-    /// and the metrics sink. The map over timelines is order-preserving, so
-    /// the rows are identical under any policy.
+    /// and the metrics sink. Threaded runs get their parallelism from the
+    /// pipelined executor's prebuilt rows; recomputation (a second call, or
+    /// a sequentially built dataset queried under a threaded context) runs
+    /// the identical sequential map, so rows match under any policy.
     pub fn build(ds: &Dataset, ctx: &ExecContext) -> ChainCensus {
         let m = &ctx.metrics;
         let _span = m.markov_stage.span();
-        let workers = ctx.workers();
         let rows: Vec<ChainInfo> = if let Some(prebuilt) = ds.claim_prebuilt_chains() {
             // The pipelined executor already built the rows on its shard
             // workers (recording the per-shard spans); only the claim-time
             // accounting below remains.
             prebuilt
-        } else if workers <= 1 {
+        } else {
             let _shard = m.markov_stage.shard_span(0);
             ds.timelines
                 .iter()
                 .filter(|tl| !tl.events.is_empty())
                 .map(Self::row)
                 .collect()
-        } else {
-            let pairs: Vec<&PairTimeline> = ds
-                .timelines
-                .iter()
-                .filter(|tl| !tl.events.is_empty())
-                .collect();
-            crate::par::par_map(&pairs, workers, |tl| Self::row(tl))
         };
         m.chains_built.add(rows.len() as u64);
         m.markov_stage.add_items(rows.len() as u64);
         ChainCensus { rows }
-    }
-
-    /// Build the census.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ChainCensus::build` with an `ExecContext`"
-    )]
-    pub fn from_dataset(ds: &Dataset) -> ChainCensus {
-        ChainCensus::build(ds, &ExecContext::sequential())
-    }
-
-    /// [`ChainCensus::from_dataset`] with a worker-thread count (`0` = one
-    /// per core).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ChainCensus::build` with an `ExecContext`"
-    )]
-    pub fn from_dataset_threaded(ds: &Dataset, threads: usize) -> ChainCensus {
-        ChainCensus::build(ds, &threads_context(threads))
     }
 
     /// One timeline's census row; shared with the pipelined executor.

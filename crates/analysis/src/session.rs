@@ -6,7 +6,7 @@
 //! packet count, and the I/S/U token percentages.
 
 use crate::dataset::{Dataset, PairTimeline, IEC104_PORT};
-use crate::exec::{threads_context, ExecContext};
+use crate::exec::ExecContext;
 use crate::matrix::FeatureMatrix;
 use serde::Serialize;
 use uncharted_iec104::tokens::Token;
@@ -145,39 +145,25 @@ impl SessionFeatures {
 /// Extract every session (with at least one APDU) from a dataset, under an
 /// [`ExecContext`] choosing the worker count and the metrics sink.
 ///
-/// The session list is identical under any policy: the per-timeline token
-/// and IOA extraction is order-preserving, and packet stats are claimed in
-/// the same `(timeline, direction)` order the sequential pass uses.
+/// The session list is identical under any policy: threaded runs are
+/// served by the pipelined executor's prebuilt sessions, and recomputation
+/// runs the sequential pass, which claims packet stats in the canonical
+/// `(timeline, direction)` order.
 pub fn extract(ds: &Dataset, ctx: &ExecContext) -> Vec<Session> {
     let m = &ctx.metrics;
     let _span = m.sessions_stage.span();
-    let workers = ctx.workers();
     let sessions = if let Some(prebuilt) = ds.claim_prebuilt_sessions() {
         // The pipelined executor already ran this stage end-to-end on its
         // shard workers (which recorded the per-shard spans); only the
         // claim-time accounting below is left to do.
         prebuilt
-    } else if workers <= 1 {
+    } else {
         let _shard = m.sessions_stage.shard_span(0);
         extract_sequential(ds)
-    } else {
-        extract_fanned_out(ds, workers)
     };
     m.sessions_built.add(sessions.len() as u64);
     m.sessions_stage.add_items(sessions.len() as u64);
     sessions
-}
-
-/// Extract every session (with at least one APDU) from a dataset.
-#[deprecated(since = "0.2.0", note = "use `session::extract` with an `ExecContext`")]
-pub fn extract_sessions(ds: &Dataset) -> Vec<Session> {
-    extract(ds, &ExecContext::sequential())
-}
-
-/// [`extract_sessions`] with a worker-thread count (`0` = one per core).
-#[deprecated(since = "0.2.0", note = "use `session::extract` with an `ExecContext`")]
-pub fn extract_sessions_threaded(ds: &Dataset, threads: usize) -> Vec<Session> {
-    extract(ds, &threads_context(threads))
 }
 
 /// Build the packet-stat table: timestamps and frame bytes per `(src, dst)`
@@ -252,23 +238,6 @@ fn extract_sequential(ds: &Dataset) -> Vec<Session> {
         for partial in timeline_partials(tl) {
             sessions.push(claim_session(partial, &mut packet_stats));
         }
-    }
-    sessions
-}
-
-/// The extraction pass with the per-timeline token and IOA work fanned out
-/// across `threads` workers.
-///
-/// The packet-stat table is built sequentially (it is a single cheap pass
-/// over the packets), and the stats are claimed from it in the same
-/// `(timeline, direction)` order the sequential extractor uses, so the
-/// output is identical.
-fn extract_fanned_out(ds: &Dataset, threads: usize) -> Vec<Session> {
-    let mut packet_stats = packet_stats_of(&ds.packets);
-    let partial = crate::par::par_map(&ds.timelines, threads, timeline_partials);
-    let mut sessions = Vec::new();
-    for p in partial.into_iter().flatten() {
-        sessions.push(claim_session(p, &mut packet_stats));
     }
     sessions
 }

@@ -729,7 +729,9 @@ impl StreamSession {
                 w.packets += 1;
             }
             if !pkt.payload.is_empty() {
-                m.nettap.segment_payload_octets.observe(pkt.payload.len() as u64);
+                m.nettap
+                    .segment_payload_octets
+                    .observe(pkt.payload.len() as u64);
             }
             self.flows.push(pkt);
             let on_104 = pkt.tcp.src_port == IEC104_PORT || pkt.tcp.dst_port == IEC104_PORT;
@@ -948,13 +950,7 @@ impl StreamSession {
             return;
         };
         let m = Arc::clone(&self.metrics);
-        resolve_outstation(
-            &mut st,
-            &mut self.pairs,
-            &mut self.window_state,
-            &m,
-            events,
-        );
+        resolve_outstation(&mut st, &mut self.pairs, &mut self.window_state, &m, events);
         let resolved = st.resolved.expect("resolved above");
         self.archived_dialects.insert(out_ip, resolved.dialect);
         self.archived_compliance.insert(out_ip, resolved.compliance);
@@ -1035,13 +1031,7 @@ impl StreamSession {
         for out_ip in &out_ips {
             let st = self.outs.get_mut(out_ip).expect("keys from scan");
             if st.resolved.is_none() {
-                resolve_outstation(
-                    st,
-                    &mut self.pairs,
-                    &mut self.window_state,
-                    &m,
-                    &mut events,
-                );
+                resolve_outstation(st, &mut self.pairs, &mut self.window_state, &m, &mut events);
             }
         }
         // Sessions, in the batch claim order: timeline (server, out) key
@@ -1307,7 +1297,10 @@ fn pair_update(
                     w.alerts.push(StreamAlert {
                         server_ip,
                         outstation_ip: out_ip,
-                        kind: StreamAlertKind::NovelTransition { from: prev, to: token },
+                        kind: StreamAlertKind::NovelTransition {
+                            from: prev,
+                            to: token,
+                        },
                     });
                 }
             }
@@ -1455,7 +1448,9 @@ mod tests {
                 },
             ),
         );
-        Apdu::i_frame(send_seq, 0, asdu).encode(Dialect::STANDARD).unwrap()
+        Apdu::i_frame(send_seq, 0, asdu)
+            .encode(Dialect::STANDARD)
+            .unwrap()
     }
 
     /// A simple two-direction conversation on one pair, one I/S exchange
@@ -1483,7 +1478,9 @@ mod tests {
                 &payload,
             ));
             out_seq += payload.len() as u32;
-            let ack = Apdu::s_frame(i as u16 + 1).encode(Dialect::STANDARD).unwrap();
+            let ack = Apdu::s_frame(i as u16 + 1)
+                .encode(Dialect::STANDARD)
+                .unwrap();
             packets.push(packet(
                 t0 + i as f64 * step + step / 4.0,
                 server,
@@ -1614,12 +1611,9 @@ mod tests {
             .flatten()
             .collect();
         assert!(
-            alerts.iter().any(|a| matches!(
-                a.kind,
-                StreamAlertKind::NovelToken {
-                    token: Token::U16
-                }
-            )),
+            alerts
+                .iter()
+                .any(|a| matches!(a.kind, StreamAlertKind::NovelToken { token: Token::U16 })),
             "the TESTFR must raise a novel-token alert, got {alerts:?}"
         );
     }
@@ -1667,7 +1661,15 @@ mod tests {
         let out = addr(10, 1, 5, 10);
         let mut packets = conversation(server, out, 40001, 0.0, 3);
         let payload = i_frame(9, 700, 1.0);
-        packets.push(packet(f64::NAN, out, IEC104_PORT, server, 40001, 5000, &payload));
+        packets.push(packet(
+            f64::NAN,
+            out,
+            IEC104_PORT,
+            server,
+            40001,
+            5000,
+            &payload,
+        ));
         let metrics = PipelineMetrics::new();
         let mut s = StreamSession::new(
             StreamConfig {

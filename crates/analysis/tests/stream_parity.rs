@@ -483,17 +483,15 @@ fn long_replay_with_idle_timeout_stays_bounded() {
         let events = s.push_batch(chunk);
         evictions += events
             .iter()
-            .filter(|e| {
-                matches!(
-                    e,
-                    uncharted_analysis::StreamEvent::FlowEvicted { .. }
-                )
-            })
+            .filter(|e| matches!(e, uncharted_analysis::StreamEvent::FlowEvicted { .. }))
             .count();
         max_resident = max_resident.max(s.resident_buffer_bytes());
         max_flows = max_flows.max(s.active_flows());
     }
-    assert!(evictions >= 30, "idle conversations evicted, got {evictions}");
+    assert!(
+        evictions >= 30,
+        "idle conversations evicted, got {evictions}"
+    );
     assert!(
         max_flows <= 3,
         "live flow set bounded by active conversations, got {max_flows}"

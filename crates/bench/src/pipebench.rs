@@ -18,6 +18,7 @@ use uncharted_iec104::types::TypeId;
 use uncharted_nettap::flow::FlowTable;
 use uncharted_nettap::metrics::NettapMetrics;
 use uncharted_nettap::pcap::ParsedPacket;
+use uncharted_nettap::source::MemorySource;
 
 /// Time-sorted packets from a seeded small scenario (`scale` seconds per
 /// paper hour — keep it tiny for smoke tests, larger for benches).
@@ -47,7 +48,10 @@ pub fn ingest_analyze_fingerprint(
     policy: ExecPolicy,
 ) -> ((usize, usize, usize, usize), String) {
     let ctx = ExecContext::new(policy);
-    let ds = Dataset::ingest(packets, &ctx);
+    // Through the public `PacketSource` entry, so the bench times (and the
+    // smoke test pins) the same ingest path every consumer uses.
+    let mut src = MemorySource::new(packets);
+    let ds = Dataset::ingest_source(&mut src, &ctx).expect("in-memory source cannot fail");
     let census = TypeCensus::build(&ds, &ctx);
     let sessions = session::extract(&ds, &ctx);
     let chains = ChainCensus::build(&ds, &ctx);
@@ -88,7 +92,8 @@ pub fn ingest_and_analyze_keep(
     policy: ExecPolicy,
 ) -> PipelineArtifacts {
     let ctx = ExecContext::new(policy);
-    let dataset = Dataset::ingest(packets, &ctx);
+    let mut src = MemorySource::new(packets);
+    let dataset = Dataset::ingest_source(&mut src, &ctx).expect("in-memory source cannot fail");
     let census = TypeCensus::build(&dataset, &ctx);
     let sessions = session::extract(&dataset, &ctx);
     let chains = ChainCensus::build(&dataset, &ctx);

@@ -16,6 +16,8 @@ use uncharted::analysis::ids::{AlertKind, Severity, Whitelist};
 use uncharted::analysis::markov;
 use uncharted::analysis::report::{ip, pct, Table};
 use uncharted::analysis::stream::{StreamConfig, StreamSession};
+use uncharted::nettap::source::{self, ChainedSource, PacketSource, PcapStreamSource};
+use uncharted::serve::{ServeConfig, Server};
 use uncharted::{
     Capture, Dataset, ExecContext, Pipeline, PipelineMetrics, Scenario, Simulation, Year,
 };
@@ -25,6 +27,9 @@ fn usage() -> ! {
         "usage:\n  uncharted simulate [--year y1|y2] [--seed N] [--scale S] [--attack] --out DIR\n  \
          uncharted analyze [--threads N] [--metrics PATH] [--metrics-format json|prom]\n                    \
          [--follow] [--window SECS] [--idle-timeout SECS] PCAP [PCAP...]\n  \
+         uncharted serve --listen ADDR [--http ADDR] [--window SECS] [--idle-timeout SECS]\n                  \
+         [--source-timeout SECS] [--batch N] [--shutdown-after SECS] [--quiet]\n  \
+         uncharted feed FILE HOST:PORT [--rate PPS]\n  \
          uncharted ids --train PCAP [--inspect PCAP]\n\n\
          analyze options:\n  \
          --threads N             worker threads: 0 = one per core, 1 = sequential (default),\n                          \
@@ -40,7 +45,20 @@ fn usage() -> ! {
          emitting windowed IDS verdicts and live-session clustering\n  \
          --idle-timeout SECS     (--follow) evict flows and outstations idle for SECS\n                          \
          seconds, finalizing their sessions and freeing buffers;\n                          \
-         omit to keep everything live (reproduces batch mode exactly)"
+         omit to keep everything live (reproduces batch mode exactly)\n\n\
+         serve options:\n  \
+         --listen ADDR           accept pcap-over-TCP feeds on ADDR (e.g. 0.0.0.0:2409);\n                          \
+         each connection is one source with its own bounded session\n  \
+         --http ADDR             expose /metrics (Prometheus), /healthz and /sources on ADDR\n  \
+         --window SECS           per-source tumbling analysis window (as analyze --follow)\n  \
+         --idle-timeout SECS     per-source flow idle eviction (as analyze --follow)\n  \
+         --source-timeout SECS   evict a source silent for SECS seconds (default 30)\n  \
+         --batch N               packets per reader->worker batch (default 512)\n  \
+         --shutdown-after SECS   drain and exit after SECS seconds (demos, smoke tests)\n  \
+         --quiet                 suppress per-event JSON lines\n\n\
+         feed options:\n  \
+         --rate PPS              pace the capture at PPS packets per second instead of\n                          \
+         line rate"
     );
     std::process::exit(2);
 }
@@ -53,8 +71,27 @@ fn main() {
     match args.remove(0).as_str() {
         "simulate" => simulate(args),
         "analyze" => analyze(args),
+        "serve" => serve(args),
+        "feed" => feed(args),
         "ids" => ids(args),
         _ => usage(),
+    }
+}
+
+/// Validate a duration/rate flag: present, parseable, positive, finite.
+/// Anything else is a clear diagnostic and a nonzero exit — not a silent
+/// usage dump that leaves the operator guessing which flag was wrong.
+fn parse_positive(flag: &str, value: Option<String>, unit: &str) -> f64 {
+    let Some(raw) = value else {
+        eprintln!("error: {flag} requires a value ({unit})");
+        std::process::exit(2);
+    };
+    match raw.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => v,
+        _ => {
+            eprintln!("error: {flag} must be a positive finite number of {unit}, got '{raw}'");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -152,21 +189,9 @@ fn analyze(args: Vec<String>) {
                 }
             }
             "--follow" => follow = true,
-            "--window" => {
-                window = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .filter(|w: &f64| w.is_finite() && *w > 0.0)
-                        .unwrap_or_else(|| usage()),
-                )
-            }
+            "--window" => window = Some(parse_positive("--window", it.next(), "seconds")),
             "--idle-timeout" => {
-                idle_timeout = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .filter(|w: &f64| w.is_finite() && *w > 0.0)
-                        .unwrap_or_else(|| usage()),
-                )
+                idle_timeout = Some(parse_positive("--idle-timeout", it.next(), "seconds"))
             }
             _ => paths.push(PathBuf::from(arg)),
         }
@@ -174,21 +199,23 @@ fn analyze(args: Vec<String>) {
     if paths.is_empty() || (!follow && (window.is_some() || idle_timeout.is_some())) {
         usage();
     }
-    let captures: Vec<Capture> = paths.iter().map(read_pcap).collect();
+    let mut sources = open_sources(&paths);
     if follow {
         return analyze_follow(
-            captures,
+            &mut sources,
             window,
             idle_timeout,
             metrics_path,
             &metrics_format,
         );
     }
-    let exec = ExecContext::new(uncharted::ExecPolicy::from_threads_flag(threads));
-    let pipeline = Pipeline {
-        dataset: Dataset::ingest_captures(captures.iter(), &exec),
-        exec,
-    };
+    let pipeline = Pipeline::builder()
+        .threads(threads)
+        .source(&mut sources)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read capture: {e}");
+            std::process::exit(1);
+        });
     println!(
         "{} packets, {} outstations, {} servers\n",
         pipeline.dataset.packets.len(),
@@ -268,17 +295,36 @@ fn analyze(args: Vec<String>) {
 /// bit-identical to batch mode at any batch size.
 const FOLLOW_BATCH: usize = 512;
 
+/// Open every capture path as one chained [`PacketSource`] — the single
+/// ingest entry shared with `serve`, `feed`, and the library API.
+fn open_sources(paths: &[PathBuf]) -> ChainedSource {
+    let mut sources: Vec<Box<dyn PacketSource>> = Vec::with_capacity(paths.len());
+    for path in paths {
+        match PcapStreamSource::open(path) {
+            Ok(src) => sources.push(Box::new(src)),
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    ChainedSource::new(sources)
+}
+
 fn analyze_follow(
-    captures: Vec<Capture>,
+    sources: &mut dyn PacketSource,
     window: Option<f64>,
     idle_timeout: Option<f64>,
     metrics_path: Option<PathBuf>,
     metrics_format: &str,
 ) {
-    let mut packets = Vec::new();
-    for c in &captures {
-        packets.extend(c.parsed());
-    }
+    // Replay needs the global time order a live tap would deliver, so a
+    // multi-file analysis drains and merges before streaming (a single
+    // already-sorted capture passes through unchanged).
+    let mut packets = source::drain(sources, FOLLOW_BATCH).unwrap_or_else(|e| {
+        eprintln!("cannot read capture: {e}");
+        std::process::exit(1);
+    });
     packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
     let metrics = PipelineMetrics::new();
     let mut session = StreamSession::new(
@@ -312,6 +358,109 @@ fn analyze_follow(
         });
         eprintln!("{}", snapshot.summary_table());
         eprintln!("metrics written to {} ({metrics_format})", path.display());
+    }
+}
+
+fn serve(args: Vec<String>) {
+    let mut cfg = ServeConfig {
+        verbose: true,
+        ..ServeConfig::default()
+    };
+    let mut listen: Option<String> = None;
+    let mut http: Option<String> = None;
+    let mut shutdown_after: Option<f64> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(it.next().unwrap_or_else(|| usage())),
+            "--http" => http = Some(it.next().unwrap_or_else(|| usage())),
+            "--window" => cfg.window = Some(parse_positive("--window", it.next(), "seconds")),
+            "--idle-timeout" => {
+                cfg.idle_timeout = Some(parse_positive("--idle-timeout", it.next(), "seconds"))
+            }
+            "--source-timeout" => {
+                cfg.source_timeout = parse_positive("--source-timeout", it.next(), "seconds")
+            }
+            "--batch" => {
+                cfg.batch = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|b| *b > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --batch must be a positive integer of packets");
+                        std::process::exit(2);
+                    })
+            }
+            "--shutdown-after" => {
+                shutdown_after = Some(parse_positive("--shutdown-after", it.next(), "seconds"))
+            }
+            "--quiet" => cfg.verbose = false,
+            _ => usage(),
+        }
+    }
+    let Some(listen) = listen else {
+        eprintln!("error: serve requires --listen ADDR");
+        std::process::exit(2);
+    };
+    let server = Server::bind(&listen, http.as_deref(), cfg).unwrap_or_else(|e| {
+        eprintln!("cannot bind: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "serving pcap-over-TCP feeds on {} (one bounded session per connection)",
+        server.listen_addr()
+    );
+    if let Some(addr) = server.http_addr() {
+        eprintln!("observability on http://{addr}/metrics /healthz /sources");
+    }
+    match shutdown_after {
+        Some(secs) => {
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+            eprintln!("draining {} source(s)...", server.reports().len());
+            for r in server.join() {
+                let summary = r
+                    .summary_json
+                    .map(|s| format!(",\"summary\":{s}"))
+                    .unwrap_or_default();
+                println!(
+                    "{{\"source\":{},\"status\":\"{}\",\"packets\":{}{summary}}}",
+                    r.id,
+                    r.status.label(),
+                    r.packets
+                );
+            }
+        }
+        // No signal handling by design (std-only): a supervisor stops the
+        // process; sources that already drained are finalized live.
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(1));
+        },
+    }
+}
+
+fn feed(args: Vec<String>) {
+    let mut rate: Option<f64> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rate" => rate = Some(parse_positive("--rate", it.next(), "packets per second")),
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    let (file, addr) = (&positional[0], &positional[1]);
+    match uncharted::serve::feed_path(file, addr.as_str(), rate) {
+        Ok(stats) => eprintln!(
+            "fed {} ({} records, {} bytes) to {addr}",
+            file, stats.records, stats.bytes
+        ),
+        Err(e) => {
+            eprintln!("cannot feed {file} to {addr}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

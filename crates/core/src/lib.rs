@@ -40,6 +40,7 @@ pub use uncharted_nettap as nettap;
 pub use uncharted_obs as obs;
 pub use uncharted_powergrid as powergrid;
 pub use uncharted_scadasim as scadasim;
+pub use uncharted_serve as serve;
 
 pub use uncharted_analysis::dataset::Dataset;
 pub use uncharted_analysis::exec::{ExecContext, ExecPolicy, PipelineMetrics};
@@ -59,6 +60,7 @@ use uncharted_analysis::matrix::FeatureMatrix;
 use uncharted_analysis::pca::Pca;
 use uncharted_analysis::session::{self, standardize, Session};
 use uncharted_nettap::pcap::ParsedPacket;
+use uncharted_nettap::source::PacketSource;
 
 /// The full measurement pipeline over one dataset (one capture, one year's
 /// captures, or anything else assembled from packets).
@@ -150,14 +152,26 @@ impl PipelineBuilder {
         }
     }
 
-    /// Ingest a classic libpcap file through the bounded streaming reader,
-    /// overlapping record I/O with packet decoding.
+    /// Ingest a classic libpcap file through the streaming
+    /// [`PacketSource`] reader, decoding frames as records are read.
     pub fn build_pcap(&self, path: &std::path::Path) -> std::io::Result<Pipeline> {
-        let file = std::fs::File::open(path)?;
-        let packets =
-            uncharted_nettap::pcap::parse_pcap_streaming(std::io::BufReader::new(file), 4096)
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
-        Ok(self.build_packets(packets))
+        let mut src = nettap::PcapStreamSource::open(path)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        self.source(&mut src)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    }
+
+    /// Ingest everything a [`PacketSource`] yields — the single ingest
+    /// entry point. A pcap file, an in-memory capture, a socket feed, or a
+    /// chain of them all build the identical pipeline here; packets are
+    /// merged into time order before ingestion, exactly like
+    /// [`build`](PipelineBuilder::build) over a capture campaign.
+    pub fn source(&self, src: &mut dyn PacketSource) -> Result<Pipeline, nettap::Error> {
+        let exec = self.context();
+        Ok(Pipeline {
+            dataset: Dataset::ingest_source(src, &exec)?,
+            exec,
+        })
     }
 }
 
@@ -182,68 +196,6 @@ impl Pipeline {
     /// Start configuring a pipeline (execution policy, metrics registry).
     pub fn builder() -> PipelineBuilder {
         PipelineBuilder::default()
-    }
-
-    /// Ingest one capture.
-    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().build_capture(..)`")]
-    pub fn from_capture(capture: &Capture) -> Pipeline {
-        Pipeline::builder()
-            .exec(ExecPolicy::Sequential)
-            .build_capture(capture)
-    }
-
-    /// [`Pipeline::from_capture`] with a worker-thread count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Pipeline::builder().threads(n).build_capture(..)`"
-    )]
-    pub fn from_capture_threaded(capture: &Capture, threads: usize) -> Pipeline {
-        Pipeline::builder().threads(threads).build_capture(capture)
-    }
-
-    /// Ingest a whole capture campaign.
-    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().build(..)`")]
-    pub fn from_capture_set(set: &CaptureSet) -> Pipeline {
-        Pipeline::builder().exec(ExecPolicy::Sequential).build(set)
-    }
-
-    /// [`Pipeline::from_capture_set`] with a worker-thread count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Pipeline::builder().threads(n).build(..)`"
-    )]
-    pub fn from_capture_set_threaded(set: &CaptureSet, threads: usize) -> Pipeline {
-        Pipeline::builder().threads(threads).build(set)
-    }
-
-    /// Ingest a classic libpcap file.
-    #[deprecated(since = "0.2.0", note = "use `Pipeline::builder().build_pcap(..)`")]
-    pub fn from_pcap_file(path: &std::path::Path) -> std::io::Result<Pipeline> {
-        Pipeline::builder()
-            .exec(ExecPolicy::Sequential)
-            .build_pcap(path)
-    }
-
-    /// [`Pipeline::from_pcap_file`] with a worker-thread count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Pipeline::builder().threads(n).build_pcap(..)`"
-    )]
-    pub fn from_pcap_file_threaded(
-        path: &std::path::Path,
-        threads: usize,
-    ) -> std::io::Result<Pipeline> {
-        Pipeline::builder().threads(threads).build_pcap(path)
-    }
-
-    /// Set the analysis worker count (`0` = one per core).
-    #[deprecated(
-        since = "0.2.0",
-        note = "set the policy on `Pipeline::builder().exec(..)` instead"
-    )]
-    pub fn with_threads(mut self, threads: usize) -> Pipeline {
-        self.exec.policy = ExecPolicy::from_threads_flag(threads);
-        self
     }
 
     /// The metric handles this pipeline records into.
@@ -375,17 +327,33 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
-    /// The deprecated constructors still delegate to the builder.
+    /// Every source shape builds the identical pipeline through the one
+    /// `source(..)` entry point.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_pipeline_constructors_delegate() {
+    fn source_entry_point_matches_build_capture() {
         let set = Simulation::new(Scenario::small(Year::Y1, 4, 30.0)).run();
-        let canonical = Pipeline::builder().exec(ExecPolicy::Sequential).build(&set);
-        let shim = Pipeline::from_capture_set(&set);
-        let shim_threaded = Pipeline::from_capture_set_threaded(&set, 2);
-        assert_eq!(shim.dataset.packets, canonical.dataset.packets);
-        assert_eq!(shim_threaded.dataset.timelines, canonical.dataset.timelines);
-        assert_eq!(shim.with_threads(3).exec.policy, ExecPolicy::Threads(3));
+        let builder = Pipeline::builder().exec(ExecPolicy::Sequential);
+        let canonical = builder.build_capture(&set.captures[0]);
+
+        let mut mem = nettap::MemorySource::from_capture(&set.captures[0]);
+        let via_memory = builder.source(&mut mem).unwrap();
+        assert_eq!(via_memory.dataset.packets, canonical.dataset.packets);
+        assert_eq!(via_memory.dataset.timelines, canonical.dataset.timelines);
+
+        // The pcap roundtrip quantises timestamps to microseconds, so the
+        // stream source is compared against the re-read capture, not the
+        // in-memory one.
+        let mut buf = Vec::new();
+        set.captures[0].write_pcap(&mut buf).unwrap();
+        let reread = Capture::read_pcap(&buf[..]).unwrap();
+        let canonical_reread = builder.build_capture(&reread);
+        let mut stream = nettap::PcapStreamSource::new(&buf[..]).unwrap();
+        let via_stream = builder.source(&mut stream).unwrap();
+        assert_eq!(via_stream.dataset.packets, canonical_reread.dataset.packets);
+        assert_eq!(
+            via_stream.dataset.timelines,
+            canonical_reread.dataset.timelines
+        );
     }
 
     /// The whole pipeline — ingestion and every analysis stage — must

@@ -236,15 +236,6 @@ pub fn detect_dialect<F: AsRef<[u8]>>(frames: &[F]) -> Vec<DialectScore> {
     scores
 }
 
-/// Score candidate dialects over owned frames.
-#[deprecated(
-    since = "0.3.0",
-    note = "use detect_dialect, which accepts any slice of byte slices"
-)]
-pub fn detect_dialect_owned(frames: &[Vec<u8>]) -> Vec<DialectScore> {
-    detect_dialect(frames)
-}
-
 /// The paper-style tolerant parser with per-stream dialect detection.
 ///
 /// Frames are buffered until [`DETECTION_WINDOW`] I-format frames have been

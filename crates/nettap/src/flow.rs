@@ -432,8 +432,7 @@ impl FlowTable {
     }
 
     /// Reconstruct flows from already parsed packets (must be in time
-    /// order) under the given [`ExecPolicy`]. This is the canonical driver;
-    /// the old `from_parsed` / `from_parsed_sharded` pair delegates here.
+    /// order) under the given [`ExecPolicy`]. This is the canonical driver.
     ///
     /// With more than one worker, connections are sharded by [`FlowKey`]
     /// hash across scoped workers, each running the ordinary sequential
@@ -560,24 +559,6 @@ impl FlowTable {
             merged.connections.push(conn);
         }
         merged
-    }
-
-    /// Reconstruct from already parsed packets (must be in time order).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use FlowTable::reconstruct with ExecPolicy::Sequential"
-    )]
-    pub fn from_parsed(packets: &[ParsedPacket]) -> FlowTable {
-        Self::reconstruct(packets, ExecPolicy::Sequential, NettapMetrics::sink())
-    }
-
-    /// Reconstruct in parallel across `threads` workers.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use FlowTable::reconstruct with ExecPolicy::Threads(n)"
-    )]
-    pub fn from_parsed_sharded(packets: &[ParsedPacket], threads: usize) -> FlowTable {
-        Self::reconstruct(packets, ExecPolicy::Threads(threads), NettapMetrics::sink())
     }
 
     /// Feed one packet.
@@ -1017,34 +998,6 @@ mod tests {
         let snap = seq_reg.snapshot();
         assert!(snap.counter_total("nettap_segments_reassembled") > 0);
         assert!(snap.counter_total("nettap_overlaps_trimmed") > 0);
-    }
-
-    /// The deprecated driver pair must still compile and delegate to
-    /// [`FlowTable::reconstruct`].
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_from_parsed_shims_delegate() {
-        let packets = vec![
-            pkt(0.0, server(), rtu(), 100, 0, TcpFlags::SYN, b""),
-            pkt(
-                0.1,
-                rtu(),
-                server(),
-                0,
-                101,
-                TcpFlags::RST.with(TcpFlags::ACK),
-                b"",
-            ),
-        ];
-        let canonical = table_of(&packets);
-        assert_eq!(
-            FlowTable::from_parsed(&packets).connections,
-            canonical.connections
-        );
-        assert_eq!(
-            FlowTable::from_parsed_sharded(&packets, 2).connections,
-            canonical.connections
-        );
     }
 
     /// Regression (timestamp invariant): when captured timestamps regress,

@@ -16,6 +16,7 @@ pub mod flow;
 pub mod ipv4;
 pub mod metrics;
 pub mod pcap;
+pub mod source;
 pub mod stack;
 pub mod tcp;
 
@@ -24,6 +25,7 @@ pub use flow::{FlowKey, FlowTable, TcpConnection};
 pub use ipv4::Ipv4Header;
 pub use metrics::NettapMetrics;
 pub use pcap::{Capture, CapturedPacket};
+pub use source::{ChainedSource, MemorySource, PacketSource, PcapFramer, PcapStreamSource};
 pub use stack::{SocketAddr, TcpEndpoint, TcpState};
 pub use tcp::{TcpFlags, TcpHeader};
 

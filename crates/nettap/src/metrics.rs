@@ -46,7 +46,7 @@ impl NettapMetrics {
     }
 
     /// A process-wide discard instance for callers that do not collect
-    /// metrics (deprecated shims, one-off tests). Counts accumulate but are
+    /// metrics (one-off tests, throwaway runs). Counts accumulate but are
     /// never rendered.
     pub fn sink() -> &'static NettapMetrics {
         static SINK: OnceLock<NettapMetrics> = OnceLock::new();

@@ -1,0 +1,485 @@
+//! The single ingest entry point for every consumer of captured traffic.
+//!
+//! Batch `analyze`, streaming `analyze --follow`, the bench harness, and
+//! the `uncharted serve` ingest service all pull decoded packets through
+//! one trait, [`PacketSource`]: "read me up to N decoded packets". The
+//! three shipped implementations cover the three places packets come
+//! from —
+//!
+//! * [`PcapStreamSource`] — any [`Read`] carrying classic libpcap bytes:
+//!   a capture file on disk ([`PcapStreamSource::open`]) or a
+//!   pcap-over-TCP socket feed (`PcapStreamSource::new(tcp_stream)`),
+//!   which is exactly how `uncharted feed` ships captures to
+//!   `uncharted serve`. Frames are decoded as they are read, so
+//!   arbitrarily large inputs stream in bounded memory.
+//! * [`MemorySource`] — already-decoded packets (or an in-memory
+//!   [`Capture`]); what the simulator and the bench harness hand the
+//!   pipeline.
+//! * [`ChainedSource`] — several sources replayed back to back, for
+//!   multi-file `analyze` invocations.
+//!
+//! Undecodable frames are skipped exactly like [`Capture::parsed`] (real
+//! taps see noise too); truncated or garbage *pcap framing*, by contrast,
+//! is an error — that distinction is what lets the serve layer quarantine
+//! a hostile feed without dropping legitimate line noise.
+
+use crate::pcap::{Capture, CapturedPacket, ParsedPacket, PcapReader, PCAP_MAGIC};
+use crate::{Error, Result};
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+/// A pull-based stream of decoded packets: the one ingest API.
+///
+/// Implementations yield packets in capture order. `read_batch` appends up
+/// to `max` packets to `out` and returns how many were appended; `Ok(0)`
+/// means the source is exhausted. An `Err` means the source itself is
+/// broken (bad pcap framing, I/O failure) — callers should stop reading
+/// from it.
+pub trait PacketSource {
+    /// Append up to `max` decoded packets to `out`; returns the number
+    /// appended, `Ok(0)` at end of stream.
+    fn read_batch(&mut self, max: usize, out: &mut Vec<ParsedPacket>) -> Result<usize>;
+
+    /// Short human-readable description for logs and per-source reports.
+    fn describe(&self) -> String {
+        String::from("packet source")
+    }
+}
+
+/// Drain a source to exhaustion into one vector (batch-mode ingest).
+pub fn drain(source: &mut dyn PacketSource, batch: usize) -> Result<Vec<ParsedPacket>> {
+    let mut packets = Vec::new();
+    while source.read_batch(batch.max(1), &mut packets)? > 0 {}
+    Ok(packets)
+}
+
+/// Decoded packets pulled from classic libpcap bytes on any [`Read`]: a
+/// capture file, an in-memory buffer, or a TCP socket carrying a live
+/// pcap-over-TCP feed. The global header is validated up front; record
+/// framing errors surface as `Err` (the serve layer's quarantine signal),
+/// while frames that fail Ethernet/IPv4/TCP decode are silently skipped
+/// and counted in [`frames_skipped`](PcapStreamSource::frames_skipped).
+#[derive(Debug)]
+pub struct PcapStreamSource<R: Read> {
+    reader: PcapReader<R>,
+    label: String,
+    records: u64,
+    skipped: u64,
+}
+
+impl<R: Read> PcapStreamSource<R> {
+    /// Validate the pcap global header and position at the first record.
+    pub fn new(reader: R) -> Result<PcapStreamSource<R>> {
+        Ok(PcapStreamSource {
+            reader: PcapReader::new(reader)?,
+            label: String::from("pcap stream"),
+            records: 0,
+            skipped: 0,
+        })
+    }
+
+    /// As [`new`](PcapStreamSource::new), with a descriptive label for
+    /// logs (e.g. the peer address of a socket feed).
+    pub fn with_label(reader: R, label: impl Into<String>) -> Result<PcapStreamSource<R>> {
+        let mut src = PcapStreamSource::new(reader)?;
+        src.label = label.into();
+        Ok(src)
+    }
+
+    /// Raw pcap records read so far (including skipped frames).
+    pub fn records_read(&self) -> u64 {
+        self.records
+    }
+
+    /// Frames that failed Ethernet/IPv4/TCP decode and were skipped.
+    pub fn frames_skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+impl PcapStreamSource<BufReader<File>> {
+    /// Open a capture file on disk as a source.
+    pub fn open(path: impl AsRef<Path>) -> Result<PcapStreamSource<BufReader<File>>> {
+        let path = path.as_ref();
+        let file = File::open(path)?;
+        PcapStreamSource::with_label(BufReader::new(file), path.display().to_string())
+    }
+}
+
+impl<R: Read> PacketSource for PcapStreamSource<R> {
+    fn read_batch(&mut self, max: usize, out: &mut Vec<ParsedPacket>) -> Result<usize> {
+        let max = max.max(1);
+        let mut appended = 0;
+        while appended < max {
+            match self.reader.next() {
+                Some(Ok(raw)) => {
+                    self.records += 1;
+                    match raw.parse() {
+                        Ok(pkt) => {
+                            out.push(pkt);
+                            appended += 1;
+                        }
+                        Err(_) => self.skipped += 1,
+                    }
+                }
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
+        }
+        Ok(appended)
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Largest pcap record a live feed may promise. Classic pcap snaplens top
+/// out at 65535; anything wildly past that is a garbage stream announcing
+/// a multi-gigabyte "record", and buffering for it would defeat the
+/// bounded-memory contract.
+pub const MAX_RECORD_BYTES: usize = 256 * 1024;
+
+/// Incremental pcap framer for byte streams that arrive in arbitrary
+/// fragments (a TCP feed delivers however the kernel segments it).
+///
+/// Unlike [`PcapStreamSource`], which issues blocking `read_exact` calls
+/// and therefore cannot survive a read timeout mid-record, the framer is
+/// push-based: hand it whatever bytes arrived, and it emits every record
+/// that is now complete while holding any partial tail for the next push.
+/// That makes it safe to drive from a socket with a short read timeout —
+/// the serve layer's poll loop — without ever losing record framing.
+///
+/// Undecodable frames are skipped (and counted), exactly like
+/// [`Capture::parsed`]. A bad global header or an oversized record length
+/// is an `Err`: the stream is garbage and the caller should quarantine it.
+#[derive(Debug, Default)]
+pub struct PcapFramer {
+    buf: Vec<u8>,
+    header_done: bool,
+    records: u64,
+    skipped: u64,
+}
+
+impl PcapFramer {
+    /// An empty framer, expecting the 24-byte pcap global header first.
+    pub fn new() -> PcapFramer {
+        PcapFramer::default()
+    }
+
+    /// Feed newly arrived bytes; append every now-complete decoded packet
+    /// to `out` and return how many were appended. Incomplete trailing
+    /// bytes are buffered for the next call. Errors (bad magic, oversized
+    /// record) are sticky in practice: the stream cannot be re-synchronised.
+    pub fn push(&mut self, bytes: &[u8], out: &mut Vec<ParsedPacket>) -> Result<usize> {
+        self.buf.extend_from_slice(bytes);
+        let mut off = 0usize;
+        if !self.header_done {
+            if self.buf.len() < 24 {
+                return Ok(0);
+            }
+            let magic = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+            if magic != PCAP_MAGIC {
+                return Err(Error::BadPcapMagic(magic));
+            }
+            self.header_done = true;
+            off = 24;
+        }
+        let mut appended = 0;
+        while self.buf.len() - off >= 16 {
+            let rec = &self.buf[off..off + 16];
+            let ts_sec = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+            let ts_usec = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
+            let incl = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
+            if incl > MAX_RECORD_BYTES {
+                return Err(Error::Unsupported {
+                    layer: "pcap",
+                    what: "oversized record length",
+                });
+            }
+            if self.buf.len() - off < 16 + incl {
+                break;
+            }
+            let captured = CapturedPacket {
+                timestamp: ts_sec as f64 + ts_usec as f64 * 1e-6,
+                frame: self.buf[off + 16..off + 16 + incl].to_vec(),
+            };
+            off += 16 + incl;
+            self.records += 1;
+            match captured.parse() {
+                Ok(pkt) => {
+                    out.push(pkt);
+                    appended += 1;
+                }
+                Err(_) => self.skipped += 1,
+            }
+        }
+        self.buf.drain(..off);
+        Ok(appended)
+    }
+
+    /// Bytes held that do not yet form a complete record. Nonzero at end
+    /// of stream means the feed was cut mid-record (or never finished its
+    /// global header) — the serve layer's quarantine signal.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Complete records framed so far (including skipped frames).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Frames that failed Ethernet/IPv4/TCP decode and were skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+/// Already-decoded packets served from memory, in the order given.
+#[derive(Debug, Clone)]
+pub struct MemorySource {
+    packets: Vec<ParsedPacket>,
+    cursor: usize,
+    label: String,
+}
+
+impl MemorySource {
+    /// Wrap a vector of decoded packets.
+    pub fn new(packets: Vec<ParsedPacket>) -> MemorySource {
+        MemorySource {
+            packets,
+            cursor: 0,
+            label: String::from("in-memory packets"),
+        }
+    }
+
+    /// Decode an in-memory [`Capture`] (undecodable frames skipped, as in
+    /// [`Capture::parsed`]).
+    pub fn from_capture(capture: &Capture) -> MemorySource {
+        let mut src = MemorySource::new(capture.parsed());
+        src.label = String::from("in-memory capture");
+        src
+    }
+
+    /// Packets not yet read.
+    pub fn remaining(&self) -> usize {
+        self.packets.len() - self.cursor
+    }
+}
+
+impl PacketSource for MemorySource {
+    fn read_batch(&mut self, max: usize, out: &mut Vec<ParsedPacket>) -> Result<usize> {
+        let take = max.max(1).min(self.remaining());
+        out.extend_from_slice(&self.packets[self.cursor..self.cursor + take]);
+        self.cursor += take;
+        Ok(take)
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Several sources replayed back to back (multi-file `analyze`).
+pub struct ChainedSource {
+    sources: Vec<Box<dyn PacketSource>>,
+    current: usize,
+}
+
+impl ChainedSource {
+    /// Chain sources in the order given.
+    pub fn new(sources: Vec<Box<dyn PacketSource>>) -> ChainedSource {
+        ChainedSource {
+            sources,
+            current: 0,
+        }
+    }
+}
+
+impl PacketSource for ChainedSource {
+    fn read_batch(&mut self, max: usize, out: &mut Vec<ParsedPacket>) -> Result<usize> {
+        while self.current < self.sources.len() {
+            let n = self.sources[self.current].read_batch(max, out)?;
+            if n > 0 {
+                return Ok(n);
+            }
+            self.current += 1;
+        }
+        Ok(0)
+    }
+
+    fn describe(&self) -> String {
+        let parts: Vec<String> = self.sources.iter().map(|s| s.describe()).collect();
+        parts.join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::addr;
+    use crate::tcp::{TcpFlags, TcpHeader};
+    use crate::MacAddr;
+
+    fn sample(ts: f64, payload: &[u8]) -> CapturedPacket {
+        CapturedPacket::build(
+            ts,
+            MacAddr::from_device_id(1),
+            MacAddr::from_device_id(2),
+            addr(10, 0, 0, 1),
+            addr(10, 0, 7, 5),
+            TcpHeader {
+                src_port: 40000,
+                dst_port: 2404,
+                seq: 100,
+                ack: 200,
+                flags: TcpFlags::ACK.with(TcpFlags::PSH),
+                window: 4096,
+            },
+            payload,
+            7,
+        )
+    }
+
+    fn capture(n: usize) -> Capture {
+        let mut cap = Capture::new();
+        for i in 0..n {
+            // Whole-second timestamps survive the pcap usec quantisation
+            // exactly, so parsed() and the re-read stream compare equal.
+            cap.record(sample(i as f64, format!("payload{i}").as_bytes()));
+        }
+        cap
+    }
+
+    #[test]
+    fn pcap_stream_source_matches_capture_parsed() {
+        let cap = capture(25);
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+        let mut src = PcapStreamSource::new(&buf[..]).unwrap();
+        let got = drain(&mut src, 4).unwrap();
+        assert_eq!(got, cap.parsed());
+        assert_eq!(src.records_read(), 25);
+        assert_eq!(src.frames_skipped(), 0);
+    }
+
+    #[test]
+    fn pcap_stream_source_skips_noise_but_errors_on_bad_framing() {
+        let mut cap = capture(3);
+        cap.record(CapturedPacket {
+            timestamp: 9.0,
+            frame: vec![0xFF; 30], // undecodable noise: skipped, not fatal
+        });
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+        let mut src = PcapStreamSource::new(&buf[..]).unwrap();
+        let got = drain(&mut src, 64).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(src.frames_skipped(), 1);
+
+        // A record header promising more bytes than arrive is a framing
+        // error, not noise.
+        let mut truncated = Vec::new();
+        capture(2).write_pcap(&mut truncated).unwrap();
+        truncated.truncate(truncated.len() - 5);
+        let mut src = PcapStreamSource::new(&truncated[..]).unwrap();
+        let err = drain(&mut src, 64).unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn bad_magic_rejected_at_construction() {
+        let buf = [0u8; 24];
+        assert!(matches!(
+            PcapStreamSource::new(&buf[..]),
+            Err(Error::BadPcapMagic(0))
+        ));
+    }
+
+    #[test]
+    fn framer_survives_arbitrary_fragmentation() {
+        let cap = capture(12);
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+        // Worst case: the stream arrives one byte at a time.
+        let mut framer = PcapFramer::new();
+        let mut out = Vec::new();
+        for b in &buf {
+            framer.push(std::slice::from_ref(b), &mut out).unwrap();
+        }
+        assert_eq!(out, cap.parsed());
+        assert_eq!(framer.records(), 12);
+        assert_eq!(framer.pending_bytes(), 0);
+
+        // And in two lumps split mid-record.
+        let mut framer = PcapFramer::new();
+        let mut out = Vec::new();
+        let split = buf.len() / 2 + 3;
+        framer.push(&buf[..split], &mut out).unwrap();
+        framer.push(&buf[split..], &mut out).unwrap();
+        assert_eq!(out, cap.parsed());
+        assert_eq!(framer.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn framer_flags_garbage_streams() {
+        let mut framer = PcapFramer::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            framer.push(&[0u8; 24], &mut out),
+            Err(Error::BadPcapMagic(0))
+        ));
+
+        // Valid header followed by a record announcing 4 GiB.
+        let mut buf = Vec::new();
+        capture(1).write_pcap(&mut buf).unwrap();
+        buf.truncate(24);
+        buf.extend_from_slice(&[0u8; 8]); // ts
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // incl_len
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // orig_len
+        let mut framer = PcapFramer::new();
+        assert!(matches!(
+            framer.push(&buf, &mut out),
+            Err(Error::Unsupported { layer: "pcap", .. })
+        ));
+
+        // A cleanly truncated stream is not an error, but leaves pending
+        // bytes — the caller's end-of-stream quarantine signal.
+        let mut buf = Vec::new();
+        capture(2).write_pcap(&mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        let mut framer = PcapFramer::new();
+        let mut out = Vec::new();
+        framer.push(&buf, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(framer.pending_bytes() > 0);
+    }
+
+    #[test]
+    fn memory_source_respects_batch_size() {
+        let cap = capture(10);
+        let mut src = MemorySource::from_capture(&cap);
+        let mut out = Vec::new();
+        assert_eq!(src.read_batch(4, &mut out).unwrap(), 4);
+        assert_eq!(src.remaining(), 6);
+        assert_eq!(src.read_batch(100, &mut out).unwrap(), 6);
+        assert_eq!(src.read_batch(4, &mut out).unwrap(), 0);
+        assert_eq!(out, cap.parsed());
+    }
+
+    #[test]
+    fn chained_source_concatenates_in_order() {
+        let a = capture(3);
+        let b = capture(2);
+        let mut chained = ChainedSource::new(vec![
+            Box::new(MemorySource::from_capture(&a)),
+            Box::new(MemorySource::from_capture(&b)),
+        ]);
+        let got = drain(&mut chained, 2).unwrap();
+        let mut expect = a.parsed();
+        expect.extend(b.parsed());
+        assert_eq!(got, expect);
+    }
+}

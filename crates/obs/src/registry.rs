@@ -328,6 +328,51 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// Return the snapshot with `key=value` attached to every counter and
+    /// gauge sample (inserted in sorted label position, so renderers and
+    /// lookups keep working). Histogram and stage samples are unlabelled
+    /// and pass through unchanged.
+    ///
+    /// This is how a multi-tenant service exposes several private
+    /// registries through one endpoint: relabel each tenant's snapshot
+    /// (e.g. `source="3"`) and [`merge`](MetricsSnapshot::merge) them into
+    /// the shared view without identity collisions.
+    pub fn with_label(mut self, key: &str, value: &str) -> MetricsSnapshot {
+        let pair = (key.to_string(), value.to_string());
+        for c in &mut self.counters {
+            let at = c.labels.partition_point(|l| *l < pair);
+            c.labels.insert(at, pair.clone());
+        }
+        for g in &mut self.gauges {
+            let at = g.labels.partition_point(|l| *l < pair);
+            g.labels.insert(at, pair.clone());
+        }
+        self.counters
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.gauges
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self
+    }
+
+    /// Append another snapshot's samples and restore the canonical
+    /// `(name, labels)` sort order. This is exposition-level concatenation,
+    /// not aggregation: values are never summed, so the caller must ensure
+    /// the two snapshots have disjoint sample identities — typically by
+    /// tagging one side with [`with_label`](MetricsSnapshot::with_label)
+    /// first.
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        self.stages.extend(other.stages);
+        self.counters
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.gauges
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        self.stages.sort_by(|a, b| a.name.cmp(&b.name));
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +391,28 @@ mod tests {
 
         reg.stage("parse").add_items(3);
         assert_eq!(reg.stage("parse").items(), 3);
+    }
+
+    #[test]
+    fn with_label_and_merge_compose_disjoint_snapshots() {
+        let shared = MetricsRegistry::new();
+        shared.counter("serve_sources_opened").add(2);
+        let tenant = MetricsRegistry::new();
+        tenant.counter_with("parsed", &[("dialect", "std")]).add(7);
+        tenant.gauge("active").set(3);
+
+        let mut view = shared.snapshot();
+        view.merge(tenant.snapshot().with_label("source", "1"));
+        assert_eq!(
+            view.counter_value("parsed", &[("dialect", "std"), ("source", "1")]),
+            Some(7)
+        );
+        assert_eq!(view.gauge_value("active", &[("source", "1")]), Some(3));
+        assert_eq!(view.counter_total("serve_sources_opened"), 2);
+        // Canonical order is restored, so the Prometheus renderer emits one
+        // TYPE line per metric name.
+        let prom = view.to_prometheus();
+        assert_eq!(prom.matches("# TYPE parsed counter").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! The feed client: ship a capture to a running `uncharted serve` as a
+//! pcap-over-TCP stream, optionally paced to a packet rate.
+//!
+//! The wire format is exactly the capture file's bytes — global header
+//! then records — so `uncharted feed` and `cat capture.pcap | nc host
+//! port` are interchangeable. The client validates the capture before
+//! connecting (a truncated file would get the *server* to quarantine the
+//! source; better to fail at the sender) and half-closes the socket when
+//! done so the server sees a clean end of stream.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::thread;
+use std::time::{Duration, Instant};
+use uncharted_nettap::pcap::PCAP_MAGIC;
+
+/// What a completed feed shipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedStats {
+    /// Pcap records sent.
+    pub records: u64,
+    /// Total bytes sent, global header included.
+    pub bytes: u64,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Validate a classic libpcap byte buffer and return each record's byte
+/// range (header included), rejecting truncation and bad magic.
+fn index_records(bytes: &[u8]) -> io::Result<Vec<(usize, usize)>> {
+    if bytes.len() < 24 {
+        return Err(invalid(format!(
+            "capture is {} bytes, shorter than a pcap global header",
+            bytes.len()
+        )));
+    }
+    let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if magic != PCAP_MAGIC {
+        return Err(invalid(format!("bad pcap magic {magic:#010x}")));
+    }
+    let mut ranges = Vec::new();
+    let mut off = 24usize;
+    while off < bytes.len() {
+        if bytes.len() - off < 16 {
+            return Err(invalid(format!("truncated record header at byte {off}")));
+        }
+        let incl = u32::from_le_bytes([
+            bytes[off + 8],
+            bytes[off + 9],
+            bytes[off + 10],
+            bytes[off + 11],
+        ]) as usize;
+        if bytes.len() - off - 16 < incl {
+            return Err(invalid(format!(
+                "record at byte {off} promises {incl} bytes past end of capture"
+            )));
+        }
+        ranges.push((off, off + 16 + incl));
+        off += 16 + incl;
+    }
+    Ok(ranges)
+}
+
+/// Feed an in-memory capture to `addr`. With `rate_pps`, records are paced
+/// so record *i* is sent no earlier than `i / rate_pps` seconds in —
+/// steady-state throttling without drift, not inter-packet gaps.
+pub fn feed_bytes(
+    bytes: &[u8],
+    addr: impl ToSocketAddrs,
+    rate_pps: Option<f64>,
+) -> io::Result<FeedStats> {
+    let ranges = index_records(bytes)?;
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.write_all(&bytes[..24])?;
+    match rate_pps {
+        None => stream.write_all(&bytes[24..])?,
+        Some(pps) => {
+            let start = Instant::now();
+            for (i, (lo, hi)) in ranges.iter().enumerate() {
+                let due = Duration::from_secs_f64(i as f64 / pps);
+                if let Some(wait) = due.checked_sub(start.elapsed()) {
+                    thread::sleep(wait);
+                }
+                stream.write_all(&bytes[*lo..*hi])?;
+            }
+        }
+    }
+    stream.flush()?;
+    // Half-close: the server reads a clean EOF (drain, not quarantine).
+    let _ = stream.shutdown(Shutdown::Write);
+    Ok(FeedStats {
+        records: ranges.len() as u64,
+        bytes: bytes.len() as u64,
+    })
+}
+
+/// Feed a capture file to `addr`; see [`feed_bytes`].
+pub fn feed_path(
+    path: impl AsRef<Path>,
+    addr: impl ToSocketAddrs,
+    rate_pps: Option<f64>,
+) -> io::Result<FeedStats> {
+    let bytes = std::fs::read(path.as_ref())?;
+    feed_bytes(&bytes, addr, rate_pps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_rejects_garbage() {
+        assert!(index_records(&[0u8; 10]).is_err());
+        assert!(index_records(&[0u8; 24]).is_err()); // bad magic
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&PCAP_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 20]);
+        assert!(index_records(&buf).unwrap().is_empty());
+        // A record header promising bytes past the end.
+        buf.extend_from_slice(&[0u8; 8]);
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        assert!(index_records(&buf).is_err());
+    }
+}

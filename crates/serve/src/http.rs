@@ -1,0 +1,87 @@
+//! Minimal HTTP/1.1 responder for the observability endpoint.
+//!
+//! Three read-only routes, every response `Connection: close`:
+//!
+//! * `GET /metrics`  — Prometheus text: service registry merged with each
+//!   source's pipeline registry relabelled by source id.
+//! * `GET /healthz`  — liveness, `ok`.
+//! * `GET /sources`  — JSON array of per-source summaries.
+//!
+//! Deliberately not a web server: requests are parsed to the first line
+//! only, bodies are ignored, and the listener shares the serve poll loop
+//! so shutdown needs no extra machinery.
+
+use crate::Shared;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+
+pub(crate) fn serve_http(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Requests are tiny and responses are built from in-memory
+                // snapshots; handling inline keeps the thread count flat.
+                let _ = handle(stream, &shared);
+            }
+            Err(_) => thread::sleep(shared.poll()),
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let mut req = Vec::new();
+    // Read just far enough to see the request line.
+    while !req.windows(2).any(|w| w == b"\r\n") && req.len() < 4096 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => req.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let line = String::from_utf8_lossy(&req);
+    let line = line.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+
+    let (status, ctype, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            String::from("only GET here\n"),
+        )
+    } else {
+        match path {
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", String::from("ok\n")),
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                shared.metrics_view().to_prometheus(),
+            ),
+            "/sources" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                shared.sources_json(),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                String::from("not found\n"),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}

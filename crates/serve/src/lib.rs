@@ -1,0 +1,723 @@
+//! Long-running ingest service: many concurrent pcap-over-TCP feeds, one
+//! bounded streaming session per source.
+//!
+//! `uncharted serve` is the deployment story for the streaming engine.
+//! Each connection on the listen socket is one *source* — a tap shipping
+//! classic libpcap bytes, exactly what `uncharted feed` (or `tcpdump -w -`
+//! piped through netcat) produces. Per source the server runs the same
+//! machinery as `analyze --follow`: a reader thread frames and decodes
+//! bytes as they arrive and hands bounded batches across a bounded SPSC
+//! queue (backpressure, never unbounded buffering) to a worker thread
+//! driving a [`StreamSession`] in bounded-memory mode. N concurrent feeds
+//! of the same capture each converge to the *bit-identical* counter
+//! fingerprint a batch `uncharted analyze` of that capture produces — the
+//! parity contract the streaming engine already proves, now held per
+//! source under concurrency.
+//!
+//! Fault isolation is per source. A feed that stops mid-record, sends
+//! garbage framing, or announces an absurd record length is *quarantined*:
+//! a typed [`ServeEvent`] is logged and that source alone is closed,
+//! finalized with whatever legitimate prefix it delivered. A feed that
+//! goes silent past the source timeout is *evicted* the same way. Other
+//! sources never notice.
+//!
+//! Observability rides on the shared [`MetricsRegistry`]: service-level
+//! counters carry a `source` label, and the minimal HTTP endpoint exposes
+//! `/metrics` (Prometheus text: the service registry merged with every
+//! source's pipeline registry relabelled by source id), `/healthz`, and
+//! `/sources` (per-source JSON summaries). Everything is `std::net` +
+//! threads — no async runtime, same as the rest of the workspace.
+//!
+//! Shutdown is a graceful drain: [`Server::shutdown`] stops accepting,
+//! each reader delivers what it has framed, every session is finalized
+//! (emitting its closing `StreamEvent`s), and [`Server::join`] returns the
+//! final per-source reports.
+
+pub mod feed;
+mod http;
+
+pub use feed::{feed_bytes, feed_path, FeedStats};
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use uncharted_analysis::stream::{StreamConfig, StreamSession};
+use uncharted_analysis::PipelineMetrics;
+use uncharted_nettap::pcap::ParsedPacket;
+use uncharted_nettap::source::PcapFramer;
+use uncharted_obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+
+/// Tuning knobs for the ingest service. `window` and `idle_timeout` carry
+/// the exact `analyze --follow` semantics into every per-source session.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Tumbling window length in seconds for per-source windowed output
+    /// (`None` = no windowing), as in `analyze --follow --window`.
+    pub window: Option<f64>,
+    /// Evict a *flow* idle longer than this many seconds inside a session,
+    /// as in `analyze --follow --idle-timeout`.
+    pub idle_timeout: Option<f64>,
+    /// Evict a *source* that delivers no bytes for this many seconds.
+    pub source_timeout: f64,
+    /// Packets per batch handed from reader to worker.
+    pub batch: usize,
+    /// Batches buffered per source before the reader blocks (backpressure).
+    pub queue_depth: usize,
+    /// Socket poll granularity in milliseconds: read timeout on source
+    /// sockets and accept-loop sleep. Bounds both shutdown latency and the
+    /// staleness of partially filled batches.
+    pub poll_ms: u64,
+    /// Print typed events (JSON lines) as they happen.
+    pub verbose: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            window: None,
+            idle_timeout: None,
+            source_timeout: 30.0,
+            batch: 512,
+            queue_depth: 4,
+            poll_ms: 25,
+            verbose: false,
+        }
+    }
+}
+
+/// Lifecycle of one feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// Connected and streaming.
+    Active,
+    /// Fed a clean end of stream (or a graceful server drain) and was
+    /// finalized normally.
+    Drained,
+    /// Closed for cause: truncated or garbage pcap framing, or a socket
+    /// error. The legitimate prefix was still finalized.
+    Quarantined,
+    /// Closed after delivering no bytes for the source timeout.
+    Evicted,
+}
+
+impl SourceStatus {
+    /// Lowercase label used in JSON and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceStatus::Active => "active",
+            SourceStatus::Drained => "drained",
+            SourceStatus::Quarantined => "quarantined",
+            SourceStatus::Evicted => "evicted",
+        }
+    }
+}
+
+/// Typed service-level events, one JSON line each under `verbose`.
+/// (Per-packet analysis events stay `StreamEvent`s inside each session;
+/// these cover source lifecycle, the serve layer's own vocabulary.)
+#[derive(Debug, Clone)]
+pub enum ServeEvent {
+    /// A feed connected and its session opened.
+    SourceConnected {
+        /// Source id (dense, in accept order).
+        id: usize,
+        /// Peer address.
+        peer: String,
+    },
+    /// A feed ended cleanly and its session finalized.
+    SourceDrained {
+        /// Source id.
+        id: usize,
+        /// Decoded packets delivered over the source's lifetime.
+        packets: u64,
+    },
+    /// A feed was closed for cause (bad framing, truncation, socket
+    /// error); its legitimate prefix was finalized.
+    SourceQuarantined {
+        /// Source id.
+        id: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A silent feed was closed after the source timeout.
+    SourceEvicted {
+        /// Source id.
+        id: usize,
+        /// Seconds since the source last delivered bytes.
+        idle_secs: f64,
+    },
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ServeEvent {
+    /// One JSON object per event, `type`-tagged like `StreamEvent::to_json`.
+    pub fn to_json(&self) -> String {
+        match self {
+            ServeEvent::SourceConnected { id, peer } => format!(
+                "{{\"type\":\"source_connected\",\"source\":{id},\"peer\":\"{}\"}}",
+                json_escape(peer)
+            ),
+            ServeEvent::SourceDrained { id, packets } => {
+                format!("{{\"type\":\"source_drained\",\"source\":{id},\"packets\":{packets}}}")
+            }
+            ServeEvent::SourceQuarantined { id, reason } => format!(
+                "{{\"type\":\"source_quarantined\",\"source\":{id},\"reason\":\"{}\"}}",
+                json_escape(reason)
+            ),
+            ServeEvent::SourceEvicted { id, idle_secs } => format!(
+                "{{\"type\":\"source_evicted\",\"source\":{id},\"idle_secs\":{idle_secs:.3}}}"
+            ),
+        }
+    }
+}
+
+/// Snapshot of one source for `/sources` and [`Server::reports`].
+#[derive(Debug, Clone)]
+pub struct SourceReport {
+    /// Source id (accept order).
+    pub id: usize,
+    /// Peer address of the feed socket.
+    pub peer: String,
+    /// Current lifecycle state.
+    pub status: SourceStatus,
+    /// Cause, when quarantined.
+    pub fault: Option<String>,
+    /// Decoded packets delivered to the session so far.
+    pub packets: u64,
+    /// Batches delivered.
+    pub batches: u64,
+    /// Analysis `StreamEvent`s the session emitted.
+    pub events: u64,
+    /// Times the reader blocked on a full queue (backpressure).
+    pub backpressure_waits: u64,
+    /// Counter fingerprint of the source's pipeline registry, once
+    /// finalized — the batch-parity object.
+    pub fingerprint: Option<String>,
+    /// `StreamSummary::to_json()` of the finalized session.
+    pub summary_json: Option<String>,
+}
+
+struct Finalized {
+    fingerprint: String,
+    summary_json: String,
+}
+
+struct SourceState {
+    id: usize,
+    peer: String,
+    status: Mutex<SourceStatus>,
+    fault: Mutex<Option<String>>,
+    packets: AtomicU64,
+    batches: AtomicU64,
+    events: AtomicU64,
+    backpressure_waits: AtomicU64,
+    metrics: Arc<PipelineMetrics>,
+    done: Mutex<Option<Finalized>>,
+}
+
+impl SourceState {
+    fn report(&self) -> SourceReport {
+        let done = self.done.lock().expect("source finalization lock");
+        SourceReport {
+            id: self.id,
+            peer: self.peer.clone(),
+            status: *self.status.lock().expect("source status lock"),
+            fault: self.fault.lock().expect("source fault lock").clone(),
+            packets: self.packets.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
+            fingerprint: done.as_ref().map(|f| f.fingerprint.clone()),
+            summary_json: done.as_ref().map(|f| f.summary_json.clone()),
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    cfg: ServeConfig,
+    pub(crate) stop: AtomicBool,
+    registry: Arc<MetricsRegistry>,
+    sources: Mutex<Vec<Arc<SourceState>>>,
+    events: Mutex<Vec<ServeEvent>>,
+    sources_active: Arc<Gauge>,
+    sources_opened: Arc<Counter>,
+    sources_drained: Arc<Counter>,
+    sources_quarantined: Arc<Counter>,
+    sources_evicted: Arc<Counter>,
+}
+
+impl Shared {
+    fn new(cfg: ServeConfig) -> Shared {
+        let registry = Arc::new(MetricsRegistry::new());
+        Shared {
+            sources_active: registry.gauge("serve_sources_active"),
+            sources_opened: registry.counter("serve_sources_opened"),
+            sources_drained: registry.counter_with("serve_sources_closed", &[("state", "drained")]),
+            sources_quarantined: registry
+                .counter_with("serve_sources_closed", &[("state", "quarantined")]),
+            sources_evicted: registry.counter_with("serve_sources_closed", &[("state", "evicted")]),
+            cfg,
+            stop: AtomicBool::new(false),
+            registry,
+            sources: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn poll(&self) -> Duration {
+        Duration::from_millis(self.cfg.poll_ms.max(1))
+    }
+
+    fn push_event(&self, ev: ServeEvent) {
+        if self.cfg.verbose {
+            eprintln!("{}", ev.to_json());
+        }
+        self.events.lock().expect("serve event lock").push(ev);
+    }
+
+    /// Service registry merged with each source's pipeline registry
+    /// relabelled by source id — the `/metrics` view. Per-source
+    /// histograms and stage samples are dropped: only their name-keyed
+    /// identity would collide across sources, and the counters carry the
+    /// parity-relevant signal.
+    pub(crate) fn metrics_view(&self) -> MetricsSnapshot {
+        let mut view = self.registry.snapshot();
+        let sources = self.sources.lock().expect("serve sources lock");
+        for src in sources.iter() {
+            let mut snap = src.metrics.snapshot();
+            snap.histograms.clear();
+            snap.stages.clear();
+            view.merge(snap.with_label("source", &src.id.to_string()));
+        }
+        view
+    }
+
+    pub(crate) fn sources_json(&self) -> String {
+        let sources = self.sources.lock().expect("serve sources lock");
+        let mut out = String::from("[");
+        for (i, src) in sources.iter().enumerate() {
+            let r = src.report();
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"peer\":\"{}\",\"status\":\"{}\",\"packets\":{},\"batches\":{},\"events\":{},\"backpressure_waits\":{}",
+                r.id,
+                json_escape(&r.peer),
+                r.status.label(),
+                r.packets,
+                r.batches,
+                r.events,
+                r.backpressure_waits,
+            ));
+            if let Some(fault) = &r.fault {
+                out.push_str(&format!(",\"fault\":\"{}\"", json_escape(fault)));
+            }
+            match &r.fingerprint {
+                Some(fp) => out.push_str(&format!(
+                    ",\"finalized\":true,\"fingerprint_fnv64\":\"{:016x}\"",
+                    fnv64(fp)
+                )),
+                None => out.push_str(",\"finalized\":false"),
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+
+    fn reports(&self) -> Vec<SourceReport> {
+        let sources = self.sources.lock().expect("serve sources lock");
+        sources.iter().map(|s| s.report()).collect()
+    }
+}
+
+fn fnv64(s: &str) -> u64 {
+    use std::hash::Hasher;
+    let mut h = uncharted_obs::FnvHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+/// A running ingest service: feed listener, optional HTTP endpoint, one
+/// reader + worker thread pair per connected source.
+pub struct Server {
+    shared: Arc<Shared>,
+    listen_addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
+    accept: Option<JoinHandle<()>>,
+    http: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the feed listener (and the HTTP endpoint, when given) and
+    /// start accepting sources. `"127.0.0.1:0"` picks a free port;
+    /// [`listen_addr`](Server::listen_addr) reports the choice.
+    pub fn bind(listen: &str, http: Option<&str>, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let listen_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared::new(cfg));
+
+        let (http_handle, http_addr) = match http {
+            Some(addr) => {
+                let http_listener = TcpListener::bind(addr)?;
+                http_listener.set_nonblocking(true)?;
+                let http_addr = http_listener.local_addr()?;
+                let shared = Arc::clone(&shared);
+                (
+                    Some(thread::spawn(move || {
+                        http::serve_http(http_listener, shared)
+                    })),
+                    Some(http_addr),
+                )
+            }
+            None => (None, None),
+        };
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(listener, shared))
+        };
+
+        Ok(Server {
+            shared,
+            listen_addr,
+            http_addr,
+            accept: Some(accept),
+            http: http_handle,
+        })
+    }
+
+    /// Address of the feed listener.
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    /// Address of the HTTP endpoint, when one was bound.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// The `/metrics` body: service registry merged with every source's
+    /// relabelled pipeline registry, rendered as Prometheus text.
+    pub fn metrics_prometheus(&self) -> String {
+        self.shared.metrics_view().to_prometheus()
+    }
+
+    /// Current per-source reports (sources still streaming show
+    /// `Active` with no fingerprint yet).
+    pub fn reports(&self) -> Vec<SourceReport> {
+        self.shared.reports()
+    }
+
+    /// Every service-level event so far, in order.
+    pub fn events(&self) -> Vec<ServeEvent> {
+        self.shared.events.lock().expect("serve event lock").clone()
+    }
+
+    /// Begin a graceful drain: stop accepting, let every reader flush what
+    /// it has framed, finalize every session. Returns immediately; use
+    /// [`join`](Server::join) to wait for completion.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Drain and wait until every source is finalized; returns the final
+    /// per-source reports.
+    pub fn join(mut self) -> Vec<SourceReport> {
+        self.shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.http.take() {
+            let _ = h.join();
+        }
+        self.shared.reports()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.http.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut next_id = 0usize;
+    let mut sources: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let id = next_id;
+                next_id += 1;
+                let state = Arc::new(SourceState {
+                    id,
+                    peer: peer.to_string(),
+                    status: Mutex::new(SourceStatus::Active),
+                    fault: Mutex::new(None),
+                    packets: AtomicU64::new(0),
+                    batches: AtomicU64::new(0),
+                    events: AtomicU64::new(0),
+                    backpressure_waits: AtomicU64::new(0),
+                    metrics: PipelineMetrics::new(),
+                    done: Mutex::new(None),
+                });
+                shared
+                    .sources
+                    .lock()
+                    .expect("serve sources lock")
+                    .push(Arc::clone(&state));
+                shared.sources_opened.inc();
+                shared.sources_active.inc();
+                shared.push_event(ServeEvent::SourceConnected {
+                    id,
+                    peer: peer.to_string(),
+                });
+                let shared = Arc::clone(&shared);
+                sources.push(thread::spawn(move || run_source(stream, state, shared)));
+            }
+            // WouldBlock is the idle case; any transient accept error gets
+            // the same backoff rather than a hot spin.
+            Err(_) => thread::sleep(shared.poll()),
+        }
+    }
+    // Graceful drain: every reader sees the stop flag within one poll
+    // interval, flushes, and finalizes its session before we return.
+    for h in sources {
+        let _ = h.join();
+    }
+}
+
+enum Outcome {
+    Drained,
+    Quarantined(String),
+    Evicted(f64),
+}
+
+/// One source, end to end: reader loop on this thread, session worker on
+/// a sibling, joined before the terminal status is recorded — so a
+/// non-`Active` status always implies the fingerprint is available.
+fn run_source(stream: TcpStream, state: Arc<SourceState>, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.poll()));
+    let (tx, rx) = mpsc::sync_channel::<Vec<ParsedPacket>>(shared.cfg.queue_depth.max(1));
+    let worker = {
+        let state = Arc::clone(&state);
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || run_worker(rx, state, shared))
+    };
+    let outcome = read_loop(stream, &tx, &state, &shared);
+    drop(tx);
+    let _ = worker.join();
+
+    let (status, event) = match outcome {
+        Outcome::Drained => {
+            shared.sources_drained.inc();
+            (
+                SourceStatus::Drained,
+                ServeEvent::SourceDrained {
+                    id: state.id,
+                    packets: state.packets.load(Ordering::Relaxed),
+                },
+            )
+        }
+        Outcome::Quarantined(reason) => {
+            shared.sources_quarantined.inc();
+            *state.fault.lock().expect("source fault lock") = Some(reason.clone());
+            (
+                SourceStatus::Quarantined,
+                ServeEvent::SourceQuarantined {
+                    id: state.id,
+                    reason,
+                },
+            )
+        }
+        Outcome::Evicted(idle_secs) => {
+            shared.sources_evicted.inc();
+            (
+                SourceStatus::Evicted,
+                ServeEvent::SourceEvicted {
+                    id: state.id,
+                    idle_secs,
+                },
+            )
+        }
+    };
+    *state.status.lock().expect("source status lock") = status;
+    shared.sources_active.dec();
+    shared.push_event(event);
+}
+
+fn read_loop(
+    mut stream: TcpStream,
+    tx: &SyncSender<Vec<ParsedPacket>>,
+    state: &SourceState,
+    shared: &Shared,
+) -> Outcome {
+    let cfg = &shared.cfg;
+    let batch_size = cfg.batch.max(1);
+    let mut framer = PcapFramer::new();
+    let mut pending: Vec<ParsedPacket> = Vec::new();
+    let mut tmp = vec![0u8; 16 * 1024];
+    let mut last_data = Instant::now();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            // Server-initiated drain: whatever framed completely is
+            // delivered; a partial record at this point is our doing, not
+            // the feed's.
+            flush(&mut pending, tx, state);
+            return Outcome::Drained;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => {
+                flush(&mut pending, tx, state);
+                return if framer.pending_bytes() > 0 {
+                    Outcome::Quarantined(format!(
+                        "feed ended mid-record ({} trailing bytes)",
+                        framer.pending_bytes()
+                    ))
+                } else {
+                    Outcome::Drained
+                };
+            }
+            Ok(n) => {
+                last_data = Instant::now();
+                match framer.push(&tmp[..n], &mut pending) {
+                    Ok(_) => {
+                        while pending.len() >= batch_size {
+                            let rest = pending.split_off(batch_size);
+                            let batch = std::mem::replace(&mut pending, rest);
+                            if !send_batch(tx, batch, state) {
+                                return Outcome::Drained;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Records decoded before the fault are legitimate;
+                        // deliver them, then close this source alone.
+                        flush(&mut pending, tx, state);
+                        return Outcome::Quarantined(format!("bad pcap framing: {e}"));
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Poll tick: bound the staleness of a partial batch, then
+                // check the idle clock.
+                flush(&mut pending, tx, state);
+                let idle = last_data.elapsed().as_secs_f64();
+                if idle >= cfg.source_timeout {
+                    return Outcome::Evicted(idle);
+                }
+            }
+            Err(e) => {
+                flush(&mut pending, tx, state);
+                return Outcome::Quarantined(format!("read error: {e}"));
+            }
+        }
+    }
+}
+
+/// Deliver a full batch over the bounded queue, counting backpressure
+/// blocks. `false` means the worker is gone (only during teardown).
+fn send_batch(
+    tx: &SyncSender<Vec<ParsedPacket>>,
+    batch: Vec<ParsedPacket>,
+    state: &SourceState,
+) -> bool {
+    match tx.try_send(batch) {
+        Ok(()) => true,
+        Err(TrySendError::Full(batch)) => {
+            state.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+            tx.send(batch).is_ok()
+        }
+        Err(TrySendError::Disconnected(_)) => false,
+    }
+}
+
+fn flush(pending: &mut Vec<ParsedPacket>, tx: &SyncSender<Vec<ParsedPacket>>, state: &SourceState) {
+    if !pending.is_empty() {
+        send_batch(tx, std::mem::take(pending), state);
+    }
+}
+
+fn run_worker(rx: Receiver<Vec<ParsedPacket>>, state: Arc<SourceState>, shared: Arc<Shared>) {
+    let mut session = StreamSession::new(
+        StreamConfig {
+            window: shared.cfg.window,
+            idle_timeout: shared.cfg.idle_timeout,
+            retain_payload: false,
+        },
+        Arc::clone(&state.metrics),
+    );
+    let label = state.id.to_string();
+    let packets_in = shared
+        .registry
+        .counter_with("serve_source_packets", &[("source", &label)]);
+    let batches_in = shared
+        .registry
+        .counter_with("serve_source_batches", &[("source", &label)]);
+    for batch in rx {
+        state
+            .packets
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        state.batches.fetch_add(1, Ordering::Relaxed);
+        packets_in.add(batch.len() as u64);
+        batches_in.inc();
+        let events = session.push_batch(&batch);
+        state
+            .events
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        if shared.cfg.verbose {
+            for ev in &events {
+                println!("{{\"source\":{},\"event\":{}}}", state.id, ev.to_json());
+            }
+        }
+    }
+    let (summary, events) = session.finish();
+    state
+        .events
+        .fetch_add(events.len() as u64, Ordering::Relaxed);
+    if shared.cfg.verbose {
+        for ev in &events {
+            println!("{{\"source\":{},\"event\":{}}}", state.id, ev.to_json());
+        }
+    }
+    *state.done.lock().expect("source finalization lock") = Some(Finalized {
+        fingerprint: state.metrics.snapshot().counter_fingerprint(),
+        summary_json: summary.to_json(),
+    });
+}

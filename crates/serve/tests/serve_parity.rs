@@ -1,0 +1,266 @@
+//! Loopback integration gates for the ingest service.
+//!
+//! Two contracts from the serve design:
+//!
+//! 1. **Concurrent parity** — N feeds of the same capture, served
+//!    concurrently over loopback TCP, each finalize to a per-source
+//!    counter fingerprint bit-identical to a batch `analyze` of that
+//!    capture, and the HTTP endpoint reports all of it.
+//! 2. **Fault isolation** — a feed killed mid-record (and one sending
+//!    outright garbage) is quarantined alone; healthy concurrent feeds
+//!    still hit exact batch parity.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use uncharted_analysis::markov::ChainCensus;
+use uncharted_analysis::{session, Dataset, ExecContext, ExecPolicy};
+use uncharted_nettap::pcap::ParsedPacket;
+use uncharted_nettap::source::{drain, PcapStreamSource};
+use uncharted_scadasim::{Scenario, Simulation, Year};
+use uncharted_serve::{feed_bytes, ServeConfig, Server, SourceStatus};
+
+/// A seeded campaign as pcap bytes, timestamp-sorted — what a tap would
+/// ship to the server.
+fn scenario_pcap() -> Vec<u8> {
+    let set = Simulation::new(Scenario::small(Year::Y1, 77, 40.0)).run();
+    let mut buf = Vec::new();
+    set.merged().write_pcap(&mut buf).expect("write pcap");
+    buf
+}
+
+/// The batch `analyze` reference over the same bytes the server will see:
+/// re-read (so timestamps carry pcap quantisation), ingest, run the
+/// session and chain stages, fingerprint the counters.
+fn batch_fingerprint(pcap: &[u8]) -> (String, Vec<ParsedPacket>) {
+    let mut src = PcapStreamSource::new(pcap).expect("valid pcap");
+    let packets = drain(&mut src, 4096).expect("clean capture");
+    let ctx = ExecContext::new(ExecPolicy::Sequential);
+    let ds = Dataset::ingest(packets.clone(), &ctx);
+    let _ = session::extract(&ds, &ctx);
+    let _ = ChainCensus::build(&ds, &ctx);
+    (ctx.metrics.snapshot().counter_fingerprint(), packets)
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        window: Some(30.0),
+        idle_timeout: None,
+        source_timeout: 20.0,
+        batch: 256,
+        queue_depth: 4,
+        poll_ms: 5,
+        verbose: false,
+    }
+}
+
+/// Wait until `n` sources are finalized (fingerprint present).
+fn wait_finalized(server: &Server, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let done = server
+            .reports()
+            .iter()
+            .filter(|r| r.fingerprint.is_some())
+            .count();
+        if done >= n {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {n} finalized sources; reports: {:?}",
+            server.reports()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("http connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: serve\r\nConnection: close\r\n\r\n"
+    )
+    .expect("http request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("http response");
+    out
+}
+
+fn http_body(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("")
+}
+
+#[test]
+fn concurrent_feeds_hit_batch_parity_and_http_reports_them() {
+    const FEEDS: usize = 4;
+    let pcap = scenario_pcap();
+    let (reference, packets) = batch_fingerprint(&pcap);
+    assert!(packets.len() > 1000, "scenario too small to be a gate");
+
+    let server =
+        Server::bind("127.0.0.1:0", Some("127.0.0.1:0"), test_config()).expect("bind loopback");
+    let feed_addr = server.listen_addr();
+
+    let feeders: Vec<_> = (0..FEEDS)
+        .map(|_| {
+            let pcap = pcap.clone();
+            std::thread::spawn(move || feed_bytes(&pcap, feed_addr, None).expect("feed"))
+        })
+        .collect();
+    for f in feeders {
+        let stats = f.join().expect("feeder thread");
+        assert_eq!(stats.bytes, pcap.len() as u64);
+        assert!(stats.records as usize >= packets.len());
+    }
+    wait_finalized(&server, FEEDS);
+
+    // Every source: drained cleanly, bit-identical to batch.
+    let reports = server.reports();
+    assert_eq!(reports.len(), FEEDS);
+    for r in &reports {
+        assert_eq!(
+            r.status,
+            SourceStatus::Drained,
+            "source {}: {:?}",
+            r.id,
+            r.fault
+        );
+        assert_eq!(r.packets as usize, packets.len(), "source {}", r.id);
+        assert_eq!(
+            r.fingerprint.as_deref(),
+            Some(reference.as_str()),
+            "source {} fingerprint diverged from batch analyze",
+            r.id
+        );
+        let summary = r.summary_json.as_deref().expect("finalized summary");
+        assert!(summary.contains("\"packets\""), "summary JSON: {summary}");
+    }
+
+    // HTTP endpoint: liveness, Prometheus metrics, per-source JSON.
+    let http = server.http_addr().expect("http bound");
+    let health = http_get(http, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "healthz: {health}");
+    assert_eq!(http_body(&health), "ok\n");
+
+    let metrics = http_get(http, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200"), "metrics: {metrics}");
+    let body = http_body(&metrics);
+    assert!(
+        body.contains("serve_sources_opened 4"),
+        "metrics body missing open count:\n{body}"
+    );
+    assert!(
+        body.contains("source=\"0\"") && body.contains("source=\"3\""),
+        "metrics body missing per-source labels:\n{body}"
+    );
+    // Prometheus text validity: every non-comment line is `name value`
+    // with a numeric value.
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let value = line.rsplit(' ').next().unwrap_or("");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample line: {line}"
+        );
+    }
+
+    let sources = http_get(http, "/sources");
+    let body = http_body(&sources);
+    assert!(
+        body.contains("\"status\":\"drained\"") && body.contains("\"finalized\":true"),
+        "sources JSON: {body}"
+    );
+    assert!(http_get(http, "/nope").starts_with("HTTP/1.1 404"));
+
+    // Graceful shutdown: join returns the same finalized reports, and the
+    // event log shows each source connect and drain exactly once.
+    let final_reports = server.join();
+    assert_eq!(final_reports.len(), FEEDS);
+    assert!(final_reports
+        .iter()
+        .all(|r| r.status == SourceStatus::Drained));
+}
+
+#[test]
+fn killed_feed_is_quarantined_without_touching_the_others() {
+    let pcap = scenario_pcap();
+    let (reference, _) = batch_fingerprint(&pcap);
+
+    let server = Server::bind("127.0.0.1:0", None, test_config()).expect("bind loopback");
+    let feed_addr = server.listen_addr();
+
+    // Two healthy feeds plus one killed mid-record: the truncation point
+    // is inside a record body, exactly what a SIGKILLed tap leaves on the
+    // wire. And one feeding outright garbage (wrong magic).
+    let cut = {
+        // Past the global header and first record header, mid-body.
+        let len = pcap.len();
+        len - (len - 24) / 3 - 7
+    };
+    assert!(cut > 48 && cut < pcap.len());
+
+    let healthy: Vec<_> = (0..2)
+        .map(|_| {
+            let pcap = pcap.clone();
+            std::thread::spawn(move || feed_bytes(&pcap, feed_addr, None).expect("feed"))
+        })
+        .collect();
+    let killed = {
+        let prefix = pcap[..cut].to_vec();
+        std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(feed_addr).expect("connect");
+            stream.write_all(&prefix).expect("send prefix");
+            // Dropping the socket here is the mid-stream kill.
+        })
+    };
+    let garbage = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(feed_addr).expect("connect");
+        stream.write_all(&[0u8; 64]).expect("send garbage");
+    });
+    for f in healthy {
+        f.join().expect("healthy feeder");
+    }
+    killed.join().expect("killed feeder");
+    garbage.join().expect("garbage feeder");
+
+    wait_finalized(&server, 4);
+    let reports = server.join();
+    assert_eq!(reports.len(), 4);
+
+    let quarantined: Vec<_> = reports
+        .iter()
+        .filter(|r| r.status == SourceStatus::Quarantined)
+        .collect();
+    assert_eq!(quarantined.len(), 2, "reports: {reports:?}");
+    for q in &quarantined {
+        let fault = q.fault.as_deref().expect("quarantine cause");
+        assert!(
+            fault.contains("mid-record") || fault.contains("framing"),
+            "unexpected fault: {fault}"
+        );
+        // Quarantine still finalizes the legitimate prefix.
+        assert!(q.fingerprint.is_some());
+    }
+
+    // The healthy feeds never noticed: exact batch parity.
+    let drained: Vec<_> = reports
+        .iter()
+        .filter(|r| r.status == SourceStatus::Drained)
+        .collect();
+    assert_eq!(drained.len(), 2, "reports: {reports:?}");
+    for r in drained {
+        assert_eq!(
+            r.fingerprint.as_deref(),
+            Some(reference.as_str()),
+            "healthy source {} diverged after a sibling was quarantined",
+            r.id
+        );
+    }
+}

@@ -28,7 +28,10 @@ fn scenario_packets() -> Vec<ParsedPacket> {
 #[test]
 fn streaming_follow_matches_batch_on_a_seeded_campaign() {
     let packets = scenario_packets();
-    assert!(packets.len() > 1000, "scenario too small to be a smoke test");
+    assert!(
+        packets.len() > 1000,
+        "scenario too small to be a smoke test"
+    );
 
     // Batch reference: the stages the streaming engine replays.
     let ctx = ExecContext::new(ExecPolicy::Sequential);
@@ -70,5 +73,8 @@ fn streaming_follow_matches_batch_on_a_seeded_campaign() {
         "counter fingerprint diverged"
     );
     assert!(!batch_sessions.is_empty(), "smoke scenario had no sessions");
-    assert!(summary.windows_closed > 0, "windowing never closed a window");
+    assert!(
+        summary.windows_closed > 0,
+        "windowing never closed a window"
+    );
 }
