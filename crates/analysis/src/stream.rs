@@ -663,10 +663,69 @@ pub struct StreamSession {
     archived_chains: Vec<ChainInfo>,
 }
 
+/// Builder for [`StreamSession`], mirroring `PipelineBuilder`: name each
+/// knob instead of growing a positional argument list at every call site.
+///
+/// ```
+/// use uncharted_analysis::stream::StreamSession;
+/// let session = StreamSession::builder()
+///     .window(Some(30.0))
+///     .retain_payload(false)
+///     .build();
+/// ```
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    cfg: StreamConfig,
+    metrics: Option<Arc<PipelineMetrics>>,
+}
+
+impl SessionBuilder {
+    /// Tumbling analysis window in seconds; `None` (the default)
+    /// disables windowing.
+    pub fn window(mut self, window: Option<f64>) -> SessionBuilder {
+        self.cfg.window = window;
+        self
+    }
+
+    /// Evict flows and outstations idle this many seconds; `None` (the
+    /// default) keeps everything live — the batch-parity mode.
+    pub fn idle_timeout(mut self, idle_timeout: Option<f64>) -> SessionBuilder {
+        self.cfg.idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Keep reassembled payload history on live flows (default `true`;
+    /// bounded-memory deployments set `false`).
+    pub fn retain_payload(mut self, retain: bool) -> SessionBuilder {
+        self.cfg.retain_payload = retain;
+        self
+    }
+
+    /// Record into an existing [`PipelineMetrics`] set instead of a fresh
+    /// private one.
+    pub fn metrics(mut self, metrics: Arc<PipelineMetrics>) -> SessionBuilder {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Open the session.
+    pub fn build(self) -> StreamSession {
+        let metrics = self.metrics.unwrap_or_else(PipelineMetrics::new);
+        StreamSession::new(self.cfg, metrics)
+    }
+}
+
 impl StreamSession {
+    /// A [`SessionBuilder`] with the default configuration (no window, no
+    /// idle eviction, payloads retained, private metrics).
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
     /// Open a streaming session recording into `metrics` (the same
     /// [`PipelineMetrics`] set the batch pipeline uses; streaming-only
     /// gauges and volatile counters are registered on its registry).
+    /// [`StreamSession::builder`] is the ergonomic front end.
     pub fn new(cfg: StreamConfig, metrics: Arc<PipelineMetrics>) -> StreamSession {
         let sm = StreamMetrics::register(&metrics);
         StreamSession {
@@ -1505,7 +1564,7 @@ mod tests {
         let out = addr(10, 1, 5, 10);
         let packets = conversation(server, out, 40001, 0.0, 6);
         let metrics = PipelineMetrics::new();
-        let mut s = StreamSession::new(StreamConfig::default(), metrics);
+        let mut s = StreamSession::builder().metrics(metrics).build();
         let mut events = Vec::new();
         for chunk in packets.chunks(3) {
             events.extend(s.push_batch(chunk));
@@ -1539,14 +1598,11 @@ mod tests {
         packets.extend(conversation(server, out_b, 40002, 100.0, 3));
         packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
         let metrics = PipelineMetrics::new();
-        let mut s = StreamSession::new(
-            StreamConfig {
-                window: None,
-                idle_timeout: Some(30.0),
-                retain_payload: false,
-            },
-            Arc::clone(&metrics),
-        );
+        let mut s = StreamSession::builder()
+            .idle_timeout(Some(30.0))
+            .retain_payload(false)
+            .metrics(Arc::clone(&metrics))
+            .build();
         let mut events = Vec::new();
         for chunk in packets.chunks(4) {
             events.extend(s.push_batch(chunk));
@@ -1590,14 +1646,10 @@ mod tests {
         packets.push(packet(10.9, server, 40001, out, IEC104_PORT, 900, &testfr));
         packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
         let metrics = PipelineMetrics::new();
-        let mut s = StreamSession::new(
-            StreamConfig {
-                window: Some(5.0),
-                idle_timeout: None,
-                retain_payload: true,
-            },
-            metrics,
-        );
+        let mut s = StreamSession::builder()
+            .window(Some(5.0))
+            .metrics(metrics)
+            .build();
         let mut events = s.push_batch(&packets);
         let (summary, fin) = s.finish();
         events.extend(fin);
@@ -1671,14 +1723,12 @@ mod tests {
             &payload,
         ));
         let metrics = PipelineMetrics::new();
-        let mut s = StreamSession::new(
-            StreamConfig {
-                window: Some(1.0),
-                idle_timeout: Some(5.0),
-                retain_payload: false,
-            },
-            metrics,
-        );
+        let mut s = StreamSession::builder()
+            .window(Some(1.0))
+            .idle_timeout(Some(5.0))
+            .retain_payload(false)
+            .metrics(metrics)
+            .build();
         s.push_batch(&packets);
         let (summary, _) = s.finish();
         assert_eq!(summary.packets, 7);

@@ -21,7 +21,7 @@ use uncharted_analysis::dataset::{Dataset, IEC104_PORT};
 use uncharted_analysis::exec::{ExecContext, ExecPolicy, PipelineMetrics};
 use uncharted_analysis::markov::{ChainCensus, ChainInfo};
 use uncharted_analysis::session;
-use uncharted_analysis::stream::{StreamConfig, StreamSession};
+use uncharted_analysis::stream::StreamSession;
 use uncharted_analysis::SessionFeatures;
 use uncharted_iec104::apci::UFunction;
 use uncharted_iec104::apdu::Apdu;
@@ -250,14 +250,10 @@ struct StreamRun {
 
 fn run_stream(packets: &[ParsedPacket], batch_size: usize, window: Option<f64>) -> StreamRun {
     let metrics = PipelineMetrics::new();
-    let mut s = StreamSession::new(
-        StreamConfig {
-            window,
-            idle_timeout: None,
-            retain_payload: true,
-        },
-        std::sync::Arc::clone(&metrics),
-    );
+    let mut s = StreamSession::builder()
+        .window(window)
+        .metrics(std::sync::Arc::clone(&metrics))
+        .build();
     if packets.is_empty() {
         s.push_batch(&[]);
     } else {
@@ -468,14 +464,12 @@ fn long_replay_with_idle_timeout_stays_bounded() {
     let total_payload: usize = packets.iter().map(|p| p.payload.len()).sum();
 
     let metrics = PipelineMetrics::new();
-    let mut s = StreamSession::new(
-        StreamConfig {
-            window: Some(10.0),
-            idle_timeout: Some(30.0),
-            retain_payload: false,
-        },
-        std::sync::Arc::clone(&metrics),
-    );
+    let mut s = StreamSession::builder()
+        .window(Some(10.0))
+        .idle_timeout(Some(30.0))
+        .retain_payload(false)
+        .metrics(std::sync::Arc::clone(&metrics))
+        .build();
     let mut max_resident = 0usize;
     let mut max_flows = 0usize;
     let mut evictions = 0usize;

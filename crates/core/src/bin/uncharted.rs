@@ -15,9 +15,11 @@ use std::path::PathBuf;
 use uncharted::analysis::ids::{AlertKind, Severity, Whitelist};
 use uncharted::analysis::markov;
 use uncharted::analysis::report::{ip, pct, Table};
-use uncharted::analysis::stream::{StreamConfig, StreamSession};
+use uncharted::analysis::stream::StreamSession;
+use uncharted::cli;
 use uncharted::nettap::source::{self, ChainedSource, PacketSource, PcapStreamSource};
-use uncharted::serve::{ServeConfig, Server};
+use uncharted::scadasim::ReplayPlan;
+use uncharted::serve::{Listeners, ServeConfig, Server, SessionConfig};
 use uncharted::{
     Capture, Dataset, ExecContext, Pipeline, PipelineMetrics, Scenario, Simulation, Year,
 };
@@ -27,9 +29,11 @@ fn usage() -> ! {
         "usage:\n  uncharted simulate [--year y1|y2] [--seed N] [--scale S] [--attack] --out DIR\n  \
          uncharted analyze [--threads N] [--metrics PATH] [--metrics-format json|prom]\n                    \
          [--follow] [--window SECS] [--idle-timeout SECS] PCAP [PCAP...]\n  \
-         uncharted serve --listen ADDR [--http ADDR] [--window SECS] [--idle-timeout SECS]\n                  \
-         [--source-timeout SECS] [--batch N] [--shutdown-after SECS] [--quiet]\n  \
+         uncharted serve [--listen ADDR] [--listen-iec104 ADDR] [--http ADDR] [--window SECS]\n                  \
+         [--idle-timeout SECS] [--source-timeout SECS] [--batch N]\n                  \
+         [--t1 SECS] [--t2 SECS] [--t3 SECS] [--shutdown-after SECS] [--quiet]\n  \
          uncharted feed FILE HOST:PORT [--rate PPS]\n  \
+         uncharted connect HOST:PORT [--year y1|y2] [--seed N] [--scale S] [--rate PPS]\n  \
          uncharted ids --train PCAP [--inspect PCAP]\n\n\
          analyze options:\n  \
          --threads N             worker threads: 0 = one per core, 1 = sequential (default),\n                          \
@@ -49,16 +53,30 @@ fn usage() -> ! {
          serve options:\n  \
          --listen ADDR           accept pcap-over-TCP feeds on ADDR (e.g. 0.0.0.0:2409);\n                          \
          each connection is one source with its own bounded session\n  \
+         --listen-iec104 ADDR    accept native IEC 104 clients on ADDR (e.g. 0.0.0.0:2404):\n                          \
+         the server answers STARTDT/TESTFR and S-frame sequencing\n                          \
+         itself; at least one of --listen/--listen-iec104 is required\n  \
          --http ADDR             expose /metrics (Prometheus), /healthz and /sources on ADDR\n  \
          --window SECS           per-source tumbling analysis window (as analyze --follow)\n  \
          --idle-timeout SECS     per-source flow idle eviction (as analyze --follow)\n  \
          --source-timeout SECS   evict a source silent for SECS seconds (default 30)\n  \
          --batch N               packets per reader->worker batch (default 512)\n  \
+         --t1 SECS               IEC 104 ack timeout: unacknowledged I-frame or U-frame\n                          \
+         confirmation quarantines the source (default 15)\n  \
+         --t2 SECS               IEC 104 supervisory-ack delay (default 10)\n  \
+         --t3 SECS               IEC 104 idle threshold before a TESTFR probe (default 20)\n  \
          --shutdown-after SECS   drain and exit after SECS seconds (demos, smoke tests)\n  \
          --quiet                 suppress per-event JSON lines\n\n\
          feed options:\n  \
          --rate PPS              pace the capture at PPS packets per second instead of\n                          \
-         line rate"
+         line rate\n\n\
+         connect options:\n  \
+         simulate a scenario, distill its IEC 104 I-frames, and replay them as a live\n  \
+         native-104 client against a serve --listen-iec104 endpoint\n  \
+         --year y1|y2            scenario year (default y1)\n  \
+         --seed N                scenario seed (default 42)\n  \
+         --scale S               seconds of simulated traffic per paper hour (default 40)\n  \
+         --rate PPS              pace frames at PPS per second instead of line rate"
     );
     std::process::exit(2);
 }
@@ -73,6 +91,7 @@ fn main() {
         "analyze" => analyze(args),
         "serve" => serve(args),
         "feed" => feed(args),
+        "connect" => connect(args),
         "ids" => ids(args),
         _ => usage(),
     }
@@ -81,18 +100,20 @@ fn main() {
 /// Validate a duration/rate flag: present, parseable, positive, finite.
 /// Anything else is a clear diagnostic and a nonzero exit — not a silent
 /// usage dump that leaves the operator guessing which flag was wrong.
+/// The validation contract (and its tests) live in [`uncharted::cli`].
 fn parse_positive(flag: &str, value: Option<String>, unit: &str) -> f64 {
-    let Some(raw) = value else {
-        eprintln!("error: {flag} requires a value ({unit})");
+    cli::positive_value(flag, value.as_deref(), unit).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
         std::process::exit(2);
-    };
-    match raw.parse::<f64>() {
-        Ok(v) if v.is_finite() && v > 0.0 => v,
-        _ => {
-            eprintln!("error: {flag} must be a positive finite number of {unit}, got '{raw}'");
-            std::process::exit(2);
-        }
-    }
+    })
+}
+
+/// Same contract for integer count flags (`--batch`).
+fn parse_count(flag: &str, value: Option<String>, unit: &str) -> usize {
+    cli::positive_count(flag, value.as_deref(), unit).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn read_pcap(path: &PathBuf) -> Capture {
@@ -327,14 +348,12 @@ fn analyze_follow(
     });
     packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
     let metrics = PipelineMetrics::new();
-    let mut session = StreamSession::new(
-        StreamConfig {
-            window,
-            idle_timeout,
-            retain_payload: false,
-        },
-        std::sync::Arc::clone(&metrics),
-    );
+    let mut session = StreamSession::builder()
+        .window(window)
+        .idle_timeout(idle_timeout)
+        .retain_payload(false)
+        .metrics(std::sync::Arc::clone(&metrics))
+        .build();
     for chunk in packets.chunks(FOLLOW_BATCH.max(1)) {
         for ev in session.push_batch(chunk) {
             println!("{}", ev.to_json());
@@ -362,35 +381,40 @@ fn analyze_follow(
 }
 
 fn serve(args: Vec<String>) {
+    let mut session = SessionConfig::builder();
     let mut cfg = ServeConfig {
         verbose: true,
         ..ServeConfig::default()
     };
-    let mut listen: Option<String> = None;
-    let mut http: Option<String> = None;
+    let mut listeners = Listeners::new();
     let mut shutdown_after: Option<f64> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--listen" => listen = Some(it.next().unwrap_or_else(|| usage())),
-            "--http" => http = Some(it.next().unwrap_or_else(|| usage())),
-            "--window" => cfg.window = Some(parse_positive("--window", it.next(), "seconds")),
+            "--listen" => {
+                listeners = listeners.with_pcap(it.next().unwrap_or_else(|| usage()));
+            }
+            "--listen-iec104" => {
+                listeners = listeners.with_iec104(it.next().unwrap_or_else(|| usage()));
+            }
+            "--http" => {
+                listeners = listeners.with_http(it.next().unwrap_or_else(|| usage()));
+            }
+            "--window" => {
+                session = session.window(Some(parse_positive("--window", it.next(), "seconds")))
+            }
             "--idle-timeout" => {
-                cfg.idle_timeout = Some(parse_positive("--idle-timeout", it.next(), "seconds"))
+                session = session
+                    .idle_timeout(Some(parse_positive("--idle-timeout", it.next(), "seconds")))
             }
             "--source-timeout" => {
-                cfg.source_timeout = parse_positive("--source-timeout", it.next(), "seconds")
+                session =
+                    session.source_timeout(parse_positive("--source-timeout", it.next(), "seconds"))
             }
-            "--batch" => {
-                cfg.batch = it
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|b| *b > 0)
-                    .unwrap_or_else(|| {
-                        eprintln!("error: --batch must be a positive integer of packets");
-                        std::process::exit(2);
-                    })
-            }
+            "--batch" => session = session.batch(parse_count("--batch", it.next(), "packets")),
+            "--t1" => cfg.conn.t1 = parse_positive("--t1", it.next(), "seconds"),
+            "--t2" => cfg.conn.t2 = parse_positive("--t2", it.next(), "seconds"),
+            "--t3" => cfg.conn.t3 = parse_positive("--t3", it.next(), "seconds"),
             "--shutdown-after" => {
                 shutdown_after = Some(parse_positive("--shutdown-after", it.next(), "seconds"))
             }
@@ -398,18 +422,21 @@ fn serve(args: Vec<String>) {
             _ => usage(),
         }
     }
-    let Some(listen) = listen else {
-        eprintln!("error: serve requires --listen ADDR");
+    cfg.session = session.build();
+    if listeners.pcap.is_none() && listeners.iec104.is_none() {
+        eprintln!("error: serve requires --listen ADDR and/or --listen-iec104 ADDR");
         std::process::exit(2);
-    };
-    let server = Server::bind(&listen, http.as_deref(), cfg).unwrap_or_else(|e| {
+    }
+    let server = Server::bind(&listeners, cfg).unwrap_or_else(|e| {
         eprintln!("cannot bind: {e}");
         std::process::exit(1);
     });
-    eprintln!(
-        "serving pcap-over-TCP feeds on {} (one bounded session per connection)",
-        server.listen_addr()
-    );
+    if let Some(addr) = server.pcap_addr() {
+        eprintln!("serving pcap-over-TCP feeds on {addr} (one bounded session per connection)");
+    }
+    if let Some(addr) = server.iec104_addr() {
+        eprintln!("serving native IEC 104 clients on {addr} (one bounded session per connection)");
+    }
     if let Some(addr) = server.http_addr() {
         eprintln!("observability on http://{addr}/metrics /healthz /sources");
     }
@@ -423,8 +450,9 @@ fn serve(args: Vec<String>) {
                     .map(|s| format!(",\"summary\":{s}"))
                     .unwrap_or_default();
                 println!(
-                    "{{\"source\":{},\"status\":\"{}\",\"packets\":{}{summary}}}",
+                    "{{\"source\":{},\"transport\":\"{}\",\"status\":\"{}\",\"packets\":{}{summary}}}",
                     r.id,
+                    r.transport,
                     r.status.label(),
                     r.packets
                 );
@@ -459,6 +487,61 @@ fn feed(args: Vec<String>) {
         ),
         Err(e) => {
             eprintln!("cannot feed {file} to {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Simulate a scenario and replay it as a live native IEC 104 client —
+/// the end-to-end driver for `serve --listen-iec104`.
+fn connect(args: Vec<String>) {
+    let mut year = Year::Y1;
+    let mut seed = 42u64;
+    let mut scale = 40.0f64;
+    let mut rate: Option<f64> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--year" => {
+                year = match it.next().as_deref() {
+                    Some("y1") | Some("Y1") => Year::Y1,
+                    Some("y2") | Some("Y2") => Year::Y2,
+                    _ => usage(),
+                }
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => scale = parse_positive("--scale", it.next(), "seconds per paper hour"),
+            "--rate" => rate = Some(parse_positive("--rate", it.next(), "frames per second")),
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() != 1 {
+        usage();
+    }
+    let addr = &positional[0];
+    eprintln!(
+        "simulating {} (seed {seed}, scale {scale}) and distilling the client session...",
+        year.label()
+    );
+    let set = Simulation::new(Scenario::small(year, seed, scale)).run();
+    let plan = ReplayPlan::from_capture(&set.merged());
+    eprintln!(
+        "replaying {} I-frames as a native IEC 104 client to {addr}...",
+        plan.i_frames()
+    );
+    match plan.connect_and_replay(addr.as_str(), rate) {
+        Ok(stats) => eprintln!(
+            "replayed {} frames ({} bytes) to {addr}; {} reply bytes (confirmations, S-frames)",
+            stats.frames, stats.bytes, stats.reply_bytes
+        ),
+        Err(e) => {
+            eprintln!("cannot replay to {addr}: {e}");
             std::process::exit(1);
         }
     }

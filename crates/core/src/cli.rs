@@ -1,0 +1,85 @@
+//! Shared CLI flag validation.
+//!
+//! Every duration/rate flag the `uncharted` binary accepts (`--window`,
+//! `--idle-timeout`, `--rate`, `--source-timeout`, `--t1/--t2/--t3`,
+//! `--shutdown-after`, …) has the same contract: the value must be
+//! present, parseable, finite, and strictly positive. These helpers hold
+//! that contract in one place — returning `Err` with an operator-readable
+//! diagnostic instead of exiting, so the exit-2 paths are unit-testable —
+//! and the binary maps `Err` to `exit(2)`.
+
+/// Validate a duration/rate flag value: present, parseable, finite,
+/// strictly positive. `unit` names the expected unit in diagnostics
+/// (e.g. `"seconds"`, `"packets per second"`).
+pub fn positive_value(flag: &str, value: Option<&str>, unit: &str) -> Result<f64, String> {
+    let Some(raw) = value else {
+        return Err(format!("{flag} requires a value ({unit})"));
+    };
+    match raw.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+        _ => Err(format!(
+            "{flag} must be a positive finite number of {unit}, got '{raw}'"
+        )),
+    }
+}
+
+/// Validate an integer count flag value: present, parseable, nonzero.
+pub fn positive_count(flag: &str, value: Option<&str>, unit: &str) -> Result<usize, String> {
+    let Some(raw) = value else {
+        return Err(format!("{flag} requires a value ({unit})"));
+    };
+    match raw.parse::<usize>() {
+        Ok(v) if v > 0 => Ok(v),
+        _ => Err(format!(
+            "{flag} must be a positive integer of {unit}, got '{raw}'"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_finite_values() {
+        assert_eq!(positive_value("--window", Some("30"), "seconds"), Ok(30.0));
+        assert_eq!(
+            positive_value("--rate", Some("0.5"), "packets per second"),
+            Ok(0.5)
+        );
+        assert_eq!(positive_value("--t1", Some("1e3"), "seconds"), Ok(1000.0));
+    }
+
+    #[test]
+    fn missing_value_names_the_flag_and_unit() {
+        let err = positive_value("--idle-timeout", None, "seconds").unwrap_err();
+        assert!(err.contains("--idle-timeout"), "{err}");
+        assert!(err.contains("seconds"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_negative_and_nonfinite() {
+        for bad in ["0", "-1", "-0.5", "inf", "-inf", "NaN"] {
+            let err = positive_value("--t3", Some(bad), "seconds").unwrap_err();
+            assert!(err.contains("--t3"), "{bad}: {err}");
+            assert!(err.contains(bad), "diagnostic must echo '{bad}': {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_unparseable_text() {
+        let err = positive_value("--window", Some("30s"), "seconds").unwrap_err();
+        assert!(err.contains("'30s'"), "{err}");
+    }
+
+    #[test]
+    fn count_accepts_positive_integers_only() {
+        assert_eq!(positive_count("--batch", Some("256"), "packets"), Ok(256));
+        for bad in ["0", "-4", "2.5", "many"] {
+            let err = positive_count("--batch", Some(bad), "packets").unwrap_err();
+            assert!(err.contains("--batch"), "{bad}: {err}");
+        }
+        let err = positive_count("--batch", None, "packets").unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+}

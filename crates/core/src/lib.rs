@@ -34,6 +34,8 @@
 //! assert!(snapshot.counter_total("iec104_apdus_parsed") > 0);
 //! ```
 
+pub mod cli;
+
 pub use uncharted_analysis as analysis;
 pub use uncharted_iec104 as iec104;
 pub use uncharted_nettap as nettap;

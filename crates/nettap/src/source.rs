@@ -54,6 +54,84 @@ pub fn drain(source: &mut dyn PacketSource, batch: usize) -> Result<Vec<ParsedPa
     Ok(packets)
 }
 
+/// Terminal verdict for one ingest source — the fault vocabulary every
+/// [`FrameTransport`] reports through, so pcap feeds and protocol-native
+/// feeds close with one type and one Prometheus `state` label.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceOutcome {
+    /// Clean end of stream; the session was finalized normally.
+    Drained,
+    /// Closed for cause, with a human-readable reason. The legitimate
+    /// prefix the source delivered is still finalized.
+    Quarantined(String),
+    /// Closed after delivering no bytes for this many idle seconds.
+    Evicted(f64),
+}
+
+impl SourceOutcome {
+    /// Lowercase label used in JSON reports and the Prometheus `state`
+    /// label (one encoding for every transport).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SourceOutcome::Drained => "drained",
+            SourceOutcome::Quarantined(_) => "quarantined",
+            SourceOutcome::Evicted(_) => "evicted",
+        }
+    }
+}
+
+/// A byte-stream ingest transport: socket bytes in, timestamped decoded
+/// packets plus optional reply bytes out, faults through [`SourceOutcome`].
+///
+/// This is the seam that makes the serve layer transport-agnostic. A
+/// passive transport (pcap-over-TCP) only decodes; a protocol-native
+/// transport (IEC 104) also *speaks* — it answers U-frame handshakes and
+/// emits S-frame acknowledgements, which the caller writes back to the
+/// peer via [`take_tx`](FrameTransport::take_tx). `now` is seconds since
+/// the transport opened, supplied by the caller so implementations never
+/// read a clock (deterministic replays stay deterministic).
+pub trait FrameTransport {
+    /// Consume newly arrived bytes; append every packet that is now
+    /// complete to `out` and return how many were appended. `Err(reason)`
+    /// is the quarantine signal: the stream is broken for cause and the
+    /// caller should close this source alone (packets already appended
+    /// are legitimate and must still be delivered).
+    fn on_bytes(
+        &mut self,
+        bytes: &[u8],
+        now: f64,
+        out: &mut Vec<ParsedPacket>,
+    ) -> std::result::Result<usize, String>;
+
+    /// Periodic tick while the socket is idle: advance protocol timers.
+    /// Timer-driven frames (keep-alives, delayed acknowledgements) surface
+    /// through `out` and [`take_tx`](FrameTransport::take_tx); a timer
+    /// expiry that kills the connection is `Err(reason)`.
+    fn on_tick(
+        &mut self,
+        _now: f64,
+        _out: &mut Vec<ParsedPacket>,
+    ) -> std::result::Result<(), String> {
+        Ok(())
+    }
+
+    /// The peer closed its write side: deliver any final packets and
+    /// return the transport's verdict on the stream as a whole (a clean
+    /// drain, or a quarantine for a stream cut mid-frame).
+    fn on_eof(&mut self, now: f64, out: &mut Vec<ParsedPacket>) -> SourceOutcome;
+
+    /// Bytes the transport wants written back to the peer (protocol
+    /// responses), draining the internal buffer. Passive transports
+    /// return nothing.
+    fn take_tx(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Transport label for metrics and per-source reports
+    /// (`"pcap"`, `"iec104"`).
+    fn kind(&self) -> &'static str;
+}
+
 /// Decoded packets pulled from classic libpcap bytes on any [`Read`]: a
 /// capture file, an in-memory buffer, or a TCP socket carrying a live
 /// pcap-over-TCP feed. The global header is validated up front; record
@@ -160,6 +238,28 @@ pub struct PcapFramer {
     header_done: bool,
     records: u64,
     skipped: u64,
+    fault: Option<FramerFault>,
+}
+
+/// The two framing faults, kept as a copyable tag so a faulted framer can
+/// re-raise the same error on every later push without cloning `Error`
+/// (whose `Io` variant is not `Clone`).
+#[derive(Debug, Clone, Copy)]
+enum FramerFault {
+    BadMagic(u32),
+    OversizedRecord,
+}
+
+impl FramerFault {
+    fn to_error(self) -> Error {
+        match self {
+            FramerFault::BadMagic(m) => Error::BadPcapMagic(m),
+            FramerFault::OversizedRecord => Error::Unsupported {
+                layer: "pcap",
+                what: "oversized record length",
+            },
+        }
+    }
 }
 
 impl PcapFramer {
@@ -171,8 +271,14 @@ impl PcapFramer {
     /// Feed newly arrived bytes; append every now-complete decoded packet
     /// to `out` and return how many were appended. Incomplete trailing
     /// bytes are buffered for the next call. Errors (bad magic, oversized
-    /// record) are sticky in practice: the stream cannot be re-synchronised.
+    /// record) are *sticky*: pcap record framing carries no
+    /// resynchronisation marker, so once the stream desyncs every later
+    /// push re-raises the same error immediately — nothing after the
+    /// fault is buffered or decoded, however long the feed keeps talking.
     pub fn push(&mut self, bytes: &[u8], out: &mut Vec<ParsedPacket>) -> Result<usize> {
+        if let Some(fault) = self.fault {
+            return Err(fault.to_error());
+        }
         self.buf.extend_from_slice(bytes);
         let mut off = 0usize;
         if !self.header_done {
@@ -181,7 +287,7 @@ impl PcapFramer {
             }
             let magic = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
             if magic != PCAP_MAGIC {
-                return Err(Error::BadPcapMagic(magic));
+                return Err(self.set_fault(FramerFault::BadMagic(magic)));
             }
             self.header_done = true;
             off = 24;
@@ -193,10 +299,7 @@ impl PcapFramer {
             let ts_usec = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
             let incl = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
             if incl > MAX_RECORD_BYTES {
-                return Err(Error::Unsupported {
-                    layer: "pcap",
-                    what: "oversized record length",
-                });
+                return Err(self.set_fault(FramerFault::OversizedRecord));
             }
             if self.buf.len() - off < 16 + incl {
                 break;
@@ -219,6 +322,13 @@ impl PcapFramer {
         Ok(appended)
     }
 
+    /// Record the fault, free the (garbage) buffer, and build the error.
+    fn set_fault(&mut self, fault: FramerFault) -> Error {
+        self.fault = Some(fault);
+        self.buf = Vec::new();
+        fault.to_error()
+    }
+
     /// Bytes held that do not yet form a complete record. Nonzero at end
     /// of stream means the feed was cut mid-record (or never finished its
     /// global header) — the serve layer's quarantine signal.
@@ -234,6 +344,33 @@ impl PcapFramer {
     /// Frames that failed Ethernet/IPv4/TCP decode and were skipped.
     pub fn skipped(&self) -> u64 {
         self.skipped
+    }
+}
+
+impl FrameTransport for PcapFramer {
+    fn on_bytes(
+        &mut self,
+        bytes: &[u8],
+        _now: f64,
+        out: &mut Vec<ParsedPacket>,
+    ) -> std::result::Result<usize, String> {
+        self.push(bytes, out)
+            .map_err(|e| format!("bad pcap framing: {e}"))
+    }
+
+    fn on_eof(&mut self, _now: f64, _out: &mut Vec<ParsedPacket>) -> SourceOutcome {
+        if self.pending_bytes() > 0 {
+            SourceOutcome::Quarantined(format!(
+                "feed ended mid-record ({} trailing bytes)",
+                self.pending_bytes()
+            ))
+        } else {
+            SourceOutcome::Drained
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "pcap"
     }
 }
 
@@ -455,6 +592,97 @@ mod tests {
         framer.push(&buf, &mut out).unwrap();
         assert_eq!(out.len(), 1);
         assert!(framer.pending_bytes() > 0);
+    }
+
+    #[test]
+    fn framer_fault_is_sticky_when_the_feed_continues() {
+        // A quarantine-worthy record (oversized length) mid-stream: the
+        // framer must not "resync" onto whatever bytes follow — pcap
+        // framing has no marker to resync on — so a feed that keeps
+        // talking after the fault produces the same error every push and
+        // buffers nothing.
+        let mut buf = Vec::new();
+        capture(2).write_pcap(&mut buf).unwrap();
+        buf.truncate(24); // keep only the global header
+        buf.extend_from_slice(&[0u8; 8]); // record ts
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd incl_len
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // orig_len
+
+        let mut framer = PcapFramer::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            framer.push(&buf, &mut out),
+            Err(Error::Unsupported { layer: "pcap", .. })
+        ));
+
+        // The feed continues with perfectly valid records: still the same
+        // fault, no packets, no buffering.
+        let mut healthy = Vec::new();
+        capture(5).write_pcap(&mut healthy).unwrap();
+        for chunk in healthy.chunks(16) {
+            assert!(matches!(
+                framer.push(chunk, &mut out),
+                Err(Error::Unsupported { layer: "pcap", .. })
+            ));
+        }
+        assert!(out.is_empty());
+        assert_eq!(framer.pending_bytes(), 0, "faulted framer must not buffer");
+
+        // Same for a bad-magic fault: the original magic is re-reported.
+        let mut framer = PcapFramer::new();
+        assert!(matches!(
+            framer.push(&[0xAAu8; 24], &mut out),
+            Err(Error::BadPcapMagic(0xAAAAAAAA))
+        ));
+        assert!(matches!(
+            framer.push(&healthy, &mut out),
+            Err(Error::BadPcapMagic(0xAAAAAAAA))
+        ));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pcap_framer_as_frame_transport() {
+        let cap = capture(6);
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+
+        // Clean stream: packets out, no reply bytes, drained at EOF.
+        let mut t = PcapFramer::new();
+        assert_eq!(t.kind(), "pcap");
+        let mut out = Vec::new();
+        let n = t.on_bytes(&buf, 0.0, &mut out).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(out, cap.parsed());
+        assert!(t.take_tx().is_empty(), "pcap is a passive transport");
+        assert!(t.on_tick(1.0, &mut out).is_ok());
+        assert_eq!(t.on_eof(2.0, &mut out), SourceOutcome::Drained);
+
+        // Cut mid-record: EOF is a quarantine with the trailing-byte count.
+        let mut t = PcapFramer::new();
+        let mut out = Vec::new();
+        t.on_bytes(&buf[..buf.len() - 5], 0.0, &mut out).unwrap();
+        match t.on_eof(1.0, &mut out) {
+            SourceOutcome::Quarantined(reason) => {
+                assert!(reason.contains("mid-record"), "reason: {reason}")
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+
+        // Garbage framing surfaces as the quarantine error string.
+        let mut t = PcapFramer::new();
+        let err = t.on_bytes(&[0u8; 24], 0.0, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("framing"), "err: {err}");
+    }
+
+    #[test]
+    fn source_outcome_labels() {
+        assert_eq!(SourceOutcome::Drained.label(), "drained");
+        assert_eq!(
+            SourceOutcome::Quarantined(String::from("x")).label(),
+            "quarantined"
+        );
+        assert_eq!(SourceOutcome::Evicted(3.0).label(), "evicted");
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod background;
 pub mod endpoint;
 pub mod outstation;
 pub mod profiles;
+pub mod replay;
 pub mod scenario;
 pub mod server;
 pub mod sim;
@@ -37,6 +38,7 @@ pub mod topology;
 
 pub use attacker::AttackSpec;
 pub use profiles::{BackupBehavior, ProfileType};
+pub use replay::{ReplayPlan, ReplayStats};
 pub use scenario::{CaptureSet, Scenario, Year};
 pub use sim::Simulation;
 pub use topology::{OutstationSpec, PointSpec, ReportKind, ServerId, Topology};

@@ -1,0 +1,225 @@
+//! Replay a simulated capture as a live IEC 104 client.
+//!
+//! `uncharted serve --listen-iec104` speaks the APCI session layer
+//! natively, so driving it end-to-end needs a *client* that does too.
+//! [`ReplayPlan`] lifts the I-frame ASDUs out of a simulated [`Capture`]
+//! (delimiting APDUs per TCP flow with the iec104 [`FrameScanner`],
+//! deduplicating retransmitted segments exactly like the batch ingest
+//! stage) and re-emits them as one well-formed client session: a STARTDT
+//! activation followed by the I-frames renumbered into a single send
+//! sequence. ASDU bodies are carried verbatim — byte-for-byte, no decode
+//! and re-encode — so private-range dialect quirks survive the trip.
+//!
+//! The client never waits on the server's acknowledgements to decide what
+//! to send (N(R) is pinned to 0: the server side of a replay has no
+//! I-frames of its own to acknowledge), which makes the byte stream the
+//! server receives — and therefore the analysis it produces — a pure
+//! function of the plan. [`ReplayPlan::byte_stream`] exposes those bytes
+//! for the offline half of the live-vs-batch parity contract.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use uncharted_iec104::apci::{Apci, UFunction, CONTROL_LEN, SEQ_MODULO, START_BYTE};
+use uncharted_iec104::scan::{FrameScanner, ScanKind};
+use uncharted_nettap::pcap::Capture;
+
+/// A deterministic IEC 104 client session distilled from a capture.
+#[derive(Debug, Clone)]
+pub struct ReplayPlan {
+    /// I-frame ASDU bodies, in capture order, carried verbatim.
+    bodies: Vec<Vec<u8>>,
+}
+
+/// What a replay moved over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Frames written (STARTDT activation + I-frames).
+    pub frames: u64,
+    /// Bytes written.
+    pub bytes: u64,
+    /// Reply bytes the server sent back (confirmations, S-frames).
+    pub reply_bytes: u64,
+}
+
+impl ReplayPlan {
+    /// Distill the client session from a capture: scan every TCP flow for
+    /// APDUs, keep each I-frame's ASDU body in capture order.
+    pub fn from_capture(capture: &Capture) -> ReplayPlan {
+        let mut scanners: HashMap<(u32, u16, u32, u16), FrameScanner> = HashMap::new();
+        let mut last_seq: HashMap<(u32, u16, u32, u16), u32> = HashMap::new();
+        let mut bodies = Vec::new();
+        for pkt in capture.parsed() {
+            if pkt.payload.is_empty() {
+                continue;
+            }
+            let key = (pkt.ip.src, pkt.tcp.src_port, pkt.ip.dst, pkt.tcp.dst_port);
+            // Retransmitted segments would desynchronise the scanner, as
+            // in the batch ingest stage.
+            if last_seq.get(&key) == Some(&pkt.tcp.seq) {
+                continue;
+            }
+            last_seq.insert(key, pkt.tcp.seq);
+            let scanner = scanners.entry(key).or_default();
+            scanner.feed(&pkt.payload);
+            while let Some(scanned) = scanner.next_frame() {
+                if scanned.kind != ScanKind::Frame {
+                    continue;
+                }
+                let frame = scanner.slice(&scanned.range);
+                if frame.len() < 2 + CONTROL_LEN {
+                    continue;
+                }
+                let Ok(apci) = Apci::decode([frame[2], frame[3], frame[4], frame[5]]) else {
+                    continue;
+                };
+                if apci.is_i() {
+                    bodies.push(frame[2 + CONTROL_LEN..].to_vec());
+                }
+            }
+        }
+        ReplayPlan { bodies }
+    }
+
+    /// Number of I-frames the plan will send.
+    pub fn i_frames(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// The client's frames in send order: STARTDT act, then every I-frame
+    /// renumbered into one send sequence (N(R) pinned to 0).
+    pub fn frames(&self) -> Vec<Vec<u8>> {
+        let mut frames = Vec::with_capacity(self.bodies.len() + 1);
+        frames.push(u_frame(UFunction::StartDtAct));
+        for (i, body) in self.bodies.iter().enumerate() {
+            let send_seq = (i % SEQ_MODULO as usize) as u16;
+            let mut frame = Vec::with_capacity(2 + CONTROL_LEN + body.len());
+            frame.push(START_BYTE);
+            frame.push((CONTROL_LEN + body.len()) as u8);
+            frame.extend_from_slice(
+                &Apci::I {
+                    send_seq,
+                    recv_seq: 0,
+                }
+                .encode(),
+            );
+            frame.extend_from_slice(body);
+            frames.push(frame);
+        }
+        frames
+    }
+
+    /// The exact bytes the client writes — the offline reference stream
+    /// for `serve::iec104::equivalent_capture`.
+    pub fn byte_stream(&self) -> Vec<u8> {
+        self.frames().concat()
+    }
+
+    /// Connect to a native-104 listener and replay the plan, draining the
+    /// server's confirmations as they arrive. `rate_pps` paces frames per
+    /// second (`None` = as fast as the socket accepts). Half-closes after
+    /// the last frame and waits for the server to hang up.
+    pub fn connect_and_replay<A: ToSocketAddrs>(
+        &self,
+        addr: A,
+        rate_pps: Option<f64>,
+    ) -> std::io::Result<ReplayStats> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        // A sibling reader keeps the server's confirmations drained so
+        // neither side can stall on a full socket buffer.
+        let reader = stream.try_clone()?;
+        let drain = thread::spawn(move || {
+            let mut reader = reader;
+            let mut buf = [0u8; 4096];
+            let mut total = 0u64;
+            loop {
+                match reader.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => total += n as u64,
+                }
+            }
+            total
+        });
+        let mut writer = stream;
+        let start = Instant::now();
+        let mut frames = 0u64;
+        let mut bytes = 0u64;
+        for (i, frame) in self.frames().iter().enumerate() {
+            if let Some(pps) = rate_pps {
+                if pps > 0.0 {
+                    let due = Duration::from_secs_f64(i as f64 / pps);
+                    let elapsed = start.elapsed();
+                    if due > elapsed {
+                        thread::sleep(due - elapsed);
+                    }
+                }
+            }
+            writer.write_all(frame)?;
+            frames += 1;
+            bytes += frame.len() as u64;
+        }
+        // Half-close: the server sees EOF, finalizes the session, then
+        // closes its side, which ends the drain thread.
+        writer.shutdown(Shutdown::Write)?;
+        let reply_bytes = drain.join().unwrap_or(0);
+        Ok(ReplayStats {
+            frames,
+            bytes,
+            reply_bytes,
+        })
+    }
+}
+
+fn u_frame(func: UFunction) -> Vec<u8> {
+    let mut frame = vec![START_BYTE, CONTROL_LEN as u8];
+    frame.extend_from_slice(&Apci::U(func).encode());
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, Year};
+    use crate::sim::Simulation;
+
+    fn small_plan() -> ReplayPlan {
+        let set = Simulation::new(Scenario::small(Year::Y1, 9, 10.0)).run();
+        ReplayPlan::from_capture(&set.merged())
+    }
+
+    #[test]
+    fn plan_extracts_i_frames_and_renumbers_them() {
+        let plan = small_plan();
+        assert!(plan.i_frames() > 100, "scenario produced {}", plan.i_frames());
+        let frames = plan.frames();
+        assert_eq!(frames.len(), plan.i_frames() + 1);
+        // Leading STARTDT activation.
+        assert_eq!(frames[0], u_frame(UFunction::StartDtAct));
+        // Every I-frame is well-formed, in sequence, with N(R) = 0.
+        for (i, frame) in frames[1..].iter().enumerate() {
+            assert_eq!(frame[0], START_BYTE);
+            assert_eq!(frame[1] as usize, frame.len() - 2);
+            let apci =
+                Apci::decode([frame[2], frame[3], frame[4], frame[5]]).expect("valid APCI");
+            match apci {
+                Apci::I { send_seq, recv_seq } => {
+                    assert_eq!(send_seq as usize, i % SEQ_MODULO as usize);
+                    assert_eq!(recv_seq, 0);
+                }
+                other => panic!("expected I-frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_is_deterministic() {
+        let a = small_plan().byte_stream();
+        let b = small_plan().byte_stream();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same scenario seed must replay identically");
+    }
+}

@@ -1,0 +1,232 @@
+//! Loopback gates for native IEC 104 ingestion.
+//!
+//! Three contracts from the transport design:
+//!
+//! 1. **Live/batch parity** — a scadasim-driven IEC 104 client session
+//!    into `--listen-iec104` finalizes to a counter fingerprint
+//!    bit-identical to batch analysis of the equivalent capture
+//!    (`equivalent_capture` over the same client byte stream), and the
+//!    HTTP endpoint labels the source with its transport.
+//! 2. **Handshake refusal** — I-frames before STARTDT quarantine the
+//!    source; no data is accepted.
+//! 3. **Timer faults** — a peer that lets our TESTFR keep-alive expire is
+//!    quarantined with the t1 vocabulary, not silently evicted.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use uncharted_analysis::markov::ChainCensus;
+use uncharted_analysis::{session, Dataset, ExecContext, ExecPolicy};
+use uncharted_iec104::apci::{Apci, UFunction, CONTROL_LEN, START_BYTE};
+use uncharted_iec104::conn::ConnConfig;
+use uncharted_scadasim::{ReplayPlan, Scenario, Simulation, Year};
+use uncharted_serve::{
+    equivalent_capture, Listeners, ServeConfig, Server, SessionConfig, SourceStatus,
+};
+
+/// Timers far beyond the test's runtime: the session must be driven by
+/// frame counts alone (w-window S-frames), never by wall-clock timers, so
+/// the live session and the offline replay see identical state machines.
+fn inert_timers() -> ConnConfig {
+    ConnConfig {
+        t1: 1e6,
+        t2: 1e6,
+        t3: 1e6,
+        ..ConnConfig::default()
+    }
+}
+
+fn test_config(conn: ConnConfig) -> ServeConfig {
+    ServeConfig {
+        session: SessionConfig::builder()
+            .source_timeout(20.0)
+            .batch(256)
+            .build(),
+        conn,
+        poll_ms: 5,
+        ..ServeConfig::default()
+    }
+}
+
+fn wait_terminal(server: &Server, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let done = server
+            .reports()
+            .iter()
+            .filter(|r| r.status != SourceStatus::Active && r.fingerprint.is_some())
+            .count();
+        if done >= n {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {n} terminal sources; reports: {:?}",
+            server.reports()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("http connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: serve\r\nConnection: close\r\n\r\n"
+    )
+    .expect("http request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("http response");
+    out
+}
+
+fn http_body(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("")
+}
+
+fn u_frame(func: UFunction) -> Vec<u8> {
+    let mut frame = vec![START_BYTE, CONTROL_LEN as u8];
+    frame.extend_from_slice(&Apci::U(func).encode());
+    frame
+}
+
+fn bare_i_frame(send_seq: u16) -> Vec<u8> {
+    let mut frame = vec![START_BYTE, CONTROL_LEN as u8];
+    frame.extend_from_slice(
+        &Apci::I {
+            send_seq,
+            recv_seq: 0,
+        }
+        .encode(),
+    );
+    frame
+}
+
+#[test]
+fn native_session_hits_batch_parity_of_the_equivalent_capture() {
+    let set = Simulation::new(Scenario::small(Year::Y1, 77, 40.0)).run();
+    let plan = ReplayPlan::from_capture(&set.merged());
+    assert!(plan.i_frames() > 500, "scenario too small to be a gate");
+
+    // Batch reference: the offline replay of the exact client bytes,
+    // through the same transport code, into the batch pipeline.
+    let packets =
+        equivalent_capture(&plan.byte_stream(), inert_timers()).expect("clean offline replay");
+    assert!(packets.len() > plan.i_frames(), "replies synthesized too");
+    let ctx = ExecContext::new(ExecPolicy::Sequential);
+    let ds = Dataset::ingest(packets, &ctx);
+    let _ = session::extract(&ds, &ctx);
+    let _ = ChainCensus::build(&ds, &ctx);
+    let reference = ctx.metrics.snapshot().counter_fingerprint();
+
+    let server = Server::bind(
+        &Listeners::iec104("127.0.0.1:0").with_http("127.0.0.1:0"),
+        test_config(inert_timers()),
+    )
+    .expect("bind loopback");
+    let addr = server.iec104_addr().expect("iec104 listener bound");
+    assert!(server.pcap_addr().is_none());
+
+    let stats = plan.connect_and_replay(addr, None).expect("live replay");
+    assert_eq!(stats.frames as usize, plan.i_frames() + 1);
+    assert!(
+        stats.reply_bytes >= 6,
+        "server never confirmed STARTDT: {stats:?}"
+    );
+
+    wait_terminal(&server, 1);
+
+    // Transport labels on both HTTP views.
+    let http = server.http_addr().expect("http bound");
+    let metrics = http_body(&http_get(http, "/metrics")).to_string();
+    assert!(
+        metrics.contains("transport=\"iec104\""),
+        "metrics missing transport label:\n{metrics}"
+    );
+    let sources = http_body(&http_get(http, "/sources")).to_string();
+    assert!(
+        sources.contains("\"transport\":\"iec104\""),
+        "sources JSON missing transport: {sources}"
+    );
+
+    let reports = server.join();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert_eq!(r.transport, "iec104");
+    assert_eq!(r.status, SourceStatus::Drained, "fault: {:?}", r.fault);
+    assert_eq!(
+        r.fingerprint.as_deref(),
+        Some(reference.as_str()),
+        "live native-104 session diverged from batch analysis of the equivalent capture"
+    );
+}
+
+#[test]
+fn i_frames_before_startdt_are_refused() {
+    let server = Server::bind(
+        &Listeners::iec104("127.0.0.1:0"),
+        test_config(inert_timers()),
+    )
+    .expect("bind loopback");
+    let addr = server.iec104_addr().expect("iec104 listener bound");
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(&bare_i_frame(0)).expect("send I-frame");
+
+    wait_terminal(&server, 1);
+    let reports = server.join();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert_eq!(r.status, SourceStatus::Quarantined);
+    let fault = r.fault.as_deref().expect("quarantine cause");
+    assert!(fault.contains("STARTDT"), "unexpected fault: {fault}");
+    // No data was accepted into the session: the offending frame is never
+    // synthesized, and no batch crossed to the worker.
+    assert_eq!(r.packets, 0, "refused handshake must not admit packets");
+}
+
+#[test]
+fn unanswered_testfr_keepalive_is_quarantined() {
+    let conn = ConnConfig {
+        t3: 0.2,
+        t1: 0.3,
+        ..ConnConfig::default()
+    };
+    let server =
+        Server::bind(&Listeners::iec104("127.0.0.1:0"), test_config(conn)).expect("bind loopback");
+    let addr = server.iec104_addr().expect("iec104 listener bound");
+
+    // Handshake, then go silent without answering the keep-alive probe.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(&u_frame(UFunction::StartDtAct))
+        .expect("send STARTDT");
+
+    wait_terminal(&server, 1);
+    let reports = server.join();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert_eq!(
+        r.status,
+        SourceStatus::Quarantined,
+        "expected TESTFR teardown, got {:?} (fault {:?})",
+        r.status,
+        r.fault
+    );
+    let fault = r.fault.as_deref().expect("quarantine cause");
+    assert!(fault.contains("TESTFR"), "unexpected fault: {fault}");
+    // The probe reached the wire before the teardown.
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("drain replies");
+    let probe = u_frame(UFunction::TestFrAct);
+    assert!(
+        reply
+            .windows(probe.len())
+            .any(|w| w == probe.as_slice()),
+        "no TESTFR act on the wire: {reply:02x?}"
+    );
+}

@@ -19,7 +19,7 @@ use uncharted_analysis::{session, Dataset, ExecContext, ExecPolicy};
 use uncharted_nettap::pcap::ParsedPacket;
 use uncharted_nettap::source::{drain, PcapStreamSource};
 use uncharted_scadasim::{Scenario, Simulation, Year};
-use uncharted_serve::{feed_bytes, ServeConfig, Server, SourceStatus};
+use uncharted_serve::{feed_bytes, Listeners, ServeConfig, Server, SessionConfig, SourceStatus};
 
 /// A seeded campaign as pcap bytes, timestamp-sorted — what a tap would
 /// ship to the server.
@@ -45,13 +45,14 @@ fn batch_fingerprint(pcap: &[u8]) -> (String, Vec<ParsedPacket>) {
 
 fn test_config() -> ServeConfig {
     ServeConfig {
-        window: Some(30.0),
-        idle_timeout: None,
-        source_timeout: 20.0,
-        batch: 256,
-        queue_depth: 4,
+        session: SessionConfig::builder()
+            .window(Some(30.0))
+            .source_timeout(20.0)
+            .batch(256)
+            .queue_depth(4)
+            .build(),
         poll_ms: 5,
-        verbose: false,
+        ..ServeConfig::default()
     }
 }
 
@@ -102,9 +103,12 @@ fn concurrent_feeds_hit_batch_parity_and_http_reports_them() {
     let (reference, packets) = batch_fingerprint(&pcap);
     assert!(packets.len() > 1000, "scenario too small to be a gate");
 
-    let server =
-        Server::bind("127.0.0.1:0", Some("127.0.0.1:0"), test_config()).expect("bind loopback");
-    let feed_addr = server.listen_addr();
+    let server = Server::bind(
+        &Listeners::pcap("127.0.0.1:0").with_http("127.0.0.1:0"),
+        test_config(),
+    )
+    .expect("bind loopback");
+    let feed_addr = server.pcap_addr().expect("pcap listener bound");
 
     let feeders: Vec<_> = (0..FEEDS)
         .map(|_| {
@@ -158,6 +162,10 @@ fn concurrent_feeds_hit_batch_parity_and_http_reports_them() {
         body.contains("source=\"0\"") && body.contains("source=\"3\""),
         "metrics body missing per-source labels:\n{body}"
     );
+    assert!(
+        body.contains("transport=\"pcap\""),
+        "metrics body missing transport label:\n{body}"
+    );
     // Prometheus text validity: every non-comment line is `name value`
     // with a numeric value.
     for line in body
@@ -177,6 +185,10 @@ fn concurrent_feeds_hit_batch_parity_and_http_reports_them() {
         body.contains("\"status\":\"drained\"") && body.contains("\"finalized\":true"),
         "sources JSON: {body}"
     );
+    assert!(
+        body.contains("\"transport\":\"pcap\""),
+        "sources JSON missing transport: {body}"
+    );
     assert!(http_get(http, "/nope").starts_with("HTTP/1.1 404"));
 
     // Graceful shutdown: join returns the same finalized reports, and the
@@ -193,8 +205,8 @@ fn killed_feed_is_quarantined_without_touching_the_others() {
     let pcap = scenario_pcap();
     let (reference, _) = batch_fingerprint(&pcap);
 
-    let server = Server::bind("127.0.0.1:0", None, test_config()).expect("bind loopback");
-    let feed_addr = server.listen_addr();
+    let server = Server::bind(&Listeners::pcap("127.0.0.1:0"), test_config()).expect("bind loopback");
+    let feed_addr = server.pcap_addr().expect("pcap listener bound");
 
     // Two healthy feeds plus one killed mid-record: the truncation point
     // is inside a record body, exactly what a SIGKILLed tap leaves on the

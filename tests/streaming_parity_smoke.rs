@@ -11,7 +11,7 @@
 
 use uncharted::analysis::markov::ChainCensus;
 use uncharted::analysis::session;
-use uncharted::analysis::stream::{StreamConfig, StreamSession};
+use uncharted::analysis::stream::StreamSession;
 use uncharted::nettap::pcap::ParsedPacket;
 use uncharted::{Dataset, ExecContext, ExecPolicy, PipelineMetrics, Scenario, Simulation, Year};
 
@@ -45,14 +45,10 @@ fn streaming_follow_matches_batch_on_a_seeded_campaign() {
 
     // Streaming replay, windowed, no idle timeout (the parity mode).
     let metrics = PipelineMetrics::new();
-    let mut stream = StreamSession::new(
-        StreamConfig {
-            window: Some(30.0),
-            idle_timeout: None,
-            retain_payload: true,
-        },
-        std::sync::Arc::clone(&metrics),
-    );
+    let mut stream = StreamSession::builder()
+        .window(Some(30.0))
+        .metrics(std::sync::Arc::clone(&metrics))
+        .build();
     for chunk in packets.chunks(512) {
         stream.push_batch(chunk);
     }
