@@ -17,7 +17,7 @@ use uncharted_iec104::tokens::Token;
 use uncharted_nettap::flow::FlowTable;
 use uncharted_nettap::pcap::{Capture, ParsedPacket};
 use uncharted_nettap::source::{self, PacketSource};
-use uncharted_obs::FnvHashMap;
+use uncharted_obs::MixHashMap;
 
 use crate::dpi::TimeSeries;
 use crate::exec::ExecContext;
@@ -130,6 +130,9 @@ pub(crate) struct PrebuiltCache {
     pub(crate) census: Mutex<Option<TypeCensus>>,
     pub(crate) chains: Mutex<Option<Vec<ChainInfo>>>,
     pub(crate) series: Mutex<Option<Vec<TimeSeries>>>,
+    /// Session packet stats built inline by the sequential ingest's flow
+    /// pass (the executor path prebuilds whole sessions instead).
+    pub(crate) packet_stats: Mutex<Option<crate::session::PacketStats>>,
 }
 
 impl Dataset {
@@ -184,10 +187,35 @@ impl Dataset {
                     census: Mutex::new(Some(run.census)),
                     chains: Mutex::new(Some(run.chains)),
                     series: Mutex::new(Some(run.series)),
+                    packet_stats: Mutex::new(None),
                 },
             };
         }
-        let flows = FlowTable::reconstruct(&packets, ctx.policy, &m.nettap);
+        // One worker (`Sequential` or `Threads(1)`): run TCP reassembly,
+        // the payload-size histogram, and the session packet-stats
+        // accumulation in a single fused pass over the capture.
+        // `FlowTable::reconstruct` + `packet_stats_of` would walk all
+        // packets twice more for the same results; `ExecPolicy`s with one
+        // worker always take reconstruct's inline path, so push-per-packet
+        // here is bit-identical, and the stats table is stashed for
+        // `session::extract` to claim.
+        let mut stats = crate::session::PacketStatsBuilder::default();
+        let flows = {
+            let _span = m.nettap.flows_stage.span();
+            let _shard = m.nettap.flows_stage.shard_span(0);
+            let mut table = FlowTable::default();
+            for pkt in &packets {
+                table.push(pkt);
+                if !pkt.payload.is_empty() {
+                    m.nettap
+                        .segment_payload_octets
+                        .observe(pkt.payload.len() as u64);
+                }
+                stats.push(pkt);
+            }
+            table.record_reassembly_metrics(&m.nettap);
+            table
+        };
         let span = m.protocol_stage.span();
         let shard = {
             let _shard = m.protocol_stage.shard_span(0);
@@ -201,7 +229,10 @@ impl Dataset {
             dialects: shard.dialects,
             compliance: shard.compliance,
             timelines: shard.timelines.into_values().collect(),
-            prebuilt: PrebuiltCache::default(),
+            prebuilt: PrebuiltCache {
+                packet_stats: Mutex::new(Some(stats.finish())),
+                ..PrebuiltCache::default()
+            },
         }
     }
 
@@ -223,6 +254,11 @@ impl Dataset {
     /// Take the executor-prebuilt time series, if still unclaimed.
     pub(crate) fn claim_prebuilt_series(&self) -> Option<Vec<TimeSeries>> {
         self.prebuilt.series.lock().unwrap().take()
+    }
+
+    /// Take the ingest-prebuilt session packet stats, if still unclaimed.
+    pub(crate) fn claim_prebuilt_packet_stats(&self) -> Option<crate::session::PacketStats> {
+        self.prebuilt.packet_stats.lock().unwrap().take()
     }
 
     /// Ingest one capture under an [`ExecContext`].
@@ -254,7 +290,12 @@ impl Dataset {
         ctx: &ExecContext,
     ) -> uncharted_nettap::Result<Dataset> {
         let mut packets = source::drain(src, 4096)?;
-        packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+        // Captures usually arrive already time-ordered (pcap record order);
+        // a stable sort of sorted input is the identity, so check first and
+        // only pay the sort when a merge actually interleaved timestamps.
+        if !packets.is_sorted_by(|a, b| a.timestamp.total_cmp(&b.timestamp).is_le()) {
+            packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+        }
         Ok(Dataset::ingest(packets, ctx))
     }
 
@@ -345,31 +386,54 @@ pub(crate) fn analyze_packets<P: Borrow<ParsedPacket>>(
     // Pass 1: collect, per outstation, the raw I-frames it sent, for
     // dialect detection. Frames go into one flat arena per outstation
     // (bytes + ranges) instead of a Vec per frame.
-    let mut frames_by_out: BTreeMap<u32, FrameSample> = BTreeMap::new();
+    let mut frames_by_out: MixHashMap<u32, FrameSample> = MixHashMap::default();
+    // Once an outstation's sample is full every later packet from it is a
+    // no-op, so keep a direct-mapped "this IP's sample is full" marker in
+    // front of the map: in the steady state (every sample full, traffic
+    // interleaving hundreds of stations) the loop body is two loads.
+    let mut full: uncharted_obs::SlotCache<u32, 512> = uncharted_obs::SlotCache::new();
     for pkt in packets {
         let pkt = pkt.borrow();
         if pkt.tcp.src_port == IEC104_PORT && !pkt.payload.is_empty() && keep_out(pkt.ip.src) {
+            if full.get(pkt.ip.src).is_some() {
+                continue;
+            }
             let sample = frames_by_out.entry(pkt.ip.src).or_default();
             if sample.len() < 64 {
                 sample.delimit_from(&pkt.payload);
             }
+            if sample.len() >= 64 {
+                full.put(pkt.ip.src, 1);
+            }
         }
     }
     // Commands from the server are also dialect-bound, so include them
-    // when the outstation itself sent nothing (pure backups).
+    // when the outstation itself sent nothing (pure backups). The fullness
+    // threshold differs, so the marker cache restarts empty.
+    full.clear();
     for pkt in packets {
         let pkt = pkt.borrow();
         if pkt.tcp.dst_port == IEC104_PORT && !pkt.payload.is_empty() && keep_out(pkt.ip.dst) {
+            if full.get(pkt.ip.dst).is_some() {
+                continue;
+            }
             let sample = frames_by_out.entry(pkt.ip.dst).or_default();
             if sample.len() < 8 {
                 sample.delimit_from(&pkt.payload);
             }
+            if sample.len() >= 8 {
+                full.put(pkt.ip.dst, 1);
+            }
         }
     }
 
+    // Hash-map iteration order is arbitrary; sort so dialect scoring runs
+    // (and any metrics it records) happen in a stable IP order.
+    let mut sampled: Vec<(u32, FrameSample)> = frames_by_out.into_iter().collect();
+    sampled.sort_unstable_by_key(|&(ip, _)| ip);
     let mut dialects = BTreeMap::new();
     let mut compliance = BTreeMap::new();
-    for (&ip, sample) in &frames_by_out {
+    for &(ip, ref sample) in &sampled {
         let scores = detect_dialect(&sample.frames());
         let dialect = scores
             .first()
@@ -394,16 +458,43 @@ pub(crate) fn analyze_packets<P: Borrow<ParsedPacket>>(
     // compliance under both parsers. Packets are decoded per (pair,
     // direction) with a streaming decoder so APDUs split across
     // segments still parse.
-    // Hash maps for the per-packet state: nothing below iterates them, so
-    // ordering doesn't matter until `timelines` is sorted into the shard's
-    // BTreeMap on return.
-    let mut timelines: FnvHashMap<(u32, u32), PairTimeline> = FnvHashMap::default();
-    let mut decoders: FnvHashMap<(u32, u32, bool), StreamDecoder> = FnvHashMap::default();
-    let mut strict_decoders: FnvHashMap<(u32, u32, bool), StreamDecoder> = FnvHashMap::default();
+    //
+    // Per-pair state lives in one `Vec<PairState>` arena indexed by a
+    // packed-key hash map, with a last-pair memo in front of it: traffic
+    // arrives in bursts per device pair, so the common case touches no
+    // hash map at all. Compliance entries move into a parallel `Vec`
+    // (sorted by IP, rebuilt into the shard's `BTreeMap` on return) so the
+    // per-APDU accounting in the sink is an index, not a tree walk.
+    // Nothing below iterates the hash maps, so probe order never matters.
+    let comp_ips: Vec<u32> = compliance.keys().copied().collect();
+    let mut comp_vec: Vec<ComplianceEntry> = std::mem::take(&mut compliance).into_values().collect();
+
+    /// Sentinel for "no decoder allocated yet" in the arena indices.
+    const NONE: u32 = u32::MAX;
+    struct PairState {
+        timeline: PairTimeline,
+        dialect: Dialect,
+        /// Index of this outstation's entry in `comp_vec`.
+        comp: u32,
+        /// Tolerant decoder arena index per direction (`[to-out, from-server]`).
+        dec: [u32; 2],
+        /// Strict decoder arena index (outstation direction only).
+        strict: u32,
+    }
+    let mut pairs: Vec<PairState> = Vec::new();
+    let mut pair_index: MixHashMap<u64, u32> = MixHashMap::default();
+    let mut decoder_arena: Vec<StreamDecoder> = Vec::new();
+    let mut strict_arena: Vec<StreamDecoder> = Vec::new();
+    let mut memo: (u64, u32) = (0, NONE);
+    let mut pair_cache: uncharted_obs::SlotCache<u64, 2048> = uncharted_obs::SlotCache::new();
     // Deduplicate TCP retransmissions *for decoding only* (a duplicated
     // segment would desynchronise the stream decoder); the duplicate
-    // still contributes a repeated token, as in the paper.
-    let mut last_seq: FnvHashMap<(u32, u16, u32, u16), u32> = FnvHashMap::default();
+    // still contributes a repeated token, as in the paper. The per-tuple
+    // cursor lives in a write-back cache: a resident row is the
+    // authoritative value and the map holds evicted tuples, so the map is
+    // only touched when two active 4-tuples collide on a row.
+    let mut last_seq: MixHashMap<u128, u32> = MixHashMap::default();
+    let mut seq_cache: uncharted_obs::SlotCache<u128, 8192> = uncharted_obs::SlotCache::new();
 
     for pkt in packets {
         let pkt = pkt.borrow();
@@ -420,18 +511,54 @@ pub(crate) fn analyze_packets<P: Borrow<ParsedPacket>>(
         if !keep_out(out_ip) {
             continue;
         }
-        let dialect = dialects.get(&out_ip).copied().unwrap_or(Dialect::STANDARD);
-        let key = (server_ip, out_ip, from_server);
-        let timeline = timelines
-            .entry((server_ip, out_ip))
-            .or_insert_with(|| PairTimeline {
-                server_ip,
-                outstation_ip: out_ip,
-                events: Vec::new(),
+        let pair_key = ((server_ip as u64) << 32) | out_ip as u64;
+        let pi = if memo.1 != NONE && memo.0 == pair_key {
+            memo.1 as usize
+        } else if let Some(slot) = pair_cache.get(pair_key) {
+            memo = (pair_key, slot);
+            slot as usize
+        } else {
+            let pi = *pair_index.entry(pair_key).or_insert_with(|| {
+                let comp = comp_ips.binary_search(&out_ip).expect("pass 1 covered") as u32;
+                let dialect = dialects.get(&out_ip).copied().unwrap_or(Dialect::STANDARD);
+                pairs.push(PairState {
+                    timeline: PairTimeline {
+                        server_ip,
+                        outstation_ip: out_ip,
+                        events: Vec::new(),
+                    },
+                    dialect,
+                    comp,
+                    dec: [NONE; 2],
+                    strict: NONE,
+                });
+                (pairs.len() - 1) as u32
             });
+            memo = (pair_key, pi);
+            pair_cache.put(pair_key, pi);
+            pi as usize
+        };
 
-        let flow_key = (pkt.ip.src, pkt.tcp.src_port, pkt.ip.dst, pkt.tcp.dst_port);
-        let dup = last_seq.insert(flow_key, pkt.tcp.seq) == Some(pkt.tcp.seq);
+        let flow_key = ((pkt.ip.src as u128) << 96)
+            | ((pkt.ip.dst as u128) << 64)
+            | ((pkt.tcp.src_port as u128) << 16)
+            | pkt.tcp.dst_port as u128;
+        let dup = match seq_cache.swap(flow_key, pkt.tcp.seq) {
+            uncharted_obs::cache::Swapped::Hit(prev) => prev == pkt.tcp.seq,
+            uncharted_obs::cache::Swapped::Evicted(old_key, old_seq) => {
+                // Park the displaced tuple's cursor back in the map before
+                // consulting it for ours, so rows stay the map's sole shadow.
+                last_seq.insert(old_key, old_seq);
+                last_seq.get(&flow_key) == Some(&pkt.tcp.seq)
+            }
+            uncharted_obs::cache::Swapped::Vacant => {
+                last_seq.get(&flow_key) == Some(&pkt.tcp.seq)
+            }
+        };
+
+        let pair = &mut pairs[pi];
+        let dialect = pair.dialect;
+        let ci = pair.comp as usize;
 
         // Strict compliance accounting (I-frames from the outstation).
         // When the detected dialect *is* the standard one, the strict
@@ -441,30 +568,45 @@ pub(crate) fn analyze_packets<P: Borrow<ParsedPacket>>(
         let strict_accounting = !from_server && !dup;
         let strict_folded = strict_accounting && dialect == Dialect::STANDARD;
         if strict_accounting && !strict_folded {
-            let strict = strict_decoders
-                .entry(key)
-                .or_insert_with(|| StreamDecoder::new(Dialect::STANDARD));
-            let entry = compliance.get_mut(&out_ip).expect("pass 1 covered");
-            strict.feed_each(&pkt.payload, Iec104Metrics::sink(), |item| match item {
-                StreamItemRef::Apdu(a) if a.apci.is_i() => entry.i_frames += 1,
-                StreamItemRef::Apdu(_) => {}
-                StreamItemRef::Malformed(frame, _) => {
-                    if is_i_frame(frame) {
-                        entry.i_frames += 1;
-                        entry.strict_malformed += 1;
+            if pair.strict == NONE {
+                pair.strict = strict_arena.len() as u32;
+                strict_arena.push(StreamDecoder::new(Dialect::STANDARD));
+            }
+            let entry = &mut comp_vec[ci];
+            strict_arena[pair.strict as usize].feed_each(
+                &pkt.payload,
+                Iec104Metrics::sink(),
+                |item| match item {
+                    StreamItemRef::Apdu(a) if a.apci.is_i() => entry.i_frames += 1,
+                    StreamItemRef::Apdu(_) => {}
+                    StreamItemRef::Malformed(frame, _) => {
+                        if is_i_frame(frame) {
+                            entry.i_frames += 1;
+                            entry.strict_malformed += 1;
+                        }
                     }
-                }
-            });
+                },
+            );
         }
 
-        let events = &mut timeline.events;
-        let compliance = &mut compliance;
+        // Resolve the tolerant decoder index before the sink borrows the
+        // pair's event list (disjoint arenas keep both live at once).
+        let di = if dup {
+            usize::MAX
+        } else {
+            if pair.dec[from_server as usize] == NONE {
+                pair.dec[from_server as usize] = decoder_arena.len() as u32;
+                decoder_arena.push(StreamDecoder::new(dialect));
+            }
+            pair.dec[from_server as usize] as usize
+        };
+
+        let events = &mut pair.timeline.events;
+        let entry = &mut comp_vec[ci];
         let mut sink = |item: StreamItemRef<'_>| match item {
             StreamItemRef::Apdu(apdu) => {
                 if strict_folded && apdu.apci.is_i() {
-                    if let Some(entry) = compliance.get_mut(&out_ip) {
-                        entry.i_frames += 1;
-                    }
+                    entry.i_frames += 1;
                 }
                 let token = Token::of(&apdu);
                 events.push(ApduEvent {
@@ -476,12 +618,10 @@ pub(crate) fn analyze_packets<P: Borrow<ParsedPacket>>(
             }
             StreamItemRef::Malformed(frame, _) => {
                 if strict_accounting && is_i_frame(frame) {
-                    if let Some(entry) = compliance.get_mut(&out_ip) {
-                        entry.tolerant_malformed += 1;
-                        if strict_folded {
-                            entry.i_frames += 1;
-                            entry.strict_malformed += 1;
-                        }
+                    entry.tolerant_malformed += 1;
+                    if strict_folded {
+                        entry.i_frames += 1;
+                        entry.strict_malformed += 1;
                     }
                 }
             }
@@ -491,17 +631,17 @@ pub(crate) fn analyze_packets<P: Borrow<ParsedPacket>>(
             // appears without corrupting the stream decoder.
             StreamDecoder::new(dialect).feed_each(&pkt.payload, metrics, &mut sink);
         } else {
-            decoders
-                .entry(key)
-                .or_insert_with(|| StreamDecoder::new(dialect))
-                .feed_each(&pkt.payload, metrics, &mut sink);
+            decoder_arena[di].feed_each(&pkt.payload, metrics, &mut sink);
         }
     }
 
     AnalysisShard {
         dialects,
-        compliance,
-        timelines: timelines.into_iter().collect(),
+        compliance: comp_ips.into_iter().zip(comp_vec).collect(),
+        timelines: pairs
+            .into_iter()
+            .map(|p| ((p.timeline.server_ip, p.timeline.outstation_ip), p.timeline))
+            .collect(),
     }
 }
 

@@ -13,7 +13,7 @@ use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use uncharted_iec104::asdu::IoValue;
 use uncharted_iec104::types::TypeId;
-use uncharted_obs::FnvHashMap;
+use uncharted_obs::{FnvHashMap, MixHashMap};
 
 /// Table 7: observed ASDU typeID distribution.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -264,17 +264,45 @@ pub(crate) fn fold_series_maps(parts: impl IntoIterator<Item = SeriesMap>) -> Se
     map
 }
 
-/// Tally one timeline's ASDU typeIDs.
+/// Tally one timeline's ASDU typeIDs. Events arrive in per-type bursts, so
+/// runs are accumulated locally and flushed into the tree once per run
+/// instead of paying a `BTreeMap` walk per event (totals are identical).
 pub(crate) fn count_types(counts: &mut BTreeMap<u8, usize>, tl: &crate::dataset::PairTimeline) {
+    let mut run: Option<(u8, usize)> = None;
     for ev in &tl.events {
         if let Some(asdu) = &ev.asdu {
-            *counts.entry(asdu.type_id.code()).or_default() += 1;
+            let code = asdu.type_id.code();
+            match &mut run {
+                Some((c, n)) if *c == code => *n += 1,
+                _ => {
+                    if let Some((c, n)) = run.take() {
+                        *counts.entry(c).or_default() += n;
+                    }
+                    run = Some((code, 1));
+                }
+            }
         }
+    }
+    if let Some((c, n)) = run {
+        *counts.entry(c).or_default() += n;
     }
 }
 
 /// Collect one timeline's samples into a per-(station, IOA, direction) map.
+///
+/// Samples accumulate in a per-call slot arena fronted by a last-key memo
+/// (one ASDU's objects, and often whole event bursts, hit the same series),
+/// then fold into `map` once per distinct series — so the shared map pays
+/// one entry per series per timeline instead of one per sample. Fold order
+/// is arena creation order, which matches first-appearance order, so the
+/// merged sample sequences are identical to per-sample appends.
 pub(crate) fn series_from_timeline(map: &mut SeriesMap, tl: &crate::dataset::PairTimeline) {
+    let mut slots: Vec<TimeSeries> = Vec::new();
+    let mut index: MixHashMap<u128, u32> = MixHashMap::default();
+    let mut memo: Option<(u128, u32)> = None;
+    // Last `(slot, type code)` recorded: samples arrive in per-type bursts,
+    // so most iterations skip the (idempotent) type-set insert entirely.
+    let mut last_type: (u32, u8) = (u32::MAX, 0);
     for ev in &tl.events {
         let Some(asdu) = &ev.asdu else { continue };
         let station = if ev.from_server {
@@ -282,6 +310,7 @@ pub(crate) fn series_from_timeline(map: &mut SeriesMap, tl: &crate::dataset::Pai
         } else {
             tl.outstation_ip
         };
+        let type_code = asdu.type_id.code();
         for obj in &asdu.objects {
             let Some(v) = obj.value.numeric() else {
                 continue;
@@ -294,17 +323,44 @@ pub(crate) fn series_from_timeline(map: &mut SeriesMap, tl: &crate::dataset::Pai
                 .time_tag
                 .map(|tag| tag.to_epoch_millis() as f64 / 1000.0)
                 .unwrap_or(ev.t);
-            let entry = map
-                .entry((station, obj.ioa, ev.from_server))
-                .or_insert_with(|| TimeSeries {
-                    station_ip: station,
-                    ioa: obj.ioa,
-                    samples: Vec::new(),
-                    type_ids: BTreeSet::new(),
-                    from_server: ev.from_server,
-                });
+            let packed = ((station as u128) << 64)
+                | ((obj.ioa as u128) << 1)
+                | ev.from_server as u128;
+            let slot = match memo {
+                Some((k, i)) if k == packed => i,
+                _ => {
+                    let i = *index.entry(packed).or_insert_with(|| {
+                        slots.push(TimeSeries {
+                            station_ip: station,
+                            ioa: obj.ioa,
+                            samples: Vec::new(),
+                            type_ids: BTreeSet::new(),
+                            from_server: ev.from_server,
+                        });
+                        (slots.len() - 1) as u32
+                    });
+                    memo = Some((packed, i));
+                    i
+                }
+            };
+            let entry = &mut slots[slot as usize];
             entry.samples.push((t, v));
-            entry.type_ids.insert(asdu.type_id.code());
+            if last_type != (slot, type_code) {
+                entry.type_ids.insert(type_code);
+                last_type = (slot, type_code);
+            }
+        }
+    }
+    for s in slots {
+        match map.entry((s.station_ip, s.ioa, s.from_server)) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(s);
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let entry = o.get_mut();
+                entry.samples.extend(s.samples);
+                entry.type_ids.extend(s.type_ids);
+            }
         }
     }
 }

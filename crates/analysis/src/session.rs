@@ -11,11 +11,11 @@ use crate::matrix::FeatureMatrix;
 use serde::Serialize;
 use uncharted_iec104::tokens::Token;
 use uncharted_nettap::pcap::ParsedPacket;
-use uncharted_obs::FnvHashMap;
+use uncharted_obs::MixHashMap;
 
 /// Packet timestamps and frame bytes per `(src, dst)` IP pair, claimed by
 /// sessions in `(timeline, direction)` order.
-pub(crate) type PacketStats = FnvHashMap<(u32, u32), (Vec<f64>, usize)>;
+pub(crate) type PacketStats = MixHashMap<(u32, u32), (Vec<f64>, usize)>;
 
 /// Everything about one direction's session except its packet stats:
 /// `(src, dst, from_server, tokens, ioa_count)`.
@@ -171,16 +171,61 @@ pub fn extract(ds: &Dataset, ctx: &ExecContext) -> Vec<Session> {
 /// included). The pipelined executor builds the identical table inline
 /// during its dispatch pass instead of calling this.
 pub(crate) fn packet_stats_of(packets: &[ParsedPacket]) -> PacketStats {
-    let mut packet_stats = PacketStats::default();
+    let mut builder = PacketStatsBuilder::default();
     for pkt in packets {
+        builder.push(pkt);
+    }
+    builder.finish()
+}
+
+/// Incremental accumulator behind [`packet_stats_of`], so a caller that is
+/// already walking the capture (the sequential ingest's flow loop) can fold
+/// the stats pass into its own iteration instead of re-scanning all packets
+/// at session-extraction time.
+///
+/// Accumulates into a slot arena fronted by a direct-mapped routing cache —
+/// interleaved captures revisit the same few hundred pairs, so the steady
+/// state is a cache hit with no hashing — then collects into the map (one
+/// insert per distinct pair, not per packet). Push order fixes each pair's
+/// timestamp sequence, so building inline during ingest yields the
+/// bit-identical table to a dedicated pass.
+#[derive(Default)]
+pub(crate) struct PacketStatsBuilder {
+    keys: Vec<(u32, u32)>,
+    vals: Vec<(Vec<f64>, usize)>,
+    index: MixHashMap<u64, u32>,
+    cache: uncharted_obs::SlotCache<u64, 2048>,
+}
+
+impl PacketStatsBuilder {
+    #[inline]
+    pub(crate) fn push(&mut self, pkt: &ParsedPacket) {
         if pkt.tcp.src_port != IEC104_PORT && pkt.tcp.dst_port != IEC104_PORT {
-            continue;
+            return;
         }
-        let entry = packet_stats.entry((pkt.ip.src, pkt.ip.dst)).or_default();
+        let packed = ((pkt.ip.src as u64) << 32) | pkt.ip.dst as u64;
+        let slot = match self.cache.get(packed) {
+            Some(i) => i,
+            None => {
+                let keys = &mut self.keys;
+                let vals = &mut self.vals;
+                let i = *self.index.entry(packed).or_insert_with(|| {
+                    keys.push((pkt.ip.src, pkt.ip.dst));
+                    vals.push((Vec::new(), 0));
+                    (keys.len() - 1) as u32
+                });
+                self.cache.put(packed, i);
+                i
+            }
+        };
+        let entry = &mut self.vals[slot as usize];
         entry.0.push(pkt.timestamp);
         entry.1 += pkt.payload.len() + 54;
     }
-    packet_stats
+
+    pub(crate) fn finish(self) -> PacketStats {
+        self.keys.into_iter().zip(self.vals).collect()
+    }
 }
 
 /// One timeline's session partials, in the canonical `[server-side,
@@ -198,14 +243,16 @@ pub(crate) fn timeline_partials(tl: &PairTimeline) -> Vec<SessionPartial> {
         if tokens.is_empty() {
             continue;
         }
-        let mut ioas = std::collections::BTreeSet::new();
+        let mut ioas: Vec<u32> = Vec::new();
         for ev in tl.events.iter().filter(|e| e.from_server == from_server) {
             if let Some(asdu) = &ev.asdu {
                 for obj in &asdu.objects {
-                    ioas.insert(obj.ioa);
+                    ioas.push(obj.ioa);
                 }
             }
         }
+        ioas.sort_unstable();
+        ioas.dedup();
         out.push((src, dst, from_server, tokens, ioas.len()));
     }
     out
@@ -232,7 +279,11 @@ pub(crate) fn claim_session(partial: SessionPartial, stats: &mut PacketStats) ->
 
 /// The sequential extraction pass.
 fn extract_sequential(ds: &Dataset) -> Vec<Session> {
-    let mut packet_stats = packet_stats_of(&ds.packets);
+    // The sequential ingest already built the stats table inline during its
+    // flow pass; only re-scan the capture when no prebuilt table is left.
+    let mut packet_stats = ds
+        .claim_prebuilt_packet_stats()
+        .unwrap_or_else(|| packet_stats_of(&ds.packets));
     let mut sessions = Vec::new();
     for tl in &ds.timelines {
         for partial in timeline_partials(tl) {

@@ -1,19 +1,26 @@
-//! `bench --json` — the tracked benchmark runner behind `BENCH_PR6.json`.
+//! `bench --json` — the tracked benchmark runner behind `BENCH_PR10.json`.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench [--json PATH] [--smoke] [--baseline PATH] [--gate PCT]
+//! bench [--json PATH] [--smoke] [--threads N] [--baseline PATH]
+//!       [--gate PCT] [--gate-layer LAYER=PCT]...
 //! ```
 //!
-//! * `--json PATH` — where to write the report (default `BENCH_PR6.json`).
+//! * `--json PATH` — where to write the report (default `BENCH_PR10.json`).
 //! * `--smoke` — seconds-long CI configuration instead of the full run.
+//! * `--threads N` — restrict the thread sweep to the single policy
+//!   `Threads(N)` (plus the sequential baseline), e.g. `--threads 8` for a
+//!   CI variant that exercises the widest shard fan-out only.
 //! * `--baseline PATH` — embed an earlier report as the baseline and compute
 //!   speedups, allocation drops, and the counter-fingerprint equality check.
 //! * `--gate PCT` — exit nonzero if any tracked throughput dropped more than
 //!   `PCT` percent versus the baseline, or if any counter fingerprint
 //!   disagrees with it. Requires `--baseline` (the gate fails closed
 //!   without one).
+//! * `--gate-layer LAYER=PCT` — override the gate tolerance for one layer's
+//!   keys (`pipeline`, `ingest`, `parse`, `flows`, `kmeans`, `markov`).
+//!   Repeatable; unknown layers fail the gate rather than being ignored.
 //!
 //! Build with `--features bench-alloc` to install the counting global
 //! allocator so the report includes allocations per APDU.
@@ -27,9 +34,11 @@ static ALLOC: uncharted_bench::alloc_count::CountingAlloc =
     uncharted_bench::alloc_count::CountingAlloc;
 
 fn main() -> ExitCode {
-    let mut json_path = String::from("BENCH_PR6.json");
+    let mut json_path = String::from("BENCH_PR10.json");
     let mut baseline_path: Option<String> = None;
     let mut gate_pct: Option<f64> = None;
+    let mut gate_layers: Vec<(String, f64)> = Vec::new();
+    let mut threads: Option<usize> = None;
     let mut smoke = false;
 
     let mut args = std::env::args().skip(1);
@@ -47,23 +56,38 @@ fn main() -> ExitCode {
                 Some(Ok(pct)) if pct >= 0.0 => gate_pct = Some(pct),
                 _ => return usage("--gate requires a non-negative percentage"),
             },
+            "--gate-layer" => match args.next().as_deref().map(parse_layer_pct) {
+                Some(Some(pair)) => gate_layers.push(pair),
+                _ => return usage("--gate-layer requires LAYER=PCT with a non-negative PCT"),
+            },
+            "--threads" => match args.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) if n >= 1 => threads = Some(n),
+                _ => return usage("--threads requires a positive integer"),
+            },
             "--smoke" => smoke = true,
             "--help" | "-h" => {
-                eprintln!("usage: bench [--json PATH] [--smoke] [--baseline PATH] [--gate PCT]");
+                eprintln!(
+                    "usage: bench [--json PATH] [--smoke] [--threads N] [--baseline PATH] \
+                     [--gate PCT] [--gate-layer LAYER=PCT]..."
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument: {other}")),
         }
     }
 
-    let cfg = if smoke {
+    let mut cfg = if smoke {
         RunnerConfig::smoke()
     } else {
         RunnerConfig::full()
     };
+    if let Some(n) = threads {
+        cfg.sweep = vec![n];
+    }
     eprintln!(
-        "bench: running {} configuration (alloc counting: {})",
+        "bench: running {} configuration, sweep {:?} (alloc counting: {})",
         if smoke { "smoke" } else { "full" },
+        cfg.sweep,
         cfg!(feature = "bench-alloc"),
     );
 
@@ -92,22 +116,37 @@ fn main() -> ExitCode {
             serde_json::to_string_pretty(cmp).expect("comparison serializes")
         );
     }
+    if gate_pct.is_none() && !gate_layers.is_empty() {
+        return usage("--gate-layer requires --gate for the default tolerance");
+    }
     if let Some(pct) = gate_pct {
-        let violations = runner::gate(&report, pct);
+        let violations = runner::gate_layers(&report, pct, &gate_layers);
         if !violations.is_empty() {
-            eprintln!("bench: regression gate FAILED ({pct}% tolerance):");
+            eprintln!("bench: regression gate FAILED ({pct}% default tolerance):");
             for v in &violations {
                 eprintln!("bench:   - {v}");
             }
             return ExitCode::FAILURE;
         }
-        eprintln!("bench: regression gate passed ({pct}% tolerance)");
+        eprintln!("bench: regression gate passed ({pct}% default tolerance)");
     }
     ExitCode::SUCCESS
 }
 
+fn parse_layer_pct(s: &str) -> Option<(String, f64)> {
+    let (layer, pct) = s.split_once('=')?;
+    let pct: f64 = pct.parse().ok()?;
+    if layer.is_empty() || pct < 0.0 {
+        return None;
+    }
+    Some((layer.to_string(), pct))
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench: {msg}");
-    eprintln!("usage: bench [--json PATH] [--smoke] [--baseline PATH] [--gate PCT]");
+    eprintln!(
+        "usage: bench [--json PATH] [--smoke] [--threads N] [--baseline PATH] \
+         [--gate PCT] [--gate-layer LAYER=PCT]..."
+    );
     ExitCode::FAILURE
 }

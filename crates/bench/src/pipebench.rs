@@ -17,8 +17,8 @@ use uncharted_iec104::elements::Qds;
 use uncharted_iec104::types::TypeId;
 use uncharted_nettap::flow::FlowTable;
 use uncharted_nettap::metrics::NettapMetrics;
-use uncharted_nettap::pcap::ParsedPacket;
-use uncharted_nettap::source::MemorySource;
+use uncharted_nettap::pcap::{Capture, MmapCapture, ParsedPacket};
+use uncharted_nettap::source::{self, MemorySource, PcapStreamSource};
 
 /// Time-sorted packets from a seeded small scenario (`scale` seconds per
 /// paper hour — keep it tiny for smoke tests, larger for benches).
@@ -27,6 +27,46 @@ pub fn scenario_packets(seed: u64, scale: f64) -> Vec<ParsedPacket> {
     let mut packets: Vec<ParsedPacket> = set.captures.iter().flat_map(|c| c.parsed()).collect();
     packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
     packets
+}
+
+/// The same seeded scenario as one merged raw [`Capture`] — the input the
+/// ingest-layer bench serializes to a pcap file and reads back through the
+/// mmap and streaming sources.
+pub fn scenario_capture(seed: u64, scale: f64) -> Capture {
+    let set = Simulation::new(Scenario::small(Year::Y1, seed, scale)).run();
+    let mut merged = Capture::new();
+    for cap in set.captures {
+        merged.merge(cap);
+    }
+    merged
+}
+
+/// Ingest layer, raw scan: hop every record of a mapped capture file
+/// without decoding, returning `(records, frame bytes)`. This is the
+/// zero-copy floor — pure header arithmetic over the mapping.
+pub fn ingest_scan_work(path: &std::path::Path) -> (usize, u64) {
+    let src = MmapCapture::open(path).expect("bench capture maps");
+    let mut records = 0usize;
+    let mut bytes = 0u64;
+    for (_, frame) in src.records() {
+        records += 1;
+        bytes += frame.len() as u64;
+    }
+    (records, bytes)
+}
+
+/// Ingest layer, mmap decode: open the capture memory-mapped and drain it
+/// to decoded packets; returns the packet count.
+pub fn ingest_mmap_work(path: &std::path::Path) -> usize {
+    let mut src = MmapCapture::open(path).expect("bench capture maps");
+    source::drain(&mut src, 4096).expect("validated capture drains").len()
+}
+
+/// Ingest layer, streaming decode: the buffered-`Read` path over the same
+/// file; returns the packet count (must equal the mmap drain's).
+pub fn ingest_stream_work(path: &std::path::Path) -> usize {
+    let mut src = PcapStreamSource::open(path).expect("bench capture opens");
+    source::drain(&mut src, 4096).expect("bench capture drains").len()
 }
 
 /// Ingest the packets and run every per-dataset analysis stage, returning

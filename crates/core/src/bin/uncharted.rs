@@ -17,7 +17,7 @@ use uncharted::analysis::markov;
 use uncharted::analysis::report::{ip, pct, Table};
 use uncharted::analysis::stream::StreamSession;
 use uncharted::cli;
-use uncharted::nettap::source::{self, ChainedSource, PacketSource, PcapStreamSource};
+use uncharted::nettap::source::{self, ChainedSource, PacketSource};
 use uncharted::scadasim::ReplayPlan;
 use uncharted::serve::{Listeners, ServeConfig, Server, SessionConfig};
 use uncharted::{
@@ -317,12 +317,14 @@ fn analyze(args: Vec<String>) {
 const FOLLOW_BATCH: usize = 512;
 
 /// Open every capture path as one chained [`PacketSource`] — the single
-/// ingest entry shared with `serve`, `feed`, and the library API.
+/// ingest entry shared with `serve`, `feed`, and the library API. Regular
+/// files come up memory-mapped; non-seekable inputs stream
+/// ([`source::open_path`]).
 fn open_sources(paths: &[PathBuf]) -> ChainedSource {
     let mut sources: Vec<Box<dyn PacketSource>> = Vec::with_capacity(paths.len());
     for path in paths {
-        match PcapStreamSource::open(path) {
-            Ok(src) => sources.push(Box::new(src)),
+        match source::open_path(path) {
+            Ok(src) => sources.push(src),
             Err(e) => {
                 eprintln!("cannot open {}: {e}", path.display());
                 std::process::exit(1);

@@ -154,12 +154,14 @@ impl PipelineBuilder {
         }
     }
 
-    /// Ingest a classic libpcap file through the streaming
-    /// [`PacketSource`] reader, decoding frames as records are read.
+    /// Ingest a classic libpcap file through the fastest [`PacketSource`]
+    /// the input supports: regular files are memory-mapped and decoded
+    /// zero-copy, anything non-seekable streams
+    /// ([`nettap::source::open_path`]).
     pub fn build_pcap(&self, path: &std::path::Path) -> std::io::Result<Pipeline> {
-        let mut src = nettap::PcapStreamSource::open(path)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
-        self.source(&mut src)
+        let mut src =
+            nettap::source::open_path(path).map_err(|e| std::io::Error::other(e.to_string()))?;
+        self.source(src.as_mut())
             .map_err(|e| std::io::Error::other(e.to_string()))
     }
 

@@ -9,7 +9,7 @@ use crate::apci::{Apci, UFunction, CONTROL_LEN, MAX_APDU_LENGTH, START_BYTE};
 use crate::asdu::Asdu;
 use crate::dialect::Dialect;
 use crate::metrics::Iec104Metrics;
-use crate::scan::{FrameScanner, ScanKind};
+use crate::scan::{scan_slice, FrameScanner, ScanKind};
 use crate::{Error, Result};
 
 /// A decoded APDU: control information plus optional ASDU payload.
@@ -220,41 +220,82 @@ impl StreamDecoder {
     /// the zero-copy path: frames are delimited as slices of the internal
     /// buffer, decoded in place, and malformed/junk bytes are only borrowed
     /// — a sink that ignores them costs nothing.
+    ///
+    /// When nothing is buffered from earlier segments — the overwhelmingly
+    /// common case on reassembled streams, where segments end on frame
+    /// boundaries — the segment itself is used as the scan buffer: frames
+    /// decode straight from `bytes` and only an undelimited tail (partial
+    /// frame, lone trailing byte) is copied into the scanner.
     pub fn feed_each(
         &mut self,
         bytes: &[u8],
         metrics: &Iec104Metrics,
         mut sink: impl FnMut(StreamItemRef<'_>),
     ) {
+        if self.scanner.pending() == 0 {
+            let mut pos = 0usize;
+            while let Some(scanned) = scan_slice(bytes, &mut pos) {
+                emit_item(
+                    self.dialect,
+                    scanned.kind,
+                    &bytes[scanned.range],
+                    metrics,
+                    &mut sink,
+                );
+            }
+            if pos < bytes.len() {
+                self.scanner.feed(&bytes[pos..]);
+            }
+            return;
+        }
         self.scanner.feed(bytes);
         while let Some(scanned) = self.scanner.next_frame() {
-            let data = self.scanner.slice(&scanned.range);
-            match scanned.kind {
-                ScanKind::Junk => {
-                    metrics.junk_octets_skipped.add(data.len() as u64);
-                    sink(StreamItemRef::Malformed(
-                        data,
-                        Error::BadStartByte(data.first().copied().unwrap_or(0)),
-                    ));
-                }
-                ScanKind::Frame => match Apdu::decode(data, self.dialect) {
-                    Ok(apdu) => {
-                        metrics.apdus_parsed(self.dialect).inc();
-                        metrics.apdu_length_octets.observe(data.len() as u64);
-                        sink(StreamItemRef::Apdu(apdu));
-                    }
-                    Err(e) => {
-                        metrics.malformed_frames.inc();
-                        sink(StreamItemRef::Malformed(data, e));
-                    }
-                },
-            }
+            emit_item(
+                self.dialect,
+                scanned.kind,
+                self.scanner.slice(&scanned.range),
+                metrics,
+                &mut sink,
+            );
         }
     }
 
     /// Bytes buffered but not yet framed (diagnostic).
     pub fn pending(&self) -> usize {
         self.scanner.pending()
+    }
+}
+
+/// Classify one delimited range and hand the result to `sink`, recording
+/// metrics — the single item-handling body shared by the borrowed
+/// fast path and the buffered path of [`StreamDecoder::feed_each`].
+#[inline]
+fn emit_item(
+    dialect: Dialect,
+    kind: ScanKind,
+    data: &[u8],
+    metrics: &Iec104Metrics,
+    sink: &mut impl FnMut(StreamItemRef<'_>),
+) {
+    match kind {
+        ScanKind::Junk => {
+            metrics.junk_octets_skipped.add(data.len() as u64);
+            sink(StreamItemRef::Malformed(
+                data,
+                Error::BadStartByte(data.first().copied().unwrap_or(0)),
+            ));
+        }
+        ScanKind::Frame => match Apdu::decode(data, dialect) {
+            Ok(apdu) => {
+                metrics.apdus_parsed(dialect).inc();
+                metrics.apdu_length_octets.observe(data.len() as u64);
+                sink(StreamItemRef::Apdu(apdu));
+            }
+            Err(e) => {
+                metrics.malformed_frames.inc();
+                sink(StreamItemRef::Malformed(data, e));
+            }
+        },
     }
 }
 

@@ -10,8 +10,16 @@
 //! the buffer (one `memmove` of the unconsumed tail, typically a partial
 //! frame of at most a few hundred bytes) before appending, so the cost of
 //! reclamation is amortized to O(1) per fed segment instead of a
-//! `drain(..)` per frame. Invariant: ranges returned by
-//! [`FrameScanner::next_frame`] stay valid until the next `feed` call.
+//! `drain(..)` per frame. When the previous segment was consumed entirely
+//! the tail is empty and no bytes move at all. Invariant: ranges returned
+//! by [`FrameScanner::next_frame`] stay valid until the next `feed` call.
+//!
+//! Delimitation itself is shared with callers that hold a complete segment
+//! as one slice: [`scan_slice`] advances a cursor over any `&[u8]` with the
+//! exact same classification rules, which is what lets the stream decoder
+//! skip the buffer copy whenever nothing is pending. Resynchronisation
+//! junk hunts use a SWAR word scan ([`find_start`]) instead of a
+//! byte-at-a-time loop.
 
 use crate::apci::START_BYTE;
 use std::ops::Range;
@@ -34,6 +42,71 @@ pub struct ScannedFrame {
     pub range: Range<usize>,
 }
 
+/// Offset of the first `0x68` start byte in `hay`, or `None`.
+///
+/// SWAR hunt: eight bytes at a time, XOR against the broadcast start byte
+/// and detect a zero lane with the classic `(v - 0x01…) & !v & 0x80…`
+/// trick, falling back to a scalar scan for the unaligned tail. Junk runs
+/// between frames are the only place delimitation walks byte-by-byte, so
+/// this is what keeps resynchronisation off the scalar path.
+#[inline]
+pub fn find_start(hay: &[u8]) -> Option<usize> {
+    const LANES: u64 = 0x0101_0101_0101_0101;
+    const HIGH: u64 = 0x8080_8080_8080_8080;
+    const BROADCAST: u64 = LANES.wrapping_mul(START_BYTE as u64);
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        let word = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte chunk"));
+        let x = word ^ BROADCAST;
+        let zero = x.wrapping_sub(LANES) & !x & HIGH;
+        if zero != 0 {
+            return Some(i + (zero.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&b| b == START_BYTE)
+        .map(|p| i + p)
+}
+
+/// Delimit the next frame or junk run in `buf` starting at `*pos`,
+/// advancing the cursor past it. Returns `None` — leaving the cursor on
+/// the undelimited tail — when the remaining bytes are a partial frame or
+/// a single non-start byte that the next segment may extend.
+///
+/// This is the one copy of the classification rules; [`FrameScanner`]
+/// applies it to its internal buffer and the stream decoder applies it
+/// directly to segment slices when nothing is buffered.
+#[inline]
+pub fn scan_slice(buf: &[u8], pos: &mut usize) -> Option<ScannedFrame> {
+    let avail = buf.len() - *pos;
+    if avail < 2 {
+        return None;
+    }
+    if buf[*pos] != START_BYTE {
+        // Resynchronise: everything up to the next plausible start byte
+        // is one junk run.
+        let skip = find_start(&buf[*pos..]).unwrap_or(avail);
+        let range = *pos..*pos + skip;
+        *pos += skip;
+        return Some(ScannedFrame {
+            kind: ScanKind::Junk,
+            range,
+        });
+    }
+    let total = 2 + buf[*pos + 1] as usize;
+    if avail < total {
+        return None;
+    }
+    let range = *pos..*pos + total;
+    *pos += total;
+    Some(ScannedFrame {
+        kind: ScanKind::Frame,
+        range,
+    })
+}
+
 /// Incremental frame delimiter. See the module docs for the buffer
 /// lifetime rules.
 #[derive(Debug, Default)]
@@ -41,6 +114,9 @@ pub struct FrameScanner {
     buf: Vec<u8>,
     /// Consumed prefix length: everything before `pos` has been yielded.
     pos: usize,
+    /// Compactions that actually moved bytes (diagnostic; regression-tested
+    /// so the zero-pending short-circuit can't quietly regress).
+    compactions: u64,
 }
 
 impl FrameScanner {
@@ -53,9 +129,15 @@ impl FrameScanner {
     /// Invalidates ranges returned by earlier [`Self::next_frame`] calls.
     pub fn feed(&mut self, bytes: &[u8]) {
         if self.pos > 0 {
-            let len = self.buf.len();
-            self.buf.copy_within(self.pos.., 0);
-            self.buf.truncate(len - self.pos);
+            if self.pos == self.buf.len() {
+                // Everything was consumed: reclaim without moving a byte.
+                self.buf.clear();
+            } else {
+                let len = self.buf.len();
+                self.buf.copy_within(self.pos.., 0);
+                self.buf.truncate(len - self.pos);
+                self.compactions += 1;
+            }
             self.pos = 0;
         }
         self.buf.extend_from_slice(bytes);
@@ -65,34 +147,7 @@ impl FrameScanner {
     /// `None` when the buffer holds only a partial frame (or a single
     /// non-start byte that the next segment may extend).
     pub fn next_frame(&mut self) -> Option<ScannedFrame> {
-        let avail = self.buf.len() - self.pos;
-        if avail < 2 {
-            return None;
-        }
-        if self.buf[self.pos] != START_BYTE {
-            // Resynchronise: everything up to the next plausible start byte
-            // is one junk run.
-            let skip = self.buf[self.pos..]
-                .iter()
-                .position(|&b| b == START_BYTE)
-                .unwrap_or(avail);
-            let range = self.pos..self.pos + skip;
-            self.pos += skip;
-            return Some(ScannedFrame {
-                kind: ScanKind::Junk,
-                range,
-            });
-        }
-        let total = 2 + self.buf[self.pos + 1] as usize;
-        if avail < total {
-            return None;
-        }
-        let range = self.pos..self.pos + total;
-        self.pos += total;
-        Some(ScannedFrame {
-            kind: ScanKind::Frame,
-            range,
-        })
+        scan_slice(&self.buf, &mut self.pos)
     }
 
     /// Resolve a range from [`Self::next_frame`] to its bytes.
@@ -103,6 +158,11 @@ impl FrameScanner {
     /// Bytes buffered but not yet yielded (diagnostic).
     pub fn pending(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Compactions that moved a non-empty tail (diagnostic).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 }
 
@@ -165,5 +225,81 @@ mod tests {
         sc.feed(&[0x0B, 0x00, 0x00, 0x00]); // compacts, then completes
         let f = sc.next_frame().unwrap();
         assert_eq!(sc.slice(&f.range), &[0x68, 0x04, 0x0B, 0x00, 0x00, 0x00]);
+    }
+
+    /// Regression for the zero-pending short-circuit: segments that are
+    /// consumed exactly must never pay the tail memmove, while a held
+    /// partial frame still compacts exactly once on the next feed.
+    #[test]
+    fn fully_consumed_segments_never_compact() {
+        let frame = [0x68, 0x04, 0x0B, 0x00, 0x00, 0x00];
+        let mut sc = FrameScanner::new();
+        for _ in 0..10 {
+            sc.feed(&frame);
+            assert_eq!(sc.next_frame().unwrap().kind, ScanKind::Frame);
+            assert!(sc.next_frame().is_none());
+        }
+        assert_eq!(sc.compactions(), 0, "clean-cut segments moved bytes");
+
+        // A consumed frame followed by a held partial tail is the one shape
+        // that must move bytes: exactly one compacting feed.
+        let mut split = frame.to_vec();
+        split.extend_from_slice(&frame[..3]);
+        sc.feed(&split);
+        assert_eq!(sc.next_frame().unwrap().kind, ScanKind::Frame);
+        assert!(sc.next_frame().is_none());
+        assert_eq!(sc.pending(), 3);
+        sc.feed(&frame[3..]);
+        assert_eq!(sc.next_frame().unwrap().kind, ScanKind::Frame);
+        assert_eq!(sc.compactions(), 1);
+
+        // Back to clean cuts: the count stays put.
+        sc.feed(&frame);
+        assert_eq!(sc.next_frame().unwrap().kind, ScanKind::Frame);
+        assert_eq!(sc.compactions(), 1);
+    }
+
+    #[test]
+    fn find_start_matches_scalar_scan() {
+        // Hits in every lane position, across the 8-byte SWAR stride and
+        // into the scalar tail.
+        for len in 0..40usize {
+            for hit in 0..=len {
+                let mut hay = vec![0xAAu8; len];
+                if hit < len {
+                    hay[hit] = START_BYTE;
+                }
+                let want = hay.iter().position(|&b| b == START_BYTE);
+                assert_eq!(find_start(&hay), want, "len={len} hit={hit}");
+            }
+        }
+        // 0x67/0x69 neighbours and high-bit bytes must not false-positive.
+        let hay = [0x67, 0x69, 0xE8, 0x86, 0xFF, 0x00, 0x68, 0x68];
+        assert_eq!(find_start(&hay), Some(6));
+        assert_eq!(find_start(&[]), None);
+    }
+
+    /// `scan_slice` over one contiguous buffer is byte-identical to the
+    /// buffered scanner fed the same bytes.
+    #[test]
+    fn scan_slice_matches_scanner() {
+        let mut stream = vec![0xDE, 0xAD];
+        stream.extend([0x68, 0x04, 0x0B, 0x00, 0x00, 0x00]);
+        stream.extend([0x99]);
+        stream.extend([0x68, 0x00]);
+        stream.extend([0x68, 0x04, 0x0B]); // partial tail
+
+        let mut sc = FrameScanner::new();
+        sc.feed(&stream);
+        let mut pos = 0usize;
+        loop {
+            let direct = scan_slice(&stream, &mut pos);
+            let buffered = sc.next_frame();
+            assert_eq!(direct, buffered);
+            if direct.is_none() {
+                break;
+            }
+        }
+        assert_eq!(stream.len() - pos, sc.pending());
     }
 }

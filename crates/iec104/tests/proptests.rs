@@ -13,7 +13,7 @@ use uncharted_iec104::dialect::Dialect;
 use uncharted_iec104::elements::{Cp56Time2a, Nva, Qds, Siq};
 use uncharted_iec104::metrics::Iec104Metrics;
 use uncharted_iec104::parser::{StrictParser, TolerantParser};
-use uncharted_iec104::scan::{FrameScanner, ScanKind};
+use uncharted_iec104::scan::{find_start, FrameScanner, ScanKind};
 use uncharted_iec104::types::TypeId;
 use uncharted_iec104::Error;
 use uncharted_obs::MetricsRegistry;
@@ -119,6 +119,63 @@ fn drain_reference_scan(buf: &mut Vec<u8>) -> Vec<(ScanKind, Vec<u8>)> {
         }
         out.push((ScanKind::Frame, buf.drain(..total).collect()));
     }
+}
+
+/// A byte-at-a-time reference delimiter with the exact classification rules
+/// of [`FrameScanner`] but no SWAR start-byte hunt and no lazy compaction —
+/// the scalar baseline the word-scan path must match on every stream shape.
+#[derive(Default)]
+struct ScalarScanner {
+    buf: Vec<u8>,
+}
+
+impl ScalarScanner {
+    fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn next_frame(&mut self) -> Option<(ScanKind, Vec<u8>)> {
+        if self.buf.len() < 2 {
+            return None;
+        }
+        if self.buf[0] != 0x68 {
+            let skip = self
+                .buf
+                .iter()
+                .position(|&b| b == 0x68)
+                .unwrap_or(self.buf.len());
+            return Some((ScanKind::Junk, self.buf.drain(..skip).collect()));
+        }
+        let total = 2 + self.buf[1] as usize;
+        if self.buf.len() < total {
+            return None;
+        }
+        Some((ScanKind::Frame, self.buf.drain(..total).collect()))
+    }
+
+    fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Stream pieces biased toward the shapes that stress the SWAR scanner:
+/// long junk runs (spanning several 8-byte words), junk salted with start
+/// bytes in arbitrary lanes, maximum-length frames (255-byte body, so the
+/// length octet itself is a potential false start byte), empty-body frames,
+/// and lone bytes that fragmentation can strand at a segment boundary.
+fn arb_swar_pieces() -> impl Strategy<Value = Vec<Piece>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(any::<u8>(), 1..64).prop_map(Piece::Junk),
+            prop::collection::vec(prop_oneof![any::<u8>(), Just(0x68u8)], 1..24)
+                .prop_map(Piece::Junk),
+            prop::collection::vec(any::<u8>(), 0..=255).prop_map(Piece::Delimited),
+            Just(Piece::Delimited(vec![0x68; 255])),
+            Just(Piece::Junk(vec![0x67])),
+            (arb_seq(), Just(1.0f32)).prop_map(|(s, v)| Piece::I(s, v)),
+        ],
+        1..16,
+    )
 }
 
 fn arb_dialect() -> impl Strategy<Value = Dialect> {
@@ -417,5 +474,53 @@ proptest! {
             new_reg.snapshot().counter_fingerprint(),
             ref_reg.snapshot().counter_fingerprint()
         );
+    }
+
+    /// The SWAR start-byte hunt agrees with a scalar byte scan at every
+    /// offset of arbitrary haystacks — including ones salted with extra
+    /// start bytes so hits land in every 8-byte lane position and in the
+    /// unaligned tail.
+    #[test]
+    fn swar_find_start_matches_scalar_at_every_offset(
+        hay in prop::collection::vec(prop_oneof![any::<u8>(), Just(0x68u8), Just(0x67u8)], 0..96),
+    ) {
+        for off in 0..=hay.len() {
+            let slice = &hay[off..];
+            let scalar = slice.iter().position(|&b| b == 0x68);
+            prop_assert_eq!(find_start(slice), scalar, "offset {}", off);
+        }
+    }
+
+    /// The SWAR-accelerated [`FrameScanner`] and the scalar byte-at-a-time
+    /// [`ScalarScanner`] yield identical frame/junk sequences and identical
+    /// pending counts after every segment, over fragmentation patterns that
+    /// strand lone bytes, split start bytes across segments, and carry
+    /// maximum-length (255-byte body) frames through compaction.
+    #[test]
+    fn swar_scanner_matches_scalar_scanner_under_fragmentation(
+        dialect in arb_dialect(),
+        pieces in arb_swar_pieces(),
+        cut_points in prop::collection::vec(1usize..4000, 0..24),
+    ) {
+        let stream: Vec<u8> = pieces.iter().flat_map(|p| p.encode(dialect)).collect();
+        let mut swar = FrameScanner::new();
+        let mut scalar = ScalarScanner::default();
+        for seg in segment(&stream, cut_points) {
+            swar.feed(seg);
+            scalar.feed(seg);
+            loop {
+                let got = swar
+                    .next_frame()
+                    .map(|f| (f.kind, swar.slice(&f.range).to_vec()));
+                let want = scalar.next_frame();
+                prop_assert_eq!(&got, &want);
+                if got.is_none() {
+                    break;
+                }
+            }
+            // Both sides hold the same undelimited tail, so the SWAR
+            // scanner's lazy compaction never drops or duplicates bytes.
+            prop_assert_eq!(swar.pending(), scalar.pending());
+        }
     }
 }

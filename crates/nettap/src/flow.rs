@@ -11,16 +11,24 @@
 use crate::metrics::NettapMetrics;
 use crate::pcap::{Capture, ParsedPacket};
 use crate::stack::SocketAddr;
-use std::collections::BTreeMap;
 use uncharted_obs::ExecPolicy;
 
 /// Canonically ordered endpoint pair identifying a connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct FlowKey {
     /// The smaller endpoint under `(ip, port)` ordering.
     pub a: SocketAddr,
     /// The larger endpoint.
     pub b: SocketAddr,
+}
+
+/// Hash as one packed 96-bit word: two mixing folds for the whole key
+/// instead of a per-field byte fold, which is what the per-packet live
+/// index lookup in [`FlowTable::push`] pays on every miss of its memo.
+impl std::hash::Hash for FlowKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u128(self.packed());
+    }
 }
 
 impl FlowKey {
@@ -31,6 +39,14 @@ impl FlowKey {
         } else {
             FlowKey { a: y, b: x }
         }
+    }
+
+    /// The key packed into one integer (12 significant bytes).
+    fn packed(&self) -> u128 {
+        ((self.a.ip as u128) << 96)
+            | ((self.b.ip as u128) << 64)
+            | ((self.a.port as u128) << 16)
+            | self.b.port as u128
     }
 
     /// The key of a parsed packet (direction-independent).
@@ -98,9 +114,14 @@ pub struct DirectionStats {
     pub stream: Vec<u8>,
     /// Next expected sequence number (reassembly cursor).
     next_seq: Option<u32>,
-    /// Out-of-order segments awaiting the gap to fill: sequence number →
-    /// byte range in `ooo`.
-    pending: BTreeMap<u32, std::ops::Range<usize>>,
+    /// Out-of-order segments awaiting the gap to fill: `(sequence number,
+    /// byte range in `ooo`)`, kept sorted by sequence number. An inline
+    /// sorted vec rather than a tree: a reordering episode holds a handful
+    /// of segments, and tree nodes were the last per-flow state still
+    /// allocating off-arena — with this, everything a flow buffers lives
+    /// in two growable arenas (`ooo` + this vec) that allocate only when a
+    /// reordering episode actually buffers bytes.
+    pending: Vec<(u32, std::ops::Range<usize>)>,
     /// Side arena holding out-of-order payloads, copied once on arrival.
     /// Ranges abandoned by keep-longer collisions or overlap trims stay in
     /// place; the whole arena is reclaimed when `pending` empties, so it
@@ -159,10 +180,16 @@ impl DirectionStats {
         // needing its already-delivered prefix trimmed. On a same-seq
         // collision keep the longer payload.
         let start = self.ooo.len();
-        let entry = self.pending.entry(seq).or_insert(start..start);
-        if pkt.payload.len() > entry.len() {
+        let slot = match self.pending.binary_search_by_key(&seq, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.pending.insert(i, (seq, start..start));
+                i
+            }
+        };
+        if pkt.payload.len() > self.pending[slot].1.len() {
             self.ooo.extend_from_slice(&pkt.payload);
-            *entry = start..self.ooo.len();
+            self.pending[slot].1 = start..self.ooo.len();
         }
         self.flush();
     }
@@ -186,11 +213,14 @@ impl DirectionStats {
             // not numeric key order: after a 2^32 sequence wraparound the
             // numerically-smallest key can be far in the future while the
             // in-order segment sits near u32::MAX, and a numeric scan would
-            // stall reassembly forever.
-            let Some((&seq, _)) = self
+            // stall reassembly forever. The vec is small (one reordering
+            // episode), so a linear scan beats maintaining wrapping order.
+            let Some((pos, seq)) = self
                 .pending
                 .iter()
-                .min_by_key(|&(&s, _)| s.wrapping_sub(next) as i32)
+                .enumerate()
+                .min_by_key(|(_, (s, _))| s.wrapping_sub(next) as i32)
+                .map(|(i, &(s, _))| (i, s))
             else {
                 break;
             };
@@ -199,7 +229,7 @@ impl DirectionStats {
                 // True gap: wait for the missing segment.
                 break;
             }
-            let range = self.pending.remove(&seq).expect("present");
+            let range = self.pending.remove(pos).1;
             if rel == 0 {
                 self.deliver(next, range.len(), |stream, ooo| {
                     stream.extend_from_slice(&ooo[range])
@@ -214,9 +244,13 @@ impl DirectionStats {
                 let overlap = next.wrapping_sub(seq) as usize;
                 if overlap < range.len() {
                     let tail = range.start + overlap..range.end;
-                    let entry = self.pending.entry(next).or_insert(tail.start..tail.start);
-                    if tail.len() > entry.len() {
-                        *entry = tail;
+                    match self.pending.binary_search_by_key(&next, |e| e.0) {
+                        Ok(i) => {
+                            if tail.len() > self.pending[i].1.len() {
+                                self.pending[i].1 = tail;
+                            }
+                        }
+                        Err(i) => self.pending.insert(i, (next, tail)),
                     }
                 }
             }
@@ -417,8 +451,17 @@ impl TcpConnection {
 pub struct FlowTable {
     /// Finished + in-progress connection records, in first-seen order.
     pub connections: Vec<TcpConnection>,
-    /// Index of the live record per key.
-    live: uncharted_obs::FnvHashMap<FlowKey, usize>,
+    /// Index of the live record per key (packed-key mixing hash).
+    live: uncharted_obs::MixHashMap<FlowKey, usize>,
+    /// The last key routed by [`FlowTable::push`] and where it went.
+    /// Captured traffic arrives in per-connection bursts (and both
+    /// directions share one canonical key), so most packets resolve here
+    /// without touching the index at all. Must be kept coherent with
+    /// `live`: updated on every insert, cleared by eviction sweeps.
+    memo: Option<(FlowKey, usize)>,
+    /// Direct-mapped routing cache in front of `live` for the interleaved
+    /// case the single-entry memo misses. Same coherence rule as the memo.
+    route: uncharted_obs::SlotCache<u128, 4096>,
 }
 
 impl FlowTable {
@@ -457,20 +500,28 @@ impl FlowTable {
         let table = if policy.is_sequential() {
             let _shard = metrics.flows_stage.shard_span(0);
             let mut table = FlowTable::default();
+            // The payload-size histogram rides the same pass — a separate
+            // observation loop would walk the whole capture a second time.
             for pkt in packets {
                 table.push(pkt);
+                if !pkt.payload.is_empty() {
+                    metrics
+                        .segment_payload_octets
+                        .observe(pkt.payload.len() as u64);
+                }
             }
             table
         } else {
-            Self::reconstruct_sharded(packets, policy.workers(), metrics)
-        };
-        for pkt in packets {
-            if !pkt.payload.is_empty() {
-                metrics
-                    .segment_payload_octets
-                    .observe(pkt.payload.len() as u64);
+            let table = Self::reconstruct_sharded(packets, policy.workers(), metrics);
+            for pkt in packets {
+                if !pkt.payload.is_empty() {
+                    metrics
+                        .segment_payload_octets
+                        .observe(pkt.payload.len() as u64);
+                }
             }
-        }
+            table
+        };
         table.record_reassembly_metrics(metrics);
         table
     }
@@ -567,8 +618,16 @@ impl FlowTable {
         let dst = SocketAddr::new(pkt.ip.dst, pkt.tcp.dst_port);
         let key = FlowKey::new(src, dst);
         let flags = pkt.tcp.flags;
-        let idx = match self.live.get(&key) {
-            Some(&idx) => {
+        // Route to the live record: last-key memo, then the direct-mapped
+        // cache, then the index map. All three answer identically; the
+        // cheaper tiers just skip the hashing.
+        let packed = key.packed();
+        let hit = match self.memo {
+            Some((memo_key, idx)) if memo_key == key => Some(idx),
+            _ => self.route.get(packed).map(|slot| slot as usize),
+        };
+        let idx = match hit.or_else(|| self.live.get(&key).copied()) {
+            Some(idx) => {
                 // A fresh SYN on a finished record opens a new connection
                 // (4-tuple reuse across reconnect attempts).
                 let fresh_syn = flags.syn() && !flags.ack();
@@ -590,6 +649,8 @@ impl FlowTable {
                 idx
             }
         };
+        self.memo = Some((key, idx));
+        self.route.put(packed, idx as u32);
         self.connections[idx].absorb(pkt);
     }
 
@@ -628,6 +689,8 @@ impl FlowTable {
         // leaves it pointing at the latest record per key exactly as
         // incremental `push` would have.
         self.live.clear();
+        self.memo = None;
+        self.route.clear();
         for (idx, conn) in self.connections.iter().enumerate() {
             self.live.insert(conn.key, idx);
         }

@@ -24,8 +24,10 @@ pub use ethernet::{EthernetHeader, MacAddr, ETHERTYPE_IPV4};
 pub use flow::{FlowKey, FlowTable, TcpConnection};
 pub use ipv4::Ipv4Header;
 pub use metrics::NettapMetrics;
-pub use pcap::{Capture, CapturedPacket};
-pub use source::{ChainedSource, MemorySource, PacketSource, PcapFramer, PcapStreamSource};
+pub use pcap::{Capture, CapturedPacket, MmapCapture};
+pub use source::{
+    open_path, ChainedSource, MemorySource, PacketSource, PcapFramer, PcapStreamSource,
+};
 pub use stack::{SocketAddr, TcpEndpoint, TcpState};
 pub use tcp::{TcpFlags, TcpHeader};
 
@@ -48,6 +50,17 @@ pub enum Error {
     BadChecksum { layer: &'static str },
     /// The pcap magic number was not recognised.
     BadPcapMagic(u32),
+    /// A pcap record whose framing is broken, with the byte offset of the
+    /// record's header in the file — the one number that lets an operator
+    /// `xxd`/`dd` straight to the corruption in a multi-gigabyte capture.
+    /// `needed` counts the bytes the record header promised (16 header
+    /// bytes plus the declared capture length); `got` is what the file
+    /// still held at that offset.
+    BadPcapRecord {
+        offset: u64,
+        needed: usize,
+        got: usize,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -61,6 +74,14 @@ impl std::fmt::Display for Error {
             Error::Unsupported { layer, what } => write!(f, "{layer}: unsupported {what}"),
             Error::BadChecksum { layer } => write!(f, "{layer}: checksum mismatch"),
             Error::BadPcapMagic(m) => write!(f, "bad pcap magic {m:#010x}"),
+            Error::BadPcapRecord {
+                offset,
+                needed,
+                got,
+            } => write!(
+                f,
+                "pcap record at byte {offset}: truncated, needed {needed} bytes, got {got}"
+            ),
             Error::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

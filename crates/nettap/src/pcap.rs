@@ -73,33 +73,40 @@ impl CapturedPacket {
 
     /// Parse all three layers; errors on anything that is not IPv4/TCP.
     pub fn parse(&self) -> Result<ParsedPacket> {
-        let (eth, off) = EthernetHeader::parse(&self.frame)?;
-        if eth.ethertype != ETHERTYPE_IPV4 {
-            return Err(Error::Unsupported {
-                layer: "ethernet",
-                what: "ethertype",
-            });
-        }
-        let (ip, ip_len) = Ipv4Header::parse(&self.frame[off..])?;
-        let tcp_start = off + ip_len;
-        let ip_payload_end = off + ip.total_len as usize;
-        if self.frame.len() < ip_payload_end {
-            return Err(Error::Truncated {
-                layer: "ipv4",
-                needed: ip_payload_end,
-                got: self.frame.len(),
-            });
-        }
-        let (tcp, tcp_len) =
-            TcpHeader::parse(&self.frame[tcp_start..ip_payload_end], ip.src, ip.dst)?;
-        Ok(ParsedPacket {
-            timestamp: self.timestamp,
-            eth,
-            ip,
-            tcp,
-            payload: self.frame[tcp_start + tcp_len..ip_payload_end].to_vec(),
-        })
+        parse_frame(self.timestamp, &self.frame)
     }
+}
+
+/// Parse a raw Ethernet frame (all three layers) directly from a borrowed
+/// byte slice — the zero-copy entry the mmap capture path decodes through:
+/// only the TCP payload is copied out; every header is decoded in place.
+/// Errors on anything that is not IPv4/TCP.
+pub fn parse_frame(timestamp: f64, frame: &[u8]) -> Result<ParsedPacket> {
+    let (eth, off) = EthernetHeader::parse(frame)?;
+    if eth.ethertype != ETHERTYPE_IPV4 {
+        return Err(Error::Unsupported {
+            layer: "ethernet",
+            what: "ethertype",
+        });
+    }
+    let (ip, ip_len) = Ipv4Header::parse(&frame[off..])?;
+    let tcp_start = off + ip_len;
+    let ip_payload_end = off + ip.total_len as usize;
+    if frame.len() < ip_payload_end {
+        return Err(Error::Truncated {
+            layer: "ipv4",
+            needed: ip_payload_end,
+            got: frame.len(),
+        });
+    }
+    let (tcp, tcp_len) = TcpHeader::parse(&frame[tcp_start..ip_payload_end], ip.src, ip.dst)?;
+    Ok(ParsedPacket {
+        timestamp,
+        eth,
+        ip,
+        tcp,
+        payload: frame[tcp_start + tcp_len..ip_payload_end].to_vec(),
+    })
 }
 
 impl ParsedPacket {
@@ -214,6 +221,10 @@ impl Capture {
 #[derive(Debug)]
 pub struct PcapReader<R: Read> {
     reader: R,
+    /// Byte offset of the next record header — carried so a framing fault
+    /// in a stream is reported with the same file position the mmap path
+    /// reports ([`Error::BadPcapRecord`]).
+    offset: u64,
 }
 
 impl<R: Read> PcapReader<R> {
@@ -226,23 +237,58 @@ impl<R: Read> PcapReader<R> {
         if magic != PCAP_MAGIC {
             return Err(Error::BadPcapMagic(magic));
         }
-        Ok(PcapReader { reader })
+        Ok(PcapReader { reader, offset: 24 })
+    }
+
+    /// Fill `buf` as far as the stream allows, returning the bytes read
+    /// (`read_exact` leaves the shortfall unobservable, and the shortfall
+    /// is exactly what a truncation diagnostic needs).
+    fn read_full(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.reader.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(filled)
     }
 
     fn read_record(&mut self) -> Option<Result<CapturedPacket>> {
         let mut rec = [0u8; 16];
-        match self.reader.read_exact(&mut rec) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return None,
+        let got = match self.read_full(&mut rec) {
+            Ok(n) => n,
             Err(e) => return Some(Err(e.into())),
+        };
+        match got {
+            0 => return None, // clean end of stream on a record boundary
+            16 => {}
+            _ => {
+                return Some(Err(Error::BadPcapRecord {
+                    offset: self.offset,
+                    needed: 16,
+                    got,
+                }))
+            }
         }
         let ts_sec = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
         let ts_usec = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
         let incl = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
         let mut frame = vec![0u8; incl];
-        if let Err(e) = self.reader.read_exact(&mut frame) {
-            return Some(Err(e.into()));
+        match self.read_full(&mut frame) {
+            Ok(n) if n == incl => {}
+            Ok(n) => {
+                return Some(Err(Error::BadPcapRecord {
+                    offset: self.offset,
+                    needed: 16 + incl,
+                    got: 16 + n,
+                }))
+            }
+            Err(e) => return Some(Err(e.into())),
         }
+        self.offset += 16 + incl as u64;
         Some(Ok(CapturedPacket {
             timestamp: ts_sec as f64 + ts_usec as f64 * 1e-6,
             frame,
@@ -256,6 +302,212 @@ impl<R: Read> Iterator for PcapReader<R> {
     fn next(&mut self) -> Option<Self::Item> {
         self.read_record()
     }
+}
+
+/// Little-endian `u32` at `off`, as one unaligned load (the 4-byte
+/// `try_into` compiles to a plain `mov`; pcap record fields are not
+/// naturally aligned once variable-length frames enter the file).
+#[inline]
+fn u32_at(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice"))
+}
+
+/// A capture file as one read-only memory mapping: the raw-speed ingest
+/// path.
+///
+/// Where [`PcapReader`] issues a `read` per record header and a second per
+/// frame body (plus a heap allocation to land it in), the mmap path
+/// validates the whole record chain once at open — a header-hopping scan
+/// that touches 16 bytes per record with unaligned `u32` loads and a single
+/// branch per record — and then iteration is pure pointer arithmetic over
+/// the mapping. Frame bytes are yielded as slices *borrowed from the
+/// mapping* ([`MmapCapture::records`]); nothing is copied until a consumer
+/// decodes a packet and keeps its TCP payload ([`parse_frame`]).
+///
+/// Because validation is up front, a truncated or corrupt file is rejected
+/// at [`MmapCapture::open`] with the exact byte offset of the broken record
+/// ([`Error::BadPcapRecord`]) instead of surfacing mid-ingest, and the
+/// per-record iteration carries no error path at all.
+///
+/// Non-seekable inputs (sockets, pipes) cannot be mapped; [`open_path`]
+/// falls back to the streaming reader for those.
+///
+/// [`open_path`]: crate::source::open_path
+#[derive(Debug)]
+pub struct MmapCapture {
+    map: memmap2::Mmap,
+    /// Offset of the next record header.
+    pos: usize,
+    /// Records not yet read through [`PacketSource`].
+    records_left: usize,
+    /// Total records in the file (fixed at open).
+    record_count: usize,
+    /// Frames that failed Ethernet/IPv4/TCP decode and were skipped.
+    skipped: u64,
+    label: String,
+}
+
+impl MmapCapture {
+    /// Map a capture file and validate its whole record chain.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<MmapCapture> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path)?;
+        MmapCapture::from_file(&file, format!("mmap:{}", path.display()))
+    }
+
+    /// As [`open`](MmapCapture::open), over an already-opened file.
+    ///
+    /// The file must be a regular file that is not concurrently modified
+    /// (the mapping's safety contract); capture files are write-once
+    /// artifacts, which is exactly that shape.
+    pub fn from_file(file: &std::fs::File, label: impl Into<String>) -> Result<MmapCapture> {
+        // SAFETY: per the documented contract, callers hand over capture
+        // files that nothing mutates while the analysis runs.
+        let map = unsafe { memmap2::Mmap::map(file)? };
+        let record_count = validate_pcap_bytes(&map)?;
+        Ok(MmapCapture {
+            map,
+            pos: 24,
+            records_left: record_count,
+            record_count,
+            skipped: 0,
+            label: label.into(),
+        })
+    }
+
+    /// Total records in the file.
+    pub fn record_count(&self) -> usize {
+        self.record_count
+    }
+
+    /// Iterate the raw records as `(timestamp, frame)` with the frame bytes
+    /// borrowed straight from the mapping — the zero-copy scan the capture
+    /// bench drives. Infallible: the chain was validated at open.
+    pub fn records(&self) -> MmapRecords<'_> {
+        MmapRecords {
+            bytes: &self.map,
+            pos: 24,
+        }
+    }
+
+    /// Decode the next record header, advancing the cursor. Returns
+    /// `(timestamp, frame_start, frame_end)` as plain offsets so the caller
+    /// can slice the mapping without holding a borrow across bookkeeping.
+    fn step(&mut self) -> Option<(f64, usize, usize)> {
+        if self.records_left == 0 {
+            return None;
+        }
+        let ts_sec = u32_at(&self.map, self.pos);
+        let ts_usec = u32_at(&self.map, self.pos + 4);
+        let incl = u32_at(&self.map, self.pos + 8) as usize;
+        let start = self.pos + 16;
+        self.pos = start + incl;
+        self.records_left -= 1;
+        Some((ts_sec as f64 + ts_usec as f64 * 1e-6, start, start + incl))
+    }
+}
+
+impl crate::source::PacketSource for MmapCapture {
+    fn read_batch(&mut self, max: usize, out: &mut Vec<ParsedPacket>) -> Result<usize> {
+        let max = max.max(1);
+        let mut appended = 0;
+        while appended < max {
+            let Some((ts, start, end)) = self.step() else {
+                break;
+            };
+            match parse_frame(ts, &self.map[start..end]) {
+                Ok(pkt) => {
+                    out.push(pkt);
+                    appended += 1;
+                }
+                Err(_) => self.skipped += 1,
+            }
+        }
+        Ok(appended)
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        // Upper bound doubling as a lower bound in practice: undecodable
+        // noise frames are the rare exception, so reserving for every
+        // remaining record is the right allocation.
+        Some(self.records_left)
+    }
+}
+
+/// Borrowed-record iterator over a validated mapping
+/// (see [`MmapCapture::records`]).
+#[derive(Debug, Clone)]
+pub struct MmapRecords<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for MmapRecords<'a> {
+    type Item = (f64, &'a [u8]);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.bytes.len() - self.pos < 16 {
+            return None;
+        }
+        let ts_sec = u32_at(self.bytes, self.pos);
+        let ts_usec = u32_at(self.bytes, self.pos + 4);
+        let incl = u32_at(self.bytes, self.pos + 8) as usize;
+        let start = self.pos + 16;
+        self.pos = start + incl;
+        Some((
+            ts_sec as f64 + ts_usec as f64 * 1e-6,
+            &self.bytes[start..self.pos],
+        ))
+    }
+}
+
+/// Validate a complete in-memory pcap image: global header, then hop the
+/// record chain — one unaligned length load and one bounds branch per
+/// record — returning the record count. Any record whose declared extent
+/// overruns the file is a [`Error::BadPcapRecord`] carrying the offset of
+/// that record's header.
+fn validate_pcap_bytes(bytes: &[u8]) -> Result<usize> {
+    if bytes.len() < 24 {
+        return Err(Error::Truncated {
+            layer: "pcap",
+            needed: 24,
+            got: bytes.len(),
+        });
+    }
+    let magic = u32_at(bytes, 0);
+    if magic != PCAP_MAGIC {
+        return Err(Error::BadPcapMagic(magic));
+    }
+    let len = bytes.len();
+    let mut pos = 24usize;
+    let mut records = 0usize;
+    while len - pos >= 16 {
+        let incl = u32_at(bytes, pos + 8) as usize;
+        let end = pos + 16 + incl;
+        if end > len {
+            return Err(Error::BadPcapRecord {
+                offset: pos as u64,
+                needed: 16 + incl,
+                got: len - pos,
+            });
+        }
+        pos = end;
+        records += 1;
+    }
+    if pos != len {
+        // Trailing bytes too short to even be a record header.
+        return Err(Error::BadPcapRecord {
+            offset: pos as u64,
+            needed: 16,
+            got: len - pos,
+        });
+    }
+    Ok(records)
 }
 
 /// Read and decode a pcap as a bounded two-stage pipeline, handing each
@@ -451,6 +703,96 @@ mod tests {
         assert!(batches.iter().all(|b| !b.is_empty() && b.len() <= 4));
         let flat: Vec<ParsedPacket> = batches.into_iter().flatten().collect();
         assert_eq!(flat, expect);
+    }
+
+    fn write_temp_pcap(cap: &Capture, tag: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "uncharted-pcap-{tag}-{}.pcap",
+            std::process::id()
+        ));
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        path
+    }
+
+    #[test]
+    fn mmap_capture_matches_streaming_reader() {
+        let mut cap = Capture::new();
+        for i in 0..40 {
+            cap.record(sample(i as f64, format!("payload{i}").as_bytes()));
+        }
+        cap.record(CapturedPacket {
+            timestamp: 40.0,
+            frame: vec![0xFF; 30], // undecodable noise: skipped, not fatal
+        });
+        let path = write_temp_pcap(&cap, "parity");
+        let mut src = MmapCapture::open(&path).unwrap();
+        assert_eq!(src.record_count(), 41);
+        let got = crate::source::drain(&mut src, 7).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(got, cap.parsed());
+        assert_eq!(got.len(), 40);
+    }
+
+    #[test]
+    fn mmap_records_iterator_yields_borrowed_frames() {
+        let mut cap = Capture::new();
+        for i in 0..9 {
+            cap.record(sample(i as f64, format!("p{i}").as_bytes()));
+        }
+        let path = write_temp_pcap(&cap, "records");
+        let src = MmapCapture::open(&path).unwrap();
+        let records: Vec<(f64, Vec<u8>)> = src
+            .records()
+            .map(|(ts, frame)| (ts, frame.to_vec()))
+            .collect();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(records.len(), 9);
+        for (got, want) in records.iter().zip(&cap.packets) {
+            assert_eq!(got.0, want.timestamp);
+            assert_eq!(got.1, want.frame);
+        }
+    }
+
+    #[test]
+    fn mmap_rejects_corrupt_files_with_offsets() {
+        // Too short for a global header.
+        let short = std::env::temp_dir().join(format!("uncharted-short-{}", std::process::id()));
+        std::fs::write(&short, [0u8; 10]).unwrap();
+        assert!(matches!(
+            MmapCapture::open(&short),
+            Err(Error::Truncated { layer: "pcap", .. })
+        ));
+        std::fs::remove_file(&short).ok();
+
+        // Wrong magic.
+        let magic = std::env::temp_dir().join(format!("uncharted-magic-{}", std::process::id()));
+        std::fs::write(&magic, [0xAAu8; 24]).unwrap();
+        assert!(matches!(
+            MmapCapture::open(&magic),
+            Err(Error::BadPcapMagic(0xAAAA_AAAA))
+        ));
+        std::fs::remove_file(&magic).ok();
+
+        // Trailing bytes too short for a record header: offset points at
+        // the stub.
+        let mut cap = Capture::new();
+        cap.record(sample(0.0, b"x"));
+        let path = write_temp_pcap(&cap, "stub");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let full = bytes.len();
+        bytes.extend_from_slice(&[0u8; 7]);
+        std::fs::write(&path, &bytes).unwrap();
+        match MmapCapture::open(&path) {
+            Err(Error::BadPcapRecord {
+                offset,
+                needed: 16,
+                got: 7,
+            }) => assert_eq!(offset, full as u64),
+            other => panic!("expected stub-header error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -23,11 +23,39 @@
 //! is an error — that distinction is what lets the serve layer quarantine
 //! a hostile feed without dropping legitimate line noise.
 
-use crate::pcap::{Capture, CapturedPacket, ParsedPacket, PcapReader, PCAP_MAGIC};
+use crate::pcap::{Capture, CapturedPacket, MmapCapture, ParsedPacket, PcapReader, PCAP_MAGIC};
 use crate::{Error, Result};
 use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::Path;
+
+/// Open a capture path as a [`PacketSource`], picking the fastest transport
+/// the input supports: regular files are memory-mapped ([`MmapCapture`] —
+/// validated once, then zero-copy record iteration), while non-seekable
+/// inputs (FIFOs, device nodes, anything `mmap(2)` refuses) fall back to
+/// the streaming reader ([`PcapStreamSource`]). Format errors — bad magic,
+/// a truncated record chain — are *not* fallback triggers: they surface
+/// immediately, with the mmap path reporting the byte offset of the broken
+/// record up front.
+pub fn open_path(path: impl AsRef<Path>) -> Result<Box<dyn PacketSource>> {
+    let path = path.as_ref();
+    let file = File::open(path)?;
+    let mappable = file.metadata().map(|m| m.is_file()).unwrap_or(false);
+    if mappable {
+        match MmapCapture::from_file(&file, format!("mmap:{}", path.display())) {
+            Ok(src) => return Ok(Box::new(src)),
+            // An I/O refusal (exotic filesystem without mmap support) is
+            // what the streaming path exists for; anything else is a real
+            // format error in the capture and propagates.
+            Err(Error::Io(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Box::new(PcapStreamSource::with_label(
+        BufReader::new(file),
+        path.display().to_string(),
+    )?))
+}
 
 /// A pull-based stream of decoded packets: the one ingest API.
 ///
@@ -45,11 +73,34 @@ pub trait PacketSource {
     fn describe(&self) -> String {
         String::from("packet source")
     }
+
+    /// A lower bound on the packets still to come, when the source knows it
+    /// (in-memory and mmap sources do; byte streams don't). Lets [`drain`]
+    /// reserve once instead of growing through repeated reallocation.
+    fn remaining_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Hand over the source's entire remaining contents in one move, when
+    /// the implementation already owns them as a vector (in-memory sources
+    /// do). `None` means "no fast path available" — callers fall back to
+    /// batched reads; it must never be returned *instead of* an error the
+    /// batched path would have surfaced. Must yield exactly the packets
+    /// `read_batch` to exhaustion would have.
+    fn drain_all(&mut self) -> Option<Vec<ParsedPacket>> {
+        None
+    }
 }
 
 /// Drain a source to exhaustion into one vector (batch-mode ingest).
 pub fn drain(source: &mut dyn PacketSource, batch: usize) -> Result<Vec<ParsedPacket>> {
+    if let Some(all) = source.drain_all() {
+        return Ok(all);
+    }
     let mut packets = Vec::new();
+    if let Some(hint) = source.remaining_hint() {
+        packets.reserve(hint);
+    }
     while source.read_batch(batch.max(1), &mut packets)? > 0 {}
     Ok(packets)
 }
@@ -375,19 +426,31 @@ impl FrameTransport for PcapFramer {
 }
 
 /// Already-decoded packets served from memory, in the order given.
+///
+/// Packets are *moved* out to the reader, not cloned: the source owns them
+/// exactly once and hands each over on `read_batch`, so draining a
+/// `MemorySource` costs no per-packet payload copies (this is the bench
+/// harness's ingest path, where a clone here would be pure timed overhead).
 #[derive(Debug, Clone)]
 pub struct MemorySource {
-    packets: Vec<ParsedPacket>,
-    cursor: usize,
+    packets: MemBacking,
     label: String,
+}
+
+/// Backing storage for [`MemorySource`]: the original vector is kept whole
+/// until the first batched read, so a full [`drain`] can reclaim it with a
+/// single move instead of re-collecting every element.
+#[derive(Debug, Clone)]
+enum MemBacking {
+    Whole(Vec<ParsedPacket>),
+    Iter(std::vec::IntoIter<ParsedPacket>),
 }
 
 impl MemorySource {
     /// Wrap a vector of decoded packets.
     pub fn new(packets: Vec<ParsedPacket>) -> MemorySource {
         MemorySource {
-            packets,
-            cursor: 0,
+            packets: MemBacking::Whole(packets),
             label: String::from("in-memory packets"),
         }
     }
@@ -402,20 +465,47 @@ impl MemorySource {
 
     /// Packets not yet read.
     pub fn remaining(&self) -> usize {
-        self.packets.len() - self.cursor
+        match &self.packets {
+            MemBacking::Whole(v) => v.len(),
+            MemBacking::Iter(it) => it.len(),
+        }
+    }
+
+    /// The cursor over remaining packets, demoting whole-vector backing to
+    /// iteration on first use.
+    fn iter_mut(&mut self) -> &mut std::vec::IntoIter<ParsedPacket> {
+        if let MemBacking::Whole(v) = &mut self.packets {
+            self.packets = MemBacking::Iter(std::mem::take(v).into_iter());
+        }
+        match &mut self.packets {
+            MemBacking::Iter(it) => it,
+            MemBacking::Whole(_) => unreachable!("demoted above"),
+        }
     }
 }
 
 impl PacketSource for MemorySource {
     fn read_batch(&mut self, max: usize, out: &mut Vec<ParsedPacket>) -> Result<usize> {
         let take = max.max(1).min(self.remaining());
-        out.extend_from_slice(&self.packets[self.cursor..self.cursor + take]);
-        self.cursor += take;
+        let iter = self.iter_mut();
+        out.extend(iter.by_ref().take(take));
         Ok(take)
     }
 
     fn describe(&self) -> String {
         self.label.clone()
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.remaining())
+    }
+
+    fn drain_all(&mut self) -> Option<Vec<ParsedPacket>> {
+        match std::mem::replace(&mut self.packets, MemBacking::Whole(Vec::new())) {
+            // The untouched vector moves out as-is — no per-packet work.
+            MemBacking::Whole(v) => Some(v),
+            MemBacking::Iter(it) => Some(it.collect()),
+        }
     }
 }
 
@@ -517,12 +607,106 @@ mod tests {
         assert_eq!(src.frames_skipped(), 1);
 
         // A record header promising more bytes than arrive is a framing
-        // error, not noise.
+        // error, not noise — reported with the broken record's byte offset.
         let mut truncated = Vec::new();
         capture(2).write_pcap(&mut truncated).unwrap();
         truncated.truncate(truncated.len() - 5);
         let mut src = PcapStreamSource::new(&truncated[..]).unwrap();
         let err = drain(&mut src, 64).unwrap_err();
+        assert!(matches!(err, Error::BadPcapRecord { .. }), "got {err:?}");
+    }
+
+    /// The same truncated-at-EOF fixture must fail identically through the
+    /// streaming reader and the mmap reader: same error variant, same byte
+    /// offset pointing at the broken record's header — the mmap path just
+    /// reports it at open instead of mid-drain.
+    #[test]
+    fn truncated_fixture_reports_same_offset_on_both_paths() {
+        let cap = capture(3);
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+        // Byte offset of the third record's header: global header plus two
+        // complete records.
+        let third = 24 + cap.packets[..2]
+            .iter()
+            .map(|p| 16 + p.frame.len())
+            .sum::<usize>();
+        let cut = buf.len() - 5; // mid-frame of the final record
+        let truncated = &buf[..cut];
+
+        // Streaming: the valid prefix drains, then the fault surfaces.
+        let mut src = PcapStreamSource::new(truncated).unwrap();
+        let err = drain(&mut src, 64).unwrap_err();
+        let Error::BadPcapRecord {
+            offset,
+            needed,
+            got,
+        } = err
+        else {
+            panic!("streaming: expected BadPcapRecord, got {err:?}");
+        };
+        assert_eq!(offset, third as u64);
+        assert_eq!(needed, 16 + cap.packets[2].frame.len());
+        assert_eq!(got, cut - third);
+
+        // Mmap: validation rejects the file up front with the same triple.
+        let path = std::env::temp_dir().join(format!(
+            "uncharted-truncated-fixture-{}.pcap",
+            std::process::id()
+        ));
+        std::fs::write(&path, truncated).unwrap();
+        let err = MmapCapture::open(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        let Error::BadPcapRecord {
+            offset: m_offset,
+            needed: m_needed,
+            got: m_got,
+        } = err
+        else {
+            panic!("mmap: expected BadPcapRecord, got {err:?}");
+        };
+        assert_eq!((m_offset, m_needed, m_got), (offset, needed, got));
+    }
+
+    /// A regular capture file opens memory-mapped through [`open_path`] and
+    /// drains to exactly what the streaming reader produces.
+    #[test]
+    fn open_path_uses_mmap_for_files_and_matches_streaming() {
+        let cap = capture(25);
+        let mut buf = Vec::new();
+        cap.write_pcap(&mut buf).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "uncharted-open-path-{}.pcap",
+            std::process::id()
+        ));
+        std::fs::write(&path, &buf).unwrap();
+
+        let mut src = open_path(&path).unwrap();
+        assert!(
+            src.describe().starts_with("mmap:"),
+            "regular file should map, got {}",
+            src.describe()
+        );
+        assert_eq!(src.remaining_hint(), Some(25));
+        let mapped = drain(src.as_mut(), 4).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let mut streamed = PcapStreamSource::new(&buf[..]).unwrap();
+        assert_eq!(mapped, drain(&mut streamed, 4).unwrap());
+        assert_eq!(mapped, cap.parsed());
+    }
+
+    /// Non-regular-file inputs take the streaming fallback instead of a
+    /// doomed mmap attempt (a directory stands in for the non-seekable
+    /// class here: the fallback path is chosen, then its read fails with a
+    /// plain I/O error rather than an mmap panic or a misleading format
+    /// error).
+    #[test]
+    fn open_path_falls_back_to_streaming_for_non_files() {
+        let err = match open_path(std::env::temp_dir()) {
+            Err(e) => e,
+            Ok(_) => panic!("a directory must not open as a packet source"),
+        };
         assert!(matches!(err, Error::Io(_)), "got {err:?}");
     }
 

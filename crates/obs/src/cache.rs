@@ -1,0 +1,208 @@
+//! A direct-mapped routing cache for per-packet slot lookups.
+//!
+//! The per-packet hot loops all share one shape: pack a small tuple into an
+//! integer key, look the key up in a hash map, and index a slot arena with
+//! the result. The maps are small enough to be cache-resident, but a probe
+//! still pays key hashing plus the table's group-scan logic on every
+//! packet. Captures interleave hundreds of connections, so a single
+//! last-key memo rarely hits; a [`SlotCache`] is the N-way generalisation —
+//! a direct-mapped array in front of the map that answers repeat keys in a
+//! couple of loads.
+//!
+//! The cache is *exact*: the fold that picks a row is lossy, but a hit
+//! requires the stored key to compare equal, so a row collision only causes
+//! an eviction (and a fallback to the backing map), never a wrong slot.
+//! Invalidation is the caller's job — anything that rebuilds or reorders
+//! the backing arena must [`SlotCache::clear`].
+
+/// Keys that can pick a cache row. The fold may be lossy — it only selects
+/// the row; exactness comes from the stored-key comparison.
+pub trait CacheKey: Copy + Eq + Default {
+    /// Fold the key to 64 bits for row selection.
+    fn fold(self) -> u64;
+}
+
+impl CacheKey for u32 {
+    #[inline]
+    fn fold(self) -> u64 {
+        self as u64
+    }
+}
+
+impl CacheKey for u64 {
+    #[inline]
+    fn fold(self) -> u64 {
+        self
+    }
+}
+
+impl CacheKey for u128 {
+    #[inline]
+    fn fold(self) -> u64 {
+        (self as u64) ^ ((self >> 64) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+/// A direct-mapped `key -> u32` slot cache with `N` rows (`N` a power of
+/// two). Storage is allocated lazily on the first [`SlotCache::put`], so an
+/// unused cache (e.g. in a short-lived shard table) costs two empty `Vec`s.
+#[derive(Debug, Clone, Default)]
+pub struct SlotCache<K, const N: usize> {
+    keys: Vec<K>,
+    slots: Vec<u32>,
+}
+
+impl<K: CacheKey, const N: usize> SlotCache<K, N> {
+    /// Row value meaning "nothing cached here". Slot arenas must stay below
+    /// this (they index with `u32`, so they already do).
+    const EMPTY: u32 = u32::MAX;
+
+    /// An empty cache (no allocation until the first `put`).
+    pub fn new() -> SlotCache<K, N> {
+        const { assert!(N.is_power_of_two()) };
+        SlotCache {
+            keys: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Fibonacci-fold the key into a row index.
+    #[inline]
+    fn row(key: K) -> usize {
+        (key.fold().wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & (N - 1)
+    }
+
+    /// The cached slot for `key`, if this exact key occupies its row.
+    #[inline]
+    pub fn get(&self, key: K) -> Option<u32> {
+        let row = Self::row(key);
+        match self.slots.get(row) {
+            Some(&slot) if slot != Self::EMPTY && self.keys[row] == key => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Cache `slot` for `key`, evicting whatever occupied the row.
+    #[inline]
+    pub fn put(&mut self, key: K, slot: u32) {
+        if self.slots.is_empty() {
+            self.keys = vec![K::default(); N];
+            self.slots = vec![Self::EMPTY; N];
+        }
+        let row = Self::row(key);
+        self.keys[row] = key;
+        self.slots[row] = slot;
+    }
+
+    /// Store `slot` for `key` and report what its row previously held.
+    ///
+    /// This is the write-back primitive: when the cache fronts a map whose
+    /// values are updated in place, a [`Swapped::Evicted`] return carries
+    /// the displaced entry so the caller can park it back in the map before
+    /// the cached copy diverges further.
+    #[inline]
+    pub fn swap(&mut self, key: K, slot: u32) -> Swapped<K> {
+        if self.slots.is_empty() {
+            self.keys = vec![K::default(); N];
+            self.slots = vec![Self::EMPTY; N];
+        }
+        let row = Self::row(key);
+        let prev_key = self.keys[row];
+        let prev_slot = self.slots[row];
+        self.keys[row] = key;
+        self.slots[row] = slot;
+        if prev_slot == Self::EMPTY {
+            Swapped::Vacant
+        } else if prev_key == key {
+            Swapped::Hit(prev_slot)
+        } else {
+            Swapped::Evicted(prev_key, prev_slot)
+        }
+    }
+
+    /// Drop every cached row (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.slots.fill(Self::EMPTY);
+    }
+}
+
+/// What a [`SlotCache::swap`] displaced from the target row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Swapped<K> {
+    /// The same key was resident; its previous slot value.
+    Hit(u32),
+    /// A different key occupied the row and was evicted with this slot.
+    Evicted(K, u32),
+    /// The row was empty.
+    Vacant,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_requires_exact_key() {
+        let mut c: SlotCache<u64, 8> = SlotCache::new();
+        assert_eq!(c.get(5), None);
+        c.put(5, 42);
+        assert_eq!(c.get(5), Some(42));
+        // Only key 5 is stored: every other key must miss even when it
+        // folds onto the same row.
+        for k in 0..64u64 {
+            if k != 5 {
+                assert_eq!(c.get(k), None, "key {k} must not alias key 5");
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_replaces_row_occupant() {
+        let mut c: SlotCache<u64, 2> = SlotCache::new();
+        // With two rows, some pair among a handful of keys must collide;
+        // after overwriting, only the newest occupant answers.
+        let keys: Vec<u64> = (0..8).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            c.put(k, i as u32);
+        }
+        let mut hits = 0;
+        for (i, &k) in keys.iter().enumerate() {
+            if let Some(slot) = c.get(k) {
+                assert_eq!(slot, i as u32);
+                hits += 1;
+            }
+        }
+        assert!((1..=2).contains(&hits), "direct-mapped: at most one per row");
+    }
+
+    #[test]
+    fn clear_keeps_capacity_drops_entries() {
+        let mut c: SlotCache<u128, 4> = SlotCache::new();
+        c.put(7, 1);
+        c.clear();
+        assert_eq!(c.get(7), None);
+        c.put(7, 2);
+        assert_eq!(c.get(7), Some(2));
+    }
+
+    #[test]
+    fn swap_reports_prior_occupant() {
+        let mut c: SlotCache<u64, 8> = SlotCache::new();
+        assert_eq!(c.swap(3, 10), Swapped::Vacant);
+        assert_eq!(c.swap(3, 11), Swapped::Hit(10));
+        // Find a key that collides with 3's row, then verify eviction
+        // carries the displaced pair.
+        let colliding = (0..1024u64)
+            .find(|&k| k != 3 && SlotCache::<u64, 8>::row(k) == SlotCache::<u64, 8>::row(3))
+            .expect("8 rows must alias within 1024 keys");
+        assert_eq!(c.swap(colliding, 12), Swapped::Evicted(3, 11));
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.get(colliding), Some(12));
+    }
+
+    #[test]
+    fn unused_cache_allocates_nothing() {
+        let c: SlotCache<u64, 1024> = SlotCache::new();
+        assert_eq!(c.get(1), None);
+    }
+}

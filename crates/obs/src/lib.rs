@@ -52,12 +52,14 @@
 //! assert!(snap.to_prometheus().contains("apdus_parsed{dialect=\"std\"} 1"));
 //! ```
 
+pub mod cache;
 mod exec;
 pub mod fnv;
 mod metrics;
 mod registry;
 mod render;
 
+pub use cache::{SlotCache, Swapped};
 pub use exec::ExecPolicy;
 pub use fnv::{
     FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher, MixBuildHasher, MixHashMap, MixHasher,

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! The build container has no network access and no crates.io cache, so the
+//! workspace patches `memmap2` with this minimal implementation of exactly
+//! the API surface the capture reader uses: read-only [`Mmap::map`] plus
+//! `Deref<Target = [u8]>`.
+//!
+//! On Unix the mapping is a real `mmap(2)` (`PROT_READ`, `MAP_PRIVATE`)
+//! issued through a local `extern "C"` declaration — no libc crate needed.
+//! On other platforms it degrades to reading the whole file into an owned
+//! buffer, which preserves the API contract (a stable `&[u8]` of the file's
+//! contents) at the cost of the copy the real crate avoids.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// An immutable memory-mapped view of an entire file.
+///
+/// # Safety contract
+///
+/// As with the real crate, [`Mmap::map`] is `unsafe` because the mapping's
+/// contents can change underneath safe code if the underlying file is
+/// modified concurrently (undefined behavior on most platforms). Callers
+/// must ensure the file is not mutated while the mapping lives.
+pub struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// Empty files (zero-length `mmap` is `EINVAL`) and non-Unix targets.
+    Owned(Vec<u8>),
+}
+
+// The mapping is read-only memory owned by the struct; nothing about it is
+// thread-affine.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the file is not modified for the lifetime of
+    /// the mapping (see the type-level contract).
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        Self::map_impl(file, len as usize)
+    }
+
+    #[cfg(unix)]
+    unsafe fn map_impl(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; an empty slice is the
+            // correct view of an empty file.
+            return Ok(Mmap {
+                inner: Inner::Owned(Vec::new()),
+            });
+        }
+        let ptr = sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            inner: Inner::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(unix))]
+    unsafe fn map_impl(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let mut file = file;
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Owned(buf),
+        })
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Owned(v) => v,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("memmap2-shim-test-{}", std::process::id()));
+        let payload = b"hello mapped world";
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(payload).unwrap();
+        }
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert_eq!(&*map, payload);
+        assert_eq!(map.as_ref(), payload);
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("memmap2-shim-empty-{}", std::process::id()));
+        File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}
